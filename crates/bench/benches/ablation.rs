@@ -1,0 +1,166 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * greedy (Figure 8) vs exhaustive ordering selection — cost of each
+//!   and whether the results differ;
+//! * reordering guided by a matched vs a mismatched profile;
+//! * profile-guided vs the static uniform-domain heuristic (the
+//!   Spuler-style baseline the paper cites) vs no reordering at all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use br_harness::{run_workload, ExperimentConfig};
+use br_minic::HeuristicSet;
+use br_reorder::order::{exhaustive_ordering, select_ordering, OrderItem};
+use br_reorder::range::Range;
+
+fn synthetic_items(n: usize) -> Vec<OrderItem> {
+    // Deterministic pseudo-profile over n single-value ranges across 3
+    // targets.
+    (0..n)
+        .map(|i| {
+            let range = Range::single(i as i64 * 10);
+            OrderItem {
+                range,
+                target: br_ir::BlockId((i % 3) as u32),
+                prob: ((i * 7 + 3) % 11 + 1) as f64 / 66.0,
+                cost: OrderItem::cost_of(&range),
+                source: br_reorder::order::ItemSource::Explicit(i),
+            }
+        })
+        .collect()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let targets = vec![br_ir::BlockId(0), br_ir::BlockId(1), br_ir::BlockId(2)];
+
+    // Report: does greedy ever lose to exhaustive on the real suite?
+    let mut diffs = 0usize;
+    for w in br_workloads::all() {
+        let mut greedy_cfg = ExperimentConfig::quick(HeuristicSet::SET_III);
+        greedy_cfg.exhaustive = false;
+        let mut ex_cfg = greedy_cfg.clone();
+        ex_cfg.exhaustive = true;
+        let a = run_workload(&w, &greedy_cfg).expect("runs");
+        let b = run_workload(&w, &ex_cfg).expect("runs");
+        if a.reordered.stats.insts != b.reordered.stats.insts {
+            diffs += 1;
+            println!(
+                "{}: greedy {} vs exhaustive {} insts",
+                w.name, a.reordered.stats.insts, b.reordered.stats.insts
+            );
+        }
+    }
+    println!(
+        "greedy vs exhaustive ordering: {diffs}/17 programs differ \
+         (the paper reports 0)"
+    );
+
+    let mut group = c.benchmark_group("ordering-selection");
+    for n in [4usize, 8, 12, 16] {
+        let items = synthetic_items(n);
+        let elim = vec![true; items.len()];
+        group.bench_function(format!("greedy_n{n}"), |b| {
+            b.iter(|| select_ordering(&items, &targets, &elim, br_ir::BlockId(9)))
+        });
+        group.bench_function(format!("exhaustive_n{n}"), |b| {
+            b.iter(|| exhaustive_ordering(&items, &targets, &elim, br_ir::BlockId(9)))
+        });
+    }
+    group.finish();
+
+    // Static heuristic vs real profiles across the suite.
+    {
+        use br_minic::{compile, Options};
+        use br_reorder::{reorder_module, ReorderOptions};
+        use br_vm::{run, VmOptions};
+        let (mut wins_profile, mut ties, mut wins_static) = (0usize, 0usize, 0usize);
+        for w in br_workloads::all() {
+            let mut m = compile(w.source, &Options::with_heuristics(HeuristicSet::SET_III))
+                .expect("compiles");
+            br_opt::optimize(&mut m);
+            let train = w.training_input(3072);
+            let test = w.test_input(4096);
+            let profiled = reorder_module(&m, &train, &ReorderOptions::default()).unwrap();
+            let statict = reorder_module(
+                &m,
+                &train,
+                &ReorderOptions {
+                    static_heuristic: true,
+                    ..ReorderOptions::default()
+                },
+            )
+            .unwrap();
+            let p = run(&profiled.module, &test, &VmOptions::default()).unwrap();
+            let s = run(&statict.module, &test, &VmOptions::default()).unwrap();
+            if p.stats.insts < s.stats.insts {
+                wins_profile += 1;
+            } else if p.stats.insts == s.stats.insts {
+                ties += 1;
+            } else {
+                wins_static += 1;
+            }
+        }
+        println!(
+            "profile-guided vs static heuristic: profile wins {wins_profile},              ties {ties}, static wins {wins_static} (of 17)"
+        );
+    }
+
+    // Register pressure: how much dynamic cost spill code adds when the
+    // reordered code is squeezed into small register files.
+    {
+        use br_minic::{compile, Options};
+        use br_opt::regalloc::{allocate_registers, RegAllocOptions};
+        use br_reorder::{reorder_module, ReorderOptions};
+        use br_vm::{run, VmOptions};
+        let mut base_total = 0u64;
+        let mut totals = [0u64; 3];
+        let sizes = [24u32, 12, 8];
+        for w in br_workloads::all() {
+            let mut m = compile(w.source, &Options::with_heuristics(HeuristicSet::SET_I))
+                .expect("compiles");
+            br_opt::optimize(&mut m);
+            let report =
+                reorder_module(&m, &w.training_input(3072), &ReorderOptions::default())
+                    .unwrap();
+            let test = w.test_input(4096);
+            base_total += run(&report.module, &test, &VmOptions::default())
+                .unwrap()
+                .stats
+                .insts;
+            for (i, &regs) in sizes.iter().enumerate() {
+                let mut allocated = report.module.clone();
+                for f in &mut allocated.functions {
+                    allocate_registers(f, &RegAllocOptions { num_regs: regs });
+                }
+                totals[i] += run(&allocated, &test, &VmOptions::default())
+                    .unwrap()
+                    .stats
+                    .insts;
+            }
+        }
+        for (i, &regs) in sizes.iter().enumerate() {
+            println!(
+                "register pressure: {regs:>2} regs -> {:+.2}% instructions vs unlimited",
+                (totals[i] as f64 - base_total as f64) / base_total as f64 * 100.0
+            );
+        }
+    }
+
+    // Matched vs mismatched profile, end-to-end on hyphen (the paper's
+    // sensitivity case).
+    let mut group = c.benchmark_group("profile-sensitivity");
+    group.sample_size(10);
+    let w = br_workloads::by_name("hyphen").expect("hyphen exists");
+    let r = run_workload(&w, &ExperimentConfig::quick(HeuristicSet::SET_I)).expect("runs");
+    println!(
+        "hyphen with mismatched train/test: {:+.2}% insts (paper: +3.42%)",
+        r.insts_pct()
+    );
+    group.bench_function("hyphen_full_pipeline", |b| {
+        b.iter(|| run_workload(&w, &ExperimentConfig::quick(HeuristicSet::SET_I)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the pipeline's components: front end, conventional
+//! optimization, sequence detection, instrumentation, transformation
+//! application, and interpreter throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use br_minic::{compile, HeuristicSet, Options};
+use br_reorder::{reorder_module, ReorderOptions};
+use br_vm::{run, VmOptions};
+
+fn bench_components(c: &mut Criterion) {
+    let w = br_workloads::by_name("lex").expect("lex exists");
+    let options = Options::with_heuristics(HeuristicSet::SET_III);
+    let mut module = compile(w.source, &options).expect("compiles");
+    br_opt::optimize(&mut module);
+    let train = w.training_input(3072);
+    let test = w.test_input(8192);
+
+    let mut group = c.benchmark_group("components");
+    group.bench_function("frontend_compile", |b| {
+        b.iter(|| compile(w.source, &options).unwrap())
+    });
+    group.bench_function("conventional_optimize", |b| {
+        b.iter(|| {
+            let mut m = compile(w.source, &options).unwrap();
+            br_opt::optimize(&mut m);
+            m
+        })
+    });
+    group.bench_function("detect_sequences", |b| {
+        b.iter(|| br_reorder::profile::detect_all(&module))
+    });
+    // Detection scaling with CFG size: synthesized linear chains of
+    // n equality tests (DESIGN.md ablation: detection cost vs CFG size).
+    for n in [8usize, 32, 128, 512] {
+        let mut chain = String::from("int main() { int c; c = getchar();
+");
+        for i in 0..n {
+            chain.push_str(&format!("if (c == {i}) putint({i}); else "));
+        }
+        chain.push_str("putint(-1);
+return 0; }
+");
+        let mut m = compile(&chain, &options).expect("chain compiles");
+        br_opt::optimize(&mut m);
+        group.bench_function(format!("detect_chain_{n}"), |b| {
+            b.iter(|| br_reorder::profile::detect_all(&m))
+        });
+    }
+    group.bench_function("instrument", |b| {
+        let detections = br_reorder::profile::detect_all(&module);
+        b.iter(|| {
+            let mut m = module.clone();
+            br_reorder::profile::instrument_module(&mut m, &detections)
+        })
+    });
+    group.bench_function("full_reorder_pipeline", |b| {
+        b.iter(|| reorder_module(&module, &train, &ReorderOptions::default()).unwrap())
+    });
+    group.finish();
+
+    // Interpreter throughput in instructions per second.
+    let probe = run(&module, &test, &VmOptions::default()).expect("runs");
+    let mut group = c.benchmark_group("vm");
+    group.throughput(Throughput::Elements(probe.stats.insts));
+    group.bench_function("interpret_lex", |b| {
+        b.iter(|| run(&module, &test, &VmOptions::default()).unwrap())
+    });
+    let sweep = VmOptions {
+        predictors: {
+            let mut p = br_vm::PredictorConfig::sweep(br_vm::Scheme::OneBit);
+            p.extend(br_vm::PredictorConfig::sweep(br_vm::Scheme::TwoBit));
+            p
+        },
+        ..VmOptions::default()
+    };
+    group.bench_function("interpret_lex_with_14_predictors", |b| {
+        b.iter(|| run(&module, &test, &sweep).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figures 11–13: sequence-length distributions before and after
+//! reordering, one per heuristic set. Prints the histograms and times
+//! their regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use br_harness::tables::{figure_histograms, figures};
+use br_harness::{run_suite, ExperimentConfig};
+use br_minic::HeuristicSet;
+
+fn bench_figures(c: &mut Criterion) {
+    for h in HeuristicSet::ALL {
+        let suite = run_suite(&ExperimentConfig::quick(h)).expect("suite runs");
+        println!("{}", figures(&suite));
+        let (orig, new) = figure_histograms(&suite);
+        // The paper's observation: reordered sequences are longer.
+        let avg = |hist: &[(u32, u32)]| {
+            let total: u32 = hist.iter().map(|&(_, c)| c).sum();
+            hist.iter().map(|&(l, c)| (l * c) as f64).sum::<f64>() / total.max(1) as f64
+        };
+        println!(
+            "set {}: avg original {:.2}, avg reordered {:.2}\n",
+            h.name,
+            avg(&orig),
+            avg(&new)
+        );
+    }
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("figures_set_iii", |b| {
+        b.iter(|| {
+            let suite = run_suite(&ExperimentConfig::quick(HeuristicSet::SET_III)).unwrap();
+            figure_histograms(&suite)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! One bench per table of the paper: each target regenerates the
+//! table's rows end-to-end (compile → profile → reorder → measure →
+//! aggregate) and times the regeneration. The rows themselves are
+//! printed once so `cargo bench` output doubles as a results log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use br_harness::tables;
+use br_harness::{run_suite, ExperimentConfig, SuiteResult};
+use br_minic::HeuristicSet;
+
+fn suites() -> Vec<SuiteResult> {
+    HeuristicSet::ALL
+        .into_iter()
+        .map(|h| run_suite(&ExperimentConfig::quick(h)).expect("suite runs"))
+        .collect()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    // Regenerate and print each table once, so the bench log carries the
+    // reproduced results.
+    let all = suites();
+    let set2 = all
+        .iter()
+        .find(|s| s.heuristics.name == "II")
+        .expect("set II")
+        .clone();
+    println!("{}", tables::table3());
+    println!("{}", tables::table4(&all));
+    println!("{}", tables::table5(&set2));
+    println!("{}", tables::table6(&set2));
+    println!("{}", tables::table7(&set2));
+    println!("{}", tables::table8(&all));
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table4_one_suite_set_i", |b| {
+        b.iter(|| {
+            let s = run_suite(&ExperimentConfig::quick(HeuristicSet::SET_I)).unwrap();
+            tables::table4_rows(&s)
+        })
+    });
+    group.bench_function("table5_rows", |b| {
+        b.iter(|| tables::table5_rows(&set2))
+    });
+    group.bench_function("table6_rows", |b| {
+        b.iter(|| tables::table6_rows(&set2))
+    });
+    group.bench_function("table7_rows", |b| {
+        b.iter(|| tables::table7_rows(&set2))
+    });
+    group.bench_function("table8_rows", |b| {
+        b.iter(|| tables::table8_rows(&set2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

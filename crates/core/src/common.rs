@@ -1,0 +1,580 @@
+//! Reordering branches with a common successor (the paper's Section 10,
+//! Figure 14 — proposed there as future work, implemented here).
+//!
+//! A sequence of consecutive conditional branches `b1 … bn` is
+//! *common-successor reorderable* when every branch sends one arm to the
+//! same block `C` and the other arm to the next branch (the last one to
+//! the fall-out block `T`), each branch's block holds nothing but its
+//! compare, and the compares read only registers (no memory, no side
+//! effects). Such a chain arises from short-circuit `&&`/`||`
+//! expressions over *different* variables — which the range-condition
+//! machinery cannot touch.
+//!
+//! Any permutation of the branches is semantically equivalent: the
+//! sequence reaches `C` iff some condition "exits" and `T` otherwise,
+//! and pure compares cannot interfere with one another.
+//!
+//! Unlike range conditions, more than one branch may exit on the same
+//! execution, so per-branch probabilities are not enough; the paper
+//! proposes an array of counters over all outcome *combinations*
+//! (reasonable for `n <= 7`). Profiling here does exactly that (see
+//! [`br_ir::PlanKind::Outcomes`]), and selection minimizes the exact
+//! expected cost over the joint distribution — exhaustively over all
+//! permutations for small `n`, greedily by exit-probability otherwise.
+
+use std::collections::HashSet;
+
+use br_ir::{
+    reverse_postorder, BlockId, Cond, Function, Inst, Operand, Terminator,
+};
+
+/// Maximum conditions profiled jointly (the paper suggests `n <= 7`).
+pub const MAX_CONDS: usize = 7;
+
+/// Permutations are searched exhaustively up to this many conditions.
+const EXHAUSTIVE_LIMIT: usize = 6;
+
+/// One branch of a common-successor sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommonCond {
+    /// Compare operands.
+    pub lhs: Operand,
+    pub rhs: Operand,
+    /// Branch condition.
+    pub cond: Cond,
+    /// `true` when the *taken* arm exits to the common successor.
+    pub exit_taken: bool,
+}
+
+impl CommonCond {
+    /// Whether this condition exits to the common successor for the
+    /// given outcome of `cond.eval(lhs, rhs)`.
+    pub fn exits(&self, holds: bool) -> bool {
+        holds == self.exit_taken
+    }
+}
+
+/// A detected common-successor sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommonSeq {
+    /// Block of the first branch (may carry a prefix of straight-line
+    /// code that stays put).
+    pub head: BlockId,
+    /// All blocks, in original order (`blocks[0] == head`).
+    pub blocks: Vec<BlockId>,
+    /// The conditions, in original order.
+    pub conds: Vec<CommonCond>,
+    /// The common successor `C`.
+    pub common: BlockId,
+    /// Where control continues when no condition exits.
+    pub through: BlockId,
+}
+
+/// Detect common-successor sequences in `f`, skipping any block in
+/// `exclude` (typically blocks already claimed by range-condition
+/// sequences). Deterministic order.
+pub fn detect_common(f: &Function, exclude: &HashSet<BlockId>) -> Vec<CommonSeq> {
+    let needs_cc = needs_cc_on_entry(f);
+    let mut marked: HashSet<BlockId> = exclude.clone();
+    let mut out = Vec::new();
+    for head in reverse_postorder(f) {
+        if marked.contains(&head) {
+            continue;
+        }
+        let Some(first) = cond_of(f, head) else { continue };
+        let (t, nt) = targets_of(f, head);
+        // Try each arm as the common successor.
+        for (common, mut next, exit_taken) in [(t, nt, true), (nt, t, false)] {
+            if common == next {
+                continue;
+            }
+            let mut blocks = vec![head];
+            let mut conds = vec![CommonCond { exit_taken, ..first }];
+            loop {
+                if blocks.len() >= MAX_CONDS
+                    || marked.contains(&next)
+                    || blocks.contains(&next)
+                    || next == common
+                {
+                    break;
+                }
+                // Later blocks must be nothing but their compare.
+                let Some(c) = cond_of(f, next) else { break };
+                if f.block(next).insts.len() != 1 {
+                    break;
+                }
+                let (t2, nt2) = targets_of(f, next);
+                let exit_taken2 = if t2 == common && nt2 != common {
+                    true
+                } else if nt2 == common && t2 != common {
+                    false
+                } else {
+                    break;
+                };
+                blocks.push(next);
+                conds.push(CommonCond {
+                    exit_taken: exit_taken2,
+                    ..c
+                });
+                next = if exit_taken2 { nt2 } else { t2 };
+            }
+            if conds.len() < 2 {
+                continue;
+            }
+            // Exits must not consume condition codes set inside the
+            // sequence, and the through-block must differ from C.
+            if next == common || needs_cc[common.index()] || needs_cc[next.index()] {
+                continue;
+            }
+            let seq = CommonSeq {
+                head,
+                blocks: blocks.clone(),
+                conds,
+                common,
+                through: next,
+            };
+            marked.extend(blocks);
+            out.push(seq);
+            break;
+        }
+    }
+    out
+}
+
+/// The compare of `b`, when `b` ends in a branch and its final
+/// instruction is a register/immediate compare.
+fn cond_of(f: &Function, b: BlockId) -> Option<CommonCond> {
+    let block = f.block(b);
+    let Terminator::Branch { cond, .. } = block.term else {
+        return None;
+    };
+    match block.insts.last()? {
+        Inst::Cmp { lhs, rhs } => Some(CommonCond {
+            lhs: *lhs,
+            rhs: *rhs,
+            cond,
+            exit_taken: true, // fixed by the caller
+        }),
+        _ => None,
+    }
+}
+
+fn targets_of(f: &Function, b: BlockId) -> (BlockId, BlockId) {
+    match f.block(b).term {
+        Terminator::Branch {
+            taken, not_taken, ..
+        } => (taken, not_taken),
+        _ => unreachable!("caller checked"),
+    }
+}
+
+/// Blocks whose behaviour depends on condition codes live at entry
+/// (duplicated from `detect`; cheap).
+fn needs_cc_on_entry(f: &Function) -> Vec<bool> {
+    let n = f.blocks.len();
+    let mut needs = vec![false; n];
+    loop {
+        let mut changed = false;
+        for b in (0..n).rev() {
+            let block = &f.blocks[b];
+            let writes_cc = block
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Cmp { .. } | Inst::Call { .. }));
+            let val = if writes_cc {
+                false
+            } else {
+                matches!(block.term, Terminator::Branch { .. })
+                    || block.term.successors().iter().any(|s| needs[s.index()])
+            };
+            if val != needs[b] {
+                needs[b] = val;
+                changed = true;
+            }
+        }
+        if !changed {
+            return needs;
+        }
+    }
+}
+
+/// Expected dynamic cost (instructions) of evaluating the sequence in
+/// order `perm` under the joint outcome distribution `counts`
+/// (`counts[mask]`, bit `i` = condition `i` held). Each condition costs
+/// 2 (compare + branch); evaluation stops at the first exit.
+pub fn expected_cost(conds: &[CommonCond], counts: &[u64], perm: &[usize]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (mask, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let mut cost = 0.0;
+        for &i in perm {
+            cost += 2.0;
+            if conds[i].exits(mask & (1 << i) != 0) {
+                break;
+            }
+        }
+        acc += cost * count as f64;
+    }
+    acc / total as f64
+}
+
+/// Choose the evaluation order minimizing [`expected_cost`]:
+/// exhaustively for `n <=` `EXHAUSTIVE_LIMIT` (6), otherwise greedily by
+/// decreasing marginal exit probability (all costs are equal here, so
+/// `p/c` order reduces to `p` order).
+pub fn select_common_order(conds: &[CommonCond], counts: &[u64]) -> Vec<usize> {
+    let n = conds.len();
+    if n <= EXHAUSTIVE_LIMIT {
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut perm: Vec<usize> = (0..n).collect();
+        permute(&mut perm, 0, &mut |p| {
+            let cost = expected_cost(conds, counts, p);
+            if best.as_ref().is_none_or(|(b, _)| cost < *b - 1e-12) {
+                best = Some((cost, p.to_vec()));
+            }
+        });
+        best.expect("n >= 1").1
+    } else {
+        let total: u64 = counts.iter().sum::<u64>().max(1);
+        let mut order: Vec<usize> = (0..n).collect();
+        let exit_prob = |i: usize| -> f64 {
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(mask, _)| conds[i].exits(mask & (1 << i) != 0))
+                .map(|(_, &c)| c)
+                .sum::<u64>() as f64
+                / total as f64
+        };
+        order.sort_by(|&a, &b| {
+            exit_prob(b)
+                .partial_cmp(&exit_prob(a))
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Result of applying a common-successor reordering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommonApplyResult {
+    /// Entry of the replicated chain.
+    pub entry: BlockId,
+    /// Branches emitted (== number of conditions).
+    pub branches: u32,
+    /// Expected cost of the original order (per head execution).
+    pub original_cost: f64,
+    /// Expected cost of the selected order.
+    pub new_cost: f64,
+}
+
+/// Emit the reordered chain and rewire the head, mirroring
+/// [`crate::apply::apply_reordering`]: the head keeps its prefix and
+/// jumps to the replica; originals die in clean-up.
+pub fn apply_common_reordering(
+    f: &mut Function,
+    seq: &CommonSeq,
+    order: &[usize],
+) -> CommonApplyResult {
+    debug_assert_eq!(order.len(), seq.conds.len());
+    // Allocate chain blocks.
+    let chain: Vec<BlockId> = order
+        .iter()
+        .map(|_| f.add_block(br_ir::Block::new(Terminator::Return(None))))
+        .collect();
+    for (pos, &idx) in order.iter().enumerate() {
+        let c = &seq.conds[idx];
+        let next = chain.get(pos + 1).copied().unwrap_or(seq.through);
+        let block = f.block_mut(chain[pos]);
+        block.insts.push(Inst::Cmp {
+            lhs: c.lhs,
+            rhs: c.rhs,
+        });
+        // Normalize so the fall-through edge continues the chain.
+        let cond = if c.exit_taken { c.cond } else { c.cond.negate() };
+        block.term = Terminator::Branch {
+            cond,
+            taken: seq.common,
+            not_taken: next,
+        };
+    }
+    // Rewire the head in place: keep the prefix, drop the compare.
+    let head = f.block_mut(seq.head);
+    let popped = head.insts.pop();
+    debug_assert!(matches!(popped, Some(Inst::Cmp { .. })));
+    head.term = Terminator::Jump(chain[0]);
+    CommonApplyResult {
+        entry: chain[0],
+        branches: order.len() as u32,
+        original_cost: 0.0,
+        new_cost: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{FuncBuilder, Reg};
+
+    /// if (a == 0 && b == 2 && x < 7) T; else C   — three conditions on
+    /// three different registers with common "else".
+    fn and_chain() -> Function {
+        let mut b = FuncBuilder::new("and3");
+        let a = b.new_reg();
+        let b2 = b.new_reg();
+        let x = b.new_reg();
+        b.set_param_regs(vec![a, b2, x]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let c3 = b.new_block();
+        let t = b.new_block();
+        let c = b.new_block();
+        b.cmp_branch(e, a, 0i64, Cond::Ne, c, c2);
+        b.cmp_branch(c2, b2, 2i64, Cond::Ne, c, c3);
+        b.cmp_branch(c3, x, 7i64, Cond::Ge, c, t);
+        b.set_term(t, Terminator::Return(Some(Operand::Imm(1))));
+        b.set_term(c, Terminator::Return(Some(Operand::Imm(0))));
+        b.finish()
+    }
+
+    #[test]
+    fn detects_and_chain() {
+        let f = and_chain();
+        let seqs = detect_common(&f, &HashSet::new());
+        assert_eq!(seqs.len(), 1);
+        let s = &seqs[0];
+        assert_eq!(s.blocks.len(), 3);
+        assert_eq!(s.common, BlockId(4));
+        assert_eq!(s.through, BlockId(3));
+        assert!(s.conds.iter().all(|c| c.exit_taken));
+    }
+
+    #[test]
+    fn excluded_blocks_are_skipped() {
+        let f = and_chain();
+        let mut exclude = HashSet::new();
+        exclude.insert(BlockId(0));
+        // Head excluded: the remaining two-block chain is still found.
+        let seqs = detect_common(&f, &exclude);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].blocks.len(), 2);
+    }
+
+    #[test]
+    fn mixed_polarity_is_detected() {
+        // if (a == 0 || b == 2) C; else T  — 'or' chain exits on taken.
+        let mut b = FuncBuilder::new("or2");
+        let a = b.new_reg();
+        let b2 = b.new_reg();
+        b.set_param_regs(vec![a, b2]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t = b.new_block();
+        let c = b.new_block();
+        b.cmp_branch(e, a, 0i64, Cond::Eq, c, c2);
+        b.cmp_branch(c2, b2, 2i64, Cond::Eq, c, t);
+        b.set_term(t, Terminator::Return(Some(Operand::Imm(1))));
+        b.set_term(c, Terminator::Return(Some(Operand::Imm(0))));
+        let f = b.finish();
+        let seqs = detect_common(&f, &HashSet::new());
+        assert_eq!(seqs.len(), 1);
+        assert!(seqs[0].conds.iter().all(|cc| cc.exit_taken));
+    }
+
+    #[test]
+    fn reg_reg_compares_are_allowed() {
+        let mut b = FuncBuilder::new("rr");
+        let a = b.new_reg();
+        let b2 = b.new_reg();
+        let x = b.new_reg();
+        b.set_param_regs(vec![a, b2, x]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t = b.new_block();
+        let c = b.new_block();
+        b.cmp_branch(e, a, b2, Cond::Lt, c, c2);
+        b.cmp_branch(c2, b2, x, Cond::Lt, c, t);
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(c, Terminator::Return(None));
+        let f = b.finish();
+        assert_eq!(detect_common(&f, &HashSet::new()).len(), 1);
+    }
+
+    #[test]
+    fn blocks_with_extra_instructions_stop_the_chain() {
+        let mut f = and_chain();
+        // Give c2 a side instruction: chain must stop before it.
+        f.blocks[1].insts.insert(
+            0,
+            Inst::Copy {
+                dst: Reg(0),
+                src: Operand::Imm(9),
+            },
+        );
+        let seqs = detect_common(&f, &HashSet::new());
+        // head..c2 pair breaks (c2 impure as a *later* block); but the
+        // chain starting at c2 (prefix allowed at head) continues to c3.
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].head, BlockId(1));
+    }
+
+    #[test]
+    fn expected_cost_walks_until_exit() {
+        let conds = [
+            CommonCond {
+                lhs: Operand::Reg(Reg(0)),
+                rhs: Operand::Imm(0),
+                cond: Cond::Ne,
+                exit_taken: true,
+            },
+            CommonCond {
+                lhs: Operand::Reg(Reg(1)),
+                rhs: Operand::Imm(2),
+                cond: Cond::Ne,
+                exit_taken: true,
+            },
+        ];
+        // Outcome 0b01: cond0 holds (exits), cond1 not. Outcome 0b10:
+        // cond1 exits. Equal weight.
+        let counts = [0u64, 10, 10, 0];
+        // Order [0,1]: mask 01 stops after 1 test (2), mask 10 takes 2
+        // tests (4) because cond0 does not exit there ... cond0 holds in
+        // mask's bit0: for mask 0b10, bit0 unset -> cond0 does not hold
+        // -> no exit -> evaluate cond1 (exits). So cost = (2+4)/2 = 3.
+        assert!((expected_cost(&conds, &counts, &[0, 1]) - 3.0).abs() < 1e-12);
+        assert!((expected_cost(&conds, &counts, &[1, 0]) - 3.0).abs() < 1e-12);
+        // Skewed: mask 0b10 dominates -> testing cond1 first is cheaper.
+        let counts = [0u64, 1, 99, 0];
+        assert!(
+            expected_cost(&conds, &counts, &[1, 0])
+                < expected_cost(&conds, &counts, &[0, 1])
+        );
+    }
+
+    #[test]
+    fn selection_picks_the_cheapest_permutation() {
+        let conds: Vec<CommonCond> = (0..3)
+            .map(|i| CommonCond {
+                lhs: Operand::Reg(Reg(i)),
+                rhs: Operand::Imm(0),
+                cond: Cond::Ne,
+                exit_taken: true,
+            })
+            .collect();
+        // cond2 exits in almost every execution.
+        let mut counts = vec![0u64; 8];
+        counts[0b100] = 90;
+        counts[0b001] = 5;
+        counts[0b010] = 5;
+        let order = select_common_order(&conds, &counts);
+        assert_eq!(order[0], 2);
+        let best = expected_cost(&conds, &counts, &order);
+        // No permutation beats it.
+        for perm in [
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ] {
+            assert!(expected_cost(&conds, &counts, &perm) >= best - 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_fallback_for_large_n() {
+        let conds: Vec<CommonCond> = (0..7)
+            .map(|i| CommonCond {
+                lhs: Operand::Reg(Reg(i)),
+                rhs: Operand::Imm(0),
+                cond: Cond::Ne,
+                exit_taken: true,
+            })
+            .collect();
+        let mut counts = vec![0u64; 128];
+        counts[1 << 6] = 50;
+        counts[1 << 0] = 10;
+        let order = select_common_order(&conds, &counts);
+        assert_eq!(order.len(), 7);
+        assert_eq!(order[0], 6, "hottest exit first");
+    }
+
+    #[test]
+    fn apply_preserves_semantics() {
+        use br_vm::{run, VmOptions};
+        // main drives the and-chain with values read from input.
+        let mut m = br_ir::Module::new();
+        let chain = m.add_function(and_chain());
+        let mut b = FuncBuilder::new("main");
+        let a = b.new_reg();
+        let x = b.new_reg();
+        let y = b.new_reg();
+        let r = b.new_reg();
+        let acc = b.new_reg();
+        let e = b.entry();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.copy(e, acc, 0i64);
+        b.set_term(e, Terminator::Jump(body));
+        for dst in [a, x, y] {
+            b.push(
+                body,
+                Inst::Call {
+                    dst: Some(dst),
+                    callee: br_ir::Callee::Intrinsic(br_ir::Intrinsic::GetChar),
+                    args: vec![],
+                },
+            );
+        }
+        b.push(
+            body,
+            Inst::Call {
+                dst: Some(r),
+                callee: br_ir::Callee::Func(chain),
+                args: vec![Operand::Reg(a), Operand::Reg(x), Operand::Reg(y)],
+            },
+        );
+        b.bin(body, br_ir::BinOp::Add, acc, acc, r);
+        b.cmp_branch(body, a, -1i64, Cond::Eq, done, body);
+        b.set_term(done, Terminator::Return(Some(Operand::Reg(acc))));
+        m.main = Some(m.add_function(b.finish()));
+
+        let input: Vec<u8> = (0..60).map(|i| (i * 7 % 11) as u8).collect();
+        let base = run(&m, &input, &VmOptions::default()).unwrap();
+
+        let mut m2 = m.clone();
+        let f = m2.function_mut(chain);
+        let seq = detect_common(f, &HashSet::new()).remove(0);
+        // Reorder with an arbitrary permutation; semantics must hold.
+        for order in [vec![2, 0, 1], vec![1, 2, 0], vec![0, 1, 2]] {
+            let mut m3 = m.clone();
+            let f = m3.function_mut(chain);
+            apply_common_reordering(f, &seq, &order);
+            br_opt::cleanup_function(f);
+            br_ir::verify_module(&m3).unwrap();
+            let got = run(&m3, &input, &VmOptions::default()).unwrap();
+            assert_eq!(got.exit, base.exit, "order {order:?}");
+        }
+        let _ = m2;
+    }
+}

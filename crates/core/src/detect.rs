@@ -1,0 +1,753 @@
+//! Detecting reorderable sequences of range conditions (the paper's
+//! Section 3, Figure 4).
+//!
+//! A *range condition* is one branch — or a pair of branches forming a
+//! bounded range (Table 1, Form 4) — testing whether a common variable
+//! lies in a range. A *reorderable sequence* is a path of range
+//! conditions over nonoverlapping ranges testing the same variable.
+//!
+//! The walk follows the paper's algorithm: find two nonoverlapping range
+//! conditions (retrying the first with its complementary interpretation
+//! if needed), then keep extending until no further nonoverlapping
+//! condition exists.
+
+use std::collections::HashSet;
+
+use br_ir::{reverse_postorder, BlockId, Cond, Function, Inst, Operand, Reg, Terminator};
+
+use crate::range::{nonoverlapping, Range};
+
+/// One detected range condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectedCondition {
+    /// The tested range; control exits to `target` when the variable is
+    /// inside it.
+    pub range: Range,
+    /// Exit target of the sequence for this condition.
+    pub target: BlockId,
+    /// Block(s) implementing the condition: one, or two for Form 4.
+    pub blocks: Vec<BlockId>,
+    /// Instructions preceding the compare in the condition's first block.
+    /// For the sequence head these stay put; for later conditions they
+    /// are the *intervening side effects* moved below the sequence by
+    /// duplication (Theorem 2).
+    pub side_effects: Vec<Inst>,
+}
+
+impl DetectedCondition {
+    /// Branches this condition executes (Table 1).
+    pub fn branch_count(&self) -> u32 {
+        self.range.branch_count()
+    }
+}
+
+/// A detected reorderable sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectedSequence {
+    /// The common branch variable.
+    pub var: Reg,
+    /// Block of the first range condition.
+    pub head: BlockId,
+    /// The conditions, in original order. Always `>= 2`.
+    pub conds: Vec<DetectedCondition>,
+    /// Where control continues when no condition is satisfied (the
+    /// original default target `TD`).
+    pub default_target: BlockId,
+}
+
+impl DetectedSequence {
+    /// Total branches in the original sequence (the paper's "original
+    /// sequence length").
+    pub fn branch_len(&self) -> u32 {
+        self.conds.iter().map(|c| c.branch_count()).sum()
+    }
+
+    /// The explicit ranges, in condition order.
+    pub fn explicit_ranges(&self) -> Vec<Range> {
+        self.conds.iter().map(|c| c.range).collect()
+    }
+}
+
+/// The compare of a block, normalized to `reg ? constant` form.
+fn const_compare(f: &Function, b: BlockId) -> Option<(Reg, i64, Cond)> {
+    let block = f.block(b);
+    let Terminator::Branch { cond, .. } = block.term else {
+        return None;
+    };
+    // Require the compare to be the final instruction so everything
+    // before it is a self-contained prefix (candidate side effects).
+    let last = block.insts.last()?;
+    let Inst::Cmp { lhs, rhs } = last else {
+        return None;
+    };
+    match (lhs, rhs) {
+        (Operand::Reg(r), Operand::Imm(c)) => Some((*r, *c, cond)),
+        (Operand::Imm(c), Operand::Reg(r)) => Some((*r, *c, cond.swap())),
+        _ => None,
+    }
+}
+
+fn branch_targets(f: &Function, b: BlockId) -> (BlockId, BlockId) {
+    match f.block(b).term {
+        Terminator::Branch {
+            taken, not_taken, ..
+        } => (taken, not_taken),
+        _ => unreachable!("caller checked terminator"),
+    }
+}
+
+/// Value range for which the branch in `b` *takes*, and for which it
+/// *falls through*, given the compare `v ? c`.
+fn branch_halves(cond: Cond, c: i64) -> Option<(Range, Range)> {
+    Some(match cond {
+        Cond::Eq => (Range::single(c), Range::full()), // fall side handled by caller
+        Cond::Ne => (Range::full(), Range::single(c)),
+        Cond::Lt => (
+            Range::new(i64::MIN, c.checked_sub(1)?)?,
+            Range::from(c),
+        ),
+        Cond::Le => (Range::up_to(c), Range::from(c.checked_add(1)?)),
+        Cond::Gt => (
+            Range::from(c.checked_add(1)?),
+            Range::up_to(c),
+        ),
+        Cond::Ge => (Range::from(c), Range::new(i64::MIN, c.checked_sub(1)?)?),
+    })
+}
+
+/// One step of the paper's `Find_Range_Cond`.
+///
+/// Looks for a range condition at block `b` testing `var` (or, when `var`
+/// is `None`, any register — the first condition fixes the variable) that
+/// does not overlap `ranges`. Returns the condition and the continuation
+/// block.
+fn find_range_cond(
+    f: &Function,
+    ranges: &[Range],
+    var: Option<Reg>,
+    b: BlockId,
+) -> Option<(DetectedCondition, BlockId, Reg)> {
+    let (v, c, cond) = const_compare(f, b)?;
+    if let Some(expected) = var {
+        if v != expected {
+            return None;
+        }
+    }
+    let (taken, not_taken) = branch_targets(f, b);
+    let side_effects = {
+        let insts = &f.block(b).insts;
+        insts[..insts.len() - 1].to_vec()
+    };
+    let mk = |range: Range, target: BlockId, blocks: Vec<BlockId>| DetectedCondition {
+        range,
+        target,
+        blocks,
+        side_effects: side_effects.clone(),
+    };
+    match cond {
+        Cond::Eq => {
+            let r = Range::single(c);
+            nonoverlapping(&r, ranges).then(|| (mk(r, taken, vec![b]), not_taken, v))
+        }
+        Cond::Ne => {
+            let r = Range::single(c);
+            nonoverlapping(&r, ranges).then(|| (mk(r, not_taken, vec![b]), taken, v))
+        }
+        _ => {
+            // Form 4: this branch plus a successor's branch may bound a
+            // range, with the out-of-range sides sharing a successor.
+            if let Some(found) = find_bounded_pair(f, ranges, v, b, c, cond) {
+                return Some(found);
+            }
+            let (taken_range, fall_range) = branch_halves(cond, c)?;
+            if nonoverlapping(&taken_range, ranges) {
+                Some((mk(taken_range, taken, vec![b]), not_taken, v))
+            } else if nonoverlapping(&fall_range, ranges) {
+                Some((mk(fall_range, not_taken, vec![b]), taken, v))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The Form 4 case: `b`'s branch and the branch of a successor `s` form a
+/// bounded range, and `b` and `s` share the out-of-range successor.
+fn find_bounded_pair(
+    f: &Function,
+    ranges: &[Range],
+    v: Reg,
+    b: BlockId,
+    c: i64,
+    cond: Cond,
+) -> Option<(DetectedCondition, BlockId, Reg)> {
+    let (b_taken, b_fall) = branch_targets(f, b);
+    let (taken_range, fall_range) = branch_halves(cond, c)?;
+    let side_effects = {
+        let insts = &f.block(b).insts;
+        insts[..insts.len() - 1].to_vec()
+    };
+    // Try continuing through each successor of b.
+    for (s, incoming, other_b) in [
+        (b_taken, taken_range, b_fall),
+        (b_fall, fall_range, b_taken),
+    ] {
+        if s == other_b || s == b {
+            continue;
+        }
+        // The second block must be *only* a compare of the same variable.
+        let Some((v2, c2, cond2)) = const_compare(f, s) else {
+            continue;
+        };
+        if v2 != v || f.block(s).insts.len() != 1 {
+            continue;
+        }
+        // Only relational second compares: the fall-through side of an
+        // equality test is not a contiguous range.
+        if matches!(cond2, Cond::Eq | Cond::Ne) {
+            continue;
+        }
+        let Some((s_taken_half, s_fall_half)) = branch_halves(cond2, c2) else {
+            continue;
+        };
+        let (s_taken, s_fall) = branch_targets(f, s);
+        for (target, half, other_s) in [
+            (s_taken, s_taken_half, s_fall),
+            (s_fall, s_fall_half, s_taken),
+        ] {
+            // Bounded intersection of the incoming interval with this arm.
+            let lo = incoming.lo.max(half.lo);
+            let hi = incoming.hi.min(half.hi);
+            let Some(r) = Range::new(lo, hi) else { continue };
+            if !r.is_bounded_multi() {
+                continue;
+            }
+            // The out-of-range sides must merge: s's other arm == b's
+            // other arm (the common successor), and it is the
+            // continuation of the sequence.
+            if other_s != other_b || target == other_b {
+                continue;
+            }
+            if !nonoverlapping(&r, ranges) {
+                continue;
+            }
+            return Some((
+                DetectedCondition {
+                    range: r,
+                    target,
+                    blocks: vec![b, s],
+                    side_effects,
+                },
+                other_b,
+                v,
+            ));
+        }
+    }
+    None
+}
+
+/// The paper's `Find_First_Two_Conds`: find the first two nonoverlapping
+/// conditions starting at `b`, retrying the first condition with its
+/// complementary interpretation when the straightforward one leads
+/// nowhere.
+fn find_first_two(
+    f: &Function,
+    b: BlockId,
+) -> Option<(DetectedCondition, DetectedCondition, BlockId, Reg)> {
+    if let Some((r1, n1, v)) = find_range_cond(f, &[], None, b) {
+        if let Some((r2, n2, _)) = find_range_cond(f, &[r1.range], Some(v), n1) {
+            if disjoint_blocks(&r1, &r2) {
+                return Some((r1, r2, n2, v));
+            }
+        }
+        // Retry: excluding the found range forces the complementary
+        // interpretation (continuation through the other successor).
+        let blocked = [r1.range];
+        if let Some((r1b, n1b, v)) = find_range_cond(f, &blocked, None, b) {
+            if let Some((r2, n2, _)) = find_range_cond(f, &[r1b.range], Some(v), n1b) {
+                if disjoint_blocks(&r1b, &r2) {
+                    return Some((r1b, r2, n2, v));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn disjoint_blocks(a: &DetectedCondition, b: &DetectedCondition) -> bool {
+    b.blocks.iter().all(|bb| !a.blocks.contains(bb))
+}
+
+/// Side effects between conditions may be moved below the sequence only
+/// if they do not affect the branch variable (Theorem 2). Calls also
+/// cannot define it. Profiling probes never appear mid-sequence.
+fn side_effects_movable(cond: &DetectedCondition, var: Reg) -> bool {
+    cond.side_effects.iter().all(|inst| {
+        inst.def() != Some(var) && !matches!(inst, Inst::Cmp { .. } | Inst::ProfileRanges { .. })
+    })
+}
+
+/// Every exit target of the sequence must not *consume* condition codes
+/// set inside the sequence: after reordering, the compare that set them
+/// will be a different one.
+fn targets_cc_clean(f: &Function, seq: &DetectedSequence) -> bool {
+    let needs_cc = needs_cc_on_entry(f);
+    seq.conds
+        .iter()
+        .map(|c| c.target)
+        .chain([seq.default_target])
+        .all(|t| !needs_cc[t.index()])
+}
+
+/// Blocks whose behaviour depends on condition codes live at entry.
+fn needs_cc_on_entry(f: &Function) -> Vec<bool> {
+    let n = f.blocks.len();
+    let mut needs = vec![false; n];
+    loop {
+        let mut changed = false;
+        for b in (0..n).rev() {
+            let block = &f.blocks[b];
+            let writes_cc = block
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Cmp { .. } | Inst::Call { .. }));
+            let val = if writes_cc {
+                false
+            } else {
+                matches!(block.term, Terminator::Branch { .. })
+                    || block.term.successors().iter().any(|s| needs[s.index()])
+            };
+            if val != needs[b] {
+                needs[b] = val;
+                changed = true;
+            }
+        }
+        if !changed {
+            return needs;
+        }
+    }
+}
+
+/// Detect every reorderable sequence in `f` (the paper's Figure 4 outer
+/// loop). Sequences are disjoint: each block belongs to at most one.
+/// Results are in reverse-postorder of their head blocks, so detection is
+/// deterministic and identical across the profiling and reordering
+/// compilation passes.
+///
+/// ```
+/// use br_ir::{Cond, FuncBuilder, Operand, Terminator};
+/// use br_reorder::detect_sequences;
+///
+/// // if (v == 10) T1; else if (v == 20) T2; else TD
+/// let mut b = FuncBuilder::new("f");
+/// let v = b.new_reg();
+/// b.set_param_regs(vec![v]);
+/// let (e, c2) = (b.entry(), b.new_block());
+/// let (t1, t2, td) = (b.new_block(), b.new_block(), b.new_block());
+/// b.cmp_branch(e, v, 10i64, Cond::Eq, t1, c2);
+/// b.cmp_branch(c2, v, 20i64, Cond::Eq, t2, td);
+/// for t in [t1, t2, td] { b.set_term(t, Terminator::Return(None)); }
+///
+/// let seqs = detect_sequences(&b.finish());
+/// assert_eq!(seqs.len(), 1);
+/// assert_eq!(seqs[0].conds.len(), 2);
+/// ```
+pub fn detect_sequences(f: &Function) -> Vec<DetectedSequence> {
+    let mut out = Vec::new();
+    let mut marked: HashSet<BlockId> = HashSet::new();
+    for b in reverse_postorder(f) {
+        if marked.contains(&b) {
+            continue;
+        }
+        let Some((r1, r2, mut next, var)) = find_first_two(f, b) else {
+            continue;
+        };
+        // Intervening side effects of the second condition must be
+        // movable (the head's prefix stays put, so r1 is unconstrained).
+        if !side_effects_movable(&r2, var) {
+            continue;
+        }
+        if r1.blocks.iter().chain(&r2.blocks).any(|bb| marked.contains(bb)) {
+            continue;
+        }
+        let mut ranges = vec![r1.range, r2.range];
+        let mut used: HashSet<BlockId> = r1.blocks.iter().chain(&r2.blocks).copied().collect();
+        let mut conds = vec![r1, r2];
+        // Keep extending (Figure 4's while loop).
+        while let Some((cond, n, _)) = find_range_cond(f, &ranges, Some(var), next) {
+            if !side_effects_movable(&cond, var)
+                || cond.blocks.iter().any(|bb| used.contains(bb) || marked.contains(bb))
+            {
+                break;
+            }
+            ranges.push(cond.range);
+            used.extend(cond.blocks.iter().copied());
+            next = n;
+            conds.push(cond);
+        }
+        let seq = DetectedSequence {
+            var,
+            head: b,
+            conds,
+            default_target: next,
+        };
+        // Exits must not consume in-sequence condition codes.
+        if !targets_cc_clean(f, &seq) {
+            continue;
+        }
+        marked.extend(used);
+        out.push(seq);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{FuncBuilder, Operand};
+
+    /// if (v == 10) T1; else if (v == 20) T2; else if (v < 5) T3; else TD
+    fn chain_function() -> Function {
+        let mut b = FuncBuilder::new("chain");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let c3 = b.new_block();
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        let t3 = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, 10i64, Cond::Eq, t1, c2);
+        b.cmp_branch(c2, v, 20i64, Cond::Eq, t2, c3);
+        b.cmp_branch(c3, v, 5i64, Cond::Lt, t3, td);
+        for (t, val) in [(t1, 1i64), (t2, 2), (t3, 3), (td, 4)] {
+            b.set_term(t, Terminator::Return(Some(Operand::Imm(val))));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn detects_equality_chain_with_relational_tail() {
+        let f = chain_function();
+        let seqs = detect_sequences(&f);
+        assert_eq!(seqs.len(), 1);
+        let s = &seqs[0];
+        assert_eq!(s.var, Reg(0));
+        assert_eq!(s.head, BlockId(0));
+        assert_eq!(
+            s.explicit_ranges(),
+            vec![Range::single(10), Range::single(20), Range::up_to(4)]
+        );
+        assert_eq!(s.default_target, BlockId(6));
+        assert_eq!(s.branch_len(), 3);
+    }
+
+    #[test]
+    fn ne_condition_exits_through_fallthrough() {
+        // while-style: if (v != 0) continue_sequence... i.e. `bne` exits
+        // to the *taken* side only when... Ne: range [c..c] exits via
+        // not_taken, sequence continues through taken.
+        let mut b = FuncBuilder::new("ne");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, 0i64, Cond::Ne, c2, t1);
+        b.cmp_branch(c2, v, 7i64, Cond::Eq, t2, td);
+        for t in [t1, t2, td] {
+            b.set_term(t, Terminator::Return(None));
+        }
+        let f = b.finish();
+        let seqs = detect_sequences(&f);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(
+            seqs[0].explicit_ranges(),
+            vec![Range::single(0), Range::single(7)]
+        );
+        assert_eq!(seqs[0].conds[0].target, t1);
+    }
+
+    #[test]
+    fn detects_bounded_pair_as_one_condition() {
+        // if (v >= 'a' && v <= 'z') T1; else if (v == ' ') T2; else TD
+        let mut b = FuncBuilder::new("bounds");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let e = b.entry();
+        let hi = b.new_block();
+        let c2 = b.new_block();
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, 97i64, Cond::Lt, c2, hi);
+        b.cmp_branch(hi, v, 122i64, Cond::Gt, c2, t1);
+        b.cmp_branch(c2, v, 32i64, Cond::Eq, t2, td);
+        for t in [t1, t2, td] {
+            b.set_term(t, Terminator::Return(None));
+        }
+        let f = b.finish();
+        let seqs = detect_sequences(&f);
+        assert_eq!(seqs.len(), 1);
+        let s = &seqs[0];
+        assert_eq!(
+            s.explicit_ranges(),
+            vec![Range::new(97, 122).unwrap(), Range::single(32)]
+        );
+        assert_eq!(s.conds[0].blocks.len(), 2);
+        assert_eq!(s.conds[0].target, t1);
+        assert_eq!(s.branch_len(), 3);
+    }
+
+    #[test]
+    fn overlapping_ranges_end_the_sequence() {
+        // v == 10 then v < 50 (overlaps 10? no: [MIN..49] overlaps [10]).
+        let mut b = FuncBuilder::new("overlap");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let c3 = b.new_block();
+        let t = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, 10i64, Cond::Eq, t, c2);
+        // [MIN..49] overlaps [10..10]: but its complement [50..MAX] is
+        // the fall-through range, so detection flips interpretation:
+        // exits via fall-through when v >= 50.
+        b.cmp_branch(c2, v, 50i64, Cond::Lt, c3, t);
+        b.cmp_branch(c3, v, 20i64, Cond::Eq, t, td);
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(td, Terminator::Return(None));
+        let f = b.finish();
+        let seqs = detect_sequences(&f);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(
+            seqs[0].explicit_ranges(),
+            vec![Range::single(10), Range::from(50), Range::single(20)]
+        );
+    }
+
+    #[test]
+    fn different_variables_break_the_sequence() {
+        let mut b = FuncBuilder::new("vars");
+        let v = b.new_reg();
+        let w = b.new_reg();
+        b.set_param_regs(vec![v, w]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, 1i64, Cond::Eq, t, c2);
+        b.cmp_branch(c2, w, 2i64, Cond::Eq, t, td);
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(td, Terminator::Return(None));
+        let f = b.finish();
+        assert!(detect_sequences(&f).is_empty(), "needs two conds on one var");
+    }
+
+    #[test]
+    fn non_constant_compare_is_not_a_range_condition() {
+        let mut b = FuncBuilder::new("regreg");
+        let v = b.new_reg();
+        let w = b.new_reg();
+        b.set_param_regs(vec![v, w]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, w, Cond::Eq, t, c2); // reg-reg compare
+        b.cmp_branch(c2, v, 2i64, Cond::Eq, t, td);
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(td, Terminator::Return(None));
+        let f = b.finish();
+        assert!(detect_sequences(&f).is_empty());
+    }
+
+    #[test]
+    fn swapped_compare_operands_are_normalized() {
+        // cmp 10, v ; blt T  means  10 < v  i.e. v > 10.
+        let mut b = FuncBuilder::new("swap");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t = b.new_block();
+        let td = b.new_block();
+        b.cmp(e, 10i64, v);
+        b.set_term(e, Terminator::branch(Cond::Lt, t, c2));
+        b.cmp_branch(c2, v, 3i64, Cond::Eq, t, td);
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(td, Terminator::Return(None));
+        let f = b.finish();
+        let seqs = detect_sequences(&f);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(
+            seqs[0].explicit_ranges(),
+            vec![Range::from(11), Range::single(3)]
+        );
+    }
+
+    #[test]
+    fn side_effect_on_branch_variable_stops_extension() {
+        // First condition ok; second block reassigns v before comparing.
+        let mut b = FuncBuilder::new("sidefx");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let c3 = b.new_block();
+        let t = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, 1i64, Cond::Eq, t, c2);
+        b.copy(c2, v, 99i64); // defines the branch variable
+        b.cmp_branch(c2, v, 2i64, Cond::Eq, t, c3);
+        b.cmp_branch(c3, v, 3i64, Cond::Eq, t, td);
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(td, Terminator::Return(None));
+        let f = b.finish();
+        let seqs = detect_sequences(&f);
+        // [e, c2] is rejected (side effect on v), but [c2, c3] is a valid
+        // two-condition sequence whose head prefix (the copy) stays put.
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].head, c2);
+        assert_eq!(seqs[0].conds.len(), 2);
+    }
+
+    #[test]
+    fn movable_side_effects_are_collected() {
+        let mut b = FuncBuilder::new("movable");
+        let v = b.new_reg();
+        let x = b.new_reg();
+        b.set_param_regs(vec![v, x]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t = b.new_block();
+        let td = b.new_block();
+        b.cmp_branch(e, v, 1i64, Cond::Eq, t, c2);
+        b.store(c2, 100i64, 0i64, x); // movable side effect
+        b.cmp_branch(c2, v, 2i64, Cond::Eq, t, td);
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(td, Terminator::Return(None));
+        let f = b.finish();
+        let seqs = detect_sequences(&f);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].conds[1].side_effects.len(), 1);
+    }
+
+    #[test]
+    fn loop_shaped_chain_terminates_and_detects() {
+        // while ((c = v) != -1) classify: conditions loop back to head.
+        let f = chain_function();
+        // Rewire T1 back to the head to create a cycle through targets.
+        let mut f = f;
+        f.blocks[3].term = Terminator::Jump(BlockId(0));
+        let seqs = detect_sequences(&f);
+        assert_eq!(seqs.len(), 1);
+    }
+
+    #[test]
+    fn detection_is_deterministic() {
+        let f = chain_function();
+        assert_eq!(detect_sequences(&f), detect_sequences(&f));
+    }
+
+    #[test]
+    fn cc_consuming_target_rejects_sequence() {
+        // A target block with a branch but no cmp of its own (relies on
+        // the sequence's cc): reordering would change what it observes.
+        let mut b = FuncBuilder::new("ccdirty");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let e = b.entry();
+        let c2 = b.new_block();
+        let t = b.new_block();
+        let dirty = b.new_block();
+        let x = b.new_block();
+        b.cmp_branch(e, v, 1i64, Cond::Eq, t, c2);
+        b.cmp_branch(c2, v, 2i64, Cond::Eq, t, dirty);
+        // `dirty` consumes incoming condition codes.
+        b.set_term(dirty, Terminator::branch(Cond::Lt, x, t));
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(x, Terminator::Return(None));
+        let f = b.finish();
+        assert!(detect_sequences(&f).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use br_ir::{FuncBuilder, Operand, Terminator};
+    use proptest::prelude::*;
+
+    /// Build an if/else-if chain function over random distinct constants
+    /// and operators, returning it plus the number of conditions built.
+    fn build_chain(consts: &[i64], ops: &[u8]) -> Function {
+        let mut b = FuncBuilder::new("chain");
+        let v = b.new_reg();
+        b.set_param_regs(vec![v]);
+        let mut cur = b.entry();
+        let exit = b.new_block();
+        b.set_term(exit, Terminator::Return(Some(Operand::Imm(-1))));
+        for (i, (&c, &op)) in consts.iter().zip(ops).enumerate() {
+            let target = b.new_block();
+            b.set_term(target, Terminator::Return(Some(Operand::Imm(i as i64))));
+            let next = b.new_block();
+            let cond = match op % 3 {
+                0 => Cond::Eq,
+                1 => Cond::Ne,
+                _ => Cond::Eq,
+            };
+            match cond {
+                Cond::Ne => b.cmp_branch(cur, v, c, Cond::Ne, next, target),
+                _ => b.cmp_branch(cur, v, c, Cond::Eq, target, next),
+            }
+            cur = next;
+        }
+        b.set_term(cur, Terminator::Jump(exit));
+        b.finish()
+    }
+
+    proptest! {
+        #[test]
+        fn equality_chains_detect_fully(
+            mut consts in prop::collection::vec(-100i64..100, 2..10),
+            ops in prop::collection::vec(0u8..3, 10),
+        ) {
+            consts.sort_unstable();
+            consts.dedup();
+            prop_assume!(consts.len() >= 2);
+            let f = build_chain(&consts, &ops);
+            let seqs = detect_sequences(&f);
+            prop_assert_eq!(seqs.len(), 1);
+            let seq = &seqs[0];
+            prop_assert_eq!(seq.conds.len(), consts.len());
+            // Detected ranges are exactly the singletons, in order.
+            let expected: Vec<Range> =
+                consts.iter().map(|&c| Range::single(c)).collect();
+            prop_assert_eq!(seq.explicit_ranges(), expected);
+        }
+
+        #[test]
+        fn detected_ranges_never_overlap(
+            mut consts in prop::collection::vec(-100i64..100, 2..10),
+            ops in prop::collection::vec(0u8..3, 10),
+        ) {
+            consts.sort_unstable();
+            consts.dedup();
+            prop_assume!(consts.len() >= 2);
+            let f = build_chain(&consts, &ops);
+            for seq in detect_sequences(&f) {
+                let ranges = seq.explicit_ranges();
+                for (i, a) in ranges.iter().enumerate() {
+                    for b in &ranges[i + 1..] {
+                        prop_assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+                    }
+                }
+            }
+        }
+    }
+}

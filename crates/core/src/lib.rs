@@ -1,0 +1,41 @@
+//! # br-reorder
+//!
+//! The paper's contribution: profile-guided reordering of sequences of
+//! conditional branches that compare a common variable against constants
+//! (*"Improving Performance by Branch Reordering"*, Yang, Uh & Whalley,
+//! PLDI 1998).
+//!
+//! The pieces, mapped to the paper:
+//!
+//! * [`range`] — ranges, default ranges (Definitions 1, 7, 8; Section 5).
+//! * [`detect`] — finding reorderable sequences (Section 3, Figure 4),
+//!   including Form 4 bounded pairs and the movability condition on
+//!   intervening side effects (Section 4, Theorem 2).
+//! * [`profile`] — profiling instrumentation at the sequence head
+//!   (Section 5) and the per-range exit probabilities.
+//! * [`order`] — cost model and ordering selection (Section 6,
+//!   Theorem 3, Equations 1–4, Figure 8) plus an exhaustive oracle.
+//! * [`emit`] — rebuilding the reordered sequence: Form 4 intra-condition
+//!   branch ordering and redundant-comparison elimination (Section 7,
+//!   Figure 9), side-effect duplication, default-target tail duplication.
+//! * [`apply`] — splicing the replicated sequence into the CFG
+//!   (Section 8, Figure 10).
+//! * [`pipeline`] — the two-pass compile–profile–reorder driver
+//!   (Figure 2) and the static statistics the evaluation reports.
+
+pub mod apply;
+pub mod common;
+pub mod detect;
+pub mod emit;
+pub mod order;
+pub mod pipeline;
+pub mod profile;
+pub mod range;
+
+pub use detect::{detect_sequences, DetectedCondition, DetectedSequence};
+pub use order::{select_ordering, OrderItem, Ordering};
+pub use pipeline::{
+    reorder_module, reorder_module_with_inputs, ReorderOptions, ReorderReport, SequenceOutcome,
+};
+pub use profile::{instrument_module, SequenceProfile};
+pub use range::{Form, Range};

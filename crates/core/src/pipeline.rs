@@ -1,0 +1,837 @@
+//! The two-pass driver (the paper's Figure 2): detect sequences on the
+//! optimized module, profile them on a training input, select the best
+//! ordering per sequence, apply the beneficial ones, and re-run the
+//! clean-up optimizations.
+
+use br_ir::{BlockId, FuncId, Module};
+use br_vm::{Trap, VmOptions};
+
+use crate::common::{
+    apply_common_reordering, detect_common, expected_cost, select_common_order, CommonSeq,
+};
+use crate::detect::DetectedSequence;
+use crate::order::{evaluate_cost, exhaustive_ordering, select_ordering, Ordering};
+use crate::profile::{detect_all, instrument_module, order_items, profiles_from_run};
+
+/// Options for the reordering pipeline.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ReorderOptions {
+    /// VM configuration for the training (profiling) run.
+    pub vm: VmOptions,
+    /// Use the exhaustive ordering search instead of the paper's greedy
+    /// selection (the paper implemented both; an ablation knob here).
+    pub exhaustive: bool,
+    /// Also reorder branch sequences with a common successor (the
+    /// paper's Section 10 extension). Off by default, matching the
+    /// paper's evaluation, which covers range conditions only.
+    pub common_successor: bool,
+    /// Replace the training profile with the static uniform-domain
+    /// heuristic (no training run is consulted) — the Spuler-style
+    /// baseline the paper cites, as an ablation of the value of real
+    /// profile data.
+    pub static_heuristic: bool,
+}
+
+
+/// What happened to one detected sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SequenceOutcome {
+    /// The sequence was restructured.
+    Reordered {
+        /// Branches in the replicated sequence (often more than the
+        /// original: default ranges made explicit).
+        new_branches: u32,
+        /// Compares emitted (lower than branches when redundant
+        /// comparisons were eliminated).
+        new_compares: u32,
+        /// Estimated per-execution cost of the original ordering.
+        original_cost: f64,
+        /// Estimated per-execution cost of the selected ordering.
+        new_cost: f64,
+    },
+    /// Profile said the sequence never executed (the paper's most common
+    /// reason a sequence was not reordered).
+    NeverExecuted,
+    /// No ordering beat the original's estimated cost.
+    NoImprovement,
+}
+
+/// Which transformation a record belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SequenceKind {
+    /// A range-condition sequence (the paper's core transformation).
+    RangeConditions,
+    /// A common-successor sequence (the Section 10 extension).
+    CommonSuccessor,
+}
+
+/// Per-sequence record in the report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SequenceRecord {
+    /// Which transformation detected the sequence.
+    pub kind: SequenceKind,
+    /// Function the sequence lives in.
+    pub func: FuncId,
+    /// Head block (in the pre-transformation module).
+    pub head: BlockId,
+    /// Branches in the original sequence.
+    pub original_branches: u32,
+    /// Conditions in the original sequence.
+    pub conditions: usize,
+    /// Head executions during training.
+    pub training_executions: u64,
+    /// The outcome.
+    pub outcome: SequenceOutcome,
+}
+
+/// Result of the reordering pass.
+#[derive(Clone, Debug)]
+pub struct ReorderReport {
+    /// The transformed module, cleaned up and laid out.
+    pub module: Module,
+    /// One record per detected sequence.
+    pub sequences: Vec<SequenceRecord>,
+}
+
+impl ReorderReport {
+    /// Number of sequences that were actually reordered.
+    pub fn reordered_count(&self) -> usize {
+        self.sequences
+            .iter()
+            .filter(|s| matches!(s.outcome, SequenceOutcome::Reordered { .. }))
+            .count()
+    }
+
+    /// `(avg original, avg reordered)` branch counts over the reordered
+    /// sequences (the paper's "Avg Seq Len" columns).
+    pub fn avg_lengths(&self) -> Option<(f64, f64)> {
+        let mut n = 0u32;
+        let (mut orig, mut new) = (0u64, 0u64);
+        for s in &self.sequences {
+            if let SequenceOutcome::Reordered { new_branches, .. } = s.outcome {
+                n += 1;
+                orig += s.original_branches as u64;
+                new += new_branches as u64;
+            }
+        }
+        (n > 0).then(|| (orig as f64 / n as f64, new as f64 / n as f64))
+    }
+}
+
+/// Run the full profile-and-reorder pipeline on an *optimized* module.
+///
+/// `optimized` should already have gone through [`br_opt::optimize`]; the
+/// paper applies all conventional optimizations before reordering.
+///
+/// ```
+/// use br_minic::{compile, Options};
+/// use br_reorder::{reorder_module, ReorderOptions};
+///
+/// let mut m = compile(
+///     "int main() { int c; c = getchar(); while (c != -1) {
+///          if (c == 32) putchar(95); else if (c == 10) putchar(59);
+///          else putchar(c); c = getchar(); } return 0; }",
+///     &Options::default(),
+/// ).expect("compiles");
+/// br_opt::optimize(&mut m);
+/// let report = reorder_module(&m, b"mostly plain letters here", &ReorderOptions::default())
+///     .expect("training runs");
+/// assert!(report.reordered_count() >= 1);
+/// ```
+///
+/// # Errors
+///
+/// Returns the training run's [`Trap`] if the instrumented program does
+/// not terminate normally on `training_input`.
+pub fn reorder_module(
+    optimized: &Module,
+    training_input: &[u8],
+    options: &ReorderOptions,
+) -> Result<ReorderReport, Trap> {
+    reorder_module_with_inputs(optimized, &[training_input], options)
+}
+
+/// [`reorder_module`] with several training inputs: profiles are summed
+/// across the runs. The paper notes that multiple sets of profile data
+/// give better coverage — cold sequences exercised by *any* input get
+/// reordered instead of being skipped as never-executed.
+///
+/// # Errors
+///
+/// Returns the first training run's [`Trap`], if any.
+pub fn reorder_module_with_inputs(
+    optimized: &Module,
+    training_inputs: &[&[u8]],
+    options: &ReorderOptions,
+) -> Result<ReorderReport, Trap> {
+    let detections = detect_all(optimized);
+    // Common-successor sequences may not overlap range sequences; the
+    // range transformation has priority (it is the paper's evaluation).
+    let common_detections: Vec<(FuncId, CommonSeq)> = if options.common_successor {
+        detect_all_common(optimized, &detections)
+    } else {
+        Vec::new()
+    };
+    // Pass 1: instrumented executable + one training run per input,
+    // with counters summed.
+    let mut instrumented = optimized.clone();
+    let ids = instrument_module(&mut instrumented, &detections);
+    let common_ids = instrument_common(&mut instrumented, &common_detections);
+    let mut merged: Vec<Vec<u64>> = instrumented
+        .profile_plans
+        .iter()
+        .map(|p| vec![0; p.counter_count()])
+        .collect();
+    for input in training_inputs {
+        let outcome = br_vm::run(&instrumented, input, &options.vm)?;
+        for (acc, got) in merged.iter_mut().zip(&outcome.profiles) {
+            for (a, g) in acc.iter_mut().zip(got) {
+                *a += g;
+            }
+        }
+    }
+    let profiles = profiles_from_run(&ids, &merged);
+
+    // Pass 2: per-sequence selection and application.
+    let mut module = optimized.clone();
+    let mut sequences = Vec::with_capacity(detections.len());
+    for ((fid, seq), trained) in detections.iter().zip(&profiles) {
+        let static_prof;
+        let profile = if options.static_heuristic {
+            static_prof = crate::profile::static_profile(seq);
+            &static_prof
+        } else {
+            trained
+        };
+        let mut record = SequenceRecord {
+            kind: SequenceKind::RangeConditions,
+            func: *fid,
+            head: seq.head,
+            original_branches: seq.branch_len(),
+            conditions: seq.conds.len(),
+            training_executions: trained.total(),
+            outcome: SequenceOutcome::NeverExecuted,
+        };
+        if profile.total() == 0 || (!options.static_heuristic && trained.total() == 0) {
+            sequences.push(record);
+            continue;
+        }
+        let items = order_items(seq, profile);
+        let eliminable = eliminable_items(seq, &items);
+        let candidates = candidate_defaults(&items, &eliminable, seq.default_target);
+        let fallback = seq.default_target;
+        let ordering: Ordering = if options.exhaustive {
+            exhaustive_ordering(&items, &candidates, &eliminable, fallback)
+        } else {
+            select_ordering(&items, &candidates, &eliminable, fallback)
+        };
+        // Original estimated cost: conditions in original order, all
+        // default ranges implicit.
+        let explicit: Vec<usize> = (0..seq.conds.len()).collect();
+        let eliminated: Vec<usize> = (seq.conds.len()..items.len()).collect();
+        let original_cost = evaluate_cost(&items, &explicit, &eliminated);
+        if ordering.cost + 1e-9 < original_cost {
+            let f = module.function_mut(*fid);
+            let emitted = crate::apply::apply_reordering(f, seq, &items, &ordering);
+            record.outcome = SequenceOutcome::Reordered {
+                new_branches: emitted.branches,
+                new_compares: emitted.compares,
+                original_cost,
+                new_cost: ordering.cost,
+            };
+        } else {
+            record.outcome = SequenceOutcome::NoImprovement;
+        }
+        sequences.push(record);
+    }
+    // Phase 2b: common-successor sequences (Section 10 extension).
+    for ((fid, seq), seq_id) in common_detections.iter().zip(&common_ids) {
+        let counts = &merged[seq_id.index()];
+        let total: u64 = counts.iter().sum();
+        let mut record = SequenceRecord {
+            kind: SequenceKind::CommonSuccessor,
+            func: *fid,
+            head: seq.head,
+            original_branches: seq.conds.len() as u32,
+            conditions: seq.conds.len(),
+            training_executions: total,
+            outcome: SequenceOutcome::NeverExecuted,
+        };
+        if total > 0 {
+            let identity: Vec<usize> = (0..seq.conds.len()).collect();
+            let original_cost = expected_cost(&seq.conds, counts, &identity);
+            let order = select_common_order(&seq.conds, counts);
+            let new_cost = expected_cost(&seq.conds, counts, &order);
+            if new_cost + 1e-9 < original_cost {
+                let f = module.function_mut(*fid);
+                let applied = apply_common_reordering(f, seq, &order);
+                record.outcome = SequenceOutcome::Reordered {
+                    new_branches: applied.branches,
+                    new_compares: applied.branches,
+                    original_cost,
+                    new_cost,
+                };
+            } else {
+                record.outcome = SequenceOutcome::NoImprovement;
+            }
+        }
+        sequences.push(record);
+    }
+    br_opt::cleanup(&mut module);
+    Ok(ReorderReport { module, sequences })
+}
+
+/// Detect common-successor sequences in every function, excluding blocks
+/// already claimed by range-condition sequences.
+fn detect_all_common(
+    module: &Module,
+    range_detections: &[(FuncId, DetectedSequence)],
+) -> Vec<(FuncId, CommonSeq)> {
+    let mut out = Vec::new();
+    for (i, f) in module.functions.iter().enumerate() {
+        let fid = FuncId(i as u32);
+        let mut exclude = std::collections::HashSet::new();
+        for (dfid, seq) in range_detections {
+            if *dfid == fid {
+                exclude.insert(seq.head);
+                for c in &seq.conds {
+                    exclude.extend(c.blocks.iter().copied());
+                }
+            }
+        }
+        for seq in detect_common(f, &exclude) {
+            out.push((fid, seq));
+        }
+    }
+    out
+}
+
+/// Insert joint-outcome probes for common-successor sequences.
+fn instrument_common(
+    module: &mut Module,
+    detections: &[(FuncId, CommonSeq)],
+) -> Vec<br_ir::SeqId> {
+    let mut ids = Vec::with_capacity(detections.len());
+    for (fid, seq) in detections {
+        let seq_id = module.add_profile_plan(br_ir::ProfilePlan {
+            func: *fid,
+            head: seq.head,
+            kind: br_ir::PlanKind::Outcomes(seq.conds.len()),
+        });
+        let head = module.function_mut(*fid).block_mut(seq.head);
+        let at = head.insts.len() - 1;
+        debug_assert!(matches!(head.insts[at], br_ir::Inst::Cmp { .. }));
+        head.insts.insert(
+            at,
+            br_ir::Inst::ProfileOutcomes {
+                seq: seq_id,
+                conds: seq.conds.iter().map(|c| (c.lhs, c.rhs, c.cond)).collect(),
+            },
+        );
+        ids.push(seq_id);
+    }
+    ids
+}
+
+/// Whether each item may be left untested. Values of untested ranges
+/// reach the default target through the fall-through path, which runs
+/// the sequence's *entire* side-effect bundle — so an explicit condition
+/// is eligible only if its original exit already ran every side effect
+/// (i.e. no side effects occur in conditions after it). Default ranges
+/// (reached after all conditions failed) are always eligible.
+/// (Exposed for tests and ablations.)
+pub fn eliminable_items(seq: &DetectedSequence, items: &[crate::order::OrderItem]) -> Vec<bool> {
+    // Index of the last condition carrying side effects (the head's
+    // prefix stays put and does not count).
+    let last_side_effect = seq
+        .conds
+        .iter()
+        .enumerate()
+        .skip(1)
+        .rev()
+        .find(|(_, c)| !c.side_effects.is_empty())
+        .map(|(j, _)| j);
+    items
+        .iter()
+        .map(|item| match item.source {
+            crate::order::ItemSource::Default(_) => true,
+            crate::order::ItemSource::Explicit(j) => {
+                last_side_effect.is_none_or(|boundary| j >= boundary)
+            }
+        })
+        .collect()
+}
+
+/// Which targets may serve as the default (untested) target: every
+/// target owning at least one eliminable item, plus the original default
+/// target (harmless as the never-reached fall-through of an all-explicit
+/// ordering).
+fn candidate_defaults(
+    items: &[crate::order::OrderItem],
+    eliminable: &[bool],
+    original_default: BlockId,
+) -> Vec<BlockId> {
+    let mut out = vec![original_default];
+    out.extend(
+        items
+            .iter()
+            .zip(eliminable)
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| i.target),
+    );
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_minic::{compile, Options};
+    use br_vm::run;
+
+    fn build(src: &str) -> Module {
+        let mut m = compile(src, &Options::default()).expect("compiles");
+        br_opt::optimize(&mut m);
+        m
+    }
+
+    const CLASSIFIER: &str = "
+        int main() {
+            int c; int spaces; int lines; int tabs; int other;
+            spaces = 0; lines = 0; tabs = 0; other = 0;
+            c = getchar();
+            while (c != -1) {
+                if (c == ' ') spaces += 1;
+                else if (c == '\\n') lines += 1;
+                else if (c == '\\t') tabs += 1;
+                else other += 1;
+                c = getchar();
+            }
+            putint(spaces); putint(lines); putint(tabs); putint(other);
+            return spaces + 2 * lines + 3 * tabs + 5 * other;
+        }";
+
+    fn letters(n: usize) -> Vec<u8> {
+        (0..n)
+            .map(|i| b"abcdefghijklmnopqrstuvwxyz"[i % 26])
+            .chain(*b" \n")
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_reorders_and_preserves_behaviour() {
+        let m = build(CLASSIFIER);
+        let train = letters(200);
+        let test = letters(333);
+        let report = reorder_module(&m, &train, &ReorderOptions::default()).unwrap();
+        br_ir::verify_module(&report.module).unwrap();
+        assert!(report.reordered_count() >= 1, "{:?}", report.sequences);
+
+        let base = run(&m, &test, &VmOptions::default()).unwrap();
+        let new = run(&report.module, &test, &VmOptions::default()).unwrap();
+        assert_eq!(base.exit, new.exit);
+        assert_eq!(base.output, new.output);
+        assert!(
+            new.stats.insts < base.stats.insts,
+            "letters-dominated input should speed up: {} -> {}",
+            base.stats.insts,
+            new.stats.insts
+        );
+        assert!(new.stats.cond_branches < base.stats.cond_branches);
+    }
+
+    #[test]
+    fn reordered_sequences_get_longer_statically() {
+        let m = build(CLASSIFIER);
+        let report = reorder_module(&m, &letters(100), &ReorderOptions::default()).unwrap();
+        let (orig, new) = report.avg_lengths().expect("something reordered");
+        assert!(
+            new >= orig,
+            "defaults made explicit should lengthen sequences: {orig} vs {new}"
+        );
+    }
+
+    #[test]
+    fn never_executed_sequences_are_skipped() {
+        let src = "
+            int main() {
+                int c;
+                c = getchar();
+                if (c == -2) {
+                    if (c == 1000) putint(1);
+                    else if (c == 2000) putint(2);
+                    else if (c == 3000) putint(3);
+                }
+                return 0;
+            }";
+        let m = build(src);
+        let report = reorder_module(&m, b"xyz", &ReorderOptions::default()).unwrap();
+        assert!(report
+            .sequences
+            .iter()
+            .any(|s| s.outcome == SequenceOutcome::NeverExecuted));
+        assert_eq!(report.reordered_count(), 0, "{:?}", report.sequences);
+    }
+
+    #[test]
+    fn exhaustive_matches_greedy_cost() {
+        let m = build(CLASSIFIER);
+        let train = letters(150);
+        let greedy = reorder_module(&m, &train, &ReorderOptions::default()).unwrap();
+        let exhaustive = reorder_module(
+            &m,
+            &train,
+            &ReorderOptions {
+                exhaustive: true,
+                ..ReorderOptions::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in greedy.sequences.iter().zip(&exhaustive.sequences) {
+            if let (
+                SequenceOutcome::Reordered { new_cost: ga, .. },
+                SequenceOutcome::Reordered { new_cost: gb, .. },
+            ) = (&a.outcome, &b.outcome)
+            {
+                assert!((ga - gb).abs() < 1e-9, "greedy {ga} vs exhaustive {gb}");
+            }
+        }
+    }
+
+    #[test]
+    fn trap_in_training_run_is_reported() {
+        let src = "int main() { int c; c = getchar(); if (c == 'x') abort(9); \
+                   if (c == 1) putint(1); else if (c == 2) putint(2); return 0; }";
+        let m = build(src);
+        let err = reorder_module(&m, b"x", &ReorderOptions::default()).unwrap_err();
+        assert_eq!(err, Trap::Abort { code: 9 });
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let m = build(CLASSIFIER);
+        let report = reorder_module(&m, &letters(64), &ReorderOptions::default()).unwrap();
+        for s in &report.sequences {
+            assert!(s.conditions >= 2);
+            assert!(s.original_branches >= s.conditions as u32);
+            if let SequenceOutcome::Reordered {
+                new_branches,
+                new_compares,
+                original_cost,
+                new_cost,
+            } = &s.outcome
+            {
+                assert!(*new_compares <= *new_branches);
+                assert!(new_cost < original_cost);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod common_successor_tests {
+    use super::*;
+    use br_minic::{compile, Options};
+    use br_vm::run;
+
+    /// Short-circuit `&&`/`||` chains over different variables: the
+    /// Section 10 shape (the range machinery cannot touch these).
+    const COMMON: &str = "
+        int main() {
+            int c; int parity; int run; int hits;
+            parity = 0; run = 0; hits = 0;
+            c = getchar();
+            while (c != -1) {
+                parity = (parity + c) % 97;
+                run = (run * 3 + 1) % 31;
+                if (parity > 90 && run > 25 && c > 120) hits += 1;
+                if (parity < 3 || run < 2 || c < 8) hits += 1000;
+                c = getchar();
+            }
+            putint(hits);
+            return parity + run;
+        }";
+
+    fn build() -> Module {
+        let mut m = compile(COMMON, &Options::default()).expect("compiles");
+        br_opt::optimize(&mut m);
+        m
+    }
+
+    fn bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 127) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn common_successor_sequences_are_detected_and_reordered() {
+        let m = build();
+        let opts = ReorderOptions {
+            common_successor: true,
+            ..ReorderOptions::default()
+        };
+        let report = reorder_module(&m, &bytes(4096, 5), &opts).unwrap();
+        br_ir::verify_module(&report.module).unwrap();
+        let common: Vec<_> = report
+            .sequences
+            .iter()
+            .filter(|s| s.kind == SequenceKind::CommonSuccessor)
+            .collect();
+        assert!(!common.is_empty(), "no common-successor sequences found");
+        assert!(
+            common
+                .iter()
+                .any(|s| matches!(s.outcome, SequenceOutcome::Reordered { .. })),
+            "none reordered: {common:?}"
+        );
+    }
+
+    #[test]
+    fn common_successor_preserves_behaviour_and_counts() {
+        let m = build();
+        let opts = ReorderOptions {
+            common_successor: true,
+            ..ReorderOptions::default()
+        };
+        let train = bytes(4096, 5);
+        let test = bytes(6000, 77);
+        let report = reorder_module(&m, &train, &opts).unwrap();
+        let base = run(&m, &test, &VmOptions::default()).unwrap();
+        let new = run(&report.module, &test, &VmOptions::default()).unwrap();
+        assert_eq!(base.exit, new.exit);
+        assert_eq!(base.output, new.output);
+        // The chains' conditions are rarely satisfied in their leading
+        // positions, so reordering should pay off on like-distributed
+        // input.
+        assert!(
+            new.stats.insts <= base.stats.insts,
+            "common-successor reordering pessimized: {} -> {}",
+            base.stats.insts,
+            new.stats.insts
+        );
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let m = build();
+        let report = reorder_module(&m, &bytes(2048, 5), &ReorderOptions::default()).unwrap();
+        assert!(report
+            .sequences
+            .iter()
+            .all(|s| s.kind == SequenceKind::RangeConditions));
+    }
+
+    #[test]
+    fn range_sequences_have_priority_over_common() {
+        // A chain on a single variable matches BOTH patterns; it must be
+        // claimed by the range transformation only.
+        let src = "
+            int main() {
+                int c; int hits; hits = 0;
+                c = getchar();
+                while (c != -1) {
+                    if (c == 10 || c == 32 || c == 9) hits += 1;
+                    c = getchar();
+                }
+                putint(hits);
+                return 0;
+            }";
+        let mut m = compile(src, &Options::default()).unwrap();
+        br_opt::optimize(&mut m);
+        let opts = ReorderOptions {
+            common_successor: true,
+            ..ReorderOptions::default()
+        };
+        let report = reorder_module(&m, &bytes(2048, 9), &opts).unwrap();
+        let range_count = report
+            .sequences
+            .iter()
+            .filter(|s| s.kind == SequenceKind::RangeConditions)
+            .count();
+        assert!(range_count >= 1);
+        // Behaviour must hold regardless.
+        let test = bytes(3000, 11);
+        let base = run(&m, &test, &VmOptions::default()).unwrap();
+        let new = run(&report.module, &test, &VmOptions::default()).unwrap();
+        assert_eq!(base.output, new.output);
+    }
+}
+
+#[cfg(test)]
+mod multi_input_tests {
+    use super::*;
+    use br_minic::{compile, Options};
+
+    /// Two independent classification chains guarded by disjoint modes:
+    /// the first byte selects which chain runs.
+    const TWO_MODES: &str = "
+        int main() {
+            int mode; int c; int a; int b;
+            a = 0; b = 0;
+            mode = getchar();
+            c = getchar();
+            while (c != -1) {
+                if (mode == 'A') {
+                    if (c == ' ') a += 1;
+                    else if (c == '\\n') a += 2;
+                    else if (c == '\\t') a += 3;
+                    else a += 5;
+                } else {
+                    if (c == '0') b += 1;
+                    else if (c == '1') b += 2;
+                    else if (c == '9') b += 3;
+                    else b += 5;
+                }
+                c = getchar();
+            }
+            putint(a); putint(b);
+            return 0;
+        }";
+
+    fn build() -> Module {
+        let mut m = compile(TWO_MODES, &Options::default()).unwrap();
+        br_opt::optimize(&mut m);
+        m
+    }
+
+    fn mode_input(mode: u8) -> Vec<u8> {
+        let mut v = vec![mode];
+        v.extend(b"lots of letters 0101 and spaces\nmore 999 text\n".repeat(20));
+        v
+    }
+
+    #[test]
+    fn single_input_leaves_the_cold_chain_unreordered() {
+        let m = build();
+        let a_only = mode_input(b'A');
+        let report = reorder_module(&m, &a_only, &ReorderOptions::default()).unwrap();
+        assert!(
+            report
+                .sequences
+                .iter()
+                .any(|s| s.outcome == SequenceOutcome::NeverExecuted),
+            "{:?}",
+            report.sequences
+        );
+    }
+
+    #[test]
+    fn multiple_inputs_cover_both_chains() {
+        let m = build();
+        let a = mode_input(b'A');
+        let b = mode_input(b'B');
+        let report =
+            reorder_module_with_inputs(&m, &[&a, &b], &ReorderOptions::default()).unwrap();
+        let never = report
+            .sequences
+            .iter()
+            .filter(|s| s.outcome == SequenceOutcome::NeverExecuted)
+            .count();
+        assert_eq!(never, 0, "{:?}", report.sequences);
+        assert!(
+            report.reordered_count()
+                > reorder_module(&m, &a, &ReorderOptions::default())
+                    .unwrap()
+                    .reordered_count(),
+            "better coverage must reorder more sequences"
+        );
+        // And of course behaviour holds on both modes.
+        for input in [&a, &b] {
+            let base = br_vm::run(&m, input, &VmOptions::default()).unwrap();
+            let new = br_vm::run(&report.module, input, &VmOptions::default()).unwrap();
+            assert_eq!(base.output, new.output);
+        }
+    }
+
+    #[test]
+    fn merged_profiles_equal_concatenated_input_profiles() {
+        let m = build();
+        let a = mode_input(b'A');
+        let b = mode_input(b'B');
+        // Merging two runs must select like one long run would (modulo
+        // the mode byte read once per run, which only shifts counts by
+        // a constant on the mode check).
+        let multi =
+            reorder_module_with_inputs(&m, &[&a, &b], &ReorderOptions::default()).unwrap();
+        assert!(multi.reordered_count() >= 2);
+    }
+}
+
+#[cfg(test)]
+mod static_heuristic_tests {
+    use super::*;
+    use br_minic::{compile, Options};
+    use br_vm::run;
+
+    const CLASSIFY: &str = "
+        int main() {
+            int c; int k; k = 0;
+            c = getchar();
+            while (c != -1) {
+                if (c == ' ') k += 1;
+                else if (c == '\\n') k += 2;
+                else if (c == '\\t') k += 3;
+                else k += 7;
+                c = getchar();
+            }
+            putint(k);
+            return 0;
+        }";
+
+    #[test]
+    fn static_heuristic_reorders_without_meaningful_training() {
+        let mut m = compile(CLASSIFY, &Options::default()).unwrap();
+        br_opt::optimize(&mut m);
+        let opts = ReorderOptions {
+            static_heuristic: true,
+            ..ReorderOptions::default()
+        };
+        // Empty training input: a real profile would skip everything.
+        let report = reorder_module(&m, b"", &opts).unwrap();
+        assert!(report.reordered_count() >= 1, "{:?}", report.sequences);
+        // The uniform-domain assumption puts the wide default range
+        // first — beneficial on letter-dominated input.
+        let text = b"plain letters dominate this text\n".repeat(50);
+        let base = run(&m, &text, &VmOptions::default()).unwrap();
+        let new = run(&report.module, &text, &VmOptions::default()).unwrap();
+        assert_eq!(base.output, new.output);
+        assert!(new.stats.insts < base.stats.insts);
+    }
+
+    #[test]
+    fn real_profile_beats_static_heuristic_on_skewed_input() {
+        // Input dominated by tabs: the uniform assumption ranks the tab
+        // range (1 value) last, a real profile ranks it first.
+        let mut m = compile(CLASSIFY, &Options::default()).unwrap();
+        br_opt::optimize(&mut m);
+        let tabs = vec![b'\t'; 2000];
+        let profiled = reorder_module(&m, &tabs, &ReorderOptions::default()).unwrap();
+        let statict = reorder_module(
+            &m,
+            &tabs,
+            &ReorderOptions {
+                static_heuristic: true,
+                ..ReorderOptions::default()
+            },
+        )
+        .unwrap();
+        let p = run(&profiled.module, &tabs, &VmOptions::default()).unwrap();
+        let s = run(&statict.module, &tabs, &VmOptions::default()).unwrap();
+        assert_eq!(p.output, s.output);
+        assert!(
+            p.stats.insts < s.stats.insts,
+            "profile {} should beat static {}",
+            p.stats.insts,
+            s.stats.insts
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Range algebra (the paper's Definitions 1 and 5–8).
+//!
+//! A *range* is a set of contiguous integer values; range conditions test
+//! whether the branch variable lies in a range. *Explicit* ranges are
+//! checked by conditions; *default* ranges are the minimal set of ranges
+//! covering every value no explicit range covers.
+
+use std::fmt;
+
+/// The paper's Table 1 range forms: which branch pattern tests a range.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Form {
+    /// Form 1: `v == c` — a single value, one `beq`.
+    Single,
+    /// Form 2: `v <= c` — unbounded below, one branch.
+    UnboundedBelow,
+    /// Form 3: `v >= c` — unbounded above, one branch.
+    UnboundedAbove,
+    /// Form 4: `c1 <= v <= c2` — bounded both ends, two branches.
+    Bounded,
+    /// Degenerate: the whole value space (no test needed).
+    Full,
+}
+
+/// An inclusive range of `i64` values (never empty).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Range {
+    /// Lowest contained value.
+    pub lo: i64,
+    /// Highest contained value (`>= lo`).
+    pub hi: i64,
+}
+
+impl fmt::Debug for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lo, self.hi) {
+            (i64::MIN, i64::MAX) => write!(f, "[..]"),
+            (i64::MIN, hi) => write!(f, "[..{hi}]"),
+            (lo, i64::MAX) => write!(f, "[{lo}..]"),
+            (lo, hi) if lo == hi => write!(f, "[{lo}]"),
+            (lo, hi) => write!(f, "[{lo}..{hi}]"),
+        }
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Range {
+    /// `[lo, hi]`; returns `None` when that would be empty (`lo > hi`).
+    pub fn new(lo: i64, hi: i64) -> Option<Range> {
+        (lo <= hi).then_some(Range { lo, hi })
+    }
+
+    /// The single-value range `[c, c]`.
+    pub fn single(c: i64) -> Range {
+        Range { lo: c, hi: c }
+    }
+
+    /// `[.., hi]` — unbounded below.
+    pub fn up_to(hi: i64) -> Range {
+        Range { lo: i64::MIN, hi }
+    }
+
+    /// `[lo, ..]` — unbounded above.
+    pub fn from(lo: i64) -> Range {
+        Range { lo, hi: i64::MAX }
+    }
+
+    /// The full value space.
+    pub fn full() -> Range {
+        Range {
+            lo: i64::MIN,
+            hi: i64::MAX,
+        }
+    }
+
+    /// Whether `v` lies in the range.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether the ranges share any value (Definition 5's negation).
+    pub fn overlaps(&self, other: &Range) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Whether the range is a single value (Table 1, Form 1).
+    pub fn is_single(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Whether the range is bounded on both ends and spans more than one
+    /// value (Table 1, Form 4 — needs two conditional branches).
+    pub fn is_bounded_multi(&self) -> bool {
+        self.lo != i64::MIN && self.hi != i64::MAX && self.lo != self.hi
+    }
+
+    /// Number of conditional branches needed to test the range
+    /// (Table 1: one, except for bounded multi-value ranges).
+    pub fn branch_count(&self) -> u32 {
+        if self.is_bounded_multi() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Which of the paper's Table 1 forms this range takes.
+    pub fn form(&self) -> Form {
+        match (self.lo, self.hi) {
+            (i64::MIN, i64::MAX) => Form::Full,
+            (lo, hi) if lo == hi => Form::Single,
+            (i64::MIN, _) => Form::UnboundedBelow,
+            (_, i64::MAX) => Form::UnboundedAbove,
+            _ => Form::Bounded,
+        }
+    }
+
+    /// Number of values, saturating at `u128::MAX` (never needed above
+    /// the full span).
+    pub fn width(&self) -> u128 {
+        (self.hi as i128 - self.lo as i128 + 1) as u128
+    }
+}
+
+/// Whether `r` overlaps none of `ranges` (the paper's `Nonoverlapping`).
+pub fn nonoverlapping(r: &Range, ranges: &[Range]) -> bool {
+    ranges.iter().all(|other| !r.overlaps(other))
+}
+
+/// The minimal set of ranges covering every value not covered by
+/// `ranges` (the paper's default ranges, Section 5). Input ranges must be
+/// pairwise disjoint; output is sorted ascending.
+pub fn complement_cover(ranges: &[Range]) -> Vec<Range> {
+    let mut sorted: Vec<Range> = ranges.to_vec();
+    sorted.sort_unstable();
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0].hi < w[1].lo),
+        "explicit ranges must be disjoint: {sorted:?}"
+    );
+    let mut out = Vec::new();
+    let mut next_free = i64::MIN;
+    for r in &sorted {
+        if r.lo > next_free {
+            out.push(Range {
+                lo: next_free,
+                hi: r.lo - 1,
+            });
+        }
+        if r.hi == i64::MAX {
+            return out;
+        }
+        next_free = r.hi + 1;
+    }
+    out.push(Range {
+        lo: next_free,
+        hi: i64::MAX,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert_eq!(Range::new(3, 2), None);
+        assert_eq!(Range::new(2, 2), Some(Range::single(2)));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_tight() {
+        let a = Range::new(0, 10).unwrap();
+        let b = Range::new(10, 20).unwrap();
+        let c = Range::new(11, 20).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn forms_follow_table_1() {
+        assert_eq!(Range::single(5).form(), Form::Single);
+        assert_eq!(Range::up_to(5).form(), Form::UnboundedBelow);
+        assert_eq!(Range::from(5).form(), Form::UnboundedAbove);
+        assert_eq!(Range::new(3, 9).unwrap().form(), Form::Bounded);
+        assert_eq!(Range::full().form(), Form::Full);
+    }
+
+    #[test]
+    fn branch_counts_follow_table_1() {
+        assert_eq!(Range::single(5).branch_count(), 1); // Form 1
+        assert_eq!(Range::up_to(5).branch_count(), 1); // Form 2
+        assert_eq!(Range::from(5).branch_count(), 1); // Form 3
+        assert_eq!(Range::new(3, 9).unwrap().branch_count(), 2); // Form 4
+        assert_eq!(Range::full().branch_count(), 1);
+    }
+
+    #[test]
+    fn nonoverlapping_checks_all() {
+        let existing = [Range::single(5), Range::new(10, 20).unwrap()];
+        assert!(nonoverlapping(&Range::new(6, 9).unwrap(), &existing));
+        assert!(!nonoverlapping(&Range::new(4, 5).unwrap(), &existing));
+        assert!(nonoverlapping(&Range::full(), &[]));
+    }
+
+    #[test]
+    fn complement_cover_fills_gaps() {
+        // The paper's Figure 7 shape: [c1], [c2..c3], [c4] leaves three
+        // default ranges (below, between, above).
+        let explicit = [
+            Range::single(10),
+            Range::new(20, 30).unwrap(),
+            Range::single(40),
+        ];
+        let cover = complement_cover(&explicit);
+        assert_eq!(
+            cover,
+            vec![
+                Range::up_to(9),
+                Range::new(11, 19).unwrap(),
+                Range::new(31, 39).unwrap(),
+                Range::from(41),
+            ]
+        );
+    }
+
+    #[test]
+    fn complement_cover_handles_extremes() {
+        assert_eq!(complement_cover(&[Range::full()]), vec![]);
+        assert_eq!(complement_cover(&[]), vec![Range::full()]);
+        assert_eq!(
+            complement_cover(&[Range::up_to(0)]),
+            vec![Range::from(1)]
+        );
+        assert_eq!(
+            complement_cover(&[Range::from(0)]),
+            vec![Range::up_to(-1)]
+        );
+        assert_eq!(
+            complement_cover(&[Range::single(i64::MIN), Range::single(i64::MAX)]),
+            vec![Range::new(i64::MIN + 1, i64::MAX - 1).unwrap()]
+        );
+    }
+
+    #[test]
+    fn adjacent_ranges_leave_no_gap() {
+        let cover = complement_cover(&[Range::new(0, 4).unwrap(), Range::new(5, 9).unwrap()]);
+        assert_eq!(cover, vec![Range::up_to(-1), Range::from(10)]);
+    }
+
+    #[test]
+    fn debug_formats_compactly() {
+        assert_eq!(format!("{:?}", Range::single(7)), "[7]");
+        assert_eq!(format!("{:?}", Range::up_to(7)), "[..7]");
+        assert_eq!(format!("{:?}", Range::from(7)), "[7..]");
+        assert_eq!(format!("{:?}", Range::new(1, 2).unwrap()), "[1..2]");
+        assert_eq!(format!("{:?}", Range::full()), "[..]");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random disjoint range sets.
+    fn disjoint_ranges() -> impl Strategy<Value = Vec<Range>> {
+        prop::collection::vec((-500i64..500, 0i64..20), 0..8).prop_map(|pairs| {
+            let mut out: Vec<Range> = Vec::new();
+            for (lo, w) in pairs {
+                let r = Range::new(lo, lo + w).unwrap();
+                if nonoverlapping(&r, &out) {
+                    out.push(r);
+                }
+            }
+            out
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn complement_partitions_value_space(ranges in disjoint_ranges()) {
+            let cover = complement_cover(&ranges);
+            let mut all: Vec<Range> = ranges.clone();
+            all.extend(cover.iter().copied());
+            all.sort_unstable();
+            // Starts at MIN, ends at MAX, contiguous without overlap.
+            prop_assert_eq!(all[0].lo, i64::MIN);
+            prop_assert_eq!(all.last().unwrap().hi, i64::MAX);
+            for w in all.windows(2) {
+                prop_assert_eq!(w[0].hi.wrapping_add(1), w[1].lo);
+            }
+        }
+
+        #[test]
+        fn complement_is_minimal(ranges in disjoint_ranges()) {
+            // No two cover ranges are adjacent (else they could merge).
+            let cover = complement_cover(&ranges);
+            let mut sorted = cover.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].hi.wrapping_add(1) < w[1].lo);
+            }
+        }
+
+        #[test]
+        fn sample_points_agree(ranges in disjoint_ranges(), v in -600i64..600) {
+            let cover = complement_cover(&ranges);
+            let in_explicit = ranges.iter().any(|r| r.contains(v));
+            let in_cover = cover.iter().any(|r| r.contains(v));
+            prop_assert_ne!(in_explicit, in_cover);
+        }
+    }
+}

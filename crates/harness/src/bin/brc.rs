@@ -1,0 +1,195 @@
+//! `brc` — the branch-reordering compiler driver.
+//!
+//! Compile a mini-C file, optionally profile-and-reorder it, run it, and
+//! report dynamic statistics:
+//!
+//! ```text
+//! brc prog.c --input data.txt                     # compile + run
+//! brc prog.c --input data.txt --reorder           # train on the input itself
+//! brc prog.c --input t.txt --train p.txt --reorder --stats
+//! brc prog.c --set III --dump-ir > prog.ir        # show optimized IR
+//! brc prog.ir --from-ir --input data.txt          # run dumped IR directly
+//! ```
+//!
+//! Flags:
+//! * `--input FILE`  program stdin (default: empty)
+//! * `--train FILE`  training input for `--reorder` (default: the input)
+//! * `--set I|II|III` switch heuristics (default I)
+//! * `--reorder`     run the profile-guided reordering pipeline
+//! * `--common`      also reorder common-successor sequences
+//! * `--no-opt`      skip conventional optimizations
+//! * `--stats`       print dynamic event counts
+//! * `--dump-ir`     print the final IR instead of running
+//! * `--trace N`     print the first N executed blocks to stderr
+
+use std::process::exit;
+
+use br_minic::{compile, HeuristicSet, Options};
+use br_reorder::{reorder_module, ReorderOptions};
+use br_vm::{run, VmOptions};
+
+struct Args {
+    source: String,
+    input: Vec<u8>,
+    train: Option<Vec<u8>>,
+    set: HeuristicSet,
+    reorder: bool,
+    common: bool,
+    no_opt: bool,
+    stats: bool,
+    dump_ir: bool,
+    from_ir: bool,
+    trace: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: brc FILE.c [--input FILE] [--train FILE] [--set I|II|III] \
+         [--reorder] [--common] [--no-opt] [--stats] [--dump-ir] [--from-ir]"
+    );
+    exit(2)
+}
+
+fn read(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("brc: cannot read {path}: {e}");
+        exit(1)
+    })
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let mut source_path = None;
+    let mut input = Vec::new();
+    let mut train = None;
+    let mut set = HeuristicSet::SET_I;
+    let (mut reorder, mut common, mut no_opt, mut stats, mut dump_ir, mut from_ir) =
+        (false, false, false, false, false, false);
+    let mut trace = 0usize;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--input" => input = read(&argv.next().unwrap_or_else(|| usage())),
+            "--train" => train = Some(read(&argv.next().unwrap_or_else(|| usage()))),
+            "--set" => {
+                set = match argv.next().as_deref() {
+                    Some("I") => HeuristicSet::SET_I,
+                    Some("II") => HeuristicSet::SET_II,
+                    Some("III") => HeuristicSet::SET_III,
+                    _ => usage(),
+                }
+            }
+            "--reorder" => reorder = true,
+            "--common" => {
+                reorder = true;
+                common = true;
+            }
+            "--no-opt" => no_opt = true,
+            "--stats" => stats = true,
+            "--dump-ir" => dump_ir = true,
+            "--from-ir" => from_ir = true,
+            "--trace" => {
+                trace = argv
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && source_path.is_none() => {
+                source_path = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = source_path else { usage() };
+    Args {
+        source: String::from_utf8_lossy(&read(&path)).into_owned(),
+        input,
+        train,
+        set,
+        reorder,
+        common,
+        no_opt,
+        stats,
+        dump_ir,
+        from_ir,
+        trace,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut module = if args.from_ir {
+        match br_ir::parse_module(&args.source) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("brc: IR parse error at {e}");
+                exit(1);
+            }
+        }
+    } else {
+        match compile(&args.source, &Options::with_heuristics(args.set)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("brc: compile error at {e}");
+                exit(1);
+            }
+        }
+    };
+    if !args.no_opt && !args.from_ir {
+        br_opt::optimize(&mut module);
+    }
+    if args.reorder {
+        let train = args.train.as_deref().unwrap_or(&args.input);
+        let opts = ReorderOptions {
+            common_successor: args.common,
+            ..ReorderOptions::default()
+        };
+        match reorder_module(&module, train, &opts) {
+            Ok(report) => {
+                if args.stats {
+                    for s in &report.sequences {
+                        eprintln!(
+                            "brc: sequence {:?}/{:?} ({:?}): {:?}",
+                            s.func, s.head, s.kind, s.outcome
+                        );
+                    }
+                }
+                module = report.module;
+            }
+            Err(t) => {
+                eprintln!("brc: training run trapped: {t}");
+                exit(1);
+            }
+        }
+    }
+    if let Err(e) = br_ir::verify_module(&module) {
+        eprintln!("brc: internal error: IR fails verification: {e}");
+        exit(1);
+    }
+    if args.dump_ir {
+        print!("{}", br_ir::print_module(&module));
+        return;
+    }
+    let vm = VmOptions {
+        trace_blocks: args.trace,
+        ..VmOptions::default()
+    };
+    match run(&module, &args.input, &vm) {
+        Ok(out) => {
+            use std::io::Write as _;
+            for line in &out.trace {
+                eprintln!("brc: trace {line}");
+            }
+            std::io::stdout().write_all(&out.output).ok();
+            if args.stats {
+                eprintln!("brc: exit {}", out.exit);
+                eprintln!("brc: {}", out.stats);
+            }
+            exit(out.exit.clamp(0, 255) as i32);
+        }
+        Err(t) => {
+            eprintln!("brc: run-time trap: {t}");
+            exit(1);
+        }
+    }
+}

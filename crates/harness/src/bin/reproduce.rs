@@ -1,0 +1,104 @@
+//! `reproduce` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--quick] <table3|table4|table5|table6|table7|table8|figures|all>
+//! ```
+//!
+//! Tables 4 and 8 span all three heuristic sets; Tables 5–7 and the
+//! figures use the set the paper used for its prediction/time studies.
+
+use br_harness::{csv, tables};
+use br_harness::{run_suite, ExperimentConfig, SuiteResult};
+use br_minic::HeuristicSet;
+
+fn suite(h: HeuristicSet, quick: bool) -> SuiteResult {
+    let config = if quick {
+        ExperimentConfig::quick(h)
+    } else {
+        ExperimentConfig::with_heuristics(h)
+    };
+    match run_suite(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let as_csv = args.iter().any(|a| a == "--csv");
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let all_sets = || -> Vec<SuiteResult> {
+        HeuristicSet::ALL
+            .into_iter()
+            .map(|h| suite(h, quick))
+            .collect()
+    };
+
+    match command {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2()),
+        "table3" | "list" => print!("{}", tables::table3()),
+        "table4" if as_csv => print!("{}", csv::table4(&all_sets())),
+        "table4" => print!("{}", tables::table4(&all_sets())),
+        "table5" if as_csv => print!("{}", csv::table5(&suite(HeuristicSet::SET_II, quick))),
+        "table5" => print!("{}", tables::table5(&suite(HeuristicSet::SET_II, quick))),
+        "table6" if as_csv => print!("{}", csv::table6(&suite(HeuristicSet::SET_II, quick))),
+        "table6" => print!("{}", tables::table6(&suite(HeuristicSet::SET_II, quick))),
+        "table7" if as_csv => print!("{}", csv::table7(&suite(HeuristicSet::SET_II, quick))),
+        "table7" => print!("{}", tables::table7(&suite(HeuristicSet::SET_II, quick))),
+        "table8" if as_csv => print!("{}", csv::table8(&all_sets())),
+        "table8" => print!("{}", tables::table8(&all_sets())),
+        "advisor" => print!("{}", tables::advisor(&all_sets())),
+        "figures" if as_csv => print!("{}", csv::figures(&all_sets())),
+        "figures" => {
+            for s in all_sets() {
+                print!("{}", tables::figures(&s));
+                println!();
+            }
+        }
+        "all" => {
+            print!("{}", tables::table1());
+            println!();
+            print!("{}", tables::table2());
+            println!();
+            print!("{}", tables::table3());
+            println!();
+            let sets = all_sets();
+            print!("{}", tables::table4(&sets));
+            println!();
+            let set2 = sets
+                .iter()
+                .find(|s| s.heuristics.name == "II")
+                .expect("set II present");
+            print!("{}", tables::table5(set2));
+            println!();
+            print!("{}", tables::table6(set2));
+            println!();
+            print!("{}", tables::table7(set2));
+            println!();
+            print!("{}", tables::table8(&sets));
+            println!();
+            print!("{}", tables::advisor(&sets));
+            println!();
+            for s in &sets {
+                print!("{}", tables::figures(s));
+                println!();
+            }
+        }
+        other => {
+            eprintln!(
+                "unknown command `{other}`; expected table1..table8, advisor, figures, or all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

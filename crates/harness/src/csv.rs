@@ -1,0 +1,175 @@
+//! CSV renderers for every table, for machine consumption (plotting the
+//! figures, diffing runs, archiving results).
+
+use std::fmt::Write as _;
+
+use crate::tables;
+use crate::SuiteResult;
+
+fn esc(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Table 4 as CSV (one row per program per heuristic set).
+pub fn table4(suites: &[SuiteResult]) -> String {
+    let mut out = String::from("set,program,original_insts,insts_pct,branches_pct\n");
+    for suite in suites {
+        for r in tables::table4_rows(suite) {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.4},{:.4}",
+                suite.heuristics.name,
+                esc(&r.program),
+                r.original_insts,
+                r.insts_pct,
+                r.branches_pct
+            );
+        }
+    }
+    out
+}
+
+/// Table 5 as CSV.
+pub fn table5(suite: &SuiteResult) -> String {
+    let mut out = String::from("program,original_mispreds,mispred_pct,inst_ratio\n");
+    for r in tables::table5_rows(suite) {
+        let ratio = r.ratio.map(|v| format!("{v:.4}")).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{}",
+            esc(&r.program),
+            r.original_mispreds,
+            r.mispred_pct,
+            ratio
+        );
+    }
+    out
+}
+
+/// Table 6 as CSV. The scheme column holds the counter width in bits
+/// (1 for the (0,1) predictor, 2 for (0,2)), keeping the file free of
+/// quoted fields.
+pub fn table6(suite: &SuiteResult) -> String {
+    let mut out = String::from("scheme_bits,entries,mispred_pct_avg,inst_ratio\n");
+    for r in tables::table6_rows(suite) {
+        let ratio = r.ratio.map(|v| format!("{v:.4}")).unwrap_or_default();
+        let bits = match r.config.scheme {
+            br_vm::Scheme::OneBit => 1,
+            br_vm::Scheme::TwoBit => 2,
+            // gshare rows encode history bits above 100 (e.g. 108 = 8
+            // bits of history over 2-bit counters).
+            br_vm::Scheme::Gshare(h) => 100 + h as u32,
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{}",
+            bits, r.config.entries, r.mispred_pct, ratio
+        );
+    }
+    out
+}
+
+/// Table 7 as CSV.
+pub fn table7(suite: &SuiteResult) -> String {
+    let mut out = String::from("program,ipc_like_pct,ultra_like_pct\n");
+    for r in tables::table7_rows(suite) {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4}",
+            esc(&r.program),
+            r.ipc_pct,
+            r.ultra_pct
+        );
+    }
+    out
+}
+
+/// Table 8 as CSV (one row per program per heuristic set).
+pub fn table8(suites: &[SuiteResult]) -> String {
+    let mut out = String::from(
+        "set,program,static_pct,total_seqs,reordered_pct,avg_len_orig,avg_len_new\n",
+    );
+    for suite in suites {
+        for r in tables::table8_rows(suite) {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{},{:.4},{:.4},{:.4}",
+                suite.heuristics.name,
+                esc(&r.program),
+                r.static_pct,
+                r.total_seqs,
+                r.reordered_pct,
+                r.avg_len_orig,
+                r.avg_len_new
+            );
+        }
+    }
+    out
+}
+
+/// Figure histograms as CSV: `set,which,branches,count`.
+pub fn figures(suites: &[SuiteResult]) -> String {
+    let mut out = String::from("set,which,branches,count\n");
+    for suite in suites {
+        let (orig, new) = tables::figure_histograms(suite);
+        for (len, count) in orig {
+            let _ = writeln!(out, "{},original,{len},{count}", suite.heuristics.name);
+        }
+        for (len, count) in new {
+            let _ = writeln!(out, "{},reordered,{len},{count}", suite.heuristics.name);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_workload, ExperimentConfig};
+    use br_minic::HeuristicSet;
+
+    fn mini_suite() -> SuiteResult {
+        let config = ExperimentConfig::quick(HeuristicSet::SET_I);
+        SuiteResult {
+            heuristics: config.heuristics,
+            programs: vec![
+                run_workload(&br_workloads::by_name("wc").unwrap(), &config).unwrap(),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_outputs_are_well_formed() {
+        let suite = mini_suite();
+        for text in [
+            table4(std::slice::from_ref(&suite)),
+            table5(&suite),
+            table6(&suite),
+            table7(&suite),
+            table8(std::slice::from_ref(&suite)),
+            figures(std::slice::from_ref(&suite)),
+        ] {
+            let mut lines = text.lines();
+            let header = lines.next().expect("header");
+            let cols = header.split(',').count();
+            for line in lines {
+                assert_eq!(
+                    line.split(',').count(),
+                    cols,
+                    "ragged CSV row `{line}` under header `{header}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escaping_quotes_and_commas() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

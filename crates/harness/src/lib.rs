@@ -1,0 +1,309 @@
+//! # br-harness
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation section:
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table 3 (test programs)            | [`tables::table3`] |
+//! | Table 4 (dynamic frequency)        | [`tables::table4`] |
+//! | Table 5 (branch prediction)        | [`tables::table5`] |
+//! | Table 6 (predictor sweep)          | [`tables::table6`] |
+//! | Table 7 (execution times)          | [`tables::table7`] |
+//! | Table 8 (static measurements)      | [`tables::table8`] |
+//! | Figures 11–13 (sequence lengths)   | [`tables::figures`] |
+//!
+//! Everything is built on [`run_suite`], which compiles each of the 17
+//! workloads under one switch-translation heuristic set, profiles on the
+//! training input, reorders, and measures original and reordered
+//! executables on the (different) test input — with the whole predictor
+//! sweep attached to a single run.
+
+pub mod csv;
+pub mod tables;
+
+use br_minic::{compile, HeuristicSet, Options};
+use br_reorder::{reorder_module, ReorderOptions, ReorderReport};
+use br_vm::{run, PredictorConfig, PredictorResult, Scheme, VmOptions};
+use br_workloads::Workload;
+
+use std::fmt;
+
+/// Configuration for one experiment suite.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Switch-translation heuristic set.
+    pub heuristics: HeuristicSet,
+    /// Bytes of training input (profiling run).
+    pub train_size: usize,
+    /// Bytes of test input (measurement runs).
+    pub test_size: usize,
+    /// Predictor configurations simulated on the measurement runs.
+    pub predictors: Vec<PredictorConfig>,
+    /// Use the exhaustive ordering search instead of the greedy one.
+    pub exhaustive: bool,
+}
+
+impl ExperimentConfig {
+    /// Default sizes with the full Table 6 predictor sweep.
+    pub fn with_heuristics(heuristics: HeuristicSet) -> ExperimentConfig {
+        let mut predictors = PredictorConfig::sweep(Scheme::OneBit);
+        predictors.extend(PredictorConfig::sweep(Scheme::TwoBit));
+        ExperimentConfig {
+            heuristics,
+            train_size: 12 * 1024,
+            test_size: 16 * 1024,
+            predictors,
+            exhaustive: false,
+        }
+    }
+
+    /// Smaller inputs for quick runs and tests.
+    pub fn quick(heuristics: HeuristicSet) -> ExperimentConfig {
+        ExperimentConfig {
+            train_size: 3 * 1024,
+            test_size: 4 * 1024,
+            ..ExperimentConfig::with_heuristics(heuristics)
+        }
+    }
+}
+
+/// A measured execution.
+#[derive(Clone, Debug)]
+pub struct MeasuredRun {
+    /// Exit value.
+    pub exit: i64,
+    /// Program output bytes.
+    pub output: Vec<u8>,
+    /// Architectural event counts.
+    pub stats: br_vm::ExecStats,
+    /// One result per configured predictor.
+    pub predictors: Vec<PredictorResult>,
+}
+
+impl MeasuredRun {
+    /// Mispredictions under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration was not simulated.
+    pub fn mispredictions(&self, config: PredictorConfig) -> u64 {
+        self.predictors
+            .iter()
+            .find(|r| r.config == config)
+            .map(|r| r.mispredictions)
+            .expect("predictor config was simulated")
+    }
+}
+
+/// Results for one program under one heuristic set.
+#[derive(Clone, Debug)]
+pub struct ProgramResult {
+    /// Program name.
+    pub name: String,
+    /// Original (pre-reordering) measured run on the test input.
+    pub original: MeasuredRun,
+    /// Reordered measured run on the test input.
+    pub reordered: MeasuredRun,
+    /// Static instruction count before reordering.
+    pub original_static: usize,
+    /// Static instruction count after reordering (and clean-up).
+    pub reordered_static: usize,
+    /// The reordering report (sequence statistics).
+    pub report: ReorderReport,
+}
+
+impl ProgramResult {
+    /// `%` change in dynamic instructions (negative = fewer).
+    pub fn insts_pct(&self) -> f64 {
+        self.reordered.stats.insts_pct_change(&self.original.stats)
+    }
+
+    /// `%` change in conditional branches executed.
+    pub fn branches_pct(&self) -> f64 {
+        self.reordered
+            .stats
+            .branches_pct_change(&self.original.stats)
+    }
+
+    /// `%` change in static instruction count.
+    pub fn static_pct(&self) -> f64 {
+        (self.reordered_static as f64 - self.original_static as f64)
+            / self.original_static as f64
+            * 100.0
+    }
+}
+
+/// An error from the harness: compilation or execution failure, tagged
+/// with the program it occurred in.
+#[derive(Clone, Debug)]
+pub struct HarnessError {
+    /// Program name.
+    pub program: String,
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.program, self.message)
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Run the full two-pass experiment for one program given explicit
+/// source and inputs.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] when the program does not compile or any
+/// run traps.
+pub fn run_program_experiment(
+    name: &str,
+    source: &str,
+    training_input: &[u8],
+    test_input: &[u8],
+    config: &ExperimentConfig,
+) -> Result<ProgramResult, HarnessError> {
+    let err = |message: String| HarnessError {
+        program: name.to_string(),
+        message,
+    };
+    let mut module = compile(source, &Options::with_heuristics(config.heuristics))
+        .map_err(|e| err(format!("compile error: {e}")))?;
+    br_opt::optimize(&mut module);
+    br_ir::verify_module(&module).map_err(|e| err(format!("verify error: {e}")))?;
+
+    let reorder_opts = ReorderOptions {
+        exhaustive: config.exhaustive,
+        ..ReorderOptions::default()
+    };
+    let report = reorder_module(&module, training_input, &reorder_opts)
+        .map_err(|e| err(format!("training run trapped: {e}")))?;
+    br_ir::verify_module(&report.module)
+        .map_err(|e| err(format!("verify error after reordering: {e}")))?;
+
+    let vm = VmOptions {
+        predictors: config.predictors.clone(),
+        ..VmOptions::default()
+    };
+    let measure = |m: &br_ir::Module| -> Result<MeasuredRun, HarnessError> {
+        let out = run(m, test_input, &vm).map_err(|e| err(format!("test run trapped: {e}")))?;
+        Ok(MeasuredRun {
+            exit: out.exit,
+            output: out.output,
+            stats: out.stats,
+            predictors: out.predictor_results,
+        })
+    };
+    let original = measure(&module)?;
+    let reordered = measure(&report.module)?;
+    if original.exit != reordered.exit || original.output != reordered.output {
+        return Err(err("reordering changed observable behaviour".to_string()));
+    }
+    Ok(ProgramResult {
+        name: name.to_string(),
+        original,
+        reordered,
+        original_static: module.static_size(),
+        reordered_static: report.module.static_size(),
+        report,
+    })
+}
+
+/// Run the experiment for one named workload.
+///
+/// # Errors
+///
+/// See [`run_program_experiment`].
+pub fn run_workload(w: &Workload, config: &ExperimentConfig) -> Result<ProgramResult, HarnessError> {
+    run_program_experiment(
+        w.name,
+        w.source,
+        &w.training_input(config.train_size),
+        &w.test_input(config.test_size),
+        config,
+    )
+}
+
+/// Results for all 17 programs under one heuristic set.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// The heuristic set used.
+    pub heuristics: HeuristicSet,
+    /// Per-program results, in the paper's Table 3 order.
+    pub programs: Vec<ProgramResult>,
+}
+
+/// Run the whole 17-program suite under one heuristic set.
+///
+/// # Errors
+///
+/// Fails on the first program that does not compile or traps.
+pub fn run_suite(config: &ExperimentConfig) -> Result<SuiteResult, HarnessError> {
+    let programs = br_workloads::all()
+        .iter()
+        .map(|w| run_workload(w, config))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SuiteResult {
+        heuristics: config.heuristics,
+        programs,
+    })
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+
+    #[test]
+    fn compile_errors_are_tagged_with_the_program() {
+        let err = run_program_experiment(
+            "broken",
+            "int main() { return }",
+            b"",
+            b"",
+            &ExperimentConfig::quick(HeuristicSet::SET_I),
+        )
+        .unwrap_err();
+        assert_eq!(err.program, "broken");
+        assert!(err.message.contains("compile error"), "{err}");
+    }
+
+    #[test]
+    fn training_traps_are_reported() {
+        let err = run_program_experiment(
+            "aborts",
+            "int main() { int c; c = getchar(); if (c == 'x') abort(1); \
+             if (c == 1) putint(1); else if (c == 2) putint(2); return 0; }",
+            b"x",
+            b"y",
+            &ExperimentConfig::quick(HeuristicSet::SET_I),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("training run trapped"), "{err}");
+    }
+
+    #[test]
+    fn test_input_traps_are_reported() {
+        let err = run_program_experiment(
+            "aborts-late",
+            "int main() { int c; c = getchar(); if (c == 'y') abort(1); \
+             if (c == 1) putint(1); else if (c == 2) putint(2); return 0; }",
+            b"x",
+            b"y",
+            &ExperimentConfig::quick(HeuristicSet::SET_I),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("test run trapped"), "{err}");
+    }
+
+    #[test]
+    fn harness_error_displays_program_and_message() {
+        let e = HarnessError {
+            program: "p".into(),
+            message: "m".into(),
+        };
+        assert_eq!(e.to_string(), "p: m");
+    }
+}

@@ -1,0 +1,218 @@
+//! A convenience builder for constructing [`Function`]s.
+
+use crate::function::{Block, BlockId, Function};
+use crate::inst::{BinOp, Callee, Cond, Inst, Operand, Reg, Terminator, UnOp};
+
+/// Incrementally builds a [`Function`].
+///
+/// Blocks are created with [`FuncBuilder::new_block`] and filled in any
+/// order; every block starts with a placeholder `Return` terminator that
+/// callers overwrite with [`FuncBuilder::set_term`].
+///
+/// ```
+/// use br_ir::{FuncBuilder, Operand, Terminator};
+///
+/// let mut b = FuncBuilder::new("const42");
+/// let e = b.entry();
+/// b.set_term(e, Terminator::Return(Some(Operand::Imm(42))));
+/// let f = b.finish();
+/// assert_eq!(f.name, "const42");
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    f: Function,
+}
+
+impl FuncBuilder {
+    /// Start a new function with a fresh entry block.
+    pub fn new(name: impl Into<String>) -> FuncBuilder {
+        FuncBuilder {
+            f: Function::new(name),
+        }
+    }
+
+    /// The entry block's id.
+    pub fn entry(&self) -> BlockId {
+        self.f.entry
+    }
+
+    /// Allocate a fresh empty block (placeholder `Return(None)` terminator).
+    pub fn new_block(&mut self) -> BlockId {
+        self.f.add_block(Block::new(Terminator::Return(None)))
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn new_reg(&mut self) -> Reg {
+        self.f.new_reg()
+    }
+
+    /// Declare which registers receive the parameters.
+    pub fn set_param_regs(&mut self, regs: Vec<Reg>) {
+        self.f.param_regs = regs;
+    }
+
+    /// Reserve `words` of frame space, returning the slot offset.
+    pub fn alloc_frame(&mut self, words: u32) -> u32 {
+        let at = self.f.frame_size;
+        self.f.frame_size += words;
+        at
+    }
+
+    /// Append an arbitrary instruction to `block`.
+    pub fn push(&mut self, block: BlockId, inst: Inst) {
+        self.f.block_mut(block).insts.push(inst);
+    }
+
+    /// Append `dst = src`.
+    pub fn copy(&mut self, block: BlockId, dst: Reg, src: impl Into<Operand>) {
+        self.push(
+            block,
+            Inst::Copy {
+                dst,
+                src: src.into(),
+            },
+        );
+    }
+
+    /// Append `dst = lhs op rhs`.
+    pub fn bin(
+        &mut self,
+        block: BlockId,
+        op: BinOp,
+        dst: Reg,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) {
+        self.push(
+            block,
+            Inst::Bin {
+                op,
+                dst,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+        );
+    }
+
+    /// Append `dst = op src`.
+    pub fn un(&mut self, block: BlockId, op: UnOp, dst: Reg, src: impl Into<Operand>) {
+        self.push(
+            block,
+            Inst::Un {
+                op,
+                dst,
+                src: src.into(),
+            },
+        );
+    }
+
+    /// Append a condition-code-setting compare.
+    pub fn cmp(&mut self, block: BlockId, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.push(
+            block,
+            Inst::Cmp {
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+        );
+    }
+
+    /// Append `dst = memory[base + index]`.
+    pub fn load(
+        &mut self,
+        block: BlockId,
+        dst: Reg,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+    ) {
+        self.push(
+            block,
+            Inst::Load {
+                dst,
+                base: base.into(),
+                index: index.into(),
+            },
+        );
+    }
+
+    /// Append `memory[base + index] = src`.
+    pub fn store(
+        &mut self,
+        block: BlockId,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+        src: impl Into<Operand>,
+    ) {
+        self.push(
+            block,
+            Inst::Store {
+                base: base.into(),
+                index: index.into(),
+                src: src.into(),
+            },
+        );
+    }
+
+    /// Append a call.
+    pub fn call(&mut self, block: BlockId, dst: Option<Reg>, callee: Callee, args: Vec<Operand>) {
+        self.push(block, Inst::Call { dst, callee, args });
+    }
+
+    /// Set `block`'s terminator.
+    pub fn set_term(&mut self, block: BlockId, term: Terminator) {
+        self.f.block_mut(block).term = term;
+    }
+
+    /// Shorthand: `cmp lhs, rhs` then conditional branch.
+    pub fn cmp_branch(
+        &mut self,
+        block: BlockId,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+        cond: Cond,
+        taken: BlockId,
+        not_taken: BlockId,
+    ) {
+        self.cmp(block, lhs, rhs);
+        self.set_term(block, Terminator::branch(cond, taken, not_taken));
+    }
+
+    /// Finish and return the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_a_diamond() {
+        let mut b = FuncBuilder::new("max");
+        let x = b.new_reg();
+        let y = b.new_reg();
+        b.set_param_regs(vec![x, y]);
+        let entry = b.entry();
+        let yes = b.new_block();
+        let no = b.new_block();
+        b.cmp_branch(entry, x, y, Cond::Ge, yes, no);
+        b.set_term(yes, Terminator::Return(Some(Operand::Reg(x))));
+        b.set_term(no, Terminator::Return(Some(Operand::Reg(y))));
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.block(f.entry).insts.len(), 1);
+        assert_eq!(
+            f.block(f.entry).term.successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+    }
+
+    #[test]
+    fn frame_allocation_is_sequential() {
+        let mut b = FuncBuilder::new("frames");
+        assert_eq!(b.alloc_frame(4), 0);
+        assert_eq!(b.alloc_frame(8), 4);
+        assert_eq!(b.finish().frame_size, 12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Control-flow-graph utilities: successor/predecessor maps and traversal
+//! orders over a [`Function`]'s blocks.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::function::{BlockId, Function};
+
+/// Predecessor lists for every block, indexed by block index.
+///
+/// A block appears once per incoming *edge*, so a two-way branch whose
+/// arms both target `b` contributes two entries (this matters to passes
+/// that count or rewrite edges).
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for id in f.block_ids() {
+        for succ in f.block(id).term.successors() {
+            preds[succ.index()].push(id);
+        }
+    }
+    preds
+}
+
+/// The set of blocks reachable from the entry.
+pub fn reachable(f: &Function) -> HashSet<BlockId> {
+    let mut seen = HashSet::new();
+    let mut work = VecDeque::new();
+    work.push_back(f.entry);
+    seen.insert(f.entry);
+    while let Some(b) = work.pop_front() {
+        for s in f.block(b).term.successors() {
+            if seen.insert(s) {
+                work.push_back(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Blocks in postorder of a depth-first search from the entry
+/// (unreachable blocks omitted).
+pub fn postorder(f: &Function) -> Vec<BlockId> {
+    let mut out = Vec::with_capacity(f.blocks.len());
+    let mut seen = vec![false; f.blocks.len()];
+    // Iterative DFS carrying an explicit successor cursor.
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+    seen[f.entry.index()] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = f.block(b).term.successors();
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            out.push(b);
+            stack.pop();
+        }
+    }
+    out
+}
+
+/// Blocks in reverse postorder (entry first; a topological order when the
+/// CFG is acyclic).
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut po = postorder(f);
+    po.reverse();
+    po
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::{Cond, Terminator};
+
+    /// entry → (b1 | b2); b1 → b3; b2 → b3; b3 → ret; b4 unreachable.
+    fn diamond() -> Function {
+        let mut f = Function::new("d");
+        let b3 = f.add_block(Block::new(Terminator::Return(None)));
+        let b1 = f.add_block(Block::new(Terminator::Jump(b3)));
+        let b2 = f.add_block(Block::new(Terminator::Jump(b3)));
+        f.add_block(Block::new(Terminator::Return(None))); // unreachable
+        f.block_mut(f.entry).term = Terminator::branch(Cond::Eq, b1, b2);
+        f
+    }
+
+    #[test]
+    fn predecessors_count_edges() {
+        let f = diamond();
+        let preds = predecessors(&f);
+        assert_eq!(preds[0], Vec::<BlockId>::new());
+        assert_eq!(preds[1].len(), 2); // b3 ← b1, b2
+        assert_eq!(preds[2], vec![BlockId(0)]);
+        assert_eq!(preds[3], vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn parallel_edges_counted_twice() {
+        let mut f = Function::new("p");
+        let t = f.add_block(Block::new(Terminator::Return(None)));
+        f.block_mut(f.entry).term = Terminator::branch(Cond::Lt, t, t);
+        let preds = predecessors(&f);
+        assert_eq!(preds[t.index()], vec![f.entry, f.entry]);
+    }
+
+    #[test]
+    fn reachable_excludes_orphans() {
+        let f = diamond();
+        let r = reachable(&f);
+        assert_eq!(r.len(), 4);
+        assert!(!r.contains(&BlockId(4)));
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_and_topo_sorts() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), 4);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        // join block b3 = BlockId(1) comes after both arms.
+        assert!(pos(BlockId(1)) > pos(BlockId(2)));
+        assert!(pos(BlockId(1)) > pos(BlockId(3)));
+    }
+
+    #[test]
+    fn postorder_handles_cycles() {
+        let mut f = Function::new("loop");
+        let body = f.add_block(Block::new(Terminator::Jump(BlockId(0))));
+        f.block_mut(f.entry).term = Terminator::Jump(body);
+        let po = postorder(&f);
+        assert_eq!(po.len(), 2);
+        assert_eq!(*po.last().unwrap(), f.entry);
+    }
+}

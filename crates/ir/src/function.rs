@@ -1,0 +1,181 @@
+//! Blocks and functions.
+
+use std::fmt;
+
+use crate::inst::{Inst, Operand, Reg, Terminator};
+
+/// Identifier of a basic block within one function.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into the function's block vector.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A basic block: straight-line instructions closed by one terminator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// Straight-line body.
+    pub insts: Vec<Inst>,
+    /// The block's single control transfer.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block ending in `term`.
+    pub fn new(term: Terminator) -> Block {
+        Block {
+            insts: Vec::new(),
+            term,
+        }
+    }
+
+    /// Position of the last `Cmp` instruction, if any.
+    ///
+    /// The condition codes tested by a [`Terminator::Branch`] are those set
+    /// by this compare (compares are the only cc-writing instruction).
+    pub fn last_cmp(&self) -> Option<usize> {
+        self.insts
+            .iter()
+            .rposition(|i| matches!(i, Inst::Cmp { .. }))
+    }
+
+    /// The operands of the final compare, if the block ends with one that
+    /// reaches the terminator (i.e. the branch condition is `lhs ? rhs`).
+    pub fn branch_compare(&self) -> Option<(Operand, Operand)> {
+        let at = self.last_cmp()?;
+        match &self.insts[at] {
+            Inst::Cmp { lhs, rhs } => Some((*lhs, *rhs)),
+            _ => unreachable!("last_cmp returned a non-cmp position"),
+        }
+    }
+}
+
+/// A function: a CFG of [`Block`]s plus register/frame bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Human-readable name (used in diagnostics and printing).
+    pub name: String,
+    /// Blocks, indexed by [`BlockId`]. Unreachable blocks may exist until
+    /// dead-code elimination runs.
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Registers that receive the arguments, in order.
+    pub param_regs: Vec<Reg>,
+    /// Number of virtual registers used (all `Reg.0 <` this).
+    pub num_regs: u32,
+    /// Words of stack frame needed for local arrays.
+    pub frame_size: u32,
+}
+
+impl Function {
+    /// An empty function with a fresh entry block that returns.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            blocks: vec![Block::new(Terminator::Return(None))],
+            entry: BlockId(0),
+            param_regs: Vec::new(),
+            num_regs: 0,
+            frame_size: 0,
+        }
+    }
+
+    /// Immutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Append a new block and return its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(block);
+        id
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// All block ids, in storage order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Total instruction count (static size), counting each terminator as
+    /// one instruction, as a machine branch/jump would be.
+    pub fn static_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, Operand};
+
+    #[test]
+    fn block_last_cmp_and_branch_compare() {
+        let mut b = Block::new(Terminator::branch(Cond::Eq, BlockId(1), BlockId(2)));
+        assert_eq!(b.last_cmp(), None);
+        assert_eq!(b.branch_compare(), None);
+        b.insts.push(Inst::Cmp {
+            lhs: Operand::Reg(Reg(0)),
+            rhs: Operand::Imm(10),
+        });
+        b.insts.push(Inst::Copy {
+            dst: Reg(1),
+            src: Operand::Imm(0),
+        });
+        assert_eq!(b.last_cmp(), Some(0));
+        assert_eq!(
+            b.branch_compare(),
+            Some((Operand::Reg(Reg(0)), Operand::Imm(10)))
+        );
+    }
+
+    #[test]
+    fn function_grows_blocks_and_regs() {
+        let mut f = Function::new("f");
+        assert_eq!(f.entry, BlockId(0));
+        let r0 = f.new_reg();
+        let r1 = f.new_reg();
+        assert_ne!(r0, r1);
+        let b = f.add_block(Block::new(Terminator::Return(None)));
+        assert_eq!(b, BlockId(1));
+        assert_eq!(f.block_ids().count(), 2);
+        assert_eq!(f.static_size(), 2);
+    }
+}

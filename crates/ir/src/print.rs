@@ -1,0 +1,155 @@
+//! Textual IR printing for debugging and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::function::Function;
+use crate::inst::{Callee, Inst, Terminator};
+use crate::module::Module;
+
+/// Render one function as readable assembly-like text.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.param_regs.iter().map(|r| r.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "func {}({}) regs={} frame={} {{",
+        f.name,
+        params.join(", "),
+        f.num_regs,
+        f.frame_size
+    );
+    for id in f.block_ids() {
+        let b = f.block(id);
+        let entry_mark = if id == f.entry { " ; entry" } else { "" };
+        let _ = writeln!(out, "{id}:{entry_mark}");
+        for inst in &b.insts {
+            let _ = writeln!(out, "    {}", print_inst(inst));
+        }
+        let _ = writeln!(out, "    {}", print_term(&b.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn print_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Copy { dst, src } => format!("mov {dst}, {src}"),
+        Inst::Bin { op, dst, lhs, rhs } => {
+            format!("{} {dst}, {lhs}, {rhs}", op.mnemonic())
+        }
+        Inst::Un { op, dst, src } => format!("{} {dst}, {src}", op.mnemonic()),
+        Inst::Cmp { lhs, rhs } => format!("cmp {lhs}, {rhs}"),
+        Inst::Load { dst, base, index } => format!("ld {dst}, [{base}+{index}]"),
+        Inst::Store { base, index, src } => format!("st [{base}+{index}], {src}"),
+        Inst::FrameAddr { dst, offset } => format!("lea {dst}, frame+{offset}"),
+        Inst::Call { dst, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let callee = match callee {
+                Callee::Func(id) => format!("{id:?}"),
+                Callee::Intrinsic(i) => i.name().to_string(),
+            };
+            match dst {
+                Some(d) => format!("call {d}, {callee}({})", args.join(", ")),
+                None => format!("call {callee}({})", args.join(", ")),
+            }
+        }
+        Inst::ProfileRanges { seq, var } => format!("profile {seq:?}, {var}"),
+        Inst::ProfileOutcomes { seq, conds } => {
+            let cs: Vec<String> = conds
+                .iter()
+                .map(|(l, r, c)| format!("{l} {} {r}", c.mnemonic()))
+                .collect();
+            format!("profile-outcomes {seq:?} [{}]", cs.join(", "))
+        }
+    }
+}
+
+fn print_term(term: &Terminator) -> String {
+    match term {
+        Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } => format!("{} {taken} else {not_taken}", cond.mnemonic()),
+        Terminator::Jump(t) => format!("jmp {t}"),
+        Terminator::IndirectJump { index, targets } => {
+            let ts: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+            format!("ijmp {index}, [{}]", ts.join(", "))
+        }
+        Terminator::Return(Some(v)) => format!("ret {v}"),
+        Terminator::Return(None) => "ret".to_string(),
+    }
+}
+
+/// Render a whole module. The output is complete enough to be read back
+/// by [`crate::parse_module`] (globals with initializers, profile plans,
+/// and the `main` designation included).
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let init: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "global {} @{} size={} init=[{}]",
+            g.name,
+            g.addr,
+            g.size,
+            init.join(", ")
+        );
+    }
+    for (i, plan) in m.profile_plans.iter().enumerate() {
+        match &plan.kind {
+            crate::module::PlanKind::Ranges(ranges) => {
+                let rs: Vec<String> = ranges
+                    .iter()
+                    .map(|(lo, hi)| format!("{lo}..{hi}"))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "plan seq{i} func={} head={} ranges=[{}]",
+                    plan.func.0, plan.head.0, rs.join(", ")
+                );
+            }
+            crate::module::PlanKind::Outcomes(n) => {
+                let _ = writeln!(
+                    out,
+                    "plan seq{i} func={} head={} outcomes={n}",
+                    plan.func.0, plan.head.0
+                );
+            }
+        }
+    }
+    if let Some(main) = m.main {
+        let _ = writeln!(out, "main {main:?}");
+    }
+    for f in &m.functions {
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::{Cond, Operand, Reg};
+
+    #[test]
+    fn printed_function_mentions_every_block_and_inst() {
+        let mut b = FuncBuilder::new("show");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let t = b.new_block();
+        let f_ = b.new_block();
+        b.cmp_branch(e, x, 5i64, Cond::Eq, t, f_);
+        b.set_term(t, Terminator::Return(Some(Operand::Imm(1))));
+        b.set_term(f_, Terminator::Return(Some(Operand::Reg(Reg(0)))));
+        let text = print_function(&b.finish());
+        assert!(text.contains("func show(r0)"));
+        assert!(text.contains("cmp r0, 5"));
+        assert!(text.contains("beq b1 else b2"));
+        assert!(text.contains("ret 1"));
+        assert!(text.contains("ret r0"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Abstract syntax tree.
+
+use crate::token::Pos;
+
+/// A whole translation unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub functions: Vec<FunctionDecl>,
+}
+
+/// A file-scope variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDecl {
+    pub name: String,
+    /// `None` for a scalar, `Some(n)` for `int name[n]`.
+    pub array_size: Option<u32>,
+    /// Optional scalar initializer (constant).
+    pub init: Option<i64>,
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+    pub pos: Pos,
+}
+
+/// A block-scope declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocalDecl {
+    pub name: String,
+    pub array_size: Option<u32>,
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    Decl(LocalDecl),
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+        pos: Pos,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+        pos: Pos,
+    },
+    For {
+        init: Option<Expr>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    Switch {
+        scrutinee: Expr,
+        arms: Vec<SwitchArm>,
+        pos: Pos,
+    },
+    Break(Pos),
+    Continue(Pos),
+    Return(Option<Expr>, Pos),
+    Block(Vec<Stmt>),
+    /// Empty statement (`;`).
+    Empty,
+}
+
+/// One `case`/`default` arm of a switch (C semantics: bodies fall
+/// through into the following arm unless they `break`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwitchArm {
+    /// `None` for `default:`.
+    pub value: Option<i64>,
+    pub body: Vec<Stmt>,
+    pub pos: Pos,
+}
+
+/// Binary operators (short-circuit forms are separate variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogicalAnd,
+    LogicalOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    LogicalNot,
+    BitNot,
+}
+
+/// Compound-assignment operators (`x op= e`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Int(i64, Pos),
+    Var(String, Pos),
+    Index {
+        array: String,
+        index: Box<Expr>,
+        pos: Pos,
+    },
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+        pos: Pos,
+    },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then_val: Box<Expr>,
+        else_val: Box<Expr>,
+        pos: Pos,
+    },
+    Assign {
+        op: AssignOp,
+        target: Box<Expr>,
+        value: Box<Expr>,
+        pos: Pos,
+    },
+    /// `++x`, `--x`, `x++`, `x--`.
+    IncDec {
+        target: Box<Expr>,
+        /// `+1` or `-1`.
+        increment: bool,
+        /// Prefix (value after update) vs postfix (value before).
+        prefix: bool,
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of the expression.
+    #[allow(dead_code)] // kept for diagnostics symmetry with statements
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index { pos: p, .. }
+            | Expr::Call { pos: p, .. }
+            | Expr::Unary { pos: p, .. }
+            | Expr::Binary { pos: p, .. }
+            | Expr::Ternary { pos: p, .. }
+            | Expr::Assign { pos: p, .. }
+            | Expr::IncDec { pos: p, .. } => *p,
+        }
+    }
+}

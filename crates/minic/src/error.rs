@@ -1,0 +1,32 @@
+//! Compilation errors.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// A lexical, syntactic, or semantic error with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError {
+    /// Position the error was detected at.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Construct an error at `pos`.
+    pub fn new(pos: Pos, message: impl Into<String>) -> CompileError {
+        CompileError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,376 @@
+//! The lexer.
+
+use crate::error::CompileError;
+use crate::token::{Pos, Tok, Token};
+
+/// Tokenize mini-C source. Handles `//` and `/* */` comments, decimal and
+/// hexadecimal integers, and character literals with the usual escapes.
+///
+/// # Errors
+///
+/// Returns an error for unterminated comments/char literals and stray
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer {
+        chars: source.chars().collect(),
+        at: 0,
+        pos: Pos { line: 1, col: 1 },
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    at: usize,
+    pos: Pos,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.pos, msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_digit() {
+                self.number()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.ident_or_keyword()
+            } else if c == '\'' {
+                self.char_literal()?
+            } else {
+                self.operator()?
+            };
+            out.push(Token { tok, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(c), _) if c.is_whitespace() => {
+                    self.bump();
+                }
+                (Some('/'), Some('/')) => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                (Some('/'), Some('*')) => {
+                    let open = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => {
+                                return Err(CompileError::new(open, "unterminated comment"));
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, CompileError> {
+        let mut text = String::new();
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if text.is_empty() {
+                return Err(self.err("hex literal needs digits"));
+            }
+            return i64::from_str_radix(&text, 16)
+                .map(Tok::Int)
+                .map_err(|_| self.err("hex literal out of range"));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| self.err("integer literal out of range"))
+    }
+
+    fn ident_or_keyword(&mut self) -> Tok {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match name.as_str() {
+            "int" => Tok::KwInt,
+            "char" => Tok::KwChar,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "do" => Tok::KwDo,
+            "for" => Tok::KwFor,
+            "switch" => Tok::KwSwitch,
+            "case" => Tok::KwCase,
+            "default" => Tok::KwDefault,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "return" => Tok::KwReturn,
+            _ => Tok::Ident(name),
+        }
+    }
+
+    fn char_literal(&mut self) -> Result<Tok, CompileError> {
+        self.bump(); // opening quote
+        let c = self.bump().ok_or_else(|| self.err("unterminated character literal"))?;
+        let value = if c == '\\' {
+            let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+            match esc {
+                'n' => 10,
+                't' => 9,
+                'r' => 13,
+                '0' => 0,
+                '\\' => 92,
+                '\'' => 39,
+                '"' => 34,
+                other => return Err(self.err(format!("unknown escape \\{other}"))),
+            }
+        } else if c == '\'' {
+            return Err(self.err("empty character literal"));
+        } else {
+            c as i64
+        };
+        if self.bump() != Some('\'') {
+            return Err(self.err("unterminated character literal"));
+        }
+        Ok(Tok::Int(value))
+    }
+
+    fn operator(&mut self) -> Result<Tok, CompileError> {
+        let c = self.bump().expect("caller checked peek");
+        let two = |l: &mut Lexer, next: char, yes: Tok, no: Tok| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            ':' => Tok::Colon,
+            '?' => Tok::Question,
+            '~' => Tok::Tilde,
+            '^' => Tok::Xor,
+            '+' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::PlusAssign
+                }
+                Some('+') => {
+                    self.bump();
+                    Tok::PlusPlus
+                }
+                _ => Tok::Plus,
+            },
+            '-' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::MinusAssign
+                }
+                Some('-') => {
+                    self.bump();
+                    Tok::MinusMinus
+                }
+                _ => Tok::Minus,
+            },
+            '*' => two(self, '=', Tok::StarAssign, Tok::Star),
+            '/' => two(self, '=', Tok::SlashAssign, Tok::Slash),
+            '%' => two(self, '=', Tok::PercentAssign, Tok::Percent),
+            '=' => two(self, '=', Tok::EqEq, Tok::Assign),
+            '!' => two(self, '=', Tok::NotEq, Tok::Not),
+            '|' => two(self, '|', Tok::OrOr, Tok::Or),
+            '&' => two(self, '&', Tok::AndAnd, Tok::And),
+            '<' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::Le
+                }
+                Some('<') => {
+                    self.bump();
+                    Tok::Shl
+                }
+                _ => Tok::Lt,
+            },
+            '>' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::Ge
+                }
+                Some('>') => {
+                    self.bump();
+                    Tok::Shr
+                }
+                _ => Tok::Gt,
+            },
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo while whiley"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwWhile,
+                Tok::Ident("whiley".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_and_hex() {
+        assert_eq!(
+            toks("0 42 0x2A"),
+            vec![Tok::Int(0), Tok::Int(42), Tok::Int(42), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn char_literals_and_escapes() {
+        assert_eq!(
+            toks(r"'a' '\n' '\t' '\\' '\'' ' '"),
+            vec![
+                Tok::Int(97),
+                Tok::Int(10),
+                Tok::Int(9),
+                Tok::Int(92),
+                Tok::Int(39),
+                Tok::Int(32),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_lex_greedily() {
+        assert_eq!(
+            toks("<= >= == != && || << >> += -="),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::PlusAssign,
+                Tok::MinusAssign,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n b /* block\nstill */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos.line, 1);
+        assert_eq!(ts[1].pos.line, 2);
+        assert_eq!(ts[1].pos.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        let e = lex("int $x;").unwrap_err();
+        assert!(e.message.contains('$'));
+    }
+}

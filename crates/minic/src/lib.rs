@@ -1,0 +1,80 @@
+//! # br-minic
+//!
+//! A from-scratch front end for a C subset ("mini-C"), generating
+//! [`br_ir`] modules. It stands in for the paper's pcc-derived C front
+//! end: the benchmark kernels are written in mini-C, and the IR it emits
+//! has exactly the shapes the branch-reordering transformation works on —
+//! if/else chains, short-circuit `&&`/`||` chains, and `switch`
+//! statements translated under the paper's Table 2 heuristic sets
+//! ([`HeuristicSet`]).
+//!
+//! ## The language
+//!
+//! * Types: `int` (64-bit signed) and one-dimensional `int` arrays
+//!   (`char` is accepted as a synonym for `int`).
+//! * Declarations: global scalars/arrays, functions, block-scoped locals.
+//! * Statements: `if`/`else`, `while`, `do`-`while`, `for`, `switch` with
+//!   fall-through and `default`, `break`, `continue`, `return`, blocks,
+//!   expression statements.
+//! * Expressions: assignment (`=`, `+=`, `-=`, `*=`, `/=`, `%=`),
+//!   ternary `?:`, `||`, `&&`, bitwise `| ^ &`, equality, relational,
+//!   shifts, additive, multiplicative, unary `- ! ~`, array indexing,
+//!   calls, integer and character literals.
+//! * Built-ins: `getchar()`, `putchar(c)`, `putint(n)`, `abort(code)`.
+//!
+//! ```
+//! use br_minic::{compile, Options};
+//!
+//! let m = compile(
+//!     "int main() { int i; i = 0; while (i < 3) { putint(i); i = i + 1; } return i; }",
+//!     &Options::default(),
+//! ).expect("compiles");
+//! let out = br_vm::run(&m, b"", &br_vm::VmOptions::default()).expect("runs");
+//! assert_eq!(out.exit, 3);
+//! assert_eq!(out.output, b"0\n1\n2\n");
+//! ```
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod sema;
+pub mod switchgen;
+mod token;
+
+pub use error::CompileError;
+pub use switchgen::HeuristicSet;
+
+use br_ir::Module;
+
+/// Front-end configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Options {
+    /// How `switch` statements are translated (the paper's Table 2).
+    pub heuristics: HeuristicSet,
+}
+
+impl Options {
+    /// Options with the given switch heuristic set.
+    pub fn with_heuristics(heuristics: HeuristicSet) -> Options {
+        Options { heuristics }
+    }
+}
+
+/// Compile mini-C source text into an IR [`Module`].
+///
+/// The module has `main` designated (compilation fails without a
+/// zero-parameter `main`). No optimization is applied; run
+/// `br_opt::optimize` for the paper's "conventional optimizations".
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] carrying a line/column position for lexical,
+/// syntactic, and semantic errors.
+pub fn compile(source: &str, options: &Options) -> Result<Module, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(&tokens)?;
+    let checked = sema::check(&program)?;
+    Ok(lower::lower(&checked, options))
+}

@@ -1,0 +1,671 @@
+//! Lowering the checked AST to [`br_ir`].
+//!
+//! Scalars (parameters and scalar locals) live in dedicated virtual
+//! registers for their whole lifetime, as register-allocated variables
+//! would on SPARC — this is what makes the branch variable of a
+//! comparison sequence a stable register, the shape the reordering
+//! transformation detects. Local arrays live in the frame; globals in the
+//! module's data section.
+
+use br_ir::{
+    BinOp, BlockId, Callee, Cond, FuncBuilder, FuncId, Inst, Module, Operand, Reg, Terminator,
+    UnOp,
+};
+
+use crate::ast::{AssignOp, BinaryOp, UnaryOp};
+use crate::sema::{CExpr, CStmt, CTarget, CalleeRef, CheckedFunction, CheckedProgram, VarRef};
+use crate::switchgen::Strategy;
+use crate::Options;
+
+/// Lower a checked program into an IR module with `main` designated.
+pub fn lower(program: &CheckedProgram, options: &Options) -> Module {
+    let mut module = Module::new();
+    let mut global_addrs = Vec::with_capacity(program.globals.len());
+    for g in &program.globals {
+        let (init, size) = match g.array_size {
+            None => (vec![g.init], 1),
+            Some(n) => (Vec::new(), n),
+        };
+        global_addrs.push(module.add_global(g.name.clone(), init, size));
+    }
+    for (i, f) in program.functions.iter().enumerate() {
+        let lowered = FnLowerer::new(f, &global_addrs, options).run(f);
+        let id = module.add_function(lowered);
+        debug_assert_eq!(id, FuncId(i as u32));
+    }
+    module.main = Some(FuncId(program.main as u32));
+    module
+}
+
+struct FnLowerer<'a> {
+    b: FuncBuilder,
+    cur: BlockId,
+    /// Dedicated register of each scalar slot.
+    scalar_regs: Vec<Reg>,
+    /// Frame offset of each local array slot.
+    array_offsets: Vec<u32>,
+    global_addrs: &'a [i64],
+    /// Innermost-last stack of (break target, continue target).
+    loop_stack: Vec<(BlockId, Option<BlockId>)>,
+    options: &'a Options,
+}
+
+impl<'a> FnLowerer<'a> {
+    fn new(f: &CheckedFunction, global_addrs: &'a [i64], options: &'a Options) -> FnLowerer<'a> {
+        let mut b = FuncBuilder::new(f.name.clone());
+        let scalar_regs: Vec<Reg> = (0..f.num_scalars).map(|_| b.new_reg()).collect();
+        b.set_param_regs(scalar_regs[..f.num_params].to_vec());
+        let array_offsets = f.array_sizes.iter().map(|&n| b.alloc_frame(n)).collect();
+        let cur = b.entry();
+        FnLowerer {
+            b,
+            cur,
+            scalar_regs,
+            array_offsets,
+            global_addrs,
+            loop_stack: Vec::new(),
+            options,
+        }
+    }
+
+    fn run(mut self, f: &CheckedFunction) -> br_ir::Function {
+        self.stmts(&f.body);
+        // Implicit `return 0` at the end of the body.
+        self.b
+            .set_term(self.cur, Terminator::Return(Some(Operand::Imm(0))));
+        self.b.finish()
+    }
+
+    /// Continue emission in `block`.
+    fn start(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    /// Finish the current block with `term` and continue in `next`.
+    fn seal(&mut self, term: Terminator, next: BlockId) {
+        self.b.set_term(self.cur, term);
+        self.start(next);
+    }
+
+    fn temp(&mut self) -> Reg {
+        self.b.new_reg()
+    }
+
+    // ----- statements -----
+
+    fn stmts(&mut self, stmts: &[CStmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &CStmt) {
+        match s {
+            CStmt::Expr(e) => {
+                self.expr(e);
+            }
+            CStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let then_b = self.b.new_block();
+                let end_b = self.b.new_block();
+                let else_b = if else_branch.is_empty() {
+                    end_b
+                } else {
+                    self.b.new_block()
+                };
+                self.cond(cond, then_b, else_b);
+                self.start(then_b);
+                self.stmts(then_branch);
+                self.seal(Terminator::Jump(end_b), end_b);
+                if !else_branch.is_empty() {
+                    self.start(else_b);
+                    self.stmts(else_branch);
+                    self.seal(Terminator::Jump(end_b), end_b);
+                }
+                self.start(end_b);
+            }
+            CStmt::While { cond, body } => {
+                let head = self.b.new_block();
+                let body_b = self.b.new_block();
+                let end = self.b.new_block();
+                self.seal(Terminator::Jump(head), head);
+                self.cond(cond, body_b, end);
+                self.start(body_b);
+                self.loop_stack.push((end, Some(head)));
+                self.stmts(body);
+                self.loop_stack.pop();
+                self.seal(Terminator::Jump(head), end);
+            }
+            CStmt::DoWhile { body, cond } => {
+                let body_b = self.b.new_block();
+                let cond_b = self.b.new_block();
+                let end = self.b.new_block();
+                self.seal(Terminator::Jump(body_b), body_b);
+                self.loop_stack.push((end, Some(cond_b)));
+                self.stmts(body);
+                self.loop_stack.pop();
+                self.seal(Terminator::Jump(cond_b), cond_b);
+                self.cond(cond, body_b, end);
+                self.start(end);
+            }
+            CStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(e) = init {
+                    self.expr(e);
+                }
+                let head = self.b.new_block();
+                let body_b = self.b.new_block();
+                let step_b = self.b.new_block();
+                let end = self.b.new_block();
+                self.seal(Terminator::Jump(head), head);
+                match cond {
+                    Some(c) => self.cond(c, body_b, end),
+                    None => self.seal(Terminator::Jump(body_b), body_b),
+                }
+                self.start(body_b);
+                self.loop_stack.push((end, Some(step_b)));
+                self.stmts(body);
+                self.loop_stack.pop();
+                self.seal(Terminator::Jump(step_b), step_b);
+                if let Some(e) = step {
+                    self.expr(e);
+                }
+                self.seal(Terminator::Jump(head), end);
+            }
+            CStmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                arm_bodies,
+            } => self.switch(scrutinee, cases, *default, arm_bodies),
+            CStmt::Break => {
+                let (target, _) = *self.loop_stack.last().expect("sema checked break");
+                let dead = self.b.new_block();
+                self.seal(Terminator::Jump(target), dead);
+            }
+            CStmt::Continue => {
+                let target = self
+                    .loop_stack
+                    .iter()
+                    .rev()
+                    .find_map(|(_, c)| *c)
+                    .expect("sema checked continue");
+                let dead = self.b.new_block();
+                self.seal(Terminator::Jump(target), dead);
+            }
+            CStmt::Return(v) => {
+                let op = match v {
+                    Some(e) => self.expr(e),
+                    None => Operand::Imm(0),
+                };
+                let dead = self.b.new_block();
+                self.seal(Terminator::Return(Some(op)), dead);
+            }
+        }
+    }
+
+    fn switch(
+        &mut self,
+        scrutinee: &CExpr,
+        cases: &[(i64, usize)],
+        default: Option<usize>,
+        arm_bodies: &[Vec<CStmt>],
+    ) {
+        let v = self.expr_in_reg(scrutinee);
+        let end = self.b.new_block();
+        // One entry block per arm; bodies fall through to the next arm.
+        let arm_blocks: Vec<BlockId> = arm_bodies.iter().map(|_| self.b.new_block()).collect();
+        let default_block = default.map(|i| arm_blocks[i]).unwrap_or(end);
+
+        // Emit the dispatch in the current position.
+        if cases.is_empty() {
+            self.seal(Terminator::Jump(default_block), end);
+        } else {
+            let n = cases.len() as u64;
+            let min = cases.iter().map(|&(v, _)| v).min().expect("nonempty");
+            let max = cases.iter().map(|&(v, _)| v).max().expect("nonempty");
+            let span = (max as i128 - min as i128 + 1) as u128;
+            match self.options.heuristics.choose(n, span) {
+                Strategy::LinearSearch => {
+                    self.linear_dispatch(v, cases, &arm_blocks, default_block);
+                }
+                Strategy::BinarySearch => {
+                    let mut sorted = cases.to_vec();
+                    sorted.sort_unstable_by_key(|&(val, _)| val);
+                    self.binary_dispatch(v, &sorted, &arm_blocks, default_block);
+                }
+                Strategy::IndirectJump => {
+                    self.indirect_dispatch(v, cases, min, max, &arm_blocks, default_block);
+                }
+            }
+        }
+
+        // Emit the arm bodies with C fall-through.
+        self.loop_stack.push((end, None));
+        for (i, body) in arm_bodies.iter().enumerate() {
+            self.start(arm_blocks[i]);
+            self.stmts(body);
+            let next = arm_blocks.get(i + 1).copied().unwrap_or(end);
+            self.seal(Terminator::Jump(next), end);
+        }
+        self.loop_stack.pop();
+        self.start(end);
+    }
+
+    /// `cmp v, c; beq arm` chain in source order — the shape the paper's
+    /// reorderable sequences come from.
+    fn linear_dispatch(
+        &mut self,
+        v: Reg,
+        cases: &[(i64, usize)],
+        arm_blocks: &[BlockId],
+        default_block: BlockId,
+    ) {
+        for (i, &(val, arm)) in cases.iter().enumerate() {
+            let next = if i + 1 == cases.len() {
+                default_block
+            } else {
+                self.b.new_block()
+            };
+            self.b.cmp(self.cur, v, val);
+            self.seal(Terminator::branch(Cond::Eq, arm_blocks[arm], next), next);
+        }
+        // `seal` left us positioned at default_block's id only notionally;
+        // dispatch emission ends here and arms are emitted by the caller.
+    }
+
+    /// Balanced compare tree over sorted cases; leaves of up to 3 cases
+    /// are linear chains. Inner nodes share one compare between the
+    /// equality and direction branches, as SPARC codegen would.
+    fn binary_dispatch(
+        &mut self,
+        v: Reg,
+        sorted: &[(i64, usize)],
+        arm_blocks: &[BlockId],
+        default_block: BlockId,
+    ) {
+        if sorted.len() <= 3 {
+            self.linear_dispatch(v, sorted, arm_blocks, default_block);
+            return;
+        }
+        let mid = sorted.len() / 2;
+        let (mid_val, mid_arm) = sorted[mid];
+        let left = self.b.new_block();
+        let right = self.b.new_block();
+        let dir = self.b.new_block();
+        // cmp v, mid: beq arm(mid); blt left-half; else right-half.
+        self.b.cmp(self.cur, v, mid_val);
+        self.seal(
+            Terminator::branch(Cond::Eq, arm_blocks[mid_arm], dir),
+            dir,
+        );
+        // `dir` reuses the condition codes of the compare above.
+        self.seal(Terminator::branch(Cond::Lt, left, right), left);
+        self.binary_dispatch(v, &sorted[..mid], arm_blocks, default_block);
+        self.start(right);
+        self.binary_dispatch(v, &sorted[mid + 1..], arm_blocks, default_block);
+    }
+
+    /// Bounds checks plus a dense jump table (holes go to the default).
+    fn indirect_dispatch(
+        &mut self,
+        v: Reg,
+        cases: &[(i64, usize)],
+        min: i64,
+        max: i64,
+        arm_blocks: &[BlockId],
+        default_block: BlockId,
+    ) {
+        let hi_check = self.b.new_block();
+        let table_b = self.b.new_block();
+        self.b.cmp(self.cur, v, min);
+        self.seal(
+            Terminator::branch(Cond::Lt, default_block, hi_check),
+            hi_check,
+        );
+        self.b.cmp(self.cur, v, max);
+        self.seal(
+            Terminator::branch(Cond::Gt, default_block, table_b),
+            table_b,
+        );
+        let idx = self.temp();
+        self.b.bin(self.cur, BinOp::Sub, idx, v, min);
+        let span = (max - min + 1) as usize;
+        let mut targets = vec![default_block; span];
+        for &(val, arm) in cases {
+            targets[(val - min) as usize] = arm_blocks[arm];
+        }
+        let dead = self.b.new_block();
+        self.seal(Terminator::IndirectJump { index: idx, targets }, dead);
+    }
+
+    // ----- conditions (control context) -----
+
+    /// Lower `e` as a condition: transfer to `then_b` if nonzero, else to
+    /// `else_b`. Short-circuit forms become branch chains; relational
+    /// forms become a compare and branch directly.
+    fn cond(&mut self, e: &CExpr, then_b: BlockId, else_b: BlockId) {
+        match e {
+            CExpr::Int(v) => {
+                let target = if *v != 0 { then_b } else { else_b };
+                let dead = self.b.new_block();
+                self.seal(Terminator::Jump(target), dead);
+            }
+            CExpr::Unary {
+                op: UnaryOp::LogicalNot,
+                operand,
+            } => self.cond(operand, else_b, then_b),
+            CExpr::Binary { op, lhs, rhs } => match relational_cond(*op) {
+                Some(cc) => {
+                    let a = self.expr(lhs);
+                    let b2 = self.expr(rhs);
+                    self.b.cmp(self.cur, a, b2);
+                    let dead = self.b.new_block();
+                    self.seal(Terminator::branch(cc, then_b, else_b), dead);
+                }
+                None => match op {
+                    BinaryOp::LogicalAnd => {
+                        let mid = self.b.new_block();
+                        self.cond(lhs, mid, else_b);
+                        self.start(mid);
+                        self.cond(rhs, then_b, else_b);
+                    }
+                    BinaryOp::LogicalOr => {
+                        let mid = self.b.new_block();
+                        self.cond(lhs, then_b, mid);
+                        self.start(mid);
+                        self.cond(rhs, then_b, else_b);
+                    }
+                    _ => self.truthiness(e, then_b, else_b),
+                },
+            },
+            _ => self.truthiness(e, then_b, else_b),
+        }
+    }
+
+    /// Generic `e != 0` test.
+    fn truthiness(&mut self, e: &CExpr, then_b: BlockId, else_b: BlockId) {
+        let v = self.expr(e);
+        self.b.cmp(self.cur, v, 0i64);
+        let dead = self.b.new_block();
+        self.seal(Terminator::branch(Cond::Ne, then_b, else_b), dead);
+    }
+
+    // ----- expressions (value context) -----
+
+    /// Lower `e`, materializing its value into a register.
+    fn expr_in_reg(&mut self, e: &CExpr) -> Reg {
+        match self.expr(e) {
+            Operand::Reg(r) => r,
+            imm => {
+                let t = self.temp();
+                self.b.copy(self.cur, t, imm);
+                t
+            }
+        }
+    }
+
+    /// Lower `e` to an operand.
+    fn expr(&mut self, e: &CExpr) -> Operand {
+        match e {
+            CExpr::Int(v) => Operand::Imm(*v),
+            CExpr::Var(r) => self.read_var(*r),
+            CExpr::Index { array, index } => {
+                let idx = self.expr(index);
+                let base = self.array_base(*array);
+                let dst = self.temp();
+                self.b.load(self.cur, dst, base, idx);
+                Operand::Reg(dst)
+            }
+            CExpr::Call { callee, args } => {
+                let arg_ops: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+                let dst = self.temp();
+                let callee = match callee {
+                    CalleeRef::Func(i) => Callee::Func(FuncId(*i as u32)),
+                    CalleeRef::Intrinsic(i) => Callee::Intrinsic(*i),
+                };
+                self.b.call(self.cur, Some(dst), callee, arg_ops);
+                Operand::Reg(dst)
+            }
+            CExpr::Unary { op, operand } => match op {
+                UnaryOp::Neg => {
+                    let v = self.expr(operand);
+                    let dst = self.temp();
+                    self.b.un(self.cur, UnOp::Neg, dst, v);
+                    Operand::Reg(dst)
+                }
+                UnaryOp::BitNot => {
+                    let v = self.expr(operand);
+                    let dst = self.temp();
+                    self.b.un(self.cur, UnOp::Not, dst, v);
+                    Operand::Reg(dst)
+                }
+                UnaryOp::LogicalNot => self.materialize_bool(e),
+            },
+            CExpr::Binary { op, lhs, rhs } => {
+                if let Some(bin) = arith_op(*op) {
+                    let a = self.expr(lhs);
+                    let b2 = self.expr(rhs);
+                    let dst = self.temp();
+                    self.b.bin(self.cur, bin, dst, a, b2);
+                    Operand::Reg(dst)
+                } else {
+                    // Relational or logical in value context: 0/1.
+                    self.materialize_bool(e)
+                }
+            }
+            CExpr::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let dst = self.temp();
+                let then_b = self.b.new_block();
+                let else_b = self.b.new_block();
+                let end = self.b.new_block();
+                self.cond(cond, then_b, else_b);
+                self.start(then_b);
+                let tv = self.expr(then_val);
+                self.b.copy(self.cur, dst, tv);
+                self.seal(Terminator::Jump(end), else_b);
+                let ev = self.expr(else_val);
+                self.b.copy(self.cur, dst, ev);
+                self.seal(Terminator::Jump(end), end);
+                Operand::Reg(dst)
+            }
+            CExpr::Assign { op, target, value } => self.assign(*op, target, value),
+            CExpr::IncDec {
+                target,
+                increment,
+                prefix,
+            } => self.inc_dec(target, *increment, *prefix),
+        }
+    }
+
+    /// `++x`/`x--` and friends: read, add ±1, write back; the expression
+    /// value is the new value (prefix) or the old one (postfix).
+    fn inc_dec(&mut self, target: &CTarget, increment: bool, prefix: bool) -> Operand {
+        let delta: i64 = if increment { 1 } else { -1 };
+        match target {
+            CTarget::Scalar(r) => {
+                let old = self.read_var(*r);
+                // Postfix needs the old value preserved past the update.
+                let saved = if prefix {
+                    None
+                } else {
+                    let t = self.temp();
+                    self.b.copy(self.cur, t, old);
+                    Some(Operand::Reg(t))
+                };
+                let new_val = self.temp();
+                self.b.bin(self.cur, BinOp::Add, new_val, old, delta);
+                self.write_var(*r, Operand::Reg(new_val));
+                saved.unwrap_or(Operand::Reg(new_val))
+            }
+            CTarget::Element { array, index } => {
+                let idx = self.expr_in_reg(index);
+                let base = self.array_base(*array);
+                let old = self.temp();
+                self.b.load(self.cur, old, base, idx);
+                let new_val = self.temp();
+                self.b.bin(self.cur, BinOp::Add, new_val, old, delta);
+                self.b.store(self.cur, base, idx, new_val);
+                if prefix {
+                    Operand::Reg(new_val)
+                } else {
+                    Operand::Reg(old)
+                }
+            }
+        }
+    }
+
+    /// Materialize a boolean expression as 0/1 via a diamond.
+    fn materialize_bool(&mut self, e: &CExpr) -> Operand {
+        let dst = self.temp();
+        let t = self.b.new_block();
+        let f = self.b.new_block();
+        let end = self.b.new_block();
+        self.cond(e, t, f);
+        self.start(t);
+        self.b.copy(self.cur, dst, 1i64);
+        self.seal(Terminator::Jump(end), f);
+        self.b.copy(self.cur, dst, 0i64);
+        self.seal(Terminator::Jump(end), end);
+        Operand::Reg(dst)
+    }
+
+    fn assign(&mut self, op: AssignOp, target: &CTarget, value: &CExpr) -> Operand {
+        match target {
+            CTarget::Scalar(r) => {
+                let new_val = match assign_bin(op) {
+                    None => self.expr(value),
+                    Some(bin) => {
+                        let old = self.read_var(*r);
+                        let rhs = self.expr(value);
+                        let t = self.temp();
+                        self.b.bin(self.cur, bin, t, old, rhs);
+                        Operand::Reg(t)
+                    }
+                };
+                self.write_var(*r, new_val);
+                new_val
+            }
+            CTarget::Element { array, index } => {
+                let idx = self.expr_in_reg(index);
+                let base = self.array_base(*array);
+                let new_val = match assign_bin(op) {
+                    None => self.expr(value),
+                    Some(bin) => {
+                        let old = self.temp();
+                        self.b.load(self.cur, old, base, idx);
+                        let rhs = self.expr(value);
+                        let t = self.temp();
+                        self.b.bin(self.cur, bin, t, old, rhs);
+                        Operand::Reg(t)
+                    }
+                };
+                self.b.store(self.cur, base, idx, new_val);
+                new_val
+            }
+        }
+    }
+
+    fn read_var(&mut self, r: VarRef) -> Operand {
+        match r {
+            VarRef::LocalScalar(slot) => Operand::Reg(self.scalar_regs[slot]),
+            VarRef::GlobalScalar(g) => {
+                let dst = self.temp();
+                self.b
+                    .load(self.cur, dst, self.global_addrs[g], 0i64);
+                Operand::Reg(dst)
+            }
+            VarRef::GlobalArray(_) | VarRef::LocalArray(_) => {
+                unreachable!("sema rejects arrays in scalar position")
+            }
+        }
+    }
+
+    fn write_var(&mut self, r: VarRef, val: Operand) {
+        match r {
+            VarRef::LocalScalar(slot) => {
+                let dst = self.scalar_regs[slot];
+                if val != Operand::Reg(dst) {
+                    self.b.copy(self.cur, dst, val);
+                }
+            }
+            VarRef::GlobalScalar(g) => {
+                self.b.store(self.cur, self.global_addrs[g], 0i64, val);
+            }
+            VarRef::GlobalArray(_) | VarRef::LocalArray(_) => {
+                unreachable!("sema rejects assignment to arrays")
+            }
+        }
+    }
+
+    /// Base-address operand of an array.
+    fn array_base(&mut self, r: VarRef) -> Operand {
+        match r {
+            VarRef::GlobalArray(g) => Operand::Imm(self.global_addrs[g]),
+            VarRef::LocalArray(slot) => {
+                let dst = self.temp();
+                self.b.push(
+                    self.cur,
+                    Inst::FrameAddr {
+                        dst,
+                        offset: self.array_offsets[slot],
+                    },
+                );
+                Operand::Reg(dst)
+            }
+            VarRef::GlobalScalar(_) | VarRef::LocalScalar(_) => {
+                unreachable!("sema rejects indexing scalars")
+            }
+        }
+    }
+}
+
+fn relational_cond(op: BinaryOp) -> Option<Cond> {
+    Some(match op {
+        BinaryOp::Eq => Cond::Eq,
+        BinaryOp::Ne => Cond::Ne,
+        BinaryOp::Lt => Cond::Lt,
+        BinaryOp::Le => Cond::Le,
+        BinaryOp::Gt => Cond::Gt,
+        BinaryOp::Ge => Cond::Ge,
+        _ => return None,
+    })
+}
+
+fn arith_op(op: BinaryOp) -> Option<BinOp> {
+    Some(match op {
+        BinaryOp::Add => BinOp::Add,
+        BinaryOp::Sub => BinOp::Sub,
+        BinaryOp::Mul => BinOp::Mul,
+        BinaryOp::Div => BinOp::Div,
+        BinaryOp::Rem => BinOp::Rem,
+        BinaryOp::BitAnd => BinOp::And,
+        BinaryOp::BitOr => BinOp::Or,
+        BinaryOp::BitXor => BinOp::Xor,
+        BinaryOp::Shl => BinOp::Shl,
+        BinaryOp::Shr => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn assign_bin(op: AssignOp) -> Option<BinOp> {
+    Some(match op {
+        AssignOp::Set => return None,
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+        AssignOp::Div => BinOp::Div,
+        AssignOp::Rem => BinOp::Rem,
+    })
+}

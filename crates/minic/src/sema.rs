@@ -1,0 +1,760 @@
+//! Semantic analysis: scope resolution and checking.
+//!
+//! Produces a *resolved* program in which every name reference has become
+//! a [`VarRef`]/[`CalleeRef`], so lowering never deals with strings or
+//! scopes.
+
+use std::collections::HashMap;
+
+use br_ir::Intrinsic;
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::Pos;
+
+/// A resolved variable reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarRef {
+    /// Index into [`CheckedProgram::globals`] (scalar).
+    GlobalScalar(usize),
+    /// Index into [`CheckedProgram::globals`] (array).
+    GlobalArray(usize),
+    /// Scalar slot within the enclosing function (register-allocated).
+    LocalScalar(usize),
+    /// Array slot within the enclosing function (frame-allocated).
+    LocalArray(usize),
+}
+
+/// A resolved call target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CalleeRef {
+    /// Index into [`CheckedProgram::functions`].
+    Func(usize),
+    /// A runtime built-in.
+    Intrinsic(Intrinsic),
+}
+
+/// Resolved expressions (shapes mirror [`Expr`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExpr {
+    Int(i64),
+    Var(VarRef),
+    Index { array: VarRef, index: Box<CExpr> },
+    Call { callee: CalleeRef, args: Vec<CExpr> },
+    Unary { op: UnaryOp, operand: Box<CExpr> },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<CExpr>,
+        rhs: Box<CExpr>,
+    },
+    Ternary {
+        cond: Box<CExpr>,
+        then_val: Box<CExpr>,
+        else_val: Box<CExpr>,
+    },
+    Assign {
+        op: AssignOp,
+        target: CTarget,
+        value: Box<CExpr>,
+    },
+    /// `++x` / `x--` and friends on a checked lvalue.
+    IncDec {
+        target: CTarget,
+        increment: bool,
+        prefix: bool,
+    },
+}
+
+/// A resolved assignment target.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CTarget {
+    Scalar(VarRef),
+    Element { array: VarRef, index: Box<CExpr> },
+}
+
+/// Resolved statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CStmt {
+    Expr(CExpr),
+    If {
+        cond: CExpr,
+        then_branch: Vec<CStmt>,
+        else_branch: Vec<CStmt>,
+    },
+    While { cond: CExpr, body: Vec<CStmt> },
+    DoWhile { body: Vec<CStmt>, cond: CExpr },
+    For {
+        init: Option<CExpr>,
+        cond: Option<CExpr>,
+        step: Option<CExpr>,
+        body: Vec<CStmt>,
+    },
+    Switch {
+        scrutinee: CExpr,
+        /// `(value, first-arm-index)` pairs, in source order.
+        cases: Vec<(i64, usize)>,
+        /// Index of the default arm, if any.
+        default: Option<usize>,
+        /// Arm bodies, in source order (C fall-through applies).
+        arm_bodies: Vec<Vec<CStmt>>,
+    },
+    Break,
+    Continue,
+    Return(Option<CExpr>),
+}
+
+/// A checked function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckedFunction {
+    pub name: String,
+    /// Number of parameters (all `int`; they occupy scalar slots `0..n`).
+    pub num_params: usize,
+    /// Total scalar slots (params + scalar locals).
+    pub num_scalars: usize,
+    /// Sizes of the function's local arrays, indexed by `LocalArray` slot.
+    pub array_sizes: Vec<u32>,
+    pub body: Vec<CStmt>,
+}
+
+/// A checked global.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckedGlobal {
+    pub name: String,
+    /// `None` = scalar, `Some(n)` = array of n words.
+    pub array_size: Option<u32>,
+    /// Scalar initializer (0 if absent).
+    pub init: i64,
+}
+
+/// A fully resolved program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckedProgram {
+    pub globals: Vec<CheckedGlobal>,
+    pub functions: Vec<CheckedFunction>,
+    /// Index of `main` in `functions`.
+    pub main: usize,
+}
+
+/// Check and resolve a parsed program.
+///
+/// # Errors
+///
+/// Reports (with positions): duplicate or conflicting definitions, missing
+/// or mis-declared `main`, undeclared names, arrays used as scalars and
+/// vice versa, unknown callees, call arity mismatches, invalid assignment
+/// targets, `break`/`continue` outside loops or switches, and duplicate
+/// `case`/`default` labels.
+pub fn check(program: &Program) -> Result<CheckedProgram, CompileError> {
+    let mut globals = Vec::new();
+    let mut global_names: HashMap<String, usize> = HashMap::new();
+    for g in &program.globals {
+        if intrinsic_named(&g.name).is_some() {
+            return Err(CompileError::new(
+                g.pos,
+                format!("`{}` is a built-in and cannot be redefined", g.name),
+            ));
+        }
+        if global_names.insert(g.name.clone(), globals.len()).is_some() {
+            return Err(CompileError::new(
+                g.pos,
+                format!("duplicate global `{}`", g.name),
+            ));
+        }
+        globals.push(CheckedGlobal {
+            name: g.name.clone(),
+            array_size: g.array_size,
+            init: g.init.unwrap_or(0),
+        });
+    }
+    let mut func_ids: HashMap<String, usize> = HashMap::new();
+    for (i, f) in program.functions.iter().enumerate() {
+        if intrinsic_named(&f.name).is_some() {
+            return Err(CompileError::new(
+                f.pos,
+                format!("`{}` is a built-in and cannot be redefined", f.name),
+            ));
+        }
+        if global_names.contains_key(&f.name) {
+            return Err(CompileError::new(
+                f.pos,
+                format!("`{}` is already a global variable", f.name),
+            ));
+        }
+        if func_ids.insert(f.name.clone(), i).is_some() {
+            return Err(CompileError::new(
+                f.pos,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    let Some(&main) = func_ids.get("main") else {
+        return Err(CompileError::new(
+            Pos::default(),
+            "program has no `main` function",
+        ));
+    };
+    if !program.functions[main].params.is_empty() {
+        return Err(CompileError::new(
+            program.functions[main].pos,
+            "`main` must take no parameters",
+        ));
+    }
+    let ctx = Context {
+        globals: &globals,
+        global_names: &global_names,
+        func_ids: &func_ids,
+        func_arity: program.functions.iter().map(|f| f.params.len()).collect(),
+    };
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| ctx.check_function(f))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CheckedProgram {
+        globals,
+        functions,
+        main,
+    })
+}
+
+fn intrinsic_named(name: &str) -> Option<Intrinsic> {
+    match name {
+        "getchar" => Some(Intrinsic::GetChar),
+        "putchar" => Some(Intrinsic::PutChar),
+        "putint" => Some(Intrinsic::PutInt),
+        "abort" => Some(Intrinsic::Abort),
+        _ => None,
+    }
+}
+
+struct Context<'p> {
+    globals: &'p [CheckedGlobal],
+    global_names: &'p HashMap<String, usize>,
+    func_ids: &'p HashMap<String, usize>,
+    func_arity: Vec<usize>,
+}
+
+/// Per-function mutable state: scope stack and slot counters.
+struct FuncState {
+    /// Innermost scope last; maps name -> resolved ref.
+    scopes: Vec<HashMap<String, VarRef>>,
+    num_scalars: usize,
+    array_sizes: Vec<u32>,
+    loop_depth: usize,
+    switch_depth: usize,
+}
+
+impl FuncState {
+    fn lookup(&self, name: &str) -> Option<VarRef> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+}
+
+impl<'p> Context<'p> {
+    fn check_function(&self, f: &FunctionDecl) -> Result<CheckedFunction, CompileError> {
+        let mut st = FuncState {
+            scopes: vec![HashMap::new()],
+            num_scalars: 0,
+            array_sizes: Vec::new(),
+            loop_depth: 0,
+            switch_depth: 0,
+        };
+        for p in &f.params {
+            if st.scopes[0].contains_key(p) {
+                return Err(CompileError::new(
+                    f.pos,
+                    format!("duplicate parameter `{p}` in `{}`", f.name),
+                ));
+            }
+            let slot = st.num_scalars;
+            st.num_scalars += 1;
+            st.scopes[0].insert(p.clone(), VarRef::LocalScalar(slot));
+        }
+        let body = self.check_stmts(&f.body, &mut st)?;
+        Ok(CheckedFunction {
+            name: f.name.clone(),
+            num_params: f.params.len(),
+            num_scalars: st.num_scalars,
+            array_sizes: st.array_sizes,
+            body,
+        })
+    }
+
+    fn check_stmts(
+        &self,
+        stmts: &[Stmt],
+        st: &mut FuncState,
+    ) -> Result<Vec<CStmt>, CompileError> {
+        st.scopes.push(HashMap::new());
+        let result = self.check_stmts_in_current_scope(stmts, st);
+        st.scopes.pop();
+        result
+    }
+
+    fn check_stmts_in_current_scope(
+        &self,
+        stmts: &[Stmt],
+        st: &mut FuncState,
+    ) -> Result<Vec<CStmt>, CompileError> {
+        let mut out = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::Decl(d) => {
+                    let scope = st.scopes.last_mut().expect("scope stack nonempty");
+                    if scope.contains_key(&d.name) {
+                        return Err(CompileError::new(
+                            d.pos,
+                            format!("duplicate declaration of `{}` in this scope", d.name),
+                        ));
+                    }
+                    let r = match d.array_size {
+                        None => {
+                            let slot = st.num_scalars;
+                            st.num_scalars += 1;
+                            VarRef::LocalScalar(slot)
+                        }
+                        Some(n) => {
+                            st.array_sizes.push(n);
+                            VarRef::LocalArray(st.array_sizes.len() - 1)
+                        }
+                    };
+                    st.scopes
+                        .last_mut()
+                        .expect("scope stack nonempty")
+                        .insert(d.name.clone(), r);
+                }
+                Stmt::Expr(e) => out.push(CStmt::Expr(self.check_expr(e, st)?)),
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    out.push(CStmt::If {
+                        cond: self.check_expr(cond, st)?,
+                        then_branch: self.check_stmts(then_branch, st)?,
+                        else_branch: self.check_stmts(else_branch, st)?,
+                    });
+                }
+                Stmt::While { cond, body, .. } => {
+                    let cond = self.check_expr(cond, st)?;
+                    st.loop_depth += 1;
+                    let body = self.check_stmts(body, st)?;
+                    st.loop_depth -= 1;
+                    out.push(CStmt::While { cond, body });
+                }
+                Stmt::DoWhile { body, cond, .. } => {
+                    st.loop_depth += 1;
+                    let body = self.check_stmts(body, st)?;
+                    st.loop_depth -= 1;
+                    let cond = self.check_expr(cond, st)?;
+                    out.push(CStmt::DoWhile { body, cond });
+                }
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => {
+                    let init = init.as_ref().map(|e| self.check_expr(e, st)).transpose()?;
+                    let cond = cond.as_ref().map(|e| self.check_expr(e, st)).transpose()?;
+                    let step = step.as_ref().map(|e| self.check_expr(e, st)).transpose()?;
+                    st.loop_depth += 1;
+                    let body = self.check_stmts(body, st)?;
+                    st.loop_depth -= 1;
+                    out.push(CStmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    });
+                }
+                Stmt::Switch {
+                    scrutinee,
+                    arms,
+                    pos,
+                } => {
+                    let scrutinee = self.check_expr(scrutinee, st)?;
+                    let mut cases = Vec::new();
+                    let mut default = None;
+                    let mut arm_bodies = Vec::new();
+                    st.switch_depth += 1;
+                    for (i, arm) in arms.iter().enumerate() {
+                        match arm.value {
+                            Some(v) => {
+                                if cases.iter().any(|&(cv, _)| cv == v) {
+                                    st.switch_depth -= 1;
+                                    return Err(CompileError::new(
+                                        arm.pos,
+                                        format!("duplicate case value {v}"),
+                                    ));
+                                }
+                                cases.push((v, i));
+                            }
+                            None => {
+                                if default.is_some() {
+                                    st.switch_depth -= 1;
+                                    return Err(CompileError::new(
+                                        arm.pos,
+                                        "multiple `default` labels",
+                                    ));
+                                }
+                                default = Some(i);
+                            }
+                        }
+                        match self.check_stmts(&arm.body, st) {
+                            Ok(b) => arm_bodies.push(b),
+                            Err(e) => {
+                                st.switch_depth -= 1;
+                                return Err(e);
+                            }
+                        }
+                    }
+                    st.switch_depth -= 1;
+                    if arms.is_empty() {
+                        return Err(CompileError::new(*pos, "empty switch"));
+                    }
+                    out.push(CStmt::Switch {
+                        scrutinee,
+                        cases,
+                        default,
+                        arm_bodies,
+                    });
+                }
+                Stmt::Break(pos) => {
+                    if st.loop_depth == 0 && st.switch_depth == 0 {
+                        return Err(CompileError::new(*pos, "`break` outside loop or switch"));
+                    }
+                    out.push(CStmt::Break);
+                }
+                Stmt::Continue(pos) => {
+                    if st.loop_depth == 0 {
+                        return Err(CompileError::new(*pos, "`continue` outside loop"));
+                    }
+                    out.push(CStmt::Continue);
+                }
+                Stmt::Return(v, _) => {
+                    let v = v.as_ref().map(|e| self.check_expr(e, st)).transpose()?;
+                    out.push(CStmt::Return(v));
+                }
+                Stmt::Block(inner) => {
+                    out.extend(self.check_stmts(inner, st)?);
+                }
+                Stmt::Empty => {}
+            }
+        }
+        Ok(out)
+    }
+
+    fn resolve_var(&self, name: &str, pos: Pos, st: &FuncState) -> Result<VarRef, CompileError> {
+        if let Some(r) = st.lookup(name) {
+            return Ok(r);
+        }
+        if let Some(&g) = self.global_names.get(name) {
+            return Ok(match self.globals[g].array_size {
+                None => VarRef::GlobalScalar(g),
+                Some(_) => VarRef::GlobalArray(g),
+            });
+        }
+        Err(CompileError::new(pos, format!("undeclared variable `{name}`")))
+    }
+
+    fn check_expr(&self, e: &Expr, st: &mut FuncState) -> Result<CExpr, CompileError> {
+        match e {
+            Expr::Int(v, _) => Ok(CExpr::Int(*v)),
+            Expr::Var(name, pos) => {
+                let r = self.resolve_var(name, *pos, st)?;
+                if matches!(r, VarRef::GlobalArray(_) | VarRef::LocalArray(_)) {
+                    return Err(CompileError::new(
+                        *pos,
+                        format!("array `{name}` used as a scalar value"),
+                    ));
+                }
+                Ok(CExpr::Var(r))
+            }
+            Expr::Index { array, index, pos } => {
+                let r = self.resolve_var(array, *pos, st)?;
+                if matches!(r, VarRef::GlobalScalar(_) | VarRef::LocalScalar(_)) {
+                    return Err(CompileError::new(
+                        *pos,
+                        format!("`{array}` is not an array"),
+                    ));
+                }
+                Ok(CExpr::Index {
+                    array: r,
+                    index: Box::new(self.check_expr(index, st)?),
+                })
+            }
+            Expr::Call { callee, args, pos } => {
+                let args_checked = args
+                    .iter()
+                    .map(|a| self.check_expr(a, st))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if let Some(i) = intrinsic_named(callee) {
+                    if args.len() != i.arity() {
+                        return Err(CompileError::new(
+                            *pos,
+                            format!(
+                                "`{callee}` takes {} argument(s), got {}",
+                                i.arity(),
+                                args.len()
+                            ),
+                        ));
+                    }
+                    return Ok(CExpr::Call {
+                        callee: CalleeRef::Intrinsic(i),
+                        args: args_checked,
+                    });
+                }
+                let Some(&fid) = self.func_ids.get(callee) else {
+                    return Err(CompileError::new(
+                        *pos,
+                        format!("call to undeclared function `{callee}`"),
+                    ));
+                };
+                if self.func_arity[fid] != args.len() {
+                    return Err(CompileError::new(
+                        *pos,
+                        format!(
+                            "`{callee}` takes {} argument(s), got {}",
+                            self.func_arity[fid],
+                            args.len()
+                        ),
+                    ));
+                }
+                Ok(CExpr::Call {
+                    callee: CalleeRef::Func(fid),
+                    args: args_checked,
+                })
+            }
+            Expr::Unary { op, operand, .. } => Ok(CExpr::Unary {
+                op: *op,
+                operand: Box::new(self.check_expr(operand, st)?),
+            }),
+            Expr::Binary { op, lhs, rhs, .. } => Ok(CExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.check_expr(lhs, st)?),
+                rhs: Box::new(self.check_expr(rhs, st)?),
+            }),
+            Expr::Ternary {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => Ok(CExpr::Ternary {
+                cond: Box::new(self.check_expr(cond, st)?),
+                then_val: Box::new(self.check_expr(then_val, st)?),
+                else_val: Box::new(self.check_expr(else_val, st)?),
+            }),
+            Expr::IncDec {
+                target,
+                increment,
+                prefix,
+                pos,
+            } => {
+                let target = self.check_target(target, *pos, st)?;
+                Ok(CExpr::IncDec {
+                    target,
+                    increment: *increment,
+                    prefix: *prefix,
+                })
+            }
+            Expr::Assign {
+                op,
+                target,
+                value,
+                pos,
+            } => {
+                let target = self.check_target(target, *pos, st)?;
+                Ok(CExpr::Assign {
+                    op: *op,
+                    target,
+                    value: Box::new(self.check_expr(value, st)?),
+                })
+            }
+        }
+    }
+
+    /// Resolve an assignment/increment target to a checked lvalue.
+    fn check_target(
+        &self,
+        target: &Expr,
+        pos: Pos,
+        st: &mut FuncState,
+    ) -> Result<CTarget, CompileError> {
+        match target {
+            Expr::Var(name, vpos) => {
+                let r = self.resolve_var(name, *vpos, st)?;
+                if matches!(r, VarRef::GlobalArray(_) | VarRef::LocalArray(_)) {
+                    return Err(CompileError::new(
+                        *vpos,
+                        format!("cannot assign to array `{name}`"),
+                    ));
+                }
+                Ok(CTarget::Scalar(r))
+            }
+            Expr::Index { array, index, pos: ipos } => {
+                let r = self.resolve_var(array, *ipos, st)?;
+                if matches!(r, VarRef::GlobalScalar(_) | VarRef::LocalScalar(_)) {
+                    return Err(CompileError::new(
+                        *ipos,
+                        format!("`{array}` is not an array"),
+                    ));
+                }
+                Ok(CTarget::Element {
+                    array: r,
+                    index: Box::new(self.check_expr(index, st)?),
+                })
+            }
+            _ => Err(CompileError::new(pos, "invalid assignment target")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<CheckedProgram, CompileError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn resolves_scopes_with_shadowing() {
+        let p = check_src(
+            "int g; int main() { int x; x = 1; { int x; x = 2; } return x + g; }",
+        )
+        .unwrap();
+        assert_eq!(p.functions[p.main].num_scalars, 2);
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let e = check_src("int f() { return 0; }").unwrap_err();
+        assert!(e.message.contains("main"));
+    }
+
+    #[test]
+    fn main_with_params_is_an_error() {
+        let e = check_src("int main(int a) { return a; }").unwrap_err();
+        assert!(e.message.contains("no parameters"));
+    }
+
+    #[test]
+    fn undeclared_variable() {
+        let e = check_src("int main() { return nope; }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+        assert_eq!(e.pos.line, 1);
+    }
+
+    #[test]
+    fn array_misuse_is_caught_both_ways() {
+        assert!(check_src("int a[3]; int main() { return a; }")
+            .unwrap_err()
+            .message
+            .contains("used as a scalar"));
+        assert!(check_src("int main() { int x; return x[0]; }")
+            .unwrap_err()
+            .message
+            .contains("not an array"));
+        assert!(check_src("int a[3]; int main() { a = 1; return 0; }")
+            .unwrap_err()
+            .message
+            .contains("cannot assign to array"));
+    }
+
+    #[test]
+    fn call_checks() {
+        assert!(check_src("int main() { return f(); }")
+            .unwrap_err()
+            .message
+            .contains("undeclared function"));
+        assert!(check_src("int f(int a) { return a; } int main() { return f(); }")
+            .unwrap_err()
+            .message
+            .contains("takes 1 argument"));
+        assert!(check_src("int main() { return getchar(7); }")
+            .unwrap_err()
+            .message
+            .contains("takes 0 argument"));
+    }
+
+    #[test]
+    fn intrinsics_cannot_be_redefined() {
+        assert!(check_src("int getchar() { return 0; } int main() { return 0; }")
+            .unwrap_err()
+            .message
+            .contains("built-in"));
+        assert!(check_src("int putchar; int main() { return 0; }")
+            .unwrap_err()
+            .message
+            .contains("built-in"));
+    }
+
+    #[test]
+    fn break_continue_placement() {
+        assert!(check_src("int main() { break; return 0; }")
+            .unwrap_err()
+            .message
+            .contains("break"));
+        assert!(check_src("int main() { continue; return 0; }")
+            .unwrap_err()
+            .message
+            .contains("continue"));
+        // break legal in switch; continue is not.
+        assert!(check_src(
+            "int main() { switch (1) { case 1: break; } return 0; }"
+        )
+        .is_ok());
+        assert!(check_src(
+            "int main() { switch (1) { case 1: continue; } return 0; }"
+        )
+        .is_err());
+        // continue legal in a loop containing the switch.
+        assert!(check_src(
+            "int main() { while (1) { switch (1) { case 1: continue; } } return 0; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn duplicate_cases_rejected() {
+        let e = check_src(
+            "int main() { switch (1) { case 3: break; case 3: break; } return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate case"));
+        let e = check_src(
+            "int main() { switch (1) { default: break; default: break; } return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("default"));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        assert!(check_src("int g; int g; int main() { return 0; }").is_err());
+        assert!(check_src("int f() {return 0;} int f() {return 0;} int main() { return 0; }").is_err());
+        assert!(check_src("int f; int f() {return 0;} int main() { return 0; }").is_err());
+        assert!(check_src("int main() { int x; int x; return 0; }").is_err());
+    }
+
+    #[test]
+    fn switch_collects_cases_and_default() {
+        let p = check_src(
+            "int main() { switch (2) { case 1: case 2: putint(1); break; default: putint(2); } return 0; }",
+        )
+        .unwrap();
+        let CStmt::Switch { cases, default, arm_bodies, .. } = &p.functions[p.main].body[0]
+        else {
+            panic!("shape");
+        };
+        assert_eq!(cases, &[(1, 0), (2, 1)]);
+        assert_eq!(*default, Some(2));
+        assert_eq!(arm_bodies.len(), 3);
+        assert!(arm_bodies[0].is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Switch-translation heuristics (the paper's Table 2).
+//!
+//! Let `n` be the number of cases in a `switch` and `nl` the number of
+//! possible values between the first and last case (the span). The three
+//! heuristic sets of the paper are:
+//!
+//! | Set | Indirect jump        | Binary search                | Linear search  |
+//! |-----|----------------------|------------------------------|----------------|
+//! | I   | `n >= 4 && nl <= 3n` | `!indirect && n >= 8`        | otherwise      |
+//! | II  | `n >= 16 && nl <= 3n`| `!indirect && n >= 8`        | otherwise      |
+//! | III | never                | never                        | always         |
+//!
+//! Set I reproduces the pcc front-end heuristics used for the SPARC
+//! IPC/20; Set II reflects the SPARC Ultra I, where the authors measured
+//! indirect jumps to be about four times more expensive and raised the
+//! threshold; Set III always produces a linear search, maximizing the
+//! reordering opportunity.
+
+/// How a particular `switch` should be translated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Bounds checks plus a dense jump table.
+    IndirectJump,
+    /// A balanced compare tree with linear leaves.
+    BinarySearch,
+    /// A chain of equality compares in source order.
+    LinearSearch,
+}
+
+/// One of the paper's heuristic sets (Table 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HeuristicSet {
+    /// Short name for reports ("I", "II", "III").
+    pub name: &'static str,
+    /// Minimum case count for an indirect jump; `None` disables them.
+    pub indirect_min_cases: Option<u64>,
+    /// Maximum allowed span/cases density ratio for an indirect jump
+    /// (`nl <= ratio * n`).
+    pub indirect_max_span_ratio: u64,
+    /// Minimum case count for a binary search; `None` disables it.
+    pub binary_min_cases: Option<u64>,
+}
+
+impl HeuristicSet {
+    /// Set I: pcc front-end heuristics (SPARC IPC / SPARCstation 20).
+    pub const SET_I: HeuristicSet = HeuristicSet {
+        name: "I",
+        indirect_min_cases: Some(4),
+        indirect_max_span_ratio: 3,
+        binary_min_cases: Some(8),
+    };
+
+    /// Set II: raised indirect-jump threshold (SPARC Ultra I).
+    pub const SET_II: HeuristicSet = HeuristicSet {
+        name: "II",
+        indirect_min_cases: Some(16),
+        indirect_max_span_ratio: 3,
+        binary_min_cases: Some(8),
+    };
+
+    /// Set III: always a linear search.
+    pub const SET_III: HeuristicSet = HeuristicSet {
+        name: "III",
+        indirect_min_cases: None,
+        indirect_max_span_ratio: 3,
+        binary_min_cases: None,
+    };
+
+    /// All three sets, in paper order.
+    pub const ALL: [HeuristicSet; 3] = [Self::SET_I, Self::SET_II, Self::SET_III];
+
+    /// Decide the strategy for a switch with `n` cases spanning `span`
+    /// possible values (`max - min + 1`).
+    pub fn choose(&self, n: u64, span: u128) -> Strategy {
+        if let Some(min_n) = self.indirect_min_cases {
+            if n >= min_n && span <= (self.indirect_max_span_ratio as u128) * (n as u128) {
+                return Strategy::IndirectJump;
+            }
+        }
+        if let Some(min_n) = self.binary_min_cases {
+            if n >= min_n {
+                return Strategy::BinarySearch;
+            }
+        }
+        Strategy::LinearSearch
+    }
+}
+
+impl Default for HeuristicSet {
+    fn default() -> HeuristicSet {
+        HeuristicSet::SET_I
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_i_matches_table_2() {
+        let h = HeuristicSet::SET_I;
+        assert_eq!(h.choose(4, 12), Strategy::IndirectJump); // dense, n>=4
+        assert_eq!(h.choose(4, 13), Strategy::LinearSearch); // too sparse, n<8
+        assert_eq!(h.choose(8, 100), Strategy::BinarySearch); // sparse, n>=8
+        assert_eq!(h.choose(3, 3), Strategy::LinearSearch); // tiny
+    }
+
+    #[test]
+    fn set_ii_raises_indirect_threshold() {
+        let h = HeuristicSet::SET_II;
+        assert_eq!(h.choose(8, 10), Strategy::BinarySearch); // dense but n<16
+        assert_eq!(h.choose(16, 40), Strategy::IndirectJump);
+        assert_eq!(h.choose(15, 15), Strategy::BinarySearch);
+    }
+
+    #[test]
+    fn set_iii_is_always_linear() {
+        let h = HeuristicSet::SET_III;
+        for (n, span) in [(4u64, 4u128), (16, 16), (100, 100), (8, 1000)] {
+            assert_eq!(h.choose(n, span), Strategy::LinearSearch);
+        }
+    }
+
+    #[test]
+    fn huge_spans_do_not_overflow() {
+        let h = HeuristicSet::SET_I;
+        // span of the full i64 range
+        assert_eq!(h.choose(20, u128::MAX / 2), Strategy::BinarySearch);
+    }
+}

@@ -1,0 +1,149 @@
+//! Tokens and source positions.
+
+use std::fmt;
+
+/// A line/column position in the source (both 1-based).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    // Literals and names.
+    Int(i64),
+    Ident(String),
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    // Operators.
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    OrOr,
+    AndAnd,
+    Or,
+    Xor,
+    And,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Not,
+    Tilde,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Int(v) => return write!(f, "integer literal {v}"),
+            Tok::Ident(n) => return write!(f, "identifier `{n}`"),
+            Tok::KwInt => "int",
+            Tok::KwChar => "char",
+            Tok::KwIf => "if",
+            Tok::KwElse => "else",
+            Tok::KwWhile => "while",
+            Tok::KwDo => "do",
+            Tok::KwFor => "for",
+            Tok::KwSwitch => "switch",
+            Tok::KwCase => "case",
+            Tok::KwDefault => "default",
+            Tok::KwBreak => "break",
+            Tok::KwContinue => "continue",
+            Tok::KwReturn => "return",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Question => "?",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::PercentAssign => "%=",
+            Tok::OrOr => "||",
+            Tok::AndAnd => "&&",
+            Tok::Or => "|",
+            Tok::Xor => "^",
+            Tok::And => "&",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Not => "!",
+            Tok::Tilde => "~",
+            Tok::Eof => "end of input",
+        };
+        write!(f, "`{s}`")
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}

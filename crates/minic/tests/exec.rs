@@ -1,0 +1,387 @@
+//! End-to-end front-end tests: compile mini-C, verify the IR, run it in
+//! the VM (optimized and unoptimized), and check observable behaviour.
+
+use br_minic::{compile, HeuristicSet, Options};
+use br_vm::{run, VmOptions};
+
+/// Compile, verify, run unoptimized AND optimized; assert both agree and
+/// return (exit, output) of the optimized run.
+fn exec_with(src: &str, input: &[u8], options: &Options) -> (i64, Vec<u8>) {
+    let module = compile(src, options).expect("compiles");
+    br_ir::verify_module(&module).expect("verifies after lowering");
+    let raw = run(&module, input, &VmOptions::default()).expect("runs unoptimized");
+
+    let mut optimized = module.clone();
+    br_opt::optimize(&mut optimized);
+    br_ir::verify_module(&optimized).expect("verifies after optimization");
+    let opt = run(&optimized, input, &VmOptions::default()).expect("runs optimized");
+
+    assert_eq!(raw.exit, opt.exit, "optimization changed the exit value");
+    assert_eq!(raw.output, opt.output, "optimization changed the output");
+    assert!(
+        opt.stats.insts <= raw.stats.insts,
+        "optimization made the program slower: {} -> {}",
+        raw.stats.insts,
+        opt.stats.insts
+    );
+    (opt.exit, opt.output)
+}
+
+fn exec(src: &str, input: &[u8]) -> (i64, Vec<u8>) {
+    exec_with(src, input, &Options::default())
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    let (exit, _) = exec("int main() { return 2 + 3 * 4 - 20 / 4 % 3; }", b"");
+    assert_eq!(exit, 2 + 3 * 4 - 20 / 4 % 3);
+}
+
+#[test]
+fn division_truncates_toward_zero() {
+    assert_eq!(exec("int main() { return -7 / 2; }", b"").0, -3);
+    assert_eq!(exec("int main() { return -7 % 2; }", b"").0, -1);
+}
+
+#[test]
+fn bitwise_and_shifts() {
+    assert_eq!(
+        exec("int main() { return (12 & 10) | (1 << 4) ^ 3; }", b"").0,
+        (12 & 10) | (1 << 4) ^ 3
+    );
+    assert_eq!(exec("int main() { return ~5; }", b"").0, !5);
+    assert_eq!(exec("int main() { return 256 >> 3; }", b"").0, 32);
+}
+
+#[test]
+fn comparison_values_are_zero_one() {
+    assert_eq!(exec("int main() { return (3 < 5) + (5 < 3) * 10; }", b"").0, 1);
+    assert_eq!(exec("int main() { return (4 == 4) + (4 != 4); }", b"").0, 1);
+}
+
+#[test]
+fn logical_ops_short_circuit() {
+    // Short-circuit must skip the side effect.
+    let (exit, out) = exec(
+        "int main() { int x; x = 0; (0 && (x = putchar('A'))); (1 || (x = putchar('B'))); return x; }",
+        b"",
+    );
+    assert_eq!(exit, 0);
+    assert_eq!(out, b"");
+    let (exit, out) = exec(
+        "int main() { int x; x = (1 && (putchar('C') == 'C')); return x; }",
+        b"",
+    );
+    assert_eq!(exit, 1);
+    assert_eq!(out, b"C");
+}
+
+#[test]
+fn logical_not() {
+    assert_eq!(exec("int main() { return !0 + !7 * 10 + !!9; }", b"").0, 2);
+}
+
+#[test]
+fn ternary_expression() {
+    assert_eq!(exec("int main() { int a; a = 7; return a > 5 ? a : -a; }", b"").0, 7);
+    assert_eq!(exec("int main() { int a; a = 3; return a > 5 ? a : -a; }", b"").0, -3);
+}
+
+#[test]
+fn compound_assignment() {
+    let (exit, _) = exec(
+        "int main() { int a; a = 10; a += 5; a -= 3; a *= 2; a /= 4; a %= 4; return a; }",
+        b"",
+    );
+    assert_eq!(exit, 2);
+}
+
+#[test]
+fn while_and_do_while() {
+    assert_eq!(
+        exec("int main() { int i; int s; i=0; s=0; while (i<5) { s += i; i += 1; } return s; }", b"").0,
+        10
+    );
+    assert_eq!(
+        exec("int main() { int i; i=9; do { i += 1; } while (i < 5); return i; }", b"").0,
+        10,
+        "do-while body runs at least once"
+    );
+}
+
+#[test]
+fn for_loop_with_break_continue() {
+    let (exit, _) = exec(
+        "int main() { int i; int s; s = 0; \
+         for (i = 0; i < 100; i += 1) { \
+           if (i % 2 == 0) continue; \
+           if (i > 10) break; \
+           s += i; } \
+         return s; }",
+        b"",
+    );
+    assert_eq!(exit, 1 + 3 + 5 + 7 + 9);
+}
+
+#[test]
+fn nested_loops_and_scoped_shadowing() {
+    let (exit, _) = exec(
+        "int main() { int i; int j; int s; s = 0; \
+         for (i = 0; i < 3; i += 1) { \
+           for (j = 0; j < 3; j += 1) { \
+             int k; k = i * 3 + j; s += k; } } \
+         { int s2; s2 = 100; } \
+         return s; }",
+        b"",
+    );
+    assert_eq!(exit, (0..9).sum::<i64>());
+}
+
+#[test]
+fn global_scalars_and_arrays() {
+    let (exit, _) = exec(
+        "int counter = 5; int table[10]; \
+         int bump(int by) { counter += by; return counter; } \
+         int main() { int i; \
+           for (i = 0; i < 10; i += 1) table[i] = i * i; \
+           bump(2); bump(3); \
+           return table[7] + counter; }",
+        b"",
+    );
+    assert_eq!(exit, 49 + 10);
+}
+
+#[test]
+fn local_arrays_are_per_activation() {
+    let (exit, _) = exec(
+        "int f(int n) { int buf[4]; buf[0] = n; if (n > 0) f(n - 1); return buf[0]; } \
+         int main() { return f(3); }",
+        b"",
+    );
+    assert_eq!(exit, 3, "recursive activations must not share frames");
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let (exit, _) = exec(
+        "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } \
+         int main() { return fib(12); }",
+        b"",
+    );
+    assert_eq!(exit, 144);
+}
+
+#[test]
+fn io_echo_upper() {
+    let (_, out) = exec(
+        "int main() { int c; \
+           c = getchar(); \
+           while (c != -1) { \
+             if (c >= 'a' && c <= 'z') putchar(c - 32); else putchar(c); \
+             c = getchar(); } \
+           return 0; }",
+        b"Hello, World!\n",
+    );
+    assert_eq!(out, b"HELLO, WORLD!\n");
+}
+
+#[test]
+fn putint_format() {
+    let (_, out) = exec("int main() { putint(-42); putint(0); putint(7); return 0; }", b"");
+    assert_eq!(out, b"-42\n0\n7\n");
+}
+
+#[test]
+fn if_else_chain() {
+    let src = "int classify(int c) { \
+         if (c == ' ') return 1; \
+         else if (c == '\\n') return 2; \
+         else if (c == '\\t') return 3; \
+         else if (c == -1) return 4; \
+         else return 5; } \
+       int main() { return classify(10) * 10 + classify('x'); }";
+    assert_eq!(exec(src, b"").0, 25);
+}
+
+fn switch_program() -> &'static str {
+    // 5 dense cases: Set I turns this into an indirect jump, Set II into a
+    // linear search (n < 16, n < 8), Set III linear.
+    "int main() { int c; int total; total = 0; \
+       c = getchar(); \
+       while (c != -1) { \
+         switch (c) { \
+           case 'a': total += 1; break; \
+           case 'b': total += 2; break; \
+           case 'c': total += 3; \
+           case 'd': total += 4; break; \
+           case 'e': total += 5; break; \
+           default: total += 100; \
+         } \
+         c = getchar(); } \
+       return total; }"
+}
+
+/// a=1 b=2 c=3(+4 fall-through)=7 d=4 e=5 other=100.
+fn switch_expected(input: &[u8]) -> i64 {
+    input
+        .iter()
+        .map(|c| match c {
+            b'a' => 1,
+            b'b' => 2,
+            b'c' => 7,
+            b'd' => 4,
+            b'e' => 5,
+            _ => 100,
+        })
+        .sum()
+}
+
+#[test]
+fn switch_same_semantics_under_all_heuristic_sets() {
+    let input = b"abcdeabcxyz!";
+    let expected = switch_expected(input);
+    for h in HeuristicSet::ALL {
+        let (exit, _) = exec_with(switch_program(), input, &Options::with_heuristics(h));
+        assert_eq!(exit, expected, "heuristic set {} broke switch semantics", h.name);
+    }
+}
+
+#[test]
+fn switch_without_default_falls_to_end() {
+    let (exit, _) = exec(
+        "int main() { int x; x = 9; switch (x) { case 1: return 100; case 2: return 200; } return x; }",
+        b"",
+    );
+    assert_eq!(exit, 9);
+}
+
+#[test]
+fn switch_fallthrough_from_default() {
+    let (exit, _) = exec(
+        "int main() { int x; int t; x = 42; t = 0; \
+           switch (x) { case 1: t += 1; default: t += 10; case 2: t += 100; } \
+           return t; }",
+        b"",
+    );
+    assert_eq!(exit, 110, "default falls through into case 2's body");
+}
+
+#[test]
+fn sparse_switch_uses_binary_search_and_works() {
+    // 9 sparse cases: Set I/II use a binary search.
+    let src = "int main() { int c; int hits; hits = 0; \
+         c = getchar(); \
+         while (c != -1) { \
+           switch (c * 10) { \
+             case 10: hits += 1; break; \
+             case 50: hits += 2; break; \
+             case 90: hits += 3; break; \
+             case 130: hits += 4; break; \
+             case 170: hits += 5; break; \
+             case 210: hits += 6; break; \
+             case 250: hits += 7; break; \
+             case 290: hits += 8; break; \
+             case 330: hits += 9; break; \
+           } \
+           c = getchar(); } \
+         return hits; }";
+    let input: Vec<u8> = vec![1, 5, 9, 13, 17, 21, 25, 29, 33, 2, 40];
+    let expected: i64 = (1..=9).sum();
+    for h in HeuristicSet::ALL {
+        let (exit, _) = exec_with(src, &input, &Options::with_heuristics(h));
+        assert_eq!(exit, expected, "set {}", h.name);
+    }
+}
+
+#[test]
+fn switch_on_negative_values() {
+    let (exit, _) = exec(
+        "int main() { int x; x = -3; switch (x) { case -3: return 33; case 0: return 1; } return 0; }",
+        b"",
+    );
+    assert_eq!(exit, 33);
+}
+
+#[test]
+fn empty_input_programs() {
+    assert_eq!(exec("int main() { return getchar(); }", b"").0, -1);
+}
+
+#[test]
+fn global_initializers_apply() {
+    assert_eq!(exec("int a = 3; int b = -4; int main() { return a * b; }", b"").0, -12);
+}
+
+#[test]
+fn comments_and_char_escapes_compile() {
+    let (_, out) = exec(
+        "int main() { /* leading */ putchar('\\t'); // trailing\n putchar('\\n'); return 0; }",
+        b"",
+    );
+    assert_eq!(out, b"\t\n");
+}
+
+#[test]
+fn deep_expression_nesting() {
+    assert_eq!(
+        exec("int main() { return ((((((1+2)*3)-4)*5)+6)%7); }", b"").0,
+        ((((1 + 2) * 3 - 4) * 5) + 6) % 7
+    );
+}
+
+#[test]
+fn abort_intrinsic_traps() {
+    let module = compile("int main() { abort(3); return 0; }", &Options::default()).unwrap();
+    let err = run(&module, b"", &VmOptions::default()).unwrap_err();
+    assert_eq!(err, br_vm::Trap::Abort { code: 3 });
+}
+
+#[test]
+fn increment_decrement_operators() {
+    // Prefix yields the new value, postfix the old.
+    let (exit, _) = exec(
+        "int main() { int a; int b; int c; a = 5; b = ++a; c = a++; \
+         return a * 100 + b * 10 + (c == 6); }",
+        b"",
+    );
+    assert_eq!(exit, 7 * 100 + 6 * 10 + 1);
+    let (exit, _) = exec(
+        "int main() { int a; int b; a = 5; b = a--; return a * 10 + b; }",
+        b"",
+    );
+    assert_eq!(exit, 4 * 10 + 5);
+    let (exit, _) = exec("int main() { int a; a = 5; return --a; }", b"");
+    assert_eq!(exit, 4);
+}
+
+#[test]
+fn increment_on_array_elements() {
+    let (exit, _) = exec(
+        "int t[4]; int main() { int i; \
+         for (i = 0; i < 4; i++) t[i] = i; \
+         t[2]++; ++t[3]; \
+         return t[0] + t[1] * 10 + t[2] * 100 + t[3] * 1000; }",
+        b"",
+    );
+    assert_eq!(exit, 10 + 300 + 4000);
+}
+
+#[test]
+fn increment_in_loop_headers() {
+    let (exit, _) = exec(
+        "int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) s += i; return s; }",
+        b"",
+    );
+    assert_eq!(exit, 45);
+    let (exit, _) = exec(
+        "int main() { int i; int s; i = 10; s = 0; while (i-- > 0) s += 1; return s * 100 + i; }",
+        b"",
+    );
+    assert_eq!(exit, 10 * 100 - 1);
+}
+
+#[test]
+fn increment_is_an_invalid_target_for_non_lvalues() {
+    let err = compile("int main() { return ++5; }", &Options::default()).unwrap_err();
+    assert!(err.message.contains("invalid assignment target"), "{err}");
+}

@@ -1,0 +1,194 @@
+//! Algebraic simplification and strength reduction.
+
+use br_ir::{BinOp, Function, Inst, Operand, UnOp};
+
+/// Rewrite instructions into cheaper equivalent forms:
+///
+/// * `x + 0`, `x - 0`, `x * 1`, `x / 1`, `x & -1`, `x | 0`, `x ^ 0`,
+///   `x << 0`, `x >> 0` → copy;
+/// * `x * 0`, `x & 0`, `x % 1` → constant 0;
+/// * `x * 2^k` → `x << k` (strength reduction);
+/// * `x * -1` → negate;
+/// * `x - x`, `x ^ x` → 0; `x & x`, `x | x` → copy.
+///
+/// Signed division/remainder by powers of two are *not* rewritten to
+/// shifts: rounding differs for negative operands. Returns whether
+/// anything changed.
+pub fn simplify_algebra(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            let Inst::Bin { op, dst, lhs, rhs } = *inst else {
+                continue;
+            };
+            let dst_copy = |src: Operand| Inst::Copy { dst, src };
+            let replacement = match (op, lhs, rhs) {
+                // Identity elements.
+                (BinOp::Add, x, Operand::Imm(0)) | (BinOp::Add, Operand::Imm(0), x) => {
+                    Some(dst_copy(x))
+                }
+                (BinOp::Sub, x, Operand::Imm(0)) => Some(dst_copy(x)),
+                (BinOp::Mul, x, Operand::Imm(1)) | (BinOp::Mul, Operand::Imm(1), x) => {
+                    Some(dst_copy(x))
+                }
+                (BinOp::Div, x, Operand::Imm(1)) => Some(dst_copy(x)),
+                (BinOp::And, x, Operand::Imm(-1)) | (BinOp::And, Operand::Imm(-1), x) => {
+                    Some(dst_copy(x))
+                }
+                (BinOp::Or, x, Operand::Imm(0))
+                | (BinOp::Or, Operand::Imm(0), x)
+                | (BinOp::Xor, x, Operand::Imm(0))
+                | (BinOp::Xor, Operand::Imm(0), x) => Some(dst_copy(x)),
+                (BinOp::Shl | BinOp::Shr, x, Operand::Imm(0)) => Some(dst_copy(x)),
+                // Annihilators.
+                (BinOp::Mul, _, Operand::Imm(0))
+                | (BinOp::Mul, Operand::Imm(0), _)
+                | (BinOp::And, _, Operand::Imm(0))
+                | (BinOp::And, Operand::Imm(0), _)
+                | (BinOp::Rem, _, Operand::Imm(1)) => Some(dst_copy(Operand::Imm(0))),
+                // Same-operand folds.
+                (BinOp::Sub | BinOp::Xor, a, b) if a == b && a.reg().is_some() => {
+                    Some(dst_copy(Operand::Imm(0)))
+                }
+                (BinOp::And | BinOp::Or, a, b) if a == b && a.reg().is_some() => {
+                    Some(dst_copy(a))
+                }
+                // Strength reduction: multiply by a power of two.
+                (BinOp::Mul, x, Operand::Imm(k)) | (BinOp::Mul, Operand::Imm(k), x)
+                    if k > 1 && (k & (k - 1)) == 0 =>
+                {
+                    Some(Inst::Bin {
+                        op: BinOp::Shl,
+                        dst,
+                        lhs: x,
+                        rhs: Operand::Imm(k.trailing_zeros() as i64),
+                    })
+                }
+                // Multiply by -1.
+                (BinOp::Mul, x, Operand::Imm(-1)) | (BinOp::Mul, Operand::Imm(-1), x) => {
+                    Some(Inst::Un {
+                        op: UnOp::Neg,
+                        dst,
+                        src: x,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(new_inst) = replacement {
+                if *inst != new_inst {
+                    *inst = new_inst;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{FuncBuilder, Reg, Terminator};
+
+    fn one_inst(op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Inst {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let d = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        b.bin(e, op, d, lhs, rhs);
+        b.set_term(e, Terminator::Return(Some(Operand::Reg(d))));
+        let mut f = b.finish();
+        simplify_algebra(&mut f);
+        f.blocks[0].insts[0].clone()
+    }
+
+    #[test]
+    fn identities_become_copies() {
+        let x = Operand::Reg(Reg(0));
+        for (op, rhs) in [
+            (BinOp::Add, 0i64),
+            (BinOp::Sub, 0),
+            (BinOp::Mul, 1),
+            (BinOp::Div, 1),
+            (BinOp::Or, 0),
+            (BinOp::Xor, 0),
+            (BinOp::Shl, 0),
+            (BinOp::Shr, 0),
+        ] {
+            assert_eq!(
+                one_inst(op, x, rhs),
+                Inst::Copy { dst: Reg(1), src: x },
+                "{op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn annihilators_become_zero() {
+        let x = Operand::Reg(Reg(0));
+        for (op, rhs) in [(BinOp::Mul, 0i64), (BinOp::And, 0), (BinOp::Rem, 1)] {
+            assert_eq!(
+                one_inst(op, x, rhs),
+                Inst::Copy {
+                    dst: Reg(1),
+                    src: Operand::Imm(0)
+                },
+                "{op:?}"
+            );
+        }
+        assert_eq!(
+            one_inst(BinOp::Sub, x, x),
+            Inst::Copy {
+                dst: Reg(1),
+                src: Operand::Imm(0)
+            }
+        );
+    }
+
+    #[test]
+    fn power_of_two_multiply_becomes_shift() {
+        let x = Operand::Reg(Reg(0));
+        assert_eq!(
+            one_inst(BinOp::Mul, x, 8i64),
+            Inst::Bin {
+                op: BinOp::Shl,
+                dst: Reg(1),
+                lhs: x,
+                rhs: Operand::Imm(3)
+            }
+        );
+        // Non-power-of-two stays a multiply.
+        assert!(matches!(
+            one_inst(BinOp::Mul, x, 6i64),
+            Inst::Bin { op: BinOp::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn division_is_not_strength_reduced() {
+        let x = Operand::Reg(Reg(0));
+        // -7 / 2 == -3 but -7 >> 1 == -4: must stay a division.
+        assert!(matches!(
+            one_inst(BinOp::Div, x, 2i64),
+            Inst::Bin { op: BinOp::Div, .. }
+        ));
+        assert!(matches!(
+            one_inst(BinOp::Rem, x, 2i64),
+            Inst::Bin { op: BinOp::Rem, .. }
+        ));
+    }
+
+    #[test]
+    fn multiply_by_minus_one_negates() {
+        let x = Operand::Reg(Reg(0));
+        assert_eq!(
+            one_inst(BinOp::Mul, x, -1i64),
+            Inst::Un {
+                op: UnOp::Neg,
+                dst: Reg(1),
+                src: x
+            }
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Branch chaining: retarget control transfers that land on empty
+//! jump-only blocks (the paper's "branch chaining to minimize
+//! unconditional jumps").
+
+use br_ir::{BlockId, Function, Terminator};
+
+/// Follow chains of empty `jmp`-only blocks from every successor edge and
+/// retarget the edge to the final destination. Returns whether anything
+/// changed.
+pub fn chain_branches(f: &mut Function) -> bool {
+    // Resolve each block to its chain destination with cycle protection.
+    let n = f.blocks.len();
+    let mut resolved: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
+    for (start, slot) in resolved.iter_mut().enumerate() {
+        let mut seen = vec![false; n];
+        let mut cur = BlockId(start as u32);
+        loop {
+            seen[cur.index()] = true;
+            let b = &f.blocks[cur.index()];
+            match b.term {
+                Terminator::Jump(next) if b.insts.is_empty() && !seen[next.index()] => {
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        *slot = cur;
+    }
+    let mut changed = false;
+    for b in &mut f.blocks {
+        b.term.map_successors(|s| {
+            let r = resolved[s.index()];
+            if r != s {
+                changed = true;
+            }
+            r
+        });
+    }
+    if resolved[f.entry.index()] != f.entry {
+        f.entry = resolved[f.entry.index()];
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Cond, FuncBuilder, Operand};
+
+    #[test]
+    fn jump_chains_collapse() {
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        let hop1 = b.new_block();
+        let hop2 = b.new_block();
+        let dest = b.new_block();
+        b.set_term(e, Terminator::Jump(hop1));
+        b.set_term(hop1, Terminator::Jump(hop2));
+        b.set_term(hop2, Terminator::Jump(dest));
+        b.set_term(dest, Terminator::Return(Some(Operand::Imm(1))));
+        let mut f = b.finish();
+        assert!(chain_branches(&mut f));
+        assert_eq!(f.blocks[0].term, Terminator::Jump(dest));
+    }
+
+    #[test]
+    fn branch_arms_are_chained() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let hop = b.new_block();
+        let dest = b.new_block();
+        let other = b.new_block();
+        b.cmp_branch(e, x, 0i64, Cond::Eq, hop, other);
+        b.set_term(hop, Terminator::Jump(dest));
+        b.set_term(dest, Terminator::Return(None));
+        b.set_term(other, Terminator::Return(None));
+        let mut f = b.finish();
+        assert!(chain_branches(&mut f));
+        match f.blocks[0].term {
+            Terminator::Branch { taken, .. } => assert_eq!(taken, dest),
+            ref t => panic!("unexpected {t:?}"),
+        }
+    }
+
+    #[test]
+    fn non_empty_blocks_stop_the_chain() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let e = b.entry();
+        let hop = b.new_block();
+        let dest = b.new_block();
+        b.copy(e, x, 0i64);
+        b.set_term(e, Terminator::Jump(hop));
+        b.copy(hop, x, 5i64);
+        b.set_term(hop, Terminator::Jump(dest));
+        b.set_term(dest, Terminator::Return(Some(Operand::Reg(x))));
+        let mut f = b.finish();
+        assert!(!chain_branches(&mut f));
+        assert_eq!(f.blocks[0].term, Terminator::Jump(hop));
+    }
+
+    #[test]
+    fn self_loop_of_jumps_terminates() {
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        let a = b.new_block();
+        let c = b.new_block();
+        b.set_term(e, Terminator::Jump(a));
+        b.set_term(a, Terminator::Jump(c));
+        b.set_term(c, Terminator::Jump(a)); // cycle a <-> c
+        let mut f = b.finish();
+        chain_branches(&mut f); // must not hang
+    }
+}

@@ -1,0 +1,199 @@
+//! Local common-subexpression elimination.
+
+use std::collections::HashMap;
+
+use br_ir::{BinOp, Function, Inst, Operand, Reg, UnOp};
+
+/// An available pure computation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Expr {
+    Bin(BinOp, Operand, Operand),
+    Un(UnOp, Operand),
+}
+
+/// Within each block, reuse the result of an identical earlier pure ALU
+/// computation instead of recomputing it. Loads are not considered (a
+/// store or call could change memory between them). Returns whether
+/// anything changed.
+pub fn eliminate_common_subexpressions(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        // expr -> register holding its value.
+        let mut available: HashMap<Expr, Reg> = HashMap::new();
+        for inst in &mut block.insts {
+            let expr = match inst {
+                Inst::Bin { op, lhs, rhs, .. } => {
+                    // Canonicalize commutative operands for more hits.
+                    let (a, b) = (*lhs, *rhs);
+                    let (a, b) = if commutative(*op) && operand_key(b) < operand_key(a) {
+                        (b, a)
+                    } else {
+                        (a, b)
+                    };
+                    Some(Expr::Bin(*op, a, b))
+                }
+                Inst::Un { op, src, .. } => Some(Expr::Un(*op, *src)),
+                _ => None,
+            };
+            // Replace a recomputation before invalidating anything (the
+            // expression reads the *old* operand values).
+            let mut hit = false;
+            if let (Some(expr), Some(dst)) = (&expr, inst.def()) {
+                if let Some(&prev) = available.get(expr) {
+                    hit = true;
+                    if prev != dst {
+                        *inst = Inst::Copy {
+                            dst,
+                            src: Operand::Reg(prev),
+                        };
+                        changed = true;
+                    }
+                }
+            }
+            // Any redefinition invalidates expressions mentioning the
+            // register (including the table entries holding it).
+            if let Some(d) = inst.def() {
+                available.retain(|e, holder| {
+                    *holder != d
+                        && match e {
+                            Expr::Bin(_, a, b) => a.reg() != Some(d) && b.reg() != Some(d),
+                            Expr::Un(_, a) => a.reg() != Some(d),
+                        }
+                });
+                // Record the fresh value — unless the expression reads
+                // its own destination (`x = x + 3`), which no later
+                // instruction can reproduce.
+                if let (Some(expr), false) = (expr, hit) {
+                    let self_ref = match expr {
+                        Expr::Bin(_, a, b) => a.reg() == Some(d) || b.reg() == Some(d),
+                        Expr::Un(_, a) => a.reg() == Some(d),
+                    };
+                    if !self_ref {
+                        available.insert(expr, d);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}
+
+/// A total order over operands for canonicalization.
+fn operand_key(op: Operand) -> (u8, i64) {
+    match op {
+        Operand::Reg(r) => (0, r.0 as i64),
+        Operand::Imm(i) => (1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{FuncBuilder, Terminator};
+
+    #[test]
+    fn reuses_identical_computation() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let y = b.new_reg();
+        let z = b.new_reg();
+        let s = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        b.bin(e, BinOp::Add, y, x, 3i64);
+        b.bin(e, BinOp::Add, z, x, 3i64); // identical
+        b.bin(e, BinOp::Add, s, y, z);
+        b.set_term(e, Terminator::Return(Some(Operand::Reg(s))));
+        let mut f = b.finish();
+        assert!(eliminate_common_subexpressions(&mut f));
+        assert_eq!(
+            f.blocks[0].insts[1],
+            Inst::Copy {
+                dst: z,
+                src: Operand::Reg(y)
+            }
+        );
+    }
+
+    #[test]
+    fn commutative_operands_canonicalize() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let w = b.new_reg();
+        let y = b.new_reg();
+        let z = b.new_reg();
+        b.set_param_regs(vec![x, w]);
+        let e = b.entry();
+        b.bin(e, BinOp::Mul, y, x, w);
+        b.bin(e, BinOp::Mul, z, w, x); // same product, swapped
+        b.store(e, 0i64, 0i64, y);
+        b.store(e, 0i64, 1i64, z);
+        b.set_term(e, Terminator::Return(None));
+        let mut f = b.finish();
+        assert!(eliminate_common_subexpressions(&mut f));
+        assert!(matches!(f.blocks[0].insts[1], Inst::Copy { .. }));
+    }
+
+    #[test]
+    fn non_commutative_swapped_operands_differ() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let w = b.new_reg();
+        let y = b.new_reg();
+        let z = b.new_reg();
+        b.set_param_regs(vec![x, w]);
+        let e = b.entry();
+        b.bin(e, BinOp::Sub, y, x, w);
+        b.bin(e, BinOp::Sub, z, w, x); // NOT the same
+        b.store(e, 0i64, 0i64, y);
+        b.store(e, 0i64, 1i64, z);
+        b.set_term(e, Terminator::Return(None));
+        let mut f = b.finish();
+        assert!(!eliminate_common_subexpressions(&mut f));
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let y = b.new_reg();
+        let z = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        b.bin(e, BinOp::Add, y, x, 1i64);
+        b.bin(e, BinOp::Add, x, x, 5i64); // x changes
+        b.bin(e, BinOp::Add, z, x, 1i64); // must NOT reuse y
+        b.store(e, 0i64, 0i64, y);
+        b.store(e, 0i64, 1i64, z);
+        b.set_term(e, Terminator::Return(None));
+        let mut f = b.finish();
+        eliminate_common_subexpressions(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::Bin { .. }));
+    }
+
+    #[test]
+    fn holder_redefinition_invalidates() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let y = b.new_reg();
+        let z = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        b.bin(e, BinOp::Add, y, x, 1i64); // y = x+1
+        b.copy(e, y, 0i64); // y clobbered
+        b.bin(e, BinOp::Add, z, x, 1i64); // must recompute
+        b.store(e, 0i64, 0i64, y);
+        b.store(e, 0i64, 1i64, z);
+        b.set_term(e, Terminator::Return(None));
+        let mut f = b.finish();
+        eliminate_common_subexpressions(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::Bin { .. }));
+    }
+}

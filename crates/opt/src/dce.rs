@@ -1,0 +1,242 @@
+//! Dead code elimination: dead definitions, dead compares, and
+//! unreachable blocks.
+
+use std::collections::HashSet;
+
+use br_ir::{reachable, BlockId, Function, Inst, Terminator};
+
+/// Remove pure instructions whose results are never used anywhere in the
+/// function, and compares whose condition codes no branch can observe.
+/// Iterates to a local fixed point. Returns whether anything changed.
+pub fn eliminate_dead_code(f: &mut Function) -> bool {
+    let mut any = false;
+    loop {
+        let mut changed = false;
+        // Global "some instruction reads this register" set. Not a real
+        // liveness analysis, but sound: a def with zero reads anywhere is
+        // certainly dead.
+        let mut used = HashSet::new();
+        for b in &f.blocks {
+            for i in &b.insts {
+                used.extend(i.uses());
+            }
+            used.extend(b.term.uses());
+        }
+        let cc_needed = cc_needed_on_exit(f);
+        for (bi, block) in f.blocks.iter_mut().enumerate() {
+            let n_before = block.insts.len();
+            let last_cmp = block
+                .insts
+                .iter()
+                .rposition(|i| matches!(i, Inst::Cmp { .. }));
+            let mut idx = 0usize;
+            block.insts.retain(|inst| {
+                let keep = match inst {
+                    Inst::Cmp { .. } => {
+                        // A shadowed compare (another follows in-block) is
+                        // dead; the final one is live only if the block's
+                        // own branch or some cc-transparent successor path
+                        // consumes it.
+                        Some(idx) == last_cmp && cc_needed[bi]
+                    }
+                    _ => {
+                        inst.has_side_effect()
+                            || inst.may_trap()
+                            || inst.def().is_none_or(|d| used.contains(&d))
+                    }
+                };
+                idx += 1;
+                keep
+            });
+            if block.insts.len() != n_before {
+                changed = true;
+            }
+        }
+        any |= changed;
+        if !changed {
+            return any;
+        }
+    }
+}
+
+/// For each block: does the condition-code value at the block's *end* need
+/// to be preserved? True if the block's terminator is a conditional branch,
+/// or if any successor consumes the incoming cc before writing it
+/// (transitively).
+fn cc_needed_on_exit(f: &Function) -> Vec<bool> {
+    let n = f.blocks.len();
+    // needs_in[b]: block b's behaviour depends on cc at entry.
+    let mut needs_in = vec![false; n];
+    let mut needs_out = vec![false; n];
+    loop {
+        let mut changed = false;
+        for b in (0..n).rev() {
+            let block = &f.blocks[b];
+            let has_cc_writer = block
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Cmp { .. } | Inst::Call { .. }));
+            let succ_needs = block
+                .term
+                .successors()
+                .iter()
+                .any(|s| needs_in[s.index()]);
+            let out = matches!(block.term, Terminator::Branch { .. }) || succ_needs;
+            let inn = if has_cc_writer { false } else { out };
+            if out != needs_out[b] || inn != needs_in[b] {
+                needs_out[b] = out;
+                needs_in[b] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            return needs_out;
+        }
+    }
+}
+
+/// Delete blocks unreachable from the entry and compact/renumber the rest.
+/// Returns whether anything changed.
+pub fn remove_unreachable_blocks(f: &mut Function) -> bool {
+    let live = reachable(f);
+    if live.len() == f.blocks.len() {
+        return false;
+    }
+    // Map old index -> new id, in storage order to keep layout stable.
+    let mut map = vec![None; f.blocks.len()];
+    let mut next = 0u32;
+    for (i, slot) in map.iter_mut().enumerate() {
+        if live.contains(&BlockId(i as u32)) {
+            *slot = Some(BlockId(next));
+            next += 1;
+        }
+    }
+    let mut old_blocks = std::mem::take(&mut f.blocks);
+    for (i, mut b) in old_blocks.drain(..).enumerate() {
+        if map[i].is_some() {
+            b.term.map_successors(|s| map[s.index()].expect("live successor"));
+            f.blocks.push(b);
+        }
+    }
+    f.entry = map[f.entry.index()].expect("entry is live");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{BinOp, Cond, FuncBuilder, Operand, Reg};
+
+    #[test]
+    fn removes_unused_pure_def() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let e = b.entry();
+        b.bin(e, BinOp::Add, x, 1i64, 2i64);
+        b.set_term(e, Terminator::Return(None));
+        let mut f = b.finish();
+        assert!(eliminate_dead_code(&mut f));
+        assert!(f.blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn keeps_side_effects_and_traps() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let e = b.entry();
+        b.bin(e, BinOp::Div, x, 1i64, 0i64); // trap: must stay
+        b.store(e, 0i64, 0i64, 7i64); // side effect: must stay
+        b.set_term(e, Terminator::Return(None));
+        let mut f = b.finish();
+        eliminate_dead_code(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn removes_shadowed_and_unconsumed_cmps() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let t = b.new_block();
+        let n = b.new_block();
+        b.cmp(e, x, 1i64); // shadowed
+        b.cmp(e, x, 2i64); // consumed by the branch
+        b.set_term(e, Terminator::branch(Cond::Eq, t, n));
+        b.cmp(t, x, 3i64); // never consumed
+        b.set_term(t, Terminator::Return(None));
+        b.set_term(n, Terminator::Return(None));
+        let mut f = b.finish();
+        assert!(eliminate_dead_code(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+        assert_eq!(
+            f.blocks[0].insts[0],
+            Inst::Cmp {
+                lhs: Operand::Reg(x),
+                rhs: Operand::Imm(2)
+            }
+        );
+        assert!(f.blocks[1].insts.is_empty());
+    }
+
+    #[test]
+    fn keeps_cmp_consumed_by_successor_branch() {
+        // The shape left behind by redundant-comparison elimination:
+        // cmp in one block, a second branch in the next block reuses it.
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let mid = b.new_block();
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        b.cmp_branch(e, x, 5i64, Cond::Gt, t1, mid);
+        b.set_term(mid, Terminator::branch(Cond::Eq, t2, t1)); // reuses cc
+        b.set_term(t1, Terminator::Return(Some(Operand::Imm(1))));
+        b.set_term(t2, Terminator::Return(Some(Operand::Imm(2))));
+        let mut f = b.finish();
+        eliminate_dead_code(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 1, "cmp must survive");
+    }
+
+    #[test]
+    fn dead_cmp_chain_follow_through_jump() {
+        // cmp feeding a branch that sits behind an empty jump block.
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let hop = b.new_block();
+        let brk = b.new_block();
+        let t = b.new_block();
+        b.cmp(e, x, 9i64);
+        b.set_term(e, Terminator::Jump(hop));
+        b.set_term(hop, Terminator::Jump(brk));
+        b.set_term(brk, Terminator::branch(Cond::Lt, t, t));
+        b.set_term(t, Terminator::Return(None));
+        let mut f = b.finish();
+        eliminate_dead_code(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 1, "cmp feeds a distant branch");
+    }
+
+    #[test]
+    fn unreachable_blocks_are_compacted() {
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        let dead = b.new_block();
+        let live = b.new_block();
+        b.set_term(e, Terminator::Jump(live));
+        b.set_term(dead, Terminator::Return(Some(Operand::Imm(13))));
+        b.set_term(live, Terminator::Return(Some(Operand::Imm(7))));
+        let mut f = b.finish();
+        assert!(remove_unreachable_blocks(&mut f));
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(1)));
+        assert_eq!(
+            f.blocks[1].term,
+            Terminator::Return(Some(Operand::Imm(7)))
+        );
+        assert!(!remove_unreachable_blocks(&mut f), "idempotent");
+        let _ = Reg(0);
+    }
+}

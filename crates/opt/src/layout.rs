@@ -1,0 +1,184 @@
+//! Code repositioning: physically order blocks so that likely control
+//! transfers fall through. Storage order *is* layout order for the
+//! interpreter's jump accounting, so this pass is what gives jumps and
+//! branches realistic costs.
+
+use br_ir::{reverse_postorder, BlockId, Function, Terminator};
+
+/// Greedily lay out blocks in fall-through chains (entry first), then
+/// invert conditional branches whose arms ended up the wrong way around.
+pub fn reposition(f: &mut Function) {
+    let n = f.blocks.len();
+    let mut order: Vec<BlockId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    // Seed order: entry, then reverse postorder, then any stragglers
+    // (unreachable blocks keep deterministic placement until DCE runs).
+    let mut seeds = vec![f.entry];
+    seeds.extend(reverse_postorder(f));
+    seeds.extend(f.block_ids());
+    for seed in seeds {
+        let mut cur = seed;
+        while !placed[cur.index()] {
+            placed[cur.index()] = true;
+            order.push(cur);
+            // Extend the chain along the preferred fall-through edge.
+            let next = match &f.blocks[cur.index()].term {
+                Terminator::Jump(t) => Some(*t),
+                Terminator::Branch {
+                    taken, not_taken, ..
+                } => {
+                    if !placed[not_taken.index()] {
+                        Some(*not_taken)
+                    } else {
+                        Some(*taken)
+                    }
+                }
+                Terminator::IndirectJump { targets, .. } => targets.first().copied(),
+                Terminator::Return(_) => None,
+            };
+            match next {
+                Some(t) if !placed[t.index()] => cur = t,
+                _ => break,
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    apply_order(f, &order);
+    invert_branches(f);
+}
+
+/// Physically permute blocks into `order` and renumber every reference.
+fn apply_order(f: &mut Function, order: &[BlockId]) {
+    let mut new_id = vec![BlockId(0); f.blocks.len()];
+    for (new_idx, &old) in order.iter().enumerate() {
+        new_id[old.index()] = BlockId(new_idx as u32);
+    }
+    let old_blocks = std::mem::take(&mut f.blocks);
+    let mut slots: Vec<Option<br_ir::Block>> = old_blocks.into_iter().map(Some).collect();
+    for &old in order {
+        let mut b = slots[old.index()].take().expect("each block placed once");
+        b.term.map_successors(|s| new_id[s.index()]);
+        f.blocks.push(b);
+    }
+    f.entry = new_id[f.entry.index()];
+}
+
+/// Where a branch's taken arm is adjacent but its not-taken arm is not,
+/// negate the condition and swap the arms so the adjacent block becomes
+/// the fall-through.
+fn invert_branches(f: &mut Function) {
+    for i in 0..f.blocks.len() {
+        if let Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } = f.blocks[i].term
+        {
+            let next = BlockId(i as u32 + 1);
+            if not_taken != next && taken == next {
+                f.blocks[i].term = Terminator::Branch {
+                    cond: cond.negate(),
+                    taken: not_taken,
+                    not_taken: taken,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Cond, FuncBuilder, Operand};
+
+    #[test]
+    fn entry_is_always_first() {
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        let far = b.new_block();
+        b.set_term(e, Terminator::Jump(far));
+        b.set_term(far, Terminator::Return(None));
+        let mut f = b.finish();
+        // Move the entry away from slot 0 artificially.
+        f.blocks.swap(0, 1);
+        f.entry = BlockId(1);
+        f.blocks[1].term = Terminator::Jump(BlockId(0));
+        reposition(&mut f);
+        assert_eq!(f.entry, BlockId(0));
+        assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(1)));
+    }
+
+    #[test]
+    fn chains_follow_not_taken_arms() {
+        // entry branches: not_taken should be laid adjacent.
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let t = b.new_block();
+        let nt = b.new_block();
+        b.cmp_branch(e, x, 0i64, Cond::Eq, t, nt);
+        b.set_term(t, Terminator::Return(Some(Operand::Imm(1))));
+        b.set_term(nt, Terminator::Return(Some(Operand::Imm(0))));
+        let mut f = b.finish();
+        reposition(&mut f);
+        match f.blocks[0].term {
+            Terminator::Branch { not_taken, .. } => assert_eq!(not_taken, BlockId(1)),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inversion_fixes_backwards_arms() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let t = b.new_block();
+        let nt = b.new_block();
+        // Force both arms placed: nt's chain is taken first via a jump
+        // block so the branch ends up with taken adjacent.
+        b.cmp(e, x, 0i64);
+        b.set_term(e, Terminator::branch(Cond::Lt, t, nt));
+        b.set_term(t, Terminator::Jump(nt));
+        b.set_term(nt, Terminator::Return(None));
+        let mut f = b.finish();
+        reposition(&mut f);
+        // However blocks land, every branch must have its not-taken arm
+        // adjacent or both arms non-adjacent.
+        for (i, blk) in f.blocks.iter().enumerate() {
+            if let Terminator::Branch {
+                taken, not_taken, ..
+            } = blk.term
+            {
+                let next = BlockId(i as u32 + 1);
+                assert!(
+                    not_taken == next || taken != next,
+                    "invertible branch left uninverted at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_preserved_under_layout() {
+        use br_vm::{run, VmOptions};
+        // abs-like function: layout must not change results.
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        let neg = b.new_block();
+        let pos = b.new_block();
+        b.copy(e, x, -7i64);
+        b.cmp_branch(e, x, 0i64, Cond::Ge, pos, neg);
+        b.un(neg, br_ir::UnOp::Neg, x, x);
+        b.set_term(neg, Terminator::Jump(pos));
+        b.set_term(pos, Terminator::Return(Some(Operand::Reg(x))));
+        let mut f = b.finish();
+        let mut m = br_ir::Module::new();
+        reposition(&mut f);
+        br_ir::verify_function(&f, None).unwrap();
+        m.main = Some(m.add_function(f));
+        assert_eq!(run(&m, b"", &VmOptions::default()).unwrap().exit, 7);
+    }
+}

@@ -1,0 +1,98 @@
+//! # br-opt
+//!
+//! The "conventional optimizations" of the paper's compilation pipeline
+//! (its Figure 2 applies all of `vpo`'s conventional optimizations before
+//! branch reordering, and re-invokes clean-up passes afterwards):
+//!
+//! * [`fold`] — local constant propagation and folding, including folding
+//!   conditional branches on constant compares.
+//! * [`algebra`] — algebraic simplification and strength reduction.
+//! * [`copyprop`] — local copy propagation.
+//! * [`cse`] — local common-subexpression elimination.
+//! * [`dce`] — dead instruction, dead compare, and unreachable-block
+//!   elimination.
+//! * [`chain`] — branch chaining: retargets control transfers that land on
+//!   empty jump-only blocks.
+//! * [`licm`] — conservative loop-invariant code motion.
+//! * [`liveness`] — global liveness analysis.
+//! * [`regalloc`] — linear-scan register allocation (optional backend
+//!   realism; not part of the default pipeline).
+//! * [`merge`] — merges single-predecessor straight-line block pairs.
+//! * [`layout`] — code repositioning: physically orders blocks to maximize
+//!   fall-through and inverts branches where that saves a jump (the
+//!   paper's "code repositioning ... to minimize unconditional jumps").
+//!
+//! [`optimize`] runs the standard pre-reordering pipeline on a module;
+//! [`cleanup`] runs the post-reordering pipeline (DCE, chaining,
+//! repositioning), as the paper does after applying the transformation.
+
+pub mod algebra;
+pub mod chain;
+pub mod copyprop;
+pub mod cse;
+pub mod dce;
+pub mod fold;
+pub mod layout;
+pub mod licm;
+pub mod liveness;
+pub mod merge;
+pub mod regalloc;
+
+use br_ir::{Function, Module};
+
+/// Run the full conventional-optimization pipeline on every function, then
+/// lay the code out. Idempotent in practice; cheap enough to re-run.
+pub fn optimize(module: &mut Module) {
+    for f in &mut module.functions {
+        optimize_function(f);
+    }
+}
+
+/// The per-function pre-reordering pipeline.
+pub fn optimize_function(f: &mut Function) {
+    // To a fixed point of the cheap scalar/CFG passes (they enable each
+    // other), then one layout pass at the end.
+    for _ in 0..4 {
+        let mut changed = false;
+        changed |= fold::fold_constants(f);
+        changed |= algebra::simplify_algebra(f);
+        changed |= copyprop::propagate_copies(f);
+        changed |= cse::eliminate_common_subexpressions(f);
+        changed |= dce::eliminate_dead_code(f);
+        changed |= chain::chain_branches(f);
+        changed |= merge::merge_blocks(f);
+        changed |= dce::remove_unreachable_blocks(f);
+        changed |= licm::hoist_loop_invariants(f);
+        if !changed {
+            break;
+        }
+    }
+    layout::reposition(f);
+}
+
+/// The post-reordering clean-up pipeline the paper re-invokes: dead code
+/// elimination, branch chaining, and code repositioning.
+pub fn cleanup(module: &mut Module) {
+    for f in &mut module.functions {
+        cleanup_function(f);
+    }
+}
+
+/// Per-function post-reordering clean-up.
+///
+/// Deliberately excludes [`copyprop`]/[`fold`] rewrites of compares so the
+/// reordered compare/branch structure (including deliberately shared
+/// compares from redundant-comparison elimination) is preserved.
+pub fn cleanup_function(f: &mut Function) {
+    for _ in 0..4 {
+        let mut changed = false;
+        changed |= dce::eliminate_dead_code(f);
+        changed |= chain::chain_branches(f);
+        changed |= merge::merge_blocks(f);
+        changed |= dce::remove_unreachable_blocks(f);
+        if !changed {
+            break;
+        }
+    }
+    layout::reposition(f);
+}

@@ -1,0 +1,138 @@
+//! Global liveness analysis: which virtual registers are live at block
+//! boundaries. Backward iterative dataflow over the CFG.
+
+use std::collections::HashSet;
+
+use br_ir::{Function, Reg};
+
+/// Per-block liveness sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<HashSet<Reg>>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<HashSet<Reg>>,
+}
+
+/// Compute liveness for `f`.
+pub fn analyze(f: &Function) -> Liveness {
+    let n = f.blocks.len();
+    // Per-block gen (used before any def) and kill (defined) sets.
+    let mut gen_set = vec![HashSet::new(); n];
+    let mut kill = vec![HashSet::new(); n];
+    for (i, block) in f.blocks.iter().enumerate() {
+        for inst in &block.insts {
+            for u in inst.uses() {
+                if !kill[i].contains(&u) {
+                    gen_set[i].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                kill[i].insert(d);
+            }
+        }
+        for u in block.term.uses() {
+            if !kill[i].contains(&u) {
+                gen_set[i].insert(u);
+            }
+        }
+    }
+    let mut live_in = vec![HashSet::new(); n];
+    let mut live_out = vec![HashSet::new(); n];
+    loop {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            let mut out: HashSet<Reg> = HashSet::new();
+            for s in f.blocks[i].term.successors() {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn = gen_set[i].clone();
+            for &r in &out {
+                if !kill[i].contains(&r) {
+                    inn.insert(r);
+                }
+            }
+            if out != live_out[i] || inn != live_in[i] {
+                live_out[i] = out;
+                live_in[i] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Liveness { live_in, live_out };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{BinOp, Cond, FuncBuilder, Operand, Terminator};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let y = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        b.bin(e, BinOp::Add, y, x, 1i64);
+        b.set_term(e, Terminator::Return(Some(Operand::Reg(y))));
+        let f = b.finish();
+        let l = analyze(&f);
+        assert!(l.live_in[0].contains(&x));
+        assert!(!l.live_in[0].contains(&y), "y is defined before use");
+        assert!(l.live_out[0].is_empty());
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        // i and s are live around the loop; t only inside the body.
+        let mut b = FuncBuilder::new("f");
+        let i = b.new_reg();
+        let s = b.new_reg();
+        let t = b.new_reg();
+        let e = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.copy(e, i, 0i64);
+        b.copy(e, s, 0i64);
+        b.set_term(e, Terminator::Jump(head));
+        b.cmp_branch(head, i, 10i64, Cond::Ge, done, body);
+        b.bin(body, BinOp::Mul, t, i, 2i64);
+        b.bin(body, BinOp::Add, s, s, t);
+        b.bin(body, BinOp::Add, i, i, 1i64);
+        b.set_term(body, Terminator::Jump(head));
+        b.set_term(done, Terminator::Return(Some(Operand::Reg(s))));
+        let f = b.finish();
+        let l = analyze(&f);
+        let head_i = head.index();
+        assert!(l.live_in[head_i].contains(&i));
+        assert!(l.live_in[head_i].contains(&s));
+        assert!(!l.live_in[head_i].contains(&t), "t is body-local");
+        assert!(l.live_out[body.index()].contains(&i));
+    }
+
+    #[test]
+    fn branch_arms_merge_liveness() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let a = b.new_reg();
+        let c = b.new_reg();
+        b.set_param_regs(vec![x, a, c]);
+        let e = b.entry();
+        let l_ = b.new_block();
+        let r = b.new_block();
+        b.cmp_branch(e, x, 0i64, Cond::Eq, l_, r);
+        b.set_term(l_, Terminator::Return(Some(Operand::Reg(a))));
+        b.set_term(r, Terminator::Return(Some(Operand::Reg(c))));
+        let f = b.finish();
+        let l = analyze(&f);
+        // Both a and c are live out of the entry (one per arm).
+        assert!(l.live_out[0].contains(&a));
+        assert!(l.live_out[0].contains(&c));
+        assert!(l.live_in[l_.index()].contains(&a));
+        assert!(!l.live_in[l_.index()].contains(&c));
+    }
+}

@@ -1,0 +1,825 @@
+//! The interpreter.
+
+use br_ir::{Callee, Inst, Intrinsic, Module, Operand, Reg, Terminator};
+
+use crate::predictor::{Predictor, PredictorConfig, PredictorResult};
+use crate::stats::ExecStats;
+use crate::trap::Trap;
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+pub struct VmOptions {
+    /// Upper bound on executed blocks (runaway guard).
+    pub max_steps: u64,
+    /// Upper bound on call depth.
+    pub max_call_depth: usize,
+    /// Words of memory available for stack frames beyond the globals.
+    pub stack_words: usize,
+    /// Predictor configurations to simulate during the run (all updated
+    /// from the same branch stream, so a single execution yields a whole
+    /// sweep).
+    pub predictors: Vec<PredictorConfig>,
+    /// Instruction cost charged per indirect jump. SPARC needs roughly a
+    /// table-address computation, a load, and the jump itself, so 3 is the
+    /// default; bounds checks are explicit compare/branch code emitted by
+    /// the front end and are counted on their own.
+    pub indirect_jump_insts: u64,
+    /// Capture the first N executed basic blocks as trace lines
+    /// (`f0:b3`) in [`RunOutcome::trace`]. 0 disables tracing.
+    pub trace_blocks: usize,
+}
+
+impl Default for VmOptions {
+    fn default() -> VmOptions {
+        VmOptions {
+            max_steps: 500_000_000,
+            max_call_depth: 512,
+            stack_words: 1 << 20,
+            predictors: Vec::new(),
+            indirect_jump_insts: 3,
+            trace_blocks: 0,
+        }
+    }
+}
+
+/// Everything observed from one execution.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// `main`'s return value.
+    pub exit: i64,
+    /// Bytes written through `putchar`/`putint`.
+    pub output: Vec<u8>,
+    /// Architectural event counts.
+    pub stats: ExecStats,
+    /// Profile counters: `profiles[seq][range]` executions, matching the
+    /// module's [`br_ir::ProfilePlan`]s.
+    pub profiles: Vec<Vec<u64>>,
+    /// One result per requested predictor configuration.
+    pub predictor_results: Vec<PredictorResult>,
+    /// First `trace_blocks` executed blocks, as `fN:bM` lines.
+    pub trace: Vec<String>,
+}
+
+struct State<'m> {
+    module: &'m Module,
+    opts: &'m VmOptions,
+    memory: Vec<i64>,
+    frame_top: i64,
+    input: &'m [u8],
+    input_pos: usize,
+    output: Vec<u8>,
+    stats: ExecStats,
+    profiles: Vec<Vec<u64>>,
+    predictors: Vec<Predictor>,
+    /// Static address of each block's terminator: `[func][block]`.
+    branch_addrs: Vec<Vec<u64>>,
+    /// Whether each block's delay slot is UNFILLED: `[func][block]`.
+    /// A slot is fillable from above when the block carries at least one
+    /// real instruction besides the compare feeding its own branch
+    /// (profiling probes are not real instructions). This conservative
+    /// approximation ignores filling from successors, which the paper
+    /// notes often yields annulled (useless) slots anyway.
+    unfilled_slot: Vec<Vec<bool>>,
+    steps: u64,
+    depth: usize,
+    trace: Vec<String>,
+}
+
+/// Execute the module's `main` function on `input`.
+///
+/// Block storage order is treated as final code layout for fall-through
+/// accounting; run the layout pass (`br_opt::reposition`) first if the
+/// module has not been laid out.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] for abnormal termination: division by zero, memory
+/// or jump-table violations, undefined condition codes, explicit `abort`,
+/// or exceeded step/stack budgets.
+pub fn run(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome, Trap> {
+    let main = module.main.ok_or(Trap::NoMain)?;
+    let globals_end = module.globals_end();
+    let mut memory = vec![0i64; globals_end as usize + opts.stack_words];
+    for g in &module.globals {
+        let at = g.addr as usize;
+        memory[at..at + g.init.len()].copy_from_slice(&g.init);
+    }
+    // Assign each block terminator a static address: cumulative instruction
+    // offsets in storage (= layout) order, so predictor aliasing resembles
+    // real code addresses.
+    let mut branch_addrs = Vec::with_capacity(module.functions.len());
+    let mut unfilled_slot = Vec::with_capacity(module.functions.len());
+    let mut addr = 0u64;
+    for f in &module.functions {
+        let mut per_block = Vec::with_capacity(f.blocks.len());
+        let mut per_block_slot = Vec::with_capacity(f.blocks.len());
+        for b in &f.blocks {
+            addr += b.insts.len() as u64;
+            per_block.push(addr);
+            addr += 1;
+            let real: Vec<&Inst> = b
+                .insts
+                .iter()
+                .filter(|i| {
+                    !matches!(i, Inst::ProfileRanges { .. } | Inst::ProfileOutcomes { .. })
+                })
+                .collect();
+            let fillable = match &b.term {
+                Terminator::Branch { .. } => {
+                    // The final compare feeds the branch and cannot sit
+                    // in its own delay slot.
+                    real.len() >= 2
+                        || (real.len() == 1 && !matches!(real[0], Inst::Cmp { .. }))
+                }
+                _ => !real.is_empty(),
+            };
+            per_block_slot.push(!fillable);
+        }
+        branch_addrs.push(per_block);
+        unfilled_slot.push(per_block_slot);
+    }
+    let mut state = State {
+        module,
+        opts,
+        memory,
+        frame_top: globals_end,
+        input,
+        input_pos: 0,
+        output: Vec::new(),
+        stats: ExecStats::new(),
+        profiles: module
+            .profile_plans
+            .iter()
+            .map(|p| vec![0; p.counter_count()])
+            .collect(),
+        predictors: opts.predictors.iter().map(|&c| Predictor::new(c)).collect(),
+        branch_addrs,
+        unfilled_slot,
+        steps: 0,
+        depth: 0,
+        trace: Vec::new(),
+    };
+    let exit = exec_function(&mut state, main.index(), &[])?;
+    Ok(RunOutcome {
+        exit,
+        output: state.output,
+        stats: state.stats,
+        profiles: state.profiles,
+        predictor_results: state.predictors.iter().map(Predictor::result).collect(),
+        trace: state.trace,
+    })
+}
+
+fn operand(regs: &[i64], op: Operand) -> i64 {
+    match op {
+        Operand::Reg(Reg(r)) => regs[r as usize],
+        Operand::Imm(i) => i,
+    }
+}
+
+fn exec_function(state: &mut State<'_>, func: usize, args: &[i64]) -> Result<i64, Trap> {
+    if state.depth >= state.opts.max_call_depth {
+        return Err(Trap::StackOverflow { depth: state.depth });
+    }
+    state.depth += 1;
+    let f = &state.module.functions[func];
+    let frame_base = state.frame_top;
+    if frame_base as usize + f.frame_size as usize > state.memory.len() {
+        return Err(Trap::StackOverflow { depth: state.depth });
+    }
+    state.frame_top += f.frame_size as i64;
+    // Local arrays start zeroed on every activation.
+    for w in &mut state.memory[frame_base as usize..(frame_base + f.frame_size as i64) as usize] {
+        *w = 0;
+    }
+
+    let mut regs = vec![0i64; f.num_regs as usize];
+    for (reg, val) in f.param_regs.iter().zip(args) {
+        regs[reg.0 as usize] = *val;
+    }
+
+    let mut cur = f.entry;
+    let mut cc: Option<(i64, i64)> = None;
+    let result = 'run: loop {
+        state.steps += 1;
+        if state.steps > state.opts.max_steps {
+            break 'run Err(Trap::StepLimitExceeded {
+                limit: state.opts.max_steps,
+            });
+        }
+        if state.trace.len() < state.opts.trace_blocks {
+            state.trace.push(format!("f{func}:{cur}"));
+        }
+        let block = &f.blocks[cur.index()];
+        for inst in &block.insts {
+            match inst {
+                Inst::Copy { dst, src } => {
+                    state.stats.insts += 1;
+                    regs[dst.0 as usize] = operand(&regs, *src);
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    state.stats.insts += 1;
+                    let a = operand(&regs, *lhs);
+                    let b = operand(&regs, *rhs);
+                    match op.eval(a, b) {
+                        Some(v) => regs[dst.0 as usize] = v,
+                        None => break 'run Err(Trap::DivideByZero),
+                    }
+                }
+                Inst::Un { op, dst, src } => {
+                    state.stats.insts += 1;
+                    regs[dst.0 as usize] = op.eval(operand(&regs, *src));
+                }
+                Inst::Cmp { lhs, rhs } => {
+                    state.stats.insts += 1;
+                    state.stats.compares += 1;
+                    cc = Some((operand(&regs, *lhs), operand(&regs, *rhs)));
+                }
+                Inst::Load { dst, base, index } => {
+                    state.stats.insts += 1;
+                    state.stats.loads += 1;
+                    let addr = operand(&regs, *base).wrapping_add(operand(&regs, *index));
+                    if addr < 0 || addr as usize >= state.memory.len() {
+                        break 'run Err(Trap::MemoryOutOfBounds { addr });
+                    }
+                    regs[dst.0 as usize] = state.memory[addr as usize];
+                }
+                Inst::Store { base, index, src } => {
+                    state.stats.insts += 1;
+                    state.stats.stores += 1;
+                    let addr = operand(&regs, *base).wrapping_add(operand(&regs, *index));
+                    if addr < 0 || addr as usize >= state.memory.len() {
+                        break 'run Err(Trap::MemoryOutOfBounds { addr });
+                    }
+                    state.memory[addr as usize] = operand(&regs, *src);
+                }
+                Inst::FrameAddr { dst, offset } => {
+                    state.stats.insts += 1;
+                    regs[dst.0 as usize] = frame_base + *offset as i64;
+                }
+                Inst::Call { dst, callee, args } => {
+                    state.stats.insts += 1;
+                    state.stats.calls += 1;
+                    cc = None; // calls clobber the condition codes
+                    let vals: Vec<i64> = args.iter().map(|a| operand(&regs, *a)).collect();
+                    let ret = match callee {
+                        Callee::Intrinsic(i) => match exec_intrinsic(state, *i, &vals) {
+                            Ok(v) => v,
+                            Err(t) => break 'run Err(t),
+                        },
+                        Callee::Func(fid) => match exec_function(state, fid.index(), &vals) {
+                            Ok(v) => v,
+                            Err(t) => break 'run Err(t),
+                        },
+                    };
+                    if let Some(d) = dst {
+                        regs[d.0 as usize] = ret;
+                    }
+                }
+                Inst::ProfileRanges { seq, var } => {
+                    // Profiling probes are architecturally free.
+                    let v = regs[var.0 as usize];
+                    let plan = &state.module.profile_plans[seq.index()];
+                    if let Some(idx) = plan.range_containing(v) {
+                        state.profiles[seq.index()][idx] += 1;
+                    }
+                }
+                Inst::ProfileOutcomes { seq, conds } => {
+                    // Joint-outcome probe: evaluate every (pure) compare
+                    // and bump the counter for the outcome bitmask.
+                    let mut mask = 0usize;
+                    for (i, (lhs, rhs, cond)) in conds.iter().enumerate() {
+                        if cond.eval(operand(&regs, *lhs), operand(&regs, *rhs)) {
+                            mask |= 1 << i;
+                        }
+                    }
+                    state.profiles[seq.index()][mask] += 1;
+                }
+            }
+        }
+        if state.unfilled_slot[func][cur.index()] {
+            state.stats.delay_stalls += 1;
+        }
+        match &block.term {
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                state.stats.insts += 1;
+                state.stats.cond_branches += 1;
+                let Some((l, r)) = cc else {
+                    break 'run Err(Trap::UndefinedConditionCodes);
+                };
+                let is_taken = cond.eval(l, r);
+                let addr = state.branch_addrs[func][cur.index()];
+                for p in &mut state.predictors {
+                    p.record(addr, is_taken);
+                }
+                if is_taken {
+                    state.stats.taken_branches += 1;
+                    cur = *taken;
+                } else {
+                    // A not-taken branch falls through; if the layout
+                    // does not place `not_taken` next, an unconditional
+                    // jump materializes.
+                    if not_taken.index() != cur.index() + 1 {
+                        state.stats.insts += 1;
+                        state.stats.uncond_jumps += 1;
+                    }
+                    cur = *not_taken;
+                }
+            }
+            Terminator::Jump(t) => {
+                if t.index() != cur.index() + 1 {
+                    state.stats.insts += 1;
+                    state.stats.uncond_jumps += 1;
+                }
+                cur = *t;
+            }
+            Terminator::IndirectJump { index, targets } => {
+                state.stats.insts += state.opts.indirect_jump_insts;
+                state.stats.indirect_jumps += 1;
+                let v = regs[index.0 as usize];
+                if v < 0 || v as usize >= targets.len() {
+                    break 'run Err(Trap::IndirectJumpOutOfBounds {
+                        index: v,
+                        table_len: targets.len(),
+                    });
+                }
+                cur = targets[v as usize];
+            }
+            Terminator::Return(v) => {
+                state.stats.insts += 1;
+                state.stats.returns += 1;
+                break 'run Ok(v.map(|op| operand(&regs, op)).unwrap_or(0));
+            }
+        }
+    };
+    state.frame_top = frame_base;
+    state.depth -= 1;
+    result
+}
+
+fn exec_intrinsic(state: &mut State<'_>, i: Intrinsic, args: &[i64]) -> Result<i64, Trap> {
+    match i {
+        Intrinsic::GetChar => {
+            if state.input_pos < state.input.len() {
+                let c = state.input[state.input_pos];
+                state.input_pos += 1;
+                Ok(c as i64)
+            } else {
+                Ok(-1)
+            }
+        }
+        Intrinsic::PutChar => {
+            state.output.push(args[0] as u8);
+            Ok(args[0])
+        }
+        Intrinsic::PutInt => {
+            state.output.extend_from_slice(args[0].to_string().as_bytes());
+            state.output.push(b'\n');
+            Ok(args[0])
+        }
+        Intrinsic::Abort => Err(Trap::Abort { code: args[0] }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{BinOp, Cond, FuncBuilder, Module};
+
+    fn module_of(f: br_ir::Function) -> Module {
+        let mut m = Module::new();
+        m.main = Some(m.add_function(f));
+        m
+    }
+
+    /// `main` that sums 1..=n via a loop; checks counts and exit value.
+    fn loop_sum(n: i64) -> Module {
+        let mut b = FuncBuilder::new("main");
+        let i = b.new_reg();
+        let acc = b.new_reg();
+        let e = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.copy(e, i, 0i64);
+        b.copy(e, acc, 0i64);
+        b.set_term(e, Terminator::Jump(head));
+        b.cmp_branch(head, i, n, Cond::Ge, done, body);
+        b.bin(body, BinOp::Add, i, i, 1i64);
+        b.bin(body, BinOp::Add, acc, acc, i);
+        b.set_term(body, Terminator::Jump(head));
+        b.set_term(done, Terminator::Return(Some(Operand::Reg(acc))));
+        module_of(b.finish())
+    }
+
+    #[test]
+    fn sum_loop_computes_and_counts() {
+        let m = loop_sum(10);
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.exit, 55);
+        // Branch executes 11 times (10 continues + 1 exit).
+        assert_eq!(out.stats.cond_branches, 11);
+        assert_eq!(out.stats.taken_branches, 1);
+        assert_eq!(out.stats.compares, 11);
+        assert_eq!(out.stats.returns, 1);
+    }
+
+    #[test]
+    fn fallthrough_jumps_are_free() {
+        // entry jumps to next block (free) and then to a far block (paid).
+        let mut b = FuncBuilder::new("main");
+        let e = b.entry();
+        let nxt = b.new_block();
+        let far = b.new_block();
+        let mid = b.new_block();
+        b.set_term(e, Terminator::Jump(nxt)); // adjacent: free
+        b.set_term(nxt, Terminator::Jump(mid)); // skips far: paid
+        b.set_term(mid, Terminator::Jump(far)); // backwards: paid
+        b.set_term(far, Terminator::Return(None));
+        let m = module_of(b.finish());
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.stats.uncond_jumps, 2);
+        assert_eq!(out.stats.insts, 2 + 1); // two jumps + return
+    }
+
+    #[test]
+    fn not_taken_branch_to_non_adjacent_block_pays_a_jump() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        let far = b.new_block();
+        let target = b.new_block();
+        b.copy(e, x, 1i64);
+        b.cmp_branch(e, x, 0i64, Cond::Eq, far, target); // not taken, non-adjacent
+        b.set_term(far, Terminator::Return(None));
+        b.set_term(target, Terminator::Return(None));
+        let m = module_of(b.finish());
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.stats.cond_branches, 1);
+        assert_eq!(out.stats.taken_branches, 0);
+        assert_eq!(out.stats.uncond_jumps, 1);
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let mut b = FuncBuilder::new("main");
+        let c = b.new_reg();
+        let e = b.entry();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.set_term(e, Terminator::Jump(body));
+        b.push(
+            body,
+            Inst::Call {
+                dst: Some(c),
+                callee: Callee::Intrinsic(Intrinsic::GetChar),
+                args: vec![],
+            },
+        );
+        b.cmp(body, c, -1i64);
+        let echo = echo_block(&mut b, c, body);
+        b.set_term(body, Terminator::branch(Cond::Eq, done, echo));
+        b.set_term(done, Terminator::Return(Some(Operand::Imm(0))));
+        let m = module_of(b.finish());
+        let out = run(&m, b"hi!", &VmOptions::default()).unwrap();
+        assert_eq!(out.output, b"hi!");
+    }
+
+    /// Helper: builds an echo block that putchars `c` then jumps to `back`.
+    fn echo_block(b: &mut FuncBuilder, c: br_ir::Reg, back: br_ir::BlockId) -> br_ir::BlockId {
+        let echo = b.new_block();
+        b.push(
+            echo,
+            Inst::Call {
+                dst: None,
+                callee: Callee::Intrinsic(Intrinsic::PutChar),
+                args: vec![Operand::Reg(c)],
+            },
+        );
+        b.set_term(echo, Terminator::Jump(back));
+        echo
+    }
+
+    #[test]
+    fn getchar_returns_minus_one_at_eof() {
+        let mut b = FuncBuilder::new("main");
+        let c = b.new_reg();
+        let e = b.entry();
+        b.push(
+            e,
+            Inst::Call {
+                dst: Some(c),
+                callee: Callee::Intrinsic(Intrinsic::GetChar),
+                args: vec![],
+            },
+        );
+        b.set_term(e, Terminator::Return(Some(Operand::Reg(c))));
+        let m = module_of(b.finish());
+        assert_eq!(run(&m, b"", &VmOptions::default()).unwrap().exit, -1);
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        b.bin(e, BinOp::Div, x, 1i64, 0i64);
+        b.set_term(e, Terminator::Return(None));
+        let m = module_of(b.finish());
+        assert_eq!(
+            run(&m, b"", &VmOptions::default()).unwrap_err(),
+            Trap::DivideByZero
+        );
+    }
+
+    #[test]
+    fn memory_bounds_trap() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        b.load(e, x, -5i64, 0i64);
+        b.set_term(e, Terminator::Return(None));
+        let m = module_of(b.finish());
+        assert!(matches!(
+            run(&m, b"", &VmOptions::default()),
+            Err(Trap::MemoryOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let mut b = FuncBuilder::new("main");
+        let e = b.entry();
+        b.set_term(e, Terminator::Jump(e));
+        let m = module_of(b.finish());
+        let opts = VmOptions {
+            max_steps: 1000,
+            ..VmOptions::default()
+        };
+        assert!(matches!(
+            run(&m, b"", &opts),
+            Err(Trap::StepLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        let mut m = Module::new();
+        let mut callee = FuncBuilder::new("double");
+        let x = callee.new_reg();
+        callee.set_param_regs(vec![x]);
+        let e = callee.entry();
+        callee.bin(e, BinOp::Add, x, x, x);
+        callee.set_term(e, Terminator::Return(Some(Operand::Reg(x))));
+        let callee_id = m.add_function(callee.finish());
+
+        let mut main = FuncBuilder::new("main");
+        let r = main.new_reg();
+        let e = main.entry();
+        main.push(
+            e,
+            Inst::Call {
+                dst: Some(r),
+                callee: Callee::Func(callee_id),
+                args: vec![Operand::Imm(21)],
+            },
+        );
+        main.set_term(e, Terminator::Return(Some(Operand::Reg(r))));
+        m.main = Some(m.add_function(main.finish()));
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.exit, 42);
+        assert_eq!(out.stats.calls, 1);
+        assert_eq!(out.stats.returns, 2);
+    }
+
+    #[test]
+    fn frames_are_zeroed_per_activation() {
+        // callee writes to its frame; second call must still see zeros.
+        let mut m = Module::new();
+        let mut callee = FuncBuilder::new("probe");
+        let addr = callee.new_reg();
+        let v = callee.new_reg();
+        let slot = callee.alloc_frame(1);
+        let e = callee.entry();
+        callee.push(e, Inst::FrameAddr { dst: addr, offset: slot });
+        callee.load(e, v, addr, 0i64);
+        callee.store(e, addr, 0i64, 99i64);
+        callee.set_term(e, Terminator::Return(Some(Operand::Reg(v))));
+        let callee_id = m.add_function(callee.finish());
+
+        let mut main = FuncBuilder::new("main");
+        let a = main.new_reg();
+        let b2 = main.new_reg();
+        let s = main.new_reg();
+        let e = main.entry();
+        for dst in [a, b2] {
+            main.push(
+                e,
+                Inst::Call {
+                    dst: Some(dst),
+                    callee: Callee::Func(callee_id),
+                    args: vec![],
+                },
+            );
+        }
+        main.bin(e, BinOp::Add, s, a, b2);
+        main.set_term(e, Terminator::Return(Some(Operand::Reg(s))));
+        m.main = Some(m.add_function(main.finish()));
+        assert_eq!(run(&m, b"", &VmOptions::default()).unwrap().exit, 0);
+    }
+
+    #[test]
+    fn indirect_jump_dispatches_and_costs() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        let t0 = b.new_block();
+        let t1 = b.new_block();
+        b.copy(e, x, 1i64);
+        b.set_term(
+            e,
+            Terminator::IndirectJump {
+                index: x,
+                targets: vec![t0, t1],
+            },
+        );
+        b.set_term(t0, Terminator::Return(Some(Operand::Imm(0))));
+        b.set_term(t1, Terminator::Return(Some(Operand::Imm(1))));
+        let m = module_of(b.finish());
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.exit, 1);
+        assert_eq!(out.stats.indirect_jumps, 1);
+        // copy + 3 (ijmp) + return
+        assert_eq!(out.stats.insts, 1 + 3 + 1);
+    }
+
+    #[test]
+    fn indirect_jump_bounds_trap() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        let t0 = b.new_block();
+        b.copy(e, x, 7i64);
+        b.set_term(
+            e,
+            Terminator::IndirectJump {
+                index: x,
+                targets: vec![t0],
+            },
+        );
+        b.set_term(t0, Terminator::Return(None));
+        let m = module_of(b.finish());
+        assert!(matches!(
+            run(&m, b"", &VmOptions::default()),
+            Err(Trap::IndirectJumpOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn profiling_probe_counts_without_cost() {
+        use br_ir::SeqId;
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        b.copy(e, x, 42i64);
+        b.push(e, Inst::ProfileRanges { seq: SeqId(0), var: x });
+        b.set_term(e, Terminator::Return(None));
+        let mut m = module_of(b.finish());
+        m.add_profile_plan(br_ir::ProfilePlan {
+            func: br_ir::FuncId(0),
+            head: br_ir::BlockId(0),
+            kind: br_ir::PlanKind::Ranges(vec![(i64::MIN, 9), (10, 99), (100, i64::MAX)]),
+        });
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.profiles, vec![vec![0, 1, 0]]);
+        assert_eq!(out.stats.insts, 2); // copy + ret; probe is free
+    }
+
+    #[test]
+    fn predictors_observe_branches() {
+        use crate::predictor::{PredictorConfig, Scheme};
+        let m = loop_sum(100);
+        let opts = VmOptions {
+            predictors: vec![
+                PredictorConfig { scheme: Scheme::TwoBit, entries: 64 },
+                PredictorConfig { scheme: Scheme::OneBit, entries: 64 },
+            ],
+            ..VmOptions::default()
+        };
+        let out = run(&m, b"", &opts).unwrap();
+        assert_eq!(out.predictor_results.len(), 2);
+        for r in &out.predictor_results {
+            assert_eq!(r.predictions, out.stats.cond_branches);
+            // Highly-biased loop branch: very few misses.
+            assert!(r.mispredictions <= 3, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn no_main_is_an_error() {
+        let m = Module::new();
+        assert_eq!(run(&m, b"", &VmOptions::default()).unwrap_err(), Trap::NoMain);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use br_ir::{Cond, FuncBuilder};
+
+    #[test]
+    fn tracing_captures_block_order_up_to_the_limit() {
+        let mut b = FuncBuilder::new("main");
+        let i = b.new_reg();
+        let e = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.copy(e, i, 0i64);
+        b.set_term(e, Terminator::Jump(head));
+        b.cmp_branch(head, i, 3i64, Cond::Ge, done, body);
+        b.bin(body, br_ir::BinOp::Add, i, i, 1i64);
+        b.set_term(body, Terminator::Jump(head));
+        b.set_term(done, Terminator::Return(None));
+        let mut m = Module::new();
+        m.main = Some(m.add_function(b.finish()));
+        let opts = VmOptions {
+            trace_blocks: 5,
+            ..VmOptions::default()
+        };
+        let out = run(&m, b"", &opts).unwrap();
+        assert_eq!(
+            out.trace,
+            vec!["f0:b0", "f0:b1", "f0:b2", "f0:b1", "f0:b2"]
+        );
+        // Tracing off by default.
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert!(out.trace.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod delay_slot_tests {
+    use super::*;
+    use br_ir::{BinOp, Cond, FuncBuilder};
+
+    #[test]
+    fn bare_compare_branch_blocks_stall() {
+        // Block holding only its cmp: the branch's delay slot cannot be
+        // filled from above.
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        let t = b.new_block();
+        let n = b.new_block();
+        b.copy(e, x, 1i64); // entry has a fillable slot
+        b.cmp_branch(e, x, 0i64, Cond::Eq, t, n);
+        b.set_term(t, Terminator::Return(None)); // empty: stalls
+        b.set_term(n, Terminator::Return(None)); // empty: stalls
+        // Wait: entry has copy + cmp -> fillable. The taken return block
+        // is empty -> stall.
+        let mut m = Module::new();
+        m.main = Some(m.add_function(b.finish()));
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        // entry fillable (copy besides cmp); the executed return block
+        // is empty and stalls.
+        assert_eq!(out.stats.delay_stalls, 1);
+    }
+
+    #[test]
+    fn filled_slots_do_not_stall() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        let e = b.entry();
+        let done = b.new_block();
+        b.copy(e, x, 5i64);
+        b.bin(e, BinOp::Add, x, x, 1i64);
+        b.cmp_branch(e, x, 0i64, Cond::Eq, done, done);
+        b.bin(done, BinOp::Add, x, x, 1i64); // return slot fillable
+        b.set_term(done, Terminator::Return(Some(Operand::Reg(x))));
+        let mut m = Module::new();
+        m.main = Some(m.add_function(b.finish()));
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.stats.delay_stalls, 0);
+    }
+
+    #[test]
+    fn lone_cmp_cannot_fill_its_own_branch_slot() {
+        let mut b = FuncBuilder::new("main");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let t = b.new_block();
+        b.cmp_branch(e, x, 0i64, Cond::Eq, t, t); // only the cmp: stalls
+        b.copy(t, x, 1i64);
+        b.set_term(t, Terminator::Return(Some(Operand::Reg(x))));
+        let mut m = Module::new();
+        m.main = Some(m.add_function(b.finish()));
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        assert_eq!(out.stats.delay_stalls, 1, "cmp+branch only: unfillable");
+    }
+}

@@ -1,0 +1,276 @@
+//! Branch predictor simulation.
+//!
+//! The paper evaluates its transformation against the SPARC Ultra I's
+//! (0,2) predictor with 2048 entries (its Table 5) and sweeps (0,1) and
+//! (0,2) predictors from 32 to 2048 entries (its Table 6). In Yeh/Patt
+//! notation, an (m,n) predictor keeps `m` bits of global history selecting
+//! a table of `n`-bit saturating counters indexed by the branch address;
+//! with m = 0 the table is indexed by address alone.
+//!
+//! Each conditional branch in the program receives a static *address*
+//! (its instruction offset in layout order) so that table aliasing behaves
+//! like it would in laid-out machine code.
+
+/// Counter automaton used by a predictor table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scheme {
+    /// (0,1): one-bit last-outcome predictor.
+    OneBit,
+    /// (0,2): two-bit saturating counter.
+    TwoBit,
+    /// gshare: two-bit counters indexed by `address XOR global history`
+    /// with the given number of history bits — a "other branch
+    /// predictor" in the sense of the paper's Table 6 remark.
+    Gshare(u8),
+}
+
+impl Scheme {
+    /// Short label used in reports ("(0,1)", "(0,2)", "gshare8").
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::OneBit => "(0,1)",
+            Scheme::TwoBit => "(0,2)",
+            Scheme::Gshare(4) => "gshare4",
+            Scheme::Gshare(8) => "gshare8",
+            Scheme::Gshare(_) => "gshare",
+        }
+    }
+}
+
+/// One predictor configuration to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PredictorConfig {
+    /// Counter scheme.
+    pub scheme: Scheme,
+    /// Number of table entries (power of two in the paper: 32..=2048).
+    pub entries: usize,
+}
+
+impl PredictorConfig {
+    /// The paper's Table 5 configuration: (0,2) with 2048 entries.
+    pub fn ultra_sparc() -> PredictorConfig {
+        PredictorConfig {
+            scheme: Scheme::TwoBit,
+            entries: 2048,
+        }
+    }
+
+    /// The full sweep of the paper's Table 6 for one scheme.
+    pub fn sweep(scheme: Scheme) -> Vec<PredictorConfig> {
+        [32, 64, 128, 256, 512, 1024, 2048]
+            .into_iter()
+            .map(|entries| PredictorConfig { scheme, entries })
+            .collect()
+    }
+}
+
+/// Result of simulating one predictor configuration over a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PredictorResult {
+    /// The simulated configuration.
+    pub config: PredictorConfig,
+    /// Conditional branches predicted.
+    pub predictions: u64,
+    /// Mispredictions.
+    pub mispredictions: u64,
+}
+
+impl PredictorResult {
+    /// Misprediction rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// A live predictor table.
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    config: PredictorConfig,
+    /// Two-bit: 0..=3, predict taken when >= 2. One-bit: 0 or 1.
+    table: Vec<u8>,
+    /// Global branch-history register (gshare only).
+    history: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl Predictor {
+    /// Fresh predictor with all counters in the weakly-not-taken state.
+    pub fn new(config: PredictorConfig) -> Predictor {
+        assert!(config.entries > 0, "predictor needs at least one entry");
+        let init = match config.scheme {
+            Scheme::OneBit => 0,
+            Scheme::TwoBit | Scheme::Gshare(_) => 1,
+        };
+        Predictor {
+            config,
+            table: vec![init; config.entries],
+            history: 0,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Record one executed conditional branch at static address `addr`
+    /// with outcome `taken`, counting a misprediction if the table
+    /// disagreed.
+    pub fn record(&mut self, addr: u64, taken: bool) {
+        let index = match self.config.scheme {
+            Scheme::Gshare(bits) => {
+                let mask = (1u64 << bits.min(63)) - 1;
+                addr ^ (self.history & mask)
+            }
+            _ => addr,
+        };
+        let slot = (index as usize) % self.table.len();
+        let counter = &mut self.table[slot];
+        let predicted_taken = match self.config.scheme {
+            Scheme::OneBit => *counter == 1,
+            Scheme::TwoBit | Scheme::Gshare(_) => *counter >= 2,
+        };
+        self.predictions += 1;
+        if predicted_taken != taken {
+            self.mispredictions += 1;
+        }
+        *counter = match self.config.scheme {
+            Scheme::OneBit => taken as u8,
+            Scheme::TwoBit | Scheme::Gshare(_) => {
+                if taken {
+                    (*counter + 1).min(3)
+                } else {
+                    counter.saturating_sub(1)
+                }
+            }
+        };
+        if let Scheme::Gshare(_) = self.config.scheme {
+            self.history = (self.history << 1) | taken as u64;
+        }
+    }
+
+    /// Snapshot the counts.
+    pub fn result(&self) -> PredictorResult {
+        PredictorResult {
+            config: self.config,
+            predictions: self.predictions,
+            mispredictions: self.mispredictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(scheme: Scheme, entries: usize) -> PredictorConfig {
+        PredictorConfig { scheme, entries }
+    }
+
+    #[test]
+    fn one_bit_mispredicts_every_alternation() {
+        let mut p = Predictor::new(cfg(Scheme::OneBit, 16));
+        for i in 0..100 {
+            p.record(0, i % 2 == 0);
+        }
+        let r = p.result();
+        // First branch (taken) mispredicted, then every flip mispredicts.
+        assert_eq!(r.predictions, 100);
+        assert_eq!(r.mispredictions, 100);
+    }
+
+    #[test]
+    fn two_bit_tolerates_single_deviations() {
+        let mut p = Predictor::new(cfg(Scheme::TwoBit, 16));
+        // Warm to strongly taken.
+        for _ in 0..4 {
+            p.record(0, true);
+        }
+        let before = p.result().mispredictions;
+        p.record(0, false); // one deviation
+        p.record(0, true); // still predicted taken: no second miss
+        let after = p.result().mispredictions;
+        assert_eq!(after - before, 1);
+    }
+
+    #[test]
+    fn biased_branch_is_nearly_perfect_under_two_bit() {
+        let mut p = Predictor::new(cfg(Scheme::TwoBit, 64));
+        for _ in 0..1000 {
+            p.record(8, true);
+        }
+        let r = p.result();
+        assert!(r.mispredictions <= 2, "got {}", r.mispredictions);
+        assert!(r.rate() < 0.01);
+    }
+
+    #[test]
+    fn aliasing_hurts_small_tables() {
+        // Two perfectly-biased branches with opposite outcomes that alias
+        // in a 1-entry table fight each other; in a 2-entry table they
+        // are independent.
+        let run = |entries| {
+            let mut p = Predictor::new(cfg(Scheme::TwoBit, entries));
+            for _ in 0..500 {
+                p.record(0, true);
+                p.record(1, false);
+            }
+            p.result().mispredictions
+        };
+        assert!(run(1) > 10 * run(2).max(1));
+    }
+
+    #[test]
+    fn sweep_has_paper_table_sizes() {
+        let sweep = PredictorConfig::sweep(Scheme::TwoBit);
+        assert_eq!(sweep.len(), 7);
+        assert_eq!(sweep[0].entries, 32);
+        assert_eq!(sweep[6].entries, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Predictor::new(cfg(Scheme::OneBit, 0));
+    }
+}
+
+#[cfg(test)]
+mod gshare_tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_history_patterns_plain_counters_cannot() {
+        // One branch alternating T,N,T,N: (0,2) mispredicts heavily,
+        // gshare with history locks on after warm-up.
+        let mut plain = Predictor::new(PredictorConfig {
+            scheme: Scheme::TwoBit,
+            entries: 256,
+        });
+        let mut gshare = Predictor::new(PredictorConfig {
+            scheme: Scheme::Gshare(4),
+            entries: 256,
+        });
+        for i in 0..2000 {
+            let taken = i % 2 == 0;
+            plain.record(77, taken);
+            gshare.record(77, taken);
+        }
+        let p = plain.result();
+        let g = gshare.result();
+        assert!(
+            g.mispredictions * 10 < p.mispredictions,
+            "gshare {} vs plain {}",
+            g.mispredictions,
+            p.mispredictions
+        );
+    }
+
+    #[test]
+    fn gshare_labels() {
+        assert_eq!(Scheme::Gshare(8).label(), "gshare8");
+        assert_eq!(Scheme::Gshare(4).label(), "gshare4");
+    }
+}

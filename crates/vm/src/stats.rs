@@ -1,0 +1,151 @@
+//! Dynamic event counters, the analogue of the paper's `ease` measurements.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Exact dynamic event counts for one execution.
+///
+/// `insts` is the headline "dynamic number of instructions" of the paper's
+/// Table 4. It includes every architectural instruction: ALU ops, compares,
+/// loads/stores, calls, returns, conditional branches, *materialized*
+/// unconditional jumps (jumps to the fall-through block are free), and the
+/// instructions of an indirect jump through a table. Profiling probes are
+/// never counted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total dynamic instructions.
+    pub insts: u64,
+    /// Conditional branch instructions executed.
+    pub cond_branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+    /// Unconditional jumps executed (non-fall-through only).
+    pub uncond_jumps: u64,
+    /// Indirect jumps executed (each costs several instructions; see
+    /// [`crate::VmOptions::indirect_jump_insts`]).
+    pub indirect_jumps: u64,
+    /// Compare instructions executed.
+    pub compares: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Calls executed (functions and intrinsics).
+    pub calls: u64,
+    /// Returns executed.
+    pub returns: u64,
+    /// Control transfers executed whose branch delay slot could not be
+    /// filled from above (see the `timing` module: SPARC branches carry
+    /// one delay slot; an unfillable slot wastes a cycle as a nop).
+    pub delay_stalls: u64,
+}
+
+impl ExecStats {
+    /// Zeroed counters.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Percentage change of `self.insts` relative to `baseline`
+    /// (negative = fewer instructions, as reported in the paper's tables).
+    pub fn insts_pct_change(&self, baseline: &ExecStats) -> f64 {
+        pct_change(self.insts, baseline.insts)
+    }
+
+    /// Percentage change of conditional branches relative to `baseline`.
+    pub fn branches_pct_change(&self, baseline: &ExecStats) -> f64 {
+        pct_change(self.cond_branches, baseline.cond_branches)
+    }
+}
+
+/// `100 * (new - old) / old`, or 0 when `old` is zero.
+pub fn pct_change(new: u64, old: u64) -> f64 {
+    if old == 0 {
+        0.0
+    } else {
+        (new as f64 - old as f64) / old as f64 * 100.0
+    }
+}
+
+impl Add for ExecStats {
+    type Output = ExecStats;
+
+    fn add(mut self, rhs: ExecStats) -> ExecStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        self.insts += rhs.insts;
+        self.cond_branches += rhs.cond_branches;
+        self.taken_branches += rhs.taken_branches;
+        self.uncond_jumps += rhs.uncond_jumps;
+        self.indirect_jumps += rhs.indirect_jumps;
+        self.compares += rhs.compares;
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.calls += rhs.calls;
+        self.returns += rhs.returns;
+        self.delay_stalls += rhs.delay_stalls;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "insts={} branches={} (taken {}) jumps={} ijmps={} cmps={} ld={} st={} call={} ret={} stalls={}",
+            self.insts,
+            self.cond_branches,
+            self.taken_branches,
+            self.uncond_jumps,
+            self.indirect_jumps,
+            self.compares,
+            self.loads,
+            self.stores,
+            self.calls,
+            self.returns,
+            self.delay_stalls,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_change_signs() {
+        assert_eq!(pct_change(90, 100), -10.0);
+        assert!((pct_change(110, 100) - 10.0).abs() < 1e-9);
+        assert_eq!(pct_change(5, 0), 0.0);
+    }
+
+    #[test]
+    fn stats_add_is_fieldwise() {
+        let a = ExecStats {
+            insts: 10,
+            cond_branches: 2,
+            ..ExecStats::default()
+        };
+        let b = ExecStats {
+            insts: 5,
+            loads: 3,
+            ..ExecStats::default()
+        };
+        let c = a + b;
+        assert_eq!(c.insts, 15);
+        assert_eq!(c.cond_branches, 2);
+        assert_eq!(c.loads, 3);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = format!("{}", ExecStats::default());
+        for key in ["insts", "branches", "jumps", "ijmps", "cmps"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

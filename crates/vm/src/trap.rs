@@ -1,0 +1,45 @@
+//! Run-time traps.
+
+use std::fmt;
+
+/// An abnormal termination of the interpreted program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// Memory access outside the allocated word array.
+    MemoryOutOfBounds { addr: i64 },
+    /// Indirect jump index outside its table.
+    IndirectJumpOutOfBounds { index: i64, table_len: usize },
+    /// Conditional branch executed with undefined condition codes.
+    UndefinedConditionCodes,
+    /// The program called the `abort` intrinsic.
+    Abort { code: i64 },
+    /// The step budget was exhausted (runaway loop guard).
+    StepLimitExceeded { limit: u64 },
+    /// Call stack exceeded the configured depth.
+    StackOverflow { depth: usize },
+    /// The module has no designated `main` function.
+    NoMain,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::DivideByZero => write!(f, "division by zero"),
+            Trap::MemoryOutOfBounds { addr } => write!(f, "memory access out of bounds at {addr}"),
+            Trap::IndirectJumpOutOfBounds { index, table_len } => {
+                write!(f, "indirect jump index {index} outside table of {table_len}")
+            }
+            Trap::UndefinedConditionCodes => {
+                write!(f, "conditional branch with undefined condition codes")
+            }
+            Trap::Abort { code } => write!(f, "program aborted with code {code}"),
+            Trap::StepLimitExceeded { limit } => write!(f, "step limit of {limit} exceeded"),
+            Trap::StackOverflow { depth } => write!(f, "call stack overflow at depth {depth}"),
+            Trap::NoMain => write!(f, "module has no main function"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}

@@ -1,0 +1,46 @@
+// awk: pattern scanning and processing kernel.
+// Splits records into fields, accumulates numeric fields, and
+// dispatches "actions" on the first character of each record — field
+// separator classification per character plus a record-type switch.
+int main() {
+    int c; int fields; int infield; int records; int numval; int innum;
+    int total; int first; int comments; int rules; int assigns;
+    fields = 0; infield = 0; records = 0; numval = 0; innum = 0;
+    total = 0; first = -2; comments = 0; rules = 0; assigns = 0;
+    c = getchar();
+    while (c != -1) {
+        if (first == -2) first = c;
+        if (c == ' ') {
+            infield = 0;
+            if (innum) { total += numval; numval = 0; innum = 0; }
+        } else if (c == '\t') {
+            infield = 0;
+            if (innum) { total += numval; numval = 0; innum = 0; }
+        } else if (c == '\n') {
+            if (innum) { total += numval; numval = 0; innum = 0; }
+            records += 1;
+            switch (first) {
+                case '#': comments += 1; break;
+                case '{': rules += 1; break;
+                case '$': assigns += 1; break;
+                case -2: break;
+                default: ;
+            }
+            first = -2;
+            infield = 0;
+        } else if (c >= '0' && c <= '9') {
+            if (infield == 0) { fields += 1; infield = 1; }
+            if (innum) numval = numval * 10 + (c - '0');
+            else { numval = c - '0'; innum = 1; }
+        } else {
+            if (infield == 0) { fields += 1; infield = 1; }
+            innum = 0;
+        }
+        c = getchar();
+    }
+    putint(records);
+    putint(fields);
+    putint(total);
+    putint(comments + rules * 10 + assigns * 100);
+    return 0;
+}

@@ -1,0 +1,53 @@
+// cb: a simple C program beautifier.
+// Tracks brace depth, strings, and comments; re-emits the input with
+// indentation counts. The dispatch over '{', '}', '(', ')', quotes,
+// semicolons and newlines is a long reorderable sequence.
+// Escape-sequence beautification (cold on brace-only inputs).
+int escape(int c) {
+    if (c == 'n') return 10;
+    else if (c == 't') return 9;
+    else if (c == 'r') return 13;
+    else if (c == '0') return 0;
+    return c;
+}
+
+int main() {
+    int c; int depth; int instr; int semis; int parens; int out;
+    depth = 0; instr = 0; semis = 0; parens = 0; out = 0;
+    c = getchar();
+    while (c != -1) {
+        if (instr) {
+            if (c == '"') instr = 0;
+            out += 1;
+        } else if (c == '{') {
+            depth += 1;
+            out += 1;
+        } else if (c == '}') {
+            if (depth > 0) depth -= 1;
+            out += 1;
+        } else if (c == '(') {
+            parens += 1;
+            out += 1;
+        } else if (c == ')') {
+            if (parens > 0) parens -= 1;
+            out += 1;
+        } else if (c == ';') {
+            semis += 1;
+            out += 1;
+        } else if (c == '"') {
+            instr = 1;
+            out += 1;
+        } else if (c == '\n') {
+            out += depth;  // indentation cost
+        } else {
+            out += 1;
+        }
+        c = getchar();
+    }
+    if (depth < 0) putint(escape(depth));
+    putint(depth);
+    putint(semis);
+    putint(parens);
+    putint(out);
+    return 0;
+}

@@ -1,0 +1,79 @@
+// cpp: C preprocessor kernel.
+// Detects directives ('#' at line start), strips // and block comments,
+// and counts identifier tokens — nested classification chains.
+int hashbuckets[17];
+
+// Directive keyword dispatch (cold: counted but not interpreted here).
+int directive_kind(int c) {
+    if (c == 'i') return 1;
+    else if (c == 'd') return 2;
+    else if (c == 'e') return 3;
+    else if (c == 'u') return 4;
+    else if (c == 'p') return 5;
+    return 0;
+}
+
+int main() {
+    int c; int prev; int atbol; int directives; int idents; int inid;
+    int comments; int incomment; int i; int hashsum;
+    prev = 0; atbol = 1; directives = 0; idents = 0; inid = 0;
+    comments = 0; incomment = 0;
+    c = getchar();
+    while (c != -1) {
+        // Macro-table hash bucketing: 17 dense cases, so Sets I *and* II
+        // translate this to an indirect jump (n >= 16, nl <= 3n) while
+        // Set III's linear search exposes it to reordering — the paper's
+        // cpp shows exactly this: flat under I/II, large gain under III.
+        switch (c % 17) {
+            case 0: hashbuckets[0] += 1; break;
+            case 1: hashbuckets[1] += 1; break;
+            case 2: hashbuckets[2] += 1; break;
+            case 3: hashbuckets[3] += 1; break;
+            case 4: hashbuckets[4] += 1; break;
+            case 5: hashbuckets[5] += 1; break;
+            case 6: hashbuckets[6] += 1; break;
+            case 7: hashbuckets[7] += 1; break;
+            case 8: hashbuckets[8] += 1; break;
+            case 9: hashbuckets[9] += 1; break;
+            case 10: hashbuckets[10] += 1; break;
+            case 11: hashbuckets[11] += 1; break;
+            case 12: hashbuckets[12] += 1; break;
+            case 13: hashbuckets[13] += 1; break;
+            case 14: hashbuckets[14] += 1; break;
+            case 15: hashbuckets[15] += 1; break;
+            case 16: hashbuckets[16] += 1; break;
+        }
+        if (incomment) {
+            if (prev == '*' && c == '/') incomment = 0;
+        } else if (prev == '/' && c == '*') {
+            comments += 1;
+            incomment = 1;
+            inid = 0;
+        } else if (c == '#') {
+            if (atbol) directives += 1;
+            inid = 0;
+        } else if (c >= 'a' && c <= 'z') {
+            if (inid == 0) { idents += 1; inid = 1; }
+        } else if (c >= 'A' && c <= 'Z') {
+            if (inid == 0) { idents += 1; inid = 1; }
+        } else if (c == '_') {
+            if (inid == 0) { idents += 1; inid = 1; }
+        } else if (c >= '0' && c <= '9') {
+            // digits continue an identifier but do not start one
+        } else {
+            inid = 0;
+        }
+        if (c == '\n') atbol = 1;
+        else if (c != ' ' && c != '\t') atbol = 0;
+        prev = c;
+        c = getchar();
+    }
+    hashsum = 0;
+    for (i = 0; i < 17; i += 1) hashsum += (i + 1) * hashbuckets[i];
+    if (idents < 0) putint(directive_kind(idents));
+    putint(directives);
+    putint(idents);
+    putint(comments);
+    putint(hashsum);
+    return 0;
+}

@@ -1,0 +1,45 @@
+// ctags: generates a tag file for vi.
+// Scans for identifiers at line starts followed by '(' — a crude
+// function-definition detector — with a switch-based token scanner.
+int main() {
+    int c; int state; int tags; int tokens; int lines;
+    // state: 0 = line start, 1 = in leading identifier, 2 = after
+    // identifier, 3 = rest of line.
+    state = 0; tags = 0; tokens = 0; lines = 0;
+    c = getchar();
+    while (c != -1) {
+        switch (c) {
+            case '\n':
+                lines += 1;
+                state = 0;
+                break;
+            case ' ':
+            case '\t':
+                if (state == 1) state = 2;
+                break;
+            case '(':
+                if (state == 1 || state == 2) tags += 1;
+                state = 3;
+                break;
+            case '{':
+            case '}':
+            case ';':
+                tokens += 1;
+                state = 3;
+                break;
+            default:
+                if (c >= 'a' && c <= 'z') {
+                    if (state == 0) { state = 1; tokens += 1; }
+                } else if (c >= 'A' && c <= 'Z') {
+                    if (state == 0) { state = 1; tokens += 1; }
+                } else {
+                    if (state != 1) state = 3;
+                }
+        }
+        c = getchar();
+    }
+    putint(tags);
+    putint(tokens);
+    putint(lines);
+    return 0;
+}

@@ -1,0 +1,49 @@
+// deroff: removes nroff/troff constructs.
+// Skips request lines (starting with '.' or '\''), drops backslash
+// escapes, and counts the words that survive.
+// Macro-package request table (cold unless -m flags are given).
+int request_kind(int c) {
+    if (c == 'P') return 1;
+    else if (c == 'S') return 2;
+    else if (c == 'T') return 3;
+    else if (c == 'I') return 4;
+    return 0;
+}
+
+int main() {
+    int c; int atbol; int skipline; int esc; int words; int inword;
+    int requests;
+    atbol = 1; skipline = 0; esc = 0; words = 0; inword = 0; requests = 0;
+    c = getchar();
+    while (c != -1) {
+        if (skipline) {
+            if (c == '\n') { skipline = 0; atbol = 1; }
+        } else if (esc) {
+            // The character after a backslash is consumed silently.
+            esc = 0;
+        } else if (c == '.') {
+            if (atbol) { skipline = 1; requests += 1; inword = 0; }
+            atbol = 0;
+        } else if (c == '\\') {
+            esc = 1;
+            atbol = 0;
+        } else if (c == '\n') {
+            atbol = 1;
+            inword = 0;
+        } else if (c == ' ') {
+            inword = 0;
+            atbol = 0;
+        } else if (c == '\t') {
+            inword = 0;
+            atbol = 0;
+        } else {
+            if (inword == 0) { words += 1; inword = 1; }
+            atbol = 0;
+        }
+        c = getchar();
+    }
+    if (words < 0) putint(request_kind(words));
+    putint(words);
+    putint(requests);
+    return 0;
+}

@@ -1,0 +1,64 @@
+// grep: searches input for a fixed pattern ("the") and prints matching
+// line counts. The scanner classifies every character against the
+// pattern head and line terminators — a reorderable sequence per
+// character.
+int buckets[8];
+
+// Regex metacharacter handling (cold: fixed pattern in this kernel).
+int metachar(int c) {
+    if (c == '*') return 1;
+    else if (c == '.') return 2;
+    else if (c == '[') return 3;
+    else if (c == '^') return 4;
+    else if (c == 36) return 5;
+    return 0;
+}
+
+int main() {
+    int c; int state; int linehit; int hits; int lines; int matches;
+    int i; int sum;
+    state = 0; linehit = 0; hits = 0; lines = 0; matches = 0;
+    c = getchar();
+    while (c != -1) {
+        // Bucket statistics for the Boyer-Moore-style skip table: a dense
+        // 8-way switch over the character's high bits (heavily skewed
+        // toward the letter buckets), translated per the active heuristic
+        // set: indirect jump under Set I, binary search under Set II,
+        // linear search under Set III.
+        switch (c / 16) {
+            case 0: buckets[0] += 1; break;
+            case 1: buckets[1] += 1; break;
+            case 2: buckets[2] += 1; break;
+            case 3: buckets[3] += 1; break;
+            case 4: buckets[4] += 1; break;
+            case 5: buckets[5] += 1; break;
+            case 6: buckets[6] += 1; break;
+            case 7: buckets[7] += 1; break;
+        }
+        if (c == '\n') {
+            lines += 1;
+            if (linehit) hits += 1;
+            linehit = 0;
+            state = 0;
+        } else if (c == 't') {
+            state = 1;
+        } else if (c == 'h') {
+            if (state == 1) state = 2; else state = 0;
+        } else if (c == 'e') {
+            if (state == 2) { matches += 1; linehit = 1; }
+            state = 0;
+        } else {
+            state = 0;
+        }
+        c = getchar();
+    }
+    if (linehit) hits += 1;
+    sum = 0;
+    for (i = 0; i < 8; i += 1) sum += (i + 1) * buckets[i];
+    if (lines < 0) putint(metachar(lines));
+    putint(hits);
+    putint(lines);
+    putint(matches);
+    putint(sum);
+    return 0;
+}

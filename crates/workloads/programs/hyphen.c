@@ -1,0 +1,51 @@
+// hyphen: lists hyphenated words.
+// Classifies characters as vowels, consonants, hyphens, and separators.
+// The vowel chain tests six specific letters, so its profile is very
+// sensitive to the letter distribution — this kernel is where the paper
+// observed a slight regression when training and test inputs differ.
+int main() {
+    int c; int hyphens; int vowels; int consonants; int words; int inword;
+    int hyphenated; int sawhyphen;
+    hyphens = 0; vowels = 0; consonants = 0; words = 0; inword = 0;
+    hyphenated = 0; sawhyphen = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c == 'a') {
+            vowels += 1;
+            if (inword == 0) { words += 1; inword = 1; }
+        } else if (c == 'e') {
+            vowels += 1;
+            if (inword == 0) { words += 1; inword = 1; }
+        } else if (c == 'i') {
+            vowels += 1;
+            if (inword == 0) { words += 1; inword = 1; }
+        } else if (c == 'o') {
+            vowels += 1;
+            if (inword == 0) { words += 1; inword = 1; }
+        } else if (c == 'u') {
+            vowels += 1;
+            if (inword == 0) { words += 1; inword = 1; }
+        } else if (c == 'y') {
+            vowels += 1;
+            if (inword == 0) { words += 1; inword = 1; }
+        } else if (c == '-') {
+            hyphens += 1;
+            if (inword) sawhyphen = 1;
+        } else if (c >= 'b' && c <= 'z') {
+            consonants += 1;
+            if (inword == 0) { words += 1; inword = 1; }
+        } else {
+            if (inword && sawhyphen) hyphenated += 1;
+            inword = 0;
+            sawhyphen = 0;
+        }
+        c = getchar();
+    }
+    if (inword && sawhyphen) hyphenated += 1;
+    putint(hyphenated);
+    putint(hyphens);
+    putint(vowels);
+    putint(consonants);
+    putint(words);
+    return 0;
+}

@@ -1,0 +1,43 @@
+// join: relational database operator.
+// Input lines are "key<TAB>value" records from two interleaved
+// relations (lines alternate). Parses integer keys and counts joins —
+// digit parsing and separator dispatch dominate.
+int akeys[1024];
+int bkeys[1024];
+
+int main() {
+    int c; int key; int inkey; int side; int an; int bn; int joined;
+    int i; int j;
+    key = 0; inkey = 1; side = 0; an = 0; bn = 0; joined = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c >= '0' && c <= '9') {
+            if (inkey) key = key * 10 + (c - '0');
+        } else if (c == '\t') {
+            inkey = 0;
+        } else if (c == ' ') {
+            inkey = 0;
+        } else if (c == '\n') {
+            if (side == 0) {
+                if (an < 1024) { akeys[an] = key; an += 1; }
+                side = 1;
+            } else {
+                if (bn < 1024) { bkeys[bn] = key; bn += 1; }
+                side = 0;
+            }
+            key = 0;
+            inkey = 1;
+        }
+        c = getchar();
+    }
+    // Nested-loop join on equal keys.
+    for (i = 0; i < an; i += 1) {
+        for (j = 0; j < bn; j += 1) {
+            if (akeys[i] == bkeys[j]) joined += 1;
+        }
+    }
+    putint(an);
+    putint(bn);
+    putint(joined);
+    return 0;
+}

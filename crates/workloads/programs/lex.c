@@ -1,0 +1,53 @@
+// lex: lexical analysis program generator kernel.
+// Tokenizes its input the way a generated scanner would: a switch on
+// the leading character of every token, with inner loops per token
+// class. Binary-search translation of the switch produces several
+// short reorderable sequences.
+int main() {
+    int c; int idents; int numbers; int ops; int strings; int others;
+    int regexes; int braces; int bars; int stars;
+    idents = 0; numbers = 0; ops = 0; strings = 0; others = 0;
+    regexes = 0; braces = 0; bars = 0; stars = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c >= 'a' && c <= 'z') {
+            idents += 1;
+            c = getchar();
+            while ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+                c = getchar();
+            }
+        } else if (c >= '0' && c <= '9') {
+            numbers += 1;
+            c = getchar();
+            while (c >= '0' && c <= '9') c = getchar();
+        } else {
+            switch (c) {
+                case '"':
+                    strings += 1;
+                    c = getchar();
+                    while (c != '"' && c != '\n' && c != -1) c = getchar();
+                    if (c == '"') c = getchar();
+                    break;
+                case '/': regexes += 1; c = getchar(); break;
+                case '{': braces += 1; c = getchar(); break;
+                case '}': braces += 1; c = getchar(); break;
+                case '|': bars += 1; c = getchar(); break;
+                case '*': stars += 1; c = getchar(); break;
+                case '+': ops += 1; c = getchar(); break;
+                case '-': ops += 1; c = getchar(); break;
+                case '=': ops += 1; c = getchar(); break;
+                case '<': ops += 1; c = getchar(); break;
+                case '>': ops += 1; c = getchar(); break;
+                case ';': ops += 1; c = getchar(); break;
+                default: others += 1; c = getchar();
+            }
+        }
+    }
+    putint(idents);
+    putint(numbers);
+    putint(ops);
+    putint(strings);
+    putint(regexes + braces + bars + stars);
+    putint(others);
+    return 0;
+}

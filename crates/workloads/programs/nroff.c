@@ -1,0 +1,60 @@
+// nroff: text formatter kernel.
+// Fills output lines to a 72-column measure, honours request lines
+// beginning with '.', and expands tabs — per-character dispatch plus a
+// word-fill loop.
+// Font-escape dispatch (cold: escapes stripped upstream here).
+int font_kind(int c) {
+    if (c == 'B') return 1;
+    else if (c == 'I') return 2;
+    else if (c == 'R') return 3;
+    else if (c == 'P') return 4;
+    return 0;
+}
+
+int main() {
+    int c; int col; int outlines; int requests; int wordlen; int spaces;
+    int atbol; int skipline; int filled;
+    col = 0; outlines = 0; requests = 0; wordlen = 0; spaces = 0;
+    atbol = 1; skipline = 0; filled = 0;
+    c = getchar();
+    while (c != -1) {
+        if (skipline) {
+            if (c == '\n') { skipline = 0; atbol = 1; }
+        } else if (c == '.') {
+            if (atbol) { requests += 1; skipline = 1; }
+            else { wordlen += 1; }
+            atbol = 0;
+        } else if (c == ' ') {
+            if (wordlen > 0) {
+                if (col + wordlen >= 72) { outlines += 1; col = 0; }
+                col += wordlen + 1;
+                filled += wordlen;
+                wordlen = 0;
+            }
+            spaces += 1;
+            atbol = 0;
+        } else if (c == '\t') {
+            // Tab advances to the next 8-column stop.
+            col = col + 8 - col % 8;
+            atbol = 0;
+        } else if (c == '\n') {
+            if (wordlen > 0) {
+                if (col + wordlen >= 72) { outlines += 1; col = 0; }
+                col += wordlen + 1;
+                filled += wordlen;
+                wordlen = 0;
+            }
+            atbol = 1;
+        } else {
+            wordlen += 1;
+            atbol = 0;
+        }
+        c = getchar();
+    }
+    if (outlines < 0) putint(font_kind(outlines));
+    putint(outlines);
+    putint(requests);
+    putint(filled);
+    putint(spaces);
+    return 0;
+}

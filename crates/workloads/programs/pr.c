@@ -1,0 +1,40 @@
+// pr: prepares files for printing.
+// Paginates at 66 lines, expands tabs to 8-column stops, numbers lines.
+// Header formatting options (cold without -h).
+int header_char(int c) {
+    if (c == '%') return 1;
+    else if (c == '-') return 2;
+    else if (c == '+') return 3;
+    return 0;
+}
+
+int main() {
+    int c; int col; int line; int page; int chars; int tabs;
+    col = 0; line = 0; page = 1; chars = 0; tabs = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c == '\n') {
+            line += 1;
+            col = 0;
+            if (line == 60) {   // 60 body lines + header/trailer = 66
+                page += 1;
+                line = 0;
+            }
+        } else if (c == '\t') {
+            tabs += 1;
+            col = col + 8 - col % 8;
+        } else if (c == '\r') {
+            col = 0;
+        } else {
+            col += 1;
+            chars += 1;
+        }
+        c = getchar();
+    }
+    if (page < 0) putint(header_char(page));
+    putint(page);
+    putint(line);
+    putint(chars);
+    putint(tabs);
+    return 0;
+}

@@ -1,0 +1,66 @@
+// ptx: generates a permuted index.
+// Extracts words, filters short "noise" words, and accumulates rotated
+// keyword positions — word-boundary dispatch per character.
+// Break-character table lookup (cold without -b).
+int break_kind(int c) {
+    if (c == '/') return 1;
+    else if (c == ':') return 2;
+    else if (c == ';') return 3;
+    return 0;
+}
+
+int main() {
+    int c; int words; int keywords; int wordlen; int linepos; int rotsum;
+    int lines;
+    words = 0; keywords = 0; wordlen = 0; linepos = 0; rotsum = 0;
+    lines = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c >= 'a' && c <= 'z') {
+            wordlen += 1;
+            linepos += 1;
+        } else if (c >= 'A' && c <= 'Z') {
+            wordlen += 1;
+            linepos += 1;
+        } else if (c == '\n') {
+            if (wordlen > 0) {
+                words += 1;
+                if (wordlen > 3) {
+                    keywords += 1;
+                    rotsum += linepos - wordlen;  // rotation point
+                }
+            }
+            wordlen = 0;
+            linepos = 0;
+            lines += 1;
+        } else if (c == ' ' || c == '\t') {
+            if (wordlen > 0) {
+                words += 1;
+                if (wordlen > 3) {
+                    keywords += 1;
+                    rotsum += linepos - wordlen;
+                }
+            }
+            wordlen = 0;
+            linepos += 1;
+        } else {
+            // punctuation ends a word without counting as position
+            if (wordlen > 0) {
+                words += 1;
+                if (wordlen > 3) {
+                    keywords += 1;
+                    rotsum += linepos - wordlen;
+                }
+            }
+            wordlen = 0;
+            linepos += 1;
+        }
+        c = getchar();
+    }
+    if (words < 0) putint(break_kind(words));
+    putint(words);
+    putint(keywords);
+    putint(rotsum);
+    putint(lines);
+    return 0;
+}

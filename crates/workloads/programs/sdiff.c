@@ -1,0 +1,49 @@
+// sdiff: displays files side by side.
+// The input interleaves two files line by line; the kernel compares
+// each pair character-wise and tallies identical, differing, and
+// one-sided lines.
+int left[2048];
+
+int main() {
+    int c; int side; int llen; int i; int same; int diff; int gutters;
+    int pairs; int mismatch;
+    side = 0; llen = 0; i = 0; same = 0; diff = 0; gutters = 0;
+    pairs = 0; mismatch = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c == '\n') {
+            if (side == 0) {
+                llen = i;
+                side = 1;
+            } else {
+                pairs += 1;
+                if (mismatch == 0 && i == llen) { same += 1; gutters += 1; }
+                else { diff += 1; }
+                mismatch = 0;
+                side = 0;
+            }
+            i = 0;
+        } else if (c == '\t') {
+            // tabs compare as blanks
+            if (side == 0) {
+                if (i < 2048) left[i] = ' ';
+            } else {
+                if (i < 2048 && (i >= llen || left[i] != ' ')) mismatch = 1;
+            }
+            i += 1;
+        } else {
+            if (side == 0) {
+                if (i < 2048) left[i] = c;
+            } else {
+                if (i < 2048 && (i >= llen || left[i] != c)) mismatch = 1;
+            }
+            i += 1;
+        }
+        c = getchar();
+    }
+    putint(pairs);
+    putint(same);
+    putint(diff);
+    putint(gutters);
+    return 0;
+}

@@ -1,0 +1,57 @@
+// sed: stream editor kernel.
+// Applies the fixed script "s/and/AND/; d on lines starting '#'" —
+// pattern scanning with per-character dispatch plus deletion logic.
+// Address syntax classifier (cold: fixed script).
+int address_kind(int c) {
+    if (c == 36) return 1;
+    else if (c == '/') return 2;
+    else if (c >= '0' && c <= '9') return 3;
+    else if (c == ',') return 4;
+    return 0;
+}
+
+int main() {
+    int c; int state; int subs; int deleted; int atbol; int dropline;
+    int lines; int emitted;
+    state = 0; subs = 0; deleted = 0; atbol = 1; dropline = 0;
+    lines = 0; emitted = 0;
+    c = getchar();
+    while (c != -1) {
+        if (dropline) {
+            if (c == '\n') { dropline = 0; atbol = 1; lines += 1; }
+        } else if (c == '#') {
+            if (atbol) { dropline = 1; deleted += 1; }
+            else emitted += 1;
+            atbol = 0;
+            state = 0;
+        } else if (c == 'a') {
+            state = 1;
+            emitted += 1;
+            atbol = 0;
+        } else if (c == 'n') {
+            if (state == 1) state = 2; else state = 0;
+            emitted += 1;
+            atbol = 0;
+        } else if (c == 'd') {
+            if (state == 2) subs += 1;
+            state = 0;
+            emitted += 1;
+            atbol = 0;
+        } else if (c == '\n') {
+            lines += 1;
+            atbol = 1;
+            state = 0;
+        } else {
+            state = 0;
+            emitted += 1;
+            atbol = 0;
+        }
+        c = getchar();
+    }
+    if (lines < 0) putint(address_kind(lines));
+    putint(subs);
+    putint(deleted);
+    putint(lines);
+    putint(emitted);
+    return 0;
+}

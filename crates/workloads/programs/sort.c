@@ -1,0 +1,92 @@
+// sort: sorts and collates lines.
+// Reads lines into a global text pool, insertion-sorts the line index by
+// character comparison, and prints a position-weighted checksum. The
+// line-reading loop classifies every character (the sequence the paper
+// reports a 47% instruction reduction on), and the comparison loop
+// re-classifies characters for case folding.
+int pool[16384];
+int starts[512];
+int lens[512];
+int order[512];
+
+int fold(int c) {
+    // Case-fold and group characters for collation. Tests are written
+    // in "special cases first" source order — natural for a programmer,
+    // but exactly backwards for the actual character distribution, which
+    // is what makes this the paper's biggest winner.
+    if (c == ' ') return 1;
+    if (c == '\t') return 1;
+    if (c >= '0' && c <= '9') return c;
+    if (c >= 'A' && c <= 'Z') return c;
+    if (c >= 'a' && c <= 'z') return c - 32;
+    return c;
+}
+
+int cmplines(int a, int b) {
+    int i; int ca; int cb; int la; int lb;
+    la = lens[a]; lb = lens[b];
+    i = 0;
+    while (i < la && i < lb) {
+        ca = fold(pool[starts[a] + i]);
+        cb = fold(pool[starts[b] + i]);
+        if (ca < cb) return -1;
+        if (ca > cb) return 1;
+        i += 1;
+    }
+    if (la < lb) return -1;
+    if (la > lb) return 1;
+    return 0;
+}
+
+// Option parser for collation flags (cold: no options in this run).
+int option(int c) {
+    if (c == 'r') return 1;
+    else if (c == 'n') return 2;
+    else if (c == 'f') return 3;
+    else if (c == 'u') return 4;
+    else if (c == 'b') return 5;
+    return 0;
+}
+
+int main() {
+    int c; int n; int top; int i; int j; int k;
+    n = 0; top = 0;
+    c = getchar();
+    // Read lines; classify each character as the paper's motivating
+    // example does (blank / newline / EOF / ordinary).
+    starts[0] = 0;
+    while (c != -1) {
+        if (c == '\n') {
+            lens[n] = top - starts[n];
+            n += 1;
+            if (n >= 512) break;
+            starts[n] = top;
+        } else if (c == '\t') {
+            if (top < 16384) { pool[top] = ' '; top += 1; }
+        } else {
+            if (top < 16384) { pool[top] = c; top += 1; }
+        }
+        c = getchar();
+    }
+    // Insertion sort on the index.
+    for (i = 0; i < n; i += 1) order[i] = i;
+    for (i = 1; i < n; i += 1) {
+        k = order[i];
+        j = i - 1;
+        while (j >= 0 && cmplines(order[j], k) > 0) {
+            order[j + 1] = order[j];
+            j -= 1;
+        }
+        order[j + 1] = k;
+    }
+    // Position-weighted checksum of the sorted order.
+    k = 0;
+    for (i = 0; i < n; i += 1) {
+        j = starts[order[i]];
+        if (lens[order[i]] > 0) k += (i + 1) * (pool[j] % 251);
+    }
+    if (n < 0) putint(option(n));
+    putint(n);
+    putint(k);
+    return 0;
+}

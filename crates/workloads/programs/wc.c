@@ -1,0 +1,43 @@
+// wc: displays count of lines, words, and characters.
+// The inner loop is the classic character-classification chain the
+// paper's Figure 1 motivates: blanks are common, newlines rarer, EOF
+// seen once, and most characters are none of the three.
+// Diagnostic path for malformed input (never taken on valid text):
+// locale-style classification of the offending byte.
+int diagnose(int c) {
+    if (c == 0) return 1;
+    else if (c == 127) return 2;
+    else if (c < 32) return 3;
+    else if (c > 127) return 4;
+    return 0;
+}
+
+int main() {
+    int c;
+    int lines; int words; int chars;
+    int inword;
+    lines = 0; words = 0; chars = 0; inword = 0;
+    c = getchar();
+    while (c != -1) {
+        chars += 1;
+        if (c == ' ') {
+            inword = 0;
+        } else if (c == '\n') {
+            lines += 1;
+            inword = 0;
+        } else if (c == '\t') {
+            inword = 0;
+        } else {
+            if (inword == 0) {
+                words += 1;
+                inword = 1;
+            }
+        }
+        c = getchar();
+    }
+    if (chars < 0) putint(diagnose(chars));
+    putint(lines);
+    putint(words);
+    putint(chars);
+    return 0;
+}

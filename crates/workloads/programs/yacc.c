@@ -1,0 +1,48 @@
+// yacc: parsing program generator kernel.
+// Reads a grammar-shaped input, counting rules, alternatives, and
+// symbols, and then spends most of its time building a closure table —
+// the table work dwarfs the scanning, so reordering helps only a
+// little, as in the paper.
+int table[40000];
+
+int main() {
+    int c; int rules; int alts; int symbols; int insym; int i; int j;
+    int n; int acc;
+    rules = 0; alts = 0; symbols = 0; insym = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c >= 'a' && c <= 'z') {
+            if (insym == 0) { symbols += 1; insym = 1; }
+        } else if (c == ':') {
+            rules += 1;
+            insym = 0;
+        } else if (c == '|') {
+            alts += 1;
+            insym = 0;
+        } else if (c == ';') {
+            insym = 0;
+        } else {
+            insym = 0;
+        }
+        c = getchar();
+    }
+    // Closure-style table computation (dominates execution).
+    n = 200;
+    for (i = 0; i < n; i += 1) {
+        table[i * n + i] = 1;
+    }
+    for (i = 0; i < n; i += 1) {
+        for (j = 0; j < n; j += 1) {
+            if (table[i * n + j] == 0) {
+                table[i * n + j] = (i * 31 + j * 17 + symbols) % 7 == 0;
+            }
+        }
+    }
+    acc = 0;
+    for (i = 0; i < n * n; i += 1) acc += table[i];
+    putint(rules);
+    putint(alts);
+    putint(symbols);
+    putint(acc);
+    return 0;
+}

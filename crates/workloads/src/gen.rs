@@ -1,0 +1,355 @@
+//! Deterministic input generators with ASCII-realistic distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of generated input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputKind {
+    /// English-like prose: letters dominate, then spaces, newlines,
+    /// punctuation (the distribution the paper's Figure 1 argument rests
+    /// on: most characters are above the blank in ASCII).
+    Prose,
+    /// Prose with many hyphenated words.
+    HyphenRich,
+    /// C-like source code: identifiers, digits, braces, semicolons,
+    /// comments, preprocessor lines.
+    Code,
+    /// troff input: text lines mixed with `.XX` request lines and
+    /// backslash escapes.
+    Troff,
+    /// awk-style records: space/tab-separated fields, some numeric,
+    /// with `#`/`{`/`$` leaders.
+    Records,
+    /// `key<TAB>value` lines with small integer keys (for join).
+    KeyedRecords,
+    /// Pairs of similar lines (for sdiff).
+    PairedLines,
+    /// Short words, one per line (for sort).
+    ShortLines,
+    /// yacc-like grammar text: names, `:`, `|`, `;`.
+    Grammar,
+}
+
+/// A deterministic input generator: a kind plus a seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InputSpec {
+    /// Distribution shape.
+    pub kind: InputKind,
+    /// RNG seed; same spec + size = same bytes.
+    pub seed: u64,
+}
+
+impl InputSpec {
+    /// Create a spec.
+    pub fn new(kind: InputKind, seed: u64) -> InputSpec {
+        InputSpec { kind, seed }
+    }
+
+    /// Generate roughly `size` bytes (the final line is completed, so
+    /// output may run slightly over).
+    pub fn generate(&self, size: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(size + 80);
+        match self.kind {
+            InputKind::Prose => prose(&mut rng, &mut out, size, 0.01, false),
+            // Uniform letter frequencies *and* many hyphens: a training
+            // distribution deliberately unlike Prose test inputs.
+            InputKind::HyphenRich => prose(&mut rng, &mut out, size, 0.18, true),
+            InputKind::Code => code(&mut rng, &mut out, size),
+            InputKind::Troff => troff(&mut rng, &mut out, size),
+            InputKind::Records => records(&mut rng, &mut out, size),
+            InputKind::KeyedRecords => keyed(&mut rng, &mut out, size),
+            InputKind::PairedLines => paired(&mut rng, &mut out, size),
+            InputKind::ShortLines => short_lines(&mut rng, &mut out, size),
+            InputKind::Grammar => grammar(&mut rng, &mut out, size),
+        }
+        out
+    }
+}
+
+/// English-letter-ish frequencies, skewed like real text.
+fn letter(rng: &mut StdRng) -> u8 {
+    const WEIGHTED: &[u8] = b"eeeeeeeeeeeetttttttttaaaaaaaaooooooiiiiiinnnnnnssssss\
+        hhhhhrrrrrrddddlllluuucccmmmwwfffggyyppbbvkjxqz";
+    WEIGHTED[rng.gen_range(0..WEIGHTED.len())]
+}
+
+fn uniform_letter(rng: &mut StdRng) -> u8 {
+    b'a' + rng.gen_range(0..26)
+}
+
+fn word(rng: &mut StdRng, out: &mut Vec<u8>, hyphen_prob: f64) {
+    word_with(rng, out, hyphen_prob, false)
+}
+
+fn word_with(rng: &mut StdRng, out: &mut Vec<u8>, hyphen_prob: f64, uniform: bool) {
+    let len = rng.gen_range(2..9);
+    for i in 0..len {
+        if i > 0 && i + 1 < len && rng.gen_bool(hyphen_prob) {
+            out.push(b'-');
+        }
+        let mut c = if uniform { uniform_letter(rng) } else { letter(rng) };
+        if i == 0 && rng.gen_bool(0.08) {
+            c = c.to_ascii_uppercase();
+        }
+        out.push(c);
+    }
+}
+
+fn prose(rng: &mut StdRng, out: &mut Vec<u8>, size: usize, hyphen_prob: f64, uniform: bool) {
+    let mut col = 0usize;
+    while out.len() < size {
+        word_with(rng, out, hyphen_prob, uniform);
+        col += 6;
+        if rng.gen_bool(0.10) {
+            const PUNCT: [u8; 5] = [b'.', b',', b';', b'!', b'?'];
+            out.push(PUNCT[rng.gen_range(0..PUNCT.len())]);
+        }
+        if col > 60 {
+            out.push(b'\n');
+            col = 0;
+        } else if rng.gen_bool(0.06) {
+            out.push(b'\t');
+            col += 8;
+        } else {
+            out.push(b' ');
+            col += 1;
+        }
+    }
+    out.push(b'\n');
+}
+
+fn code(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+    const KEYWORDS: &[&[u8]] = &[
+        b"int", b"if", b"else", b"while", b"for", b"return", b"break", b"case", b"switch",
+    ];
+    while out.len() < size {
+        match rng.gen_range(0..10) {
+            0 => {
+                // preprocessor line
+                out.extend_from_slice(b"#define ");
+                word(rng, out, 0.0);
+                out.push(b' ');
+                push_number(rng, out);
+                out.push(b'\n');
+            }
+            1 => {
+                // comment
+                out.extend_from_slice(b"/* ");
+                word(rng, out, 0.0);
+                out.push(b' ');
+                word(rng, out, 0.0);
+                out.extend_from_slice(b" */\n");
+            }
+            2 | 3 => {
+                // function-definition-looking line
+                word(rng, out, 0.0);
+                out.push(b'(');
+                word(rng, out, 0.0);
+                out.extend_from_slice(b") {\n");
+            }
+            4 => out.extend_from_slice(b"}\n"),
+            _ => {
+                // statement
+                out.extend_from_slice(b"    ");
+                let kw = KEYWORDS[rng.gen_range(0..KEYWORDS.len())];
+                out.extend_from_slice(kw);
+                out.push(b' ');
+                word(rng, out, 0.0);
+                out.extend_from_slice(b" = ");
+                word(rng, out, 0.0);
+                out.extend_from_slice(b"[");
+                push_number(rng, out);
+                out.extend_from_slice(b"] + \"s\";\n");
+            }
+        }
+    }
+}
+
+fn push_number(rng: &mut StdRng, out: &mut Vec<u8>) {
+    let n: u32 = rng.gen_range(0..10_000);
+    out.extend_from_slice(n.to_string().as_bytes());
+}
+
+fn troff(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+    const REQUESTS: &[&[u8]] = &[b".PP", b".SH", b".TP", b".br", b".sp", b".in +2"];
+    while out.len() < size {
+        if rng.gen_bool(0.18) {
+            out.extend_from_slice(REQUESTS[rng.gen_range(0..REQUESTS.len())]);
+            out.push(b'\n');
+        } else {
+            let words = rng.gen_range(4..11);
+            for i in 0..words {
+                if i > 0 {
+                    out.push(b' ');
+                }
+                if rng.gen_bool(0.07) {
+                    out.extend_from_slice(b"\\fB");
+                }
+                word(rng, out, 0.01);
+            }
+            out.push(b'\n');
+        }
+    }
+}
+
+fn records(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+    while out.len() < size {
+        match rng.gen_range(0..8) {
+            0 => out.push(b'#'),
+            1 => out.push(b'{'),
+            2 => out.push(b'$'),
+            _ => {}
+        }
+        let fields = rng.gen_range(2..6);
+        for i in 0..fields {
+            if i > 0 {
+                out.push(if rng.gen_bool(0.3) { b'\t' } else { b' ' });
+            }
+            if rng.gen_bool(0.4) {
+                push_number(rng, out);
+            } else {
+                word(rng, out, 0.0);
+            }
+        }
+        out.push(b'\n');
+    }
+}
+
+fn keyed(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+    while out.len() < size {
+        let key: u32 = rng.gen_range(0..100);
+        out.extend_from_slice(key.to_string().as_bytes());
+        out.push(b'\t');
+        word(rng, out, 0.0);
+        out.push(b'\n');
+    }
+}
+
+fn paired(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+    while out.len() < size {
+        let mut line = Vec::new();
+        let words = rng.gen_range(3..8);
+        for i in 0..words {
+            if i > 0 {
+                line.push(b' ');
+            }
+            word(rng, &mut line, 0.0);
+        }
+        out.extend_from_slice(&line);
+        out.push(b'\n');
+        // Second line of the pair: identical 60% of the time, else
+        // perturbed.
+        if rng.gen_bool(0.6) {
+            out.extend_from_slice(&line);
+        } else {
+            let flip = rng.gen_range(0..line.len());
+            let mut alt = line.clone();
+            alt[flip] = letter(rng);
+            out.extend_from_slice(&alt);
+        }
+        out.push(b'\n');
+    }
+}
+
+fn short_lines(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+    while out.len() < size {
+        word(rng, out, 0.0);
+        if rng.gen_bool(0.25) {
+            out.push(b' ');
+            word(rng, out, 0.0);
+        }
+        out.push(b'\n');
+    }
+}
+
+fn grammar(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+    while out.len() < size {
+        word(rng, out, 0.0);
+        out.extend_from_slice(b"\n    : ");
+        let alts = rng.gen_range(1..4);
+        for a in 0..alts {
+            if a > 0 {
+                out.extend_from_slice(b"\n    | ");
+            }
+            let syms = rng.gen_range(1..4);
+            for s in 0..syms {
+                if s > 0 {
+                    out.push(b' ');
+                }
+                word(rng, out, 0.0);
+            }
+        }
+        out.extend_from_slice(b"\n    ;\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prose_is_letter_dominated() {
+        let bytes = InputSpec::new(InputKind::Prose, 1).generate(20_000);
+        let letters = bytes.iter().filter(|b| b.is_ascii_alphabetic()).count();
+        let spaces = bytes.iter().filter(|&&b| b == b' ').count();
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+        assert!(letters > spaces, "letters {letters} vs spaces {spaces}");
+        assert!(spaces > newlines, "spaces {spaces} vs newlines {newlines}");
+    }
+
+    #[test]
+    fn hyphen_rich_has_more_hyphens_than_prose() {
+        let rich = InputSpec::new(InputKind::HyphenRich, 1).generate(20_000);
+        let plain = InputSpec::new(InputKind::Prose, 1).generate(20_000);
+        let count = |v: &[u8]| v.iter().filter(|&&b| b == b'-').count();
+        assert!(count(&rich) > 4 * count(&plain).max(1));
+    }
+
+    #[test]
+    fn code_contains_code_shapes() {
+        let bytes = InputSpec::new(InputKind::Code, 2).generate(8_000);
+        let s = String::from_utf8_lossy(&bytes);
+        assert!(s.contains("#define"));
+        assert!(s.contains("/*"));
+        assert!(s.contains('{'));
+        assert!(s.contains(';'));
+    }
+
+    #[test]
+    fn troff_has_requests() {
+        let bytes = InputSpec::new(InputKind::Troff, 3).generate(8_000);
+        let s = String::from_utf8_lossy(&bytes);
+        assert!(s.lines().any(|l| l.starts_with('.')));
+        assert!(s.contains('\\'));
+    }
+
+    #[test]
+    fn keyed_lines_parse() {
+        let bytes = InputSpec::new(InputKind::KeyedRecords, 4).generate(4_000);
+        for line in String::from_utf8_lossy(&bytes).lines() {
+            let (k, _) = line.split_once('\t').expect("key TAB value");
+            k.parse::<u32>().expect("numeric key");
+        }
+    }
+
+    #[test]
+    fn paired_lines_come_in_pairs() {
+        let bytes = InputSpec::new(InputKind::PairedLines, 5).generate(4_000);
+        let lines: Vec<&str> = std::str::from_utf8(&bytes).unwrap().lines().collect();
+        assert_eq!(lines.len() % 2, 0);
+        let same = lines
+            .chunks(2)
+            .filter(|p| p[0] == p[1])
+            .count();
+        assert!(same > 0 && same < lines.len() / 2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = InputSpec::new(InputKind::Prose, 1).generate(1000);
+        let b = InputSpec::new(InputKind::Prose, 2).generate(1000);
+        assert_ne!(a, b);
+    }
+}

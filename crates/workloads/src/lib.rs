@@ -1,0 +1,231 @@
+//! # br-workloads
+//!
+//! The 17 benchmark kernels named after the paper's test programs
+//! (its Table 3), written in mini-C, plus seeded input generators.
+//!
+//! Each kernel reproduces the branch-heavy inner-loop character of its
+//! Unix namesake — character classification, token dispatch, line
+//! processing — because that structure (and the skew of the character
+//! distribution feeding it) is what the reordering transformation's
+//! benefit depends on. Inputs are generated deterministically from
+//! seeds; training and test inputs use *different* seeds and slightly
+//! different distributions, as the paper's evaluation does.
+//!
+//! ```
+//! let w = br_workloads::by_name("wc").expect("wc exists");
+//! let input = w.training_input(4096);
+//! assert_eq!(input, w.training_input(4096), "generation is deterministic");
+//! ```
+
+mod gen;
+pub mod synth;
+
+pub use gen::{InputKind, InputSpec};
+
+/// One benchmark program.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Program name (matches the paper's Table 3).
+    pub name: &'static str,
+    /// The paper's one-line description.
+    pub description: &'static str,
+    /// mini-C source text.
+    pub source: &'static str,
+    /// Training-input generator (profiling runs).
+    pub training: InputSpec,
+    /// Test-input generator (measurement runs) — different seed and
+    /// slightly different distribution than training.
+    pub test: InputSpec,
+}
+
+impl Workload {
+    /// Generate the training input at roughly `size` bytes.
+    pub fn training_input(&self, size: usize) -> Vec<u8> {
+        self.training.generate(size)
+    }
+
+    /// Generate the test input at roughly `size` bytes.
+    pub fn test_input(&self, size: usize) -> Vec<u8> {
+        self.test.generate(size)
+    }
+}
+
+macro_rules! workload {
+    ($name:literal, $desc:literal, $training:expr, $test:expr) => {
+        Workload {
+            name: $name,
+            description: $desc,
+            source: include_str!(concat!("../programs/", $name, ".c")),
+            training: $training,
+            test: $test,
+        }
+    };
+}
+
+/// All 17 workloads, in the paper's Table 3 order.
+pub fn all() -> Vec<Workload> {
+    use InputKind::*;
+    vec![
+        workload!(
+            "awk",
+            "Pattern Scanning and Processing Language",
+            InputSpec::new(Records, 11),
+            InputSpec::new(Records, 211)
+        ),
+        workload!(
+            "cb",
+            "A Simple C Program Beautifier",
+            InputSpec::new(Code, 12),
+            InputSpec::new(Code, 212)
+        ),
+        workload!(
+            "cpp",
+            "C Compiler Preprocessor",
+            InputSpec::new(Code, 13),
+            InputSpec::new(Code, 213)
+        ),
+        workload!(
+            "ctags",
+            "Generates Tag File for vi",
+            InputSpec::new(Code, 14),
+            InputSpec::new(Code, 214)
+        ),
+        workload!(
+            "deroff",
+            "Removes nroff Constructs",
+            InputSpec::new(Troff, 15),
+            InputSpec::new(Troff, 215)
+        ),
+        workload!(
+            "grep",
+            "Searches a File for a String or Regular Expression",
+            InputSpec::new(Prose, 16),
+            InputSpec::new(Prose, 216)
+        ),
+        workload!(
+            "hyphen",
+            "Lists Hyphenated Words in a File",
+            // Deliberately mismatched distributions: training sees many
+            // hyphens, testing few — the paper's hyphen regression came
+            // from exactly this train/test mismatch.
+            InputSpec::new(HyphenRich, 17),
+            InputSpec::new(Prose, 217)
+        ),
+        workload!(
+            "join",
+            "Relational Database Operator",
+            InputSpec::new(KeyedRecords, 18),
+            InputSpec::new(KeyedRecords, 218)
+        ),
+        workload!(
+            "lex",
+            "Lexical Analysis Program Generator",
+            InputSpec::new(Code, 19),
+            InputSpec::new(Code, 219)
+        ),
+        workload!(
+            "nroff",
+            "Text Formatter",
+            InputSpec::new(Troff, 20),
+            InputSpec::new(Troff, 220)
+        ),
+        workload!(
+            "pr",
+            "Prepares File(s) for Printing",
+            InputSpec::new(Prose, 21),
+            InputSpec::new(Prose, 221)
+        ),
+        workload!(
+            "ptx",
+            "Generates a Permuted Index",
+            InputSpec::new(Prose, 22),
+            InputSpec::new(Prose, 222)
+        ),
+        workload!(
+            "sdiff",
+            "Displays Files Side-by-Side",
+            InputSpec::new(PairedLines, 23),
+            InputSpec::new(PairedLines, 223)
+        ),
+        workload!(
+            "sed",
+            "Stream Editor",
+            InputSpec::new(Prose, 24),
+            InputSpec::new(Prose, 224)
+        ),
+        workload!(
+            "sort",
+            "Sorts and Collates Lines",
+            InputSpec::new(ShortLines, 25),
+            InputSpec::new(ShortLines, 225)
+        ),
+        workload!(
+            "wc",
+            "Displays Count of Lines, Words, and Characters",
+            InputSpec::new(Prose, 26),
+            InputSpec::new(Prose, 226)
+        ),
+        workload!(
+            "yacc",
+            "Parsing Program Generator",
+            InputSpec::new(Grammar, 27),
+            InputSpec::new(Grammar, 227)
+        ),
+    ]
+}
+
+/// Look up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_workloads_in_paper_order() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "awk", "cb", "cpp", "ctags", "deroff", "grep", "hyphen", "join", "lex",
+                "nroff", "pr", "ptx", "sdiff", "sed", "sort", "wc", "yacc"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("sort").is_some());
+        assert!(by_name("emacs").is_none());
+    }
+
+    #[test]
+    fn training_and_test_differ() {
+        for w in all() {
+            let train = w.training_input(2048);
+            let test = w.test_input(2048);
+            assert_ne!(train, test, "{}: train/test inputs must differ", w.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for w in all() {
+            assert_eq!(w.training_input(1024), w.training_input(1024));
+        }
+    }
+
+    #[test]
+    fn inputs_are_roughly_sized() {
+        for w in all() {
+            let len = w.test_input(4096).len();
+            assert!(
+                (3000..6000).contains(&len),
+                "{}: got {len} bytes for 4096 requested",
+                w.name
+            );
+        }
+    }
+}

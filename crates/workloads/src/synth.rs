@@ -1,0 +1,302 @@
+//! Random mini-C program synthesis for differential testing.
+//!
+//! Generates syntactically and semantically valid programs that are
+//! guaranteed to terminate and never trap:
+//!
+//! * every loop either consumes input (`c = getchar()` with an EOF
+//!   check) or runs a bounded counter;
+//! * array indices are masked with `& (size-1)` (sizes are powers of
+//!   two), which is non-negative for any operand;
+//! * divisors are odd-masked (`| 1`), hence never zero.
+//!
+//! The programs lean heavily on the shapes branch reordering cares
+//! about: if/else chains and switches over a read character, plus
+//! arithmetic noise, nested control flow, and helper function calls.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the synthesizer.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Maximum statements per block.
+    pub max_stmts: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Number of scalar locals in `main`.
+    pub locals: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            max_stmts: 6,
+            max_depth: 3,
+            locals: 5,
+        }
+    }
+}
+
+/// Generate a random, valid, terminating mini-C program from `seed`.
+pub fn generate_program(seed: u64, config: &SynthConfig) -> String {
+    let mut g = Synth {
+        rng: StdRng::seed_from_u64(seed),
+        config: *config,
+        out: String::new(),
+        indent: 1,
+    };
+    g.program();
+    g.out
+}
+
+struct Synth {
+    rng: StdRng,
+    config: SynthConfig,
+    out: String,
+    indent: usize,
+}
+
+const ARRAY: &str = "tbl";
+const ARRAY_SIZE: usize = 64;
+
+impl Synth {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn local(&mut self) -> String {
+        format!("v{}", self.rng.gen_range(0..self.config.locals))
+    }
+
+    fn program(&mut self) {
+        self.out
+            .push_str(&format!("int {ARRAY}[{ARRAY_SIZE}];\nint gsum = 0;\n\n"));
+        // A pure helper function the generator may call.
+        self.out.push_str(
+            "int clamp(int x, int lo, int hi) {\n    if (x < lo) return lo;\n    if (x > hi) return hi;\n    return x;\n}\n\n",
+        );
+        self.out.push_str("int main() {\n");
+        self.line("int c;");
+        for i in 0..self.config.locals {
+            self.line(&format!("int v{i};"));
+        }
+        // Dedicated loop counters (one per nesting depth) that body
+        // statements can never assign, guaranteeing termination.
+        for d in 0..=self.config.max_depth {
+            self.line(&format!("int i{d};"));
+        }
+        for i in 0..self.config.locals {
+            let init = self.rng.gen_range(-20..100);
+            self.line(&format!("v{i} = {init};"));
+        }
+        // The input-consuming outer loop guarantees termination.
+        self.line("c = getchar();");
+        self.line("while (c != -1) {");
+        self.indent += 1;
+        let n = self.rng.gen_range(2..=self.config.max_stmts);
+        for _ in 0..n {
+            self.stmt(self.config.max_depth);
+        }
+        self.line("c = getchar();");
+        self.indent -= 1;
+        self.line("}");
+        for i in 0..self.config.locals {
+            self.line(&format!("putint(v{i});"));
+        }
+        self.line("putint(gsum);");
+        let probe = self.rng.gen_range(0..ARRAY_SIZE);
+        self.line(&format!("putint({ARRAY}[{probe}]);"));
+        self.line("return 0;");
+        self.out.push_str("}\n");
+    }
+
+    fn stmt(&mut self, depth: usize) {
+        let choice = if depth == 0 {
+            self.rng.gen_range(0..3)
+        } else {
+            self.rng.gen_range(0..8)
+        };
+        match choice {
+            0 | 1 => {
+                // assignment or increment/decrement
+                let v = self.local();
+                if self.rng.gen_bool(0.2) {
+                    let op = ["++", "--"][self.rng.gen_range(0..2)];
+                    if self.rng.gen_bool(0.5) {
+                        self.line(&format!("{v}{op};"));
+                    } else {
+                        self.line(&format!("{op}{v};"));
+                    }
+                } else {
+                    let e = self.expr(2);
+                    let op = ["=", "+=", "-=", "*="][self.rng.gen_range(0..4)];
+                    self.line(&format!("{v} {op} {e};"));
+                }
+            }
+            2 => {
+                // array update or global bump
+                if self.rng.gen_bool(0.5) {
+                    let idx = self.expr(1);
+                    let e = self.expr(1);
+                    self.line(&format!(
+                        "{ARRAY}[({idx}) & {}] += {e};",
+                        ARRAY_SIZE - 1
+                    ));
+                } else {
+                    let e = self.expr(1);
+                    self.line(&format!("gsum += {e};"));
+                }
+            }
+            3 | 4 => self.if_chain(depth),
+            5 => self.switch_stmt(depth),
+            6 => self.bounded_for(depth),
+            _ => {
+                // helper call
+                let v = self.local();
+                let e = self.expr(1);
+                self.line(&format!("{v} = clamp({e}, -100, 100);"));
+            }
+        }
+    }
+
+    /// The bread and butter: an if/else-if chain comparing `c` (or a
+    /// local) against constants — a reorderable sequence.
+    fn if_chain(&mut self, depth: usize) {
+        let subject = if self.rng.gen_bool(0.7) {
+            "c".to_string()
+        } else {
+            self.local()
+        };
+        let arms = self.rng.gen_range(2..=5);
+        let mut consts: Vec<i64> = Vec::new();
+        for a in 0..arms {
+            // Distinct constants keep ranges nonoverlapping.
+            let k = loop {
+                let k = self.rng.gen_range(-5i64..125);
+                if !consts.contains(&k) {
+                    break k;
+                }
+            };
+            consts.push(k);
+            let rel = match self.rng.gen_range(0..4) {
+                0 => "==",
+                1 => "<",
+                2 => ">",
+                _ => "==",
+            };
+            let kw = if a == 0 { "if" } else { "} else if" };
+            self.line(&format!("{kw} ({subject} {rel} {k}) {{"));
+            self.indent += 1;
+            self.stmt(depth - 1);
+            self.indent -= 1;
+        }
+        if self.rng.gen_bool(0.7) {
+            self.line("} else {");
+            self.indent += 1;
+            self.stmt(depth - 1);
+            self.indent -= 1;
+        }
+        self.line("}");
+    }
+
+    fn switch_stmt(&mut self, depth: usize) {
+        let arms = self.rng.gen_range(3..=9);
+        let dense = self.rng.gen_bool(0.5);
+        self.line("switch (c) {");
+        self.indent += 1;
+        let mut used = Vec::new();
+        for _ in 0..arms {
+            let k = loop {
+                let k = if dense {
+                    self.rng.gen_range(90i64..110)
+                } else {
+                    self.rng.gen_range(0i64..1000) * 3
+                };
+                if !used.contains(&k) {
+                    break k;
+                }
+            };
+            used.push(k);
+            self.line(&format!("case {k}:"));
+            self.indent += 1;
+            self.stmt(depth.saturating_sub(1));
+            if self.rng.gen_bool(0.8) {
+                self.line("break;");
+            }
+            self.indent -= 1;
+        }
+        if self.rng.gen_bool(0.6) {
+            self.line("default:");
+            self.indent += 1;
+            self.stmt(depth.saturating_sub(1));
+            self.indent -= 1;
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn bounded_for(&mut self, depth: usize) {
+        let v = format!("i{depth}");
+        let n = self.rng.gen_range(1..8);
+        self.line(&format!("for ({v} = 0; {v} < {n}; {v} += 1) {{"));
+        self.indent += 1;
+        self.stmt(depth - 1);
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 {
+            return match self.rng.gen_range(0..4) {
+                0 => format!("{}", self.rng.gen_range(-50..200)),
+                1 => "c".to_string(),
+                2 => self.local(),
+                _ => format!(
+                    "{ARRAY}[({}) & {}]",
+                    self.local(),
+                    ARRAY_SIZE - 1
+                ),
+            };
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        match self.rng.gen_range(0..10) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} / (({b}) | 1))"),
+            4 => format!("({a} % (({b}) | 1))"),
+            5 => format!("({a} & {b})"),
+            6 => format!("({a} ^ {b})"),
+            7 => format!("({a} < {b})"),
+            8 => format!("({a} == {b} ? {a} : {b})"),
+            _ => format!("(-({a}))"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_are_deterministic() {
+        let cfg = SynthConfig::default();
+        assert_eq!(generate_program(42, &cfg), generate_program(42, &cfg));
+        assert_ne!(generate_program(1, &cfg), generate_program(2, &cfg));
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        let cfg = SynthConfig::default();
+        for seed in 0..50 {
+            let src = generate_program(seed, &cfg);
+            br_minic::compile(&src, &br_minic::Options::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Every workload kernel must compile under all three heuristic sets,
+//! verify, run to completion, and — crucially — behave identically
+//! before and after branch reordering.
+
+use br_minic::{compile, HeuristicSet, Options};
+use br_reorder::{reorder_module, ReorderOptions};
+use br_vm::{run, VmOptions};
+use br_workloads::all;
+
+#[test]
+fn all_kernels_compile_and_run_under_every_heuristic_set() {
+    for w in all() {
+        let input = w.test_input(4096);
+        let mut reference: Option<(i64, Vec<u8>)> = None;
+        for h in HeuristicSet::ALL {
+            let mut m = compile(w.source, &Options::with_heuristics(h))
+                .unwrap_or_else(|e| panic!("{} does not compile: {e}", w.name));
+            br_opt::optimize(&mut m);
+            br_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{} fails verification: {e}", w.name));
+            let out = run(&m, &input, &VmOptions::default())
+                .unwrap_or_else(|e| panic!("{} traps under set {}: {e}", w.name, h.name));
+            assert!(
+                !out.output.is_empty(),
+                "{}: kernels must print their results",
+                w.name
+            );
+            match &reference {
+                None => reference = Some((out.exit, out.output)),
+                Some((exit, output)) => {
+                    assert_eq!(out.exit, *exit, "{}: set {} changed exit", w.name, h.name);
+                    assert_eq!(
+                        &out.output, output,
+                        "{}: set {} changed output",
+                        w.name, h.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reordering_preserves_behaviour_on_every_kernel_and_set() {
+    for w in all() {
+        let train = w.training_input(3072);
+        let test = w.test_input(4096);
+        for h in HeuristicSet::ALL {
+            let mut m = compile(w.source, &Options::with_heuristics(h)).expect("compiles");
+            br_opt::optimize(&mut m);
+            let report = reorder_module(&m, &train, &ReorderOptions::default())
+                .unwrap_or_else(|e| panic!("{}/{}: training trapped: {e}", w.name, h.name));
+            br_ir::verify_module(&report.module)
+                .unwrap_or_else(|e| panic!("{}/{}: bad module: {e}", w.name, h.name));
+            let base = run(&m, &test, &VmOptions::default()).expect("base runs");
+            let new = run(&report.module, &test, &VmOptions::default()).expect("new runs");
+            assert_eq!(
+                base.exit, new.exit,
+                "{}/{}: reordering changed the exit value",
+                w.name, h.name
+            );
+            assert_eq!(
+                base.output, new.output,
+                "{}/{}: reordering changed the output",
+                w.name, h.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_kernel_has_detectable_sequences_under_set_iii() {
+    // Set III (always linear search) maximizes reordering opportunity;
+    // each kernel must expose at least one reorderable sequence.
+    for w in all() {
+        let mut m = compile(w.source, &Options::with_heuristics(HeuristicSet::SET_III))
+            .expect("compiles");
+        br_opt::optimize(&mut m);
+        let detections = br_reorder::profile::detect_all(&m);
+        assert!(
+            !detections.is_empty(),
+            "{}: no reorderable sequence detected",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn most_kernels_improve_on_matched_inputs_under_set_iii() {
+    // With training distribution == test distribution (different seeds),
+    // reordering should help broadly; require a clear majority to
+    // improve and none to regress catastrophically.
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    for w in all() {
+        let mut m = compile(w.source, &Options::with_heuristics(HeuristicSet::SET_III))
+            .expect("compiles");
+        br_opt::optimize(&mut m);
+        let train = w.training_input(3072);
+        let test = w.test_input(4096);
+        let report = reorder_module(&m, &train, &ReorderOptions::default()).expect("pipeline");
+        let base = run(&m, &test, &VmOptions::default()).expect("runs");
+        let new = run(&report.module, &test, &VmOptions::default()).expect("runs");
+        total += 1;
+        let delta = new.stats.insts as f64 / base.stats.insts as f64 - 1.0;
+        if delta < 0.0 {
+            improved += 1;
+        }
+        assert!(
+            delta < 0.15,
+            "{}: reordering regressed instructions by {:.1}%",
+            w.name,
+            delta * 100.0
+        );
+    }
+    assert!(
+        improved * 3 >= total * 2,
+        "only {improved}/{total} kernels improved"
+    );
+}

@@ -1,0 +1,69 @@
+//! The paper's Table 2 in action: the same `switch` statement translated
+//! under all three heuristic sets, and what reordering does to each.
+//!
+//! ```sh
+//! cargo run --example switch_strategies
+//! ```
+
+use branch_reorder::harness::{run_program_experiment, ExperimentConfig};
+use branch_reorder::minic::HeuristicSet;
+
+/// A dense 8-case switch over a skewed value distribution: Set I turns
+/// it into an indirect jump (no reorderable sequence), Set II into a
+/// binary search (short reorderable leaves), Set III into a linear
+/// search (one long reorderable sequence).
+const SOURCE: &str = r#"
+int counts[8];
+int main() {
+    int c; int i; int sum;
+    c = getchar();
+    while (c != -1) {
+        switch (c / 16) {
+            case 0: counts[0] += 1; break;
+            case 1: counts[1] += 1; break;
+            case 2: counts[2] += 1; break;
+            case 3: counts[3] += 1; break;
+            case 4: counts[4] += 1; break;
+            case 5: counts[5] += 1; break;
+            case 6: counts[6] += 1; break;
+            case 7: counts[7] += 1; break;
+        }
+        c = getchar();
+    }
+    sum = 0;
+    for (i = 0; i < 8; i += 1) sum += (i + 1) * counts[i];
+    putint(sum);
+    return 0;
+}
+"#;
+
+fn main() {
+    let text = "most characters are lowercase letters, bucket six!\n".repeat(250);
+    let train = text.as_bytes();
+    let text2 = "and the test distribution looks much the same here\n".repeat(250);
+    let test = text2.as_bytes();
+
+    println!(
+        "{:<5} {:>12} {:>12} {:>9} {:>9}",
+        "Set", "orig insts", "new insts", "insts%", "branches%"
+    );
+    for h in HeuristicSet::ALL {
+        let config = ExperimentConfig::with_heuristics(h);
+        let r = run_program_experiment("switch", SOURCE, train, test, &config)
+            .expect("compiles and runs");
+        println!(
+            "{:<5} {:>12} {:>12} {:>8.2}% {:>8.2}%",
+            h.name,
+            r.original.stats.insts,
+            r.reordered.stats.insts,
+            r.insts_pct(),
+            r.branches_pct()
+        );
+    }
+    println!(
+        "\nSet I keeps the indirect jump (nothing to reorder); Set III's \
+         linear search exposes the whole switch to profile-guided \
+         reordering — the paper's central observation about switch \
+         translation heuristics."
+    );
+}

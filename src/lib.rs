@@ -1,0 +1,65 @@
+//! # branch-reorder
+//!
+//! A from-scratch reproduction of *"Improving Performance by Branch
+//! Reordering"* (Minghui Yang, Gang-Ryung Uh, David B. Whalley — PLDI
+//! 1998): a profile-guided compiler transformation that reorders sequences
+//! of conditional branches comparing a common variable against constants.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`ir`] — RISC-like IR with SPARC-style separate compare/branch.
+//! * [`minic`] — a C-subset front end with the paper's three
+//!   switch-translation heuristic sets.
+//! * [`opt`] — conventional optimizations (the "first pass" of the paper's
+//!   pipeline) and code layout.
+//! * [`vm`] — an interpreter with architectural event counters, branch
+//!   predictors, and a cycle model.
+//! * [`reorder`] — **the paper's contribution**: detection of reorderable
+//!   range-condition sequences, profiling, cost-based ordering selection,
+//!   and the CFG restructuring transformation.
+//! * [`workloads`] — the 17 benchmark kernels named after the paper's
+//!   test programs, plus input generators.
+//! * [`harness`] — experiment drivers that regenerate every table and
+//!   figure of the paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use branch_reorder::harness::{run_program_experiment, ExperimentConfig};
+//! use branch_reorder::minic::HeuristicSet;
+//!
+//! let src = r#"
+//!     int main() {
+//!         int c; int x; int y; int z; int n;
+//!         x = 0; y = 0; z = 0; n = 0;
+//!         c = getchar();
+//!         while (c != -1) {
+//!             if (c == 32) { x = x + 1; }
+//!             else if (c == 10) { y = y + 1; }
+//!             else { z = z + 1; }
+//!             n = n + 1;
+//!             c = getchar();
+//!         }
+//!         putint(x); putint(y); putint(z);
+//!         return n;
+//!     }
+//! "#;
+//! let input: Vec<u8> = b"mostly letters  with spaces\nand lines\n".to_vec();
+//! let result = run_program_experiment(
+//!     "quickstart",
+//!     src,
+//!     &input,
+//!     &input,
+//!     &ExperimentConfig::with_heuristics(HeuristicSet::SET_I),
+//! ).expect("pipeline runs");
+//! // Reordering never changes observable behaviour.
+//! assert_eq!(result.original.output, result.reordered.output);
+//! ```
+
+pub use br_harness as harness;
+pub use br_ir as ir;
+pub use br_minic as minic;
+pub use br_opt as opt;
+pub use br_reorder as reorder;
+pub use br_vm as vm;
+pub use br_workloads as workloads;

@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the full Figure 2 pipeline through
+//! the facade crate, checking the paper's qualitative claims.
+
+use branch_reorder::harness::{run_program_experiment, run_workload, ExperimentConfig};
+use branch_reorder::minic::HeuristicSet;
+use branch_reorder::vm::{PredictorConfig, Scheme};
+
+/// The paper's Figure 1 program, written the "natural" way.
+const FIGURE1: &str = r#"
+int main() {
+    int c; int x; int y; int z;
+    x = 0; y = 0; z = 0;
+    c = getchar();
+    while (c != -1) {
+        if (c == ' ') x += 1;
+        else if (c == '\n') y += 1;
+        else z += 1;
+        c = getchar();
+    }
+    putint(x); putint(y); putint(z);
+    return 0;
+}
+"#;
+
+fn prose(n: usize, seed: u64) -> Vec<u8> {
+    branch_reorder::workloads::InputSpec::new(
+        branch_reorder::workloads::InputKind::Prose,
+        seed,
+    )
+    .generate(n)
+}
+
+#[test]
+fn figure1_improves_under_every_heuristic_set() {
+    for h in HeuristicSet::ALL {
+        let r = run_program_experiment(
+            "figure1",
+            FIGURE1,
+            &prose(8192, 1),
+            &prose(8192, 2),
+            &ExperimentConfig::quick(h),
+        )
+        .expect("pipeline runs");
+        assert!(r.insts_pct() < -5.0, "set {}: {}", h.name, r.insts_pct());
+        assert!(r.branches_pct() < r.insts_pct(), "branches drop more");
+    }
+}
+
+#[test]
+fn behaviour_identical_across_the_full_matrix() {
+    // 17 programs x 3 sets already covered in br-workloads; spot-check
+    // through the facade with the quick config and predictor sweep on.
+    for name in ["wc", "cb", "lex"] {
+        let w = branch_reorder::workloads::by_name(name).unwrap();
+        for h in HeuristicSet::ALL {
+            let r = run_workload(&w, &ExperimentConfig::quick(h)).expect("runs");
+            assert_eq!(r.original.output, r.reordered.output, "{name}/{}", h.name);
+            assert_eq!(r.original.exit, r.reordered.exit);
+        }
+    }
+}
+
+#[test]
+fn predictor_results_cover_requested_sweep() {
+    let w = branch_reorder::workloads::by_name("wc").unwrap();
+    let config = ExperimentConfig::quick(HeuristicSet::SET_II);
+    let r = run_workload(&w, &config).expect("runs");
+    assert_eq!(r.original.predictors.len(), 14);
+    // Every predictor saw every conditional branch.
+    for p in &r.original.predictors {
+        assert_eq!(p.predictions, r.original.stats.cond_branches);
+    }
+    // Larger tables never mispredict more on the same trace, modulo
+    // aliasing flukes; check the monotone trend loosely: 2048 <= 32 * 2.
+    let at = |entries: usize| {
+        r.original
+            .predictors
+            .iter()
+            .find(|p| p.config == PredictorConfig { scheme: Scheme::TwoBit, entries })
+            .unwrap()
+            .mispredictions
+    };
+    assert!(at(2048) <= at(32) * 2 + 10);
+}
+
+#[test]
+fn exhaustive_and_greedy_agree_end_to_end() {
+    let w = branch_reorder::workloads::by_name("wc").unwrap();
+    let mut greedy_cfg = ExperimentConfig::quick(HeuristicSet::SET_III);
+    let mut exhaustive_cfg = ExperimentConfig::quick(HeuristicSet::SET_III);
+    greedy_cfg.exhaustive = false;
+    exhaustive_cfg.exhaustive = true;
+    let a = run_workload(&w, &greedy_cfg).expect("runs");
+    let b = run_workload(&w, &exhaustive_cfg).expect("runs");
+    assert_eq!(
+        a.reordered.stats.insts, b.reordered.stats.insts,
+        "the paper found greedy == exhaustive on every sequence"
+    );
+}
+
+#[test]
+fn static_growth_is_modest() {
+    // The paper reports ~5% static growth. Kernels are tiny so allow
+    // more headroom, but growth must stay bounded.
+    let mut total_orig = 0usize;
+    let mut total_new = 0usize;
+    for w in branch_reorder::workloads::all() {
+        let r = run_workload(&w, &ExperimentConfig::quick(HeuristicSet::SET_I)).expect("runs");
+        total_orig += r.original_static;
+        total_new += r.reordered_static;
+    }
+    let growth = (total_new as f64 - total_orig as f64) / total_orig as f64 * 100.0;
+    assert!(growth > 0.0, "reordering adds replicated code: {growth:.2}%");
+    assert!(growth < 40.0, "static growth out of hand: {growth:.2}%");
+}
+
+#[test]
+fn training_on_test_input_never_slows_a_program_down() {
+    // When the training input IS the test input, the cost model should
+    // never pick a worse ordering than the original (the paper: "when we
+    // used the same test input data as the training input data, the
+    // number of branches never increased").
+    for name in ["wc", "grep", "hyphen", "deroff", "awk"] {
+        let w = branch_reorder::workloads::by_name(name).unwrap();
+        let input = w.test_input(4096);
+        let r = run_program_experiment(
+            name,
+            w.source,
+            &input,
+            &input,
+            &ExperimentConfig::quick(HeuristicSet::SET_III),
+        )
+        .expect("runs");
+        assert!(
+            r.reordered.stats.cond_branches <= r.original.stats.cond_branches,
+            "{name}: branches increased with a perfect profile: {} -> {}",
+            r.original.stats.cond_branches,
+            r.reordered.stats.cond_branches,
+        );
+    }
+}
+
+#[test]
+fn whole_harness_is_deterministic() {
+    // Same config, two runs: byte-identical tables. This is what makes
+    // results_full.txt reproducible.
+    let mk = || {
+        let config = ExperimentConfig::quick(HeuristicSet::SET_II);
+        let suite = branch_reorder::harness::SuiteResult {
+            heuristics: config.heuristics,
+            programs: ["wc", "lex"]
+                .iter()
+                .map(|n| {
+                    branch_reorder::harness::run_workload(
+                        &branch_reorder::workloads::by_name(n).unwrap(),
+                        &config,
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        };
+        let mut out = String::new();
+        out.push_str(&branch_reorder::harness::tables::table5(&suite));
+        out.push_str(&branch_reorder::harness::tables::table7(&suite));
+        out.push_str(&branch_reorder::harness::csv::table6(&suite));
+        out
+    };
+    assert_eq!(mk(), mk());
+}

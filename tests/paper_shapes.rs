@@ -1,0 +1,122 @@
+//! The reproduction's headline claims, as executable assertions: the
+//! *shapes* of the paper's evaluation (signs, orderings, crossovers)
+//! must hold on every run. EXPERIMENTS.md narrates these; this test
+//! enforces them.
+
+use branch_reorder::harness::{run_suite, ExperimentConfig, SuiteResult};
+use branch_reorder::minic::HeuristicSet;
+
+fn suites() -> Vec<SuiteResult> {
+    HeuristicSet::ALL
+        .into_iter()
+        .map(|h| run_suite(&ExperimentConfig::quick(h)).expect("suite runs"))
+        .collect()
+}
+
+fn avg_insts_pct(s: &SuiteResult) -> f64 {
+    s.programs.iter().map(|p| p.insts_pct()).sum::<f64>() / s.programs.len() as f64
+}
+
+fn pct_of<'a>(s: &'a SuiteResult, name: &str) -> &'a branch_reorder::harness::ProgramResult {
+    s.programs.iter().find(|p| p.name == name).expect("program exists")
+}
+
+#[test]
+fn table4_shapes_hold() {
+    let all = suites();
+    let (set1, set2, set3) = (&all[0], &all[1], &all[2]);
+
+    // Reordering helps on average under every heuristic set.
+    for s in &all {
+        assert!(
+            avg_insts_pct(s) < -5.0,
+            "set {}: average {:.2}%",
+            s.heuristics.name,
+            avg_insts_pct(s)
+        );
+        // Branch reductions exceed instruction reductions on average.
+        let avg_branches =
+            s.programs.iter().map(|p| p.branches_pct()).sum::<f64>() / s.programs.len() as f64;
+        assert!(avg_branches < avg_insts_pct(s), "set {}", s.heuristics.name);
+    }
+    // Set III (always linear search) benefits most.
+    assert!(avg_insts_pct(set3) < avg_insts_pct(set1));
+    assert!(avg_insts_pct(set3) < avg_insts_pct(set2));
+
+    // hyphen regresses (train/test mismatch), as in the paper.
+    assert!(
+        pct_of(set1, "hyphen").insts_pct() > 0.0,
+        "hyphen: {:.2}%",
+        pct_of(set1, "hyphen").insts_pct()
+    );
+    // sort is a dramatic winner.
+    assert!(pct_of(set1, "sort").insts_pct() < -20.0);
+    // cpp: flat under I and II (dense 17-case switch is an indirect
+    // jump), large under III.
+    assert!(pct_of(set1, "cpp").insts_pct() > -2.0);
+    assert!(pct_of(set2, "cpp").insts_pct() > -2.0);
+    assert!(pct_of(set3, "cpp").insts_pct() < -10.0);
+    // grep improves monotonically I -> II -> III.
+    let g1 = pct_of(set1, "grep").insts_pct();
+    let g2 = pct_of(set2, "grep").insts_pct();
+    let g3 = pct_of(set3, "grep").insts_pct();
+    assert!(g3 < g2 && g2 < g1, "grep: {g1:.2} {g2:.2} {g3:.2}");
+    // join and yacc barely move (dominated by non-sequence work).
+    assert!(pct_of(set1, "join").insts_pct() > -6.0);
+    assert!(pct_of(set1, "yacc").insts_pct() > -8.0);
+}
+
+#[test]
+fn table5_and_7_shapes_hold() {
+    let suite = run_suite(&ExperimentConfig::quick(HeuristicSet::SET_II)).expect("suite");
+    let rows = branch_reorder::harness::tables::table5_rows(&suite);
+    // Some programs gain mispredictions, and wherever they do, the
+    // instruction savings dominate (large ratios).
+    let increased: Vec<_> = rows.iter().filter(|r| r.ratio.is_some()).collect();
+    assert!(!increased.is_empty(), "someone must mispredict more");
+    for r in &increased {
+        assert!(
+            r.ratio.unwrap() > 1.0,
+            "{}: ratio {:.2} — savings must outweigh added misses",
+            r.program,
+            r.ratio.unwrap()
+        );
+    }
+    // Time improvements are diluted relative to instruction improvements.
+    let t7 = branch_reorder::harness::tables::table7_rows(&suite);
+    let avg_time = t7.iter().map(|r| r.ultra_pct).sum::<f64>() / t7.len() as f64;
+    let avg_insts = avg_insts_pct(&suite);
+    assert!(avg_time < 0.0, "time must improve on average: {avg_time:.2}%");
+    assert!(
+        avg_time > avg_insts,
+        "library overhead must dilute: time {avg_time:.2}% vs insts {avg_insts:.2}%"
+    );
+}
+
+#[test]
+fn table8_and_figures_shapes_hold() {
+    let all = suites();
+    for s in &all {
+        let rows = branch_reorder::harness::tables::table8_rows(s);
+        let avg_static = rows.iter().map(|r| r.static_pct).sum::<f64>() / rows.len() as f64;
+        assert!(avg_static > 0.0, "replicated code grows the program");
+        assert!(avg_static < 40.0, "static growth bounded: {avg_static:.2}%");
+        // Not everything is reordered (cold sequences), but plenty is.
+        let avg_reordered =
+            rows.iter().map(|r| r.reordered_pct).sum::<f64>() / rows.len() as f64;
+        assert!((20.0..100.0).contains(&avg_reordered), "{avg_reordered:.2}%");
+        // Reordered sequences get longer (defaults made explicit).
+        let (orig, new) = branch_reorder::harness::tables::figure_histograms(s);
+        let avg = |h: &[(u32, u32)]| {
+            let total: u32 = h.iter().map(|&(_, c)| c).sum();
+            h.iter().map(|&(l, c)| (l * c) as f64).sum::<f64>() / total.max(1) as f64
+        };
+        assert!(
+            avg(&new) > avg(&orig),
+            "set {}: {:.2} -> {:.2}",
+            s.heuristics.name,
+            avg(&orig),
+            avg(&new)
+        );
+    }
+}
