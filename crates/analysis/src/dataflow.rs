@@ -1,0 +1,308 @@
+//! Generic worklist dataflow engine over IR control-flow graphs.
+//!
+//! A [`Domain`] supplies the join-semilattice (value type, bottom, join)
+//! and the block transfer function; [`solve`] iterates to a fixed point
+//! with a worklist seeded in analysis order (reverse postorder for
+//! forward problems, postorder for backward ones). Domains whose lattices
+//! have unbounded ascending chains — intervals, most prominently — get a
+//! widening hook that the engine invokes once a block's input has been
+//! recomputed more than [`WIDEN_AFTER`] times.
+
+use std::collections::VecDeque;
+
+use br_ir::{postorder, predecessors, reverse_postorder, BlockId, Function};
+
+/// Direction a dataflow problem propagates facts in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from the entry along edges.
+    Forward,
+    /// Facts flow from exits against edges.
+    Backward,
+}
+
+/// Recomputations of one block's input before the engine switches from a
+/// plain join to [`Domain::widen`] to force convergence.
+pub const WIDEN_AFTER: usize = 8;
+
+/// A join-semilattice dataflow problem.
+pub trait Domain {
+    /// The lattice value attached to each program point.
+    type Value: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// The value for points not (yet) reached by any fact.
+    fn bottom(&self, f: &Function) -> Self::Value;
+
+    /// The value flowing in at the boundary: the entry block for forward
+    /// problems, every exit block (no successors) for backward ones.
+    fn boundary(&self, f: &Function) -> Self::Value;
+
+    /// Join `from` into `into`; return whether `into` changed.
+    fn join(&self, into: &mut Self::Value, from: &Self::Value) -> bool;
+
+    /// Apply the block's effect to the incoming value. For a forward
+    /// problem `input` holds at block entry; for a backward problem it
+    /// holds at block exit.
+    fn transfer(&self, f: &Function, b: BlockId, input: &Self::Value) -> Self::Value;
+
+    /// Refine the value carried along one CFG edge (forward problems
+    /// only; called with the source block's output). The default is the
+    /// identity; branch-sensitive domains narrow here.
+    fn edge(&self, _f: &Function, _from: BlockId, _to: BlockId, out: &Self::Value) -> Self::Value {
+        out.clone()
+    }
+
+    /// Widening join, used in place of [`Domain::join`] once a block has
+    /// been recomputed [`WIDEN_AFTER`] times. Must make the ascending
+    /// chain finite; the default simply joins, which suffices for finite
+    /// lattices.
+    fn widen(&self, into: &mut Self::Value, from: &Self::Value) -> bool {
+        self.join(into, from)
+    }
+}
+
+/// A solved dataflow problem: one input and output value per block,
+/// indexed by block index. Unreachable blocks keep bottom.
+pub struct Solution<V> {
+    /// Value at each block's analysis entry (block entry for forward,
+    /// block exit for backward).
+    pub inputs: Vec<V>,
+    /// Value after each block's transfer.
+    pub outputs: Vec<V>,
+}
+
+impl<V> Solution<V> {
+    /// The input value of `b`.
+    pub fn input(&self, b: BlockId) -> &V {
+        &self.inputs[b.index()]
+    }
+
+    /// The output value of `b`.
+    pub fn output(&self, b: BlockId) -> &V {
+        &self.outputs[b.index()]
+    }
+}
+
+/// Run `domain` over `f` to a fixed point.
+pub fn solve<D: Domain>(f: &Function, domain: &D) -> Solution<D::Value> {
+    let n = f.blocks.len();
+    let forward = domain.direction() == Direction::Forward;
+    let preds = predecessors(f);
+
+    // feeds_into[b]: blocks whose outputs flow into b's input.
+    // fed_by_me[b]: blocks whose inputs depend on b's output.
+    let (feeds_into, fed_by_me): (Vec<Vec<BlockId>>, Vec<Vec<BlockId>>) = if forward {
+        let succs: Vec<Vec<BlockId>> = (0..n).map(|i| f.blocks[i].term.successors()).collect();
+        (preds, succs)
+    } else {
+        let succs: Vec<Vec<BlockId>> = (0..n).map(|i| f.blocks[i].term.successors()).collect();
+        (succs, preds)
+    };
+    let at_boundary = |b: BlockId| {
+        if forward {
+            b == f.entry
+        } else {
+            f.block(b).term.successors().is_empty()
+        }
+    };
+
+    let order = if forward {
+        reverse_postorder(f)
+    } else {
+        postorder(f)
+    };
+    let mut reachable = vec![false; n];
+    for &b in &order {
+        reachable[b.index()] = true;
+    }
+
+    let mut inputs: Vec<D::Value> = (0..n).map(|_| domain.bottom(f)).collect();
+    let mut outputs: Vec<D::Value> = (0..n).map(|_| domain.bottom(f)).collect();
+    let mut visits = vec![0usize; n];
+
+    let mut in_worklist = vec![false; n];
+    let mut worklist: VecDeque<BlockId> = VecDeque::with_capacity(order.len());
+    for &b in &order {
+        worklist.push_back(b);
+        in_worklist[b.index()] = true;
+    }
+
+    while let Some(b) = worklist.pop_front() {
+        let bi = b.index();
+        in_worklist[bi] = false;
+
+        // Recompute b's input from the boundary and its feeders' outputs.
+        let mut input = domain.bottom(f);
+        if at_boundary(b) {
+            domain.join(&mut input, &domain.boundary(f));
+        }
+        for &p in &feeds_into[bi] {
+            if !reachable[p.index()] {
+                continue;
+            }
+            let carried = if forward {
+                domain.edge(f, p, b, &outputs[p.index()])
+            } else {
+                outputs[p.index()].clone()
+            };
+            domain.join(&mut input, &carried);
+        }
+
+        let first = visits[bi] == 0;
+        visits[bi] += 1;
+        let in_changed = if visits[bi] > WIDEN_AFTER {
+            domain.widen(&mut inputs[bi], &input)
+        } else if input != inputs[bi] {
+            inputs[bi] = input;
+            true
+        } else {
+            false
+        };
+        if !in_changed && !first {
+            continue;
+        }
+
+        let out = domain.transfer(f, b, &inputs[bi]);
+        if out == outputs[bi] && !first {
+            continue;
+        }
+        outputs[bi] = out;
+        for &t in &fed_by_me[bi] {
+            if reachable[t.index()] && !in_worklist[t.index()] {
+                in_worklist[t.index()] = true;
+                worklist.push_back(t);
+            }
+        }
+    }
+
+    Solution { inputs, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Block, Cond, Inst, Operand, Reg, Terminator};
+
+    /// Forward "shortest block distance from entry" domain, capped so the
+    /// lattice is finite.
+    struct Dist;
+    impl Domain for Dist {
+        type Value = Option<usize>;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn bottom(&self, _f: &Function) -> Option<usize> {
+            None
+        }
+        fn boundary(&self, _f: &Function) -> Option<usize> {
+            Some(0)
+        }
+        fn join(&self, into: &mut Option<usize>, from: &Option<usize>) -> bool {
+            match (*into, *from) {
+                (_, None) => false,
+                (None, Some(v)) => {
+                    *into = Some(v);
+                    true
+                }
+                (Some(a), Some(b)) if b < a => {
+                    *into = Some(b);
+                    true
+                }
+                _ => false,
+            }
+        }
+        fn transfer(&self, _f: &Function, _b: BlockId, input: &Option<usize>) -> Option<usize> {
+            input.map(|d| (d + 1).min(64))
+        }
+    }
+
+    /// Backward liveness of register 0, for direction coverage.
+    struct LiveR0;
+    impl Domain for LiveR0 {
+        type Value = bool;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn bottom(&self, _f: &Function) -> bool {
+            false
+        }
+        fn boundary(&self, _f: &Function) -> bool {
+            false
+        }
+        fn join(&self, into: &mut bool, from: &bool) -> bool {
+            let old = *into;
+            *into |= *from;
+            *into != old
+        }
+        fn transfer(&self, f: &Function, b: BlockId, live_out: &bool) -> bool {
+            let mut live = *live_out || f.block(b).term.uses().contains(&Reg(0));
+            for i in f.block(b).insts.iter().rev() {
+                if i.def() == Some(Reg(0)) {
+                    live = false;
+                }
+                if i.uses().contains(&Reg(0)) {
+                    live = true;
+                }
+            }
+            live
+        }
+    }
+
+    /// entry → (a | b); a, b → join(ret r0). Block ids: join=1, a=2, b=3.
+    fn diamond() -> Function {
+        let mut f = Function::new("d");
+        let join = f.add_block(Block::new(Terminator::Return(Some(Operand::Reg(Reg(0))))));
+        let a = f.add_block(Block::new(Terminator::Jump(join)));
+        let b = f.add_block(Block::new(Terminator::Jump(join)));
+        f.block_mut(f.entry).term = Terminator::branch(Cond::Eq, a, b);
+        f.num_regs = 1;
+        f
+    }
+
+    #[test]
+    fn forward_distances_on_diamond() {
+        let f = diamond();
+        let s = solve(&f, &Dist);
+        assert_eq!(*s.input(f.entry), Some(0));
+        assert_eq!(*s.input(BlockId(2)), Some(1));
+        assert_eq!(*s.input(BlockId(3)), Some(1));
+        assert_eq!(*s.input(BlockId(1)), Some(2));
+    }
+
+    #[test]
+    fn forward_converges_on_loops() {
+        let mut f = Function::new("loop");
+        let body = f.add_block(Block::new(Terminator::Jump(BlockId(0))));
+        f.block_mut(f.entry).term = Terminator::Jump(body);
+        let s = solve(&f, &Dist);
+        assert_eq!(*s.input(f.entry), Some(0));
+        assert_eq!(*s.input(body), Some(1));
+    }
+
+    #[test]
+    fn backward_liveness_on_diamond() {
+        let mut f = diamond();
+        // Kill r0 on the `a` arm: r0 is live into the entry only via `b`.
+        f.block_mut(BlockId(2)).insts.push(Inst::Copy {
+            dst: Reg(0),
+            src: Operand::Imm(1),
+        });
+        let s = solve(&f, &LiveR0);
+        assert!(*s.input(BlockId(2)), "live out of a (join block uses r0)");
+        assert!(!*s.output(BlockId(2)), "killed above a's copy");
+        assert!(*s.output(BlockId(3)), "live through b");
+        assert!(*s.output(f.entry), "live into the function via b");
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_bottom() {
+        let mut f = diamond();
+        f.add_block(Block::new(Terminator::Return(None)));
+        let s = solve(&f, &Dist);
+        assert_eq!(*s.input(BlockId(4)), None);
+        assert_eq!(*s.output(BlockId(4)), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Rustc-style diagnostics for the lint and validation passes.
+//!
+//! A [`Diagnostic`] renders as
+//!
+//! ```text
+//! warning[BR0102]: range condition is statically dead
+//!   --> function `main`, block b7
+//!    = note: interval analysis bounds the tested register to [0, 9]
+//! ```
+//!
+//! and the collection helpers summarize a run for CLI exit codes.
+
+use std::fmt;
+
+use br_ir::BlockId;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Advisory: suspicious but not wrong.
+    Warning,
+    /// A proven problem (e.g. a validation failure).
+    Error,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, tied to a function and optionally a block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable diagnostic code (`BRxxxx`), grouping findings by pass.
+    pub code: &'static str,
+    /// Primary message, one line.
+    pub message: String,
+    /// Function the finding is in.
+    pub function: String,
+    /// Block the finding anchors to, when one exists.
+    pub block: Option<BlockId>,
+    /// Supplementary notes, one line each.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new warning.
+    pub fn warning(code: &'static str, function: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            message: message.into(),
+            function: function.to_string(),
+            block: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A new error.
+    pub fn error(code: &'static str, function: &str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            ..Diagnostic::warning(code, function, message)
+        }
+    }
+
+    /// Anchor the diagnostic to a block.
+    pub fn at(mut self, block: BlockId) -> Diagnostic {
+        self.block = Some(block);
+        self
+    }
+
+    /// Attach a one-line note.
+    pub fn note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}[{}]: {}",
+            self.severity.label(),
+            self.code,
+            self.message
+        )?;
+        match self.block {
+            Some(b) => writeln!(f, "  --> function `{}`, block {}", self.function, b)?,
+            None => writeln!(f, "  --> function `{}`", self.function)?,
+        }
+        for n in &self.notes {
+            writeln!(f, "   = note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a batch of diagnostics followed by a rustc-style summary line.
+/// Returns the rendered text; empty input renders as empty.
+pub fn render(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let mut parts = Vec::new();
+    if errors > 0 {
+        parts.push(format!(
+            "{errors} error{}",
+            if errors == 1 { "" } else { "s" }
+        ));
+    }
+    if warnings > 0 {
+        parts.push(format!(
+            "{warnings} warning{}",
+            if warnings == 1 { "" } else { "s" }
+        ));
+    }
+    out.push_str(&format!("{} emitted\n", parts.join(", ")));
+    out
+}
+
+/// Whether any diagnostic in the batch is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rustc_style() {
+        let d = Diagnostic::warning("BR0101", "main", "ranges overlap")
+            .at(BlockId(7))
+            .note("first range [0, 9]")
+            .note("second range [5, 20]");
+        let text = d.to_string();
+        assert!(text.starts_with("warning[BR0101]: ranges overlap\n"));
+        assert!(text.contains("  --> function `main`, block b7\n"));
+        assert!(text.contains("   = note: first range [0, 9]\n"));
+    }
+
+    #[test]
+    fn batch_summary_counts() {
+        let batch = vec![
+            Diagnostic::error("BR0201", "f", "bad"),
+            Diagnostic::warning("BR0101", "f", "meh"),
+            Diagnostic::warning("BR0102", "g", "meh"),
+        ];
+        assert!(has_errors(&batch));
+        let text = render(&batch);
+        assert!(text.ends_with("1 error, 2 warnings emitted\n"));
+        assert!(render(&[]).is_empty());
+        assert!(!has_errors(&[]));
+    }
+}

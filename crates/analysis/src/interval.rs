@@ -1,0 +1,630 @@
+//! Interval value-range analysis on registers, plus the exact
+//! interval-set algebra the translation validator partitions value
+//! spaces with.
+//!
+//! Two layers live here:
+//!
+//! * [`Interval`] / [`IntervalSet`] — closed `i64` intervals and sorted
+//!   disjoint unions of them, with the exact set algebra (intersect,
+//!   union, complement, the satisfied set of a `cmp`+branch condition).
+//! * [`intervals`] — a branch-sensitive forward dataflow analysis (on the
+//!   [`crate::dataflow`] engine) that bounds every register at every
+//!   block, narrowing along conditional edges whose compare pits a
+//!   register against a constant. Used by the lints to prove range
+//!   conditions statically dead.
+
+use br_ir::{BlockId, Cond, Function, Inst, Operand, Reg};
+
+use crate::dataflow::{solve, Direction, Domain, Solution};
+
+/// A non-empty closed interval `[lo, hi]` of `i64` values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    /// Smallest contained value.
+    pub lo: i64,
+    /// Largest contained value (inclusive; `hi >= lo`).
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The interval containing every `i64`.
+    pub const FULL: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// `[lo, hi]`; panics if empty.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// The single-value interval `[v, v]`.
+    pub fn singleton(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Whether `v` lies in the interval.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// The single value, if the interval holds exactly one.
+    pub fn as_singleton(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Intersection; `None` when disjoint.
+    pub fn intersect(&self, o: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// The smallest interval containing every value that satisfies
+    /// `v cond c` — exact except for `Ne`, whose satisfied set is not an
+    /// interval (its hull only shaves the `c == i64::MIN/MAX` endpoints).
+    /// `None` when no value satisfies the condition.
+    pub fn satisfying_hull(cond: Cond, c: i64) -> Option<Interval> {
+        match cond {
+            Cond::Eq => Some(Interval::singleton(c)),
+            Cond::Ne => match (c == i64::MIN, c == i64::MAX) {
+                (true, _) => Some(Interval::new(i64::MIN + 1, i64::MAX)),
+                (_, true) => Some(Interval::new(i64::MIN, i64::MAX - 1)),
+                _ => Some(Interval::FULL),
+            },
+            Cond::Lt => (c != i64::MIN).then(|| Interval::new(i64::MIN, c - 1)),
+            Cond::Le => Some(Interval::new(i64::MIN, c)),
+            Cond::Gt => (c != i64::MAX).then(|| Interval::new(c + 1, i64::MAX)),
+            Cond::Ge => Some(Interval::new(c, i64::MAX)),
+        }
+    }
+}
+
+/// A set of `i64` values stored as sorted, disjoint, non-adjacent
+/// maximal intervals.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct IntervalSet(Vec<Interval>);
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet(Vec::new())
+    }
+
+    /// The set of all `i64` values.
+    pub fn full() -> IntervalSet {
+        IntervalSet(vec![Interval::FULL])
+    }
+
+    /// A set holding one interval.
+    pub fn of(iv: Interval) -> IntervalSet {
+        IntervalSet(vec![iv])
+    }
+
+    /// Build from arbitrary intervals (normalized: sorted and coalesced).
+    pub fn from_intervals(ivs: impl IntoIterator<Item = Interval>) -> IntervalSet {
+        let mut v: Vec<Interval> = ivs.into_iter().collect();
+        v.sort_by_key(|i| i.lo);
+        let mut out: Vec<Interval> = Vec::with_capacity(v.len());
+        for iv in v {
+            match out.last_mut() {
+                // Coalesce overlapping or adjacent intervals.
+                Some(last) if iv.lo <= last.hi.saturating_add(1) => {
+                    last.hi = last.hi.max(iv.hi);
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet(out)
+    }
+
+    /// The exact set of values `v` with `v cond c`.
+    pub fn satisfying(cond: Cond, c: i64) -> IntervalSet {
+        match cond {
+            Cond::Ne => IntervalSet::of(Interval::singleton(c)).complement(),
+            _ => match Interval::satisfying_hull(cond, c) {
+                Some(iv) => IntervalSet::of(iv),
+                None => IntervalSet::empty(),
+            },
+        }
+    }
+
+    /// The member intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the set is all of `i64`.
+    pub fn is_full(&self) -> bool {
+        self.0 == [Interval::FULL]
+    }
+
+    /// Whether `v` is a member.
+    pub fn contains(&self, v: i64) -> bool {
+        self.0.iter().any(|i| i.contains(v))
+    }
+
+    /// Total number of members, saturating at `u128::MAX` (the full set
+    /// has 2^64 members).
+    pub fn len(&self) -> u128 {
+        self.0
+            .iter()
+            .map(|i| (i.hi as i128 - i.lo as i128 + 1) as u128)
+            .sum()
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, o: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < o.0.len() {
+            if let Some(iv) = self.0[i].intersect(&o.0[j]) {
+                out.push(iv);
+            }
+            if self.0[i].hi <= o.0[j].hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet(out)
+    }
+
+    /// Set union.
+    pub fn union(&self, o: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.0.iter().chain(o.0.iter()).copied())
+    }
+
+    /// Set complement within `i64`.
+    pub fn complement(&self) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut next = Some(i64::MIN);
+        for iv in &self.0 {
+            if let Some(lo) = next {
+                if lo < iv.lo {
+                    out.push(Interval::new(lo, iv.lo - 1));
+                }
+            }
+            next = if iv.hi == i64::MAX {
+                None
+            } else {
+                Some(iv.hi + 1)
+            };
+        }
+        if let Some(lo) = next {
+            out.push(Interval::new(lo, i64::MAX));
+        }
+        IntervalSet(out)
+    }
+
+    /// `self` minus `o`.
+    pub fn subtract(&self, o: &IntervalSet) -> IntervalSet {
+        self.intersect(&o.complement())
+    }
+
+    /// Whether the two sets share any value.
+    pub fn overlaps(&self, o: &IntervalSet) -> bool {
+        !self.intersect(o).is_empty()
+    }
+
+    /// An arbitrary member, if any.
+    pub fn sample(&self) -> Option<i64> {
+        self.0.first().map(|i| i.lo)
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.lo == i64::MIN, self.hi == i64::MAX, self.lo == self.hi) {
+            (true, true, _) => write!(f, "(-inf, +inf)"),
+            (_, _, true) => write!(f, "[{}]", self.lo),
+            (true, false, _) => write!(f, "(-inf, {}]", self.hi),
+            (false, true, _) => write!(f, "[{}, +inf)", self.lo),
+            _ => write!(f, "[{}, {}]", self.lo, self.hi),
+        }
+    }
+}
+
+impl std::fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        if self.is_full() {
+            return write!(f, "(-inf, +inf)");
+        }
+        for (k, iv) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, " u ")?;
+            }
+            match (iv.lo == i64::MIN, iv.hi == i64::MAX, iv.lo == iv.hi) {
+                (_, _, true) => write!(f, "[{}]", iv.lo)?,
+                (true, false, _) => write!(f, "(-inf, {}]", iv.hi)?,
+                (false, true, _) => write!(f, "[{}, +inf)", iv.lo)?,
+                _ => write!(f, "[{}, {}]", iv.lo, iv.hi)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-register intervals at one program point. `None` = not reached.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Env(Option<Vec<Interval>>);
+
+impl Env {
+    fn unreachable() -> Env {
+        Env(None)
+    }
+
+    fn top(f: &Function) -> Env {
+        Env(Some(vec![Interval::FULL; f.num_regs as usize]))
+    }
+
+    /// The interval of `r`, or `None` if this point is unreachable.
+    pub fn get(&self, r: Reg) -> Option<Interval> {
+        self.0
+            .as_ref()
+            .map(|v| v.get(r.0 as usize).copied().unwrap_or(Interval::FULL))
+    }
+
+    fn set(&mut self, r: Reg, iv: Interval) {
+        if let Some(v) = self.0.as_mut() {
+            if let Some(slot) = v.get_mut(r.0 as usize) {
+                *slot = iv;
+            }
+        }
+    }
+}
+
+/// The value-range analysis problem fed to the dataflow engine.
+struct IntervalDomain;
+
+impl IntervalDomain {
+    fn operand(env: &[Interval], op: Operand) -> Interval {
+        match op {
+            Operand::Imm(i) => Interval::singleton(i),
+            Operand::Reg(r) => env.get(r.0 as usize).copied().unwrap_or(Interval::FULL),
+        }
+    }
+
+    fn inst(env: &mut [Interval], inst: &Inst) {
+        use br_ir::BinOp;
+        let value = match inst {
+            Inst::Copy { src, .. } => Self::operand(env, *src),
+            Inst::Bin { op, lhs, rhs, .. } => {
+                let (a, b) = (Self::operand(env, *lhs), Self::operand(env, *rhs));
+                // Wrapping semantics: any possible overflow widens to FULL.
+                match op {
+                    BinOp::Add => match (a.lo.checked_add(b.lo), a.hi.checked_add(b.hi)) {
+                        (Some(lo), Some(hi)) => Interval::new(lo, hi),
+                        _ => Interval::FULL,
+                    },
+                    BinOp::Sub => match (a.lo.checked_sub(b.hi), a.hi.checked_sub(b.lo)) {
+                        (Some(lo), Some(hi)) => Interval::new(lo, hi),
+                        _ => Interval::FULL,
+                    },
+                    _ => match (a.as_singleton(), b.as_singleton()) {
+                        (Some(x), Some(y)) => op
+                            .eval(x, y)
+                            .map(Interval::singleton)
+                            .unwrap_or(Interval::FULL),
+                        _ => Interval::FULL,
+                    },
+                }
+            }
+            Inst::Un { op, src, .. } => {
+                let a = Self::operand(env, *src);
+                match op {
+                    br_ir::UnOp::Neg if a.lo != i64::MIN => Interval::new(-a.hi, -a.lo),
+                    _ => Interval::FULL,
+                }
+            }
+            Inst::Load { .. } | Inst::FrameAddr { .. } | Inst::Call { dst: Some(_), .. } => {
+                Interval::FULL
+            }
+            _ => return,
+        };
+        if let Some(dst) = inst.def() {
+            if let Some(slot) = env.get_mut(dst.0 as usize) {
+                *slot = value;
+            }
+        }
+    }
+}
+
+/// The register/constant compare feeding `b`'s terminator, if the
+/// block ends with `cmp reg, imm` (either operand order) and nothing
+/// after it clobbers the condition codes. The `bool` is true when the
+/// operands were swapped (`cmp imm, reg`).
+pub fn terminal_compare(f: &Function, b: BlockId) -> Option<(Reg, i64, bool)> {
+    let block = f.block(b);
+    let at = block.last_cmp()?;
+    if block.insts[at + 1..]
+        .iter()
+        .any(|i| matches!(i, Inst::Call { .. }))
+    {
+        return None;
+    }
+    match block.insts[at] {
+        Inst::Cmp {
+            lhs: Operand::Reg(r),
+            rhs: Operand::Imm(c),
+        } => Some((r, c, false)),
+        Inst::Cmp {
+            lhs: Operand::Imm(c),
+            rhs: Operand::Reg(r),
+        } => Some((r, c, true)),
+        _ => None,
+    }
+}
+
+impl Domain for IntervalDomain {
+    type Value = Env;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _f: &Function) -> Env {
+        Env::unreachable()
+    }
+
+    fn boundary(&self, f: &Function) -> Env {
+        Env::top(f)
+    }
+
+    fn join(&self, into: &mut Env, from: &Env) -> bool {
+        match (&mut into.0, &from.0) {
+            (_, None) => false,
+            (slot @ None, Some(_)) => {
+                *slot = from.0.clone();
+                true
+            }
+            (Some(a), Some(b)) => {
+                let mut changed = false;
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    let h = x.hull(y);
+                    if h != *x {
+                        *x = h;
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    fn widen(&self, into: &mut Env, from: &Env) -> bool {
+        match (&mut into.0, &from.0) {
+            (_, None) => false,
+            (slot @ None, Some(_)) => {
+                *slot = from.0.clone();
+                true
+            }
+            (Some(a), Some(b)) => {
+                let mut changed = false;
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    let lo = if y.lo < x.lo { i64::MIN } else { x.lo };
+                    let hi = if y.hi > x.hi { i64::MAX } else { x.hi };
+                    if (lo, hi) != (x.lo, x.hi) {
+                        *x = Interval::new(lo, hi);
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        }
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, input: &Env) -> Env {
+        let mut env = input.clone();
+        if let Some(regs) = env.0.as_mut() {
+            for inst in &f.block(b).insts {
+                Self::inst(regs, inst);
+            }
+        }
+        env
+    }
+
+    fn edge(&self, f: &Function, from: BlockId, to: BlockId, out: &Env) -> Env {
+        let mut env = out.clone();
+        if env.0.is_none() {
+            return env;
+        }
+        let br_ir::Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } = f.block(from).term
+        else {
+            return env;
+        };
+        if taken == not_taken {
+            return env; // both outcomes land here: no refinement
+        }
+        let Some((reg, c, swapped)) = terminal_compare(f, from) else {
+            return env;
+        };
+        let cond = if swapped { cond.swap() } else { cond };
+        let effective = if to == taken { cond } else { cond.negate() };
+        let current = env.get(reg).unwrap_or(Interval::FULL);
+        match Interval::satisfying_hull(effective, c).and_then(|h| current.intersect(&h)) {
+            Some(narrowed) => env.set(reg, narrowed),
+            // The edge is infeasible: nothing flows along it.
+            None => env = Env::unreachable(),
+        }
+        env
+    }
+}
+
+/// Solved value-range analysis for one function.
+pub struct IntervalAnalysis {
+    solution: Solution<Env>,
+}
+
+/// Run the branch-sensitive interval analysis on `f`.
+pub fn intervals(f: &Function) -> IntervalAnalysis {
+    IntervalAnalysis {
+        solution: solve(f, &IntervalDomain),
+    }
+}
+
+impl IntervalAnalysis {
+    /// Interval of `r` at the entry of `b`; `None` if `b` is unreachable.
+    pub fn at_entry(&self, b: BlockId, r: Reg) -> Option<Interval> {
+        self.solution.input(b).get(r)
+    }
+
+    /// Interval of `r` at `b`'s terminator (after the block body).
+    pub fn at_terminator(&self, b: BlockId, r: Reg) -> Option<Interval> {
+        self.solution.output(b).get(r)
+    }
+
+    /// The statically-decided outcome of `b`'s conditional branch, if the
+    /// analysis proves its compare always or never satisfied. `Some(true)`
+    /// means always taken, `Some(false)` never taken.
+    pub fn decided_branch(&self, f: &Function, b: BlockId) -> Option<bool> {
+        let br_ir::Terminator::Branch { cond, .. } = f.block(b).term else {
+            return None;
+        };
+        let (reg, c, swapped) = terminal_compare(f, b)?;
+        let cond = if swapped { cond.swap() } else { cond };
+        let iv = self.at_terminator(b, reg)?;
+        let sat = IntervalSet::satisfying(cond, c);
+        let have = IntervalSet::of(iv);
+        if have.subtract(&sat).is_empty() {
+            Some(true)
+        } else if !have.overlaps(&sat) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Block, Terminator};
+
+    #[test]
+    fn interval_set_algebra() {
+        let a = IntervalSet::from_intervals([Interval::new(0, 10), Interval::new(20, 30)]);
+        let b = IntervalSet::from_intervals([Interval::new(5, 25)]);
+        assert_eq!(
+            a.intersect(&b).intervals(),
+            &[Interval::new(5, 10), Interval::new(20, 25)]
+        );
+        assert_eq!(a.union(&b).intervals(), &[Interval::new(0, 30)]);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.subtract(&a), IntervalSet::empty());
+        assert!(a.union(&a.complement()).is_full());
+        assert!(!a.intersect(&a.complement()).overlaps(&a));
+        // Adjacent intervals coalesce.
+        let c = IntervalSet::from_intervals([Interval::new(0, 4), Interval::new(5, 9)]);
+        assert_eq!(c.intervals(), &[Interval::new(0, 9)]);
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn satisfying_sets_match_cond_eval() {
+        for c in [-3i64, 0, 7, i64::MIN, i64::MAX] {
+            for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+                let set = IntervalSet::satisfying(cond, c);
+                for probe in [
+                    c,
+                    c.saturating_sub(1),
+                    c.saturating_add(1),
+                    i64::MIN,
+                    i64::MAX,
+                    0,
+                ] {
+                    assert_eq!(
+                        set.contains(probe),
+                        cond.eval(probe, c),
+                        "{probe} {cond:?} {c}"
+                    );
+                }
+                // satisfied and unsatisfied sets partition the space.
+                let neg = IntervalSet::satisfying(cond.negate(), c);
+                assert!(!set.overlaps(&neg));
+                assert!(set.union(&neg).is_full());
+            }
+        }
+    }
+
+    #[test]
+    fn complement_of_full_and_empty() {
+        assert!(IntervalSet::full().complement().is_empty());
+        assert!(IntervalSet::empty().complement().is_full());
+    }
+
+    /// entry: r0 = 5; cmp r0, 10; blt then else merge — the analysis must
+    /// prove the branch always taken and bound r0 on each edge.
+    #[test]
+    fn branch_refinement_narrows_and_decides() {
+        let mut f = Function::new("t");
+        let r0 = f.new_reg();
+        let merge = f.add_block(Block::new(Terminator::Return(None)));
+        let then = f.add_block(Block::new(Terminator::Jump(merge)));
+        let els = f.add_block(Block::new(Terminator::Jump(merge)));
+        let e = f.entry;
+        f.block_mut(e).insts.push(Inst::Copy {
+            dst: r0,
+            src: Operand::Imm(5),
+        });
+        f.block_mut(e).insts.push(Inst::Cmp {
+            lhs: Operand::Reg(r0),
+            rhs: Operand::Imm(10),
+        });
+        f.block_mut(e).term = Terminator::branch(Cond::Lt, then, els);
+        let a = intervals(&f);
+        assert_eq!(a.at_terminator(e, r0), Some(Interval::singleton(5)));
+        assert_eq!(a.decided_branch(&f, e), Some(true));
+        assert_eq!(a.at_entry(then, r0), Some(Interval::singleton(5)));
+        // The else edge is infeasible; the else block is never reached.
+        assert_eq!(a.at_entry(els, r0), None);
+    }
+
+    /// A counting loop widens to a sound (if loose) bound instead of
+    /// diverging.
+    #[test]
+    fn loops_converge_via_widening() {
+        let mut f = Function::new("loop");
+        let r0 = f.new_reg();
+        let exit = f.add_block(Block::new(Terminator::Return(None)));
+        let body = f.add_block(Block::new(Terminator::Jump(f.entry)));
+        let e = f.entry;
+        f.block_mut(e).insts.push(Inst::Cmp {
+            lhs: Operand::Reg(r0),
+            rhs: Operand::Imm(100),
+        });
+        f.block_mut(e).term = Terminator::branch(Cond::Ge, exit, body);
+        f.block_mut(body).insts.push(Inst::Bin {
+            op: br_ir::BinOp::Add,
+            dst: r0,
+            lhs: Operand::Reg(r0),
+            rhs: Operand::Imm(1),
+        });
+        let a = intervals(&f);
+        // Body entry: r0 < 100 on the fall edge.
+        let at_body = a.at_entry(body, r0).expect("body reachable");
+        assert!(at_body.hi <= 99);
+        assert_eq!(a.at_entry(exit, r0).map(|i| i.lo), Some(100));
+    }
+}

@@ -1,0 +1,47 @@
+//! `br-analysis`: static analyses and a translation validator for the
+//! branch-reordering pipeline.
+//!
+//! The reordering transformation (crate `br-reorder`) rewrites chains
+//! of compare-and-branch blocks guided by value profiles. This crate
+//! provides the machinery to *check* that work rather than trust it:
+//!
+//! - [`dataflow`] — a generic worklist engine for forward and backward
+//!   problems over pluggable join-semilattice domains, with widening.
+//! - [`interval`] — branch-sensitive value-range analysis of the
+//!   registers feeding `cmp` instructions, plus the exact
+//!   [`interval::IntervalSet`] arithmetic the validator and lints use.
+//! - [`reaching`] — reaching-definitions for the implicit
+//!   condition-code register (`cmp` defines, `call` clobbers).
+//! - [`purity`] — side-effect and cc-liveness analysis that re-derives
+//!   the paper's Theorem 2 legality conditions independently of the
+//!   detector.
+//! - [`validate`] — the translation validator: symbolically partitions
+//!   the tested variable's value space into range → target classes
+//!   before and after reordering and proves the partitions equivalent
+//!   (disjoint, exhaustive, same targets, same side effects, same
+//!   continuations).
+//! - [`lint`] — IR lints: shadowed and statically-dead range
+//!   conditions, redundant comparisons the optimizer missed.
+//! - [`diag`] — rustc-style diagnostics shared by the lints and the
+//!   CLI frontends.
+
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod diag;
+pub mod interval;
+pub mod lint;
+pub mod purity;
+pub mod reaching;
+pub mod validate;
+
+pub use dataflow::{solve, Direction, Domain, Solution};
+pub use diag::{has_errors, render, Diagnostic, Severity};
+pub use interval::{intervals, terminal_compare, Interval, IntervalAnalysis, IntervalSet};
+pub use lint::{lint_function, lint_module};
+pub use purity::{block_effects, cc_needed_on_entry, check_motion, EffectSummary, MotionViolation};
+pub use reaching::{cc_reaching, CcAnalysis, CcReach, CcSite};
+pub use validate::{
+    check_equivalence, explore, tail_equivalent, Arm, ArmEnd, Cursor, EquivalenceCheck,
+    EquivalenceProof, Side, ValidationError, WalkSpec,
+};

@@ -1,0 +1,431 @@
+//! Lint passes over the IR: suspicious range conditions and
+//! comparisons the optimizer should have removed (or that the source
+//! program never needed).
+//!
+//! | code   | lint                                                  |
+//! |--------|-------------------------------------------------------|
+//! | BR0101 | range condition partially shadowed by earlier ranges  |
+//! | BR0102 | range condition fully shadowed (never satisfied)      |
+//! | BR0103 | branch statically decided by value-range analysis     |
+//! | BR0104 | comparison redundant with the one already in the codes|
+//!
+//! BR0101/BR0102 walk compare *chains* (the paper's reorderable
+//! sequences, before any reordering) with exact [`IntervalSet`]
+//! arithmetic, so they catch `Ne`-shaped shadowing the hull-based
+//! interval analysis cannot. BR0103 uses the branch-sensitive interval
+//! analysis and also fires outside chains. BR0104 is the
+//! reaching-definitions cross-check for compares Figure 9 missed.
+
+use std::collections::BTreeSet;
+
+use br_ir::{predecessors, reachable, BlockId, Function, Inst, Module, Operand, Reg, Terminator};
+
+use crate::diag::Diagnostic;
+use crate::interval::{intervals, terminal_compare, IntervalSet};
+use crate::reaching::cc_reaching;
+
+/// Run every lint over one function.
+pub fn lint_function(f: &Function) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    chain_lints(f, &mut diags);
+    decided_branch_lints(f, &mut diags);
+    redundant_compare_lints(f, &mut diags);
+    diags
+}
+
+/// Run every lint over every function of a module.
+pub fn lint_module(m: &Module) -> Vec<Diagnostic> {
+    m.functions.iter().flat_map(lint_function).collect()
+}
+
+/// A block that ends a compare-on-`var` + conditional-branch pair and
+/// can extend a chain: its compare tests `var` against a constant, and
+/// nothing before the compare redefines `var`.
+fn chain_link(f: &Function, b: BlockId) -> Option<(Reg, i64, bool)> {
+    let (reg, c, swapped) = terminal_compare(f, b)?;
+    if !matches!(f.block(b).term, Terminator::Branch { .. }) {
+        return None;
+    }
+    let at = f.block(b).last_cmp().expect("terminal_compare found one");
+    if f.block(b).insts[..at].iter().any(|i| i.def() == Some(reg)) {
+        return None;
+    }
+    Some((reg, c, swapped))
+}
+
+/// BR0101/BR0102: walk each maximal fall-through chain of compares on
+/// one variable, tracking exactly which values remain unclaimed.
+fn chain_lints(f: &Function, diags: &mut Vec<Diagnostic>) {
+    let reachable = reachable(f);
+    let members: BTreeSet<BlockId> = f
+        .block_ids()
+        .filter(|&b| reachable.contains(&b) && chain_link(f, b).is_some())
+        .collect();
+
+    // A head is a member no same-variable member falls through to: the
+    // chain walk from it sees the full value space.
+    let mut fallthrough_of: BTreeSet<BlockId> = BTreeSet::new();
+    for &b in &members {
+        let (reg, ..) = chain_link(f, b).unwrap();
+        if let Terminator::Branch {
+            taken, not_taken, ..
+        } = f.block(b).term
+        {
+            if taken != not_taken && members.contains(&not_taken) {
+                if let Some((r2, ..)) = chain_link(f, not_taken) {
+                    if r2 == reg {
+                        fallthrough_of.insert(not_taken);
+                    }
+                }
+            }
+        }
+    }
+
+    for &head in &members {
+        if fallthrough_of.contains(&head) {
+            continue;
+        }
+        let (var, ..) = chain_link(f, head).unwrap();
+        let mut remaining = IntervalSet::full();
+        let mut claimed = IntervalSet::empty();
+        let mut cur = head;
+        let mut visited = BTreeSet::new();
+        loop {
+            if !visited.insert(cur) {
+                break; // cyclic chain: stop rather than loop
+            }
+            let Some((reg, c, swapped)) = chain_link(f, cur) else {
+                break;
+            };
+            if reg != var {
+                break;
+            }
+            let Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } = f.block(cur).term
+            else {
+                break;
+            };
+            let eff = if swapped { cond.swap() } else { cond };
+            let sat = IntervalSet::satisfying(eff, c);
+            let live = sat.intersect(&remaining);
+            if cur != head && live.is_empty() {
+                diags.push(
+                    Diagnostic::warning(
+                        "BR0102",
+                        &f.name,
+                        format!("range condition `{} {}` is never satisfied", eff.mnemonic(), c),
+                    )
+                    .at(cur)
+                    .note(format!("earlier conditions in the chain starting at {head} already claim all of {sat}"))
+                    .note("the branch always falls through; the taken side is dead here".to_string()),
+                );
+            } else if cur != head && !sat.subtract(&claimed).is_empty() && sat.overlaps(&claimed) {
+                let overlap = sat.intersect(&claimed);
+                diags.push(
+                    Diagnostic::warning(
+                        "BR0101",
+                        &f.name,
+                        format!(
+                            "range condition `{} {}` partially shadowed by earlier ranges",
+                            eff.mnemonic(),
+                            c
+                        ),
+                    )
+                    .at(cur)
+                    .note(format!("values {overlap} were already claimed upstream"))
+                    .note(format!("only {live} can still take this branch")),
+                );
+            }
+            claimed = claimed.union(&sat);
+            remaining = remaining.subtract(&sat);
+            if taken == not_taken || !members.contains(&not_taken) {
+                break;
+            }
+            cur = not_taken;
+        }
+    }
+}
+
+/// BR0103: a conditional branch the interval analysis proves one-sided.
+fn decided_branch_lints(f: &Function, diags: &mut Vec<Diagnostic>) {
+    let analysis = intervals(f);
+    let reachable = reachable(f);
+    for b in f.block_ids() {
+        if !reachable.contains(&b) {
+            continue;
+        }
+        let Some(decided) = analysis.decided_branch(f, b) else {
+            continue;
+        };
+        let (reg, c, _) = terminal_compare(f, b).expect("decided branch has a compare");
+        let bound = analysis
+            .at_terminator(b, reg)
+            .expect("reachable block has an environment");
+        let (kept, dead) = if decided {
+            ("taken", "fall-through")
+        } else {
+            ("fall-through", "taken")
+        };
+        diags.push(
+            Diagnostic::warning(
+                "BR0103",
+                &f.name,
+                format!("branch is statically decided: always {kept}"),
+            )
+            .at(b)
+            .note(format!(
+                "value-range analysis bounds {reg} to {bound} at the compare against {c}"
+            ))
+            .note(format!("the {dead} edge is unreachable")),
+        );
+    }
+}
+
+/// BR0104: a compare whose result is already in the condition codes.
+///
+/// Exactly one `cmp lhs, rhs` reaches `b`'s compare on every path, the
+/// operands are syntactically identical, and no block between the
+/// defining site and the re-compare redefines either operand register.
+fn redundant_compare_lints(f: &Function, diags: &mut Vec<Diagnostic>) {
+    let cc = cc_reaching(f);
+    let reachable = reachable(f);
+    for b in f.block_ids() {
+        if !reachable.contains(&b) {
+            continue;
+        }
+        let Some(at) = f.block(b).last_cmp() else {
+            continue;
+        };
+        // Only the *first* cc event of the block sees the incoming codes.
+        if f.block(b).insts[..at]
+            .iter()
+            .any(|i| matches!(i, Inst::Cmp { .. } | Inst::Call { .. }))
+        {
+            continue;
+        }
+        let Inst::Cmp { lhs, rhs } = f.block(b).insts[at] else {
+            continue;
+        };
+        let Some((plhs, prhs)) = cc.unique_compare_at_entry(f, b) else {
+            continue;
+        };
+        if (lhs, rhs) != (plhs, prhs) {
+            continue;
+        }
+        let (site, site_at) = cc.at_entry(b).unwrap().unique_site().unwrap();
+        if !operands_stable(f, (site, site_at), (b, at), &[lhs, rhs]) {
+            continue;
+        }
+        diags.push(
+            Diagnostic::warning(
+                "BR0104",
+                &f.name,
+                format!(
+                    "comparison of {lhs} and {rhs} is redundant: the condition codes already hold it"
+                ),
+            )
+            .at(b)
+            .note(format!("same compare performed at instruction {site_at} of {site}"))
+            .note("redundant-comparison elimination (paper Figure 9) would remove it".to_string()),
+        );
+    }
+}
+
+/// No path from just after `def` to just before `reuse` redefines any
+/// register in `operands`. Over-approximates paths as: blocks forward-
+/// reachable from `def.0` that also reach `reuse.0`, checking the
+/// relevant instruction ranges of the endpoint blocks.
+fn operands_stable(
+    f: &Function,
+    def: (BlockId, usize),
+    reuse: (BlockId, usize),
+    operands: &[Operand],
+) -> bool {
+    let regs: Vec<Reg> = operands.iter().filter_map(|o| o.reg()).collect();
+    let defines = |inst: &Inst| inst.def().is_some_and(|d| regs.contains(&d));
+
+    let (db, di) = def;
+    let (rb, ri) = reuse;
+    if db == rb {
+        // Same block: a unique reaching site in the same block means the
+        // straight-line gap between the two is the only path.
+        return di < ri && !f.block(db).insts[di + 1..ri].iter().any(defines);
+    }
+    if f.block(db).insts[di + 1..].iter().any(defines) {
+        return false;
+    }
+    if f.block(rb).insts[..ri].iter().any(defines) {
+        return false;
+    }
+
+    // Interior blocks: forward-reachable from def's successors AND
+    // backward-reachable from reuse's predecessors.
+    let preds = predecessors(f);
+    let mut fwd: BTreeSet<BlockId> = BTreeSet::new();
+    let mut stack: Vec<BlockId> = f.block(db).term.successors();
+    while let Some(b) = stack.pop() {
+        if fwd.insert(b) {
+            stack.extend(f.block(b).term.successors());
+        }
+    }
+    let mut bwd: BTreeSet<BlockId> = BTreeSet::new();
+    let mut stack: Vec<BlockId> = preds[rb.index()].clone();
+    while let Some(b) = stack.pop() {
+        if bwd.insert(b) {
+            stack.extend(preds[b.index()].iter().copied());
+        }
+    }
+    for b in fwd.intersection(&bwd) {
+        if *b == db || *b == rb {
+            continue;
+        }
+        if f.block(*b).insts.iter().any(defines) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Block, Cond};
+
+    fn cmp(var: Reg, c: i64) -> Inst {
+        Inst::Cmp {
+            lhs: Operand::Reg(var),
+            rhs: Operand::Imm(c),
+        }
+    }
+
+    /// chain: `le 10` then `lt 5` — the second is fully shadowed.
+    #[test]
+    fn fully_shadowed_range_fires_br0102() {
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let t1 = f.add_block(Block::new(Terminator::Return(None)));
+        let t2 = f.add_block(Block::new(Terminator::Return(None)));
+        let dflt = f.add_block(Block::new(Terminator::Return(None)));
+        let c2 = f.add_block(Block::new(Terminator::branch(Cond::Lt, t2, dflt)));
+        f.block_mut(c2).insts.push(cmp(var, 5));
+        let e = f.entry;
+        f.block_mut(e).insts.push(cmp(var, 10));
+        f.block_mut(e).term = Terminator::branch(Cond::Le, t1, c2);
+
+        let diags = lint_function(&f);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "BR0102" && d.block == Some(c2)),
+            "got: {diags:?}"
+        );
+    }
+
+    /// chain: `lt 5` then `le 10` — overlap on (-inf, 4], still
+    /// satisfiable on [5, 10].
+    #[test]
+    fn partial_shadow_fires_br0101() {
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let t1 = f.add_block(Block::new(Terminator::Return(None)));
+        let t2 = f.add_block(Block::new(Terminator::Return(None)));
+        let dflt = f.add_block(Block::new(Terminator::Return(None)));
+        let c2 = f.add_block(Block::new(Terminator::branch(Cond::Le, t2, dflt)));
+        f.block_mut(c2).insts.push(cmp(var, 10));
+        let e = f.entry;
+        f.block_mut(e).insts.push(cmp(var, 5));
+        f.block_mut(e).term = Terminator::branch(Cond::Lt, t1, c2);
+
+        let diags = lint_function(&f);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "BR0101" && d.block == Some(c2)),
+            "got: {diags:?}"
+        );
+        assert!(!diags.iter().any(|d| d.code == "BR0102"));
+    }
+
+    /// disjoint ranges lint-clean: `eq 1` then `eq 2`.
+    #[test]
+    fn disjoint_chain_is_clean() {
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let t1 = f.add_block(Block::new(Terminator::Return(None)));
+        let t2 = f.add_block(Block::new(Terminator::Return(None)));
+        let dflt = f.add_block(Block::new(Terminator::Return(None)));
+        let c2 = f.add_block(Block::new(Terminator::branch(Cond::Eq, t2, dflt)));
+        f.block_mut(c2).insts.push(cmp(var, 2));
+        let e = f.entry;
+        f.block_mut(e).insts.push(cmp(var, 1));
+        f.block_mut(e).term = Terminator::branch(Cond::Eq, t1, c2);
+        assert!(lint_function(&f).is_empty(), "{:?}", lint_function(&f));
+    }
+
+    /// `copy r0, 3; cmp r0, 10; blt` — statically always taken.
+    #[test]
+    fn constant_branch_fires_br0103() {
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let t1 = f.add_block(Block::new(Terminator::Return(None)));
+        let dflt = f.add_block(Block::new(Terminator::Return(None)));
+        let e = f.entry;
+        f.block_mut(e).insts.push(Inst::Copy {
+            dst: var,
+            src: Operand::Imm(3),
+        });
+        f.block_mut(e).insts.push(cmp(var, 10));
+        f.block_mut(e).term = Terminator::branch(Cond::Lt, t1, dflt);
+        let diags = lint_function(&f);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "BR0103" && d.block == Some(e)),
+            "got: {diags:?}"
+        );
+    }
+
+    /// Re-comparing the same operands with no interference: BR0104.
+    #[test]
+    fn redundant_recompare_fires_br0104() {
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let t1 = f.add_block(Block::new(Terminator::Return(None)));
+        let dflt = f.add_block(Block::new(Terminator::Return(None)));
+        let again = f.add_block(Block::new(Terminator::branch(Cond::Ge, dflt, t1)));
+        f.block_mut(again).insts.push(cmp(var, 7));
+        let e = f.entry;
+        f.block_mut(e).insts.push(cmp(var, 7));
+        f.block_mut(e).term = Terminator::branch(Cond::Lt, t1, again);
+        let diags = lint_function(&f);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "BR0104" && d.block == Some(again)),
+            "got: {diags:?}"
+        );
+    }
+
+    /// Redefining the operand between compares suppresses BR0104.
+    #[test]
+    fn interfering_def_suppresses_br0104() {
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let t1 = f.add_block(Block::new(Terminator::Return(None)));
+        let dflt = f.add_block(Block::new(Terminator::Return(None)));
+        let again = f.add_block(Block::new(Terminator::branch(Cond::Ge, dflt, t1)));
+        f.block_mut(again).insts.push(Inst::Copy {
+            dst: var,
+            src: Operand::Imm(0),
+        });
+        f.block_mut(again).insts.push(cmp(var, 7));
+        let e = f.entry;
+        f.block_mut(e).insts.push(cmp(var, 7));
+        f.block_mut(e).term = Terminator::branch(Cond::Lt, t1, again);
+        let diags = lint_function(&f);
+        assert!(!diags.iter().any(|d| d.code == "BR0104"), "got: {diags:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Condition-code reaching-definitions analysis.
+//!
+//! The IR has a single implicit condition-code register: `cmp` defines
+//! it, `call` clobbers it, and a block's conditional branch consumes it.
+//! This forward analysis computes, for every program point, which `cmp`
+//! instructions may have set the codes last — plus whether the function
+//! entry (codes never set) or a clobbering call may reach instead.
+//!
+//! Consumers: the redundant-comparison lint (a compare whose every
+//! reaching definition compares the same operands, unmodified since, is
+//! one Figure 9 missed) and an independent cross-check of the
+//! structural verifier's "branch sees defined codes" rule.
+
+use std::collections::BTreeSet;
+
+use br_ir::{BlockId, Function, Inst, Operand};
+
+use crate::dataflow::{solve, Direction, Domain, Solution};
+
+/// Location of one cc-defining `cmp`: `(block, instruction index)`.
+pub type CcSite = (BlockId, usize);
+
+/// The set of condition-code definitions reaching a point.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CcReach {
+    /// The function entry reaches here with the codes never set.
+    pub undefined: bool,
+    /// A clobbering `call` is the most recent cc event on some path.
+    pub clobbered: bool,
+    /// Every `cmp` that may have set the codes most recently.
+    pub sites: BTreeSet<CcSite>,
+}
+
+impl CcReach {
+    /// Whether the condition codes are guaranteed to hold the result of
+    /// some `cmp` here.
+    pub fn is_defined(&self) -> bool {
+        !self.undefined && !self.clobbered
+    }
+
+    /// The unique reaching compare, if exactly one `cmp` (and nothing
+    /// else) reaches.
+    pub fn unique_site(&self) -> Option<CcSite> {
+        if self.is_defined() && self.sites.len() == 1 {
+            self.sites.iter().next().copied()
+        } else {
+            None
+        }
+    }
+}
+
+struct CcDomain;
+
+impl Domain for CcDomain {
+    type Value = Option<CcReach>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _f: &Function) -> Option<CcReach> {
+        None
+    }
+
+    fn boundary(&self, _f: &Function) -> Option<CcReach> {
+        Some(CcReach {
+            undefined: true,
+            clobbered: false,
+            sites: BTreeSet::new(),
+        })
+    }
+
+    fn join(&self, into: &mut Option<CcReach>, from: &Option<CcReach>) -> bool {
+        let Some(from) = from else { return false };
+        match into {
+            None => {
+                *into = Some(from.clone());
+                true
+            }
+            Some(acc) => {
+                let before = acc.clone();
+                acc.undefined |= from.undefined;
+                acc.clobbered |= from.clobbered;
+                acc.sites.extend(from.sites.iter().copied());
+                *acc != before
+            }
+        }
+    }
+
+    fn transfer(&self, f: &Function, b: BlockId, input: &Option<CcReach>) -> Option<CcReach> {
+        let mut state = input.clone()?;
+        for (i, inst) in f.block(b).insts.iter().enumerate() {
+            match inst {
+                Inst::Cmp { .. } => {
+                    state = CcReach {
+                        undefined: false,
+                        clobbered: false,
+                        sites: BTreeSet::from([(b, i)]),
+                    };
+                }
+                Inst::Call { .. } => {
+                    state = CcReach {
+                        undefined: false,
+                        clobbered: true,
+                        sites: BTreeSet::new(),
+                    };
+                }
+                _ => {}
+            }
+        }
+        Some(state)
+    }
+}
+
+/// Solved condition-code reaching-definitions for one function.
+pub struct CcAnalysis {
+    solution: Solution<Option<CcReach>>,
+}
+
+/// Run the cc reaching-definitions analysis on `f`.
+pub fn cc_reaching(f: &Function) -> CcAnalysis {
+    CcAnalysis {
+        solution: solve(f, &CcDomain),
+    }
+}
+
+impl CcAnalysis {
+    /// Reaching cc definitions at the entry of `b` (`None` when `b` is
+    /// unreachable).
+    pub fn at_entry(&self, b: BlockId) -> Option<&CcReach> {
+        self.solution.input(b).as_ref()
+    }
+
+    /// Reaching cc definitions at `b`'s terminator.
+    pub fn at_terminator(&self, b: BlockId) -> Option<&CcReach> {
+        self.solution.output(b).as_ref()
+    }
+
+    /// The operands of the compare whose result is guaranteed to be in
+    /// the condition codes at the entry of `b` — present only when every
+    /// path agrees on a single `cmp` site.
+    pub fn unique_compare_at_entry(&self, f: &Function, b: BlockId) -> Option<(Operand, Operand)> {
+        let (sb, si) = self.at_entry(b)?.unique_site()?;
+        match f.block(sb).insts[si] {
+            Inst::Cmp { lhs, rhs } => Some((lhs, rhs)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Block, Cond, Reg, Terminator};
+
+    /// entry: cmp r0,1; beq a b — a: (nothing) → join; b: call → join.
+    #[test]
+    fn merges_sites_and_clobbers() {
+        let mut f = Function::new("t");
+        let r0 = f.new_reg();
+        let join = f.add_block(Block::new(Terminator::Return(None)));
+        let a = f.add_block(Block::new(Terminator::Jump(join)));
+        let b = f.add_block(Block::new(Terminator::Jump(join)));
+        let e = f.entry;
+        f.block_mut(e).insts.push(Inst::Cmp {
+            lhs: Operand::Reg(r0),
+            rhs: Operand::Imm(1),
+        });
+        f.block_mut(e).term = Terminator::branch(Cond::Eq, a, b);
+        f.block_mut(b).insts.push(Inst::Call {
+            dst: None,
+            callee: br_ir::Callee::Intrinsic(br_ir::Intrinsic::GetChar),
+            args: vec![],
+        });
+
+        let cc = cc_reaching(&f);
+        assert!(cc.at_entry(e).unwrap().undefined);
+        let at_a = cc.at_entry(a).unwrap();
+        assert_eq!(at_a.unique_site(), Some((e, 0)));
+        assert_eq!(
+            cc.unique_compare_at_entry(&f, a),
+            Some((Operand::Reg(Reg(0)), Operand::Imm(1)))
+        );
+        let at_join = cc.at_entry(join).unwrap();
+        assert!(at_join.clobbered, "call path clobbers");
+        assert!(!at_join.is_defined());
+        assert_eq!(at_join.sites.len(), 1, "cmp path still listed");
+    }
+
+    #[test]
+    fn within_block_cmp_shadows_previous() {
+        let mut f = Function::new("t");
+        let r0 = f.new_reg();
+        let t = f.add_block(Block::new(Terminator::Return(None)));
+        let e = f.entry;
+        for c in [1i64, 2] {
+            f.block_mut(e).insts.push(Inst::Cmp {
+                lhs: Operand::Reg(r0),
+                rhs: Operand::Imm(c),
+            });
+        }
+        f.block_mut(e).term = Terminator::branch(Cond::Eq, t, t);
+        let cc = cc_reaching(&f);
+        let out = cc.at_terminator(e).unwrap();
+        assert_eq!(out.unique_site(), Some((e, 1)), "last cmp wins");
+    }
+}

@@ -1,0 +1,1181 @@
+//! Translation validation for the branch-reordering transformation.
+//!
+//! For one detected sequence, [`check_equivalence`] symbolically executes
+//! both the original condition chain and the emitted replica, computing
+//! for each the partition of the tested variable's value space into
+//! *(interval set → exit, side effects)* arms, and proves
+//!
+//! 1. each partition is **disjoint** and **exhaustive** (covers all of
+//!    `i64`, including the default ranges),
+//! 2. every value class reaches the **same target** with the **same
+//!    side-effect trace** in both versions,
+//! 3. where the replica leaves the sequence through duplicated tail code
+//!    (the paper's Figure 10 / Section 8), the duplicate structurally
+//!    **bisimulates** the original continuation.
+//!
+//! The walker ([`explore`]) tracks the condition codes symbolically:
+//! after `cmp var, c` a branch splits the current interval set exactly,
+//! and the codes persist across blocks — which is precisely what makes
+//! the Figure 9 redundant-comparison elision (branches with no compare
+//! of their own) checkable instead of trusted.
+
+use std::collections::BTreeSet;
+
+use br_ir::{BlockId, Function, Inst, Operand, Reg, Terminator};
+
+use crate::interval::{Interval, IntervalSet};
+
+/// A program point: a block plus an instruction offset into it
+/// (`inst == insts.len()` means "at the terminator").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Cursor {
+    /// The block.
+    pub block: BlockId,
+    /// Offset of the next instruction to execute.
+    pub inst: usize,
+}
+
+impl Cursor {
+    /// The start of `b`.
+    pub fn start(b: BlockId) -> Cursor {
+        Cursor { block: b, inst: 0 }
+    }
+}
+
+impl std::fmt::Display for Cursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.inst == 0 {
+            write!(f, "{}", self.block)
+        } else {
+            write!(f, "{}+{}", self.block, self.inst)
+        }
+    }
+}
+
+/// How one walk arm ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArmEnd {
+    /// Reached a designated stop block (a sequence exit).
+    Target(BlockId),
+    /// Stopped elsewhere: left the walk domain, re-entered a cut block,
+    /// or hit a control transfer the walker cannot split (a branch on
+    /// foreign condition codes, an indirect jump, a return).
+    Frontier(Cursor),
+}
+
+/// One arm of a symbolic walk: a set of values of the tested variable,
+/// where those values end up, and the instructions they execute on the
+/// way (compares consumed by splits excluded — they are control, not
+/// effect; everything else, including dead compares, is kept verbatim).
+#[derive(Clone, Debug)]
+pub struct Arm {
+    /// The values taking this arm.
+    pub values: IntervalSet,
+    /// Where the arm ended.
+    pub end: ArmEnd,
+    /// Instructions executed along the arm.
+    pub effects: Vec<Inst>,
+}
+
+/// Configuration of one symbolic walk.
+#[derive(Clone, Debug)]
+pub struct WalkSpec {
+    /// The tested variable.
+    pub var: Reg,
+    /// Block the walk starts at.
+    pub entry: BlockId,
+    /// Instruction offset within `entry` the walk starts at. Nonzero
+    /// when the head block carries a prologue that must be skipped —
+    /// e.g. it computes the tested variable itself right before the
+    /// first compare (a `switch (x % 17)` head).
+    pub entry_inst: usize,
+    /// Values of `var` to partition.
+    pub initial: IntervalSet,
+    /// Blocks where an arm resolves as [`ArmEnd::Target`].
+    pub stops: BTreeSet<BlockId>,
+    /// Blocks the walk may traverse; entering any other block ends the
+    /// arm as a frontier. `None` allows every block.
+    pub domain: Option<BTreeSet<BlockId>>,
+    /// Blocks that end an arm as a frontier on *re-entry* (the sequence
+    /// head: duplicated tails may loop back to it).
+    pub cuts: BTreeSet<BlockId>,
+    /// Instruction budget for the whole walk.
+    pub fuel: usize,
+}
+
+impl WalkSpec {
+    /// A walk over every value from `entry`, stopping at `stops`.
+    pub fn new(var: Reg, entry: BlockId, stops: BTreeSet<BlockId>) -> WalkSpec {
+        WalkSpec {
+            var,
+            entry,
+            entry_inst: 0,
+            initial: IntervalSet::full(),
+            stops,
+            domain: None,
+            cuts: BTreeSet::new(),
+            fuel: 16 * 1024,
+        }
+    }
+}
+
+/// Symbolic condition-code state during a walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Cc {
+    /// Nothing set them yet on this path.
+    Unset,
+    /// Set by something the walker cannot relate to the tested variable
+    /// (a compare of other operands, or clobbered by a call).
+    Opaque,
+    /// Set by `cmp var, c` (or `cmp c, var` when `swapped`).
+    FromVar { c: i64, swapped: bool },
+}
+
+struct WalkItem {
+    cursor: Cursor,
+    values: IntervalSet,
+    effects: Vec<Inst>,
+    /// False once something redefined `var`: later compares of it no
+    /// longer partition the *original* value.
+    var_valid: bool,
+    cc: Cc,
+    at_entry: bool,
+}
+
+/// Hard cap on arms, against adversarial or broken input.
+const MAX_ARMS: usize = 512;
+
+/// Symbolically walk `f` from the spec's entry, partitioning the
+/// tested variable's values. Errors (fuel or arm explosion, which real
+/// sequences never hit) return a description.
+pub fn explore(f: &Function, spec: &WalkSpec) -> Result<Vec<Arm>, String> {
+    let mut arms: Vec<Arm> = Vec::new();
+    let mut fuel = spec.fuel;
+    let mut work = vec![WalkItem {
+        cursor: Cursor {
+            block: spec.entry,
+            inst: spec.entry_inst,
+        },
+        values: spec.initial.clone(),
+        effects: Vec::new(),
+        var_valid: true,
+        cc: Cc::Unset,
+        at_entry: true,
+    }];
+
+    while let Some(mut item) = work.pop() {
+        if item.values.is_empty() {
+            continue;
+        }
+        loop {
+            let cur = item.cursor;
+            // Block-entry checks (skipped for the walk's entry point).
+            if cur.inst == 0 && !item.at_entry {
+                if spec.stops.contains(&cur.block) {
+                    arms.push(Arm {
+                        values: item.values,
+                        end: ArmEnd::Target(cur.block),
+                        effects: item.effects,
+                    });
+                    break;
+                }
+                let outside = spec
+                    .domain
+                    .as_ref()
+                    .is_some_and(|d| !d.contains(&cur.block));
+                if outside || spec.cuts.contains(&cur.block) {
+                    arms.push(Arm {
+                        values: item.values,
+                        end: ArmEnd::Frontier(cur),
+                        effects: item.effects,
+                    });
+                    break;
+                }
+            }
+            item.at_entry = false;
+            if cur.block.index() >= f.blocks.len() {
+                return Err(format!("walk reached nonexistent block {}", cur.block));
+            }
+            let block = f.block(cur.block);
+
+            // Consume the block body from the cursor.
+            for i in cur.inst..block.insts.len() {
+                if fuel == 0 {
+                    return Err("walk ran out of fuel".to_string());
+                }
+                fuel -= 1;
+                let inst = &block.insts[i];
+                match inst {
+                    Inst::Cmp { lhs, rhs } => {
+                        let on_var = match (lhs, rhs) {
+                            (Operand::Reg(r), Operand::Imm(c)) if *r == spec.var => {
+                                Some((*c, false))
+                            }
+                            (Operand::Imm(c), Operand::Reg(r)) if *r == spec.var => {
+                                Some((*c, true))
+                            }
+                            _ => None,
+                        };
+                        match on_var {
+                            Some((c, swapped)) if item.var_valid => {
+                                item.cc = Cc::FromVar { c, swapped };
+                            }
+                            _ => {
+                                // Control state the walker cannot model:
+                                // keep the compare as an effect so trace
+                                // comparison still sees it.
+                                item.cc = Cc::Opaque;
+                                item.effects.push(inst.clone());
+                            }
+                        }
+                    }
+                    other => {
+                        if matches!(other, Inst::Call { .. }) {
+                            item.cc = Cc::Opaque;
+                        }
+                        if other.def() == Some(spec.var) {
+                            item.var_valid = false;
+                        }
+                        item.effects.push(other.clone());
+                    }
+                }
+            }
+            if fuel == 0 {
+                return Err("walk ran out of fuel".to_string());
+            }
+            fuel -= 1;
+
+            // Terminator.
+            match &block.term {
+                Terminator::Jump(t) => {
+                    item.cursor = Cursor::start(*t);
+                    continue;
+                }
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    if taken == not_taken {
+                        item.cursor = Cursor::start(*taken);
+                        continue;
+                    }
+                    let Cc::FromVar { c, swapped } = item.cc else {
+                        // Branch on foreign codes: frontier at the
+                        // terminator, body already consumed.
+                        arms.push(Arm {
+                            values: item.values,
+                            end: ArmEnd::Frontier(Cursor {
+                                block: cur.block,
+                                inst: block.insts.len(),
+                            }),
+                            effects: item.effects,
+                        });
+                        break;
+                    };
+                    let eff = if swapped { cond.swap() } else { *cond };
+                    let sat = IntervalSet::satisfying(eff, c);
+                    let taken_values = item.values.intersect(&sat);
+                    let fall_values = item.values.subtract(&sat);
+                    if !taken_values.is_empty() {
+                        work.push(WalkItem {
+                            cursor: Cursor::start(*taken),
+                            values: taken_values,
+                            effects: item.effects.clone(),
+                            var_valid: item.var_valid,
+                            cc: item.cc,
+                            at_entry: false,
+                        });
+                    }
+                    if fall_values.is_empty() {
+                        break;
+                    }
+                    item.cursor = Cursor::start(*not_taken);
+                    item.values = fall_values;
+                    continue;
+                }
+                Terminator::Return(_) | Terminator::IndirectJump { .. } => {
+                    arms.push(Arm {
+                        values: item.values,
+                        end: ArmEnd::Frontier(Cursor {
+                            block: cur.block,
+                            inst: block.insts.len(),
+                        }),
+                        effects: item.effects,
+                    });
+                    break;
+                }
+            }
+        }
+        if arms.len() > MAX_ARMS {
+            return Err(format!("walk produced more than {MAX_ARMS} arms"));
+        }
+    }
+    Ok(arms)
+}
+
+/// Structural bisimulation of the code at two cursors, possibly in two
+/// different functions (the pre- and post-transformation copies of one
+/// function share every block the transformation did not touch).
+///
+/// Duplicated tail code is a verbatim copy of original blocks whose
+/// fall-through successors are further copies, so matching instructions
+/// pairwise — following unconditional jumps silently and assuming
+/// already-visited pairs equivalent (coinduction) — proves the copy
+/// faithful. Identical cursors over identical blocks are equal outright;
+/// the pair `(head, head)` at offset 0 is *assumed* equivalent even
+/// though the transformation rewrote the head, because the sequence
+/// partition proof covers every value re-entering the head.
+pub fn tail_equivalent(
+    fa: &Function,
+    a: Cursor,
+    fb: &Function,
+    b: Cursor,
+    head: BlockId,
+    fuel: usize,
+) -> bool {
+    let mut assumed: BTreeSet<(Cursor, Cursor)> = BTreeSet::new();
+    let mut fuel = fuel;
+    bisim(fa, a, fb, b, head, &mut assumed, &mut fuel)
+}
+
+fn bisim(
+    fa: &Function,
+    mut a: Cursor,
+    fb: &Function,
+    mut b: Cursor,
+    head: BlockId,
+    assumed: &mut BTreeSet<(Cursor, Cursor)>,
+    fuel: &mut usize,
+) -> bool {
+    loop {
+        if *fuel == 0 {
+            return false;
+        }
+        *fuel -= 1;
+        if a.block.index() >= fa.blocks.len() || b.block.index() >= fb.blocks.len() {
+            return false;
+        }
+        if a == b {
+            if a.block == head {
+                if a.inst == 0 {
+                    return true; // assume-guarantee on the sequence entry
+                }
+            } else if fa.blocks[a.block.index()] == fb.blocks[b.block.index()] {
+                return true;
+            }
+        }
+        if !assumed.insert((a, b)) {
+            return true; // coinductive hypothesis
+        }
+        let ia = &fa.block(a.block).insts;
+        let ib = &fb.block(b.block).insts;
+        let k = (ia.len() - a.inst).min(ib.len() - b.inst);
+        if ia[a.inst..a.inst + k] != ib[b.inst..b.inst + k] {
+            return false;
+        }
+        a.inst += k;
+        b.inst += k;
+        let a_done = a.inst == ia.len();
+        let b_done = b.inst == ib.len();
+        match (a_done, b_done) {
+            (true, false) => match fa.block(a.block).term {
+                Terminator::Jump(t) => {
+                    a = Cursor::start(t);
+                    continue;
+                }
+                _ => return false,
+            },
+            (false, true) => match fb.block(b.block).term {
+                Terminator::Jump(t) => {
+                    b = Cursor::start(t);
+                    continue;
+                }
+                _ => return false,
+            },
+            (false, false) => unreachable!("k consumed one side fully"),
+            (true, true) => {}
+        }
+        match (&fa.block(a.block).term, &fb.block(b.block).term) {
+            (Terminator::Jump(x), Terminator::Jump(y)) => {
+                a = Cursor::start(*x);
+                b = Cursor::start(*y);
+            }
+            (Terminator::Jump(x), _) => a = Cursor::start(*x),
+            (_, Terminator::Jump(y)) => b = Cursor::start(*y),
+            (
+                Terminator::Branch {
+                    cond: c1,
+                    taken: t1,
+                    not_taken: n1,
+                },
+                Terminator::Branch {
+                    cond: c2,
+                    taken: t2,
+                    not_taken: n2,
+                },
+            ) => {
+                return c1 == c2
+                    && bisim(
+                        fa,
+                        Cursor::start(*t1),
+                        fb,
+                        Cursor::start(*t2),
+                        head,
+                        assumed,
+                        fuel,
+                    )
+                    && bisim(
+                        fa,
+                        Cursor::start(*n1),
+                        fb,
+                        Cursor::start(*n2),
+                        head,
+                        assumed,
+                        fuel,
+                    );
+            }
+            (Terminator::Return(x), Terminator::Return(y)) => return x == y,
+            (
+                Terminator::IndirectJump {
+                    index: i1,
+                    targets: t1,
+                },
+                Terminator::IndirectJump {
+                    index: i2,
+                    targets: t2,
+                },
+            ) => {
+                return i1 == i2
+                    && t1.len() == t2.len()
+                    && t1.iter().zip(t2.iter()).all(|(x, y)| {
+                        bisim(
+                            fa,
+                            Cursor::start(*x),
+                            fb,
+                            Cursor::start(*y),
+                            head,
+                            assumed,
+                            fuel,
+                        )
+                    });
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Which version of the function a validation error implicates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Side {
+    /// The pre-transformation chain (or the detector's model of it).
+    Original,
+    /// The emitted replica.
+    Reordered,
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Side::Original => write!(f, "original"),
+            Side::Reordered => write!(f, "reordered"),
+        }
+    }
+}
+
+/// A proven violation of sequence equivalence.
+#[derive(Clone, Debug)]
+pub enum ValidationError {
+    /// A symbolic walk failed outright (fuel, arm explosion, bad CFG).
+    Walk {
+        /// Which version failed to walk.
+        side: Side,
+        /// Walker failure description.
+        detail: String,
+    },
+    /// An original arm did not resolve at a sequence exit.
+    Unresolved {
+        /// Values of the unresolved arm.
+        values: IntervalSet,
+        /// Where the walk stopped instead.
+        at: Cursor,
+    },
+    /// Two arms of one partition overlap.
+    NotDisjoint {
+        /// Which partition.
+        side: Side,
+        /// The shared values.
+        values: IntervalSet,
+    },
+    /// A partition does not cover every `i64` value.
+    NotExhaustive {
+        /// Which partition.
+        side: Side,
+        /// The uncovered values.
+        missing: IntervalSet,
+    },
+    /// The original partition disagrees with the detector's declared
+    /// range→target plan.
+    PlanMismatch {
+        /// Exit target whose value set disagrees.
+        target: BlockId,
+        /// Values the plan routes to the target.
+        expected: IntervalSet,
+        /// Values the original code actually routes there.
+        found: IntervalSet,
+    },
+    /// A value class exits at different targets before and after.
+    TargetMismatch {
+        /// The value class.
+        values: IntervalSet,
+        /// Target in the original.
+        expected: BlockId,
+        /// Where the replica sent it.
+        found: ArmEnd,
+    },
+    /// A value class executes different side effects before and after.
+    EffectMismatch {
+        /// The value class.
+        values: IntervalSet,
+        /// Its original exit target.
+        target: BlockId,
+        /// What differed.
+        detail: String,
+    },
+    /// The replica's duplicated tail is not equivalent to the original
+    /// continuation.
+    TailMismatch {
+        /// The value class.
+        values: IntervalSet,
+        /// What differed.
+        detail: String,
+    },
+    /// The head block's prologue (the instructions before the first
+    /// compare, executed unconditionally by every value) differs between
+    /// the two versions.
+    PrologueMismatch {
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl ValidationError {
+    /// Whether the error implicates the original chain / the detector's
+    /// model of it (true) rather than the emitted replica (false).
+    pub fn blames_original(&self) -> bool {
+        matches!(
+            self,
+            ValidationError::Walk {
+                side: Side::Original,
+                ..
+            } | ValidationError::Unresolved { .. }
+                | ValidationError::NotDisjoint {
+                    side: Side::Original,
+                    ..
+                }
+                | ValidationError::NotExhaustive {
+                    side: Side::Original,
+                    ..
+                }
+                | ValidationError::PlanMismatch { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::Walk { side, detail } => {
+                write!(f, "symbolic walk of the {side} sequence failed: {detail}")
+            }
+            ValidationError::Unresolved { values, at } => write!(
+                f,
+                "original values {values} do not reach a sequence exit (stopped at {at})"
+            ),
+            ValidationError::NotDisjoint { side, values } => {
+                write!(
+                    f,
+                    "{side} partition is not disjoint: {values} reached twice"
+                )
+            }
+            ValidationError::NotExhaustive { side, missing } => {
+                write!(f, "{side} partition is not exhaustive: {missing} uncovered")
+            }
+            ValidationError::PlanMismatch {
+                target,
+                expected,
+                found,
+            } => write!(
+                f,
+                "declared plan routes {expected} to {target}, original code routes {found}"
+            ),
+            ValidationError::TargetMismatch {
+                values,
+                expected,
+                found,
+            } => match found {
+                ArmEnd::Target(t) => write!(
+                    f,
+                    "values {values} exit to {t} after reordering, but to {expected} originally"
+                ),
+                ArmEnd::Frontier(at) => write!(
+                    f,
+                    "values {values} leave the replica at {at} instead of exiting to {expected}"
+                ),
+            },
+            ValidationError::EffectMismatch {
+                values,
+                target,
+                detail,
+            } => write!(
+                f,
+                "values {values} (exit {target}) execute different side effects: {detail}"
+            ),
+            ValidationError::TailMismatch { values, detail } => write!(
+                f,
+                "duplicated tail diverges from the original for values {values}: {detail}"
+            ),
+            ValidationError::PrologueMismatch { detail } => {
+                write!(f, "head prologue differs after reordering: {detail}")
+            }
+        }
+    }
+}
+
+/// Inputs to one sequence-equivalence check.
+pub struct EquivalenceCheck<'a> {
+    /// The function before the transformation.
+    pub original: &'a Function,
+    /// The function after `apply_reordering` (before cleanup, so block
+    /// ids still align with `original`).
+    pub reordered: &'a Function,
+    /// The tested variable.
+    pub var: Reg,
+    /// The sequence head block.
+    pub head: BlockId,
+    /// Every exit of the sequence: all condition targets plus the
+    /// default target.
+    pub exits: BTreeSet<BlockId>,
+    /// First block id of the emitted replica in `reordered`.
+    pub replica_start: u32,
+    /// The detector's declared range→target plan (the profiling plan):
+    /// ground truth the original partition must reproduce.
+    pub expected: Vec<(Interval, BlockId)>,
+}
+
+/// Statistics of a successful equivalence proof.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EquivalenceProof {
+    /// Distinct value classes compared across the two versions.
+    pub value_classes: usize,
+    /// Distinct exits of the original partition.
+    pub exits: usize,
+}
+
+fn partition_checks(arms: &[Arm], side: Side, errors: &mut Vec<ValidationError>) {
+    let mut seen = IntervalSet::empty();
+    for arm in arms {
+        let overlap = seen.intersect(&arm.values);
+        if !overlap.is_empty() {
+            errors.push(ValidationError::NotDisjoint {
+                side,
+                values: overlap,
+            });
+        }
+        seen = seen.union(&arm.values);
+    }
+    if !seen.is_full() {
+        errors.push(ValidationError::NotExhaustive {
+            side,
+            missing: seen.complement(),
+        });
+    }
+}
+
+fn first_difference(a: &[Inst], b: &[Inst]) -> String {
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        if x != y {
+            return format!("instruction {i}: {x:?} vs {y:?}");
+        }
+    }
+    format!("{} vs {} instructions", a.len(), b.len())
+}
+
+/// Prove that the replica of one sequence is equivalent to the original
+/// chain. On success returns proof statistics; otherwise every
+/// violation found.
+pub fn check_equivalence(chk: &EquivalenceCheck) -> Result<EquivalenceProof, Vec<ValidationError>> {
+    let mut errors = Vec::new();
+
+    // 0. The head may compute the tested variable itself before the
+    // first compare (e.g. a `switch (x % 17)` head). That prologue runs
+    // unconditionally on both sides, so the value partition refers to
+    // the variable *after* it: demand the prologues identical and start
+    // both walks past them.
+    let head_body = &chk.original.block(chk.head).insts;
+    let prologue = head_body
+        .iter()
+        .rposition(|i| i.def() == Some(chk.var))
+        .map_or(0, |p| p + 1);
+    if prologue > 0 {
+        let new_body = &chk.reordered.block(chk.head).insts;
+        if new_body.len() < prologue || new_body[..prologue] != head_body[..prologue] {
+            return Err(vec![ValidationError::PrologueMismatch {
+                detail: first_difference(&head_body[..prologue], new_body),
+            }]);
+        }
+    }
+
+    // 1. Partition the original chain.
+    let mut orig_spec = WalkSpec::new(chk.var, chk.head, chk.exits.clone());
+    orig_spec.entry_inst = prologue;
+    orig_spec.cuts.insert(chk.head);
+    let orig_arms = match explore(chk.original, &orig_spec) {
+        Ok(arms) => arms,
+        Err(detail) => {
+            return Err(vec![ValidationError::Walk {
+                side: Side::Original,
+                detail,
+            }])
+        }
+    };
+    partition_checks(&orig_arms, Side::Original, &mut errors);
+    let mut resolved: Vec<(&Arm, BlockId)> = Vec::new();
+    for arm in &orig_arms {
+        match arm.end {
+            ArmEnd::Target(t) => resolved.push((arm, t)),
+            ArmEnd::Frontier(at) => errors.push(ValidationError::Unresolved {
+                values: arm.values.clone(),
+                at,
+            }),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    // 2. The original partition must reproduce the declared plan.
+    let mut plan_targets: Vec<BlockId> = chk.expected.iter().map(|&(_, t)| t).collect();
+    plan_targets.extend(resolved.iter().map(|&(_, t)| t));
+    plan_targets.sort();
+    plan_targets.dedup();
+    for &target in &plan_targets {
+        let expected = IntervalSet::from_intervals(
+            chk.expected
+                .iter()
+                .filter(|&&(_, t)| t == target)
+                .map(|&(iv, _)| iv),
+        );
+        let found = resolved
+            .iter()
+            .filter(|&&(_, t)| t == target)
+            .fold(IntervalSet::empty(), |acc, (arm, _)| acc.union(&arm.values));
+        if expected != found {
+            errors.push(ValidationError::PlanMismatch {
+                target,
+                expected,
+                found,
+            });
+        }
+    }
+
+    // 3. Partition the replica.
+    let mut new_spec = WalkSpec::new(chk.var, chk.head, chk.exits.clone());
+    new_spec.entry_inst = prologue;
+    new_spec.cuts.insert(chk.head);
+    let mut domain: BTreeSet<BlockId> = (chk.replica_start..chk.reordered.blocks.len() as u32)
+        .map(BlockId)
+        .collect();
+    domain.insert(chk.head);
+    new_spec.domain = Some(domain);
+    let new_arms = match explore(chk.reordered, &new_spec) {
+        Ok(arms) => arms,
+        Err(detail) => {
+            errors.push(ValidationError::Walk {
+                side: Side::Reordered,
+                detail,
+            });
+            return Err(errors);
+        }
+    };
+    partition_checks(&new_arms, Side::Reordered, &mut errors);
+
+    // 4. Cross-match every refined value class.
+    let mut classes = 0usize;
+    for &(orig, target) in &resolved {
+        for new in &new_arms {
+            let common = orig.values.intersect(&new.values);
+            if common.is_empty() {
+                continue;
+            }
+            classes += 1;
+            match_class(chk, &common, orig, target, new, &mut errors);
+        }
+    }
+
+    if errors.is_empty() {
+        let mut exits: Vec<BlockId> = resolved.iter().map(|&(_, t)| t).collect();
+        exits.sort();
+        exits.dedup();
+        Ok(EquivalenceProof {
+            value_classes: classes,
+            exits: exits.len(),
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+/// Prove one refined value class equivalent across the two versions.
+fn match_class(
+    chk: &EquivalenceCheck,
+    common: &IntervalSet,
+    orig: &Arm,
+    target: BlockId,
+    new: &Arm,
+    errors: &mut Vec<ValidationError>,
+) {
+    match new.end {
+        ArmEnd::Target(t) => {
+            if t != target {
+                errors.push(ValidationError::TargetMismatch {
+                    values: common.clone(),
+                    expected: target,
+                    found: new.end,
+                });
+            } else if new.effects != orig.effects {
+                errors.push(ValidationError::EffectMismatch {
+                    values: common.clone(),
+                    target,
+                    detail: first_difference(&orig.effects, &new.effects),
+                });
+            }
+        }
+        ArmEnd::Frontier(cur) => {
+            // The replica left the sequence without reaching an exit:
+            // legal only when it merged into duplicated tail code whose
+            // behaviour extends the original continuation from `target`.
+            if new.effects.len() < orig.effects.len()
+                || new.effects[..orig.effects.len()] != orig.effects
+            {
+                errors.push(ValidationError::EffectMismatch {
+                    values: common.clone(),
+                    target,
+                    detail: first_difference(&orig.effects, &new.effects),
+                });
+                return;
+            }
+            let rest = &new.effects[orig.effects.len()..];
+            if cur.inst == 0 && cur.block == target {
+                // Stopped exactly at the original exit.
+                if !rest.is_empty() {
+                    errors.push(ValidationError::EffectMismatch {
+                        values: common.clone(),
+                        target,
+                        detail: format!("{} extra instructions before {target}", rest.len()),
+                    });
+                }
+                return;
+            }
+            // Continue the original walk from the exit and demand it
+            // mirror the replica's overrun exactly.
+            let mut cont = WalkSpec::new(chk.var, target, BTreeSet::new());
+            cont.initial = common.clone();
+            if cur.inst == 0 {
+                cont.stops.insert(cur.block);
+            }
+            let cont_arms = match explore(chk.original, &cont) {
+                Ok(arms) => arms,
+                Err(detail) => {
+                    errors.push(ValidationError::TailMismatch {
+                        values: common.clone(),
+                        detail: format!("original continuation walk failed: {detail}"),
+                    });
+                    return;
+                }
+            };
+            if cont_arms.len() != 1 {
+                errors.push(ValidationError::TailMismatch {
+                    values: common.clone(),
+                    detail: format!(
+                        "original continuation splits into {} paths",
+                        cont_arms.len()
+                    ),
+                });
+                return;
+            }
+            let cont_arm = &cont_arms[0];
+            if cont_arm.effects != rest {
+                errors.push(ValidationError::TailMismatch {
+                    values: common.clone(),
+                    detail: format!(
+                        "tail effects differ: {}",
+                        first_difference(&cont_arm.effects, rest)
+                    ),
+                });
+                return;
+            }
+            let cont_end = match cont_arm.end {
+                ArmEnd::Target(t) => Cursor::start(t),
+                ArmEnd::Frontier(c) => c,
+            };
+            if !tail_equivalent(chk.reordered, cur, chk.original, cont_end, chk.head, 4096) {
+                errors.push(ValidationError::TailMismatch {
+                    values: common.clone(),
+                    detail: format!("code at {cur} does not bisimulate code at {cont_end}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Block, Callee, Cond, Intrinsic};
+
+    fn cmp(var: Reg, c: i64) -> Inst {
+        Inst::Cmp {
+            lhs: Operand::Reg(var),
+            rhs: Operand::Imm(c),
+        }
+    }
+
+    fn putchar() -> Inst {
+        Inst::Call {
+            dst: None,
+            callee: Callee::Intrinsic(Intrinsic::PutChar),
+            args: vec![Operand::Imm(10)],
+        }
+    }
+
+    /// entry→head; head: `cmp var,0; beq t1 c2`; c2: `cmp var,1; beq t2
+    /// dflt`. Exits t1/t2/dflt. Returns `(f, var, head, [t1, t2, dflt])`.
+    fn chain() -> (Function, Reg, BlockId, [BlockId; 3]) {
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let head = f.add_block(Block::new(Terminator::Return(None)));
+        let c2 = f.add_block(Block::new(Terminator::Return(None)));
+        let t1 = f.add_block(Block::new(Terminator::Return(None)));
+        let t2 = f.add_block(Block::new(Terminator::Return(None)));
+        let dflt = f.add_block(Block::new(Terminator::Return(None)));
+        f.block_mut(f.entry).term = Terminator::Jump(head);
+        f.block_mut(head).insts.push(cmp(var, 0));
+        f.block_mut(head).term = Terminator::branch(Cond::Eq, t1, c2);
+        f.block_mut(c2).insts.push(cmp(var, 1));
+        f.block_mut(c2).term = Terminator::branch(Cond::Eq, t2, dflt);
+        (f, var, head, [t1, t2, dflt])
+    }
+
+    /// The detector's plan for [`chain`].
+    fn plan(t1: BlockId, t2: BlockId, dflt: BlockId) -> Vec<(Interval, BlockId)> {
+        vec![
+            (Interval::singleton(0), t1),
+            (Interval::singleton(1), t2),
+            (Interval::new(i64::MIN, -1), dflt),
+            (Interval::new(2, i64::MAX), dflt),
+        ]
+    }
+
+    /// Hand-apply a reordering that tests `eq 1` first: head becomes a
+    /// jump into appended replica blocks r0/r1.
+    fn reorder(
+        f: &Function,
+        var: Reg,
+        head: BlockId,
+        t1: BlockId,
+        t2: BlockId,
+        dflt: BlockId,
+    ) -> (Function, u32) {
+        let mut g = f.clone();
+        let replica_start = g.blocks.len() as u32;
+        let r1 = BlockId(replica_start + 1);
+        let r0 = g.add_block(Block::new(Terminator::branch(Cond::Eq, t2, r1)));
+        g.block_mut(r0).insts.push(cmp(var, 1));
+        let r1 = g.add_block(Block::new(Terminator::branch(Cond::Eq, t1, dflt)));
+        g.block_mut(r1).insts.push(cmp(var, 0));
+        g.block_mut(head).insts.clear();
+        g.block_mut(head).term = Terminator::Jump(r0);
+        (g, replica_start)
+    }
+
+    #[test]
+    fn explore_partitions_the_chain() {
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        let spec = WalkSpec::new(var, head, BTreeSet::from([t1, t2, dflt]));
+        let arms = explore(&f, &spec).unwrap();
+        assert_eq!(arms.len(), 3);
+        for arm in &arms {
+            assert!(arm.effects.is_empty(), "split compares are not effects");
+            match arm.end {
+                ArmEnd::Target(t) if t == t1 => assert!(arm.values.contains(0)),
+                ArmEnd::Target(t) if t == t2 => assert!(arm.values.contains(1)),
+                ArmEnd::Target(t) if t == dflt => {
+                    assert!(arm.values.contains(-1) && arm.values.contains(2))
+                }
+                other => panic!("unexpected arm end {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_faithful_reordering() {
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        let (g, replica_start) = reorder(&f, var, head, t1, t2, dflt);
+        let proof = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap();
+        assert_eq!(proof.exits, 3);
+        assert!(proof.value_classes >= 3);
+    }
+
+    #[test]
+    fn rejects_swapped_targets() {
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        // Corrupt: route the `eq 0` values to dflt and the rest to t1.
+        let (mut g, replica_start) = reorder(&f, var, head, t1, t2, dflt);
+        let r1 = BlockId(replica_start + 1);
+        g.block_mut(r1).term = Terminator::branch(Cond::Eq, dflt, t1);
+        let errors = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::TargetMismatch { .. })));
+        assert!(
+            errors.iter().all(|e| !e.blames_original()),
+            "the corruption is in the replica: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_dropped_side_effect() {
+        let (mut f, var, head, [t1, t2, dflt]) = chain();
+        // Original c2 carries a side effect ahead of its compare …
+        let c2 = BlockId(head.0 + 1);
+        f.block_mut(c2).insts.insert(0, putchar());
+        // … which the replica forgets to replay anywhere.
+        let (g, replica_start) = reorder(&f, var, head, t1, t2, dflt);
+        let errors = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::EffectMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_declared_plan() {
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        let (g, replica_start) = reorder(&f, var, head, t1, t2, dflt);
+        // Plan claims the targets the other way round.
+        let errors = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t2, t1, dflt),
+        })
+        .unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::PlanMismatch { .. })));
+        assert!(
+            errors.iter().any(|e| e.blames_original()),
+            "a plan mismatch implicates the detector, not the emitter"
+        );
+    }
+
+    #[test]
+    fn accepts_duplicated_tail() {
+        let (mut f, var, head, [t1, t2, dflt]) = chain();
+        // Give the default exit a body worth duplicating.
+        f.block_mut(dflt).insts.push(putchar());
+        let (mut g, replica_start) = reorder(&f, var, head, t1, t2, dflt);
+        // Replica absorbs a verbatim copy of dflt instead of jumping.
+        let dup = g.add_block(Block::new(Terminator::Return(None)));
+        g.block_mut(dup).insts.push(putchar());
+        let r1 = BlockId(replica_start + 1);
+        g.block_mut(r1).term = Terminator::branch(Cond::Eq, t1, dup);
+        let proof = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap();
+        assert_eq!(proof.exits, 3);
+    }
+
+    #[test]
+    fn rejects_diverging_duplicated_tail() {
+        let (mut f, var, head, [t1, t2, dflt]) = chain();
+        f.block_mut(dflt).insts.push(putchar());
+        let (mut g, replica_start) = reorder(&f, var, head, t1, t2, dflt);
+        // The "copy" returns a different value: not a faithful duplicate.
+        let dup = g.add_block(Block::new(Terminator::Return(Some(Operand::Imm(1)))));
+        g.block_mut(dup).insts.push(putchar());
+        let r1 = BlockId(replica_start + 1);
+        g.block_mut(r1).term = Terminator::branch(Cond::Eq, t1, dup);
+        let errors = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::TailMismatch { .. })));
+    }
+
+    #[test]
+    fn bisimulation_follows_jumps_and_loops() {
+        // a: loop { putchar; jump a }  vs  copy with an interposed jump.
+        let mut f = Function::new("t");
+        let a = f.add_block(Block::new(Terminator::Return(None)));
+        f.block_mut(a).insts.push(putchar());
+        f.block_mut(a).term = Terminator::Jump(a);
+        let mut g = f.clone();
+        let hop = g.add_block(Block::new(Terminator::Jump(a)));
+        let b = g.add_block(Block::new(Terminator::Jump(hop)));
+        g.block_mut(b).insts.push(putchar());
+        assert!(tail_equivalent(
+            &g,
+            Cursor::start(b),
+            &f,
+            Cursor::start(a),
+            BlockId(u32::MAX),
+            256
+        ));
+    }
+}

@@ -6,8 +6,7 @@
 //! * profile-guided vs the static uniform-domain heuristic (the
 //!   Spuler-style baseline the paper cites) vs no reordering at all.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use br_bench::bench;
 use br_harness::{run_workload, ExperimentConfig};
 use br_minic::HeuristicSet;
 use br_reorder::order::{exhaustive_ordering, select_ordering, OrderItem};
@@ -30,7 +29,7 @@ fn synthetic_items(n: usize) -> Vec<OrderItem> {
         .collect()
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let targets = vec![br_ir::BlockId(0), br_ir::BlockId(1), br_ir::BlockId(2)];
 
     // Report: does greedy ever lose to exhaustive on the real suite?
@@ -55,18 +54,19 @@ fn bench_ablation(c: &mut Criterion) {
          (the paper reports 0)"
     );
 
-    let mut group = c.benchmark_group("ordering-selection");
     for n in [4usize, 8, 12, 16] {
         let items = synthetic_items(n);
         let elim = vec![true; items.len()];
-        group.bench_function(format!("greedy_n{n}"), |b| {
-            b.iter(|| select_ordering(&items, &targets, &elim, br_ir::BlockId(9)))
+        bench(&format!("ordering-selection/greedy_n{n}"), 100, || {
+            select_ordering(&items, &targets, &elim, br_ir::BlockId(9))
         });
-        group.bench_function(format!("exhaustive_n{n}"), |b| {
-            b.iter(|| exhaustive_ordering(&items, &targets, &elim, br_ir::BlockId(9)))
-        });
+        let iters = if n >= 12 { 2 } else { 20 };
+        bench(
+            &format!("ordering-selection/exhaustive_n{n}"),
+            iters,
+            || exhaustive_ordering(&items, &targets, &elim, br_ir::BlockId(9)),
+        );
     }
-    group.finish();
 
     // Static heuristic vs real profiles across the suite.
     {
@@ -120,8 +120,7 @@ fn bench_ablation(c: &mut Criterion) {
                 .expect("compiles");
             br_opt::optimize(&mut m);
             let report =
-                reorder_module(&m, &w.training_input(3072), &ReorderOptions::default())
-                    .unwrap();
+                reorder_module(&m, &w.training_input(3072), &ReorderOptions::default()).unwrap();
             let test = w.test_input(4096);
             base_total += run(&report.module, &test, &VmOptions::default())
                 .unwrap()
@@ -138,7 +137,8 @@ fn bench_ablation(c: &mut Criterion) {
                     .insts;
             }
         }
-        for (i, &regs) in sizes.iter().enumerate() {
+        for &regs in sizes.iter() {
+            let i = sizes.iter().position(|&r| r == regs).unwrap();
             println!(
                 "register pressure: {regs:>2} regs -> {:+.2}% instructions vs unlimited",
                 (totals[i] as f64 - base_total as f64) / base_total as f64 * 100.0
@@ -148,19 +148,13 @@ fn bench_ablation(c: &mut Criterion) {
 
     // Matched vs mismatched profile, end-to-end on hyphen (the paper's
     // sensitivity case).
-    let mut group = c.benchmark_group("profile-sensitivity");
-    group.sample_size(10);
     let w = br_workloads::by_name("hyphen").expect("hyphen exists");
     let r = run_workload(&w, &ExperimentConfig::quick(HeuristicSet::SET_I)).expect("runs");
     println!(
         "hyphen with mismatched train/test: {:+.2}% insts (paper: +3.42%)",
         r.insts_pct()
     );
-    group.bench_function("hyphen_full_pipeline", |b| {
-        b.iter(|| run_workload(&w, &ExperimentConfig::quick(HeuristicSet::SET_I)).unwrap())
+    bench("profile-sensitivity/hyphen_full_pipeline", 10, || {
+        run_workload(&w, &ExperimentConfig::quick(HeuristicSet::SET_I)).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

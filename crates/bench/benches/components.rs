@@ -2,13 +2,12 @@
 //! optimization, sequence detection, instrumentation, transformation
 //! application, and interpreter throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use br_bench::{bench, bench_throughput};
 use br_minic::{compile, HeuristicSet, Options};
 use br_reorder::{reorder_module, ReorderOptions};
 use br_vm::{run, VmOptions};
 
-fn bench_components(c: &mut Criterion) {
+fn main() {
     let w = br_workloads::by_name("lex").expect("lex exists");
     let options = Options::with_heuristics(HeuristicSet::SET_III);
     let mut module = compile(w.source, &options).expect("compiles");
@@ -16,55 +15,46 @@ fn bench_components(c: &mut Criterion) {
     let train = w.training_input(3072);
     let test = w.test_input(8192);
 
-    let mut group = c.benchmark_group("components");
-    group.bench_function("frontend_compile", |b| {
-        b.iter(|| compile(w.source, &options).unwrap())
+    bench("components/frontend_compile", 50, || {
+        compile(w.source, &options).unwrap()
     });
-    group.bench_function("conventional_optimize", |b| {
-        b.iter(|| {
-            let mut m = compile(w.source, &options).unwrap();
-            br_opt::optimize(&mut m);
-            m
-        })
+    bench("components/conventional_optimize", 20, || {
+        let mut m = compile(w.source, &options).unwrap();
+        br_opt::optimize(&mut m);
+        m
     });
-    group.bench_function("detect_sequences", |b| {
-        b.iter(|| br_reorder::profile::detect_all(&module))
+    bench("components/detect_sequences", 100, || {
+        br_reorder::profile::detect_all(&module)
     });
     // Detection scaling with CFG size: synthesized linear chains of
     // n equality tests (DESIGN.md ablation: detection cost vs CFG size).
     for n in [8usize, 32, 128, 512] {
-        let mut chain = String::from("int main() { int c; c = getchar();
-");
+        let mut chain = String::from("int main() { int c; c = getchar();\n");
         for i in 0..n {
             chain.push_str(&format!("if (c == {i}) putint({i}); else "));
         }
-        chain.push_str("putint(-1);
-return 0; }
-");
+        chain.push_str("putint(-1);\nreturn 0; }\n");
         let mut m = compile(&chain, &options).expect("chain compiles");
         br_opt::optimize(&mut m);
-        group.bench_function(format!("detect_chain_{n}"), |b| {
-            b.iter(|| br_reorder::profile::detect_all(&m))
+        bench(&format!("components/detect_chain_{n}"), 20, || {
+            br_reorder::profile::detect_all(&m)
         });
     }
-    group.bench_function("instrument", |b| {
+    {
         let detections = br_reorder::profile::detect_all(&module);
-        b.iter(|| {
+        bench("components/instrument", 50, || {
             let mut m = module.clone();
             br_reorder::profile::instrument_module(&mut m, &detections)
-        })
+        });
+    }
+    bench("components/full_reorder_pipeline", 10, || {
+        reorder_module(&module, &train, &ReorderOptions::default()).unwrap()
     });
-    group.bench_function("full_reorder_pipeline", |b| {
-        b.iter(|| reorder_module(&module, &train, &ReorderOptions::default()).unwrap())
-    });
-    group.finish();
 
     // Interpreter throughput in instructions per second.
     let probe = run(&module, &test, &VmOptions::default()).expect("runs");
-    let mut group = c.benchmark_group("vm");
-    group.throughput(Throughput::Elements(probe.stats.insts));
-    group.bench_function("interpret_lex", |b| {
-        b.iter(|| run(&module, &test, &VmOptions::default()).unwrap())
+    bench_throughput("vm/interpret_lex", 10, probe.stats.insts, || {
+        run(&module, &test, &VmOptions::default()).unwrap()
     });
     let sweep = VmOptions {
         predictors: {
@@ -74,11 +64,7 @@ return 0; }
         },
         ..VmOptions::default()
     };
-    group.bench_function("interpret_lex_with_14_predictors", |b| {
-        b.iter(|| run(&module, &test, &sweep).unwrap())
+    bench("vm/interpret_lex_with_14_predictors", 5, || {
+        run(&module, &test, &sweep).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_components);
-criterion_main!(benches);

@@ -2,13 +2,12 @@
 //! reordering, one per heuristic set. Prints the histograms and times
 //! their regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use br_bench::bench;
 use br_harness::tables::{figure_histograms, figures};
 use br_harness::{run_suite, ExperimentConfig};
 use br_minic::HeuristicSet;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     for h in HeuristicSet::ALL {
         let suite = run_suite(&ExperimentConfig::quick(h)).expect("suite runs");
         println!("{}", figures(&suite));
@@ -25,16 +24,8 @@ fn bench_figures(c: &mut Criterion) {
             avg(&new)
         );
     }
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
-    group.bench_function("figures_set_iii", |b| {
-        b.iter(|| {
-            let suite = run_suite(&ExperimentConfig::quick(HeuristicSet::SET_III)).unwrap();
-            figure_histograms(&suite)
-        })
+    bench("figures/figures_set_iii", 10, || {
+        let suite = run_suite(&ExperimentConfig::quick(HeuristicSet::SET_III)).unwrap();
+        figure_histograms(&suite)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

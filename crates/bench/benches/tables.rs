@@ -3,8 +3,7 @@
 //! aggregate) and times the regeneration. The rows themselves are
 //! printed once so `cargo bench` output doubles as a results log.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use br_bench::bench;
 use br_harness::tables;
 use br_harness::{run_suite, ExperimentConfig, SuiteResult};
 use br_minic::HeuristicSet;
@@ -16,7 +15,7 @@ fn suites() -> Vec<SuiteResult> {
         .collect()
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     // Regenerate and print each table once, so the bench log carries the
     // reproduced results.
     let all = suites();
@@ -32,28 +31,12 @@ fn bench_tables(c: &mut Criterion) {
     println!("{}", tables::table7(&set2));
     println!("{}", tables::table8(&all));
 
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("table4_one_suite_set_i", |b| {
-        b.iter(|| {
-            let s = run_suite(&ExperimentConfig::quick(HeuristicSet::SET_I)).unwrap();
-            tables::table4_rows(&s)
-        })
+    bench("tables/table4_one_suite_set_i", 10, || {
+        let s = run_suite(&ExperimentConfig::quick(HeuristicSet::SET_I)).unwrap();
+        tables::table4_rows(&s)
     });
-    group.bench_function("table5_rows", |b| {
-        b.iter(|| tables::table5_rows(&set2))
-    });
-    group.bench_function("table6_rows", |b| {
-        b.iter(|| tables::table6_rows(&set2))
-    });
-    group.bench_function("table7_rows", |b| {
-        b.iter(|| tables::table7_rows(&set2))
-    });
-    group.bench_function("table8_rows", |b| {
-        b.iter(|| tables::table8_rows(&set2))
-    });
-    group.finish();
+    bench("tables/table5_rows", 10, || tables::table5_rows(&set2));
+    bench("tables/table6_rows", 10, || tables::table6_rows(&set2));
+    bench("tables/table7_rows", 10, || tables::table7_rows(&set2));
+    bench("tables/table8_rows", 10, || tables::table8_rows(&set2));
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -1,1 +1,48 @@
-//! Bench-only crate: all content lives in `benches/`.
+//! Bench-only crate: the benchmarks live in `benches/`, and this library
+//! provides the tiny self-contained timing harness they share (the
+//! workspace builds offline, so there is no external bench framework).
+
+use std::time::{Duration, Instant};
+
+/// Time `f` over `iters` iterations (after one warm-up call) and print a
+/// one-line report. Returns the mean per-iteration time.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Duration {
+    assert!(iters > 0);
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("bench {name:<40} {per_iter:>12.2?}/iter  ({iters} iters)");
+    per_iter
+}
+
+/// Like [`bench`], also reporting throughput for `elements` work items
+/// per iteration (e.g. interpreted instructions).
+pub fn bench_throughput<T>(
+    name: &str,
+    iters: u32,
+    elements: u64,
+    f: impl FnMut() -> T,
+) -> Duration {
+    let per_iter = bench(name, iters, f);
+    let secs = per_iter.as_secs_f64();
+    if secs > 0.0 {
+        println!("      {name:<40} {:>12.0} elems/s", elements as f64 / secs);
+    }
+    per_iter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_and_returns() {
+        let mut calls = 0u32;
+        let d = bench("noop", 3, || calls += 1);
+        assert_eq!(calls, 4); // warm-up + 3 timed
+        assert!(d <= Duration::from_secs(1));
+    }
+}

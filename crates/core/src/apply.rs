@@ -97,14 +97,18 @@ mod tests {
         let seq = &seqs[0];
         let items = order_items(seq, &SequenceProfile { counts });
         let candidates: Vec<BlockId> = {
-            let mut t: Vec<BlockId> =
-                seq.conds.iter().map(|c| c.target).collect();
+            let mut t: Vec<BlockId> = seq.conds.iter().map(|c| c.target).collect();
             t.push(seq.default_target);
             t.sort();
             t.dedup();
             t
         };
-        let ordering = select_ordering(&items, &candidates, &vec![true; items.len()], seq.default_target);
+        let ordering = select_ordering(
+            &items,
+            &candidates,
+            &vec![true; items.len()],
+            seq.default_target,
+        );
         apply_reordering(f, seq, &items, &ordering);
         br_opt::cleanup_function(f);
         br_ir::verify_module(&out).unwrap();
@@ -138,9 +142,7 @@ mod tests {
         let m = classify_module();
         // Input dominated by "other" characters: the original order
         // tests EOF, space and newline before reaching the default.
-        let input: Vec<u8> = std::iter::repeat_n(b'x', 300)
-            .chain(*b" \n")
-            .collect();
+        let input: Vec<u8> = std::iter::repeat_n(b'x', 300).chain(*b" \n").collect();
         let base = run(&m, &input, &VmOptions::default()).unwrap();
         // Train on the same distribution.
         let counts = vec![1, 1, 1, 0, 0, 0, 300];

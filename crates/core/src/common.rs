@@ -24,9 +24,7 @@
 
 use std::collections::HashSet;
 
-use br_ir::{
-    reverse_postorder, BlockId, Cond, Function, Inst, Operand, Terminator,
-};
+use br_ir::{reverse_postorder, BlockId, Cond, Function, Inst, Operand, Terminator};
 
 /// Maximum conditions profiled jointly (the paper suggests `n <= 7`).
 pub const MAX_CONDS: usize = 7;
@@ -81,7 +79,9 @@ pub fn detect_common(f: &Function, exclude: &HashSet<BlockId>) -> Vec<CommonSeq>
         if marked.contains(&head) {
             continue;
         }
-        let Some(first) = cond_of(f, head) else { continue };
+        let Some(first) = cond_of(f, head) else {
+            continue;
+        };
         let (t, nt) = targets_of(f, head);
         // Try each arm as the common successor.
         for (common, mut next, exit_taken) in [(t, nt, true), (nt, t, false)] {
@@ -89,7 +89,10 @@ pub fn detect_common(f: &Function, exclude: &HashSet<BlockId>) -> Vec<CommonSeq>
                 continue;
             }
             let mut blocks = vec![head];
-            let mut conds = vec![CommonCond { exit_taken, ..first }];
+            let mut conds = vec![CommonCond {
+                exit_taken,
+                ..first
+            }];
             loop {
                 if blocks.len() >= MAX_CONDS
                     || marked.contains(&next)
@@ -310,7 +313,11 @@ pub fn apply_common_reordering(
             rhs: c.rhs,
         });
         // Normalize so the fall-through edge continues the chain.
-        let cond = if c.exit_taken { c.cond } else { c.cond.negate() };
+        let cond = if c.exit_taken {
+            c.cond
+        } else {
+            c.cond.negate()
+        };
         block.term = Terminator::Branch {
             cond,
             taken: seq.common,
@@ -464,10 +471,7 @@ mod tests {
         assert!((expected_cost(&conds, &counts, &[1, 0]) - 3.0).abs() < 1e-12);
         // Skewed: mask 0b10 dominates -> testing cond1 first is cheaper.
         let counts = [0u64, 1, 99, 0];
-        assert!(
-            expected_cost(&conds, &counts, &[1, 0])
-                < expected_cost(&conds, &counts, &[0, 1])
-        );
+        assert!(expected_cost(&conds, &counts, &[1, 0]) < expected_cost(&conds, &counts, &[0, 1]));
     }
 
     #[test]

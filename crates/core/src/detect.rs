@@ -102,15 +102,9 @@ fn branch_halves(cond: Cond, c: i64) -> Option<(Range, Range)> {
     Some(match cond {
         Cond::Eq => (Range::single(c), Range::full()), // fall side handled by caller
         Cond::Ne => (Range::full(), Range::single(c)),
-        Cond::Lt => (
-            Range::new(i64::MIN, c.checked_sub(1)?)?,
-            Range::from(c),
-        ),
+        Cond::Lt => (Range::new(i64::MIN, c.checked_sub(1)?)?, Range::from(c)),
         Cond::Le => (Range::up_to(c), Range::from(c.checked_add(1)?)),
-        Cond::Gt => (
-            Range::from(c.checked_add(1)?),
-            Range::up_to(c),
-        ),
+        Cond::Gt => (Range::from(c.checked_add(1)?), Range::up_to(c)),
         Cond::Ge => (Range::from(c), Range::new(i64::MIN, c.checked_sub(1)?)?),
     })
 }
@@ -218,7 +212,9 @@ fn find_bounded_pair(
             // Bounded intersection of the incoming interval with this arm.
             let lo = incoming.lo.max(half.lo);
             let hi = incoming.hi.min(half.hi);
-            let Some(r) = Range::new(lo, hi) else { continue };
+            let Some(r) = Range::new(lo, hi) else {
+                continue;
+            };
             if !r.is_bounded_multi() {
                 continue;
             }
@@ -367,7 +363,12 @@ pub fn detect_sequences(f: &Function) -> Vec<DetectedSequence> {
         if !side_effects_movable(&r2, var) {
             continue;
         }
-        if r1.blocks.iter().chain(&r2.blocks).any(|bb| marked.contains(bb)) {
+        if r1
+            .blocks
+            .iter()
+            .chain(&r2.blocks)
+            .any(|bb| marked.contains(bb))
+        {
             continue;
         }
         let mut ranges = vec![r1.range, r2.range];
@@ -376,7 +377,10 @@ pub fn detect_sequences(f: &Function) -> Vec<DetectedSequence> {
         // Keep extending (Figure 4's while loop).
         while let Some((cond, n, _)) = find_range_cond(f, &ranges, Some(var), next) {
             if !side_effects_movable(&cond, var)
-                || cond.blocks.iter().any(|bb| used.contains(bb) || marked.contains(bb))
+                || cond
+                    .blocks
+                    .iter()
+                    .any(|bb| used.contains(bb) || marked.contains(bb))
             {
                 break;
             }
@@ -545,7 +549,10 @@ mod tests {
         b.set_term(t, Terminator::Return(None));
         b.set_term(td, Terminator::Return(None));
         let f = b.finish();
-        assert!(detect_sequences(&f).is_empty(), "needs two conds on one var");
+        assert!(
+            detect_sequences(&f).is_empty(),
+            "needs two conds on one var"
+        );
     }
 
     #[test]
@@ -681,7 +688,7 @@ mod tests {
 mod proptests {
     use super::*;
     use br_ir::{FuncBuilder, Operand, Terminator};
-    use proptest::prelude::*;
+    use br_workloads::rng::SmallRng;
 
     /// Build an if/else-if chain function over random distinct constants
     /// and operators, returning it plus the number of conditions built.
@@ -711,40 +718,48 @@ mod proptests {
         b.finish()
     }
 
-    proptest! {
-        #[test]
-        fn equality_chains_detect_fully(
-            mut consts in prop::collection::vec(-100i64..100, 2..10),
-            ops in prop::collection::vec(0u8..3, 10),
-        ) {
-            consts.sort_unstable();
-            consts.dedup();
-            prop_assume!(consts.len() >= 2);
+    /// Random distinct constants plus operator picks for `build_chain`.
+    fn arb_chain(rng: &mut SmallRng) -> Option<(Vec<i64>, Vec<u8>)> {
+        let n = rng.gen_range(2usize..10);
+        let mut consts: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+        consts.sort_unstable();
+        consts.dedup();
+        if consts.len() < 2 {
+            return None;
+        }
+        let ops: Vec<u8> = (0..10).map(|_| rng.gen_range(0u8..3)).collect();
+        Some((consts, ops))
+    }
+
+    #[test]
+    fn equality_chains_detect_fully() {
+        for seed in 0..256u64 {
+            let Some((consts, ops)) = arb_chain(&mut SmallRng::seed_from_u64(seed)) else {
+                continue;
+            };
             let f = build_chain(&consts, &ops);
             let seqs = detect_sequences(&f);
-            prop_assert_eq!(seqs.len(), 1);
+            assert_eq!(seqs.len(), 1, "seed {seed}");
             let seq = &seqs[0];
-            prop_assert_eq!(seq.conds.len(), consts.len());
+            assert_eq!(seq.conds.len(), consts.len(), "seed {seed}");
             // Detected ranges are exactly the singletons, in order.
-            let expected: Vec<Range> =
-                consts.iter().map(|&c| Range::single(c)).collect();
-            prop_assert_eq!(seq.explicit_ranges(), expected);
+            let expected: Vec<Range> = consts.iter().map(|&c| Range::single(c)).collect();
+            assert_eq!(seq.explicit_ranges(), expected, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn detected_ranges_never_overlap(
-            mut consts in prop::collection::vec(-100i64..100, 2..10),
-            ops in prop::collection::vec(0u8..3, 10),
-        ) {
-            consts.sort_unstable();
-            consts.dedup();
-            prop_assume!(consts.len() >= 2);
+    #[test]
+    fn detected_ranges_never_overlap() {
+        for seed in 0..256u64 {
+            let Some((consts, ops)) = arb_chain(&mut SmallRng::seed_from_u64(seed)) else {
+                continue;
+            };
             let f = build_chain(&consts, &ops);
             for seq in detect_sequences(&f) {
                 let ranges = seq.explicit_ranges();
                 for (i, a) in ranges.iter().enumerate() {
                     for b in &ranges[i + 1..] {
-                        prop_assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+                        assert!(!a.overlaps(b), "seed {seed}: {a:?} overlaps {b:?}");
                     }
                 }
             }

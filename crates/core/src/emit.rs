@@ -523,7 +523,12 @@ mod tests {
         let mut f = b.finish();
         let before_blocks = f.blocks.len();
         let seq = detect_sequences(&f).remove(0);
-        let items = order_items(&seq, &SequenceProfile { counts: vec![1, 5, 1, 1] });
+        let items = order_items(
+            &seq,
+            &SequenceProfile {
+                counts: vec![1, 5, 1, 1],
+            },
+        );
         let elim = crate::pipeline::eliminable_items(&seq, &items);
         let ordering = select_ordering(&items, &[seq.default_target], &elim, seq.default_target);
         emit_reordered(&mut f, &seq, &items, &ordering);
@@ -564,10 +569,15 @@ mod tests {
         // Find the fall-through block (ends in Return(tmp)) among the
         // replica blocks; it must contain the duplicated copy.
         let absorbed = f.blocks[r.entry.index()..].iter().any(|blk| {
-            blk.insts
-                .iter()
-                .any(|i| matches!(i, Inst::Copy { src: Operand::Imm(77), .. }))
-                && matches!(blk.term, Terminator::Return(_))
+            blk.insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::Copy {
+                        src: Operand::Imm(77),
+                        ..
+                    }
+                )
+            }) && matches!(blk.term, Terminator::Return(_))
         });
         assert!(absorbed, "tail of TD must be duplicated into the replica");
     }
@@ -592,10 +602,7 @@ mod tests {
         };
         let r = emit_reordered(&mut f, &seq, &items, &ordering);
         assert_eq!(r.branches, 0);
-        assert!(matches!(
-            f.block(r.entry).term,
-            Terminator::Jump(_)
-        ));
+        assert!(matches!(f.block(r.entry).term, Terminator::Jump(_)));
     }
 
     #[test]
@@ -658,7 +665,11 @@ mod tests {
         };
         let r = emit_reordered(&mut f, &seq, &items, &ordering);
         let first = f.block(r.entry);
-        let Some(Inst::Cmp { rhs: Operand::Imm(konst), .. }) = first.insts.last() else {
+        let Some(Inst::Cmp {
+            rhs: Operand::Imm(konst),
+            ..
+        }) = first.insts.last()
+        else {
             panic!("first chain block must start with a compare");
         };
         assert!(

@@ -22,6 +22,9 @@
 //!   (Section 8, Figure 10).
 //! * [`pipeline`] — the two-pass compile–profile–reorder driver
 //!   (Figure 2) and the static statistics the evaluation reports.
+//! * [`validate`] — stage-attributing translation validation: every
+//!   applied sequence is proven equivalent to its original chain (via
+//!   `br-analysis`), and a failure names the pipeline stage at fault.
 
 pub mod apply;
 pub mod common;
@@ -31,6 +34,7 @@ pub mod order;
 pub mod pipeline;
 pub mod profile;
 pub mod range;
+pub mod validate;
 
 pub use detect::{detect_sequences, DetectedCondition, DetectedSequence};
 pub use order::{select_ordering, OrderItem, Ordering};
@@ -39,3 +43,4 @@ pub use pipeline::{
 };
 pub use profile::{instrument_module, SequenceProfile};
 pub use range::{Form, Range};
+pub use validate::{validate_sequence, Stage, StageFailure, ValidationSummary};

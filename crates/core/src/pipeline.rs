@@ -12,10 +12,10 @@ use crate::common::{
 use crate::detect::DetectedSequence;
 use crate::order::{evaluate_cost, exhaustive_ordering, select_ordering, Ordering};
 use crate::profile::{detect_all, instrument_module, order_items, profiles_from_run};
+use crate::validate::{check_ordering, validate_sequence, Stage, StageFailure, ValidationSummary};
 
 /// Options for the reordering pipeline.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ReorderOptions {
     /// VM configuration for the training (profiling) run.
     pub vm: VmOptions,
@@ -31,8 +31,12 @@ pub struct ReorderOptions {
     /// baseline the paper cites, as an ablation of the value of real
     /// profile data.
     pub static_heuristic: bool,
+    /// Run the translation validator over every applied sequence and
+    /// record the result in [`ReorderReport::validation`]. Independent
+    /// of this flag, debug builds always validate (as an assertion), so
+    /// tests catch semantic breaks with a stage-naming diagnostic.
+    pub validate: bool,
 }
-
 
 /// What happened to one detected sequence.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,6 +96,9 @@ pub struct ReorderReport {
     pub module: Module,
     /// One record per detected sequence.
     pub sequences: Vec<SequenceRecord>,
+    /// Translation-validation summary; populated when
+    /// [`ReorderOptions::validate`] is set (and always in debug builds).
+    pub validation: Option<ValidationSummary>,
 }
 
 impl ReorderReport {
@@ -194,6 +201,8 @@ pub fn reorder_module_with_inputs(
     let profiles = profiles_from_run(&ids, &merged);
 
     // Pass 2: per-sequence selection and application.
+    let do_validate = options.validate || cfg!(debug_assertions);
+    let mut summary = ValidationSummary::default();
     let mut module = optimized.clone();
     let mut sequences = Vec::with_capacity(detections.len());
     for ((fid, seq), trained) in detections.iter().zip(&profiles) {
@@ -231,9 +240,32 @@ pub fn reorder_module_with_inputs(
         let explicit: Vec<usize> = (0..seq.conds.len()).collect();
         let eliminated: Vec<usize> = (seq.conds.len()..items.len()).collect();
         let original_cost = evaluate_cost(&items, &explicit, &eliminated);
+        if do_validate {
+            if let Err(problems) = check_ordering(&items, &ordering) {
+                summary.failures.push(StageFailure {
+                    stage: Stage::Order,
+                    func: *fid,
+                    head: Some(seq.head),
+                    details: problems,
+                });
+                sequences.push(record);
+                continue;
+            }
+        }
         if ordering.cost + 1e-9 < original_cost {
             let f = module.function_mut(*fid);
+            let pre = do_validate.then(|| f.clone());
+            let replica_start = f.blocks.len() as u32;
             let emitted = crate::apply::apply_reordering(f, seq, &items, &ordering);
+            if let Some(pre) = &pre {
+                match validate_sequence(*fid, pre, f, seq, replica_start) {
+                    Ok(proof) => {
+                        summary.proven += 1;
+                        summary.value_classes += proof.value_classes;
+                    }
+                    Err(failure) => summary.failures.push(failure),
+                }
+            }
             record.outcome = SequenceOutcome::Reordered {
                 new_branches: emitted.branches,
                 new_compares: emitted.compares,
@@ -279,7 +311,28 @@ pub fn reorder_module_with_inputs(
         sequences.push(record);
     }
     br_opt::cleanup(&mut module);
-    Ok(ReorderReport { module, sequences })
+    if do_validate {
+        // The clean-up pass must leave a well-formed module behind.
+        for (i, f) in module.functions.iter().enumerate() {
+            if let Err(e) = br_ir::verify_function(f, Some(&module)) {
+                summary.failures.push(StageFailure {
+                    stage: Stage::Cleanup,
+                    func: FuncId(i as u32),
+                    head: None,
+                    details: vec![e.to_string()],
+                });
+            }
+        }
+    }
+    debug_assert!(
+        summary.is_clean(),
+        "branch reordering broke the program:\n{summary}"
+    );
+    Ok(ReorderReport {
+        module,
+        sequences,
+        validation: do_validate.then_some(summary),
+    })
 }
 
 /// Detect common-successor sequences in every function, excluding blocks
@@ -308,10 +361,7 @@ fn detect_all_common(
 }
 
 /// Insert joint-outcome probes for common-successor sequences.
-fn instrument_common(
-    module: &mut Module,
-    detections: &[(FuncId, CommonSeq)],
-) -> Vec<br_ir::SeqId> {
+fn instrument_common(module: &mut Module, detections: &[(FuncId, CommonSeq)]) -> Vec<br_ir::SeqId> {
     let mut ids = Vec::with_capacity(detections.len());
     for (fid, seq) in detections {
         let seq_id = module.add_profile_plan(br_ir::ProfilePlan {
@@ -729,8 +779,7 @@ mod multi_input_tests {
         let m = build();
         let a = mode_input(b'A');
         let b = mode_input(b'B');
-        let report =
-            reorder_module_with_inputs(&m, &[&a, &b], &ReorderOptions::default()).unwrap();
+        let report = reorder_module_with_inputs(&m, &[&a, &b], &ReorderOptions::default()).unwrap();
         let never = report
             .sequences
             .iter()
@@ -760,8 +809,7 @@ mod multi_input_tests {
         // Merging two runs must select like one long run would (modulo
         // the mode byte read once per run, which only shifts counts by
         // a constant on the mode check).
-        let multi =
-            reorder_module_with_inputs(&m, &[&a, &b], &ReorderOptions::default()).unwrap();
+        let multi = reorder_module_with_inputs(&m, &[&a, &b], &ReorderOptions::default()).unwrap();
         assert!(multi.reordered_count() >= 2);
     }
 }

@@ -123,10 +123,7 @@ pub fn instrument_module(
 }
 
 /// Extract per-sequence profiles from a run of the instrumented module.
-pub fn profiles_from_run(
-    ids: &[SeqId],
-    run_profiles: &[Vec<u64>],
-) -> Vec<SequenceProfile> {
+pub fn profiles_from_run(ids: &[SeqId], run_profiles: &[Vec<u64>]) -> Vec<SequenceProfile> {
     ids.iter()
         .map(|id| SequenceProfile {
             counts: run_profiles[id.index()].clone(),

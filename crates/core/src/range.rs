@@ -235,14 +235,8 @@ mod tests {
     fn complement_cover_handles_extremes() {
         assert_eq!(complement_cover(&[Range::full()]), vec![]);
         assert_eq!(complement_cover(&[]), vec![Range::full()]);
-        assert_eq!(
-            complement_cover(&[Range::up_to(0)]),
-            vec![Range::from(1)]
-        );
-        assert_eq!(
-            complement_cover(&[Range::from(0)]),
-            vec![Range::up_to(-1)]
-        );
+        assert_eq!(complement_cover(&[Range::up_to(0)]), vec![Range::from(1)]);
+        assert_eq!(complement_cover(&[Range::from(0)]), vec![Range::up_to(-1)]);
         assert_eq!(
             complement_cover(&[Range::single(i64::MIN), Range::single(i64::MAX)]),
             vec![Range::new(i64::MIN + 1, i64::MAX - 1).unwrap()]
@@ -268,54 +262,66 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use br_workloads::rng::SmallRng;
 
     /// Random disjoint range sets.
-    fn disjoint_ranges() -> impl Strategy<Value = Vec<Range>> {
-        prop::collection::vec((-500i64..500, 0i64..20), 0..8).prop_map(|pairs| {
-            let mut out: Vec<Range> = Vec::new();
-            for (lo, w) in pairs {
-                let r = Range::new(lo, lo + w).unwrap();
-                if nonoverlapping(&r, &out) {
-                    out.push(r);
-                }
+    fn disjoint_ranges(rng: &mut SmallRng) -> Vec<Range> {
+        let n = rng.gen_range(0usize..8);
+        let mut out: Vec<Range> = Vec::new();
+        for _ in 0..n {
+            let lo = rng.gen_range(-500i64..500);
+            let w = rng.gen_range(0i64..20);
+            let r = Range::new(lo, lo + w).unwrap();
+            if nonoverlapping(&r, &out) {
+                out.push(r);
             }
-            out
-        })
+        }
+        out
     }
 
-    proptest! {
-        #[test]
-        fn complement_partitions_value_space(ranges in disjoint_ranges()) {
+    #[test]
+    fn complement_partitions_value_space() {
+        for seed in 0..256u64 {
+            let ranges = disjoint_ranges(&mut SmallRng::seed_from_u64(seed));
             let cover = complement_cover(&ranges);
             let mut all: Vec<Range> = ranges.clone();
             all.extend(cover.iter().copied());
             all.sort_unstable();
             // Starts at MIN, ends at MAX, contiguous without overlap.
-            prop_assert_eq!(all[0].lo, i64::MIN);
-            prop_assert_eq!(all.last().unwrap().hi, i64::MAX);
+            assert_eq!(all[0].lo, i64::MIN, "seed {seed}");
+            assert_eq!(all.last().unwrap().hi, i64::MAX, "seed {seed}");
             for w in all.windows(2) {
-                prop_assert_eq!(w[0].hi.wrapping_add(1), w[1].lo);
+                assert_eq!(w[0].hi.wrapping_add(1), w[1].lo, "seed {seed}");
             }
         }
+    }
 
-        #[test]
-        fn complement_is_minimal(ranges in disjoint_ranges()) {
-            // No two cover ranges are adjacent (else they could merge).
+    #[test]
+    fn complement_is_minimal() {
+        // No two cover ranges are adjacent (else they could merge).
+        for seed in 0..256u64 {
+            let ranges = disjoint_ranges(&mut SmallRng::seed_from_u64(seed));
             let cover = complement_cover(&ranges);
             let mut sorted = cover.clone();
             sorted.sort_unstable();
             for w in sorted.windows(2) {
-                prop_assert!(w[0].hi.wrapping_add(1) < w[1].lo);
+                assert!(w[0].hi.wrapping_add(1) < w[1].lo, "seed {seed}");
             }
         }
+    }
 
-        #[test]
-        fn sample_points_agree(ranges in disjoint_ranges(), v in -600i64..600) {
+    #[test]
+    fn sample_points_agree() {
+        for seed in 0..256u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ranges = disjoint_ranges(&mut rng);
             let cover = complement_cover(&ranges);
-            let in_explicit = ranges.iter().any(|r| r.contains(v));
-            let in_cover = cover.iter().any(|r| r.contains(v));
-            prop_assert_ne!(in_explicit, in_cover);
+            for _ in 0..32 {
+                let v = rng.gen_range(-600i64..600);
+                let in_explicit = ranges.iter().any(|r| r.contains(v));
+                let in_cover = cover.iter().any(|r| r.contains(v));
+                assert_ne!(in_explicit, in_cover, "seed {seed} value {v}");
+            }
         }
     }
 }

@@ -9,7 +9,21 @@
 //! brc prog.c --input t.txt --train p.txt --reorder --stats
 //! brc prog.c --set III --dump-ir > prog.ir        # show optimized IR
 //! brc prog.ir --from-ir --input data.txt          # run dumped IR directly
+//! brc lint prog.c                                 # static analysis report
+//! brc validate prog.c --train data.txt            # prove the reordering
+//! brc validate --suite                            # all 17 workloads x 3 sets
 //! ```
+//!
+//! Subcommands:
+//! * `lint FILE`     run the `br-analysis` lint passes (shadowed ranges,
+//!   statically decided branches, redundant compares) plus the full IR
+//!   verifier, and print every finding as a rustc-style diagnostic.
+//! * `validate FILE` run the reordering pipeline with the translation
+//!   validator on and report the equivalence proof per sequence.
+//! * `validate --suite` sweep all 17 paper workloads under heuristic
+//!   Sets I, II and III, proving every applied sequence equivalent, then
+//!   demonstrate that an intentionally corrupted replica is rejected
+//!   with a stage-naming diagnostic.
 //!
 //! Flags:
 //! * `--input FILE`  program stdin (default: empty)
@@ -21,11 +35,14 @@
 //! * `--stats`       print dynamic event counts
 //! * `--dump-ir`     print the final IR instead of running
 //! * `--trace N`     print the first N executed blocks to stderr
+//! * `--size N`      input bytes per workload in `validate --suite`
 
 use std::process::exit;
 
+use br_analysis::{has_errors, render, Diagnostic};
+use br_ir::Module;
 use br_minic::{compile, HeuristicSet, Options};
-use br_reorder::{reorder_module, ReorderOptions};
+use br_reorder::{reorder_module, ReorderOptions, SequenceOutcome};
 use br_vm::{run, VmOptions};
 
 struct Args {
@@ -45,7 +62,10 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: brc FILE.c [--input FILE] [--train FILE] [--set I|II|III] \
-         [--reorder] [--common] [--no-opt] [--stats] [--dump-ir] [--from-ir]"
+         [--reorder] [--common] [--no-opt] [--stats] [--dump-ir] [--from-ir]\n\
+       \x20      brc lint FILE.c [--set I|II|III] [--from-ir] [--no-opt]\n\
+       \x20      brc validate FILE.c [--input FILE] [--train FILE] [--set I|II|III]\n\
+       \x20      brc validate --suite [--size N]"
     );
     exit(2)
 }
@@ -57,8 +77,42 @@ fn read(path: &str) -> Vec<u8> {
     })
 }
 
-fn parse_args() -> Args {
-    let mut argv = std::env::args().skip(1);
+fn parse_set(s: Option<&str>) -> HeuristicSet {
+    match s {
+        Some("I") => HeuristicSet::SET_I,
+        Some("II") => HeuristicSet::SET_II,
+        Some("III") => HeuristicSet::SET_III,
+        _ => usage(),
+    }
+}
+
+/// Compile a mini-C source (or parse dumped IR) into a verified module.
+fn build_module(source: &str, set: HeuristicSet, from_ir: bool, no_opt: bool) -> Module {
+    let mut module = if from_ir {
+        match br_ir::parse_module(source) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("brc: IR parse error at {e}");
+                exit(1);
+            }
+        }
+    } else {
+        match compile(source, &Options::with_heuristics(set)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("brc: compile error at {e}");
+                exit(1);
+            }
+        }
+    };
+    if !no_opt && !from_ir {
+        br_opt::optimize(&mut module);
+    }
+    module
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Args {
+    let mut argv = argv.peekable();
     let mut source_path = None;
     let mut input = Vec::new();
     let mut train = None;
@@ -70,14 +124,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--input" => input = read(&argv.next().unwrap_or_else(|| usage())),
             "--train" => train = Some(read(&argv.next().unwrap_or_else(|| usage()))),
-            "--set" => {
-                set = match argv.next().as_deref() {
-                    Some("I") => HeuristicSet::SET_I,
-                    Some("II") => HeuristicSet::SET_II,
-                    Some("III") => HeuristicSet::SET_III,
-                    _ => usage(),
-                }
-            }
+            "--set" => set = parse_set(argv.next().as_deref()),
             "--reorder" => reorder = true,
             "--common" => {
                 reorder = true;
@@ -116,28 +163,205 @@ fn parse_args() -> Args {
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let mut module = if args.from_ir {
-        match br_ir::parse_module(&args.source) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("brc: IR parse error at {e}");
-                exit(1);
-            }
+/// `brc lint FILE` — full structural verification plus the analysis
+/// lint passes, every finding reported at once.
+fn cmd_lint(argv: impl Iterator<Item = String>) -> ! {
+    let args = parse_args(argv);
+    let module = build_module(&args.source, args.set, args.from_ir, args.no_opt);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    // Structural violations first (errors), then the lint findings
+    // (warnings). `verify_module_all` collects every violation rather
+    // than stopping at the first, so one run shows the complete list.
+    for e in br_ir::verify_module_all(&module) {
+        let mut d = Diagnostic::error("BR0001", &e.function, e.message.clone());
+        if let Some(b) = e.block {
+            d = d.at(b);
         }
-    } else {
-        match compile(&args.source, &Options::with_heuristics(args.set)) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("brc: compile error at {e}");
-                exit(1);
-            }
+        diags.push(d);
+    }
+    // The lint passes walk the CFG and assume it is well-formed, so
+    // they only run on a module that verified clean.
+    if diags.is_empty() {
+        diags.extend(br_analysis::lint_module(&module));
+    }
+    print!("{}", render(&diags));
+    exit(if has_errors(&diags) { 1 } else { 0 })
+}
+
+/// Run the pipeline on one module with validation forced on; print the
+/// proof summary and return whether everything checked out.
+fn validate_one(module: &Module, train: &[u8], label: &str, verbose: bool) -> bool {
+    let opts = ReorderOptions {
+        validate: true,
+        ..ReorderOptions::default()
+    };
+    let report = match reorder_module(module, train, &opts) {
+        Ok(r) => r,
+        Err(t) => {
+            println!("{label}: training run trapped: {t}");
+            return false;
         }
     };
-    if !args.no_opt && !args.from_ir {
-        br_opt::optimize(&mut module);
+    let summary = report
+        .validation
+        .expect("validation summary present when requested");
+    for s in &report.sequences {
+        if matches!(s.outcome, SequenceOutcome::NeverExecuted) && verbose {
+            println!(
+                "{label}: warning[BR0105]: sequence at {:?}/{:?} has zero profile \
+                 coverage — left in original order",
+                s.func, s.head
+            );
+        }
     }
+    println!("{label}: {summary}");
+    for f in &summary.failures {
+        println!("{label}: {f}");
+    }
+    summary.is_clean()
+}
+
+/// Reorder a known chain, corrupt one replica branch, and confirm the
+/// validator rejects it with a stage-naming diagnostic.
+fn corruption_demo() -> bool {
+    use br_ir::{BlockId, Cond, FuncBuilder, FuncId, Operand, Terminator};
+    use br_reorder::profile::{order_items, plan_ranges, SequenceProfile};
+
+    let mut b = FuncBuilder::new("demo");
+    let v = b.new_reg();
+    b.set_param_regs(vec![v]);
+    let e = b.entry();
+    let c2 = b.new_block();
+    let c3 = b.new_block();
+    let t1 = b.new_block();
+    let t2 = b.new_block();
+    let t3 = b.new_block();
+    let td = b.new_block();
+    b.cmp_branch(e, v, 10i64, Cond::Eq, t1, c2);
+    b.cmp_branch(c2, v, 20i64, Cond::Eq, t2, c3);
+    b.cmp_branch(c3, v, 5i64, Cond::Lt, t3, td);
+    for (t, val) in [(t1, 1i64), (t2, 2), (t3, 3), (td, 4)] {
+        b.set_term(t, Terminator::Return(Some(Operand::Imm(val))));
+    }
+    let original = b.finish();
+
+    let mut f = original.clone();
+    let seq = br_reorder::detect_sequences(&f).remove(0);
+    let n = plan_ranges(&seq).len();
+    let counts: Vec<u64> = (1..=n as u64).rev().collect();
+    let items = order_items(&seq, &SequenceProfile { counts });
+    let eliminable = br_reorder::pipeline::eliminable_items(&seq, &items);
+    let mut candidates: Vec<BlockId> = br_reorder::validate::sequence_exits(&seq)
+        .into_iter()
+        .collect();
+    candidates.sort();
+    let ordering =
+        br_reorder::select_ordering(&items, &candidates, &eliminable, seq.default_target);
+    let replica_start = f.blocks.len() as u32;
+    br_reorder::apply::apply_reordering(&mut f, &seq, &items, &ordering);
+    // The intentional break: swap taken/not-taken on the first replica
+    // branch, the kind of bug a wrong emit would introduce.
+    for bi in replica_start..f.blocks.len() as u32 {
+        if let Terminator::Branch {
+            taken, not_taken, ..
+        } = &mut f.block_mut(BlockId(bi)).term
+        {
+            if taken != not_taken {
+                std::mem::swap(taken, not_taken);
+                break;
+            }
+        }
+    }
+    match br_reorder::validate_sequence(FuncId(0), &original, &f, &seq, replica_start) {
+        Err(failure) => {
+            println!("corruption demo: rejected as intended:\n  {failure}");
+            true
+        }
+        Ok(_) => {
+            println!("corruption demo: ERROR — corrupted replica passed validation");
+            false
+        }
+    }
+}
+
+/// `brc validate --suite` — prove the reordering over the paper's 17
+/// workloads under all three heuristic sets, then show a corruption
+/// being caught.
+fn cmd_validate_suite(size: usize) -> ! {
+    let mut ok = true;
+    let mut proven = 0usize;
+    for (set_name, set) in [
+        ("I", HeuristicSet::SET_I),
+        ("II", HeuristicSet::SET_II),
+        ("III", HeuristicSet::SET_III),
+    ] {
+        for w in br_workloads::all() {
+            let module = build_module(w.source, set, false, false);
+            let label = format!("set {set_name} {}", w.name);
+            let opts = ReorderOptions {
+                validate: true,
+                ..ReorderOptions::default()
+            };
+            let report = match reorder_module(&module, &w.training_input(size), &opts) {
+                Ok(r) => r,
+                Err(t) => {
+                    println!("{label}: training run trapped: {t}");
+                    ok = false;
+                    continue;
+                }
+            };
+            let summary = report.validation.expect("validation requested");
+            println!("{label}: {summary}");
+            for fail in &summary.failures {
+                println!("{label}: {fail}");
+            }
+            proven += summary.proven;
+            ok &= summary.is_clean();
+        }
+    }
+    println!("suite: {proven} sequence proofs across 17 workloads x 3 heuristic sets");
+    ok &= corruption_demo();
+    exit(if ok { 0 } else { 1 })
+}
+
+/// `brc validate ...` argument dispatch.
+fn cmd_validate(argv: impl Iterator<Item = String>) -> ! {
+    let argv: Vec<String> = argv.collect();
+    if argv.iter().any(|a| a == "--suite") {
+        let mut size = 4096usize;
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if a == "--size" {
+                size = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+        }
+        cmd_validate_suite(size);
+    }
+    let args = parse_args(argv.into_iter());
+    let module = build_module(&args.source, args.set, args.from_ir, args.no_opt);
+    let train = args.train.as_deref().unwrap_or(&args.input);
+    let ok = validate_one(&module, train, "validate", true);
+    exit(if ok { 0 } else { 1 })
+}
+
+fn main() {
+    let mut argv = std::env::args().skip(1).peekable();
+    match argv.peek().map(String::as_str) {
+        Some("lint") => {
+            argv.next();
+            cmd_lint(argv);
+        }
+        Some("validate") => {
+            argv.next();
+            cmd_validate(argv);
+        }
+        _ => {}
+    }
+    let args = parse_args(argv);
+    let mut module = build_module(&args.source, args.set, args.from_ir, args.no_opt);
     if args.reorder {
         let train = args.train.as_deref().unwrap_or(&args.input);
         let opts = ReorderOptions {

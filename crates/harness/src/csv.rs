@@ -90,9 +90,8 @@ pub fn table7(suite: &SuiteResult) -> String {
 
 /// Table 8 as CSV (one row per program per heuristic set).
 pub fn table8(suites: &[SuiteResult]) -> String {
-    let mut out = String::from(
-        "set,program,static_pct,total_seqs,reordered_pct,avg_len_orig,avg_len_new\n",
-    );
+    let mut out =
+        String::from("set,program,static_pct,total_seqs,reordered_pct,avg_len_orig,avg_len_new\n");
     for suite in suites {
         for r in tables::table8_rows(suite) {
             let _ = writeln!(
@@ -136,9 +135,7 @@ mod tests {
         let config = ExperimentConfig::quick(HeuristicSet::SET_I);
         SuiteResult {
             heuristics: config.heuristics,
-            programs: vec![
-                run_workload(&br_workloads::by_name("wc").unwrap(), &config).unwrap(),
-            ],
+            programs: vec![run_workload(&br_workloads::by_name("wc").unwrap(), &config).unwrap()],
         }
     }
 

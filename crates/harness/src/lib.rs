@@ -128,8 +128,7 @@ impl ProgramResult {
 
     /// `%` change in static instruction count.
     pub fn static_pct(&self) -> f64 {
-        (self.reordered_static as f64 - self.original_static as f64)
-            / self.original_static as f64
+        (self.reordered_static as f64 - self.original_static as f64) / self.original_static as f64
             * 100.0
     }
 }
@@ -217,7 +216,10 @@ pub fn run_program_experiment(
 /// # Errors
 ///
 /// See [`run_program_experiment`].
-pub fn run_workload(w: &Workload, config: &ExperimentConfig) -> Result<ProgramResult, HarnessError> {
+pub fn run_workload(
+    w: &Workload,
+    config: &ExperimentConfig,
+) -> Result<ProgramResult, HarnessError> {
     run_program_experiment(
         w.name,
         w.source,

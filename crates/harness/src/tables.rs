@@ -15,15 +15,21 @@ fn fmt_pct(v: f64) -> String {
 
 /// Table 1: the range forms and their conditions (definitional).
 pub fn table1() -> String {
-    let mut out = String::from("Table 1: Ranges and Corresponding Range Conditions
-");
+    let mut out = String::from(
+        "Table 1: Ranges and Corresponding Range Conditions
+",
+    );
     let rows = [
         ("1", "v == c", "[c..c]", "beq (1 branch)"),
         ("2", "v <= c", "[MIN..c]", "ble (1 branch)"),
         ("3", "v >= c", "[c..MAX]", "bge (1 branch)"),
         ("4", "c1 <= v <= c2", "[c1..c2]", "blt + ble (2 branches)"),
     ];
-    let _ = writeln!(out, "{:<5} {:<16} {:<12} Branches", "Form", "Condition", "Range");
+    let _ = writeln!(
+        out,
+        "{:<5} {:<16} {:<12} Branches",
+        "Form", "Condition", "Range"
+    );
     for (form, cond, range, branches) in rows {
         let _ = writeln!(out, "{form:<5} {cond:<16} {range:<12} {branches}");
     }
@@ -32,8 +38,10 @@ pub fn table1() -> String {
 
 /// Table 2: the switch-translation heuristic sets (definitional).
 pub fn table2() -> String {
-    let mut out = String::from("Table 2: Heuristics Used for Translating switch Statements
-");
+    let mut out = String::from(
+        "Table 2: Heuristics Used for Translating switch Statements
+",
+    );
     let _ = writeln!(
         out,
         "{:<5} {:<28} {:<28} Linear Search",
@@ -146,8 +154,8 @@ pub fn table5_rows(suite: &SuiteResult) -> Vec<Table5Row> {
             let new = p.reordered.mispredictions(cfg);
             let pct = br_vm::pct_change(new, orig);
             let insts_saved = p.original.stats.insts as i64 - p.reordered.stats.insts as i64;
-            let ratio = (new > orig && insts_saved > 0)
-                .then(|| insts_saved as f64 / (new - orig) as f64);
+            let ratio =
+                (new > orig && insts_saved > 0).then(|| insts_saved as f64 / (new - orig) as f64);
             Table5Row {
                 program: p.name.clone(),
                 original_mispreds: orig,
@@ -230,8 +238,7 @@ pub fn table6_rows_for(suite: &SuiteResult, schemes: &[Scheme]) -> Vec<Table6Row
                 let orig = p.original.mispredictions(cfg);
                 let new = p.reordered.mispredictions(cfg);
                 pcts.push(br_vm::pct_change(new, orig));
-                let insts_saved =
-                    p.original.stats.insts as i64 - p.reordered.stats.insts as i64;
+                let insts_saved = p.original.stats.insts as i64 - p.reordered.stats.insts as i64;
                 if new > orig && insts_saved > 0 {
                     ratios.push(insts_saved as f64 / (new - orig) as f64);
                 }
@@ -443,7 +450,11 @@ pub fn figures(suite: &SuiteResult) -> String {
     for (title, hist) in [("Original", &orig), ("Reordered", &new)] {
         let _ = writeln!(out, "{title} sequence lengths (average {:.2}):", avg(hist));
         for &(len, count) in hist {
-            let _ = writeln!(out, "  {len:>3} branches: {:<40} {count}", "#".repeat(count.min(40) as usize));
+            let _ = writeln!(
+                out,
+                "  {len:>3} branches: {:<40} {count}",
+                "#".repeat(count.min(40) as usize)
+            );
         }
     }
     out
@@ -460,9 +471,7 @@ mod tests {
         let config = ExperimentConfig::quick(HeuristicSet::SET_III);
         let programs = ["wc", "grep", "sort"]
             .iter()
-            .map(|n| {
-                crate::run_workload(&br_workloads::by_name(n).unwrap(), &config).unwrap()
-            })
+            .map(|n| crate::run_workload(&br_workloads::by_name(n).unwrap(), &config).unwrap())
             .collect();
         SuiteResult {
             heuristics: config.heuristics,
@@ -503,7 +512,10 @@ mod tests {
         let rows = table4_rows(&suite);
         let wc = rows.iter().find(|r| r.program == "wc").unwrap();
         assert!(wc.insts_pct < 0.0, "wc should improve: {}", wc.insts_pct);
-        assert!(wc.branches_pct < wc.insts_pct, "branches drop more than insts");
+        assert!(
+            wc.branches_pct < wc.insts_pct,
+            "branches drop more than insts"
+        );
     }
 
     #[test]
@@ -519,7 +531,11 @@ mod tests {
         let total_orig: u32 = orig.iter().map(|&(_, c)| c).sum();
         let total_new: u32 = new.iter().map(|&(_, c)| c).sum();
         assert_eq!(total_orig, total_new);
-        let reordered: usize = suite.programs.iter().map(|p| p.report.reordered_count()).sum();
+        let reordered: usize = suite
+            .programs
+            .iter()
+            .map(|p| p.report.reordered_count())
+            .sum();
         assert_eq!(total_orig as usize, reordered);
     }
 }
@@ -542,16 +558,16 @@ pub struct AdvisorRow {
 /// suites and pick the winner per program — the "semi-static search
 /// method" decision the paper says profile data should drive.
 pub fn advisor_rows(suites: &[SuiteResult]) -> Vec<AdvisorRow> {
-    let programs = suites
-        .first()
-        .map(|s| s.programs.len())
-        .unwrap_or(0);
+    let programs = suites.first().map(|s| s.programs.len()).unwrap_or(0);
     (0..programs)
         .map(|i| {
             let mut insts = Vec::new();
             for s in suites {
                 let p = &s.programs[i];
-                insts.push((format!("{}/orig", s.heuristics.name), p.original.stats.insts));
+                insts.push((
+                    format!("{}/orig", s.heuristics.name),
+                    p.original.stats.insts,
+                ));
                 insts.push((
                     format!("{}/reordered", s.heuristics.name),
                     p.reordered.stats.insts,
@@ -575,9 +591,8 @@ pub fn advisor_rows(suites: &[SuiteResult]) -> Vec<AdvisorRow> {
 /// Render the advisor table.
 pub fn advisor(suites: &[SuiteResult]) -> String {
     let rows = advisor_rows(suites);
-    let mut out = String::from(
-        "Search-method advisor: cheapest (heuristic set, reordering) per program\n",
-    );
+    let mut out =
+        String::from("Search-method advisor: cheapest (heuristic set, reordering) per program\n");
     let _ = writeln!(
         out,
         "{:<8} {:>14} {:>14} {:>14} {:>16}",
@@ -621,9 +636,7 @@ mod advisor_tests {
                     heuristics: h,
                     programs: ["wc", "lex"]
                         .iter()
-                        .map(|n| {
-                            run_workload(&br_workloads::by_name(n).unwrap(), &config).unwrap()
-                        })
+                        .map(|n| run_workload(&br_workloads::by_name(n).unwrap(), &config).unwrap())
                         .collect(),
                 }
             })

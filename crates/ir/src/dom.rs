@@ -81,12 +81,7 @@ impl Dominators {
     }
 }
 
-fn intersect(
-    idom: &[Option<BlockId>],
-    order: &[usize],
-    mut a: BlockId,
-    mut b: BlockId,
-) -> BlockId {
+fn intersect(idom: &[Option<BlockId>], order: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while order[a.index()] > order[b.index()] {
             a = idom[a.index()].expect("processed block");

@@ -67,7 +67,7 @@ impl Block {
 }
 
 /// A function: a CFG of [`Block`]s plus register/frame bookkeeping.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Function {
     /// Human-readable name (used in diagnostics and printing).
     pub name: String,

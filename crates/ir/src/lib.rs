@@ -55,4 +55,6 @@ pub use inst::{BinOp, Callee, Cond, Inst, Intrinsic, Operand, Reg, Terminator, U
 pub use module::{FuncId, GlobalData, Module, PlanKind, ProfilePlan, SeqId};
 pub use parse::{parse_module, ParseIrError};
 pub use print::{print_function, print_module};
-pub use verify::{verify_function, verify_module, VerifyError};
+pub use verify::{
+    verify_function, verify_function_all, verify_module, verify_module_all, VerifyError,
+};

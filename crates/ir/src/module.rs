@@ -95,16 +95,14 @@ impl ProfilePlan {
     /// Index of the range containing `v`, if any (ranges plans only).
     pub fn range_containing(&self, v: i64) -> Option<usize> {
         match &self.kind {
-            PlanKind::Ranges(ranges) => {
-                ranges.iter().position(|&(lo, hi)| lo <= v && v <= hi)
-            }
+            PlanKind::Ranges(ranges) => ranges.iter().position(|&(lo, hi)| lo <= v && v <= hi),
             PlanKind::Outcomes(_) => None,
         }
     }
 }
 
 /// A compilation unit: functions, globals, and profiling plans.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Module {
     /// All functions; [`FuncId`] indexes this vector.
     pub functions: Vec<Function>,

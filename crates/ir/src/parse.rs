@@ -126,11 +126,8 @@ impl<'t> Parser<'t> {
     fn plan(&self, rest: &str) -> Result<ProfilePlan, ParseIrError> {
         // seqN func=F head=B ranges=[lo..hi, ...] | outcomes=N
         let fields: Vec<&str> = rest.split_whitespace().collect();
-        let get = |prefix: &str| -> Option<&str> {
-            fields
-                .iter()
-                .find_map(|f| f.strip_prefix(prefix))
-        };
+        let get =
+            |prefix: &str| -> Option<&str> { fields.iter().find_map(|f| f.strip_prefix(prefix)) };
         let func: u32 = get("func=")
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| self.err("plan missing func"))?;
@@ -367,7 +364,11 @@ impl<'t> Parser<'t> {
             "shl" => bin(BinOp::Shl),
             "shr" => bin(BinOp::Shr),
             "neg" | "not" => Ok(Inst::Un {
-                op: if mnemonic == "neg" { UnOp::Neg } else { UnOp::Not },
+                op: if mnemonic == "neg" {
+                    UnOp::Neg
+                } else {
+                    UnOp::Not
+                },
                 dst: self.reg(args.first().ok_or_else(|| self.err("un dst"))?)?,
                 src: self.operand(args.get(1).ok_or_else(|| self.err("un src"))?)?,
             }),

@@ -107,7 +107,9 @@ pub fn print_module(m: &Module) -> String {
                 let _ = writeln!(
                     out,
                     "plan seq{i} func={} head={} ranges=[{}]",
-                    plan.func.0, plan.head.0, rs.join(", ")
+                    plan.func.0,
+                    plan.head.0,
+                    rs.join(", ")
                 );
             }
             crate::module::PlanKind::Outcomes(n) => {

@@ -43,42 +43,61 @@ impl std::error::Error for VerifyError {}
 ///
 /// # Errors
 ///
-/// Returns the first violation found.
+/// Returns the first violation found. Use [`verify_function_all`] to
+/// collect every violation, e.g. for diagnostic listings.
 pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
-    let err = |block: Option<BlockId>, message: String| VerifyError {
-        function: f.name.clone(),
-        block,
-        message,
+    match verify_function_all(f, module).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Verify a single function and return *every* violation found, in a
+/// deterministic order (structural checks in block order, then the
+/// condition-code dataflow check). An empty vector means the function is
+/// well-formed. This is what `brc lint` uses to show the full list at
+/// once instead of fix-one-rerun loops.
+pub fn verify_function_all(f: &Function, module: Option<&Module>) -> Vec<VerifyError> {
+    let mut out = Vec::new();
+    let mut push = |block: Option<BlockId>, message: String| {
+        out.push(VerifyError {
+            function: f.name.clone(),
+            block,
+            message,
+        });
     };
     if f.entry.index() >= f.blocks.len() {
-        return Err(err(None, format!("entry {} out of range", f.entry)));
+        push(None, format!("entry {} out of range", f.entry));
+        // With an invalid entry the CFG walks below would be meaningless.
+        return out;
     }
     for &p in &f.param_regs {
         if p.0 >= f.num_regs {
-            return Err(err(None, format!("param reg {p} out of range")));
+            push(None, format!("param reg {p} out of range"));
         }
     }
+    let mut successors_ok = true;
     for id in f.block_ids() {
         let b = f.block(id);
         for inst in &b.insts {
             if let Some(d) = inst.def() {
                 if d.0 >= f.num_regs {
-                    return Err(err(Some(id), format!("def of out-of-range reg {d}")));
+                    push(Some(id), format!("def of out-of-range reg {d}"));
                 }
             }
             for u in inst.uses() {
                 if u.0 >= f.num_regs {
-                    return Err(err(Some(id), format!("use of out-of-range reg {u}")));
+                    push(Some(id), format!("use of out-of-range reg {u}"));
                 }
             }
             match inst {
                 Inst::FrameAddr { offset, .. } if *offset >= f.frame_size.max(1) => {
-                    return Err(err(Some(id), format!("frame offset {offset} out of range")));
+                    push(Some(id), format!("frame offset {offset} out of range"));
                 }
                 Inst::Call { callee, args, .. } => match callee {
                     Callee::Intrinsic(i) => {
                         if args.len() != i.arity() {
-                            return Err(err(
+                            push(
                                 Some(id),
                                 format!(
                                     "intrinsic {} wants {} args, got {}",
@@ -86,25 +105,26 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
                                     i.arity(),
                                     args.len()
                                 ),
-                            ));
+                            );
                         }
                     }
                     Callee::Func(fid) => {
                         if let Some(m) = module {
                             if fid.index() >= m.functions.len() {
-                                return Err(err(Some(id), format!("call to unknown {fid:?}")));
-                            }
-                            let callee_f = m.function(*fid);
-                            if callee_f.param_regs.len() != args.len() {
-                                return Err(err(
-                                    Some(id),
-                                    format!(
-                                        "call to {} wants {} args, got {}",
-                                        callee_f.name,
-                                        callee_f.param_regs.len(),
-                                        args.len()
-                                    ),
-                                ));
+                                push(Some(id), format!("call to unknown {fid:?}"));
+                            } else {
+                                let callee_f = m.function(*fid);
+                                if callee_f.param_regs.len() != args.len() {
+                                    push(
+                                        Some(id),
+                                        format!(
+                                            "call to {} wants {} args, got {}",
+                                            callee_f.name,
+                                            callee_f.param_regs.len(),
+                                            args.len()
+                                        ),
+                                    );
+                                }
                             }
                         }
                     }
@@ -112,7 +132,7 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
                 Inst::ProfileRanges { seq, .. } => {
                     if let Some(m) = module {
                         if seq.index() >= m.profile_plans.len() {
-                            return Err(err(Some(id), format!("unknown profile {seq:?}")));
+                            push(Some(id), format!("unknown profile {seq:?}"));
                         }
                     }
                 }
@@ -121,29 +141,34 @@ pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Veri
         }
         for s in b.term.successors() {
             if s.index() >= f.blocks.len() {
-                return Err(err(Some(id), format!("successor {s} out of range")));
+                push(Some(id), format!("successor {s} out of range"));
+                successors_ok = false;
             }
         }
         match &b.term {
             Terminator::Branch { .. } => {}
             Terminator::IndirectJump { index, targets } => {
                 if targets.is_empty() {
-                    return Err(err(Some(id), "empty indirect jump table".to_string()));
+                    push(Some(id), "empty indirect jump table".to_string());
                 }
                 if index.0 >= f.num_regs {
-                    return Err(err(Some(id), format!("ijmp index reg {index} OOR")));
+                    push(Some(id), format!("ijmp index reg {index} OOR"));
                 }
             }
             _ => {}
         }
         for u in b.term.uses() {
             if u.0 >= f.num_regs {
-                return Err(err(Some(id), format!("terminator uses OOR reg {u}")));
+                push(Some(id), format!("terminator uses OOR reg {u}"));
             }
         }
     }
-    verify_cc_defined(f)?;
-    Ok(())
+    // The cc dataflow check walks successor edges; only run it on a CFG
+    // whose edges all land in range.
+    if successors_ok {
+        collect_cc_errors(f, &mut out);
+    }
+    out
 }
 
 /// Effect of a block's body on the "condition codes defined" fact.
@@ -170,8 +195,9 @@ fn cc_effect(b: &crate::function::Block) -> CcEffect {
 }
 
 /// Forward must-analysis: every conditional branch must be reached with
-/// condition codes defined on all paths from the entry.
-fn verify_cc_defined(f: &Function) -> Result<(), VerifyError> {
+/// condition codes defined on all paths from the entry. Appends one error
+/// per offending branch block.
+fn collect_cc_errors(f: &Function, out: &mut Vec<VerifyError>) {
     let n = f.blocks.len();
     // cc state at block entry: true = definitely defined on all paths seen.
     // Optimistic initialization with iteration to a fixed point; start with
@@ -217,7 +243,7 @@ fn verify_cc_defined(f: &Function) -> Result<(), VerifyError> {
                 CcEffect::Transparent => entry_state[b.index()],
             };
             if !at_term {
-                return Err(VerifyError {
+                out.push(VerifyError {
                     function: f.name.clone(),
                     block: Some(b),
                     message: "conditional branch with undefined condition codes".to_string(),
@@ -225,7 +251,6 @@ fn verify_cc_defined(f: &Function) -> Result<(), VerifyError> {
             }
         }
     }
-    Ok(())
 }
 
 /// Verify every function of a module, plus module-level invariants
@@ -233,32 +258,46 @@ fn verify_cc_defined(f: &Function) -> Result<(), VerifyError> {
 ///
 /// # Errors
 ///
-/// Returns the first violation found.
+/// Returns the first violation found. Use [`verify_module_all`] to
+/// collect every violation across the whole module.
 pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
-    let module_err = |message: String| VerifyError {
-        function: "<module>".to_string(),
-        block: None,
-        message,
+    match verify_module_all(m).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Verify every function of a module and return *every* violation found:
+/// module-level invariants first, then per-function structural errors in
+/// function order. An empty vector means the module is well-formed.
+pub fn verify_module_all(m: &Module) -> Vec<VerifyError> {
+    let mut out = Vec::new();
+    let mut module_err = |message: String| {
+        out.push(VerifyError {
+            function: "<module>".to_string(),
+            block: None,
+            message,
+        });
     };
     if let Some(main) = m.main {
         if main.index() >= m.functions.len() {
-            return Err(module_err(format!("main {main:?} out of range")));
+            module_err(format!("main {main:?} out of range"));
         }
     }
     let mut cursor = 0i64;
     for g in &m.globals {
         if g.addr < cursor {
-            return Err(module_err(format!("global {} overlaps predecessor", g.name)));
+            module_err(format!("global {} overlaps predecessor", g.name));
         }
         if (g.init.len() as u32) > g.size {
-            return Err(module_err(format!("global {} init exceeds size", g.name)));
+            module_err(format!("global {} init exceeds size", g.name));
         }
-        cursor = g.addr + g.size as i64;
+        cursor = cursor.max(g.addr + g.size as i64);
     }
     for f in &m.functions {
-        verify_function(f, Some(m))?;
+        out.extend(verify_function_all(f, Some(m)));
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
@@ -372,5 +411,34 @@ mod tests {
         m.add_global("a", vec![1], 1);
         m.add_global("b", vec![2], 1);
         assert_eq!(verify_module(&m), Ok(()));
+    }
+
+    #[test]
+    fn collects_every_violation_at_once() {
+        // Three independent problems in one function: an out-of-range
+        // register def, a bad intrinsic arity, and a branch with
+        // undefined condition codes. `verify_function` reports only the
+        // first; `verify_function_all` reports all three.
+        use crate::inst::{Callee, Intrinsic};
+        let mut f = Function::new("multi");
+        let t = f.add_block(Block::new(Terminator::Return(None)));
+        let e = f.entry;
+        f.block_mut(e).insts.push(Inst::Copy {
+            dst: Reg(9),
+            src: Operand::Imm(0),
+        });
+        f.block_mut(e).insts.push(Inst::Call {
+            dst: None,
+            callee: Callee::Intrinsic(Intrinsic::PutChar),
+            args: vec![],
+        });
+        f.block_mut(e).term = Terminator::branch(Cond::Eq, t, t);
+        let all = verify_function_all(&f, None);
+        assert_eq!(all.len(), 3, "{all:?}");
+        assert!(all[0].message.contains("out-of-range"));
+        assert!(all[1].message.contains("putchar"));
+        assert!(all[2].message.contains("undefined condition codes"));
+        let first = verify_function(&f, None).unwrap_err();
+        assert_eq!(first, all[0]);
     }
 }

@@ -173,7 +173,9 @@ impl Lexer {
 
     fn char_literal(&mut self) -> Result<Tok, CompileError> {
         self.bump(); // opening quote
-        let c = self.bump().ok_or_else(|| self.err("unterminated character literal"))?;
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("unterminated character literal"))?;
         let value = if c == '\\' {
             let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
             match esc {

@@ -8,8 +8,7 @@
 //! module's data section.
 
 use br_ir::{
-    BinOp, BlockId, Callee, Cond, FuncBuilder, FuncId, Inst, Module, Operand, Reg, Terminator,
-    UnOp,
+    BinOp, BlockId, Callee, Cond, FuncBuilder, FuncId, Inst, Module, Operand, Reg, Terminator, UnOp,
 };
 
 use crate::ast::{AssignOp, BinaryOp, UnaryOp};
@@ -302,10 +301,7 @@ impl<'a> FnLowerer<'a> {
         let dir = self.b.new_block();
         // cmp v, mid: beq arm(mid); blt left-half; else right-half.
         self.b.cmp(self.cur, v, mid_val);
-        self.seal(
-            Terminator::branch(Cond::Eq, arm_blocks[mid_arm], dir),
-            dir,
-        );
+        self.seal(Terminator::branch(Cond::Eq, arm_blocks[mid_arm], dir), dir);
         // `dir` reuses the condition codes of the compare above.
         self.seal(Terminator::branch(Cond::Lt, left, right), left);
         self.binary_dispatch(v, &sorted[..mid], arm_blocks, default_block);
@@ -343,7 +339,13 @@ impl<'a> FnLowerer<'a> {
             targets[(val - min) as usize] = arm_blocks[arm];
         }
         let dead = self.b.new_block();
-        self.seal(Terminator::IndirectJump { index: idx, targets }, dead);
+        self.seal(
+            Terminator::IndirectJump {
+                index: idx,
+                targets,
+            },
+            dead,
+        );
     }
 
     // ----- conditions (control context) -----
@@ -582,8 +584,7 @@ impl<'a> FnLowerer<'a> {
             VarRef::LocalScalar(slot) => Operand::Reg(self.scalar_regs[slot]),
             VarRef::GlobalScalar(g) => {
                 let dst = self.temp();
-                self.b
-                    .load(self.cur, dst, self.global_addrs[g], 0i64);
+                self.b.load(self.cur, dst, self.global_addrs[g], 0i64);
                 Operand::Reg(dst)
             }
             VarRef::GlobalArray(_) | VarRef::LocalArray(_) => {

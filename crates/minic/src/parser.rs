@@ -331,7 +331,9 @@ impl<'t> Parser<'t> {
                     });
                 }
                 other => {
-                    return Err(self.err(format!("expected `case`, `default` or `}}`, found {other}")));
+                    return Err(
+                        self.err(format!("expected `case`, `default` or `}}`, found {other}"))
+                    );
                 }
             }
         }
@@ -590,7 +592,12 @@ mod tests {
     #[test]
     fn dangling_else_attaches_to_nearest_if() {
         let p = parse_ok("int main() { if (1) if (2) return 1; else return 2; return 0; }");
-        let Stmt::If { then_branch, else_branch, .. } = &p.functions[0].body[0] else {
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &p.functions[0].body[0]
+        else {
             panic!("shape");
         };
         assert!(else_branch.is_empty());

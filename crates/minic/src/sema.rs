@@ -39,9 +39,18 @@ pub enum CalleeRef {
 pub enum CExpr {
     Int(i64),
     Var(VarRef),
-    Index { array: VarRef, index: Box<CExpr> },
-    Call { callee: CalleeRef, args: Vec<CExpr> },
-    Unary { op: UnaryOp, operand: Box<CExpr> },
+    Index {
+        array: VarRef,
+        index: Box<CExpr>,
+    },
+    Call {
+        callee: CalleeRef,
+        args: Vec<CExpr>,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<CExpr>,
+    },
     Binary {
         op: BinaryOp,
         lhs: Box<CExpr>,
@@ -81,8 +90,14 @@ pub enum CStmt {
         then_branch: Vec<CStmt>,
         else_branch: Vec<CStmt>,
     },
-    While { cond: CExpr, body: Vec<CStmt> },
-    DoWhile { body: Vec<CStmt>, cond: CExpr },
+    While {
+        cond: CExpr,
+        body: Vec<CStmt>,
+    },
+    DoWhile {
+        body: Vec<CStmt>,
+        cond: CExpr,
+    },
     For {
         init: Option<CExpr>,
         cond: Option<CExpr>,
@@ -280,11 +295,7 @@ impl<'p> Context<'p> {
         })
     }
 
-    fn check_stmts(
-        &self,
-        stmts: &[Stmt],
-        st: &mut FuncState,
-    ) -> Result<Vec<CStmt>, CompileError> {
+    fn check_stmts(&self, stmts: &[Stmt], st: &mut FuncState) -> Result<Vec<CStmt>, CompileError> {
         st.scopes.push(HashMap::new());
         let result = self.check_stmts_in_current_scope(stmts, st);
         st.scopes.pop();
@@ -457,7 +468,10 @@ impl<'p> Context<'p> {
                 Some(_) => VarRef::GlobalArray(g),
             });
         }
-        Err(CompileError::new(pos, format!("undeclared variable `{name}`")))
+        Err(CompileError::new(
+            pos,
+            format!("undeclared variable `{name}`"),
+        ))
     }
 
     fn check_expr(&self, e: &Expr, st: &mut FuncState) -> Result<CExpr, CompileError> {
@@ -594,7 +608,11 @@ impl<'p> Context<'p> {
                 }
                 Ok(CTarget::Scalar(r))
             }
-            Expr::Index { array, index, pos: ipos } => {
+            Expr::Index {
+                array,
+                index,
+                pos: ipos,
+            } => {
                 let r = self.resolve_var(array, *ipos, st)?;
                 if matches!(r, VarRef::GlobalScalar(_) | VarRef::LocalScalar(_)) {
                     return Err(CompileError::new(
@@ -624,10 +642,8 @@ mod tests {
 
     #[test]
     fn resolves_scopes_with_shadowing() {
-        let p = check_src(
-            "int g; int main() { int x; x = 1; { int x; x = 2; } return x + g; }",
-        )
-        .unwrap();
+        let p = check_src("int g; int main() { int x; x = 1; { int x; x = 2; } return x + g; }")
+            .unwrap();
         assert_eq!(p.functions[p.main].num_scalars, 2);
     }
 
@@ -672,10 +688,12 @@ mod tests {
             .unwrap_err()
             .message
             .contains("undeclared function"));
-        assert!(check_src("int f(int a) { return a; } int main() { return f(); }")
-            .unwrap_err()
-            .message
-            .contains("takes 1 argument"));
+        assert!(
+            check_src("int f(int a) { return a; } int main() { return f(); }")
+                .unwrap_err()
+                .message
+                .contains("takes 1 argument")
+        );
         assert!(check_src("int main() { return getchar(7); }")
             .unwrap_err()
             .message
@@ -684,10 +702,12 @@ mod tests {
 
     #[test]
     fn intrinsics_cannot_be_redefined() {
-        assert!(check_src("int getchar() { return 0; } int main() { return 0; }")
-            .unwrap_err()
-            .message
-            .contains("built-in"));
+        assert!(
+            check_src("int getchar() { return 0; } int main() { return 0; }")
+                .unwrap_err()
+                .message
+                .contains("built-in")
+        );
         assert!(check_src("int putchar; int main() { return 0; }")
             .unwrap_err()
             .message
@@ -705,14 +725,8 @@ mod tests {
             .message
             .contains("continue"));
         // break legal in switch; continue is not.
-        assert!(check_src(
-            "int main() { switch (1) { case 1: break; } return 0; }"
-        )
-        .is_ok());
-        assert!(check_src(
-            "int main() { switch (1) { case 1: continue; } return 0; }"
-        )
-        .is_err());
+        assert!(check_src("int main() { switch (1) { case 1: break; } return 0; }").is_ok());
+        assert!(check_src("int main() { switch (1) { case 1: continue; } return 0; }").is_err());
         // continue legal in a loop containing the switch.
         assert!(check_src(
             "int main() { while (1) { switch (1) { case 1: continue; } } return 0; }"
@@ -722,22 +736,21 @@ mod tests {
 
     #[test]
     fn duplicate_cases_rejected() {
-        let e = check_src(
-            "int main() { switch (1) { case 3: break; case 3: break; } return 0; }",
-        )
-        .unwrap_err();
+        let e = check_src("int main() { switch (1) { case 3: break; case 3: break; } return 0; }")
+            .unwrap_err();
         assert!(e.message.contains("duplicate case"));
-        let e = check_src(
-            "int main() { switch (1) { default: break; default: break; } return 0; }",
-        )
-        .unwrap_err();
+        let e =
+            check_src("int main() { switch (1) { default: break; default: break; } return 0; }")
+                .unwrap_err();
         assert!(e.message.contains("default"));
     }
 
     #[test]
     fn duplicate_definitions_rejected() {
         assert!(check_src("int g; int g; int main() { return 0; }").is_err());
-        assert!(check_src("int f() {return 0;} int f() {return 0;} int main() { return 0; }").is_err());
+        assert!(
+            check_src("int f() {return 0;} int f() {return 0;} int main() { return 0; }").is_err()
+        );
         assert!(check_src("int f; int f() {return 0;} int main() { return 0; }").is_err());
         assert!(check_src("int main() { int x; int x; return 0; }").is_err());
     }
@@ -748,7 +761,12 @@ mod tests {
             "int main() { switch (2) { case 1: case 2: putint(1); break; default: putint(2); } return 0; }",
         )
         .unwrap();
-        let CStmt::Switch { cases, default, arm_bodies, .. } = &p.functions[p.main].body[0]
+        let CStmt::Switch {
+            cases,
+            default,
+            arm_bodies,
+            ..
+        } = &p.functions[p.main].body[0]
         else {
             panic!("shape");
         };

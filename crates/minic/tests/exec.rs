@@ -55,7 +55,10 @@ fn bitwise_and_shifts() {
 
 #[test]
 fn comparison_values_are_zero_one() {
-    assert_eq!(exec("int main() { return (3 < 5) + (5 < 3) * 10; }", b"").0, 1);
+    assert_eq!(
+        exec("int main() { return (3 < 5) + (5 < 3) * 10; }", b"").0,
+        1
+    );
     assert_eq!(exec("int main() { return (4 == 4) + (4 != 4); }", b"").0, 1);
 }
 
@@ -83,8 +86,14 @@ fn logical_not() {
 
 #[test]
 fn ternary_expression() {
-    assert_eq!(exec("int main() { int a; a = 7; return a > 5 ? a : -a; }", b"").0, 7);
-    assert_eq!(exec("int main() { int a; a = 3; return a > 5 ? a : -a; }", b"").0, -3);
+    assert_eq!(
+        exec("int main() { int a; a = 7; return a > 5 ? a : -a; }", b"").0,
+        7
+    );
+    assert_eq!(
+        exec("int main() { int a; a = 3; return a > 5 ? a : -a; }", b"").0,
+        -3
+    );
 }
 
 #[test]
@@ -99,11 +108,19 @@ fn compound_assignment() {
 #[test]
 fn while_and_do_while() {
     assert_eq!(
-        exec("int main() { int i; int s; i=0; s=0; while (i<5) { s += i; i += 1; } return s; }", b"").0,
+        exec(
+            "int main() { int i; int s; i=0; s=0; while (i<5) { s += i; i += 1; } return s; }",
+            b""
+        )
+        .0,
         10
     );
     assert_eq!(
-        exec("int main() { int i; i=9; do { i += 1; } while (i < 5); return i; }", b"").0,
+        exec(
+            "int main() { int i; i=9; do { i += 1; } while (i < 5); return i; }",
+            b""
+        )
+        .0,
         10,
         "do-while body runs at least once"
     );
@@ -187,7 +204,10 @@ fn io_echo_upper() {
 
 #[test]
 fn putint_format() {
-    let (_, out) = exec("int main() { putint(-42); putint(0); putint(7); return 0; }", b"");
+    let (_, out) = exec(
+        "int main() { putint(-42); putint(0); putint(7); return 0; }",
+        b"",
+    );
     assert_eq!(out, b"-42\n0\n7\n");
 }
 
@@ -242,7 +262,11 @@ fn switch_same_semantics_under_all_heuristic_sets() {
     let expected = switch_expected(input);
     for h in HeuristicSet::ALL {
         let (exit, _) = exec_with(switch_program(), input, &Options::with_heuristics(h));
-        assert_eq!(exit, expected, "heuristic set {} broke switch semantics", h.name);
+        assert_eq!(
+            exit, expected,
+            "heuristic set {} broke switch semantics",
+            h.name
+        );
     }
 }
 
@@ -309,7 +333,10 @@ fn empty_input_programs() {
 
 #[test]
 fn global_initializers_apply() {
-    assert_eq!(exec("int a = 3; int b = -4; int main() { return a * b; }", b"").0, -12);
+    assert_eq!(
+        exec("int a = 3; int b = -4; int main() { return a * b; }", b"").0,
+        -12
+    );
 }
 
 #[test]

@@ -101,10 +101,13 @@ fn indirect_jump_tables_have_bounds_checks() {
     };
     assert_eq!(targets.len(), 8);
     // A subtraction normalizes the scrutinee before the jump.
-    assert!(f.blocks[ijmp_block]
-        .insts
-        .iter()
-        .any(|i| matches!(i, Inst::Bin { op: br_ir::BinOp::Sub, .. })));
+    assert!(f.blocks[ijmp_block].insts.iter().any(|i| matches!(
+        i,
+        Inst::Bin {
+            op: br_ir::BinOp::Sub,
+            ..
+        }
+    )));
 }
 
 #[test]

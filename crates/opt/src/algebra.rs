@@ -50,9 +50,7 @@ pub fn simplify_algebra(f: &mut Function) -> bool {
                 (BinOp::Sub | BinOp::Xor, a, b) if a == b && a.reg().is_some() => {
                     Some(dst_copy(Operand::Imm(0)))
                 }
-                (BinOp::And | BinOp::Or, a, b) if a == b && a.reg().is_some() => {
-                    Some(dst_copy(a))
-                }
+                (BinOp::And | BinOp::Or, a, b) if a == b && a.reg().is_some() => Some(dst_copy(a)),
                 // Strength reduction: multiply by a power of two.
                 (BinOp::Mul, x, Operand::Imm(k)) | (BinOp::Mul, Operand::Imm(k), x)
                     if k > 1 && (k & (k - 1)) == 0 =>
@@ -118,7 +116,10 @@ mod tests {
         ] {
             assert_eq!(
                 one_inst(op, x, rhs),
-                Inst::Copy { dst: Reg(1), src: x },
+                Inst::Copy {
+                    dst: Reg(1),
+                    src: x
+                },
                 "{op:?}"
             );
         }

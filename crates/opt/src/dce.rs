@@ -76,11 +76,7 @@ fn cc_needed_on_exit(f: &Function) -> Vec<bool> {
                 .insts
                 .iter()
                 .any(|i| matches!(i, Inst::Cmp { .. } | Inst::Call { .. }));
-            let succ_needs = block
-                .term
-                .successors()
-                .iter()
-                .any(|s| needs_in[s.index()]);
+            let succ_needs = block.term.successors().iter().any(|s| needs_in[s.index()]);
             let out = matches!(block.term, Terminator::Branch { .. }) || succ_needs;
             let inn = if has_cc_writer { false } else { out };
             if out != needs_out[b] || inn != needs_in[b] {
@@ -114,7 +110,8 @@ pub fn remove_unreachable_blocks(f: &mut Function) -> bool {
     let mut old_blocks = std::mem::take(&mut f.blocks);
     for (i, mut b) in old_blocks.drain(..).enumerate() {
         if map[i].is_some() {
-            b.term.map_successors(|s| map[s.index()].expect("live successor"));
+            b.term
+                .map_successors(|s| map[s.index()].expect("live successor"));
             f.blocks.push(b);
         }
     }
@@ -232,10 +229,7 @@ mod tests {
         assert!(remove_unreachable_blocks(&mut f));
         assert_eq!(f.blocks.len(), 2);
         assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(1)));
-        assert_eq!(
-            f.blocks[1].term,
-            Terminator::Return(Some(Operand::Imm(7)))
-        );
+        assert_eq!(f.blocks[1].term, Terminator::Return(Some(Operand::Imm(7))));
         assert!(!remove_unreachable_blocks(&mut f), "idempotent");
         let _ = Reg(0);
     }

@@ -51,7 +51,9 @@ pub fn fold_constants(f: &mut Function) -> bool {
                         subst(a, &consts, &mut changed);
                     }
                 }
-                Inst::FrameAddr { .. } | Inst::ProfileRanges { .. } | Inst::ProfileOutcomes { .. } => {}
+                Inst::FrameAddr { .. }
+                | Inst::ProfileRanges { .. }
+                | Inst::ProfileOutcomes { .. } => {}
             }
             // Fold fully-constant operations into copies.
             if let Inst::Bin {
@@ -199,6 +201,12 @@ mod tests {
         let mut f = b.finish();
         fold_constants(&mut f);
         // x is no longer the constant 5 after the call.
-        assert!(matches!(f.blocks[0].insts[2], Inst::Bin { lhs: Operand::Reg(_), .. }));
+        assert!(matches!(
+            f.blocks[0].insts[2],
+            Inst::Bin {
+                lhs: Operand::Reg(_),
+                ..
+            }
+        ));
     }
 }

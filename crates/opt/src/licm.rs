@@ -64,13 +64,7 @@ pub fn hoist_loop_invariants(f: &mut Function) -> bool {
             let block = f.block_mut(b);
             let mut kept = Vec::with_capacity(block.insts.len());
             for inst in block.insts.drain(..) {
-                let hoistable = is_hoistable(
-                    &inst,
-                    lp,
-                    &defined_in_loop,
-                    &def_count,
-                    &use_blocks,
-                );
+                let hoistable = is_hoistable(&inst, lp, &defined_in_loop, &def_count, &use_blocks);
                 if hoistable {
                     hoisted.push(inst);
                 } else {
@@ -191,12 +185,7 @@ mod tests {
             .blocks
             .iter()
             .take(4) // original blocks
-            .map(|b| {
-                b.insts
-                    .iter()
-                    .filter(|i| i.def() == Some(t))
-                    .count()
-            })
+            .map(|b| b.insts.iter().filter(|i| i.def() == Some(t)).count())
             .sum();
         assert_eq!(muls_in_loop, 0, "multiply must have left the loop body");
     }

@@ -58,10 +58,7 @@ mod tests {
         let mut f = b.finish();
         assert!(merge_blocks(&mut f));
         assert_eq!(f.blocks[0].insts.len(), 3);
-        assert_eq!(
-            f.blocks[0].term,
-            Terminator::Return(Some(Operand::Reg(x)))
-        );
+        assert_eq!(f.blocks[0].term, Terminator::Return(Some(Operand::Reg(x))));
     }
 
     #[test]

@@ -170,11 +170,7 @@ pub fn allocate_registers(f: &mut Function, opts: &RegAllocOptions) -> Option<Re
     }
 
     // ----- rewrite with spill code -----
-    let scratch = [
-        Reg(allocatable),
-        Reg(allocatable + 1),
-        Reg(allocatable + 2),
-    ];
+    let scratch = [Reg(allocatable), Reg(allocatable + 1), Reg(allocatable + 2)];
     let mut slot_of: HashMap<Reg, u32> = HashMap::new();
     for &v in &spilled {
         slot_of.insert(v, f.frame_size);
@@ -198,7 +194,10 @@ pub fn allocate_registers(f: &mut Function, opts: &RegAllocOptions) -> Option<Re
                     }
                     let s = scratch[next_scratch];
                     next_scratch += 1;
-                    out.push(Inst::FrameAddr { dst: s, offset: slot });
+                    out.push(Inst::FrameAddr {
+                        dst: s,
+                        offset: slot,
+                    });
                     out.push(Inst::Load {
                         dst: s,
                         base: Operand::Reg(s),
@@ -259,7 +258,10 @@ pub fn allocate_registers(f: &mut Function, opts: &RegAllocOptions) -> Option<Re
                 }
                 let s = scratch[next_scratch];
                 next_scratch += 1;
-                out.push(Inst::FrameAddr { dst: s, offset: slot });
+                out.push(Inst::FrameAddr {
+                    dst: s,
+                    offset: slot,
+                });
                 out.push(Inst::Load {
                     dst: s,
                     base: Operand::Reg(s),
@@ -286,11 +288,7 @@ pub fn allocate_registers(f: &mut Function, opts: &RegAllocOptions) -> Option<Re
     })
 }
 
-fn rewrite_operands(
-    inst: &mut Inst,
-    map_use: &dyn Fn(Reg) -> Reg,
-    map_def: &dyn Fn(Reg) -> Reg,
-) {
+fn rewrite_operands(inst: &mut Inst, map_use: &dyn Fn(Reg) -> Reg, map_def: &dyn Fn(Reg) -> Reg) {
     let mop = |op: &mut Operand| {
         if let Operand::Reg(r) = op {
             *r = map_use(*r);
@@ -378,11 +376,8 @@ mod tests {
 
     fn check_alloc(mut m: Module, num_regs: u32) -> (i64, i64, RegAllocResult) {
         let before = run(&m, b"", &VmOptions::default()).unwrap().exit;
-        let result = allocate_registers(
-            &mut m.functions[0],
-            &RegAllocOptions { num_regs },
-        )
-        .expect("allocatable");
+        let result = allocate_registers(&mut m.functions[0], &RegAllocOptions { num_regs })
+            .expect("allocatable");
         br_ir::verify_function(&m.functions[0], None).unwrap();
         assert!(m.functions[0].num_regs == num_regs);
         // Every register mentioned is a machine register.

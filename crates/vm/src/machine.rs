@@ -120,16 +120,13 @@ pub fn run(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome
             let real: Vec<&Inst> = b
                 .insts
                 .iter()
-                .filter(|i| {
-                    !matches!(i, Inst::ProfileRanges { .. } | Inst::ProfileOutcomes { .. })
-                })
+                .filter(|i| !matches!(i, Inst::ProfileRanges { .. } | Inst::ProfileOutcomes { .. }))
                 .collect();
             let fillable = match &b.term {
                 Terminator::Branch { .. } => {
                     // The final compare feeds the branch and cannot sit
                     // in its own delay slot.
-                    real.len() >= 2
-                        || (real.len() == 1 && !matches!(real[0], Inst::Cmp { .. }))
+                    real.len() >= 2 || (real.len() == 1 && !matches!(real[0], Inst::Cmp { .. }))
                 }
                 _ => !real.is_empty(),
             };
@@ -377,7 +374,9 @@ fn exec_intrinsic(state: &mut State<'_>, i: Intrinsic, args: &[i64]) -> Result<i
             Ok(args[0])
         }
         Intrinsic::PutInt => {
-            state.output.extend_from_slice(args[0].to_string().as_bytes());
+            state
+                .output
+                .extend_from_slice(args[0].to_string().as_bytes());
             state.output.push(b'\n');
             Ok(args[0])
         }
@@ -605,7 +604,13 @@ mod tests {
         let v = callee.new_reg();
         let slot = callee.alloc_frame(1);
         let e = callee.entry();
-        callee.push(e, Inst::FrameAddr { dst: addr, offset: slot });
+        callee.push(
+            e,
+            Inst::FrameAddr {
+                dst: addr,
+                offset: slot,
+            },
+        );
         callee.load(e, v, addr, 0i64);
         callee.store(e, addr, 0i64, 99i64);
         callee.set_term(e, Terminator::Return(Some(Operand::Reg(v))));
@@ -686,7 +691,13 @@ mod tests {
         let x = b.new_reg();
         let e = b.entry();
         b.copy(e, x, 42i64);
-        b.push(e, Inst::ProfileRanges { seq: SeqId(0), var: x });
+        b.push(
+            e,
+            Inst::ProfileRanges {
+                seq: SeqId(0),
+                var: x,
+            },
+        );
         b.set_term(e, Terminator::Return(None));
         let mut m = module_of(b.finish());
         m.add_profile_plan(br_ir::ProfilePlan {
@@ -705,8 +716,14 @@ mod tests {
         let m = loop_sum(100);
         let opts = VmOptions {
             predictors: vec![
-                PredictorConfig { scheme: Scheme::TwoBit, entries: 64 },
-                PredictorConfig { scheme: Scheme::OneBit, entries: 64 },
+                PredictorConfig {
+                    scheme: Scheme::TwoBit,
+                    entries: 64,
+                },
+                PredictorConfig {
+                    scheme: Scheme::OneBit,
+                    entries: 64,
+                },
             ],
             ..VmOptions::default()
         };
@@ -722,7 +739,10 @@ mod tests {
     #[test]
     fn no_main_is_an_error() {
         let m = Module::new();
-        assert_eq!(run(&m, b"", &VmOptions::default()).unwrap_err(), Trap::NoMain);
+        assert_eq!(
+            run(&m, b"", &VmOptions::default()).unwrap_err(),
+            Trap::NoMain
+        );
     }
 }
 
@@ -752,10 +772,7 @@ mod trace_tests {
             ..VmOptions::default()
         };
         let out = run(&m, b"", &opts).unwrap();
-        assert_eq!(
-            out.trace,
-            vec!["f0:b0", "f0:b1", "f0:b2", "f0:b1", "f0:b2"]
-        );
+        assert_eq!(out.trace, vec!["f0:b0", "f0:b1", "f0:b2", "f0:b1", "f0:b2"]);
         // Tracing off by default.
         let out = run(&m, b"", &VmOptions::default()).unwrap();
         assert!(out.trace.is_empty());
@@ -780,8 +797,8 @@ mod delay_slot_tests {
         b.cmp_branch(e, x, 0i64, Cond::Eq, t, n);
         b.set_term(t, Terminator::Return(None)); // empty: stalls
         b.set_term(n, Terminator::Return(None)); // empty: stalls
-        // Wait: entry has copy + cmp -> fillable. The taken return block
-        // is empty -> stall.
+                                                 // Wait: entry has copy + cmp -> fillable. The taken return block
+                                                 // is empty -> stall.
         let mut m = Module::new();
         m.main = Some(m.add_function(b.finish()));
         let out = run(&m, b"", &VmOptions::default()).unwrap();

@@ -29,7 +29,10 @@ impl fmt::Display for Trap {
             Trap::DivideByZero => write!(f, "division by zero"),
             Trap::MemoryOutOfBounds { addr } => write!(f, "memory access out of bounds at {addr}"),
             Trap::IndirectJumpOutOfBounds { index, table_len } => {
-                write!(f, "indirect jump index {index} outside table of {table_len}")
+                write!(
+                    f,
+                    "indirect jump index {index} outside table of {table_len}"
+                )
             }
             Trap::UndefinedConditionCodes => {
                 write!(f, "conditional branch with undefined condition codes")

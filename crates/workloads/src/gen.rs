@@ -1,7 +1,6 @@
 //! Deterministic input generators with ASCII-realistic distributions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Shape of generated input.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +48,7 @@ impl InputSpec {
     /// Generate roughly `size` bytes (the final line is completed, so
     /// output may run slightly over).
     pub fn generate(&self, size: usize) -> Vec<u8> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut out = Vec::with_capacity(size + 80);
         match self.kind {
             InputKind::Prose => prose(&mut rng, &mut out, size, 0.01, false),
@@ -69,27 +68,31 @@ impl InputSpec {
 }
 
 /// English-letter-ish frequencies, skewed like real text.
-fn letter(rng: &mut StdRng) -> u8 {
+fn letter(rng: &mut SmallRng) -> u8 {
     const WEIGHTED: &[u8] = b"eeeeeeeeeeeetttttttttaaaaaaaaooooooiiiiiinnnnnnssssss\
         hhhhhrrrrrrddddlllluuucccmmmwwfffggyyppbbvkjxqz";
     WEIGHTED[rng.gen_range(0..WEIGHTED.len())]
 }
 
-fn uniform_letter(rng: &mut StdRng) -> u8 {
-    b'a' + rng.gen_range(0..26)
+fn uniform_letter(rng: &mut SmallRng) -> u8 {
+    b'a' + rng.gen_range(0u8..26)
 }
 
-fn word(rng: &mut StdRng, out: &mut Vec<u8>, hyphen_prob: f64) {
+fn word(rng: &mut SmallRng, out: &mut Vec<u8>, hyphen_prob: f64) {
     word_with(rng, out, hyphen_prob, false)
 }
 
-fn word_with(rng: &mut StdRng, out: &mut Vec<u8>, hyphen_prob: f64, uniform: bool) {
+fn word_with(rng: &mut SmallRng, out: &mut Vec<u8>, hyphen_prob: f64, uniform: bool) {
     let len = rng.gen_range(2..9);
     for i in 0..len {
         if i > 0 && i + 1 < len && rng.gen_bool(hyphen_prob) {
             out.push(b'-');
         }
-        let mut c = if uniform { uniform_letter(rng) } else { letter(rng) };
+        let mut c = if uniform {
+            uniform_letter(rng)
+        } else {
+            letter(rng)
+        };
         if i == 0 && rng.gen_bool(0.08) {
             c = c.to_ascii_uppercase();
         }
@@ -97,7 +100,7 @@ fn word_with(rng: &mut StdRng, out: &mut Vec<u8>, hyphen_prob: f64, uniform: boo
     }
 }
 
-fn prose(rng: &mut StdRng, out: &mut Vec<u8>, size: usize, hyphen_prob: f64, uniform: bool) {
+fn prose(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize, hyphen_prob: f64, uniform: bool) {
     let mut col = 0usize;
     while out.len() < size {
         word_with(rng, out, hyphen_prob, uniform);
@@ -120,7 +123,7 @@ fn prose(rng: &mut StdRng, out: &mut Vec<u8>, size: usize, hyphen_prob: f64, uni
     out.push(b'\n');
 }
 
-fn code(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+fn code(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     const KEYWORDS: &[&[u8]] = &[
         b"int", b"if", b"else", b"while", b"for", b"return", b"break", b"case", b"switch",
     ];
@@ -167,12 +170,12 @@ fn code(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
     }
 }
 
-fn push_number(rng: &mut StdRng, out: &mut Vec<u8>) {
+fn push_number(rng: &mut SmallRng, out: &mut Vec<u8>) {
     let n: u32 = rng.gen_range(0..10_000);
     out.extend_from_slice(n.to_string().as_bytes());
 }
 
-fn troff(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+fn troff(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     const REQUESTS: &[&[u8]] = &[b".PP", b".SH", b".TP", b".br", b".sp", b".in +2"];
     while out.len() < size {
         if rng.gen_bool(0.18) {
@@ -194,7 +197,7 @@ fn troff(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
     }
 }
 
-fn records(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+fn records(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     while out.len() < size {
         match rng.gen_range(0..8) {
             0 => out.push(b'#'),
@@ -217,7 +220,7 @@ fn records(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
     }
 }
 
-fn keyed(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+fn keyed(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     while out.len() < size {
         let key: u32 = rng.gen_range(0..100);
         out.extend_from_slice(key.to_string().as_bytes());
@@ -227,7 +230,7 @@ fn keyed(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
     }
 }
 
-fn paired(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+fn paired(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     while out.len() < size {
         let mut line = Vec::new();
         let words = rng.gen_range(3..8);
@@ -253,7 +256,7 @@ fn paired(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
     }
 }
 
-fn short_lines(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+fn short_lines(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     while out.len() < size {
         word(rng, out, 0.0);
         if rng.gen_bool(0.25) {
@@ -264,7 +267,7 @@ fn short_lines(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
     }
 }
 
-fn grammar(rng: &mut StdRng, out: &mut Vec<u8>, size: usize) {
+fn grammar(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     while out.len() < size {
         word(rng, out, 0.0);
         out.extend_from_slice(b"\n    : ");
@@ -339,10 +342,7 @@ mod tests {
         let bytes = InputSpec::new(InputKind::PairedLines, 5).generate(4_000);
         let lines: Vec<&str> = std::str::from_utf8(&bytes).unwrap().lines().collect();
         assert_eq!(lines.len() % 2, 0);
-        let same = lines
-            .chunks(2)
-            .filter(|p| p[0] == p[1])
-            .count();
+        let same = lines.chunks(2).filter(|p| p[0] == p[1]).count();
         assert!(same > 0 && same < lines.len() / 2);
     }
 

@@ -18,6 +18,7 @@
 //! ```
 
 mod gen;
+pub mod rng;
 pub mod synth;
 
 pub use gen::{InputKind, InputSpec};
@@ -189,8 +190,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "awk", "cb", "cpp", "ctags", "deroff", "grep", "hyphen", "join", "lex",
-                "nroff", "pr", "ptx", "sdiff", "sed", "sort", "wc", "yacc"
+                "awk", "cb", "cpp", "ctags", "deroff", "grep", "hyphen", "join", "lex", "nroff",
+                "pr", "ptx", "sdiff", "sed", "sort", "wc", "yacc"
             ]
         );
     }

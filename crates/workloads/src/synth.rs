@@ -13,8 +13,7 @@
 //! about: if/else chains and switches over a read character, plus
 //! arithmetic noise, nested control flow, and helper function calls.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Configuration for the synthesizer.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +39,7 @@ impl Default for SynthConfig {
 /// Generate a random, valid, terminating mini-C program from `seed`.
 pub fn generate_program(seed: u64, config: &SynthConfig) -> String {
     let mut g = Synth {
-        rng: StdRng::seed_from_u64(seed),
+        rng: SmallRng::seed_from_u64(seed),
         config: *config,
         out: String::new(),
         indent: 1,
@@ -50,7 +49,7 @@ pub fn generate_program(seed: u64, config: &SynthConfig) -> String {
 }
 
 struct Synth {
-    rng: StdRng,
+    rng: SmallRng,
     config: SynthConfig,
     out: String,
     indent: usize,
@@ -125,7 +124,7 @@ impl Synth {
                 // assignment or increment/decrement
                 let v = self.local();
                 if self.rng.gen_bool(0.2) {
-                    let op = ["++", "--"][self.rng.gen_range(0..2)];
+                    let op = ["++", "--"][self.rng.gen_range(0usize..2)];
                     if self.rng.gen_bool(0.5) {
                         self.line(&format!("{v}{op};"));
                     } else {
@@ -133,7 +132,7 @@ impl Synth {
                     }
                 } else {
                     let e = self.expr(2);
-                    let op = ["=", "+=", "-=", "*="][self.rng.gen_range(0..4)];
+                    let op = ["=", "+=", "-=", "*="][self.rng.gen_range(0usize..4)];
                     self.line(&format!("{v} {op} {e};"));
                 }
             }
@@ -142,10 +141,7 @@ impl Synth {
                 if self.rng.gen_bool(0.5) {
                     let idx = self.expr(1);
                     let e = self.expr(1);
-                    self.line(&format!(
-                        "{ARRAY}[({idx}) & {}] += {e};",
-                        ARRAY_SIZE - 1
-                    ));
+                    self.line(&format!("{ARRAY}[({idx}) & {}] += {e};", ARRAY_SIZE - 1));
                 } else {
                     let e = self.expr(1);
                     self.line(&format!("gsum += {e};"));
@@ -255,11 +251,7 @@ impl Synth {
                 0 => format!("{}", self.rng.gen_range(-50..200)),
                 1 => "c".to_string(),
                 2 => self.local(),
-                _ => format!(
-                    "{ARRAY}[({}) & {}]",
-                    self.local(),
-                    ARRAY_SIZE - 1
-                ),
+                _ => format!("{ARRAY}[({}) & {}]", self.local(), ARRAY_SIZE - 1),
             };
         }
         let a = self.expr(depth - 1);

@@ -73,8 +73,8 @@ fn every_kernel_has_detectable_sequences_under_set_iii() {
     // Set III (always linear search) maximizes reordering opportunity;
     // each kernel must expose at least one reorderable sequence.
     for w in all() {
-        let mut m = compile(w.source, &Options::with_heuristics(HeuristicSet::SET_III))
-            .expect("compiles");
+        let mut m =
+            compile(w.source, &Options::with_heuristics(HeuristicSet::SET_III)).expect("compiles");
         br_opt::optimize(&mut m);
         let detections = br_reorder::profile::detect_all(&m);
         assert!(
@@ -93,8 +93,8 @@ fn most_kernels_improve_on_matched_inputs_under_set_iii() {
     let mut improved = 0usize;
     let mut total = 0usize;
     for w in all() {
-        let mut m = compile(w.source, &Options::with_heuristics(HeuristicSet::SET_III))
-            .expect("compiles");
+        let mut m =
+            compile(w.source, &Options::with_heuristics(HeuristicSet::SET_III)).expect("compiles");
         br_opt::optimize(&mut m);
         let train = w.training_input(3072);
         let test = w.test_input(4096);

@@ -33,14 +33,17 @@ int main() {
 "#;
 
 fn main() {
-    let mut module = compile(SOURCE, &Options::with_heuristics(HeuristicSet::SET_I))
-        .expect("compiles");
+    let mut module =
+        compile(SOURCE, &Options::with_heuristics(HeuristicSet::SET_I)).expect("compiles");
     branch_reorder::opt::optimize(&mut module);
 
     println!("=== detected sequences ===");
     let detections = detect_all(&module);
     for (fid, seq) in &detections {
-        println!("function {fid:?}, head {:?}, variable {:?}:", seq.head, seq.var);
+        println!(
+            "function {fid:?}, head {:?}, variable {:?}:",
+            seq.head, seq.var
+        );
         for (range, source, target) in plan_ranges(seq) {
             println!("   {range:?} -> {target} ({source:?})");
         }
@@ -59,8 +62,14 @@ fn main() {
         let _ = order_items(seq, &profile); // shape check only
     }
 
-    println!("\n=== main before ===\n{}", print_function(&module.functions[0]));
-    println!("=== main after ===\n{}", print_function(&report.module.functions[0]));
+    println!(
+        "\n=== main before ===\n{}",
+        print_function(&module.functions[0])
+    );
+    println!(
+        "=== main after ===\n{}",
+        print_function(&report.module.functions[0])
+    );
 
     let base = run(&module, train, &VmOptions::default()).expect("runs");
     let new = run(&report.module, train, &VmOptions::default()).expect("runs");

@@ -41,7 +41,10 @@ fn main() {
 
     let base = run(&module, &test, &VmOptions::default()).expect("runs");
 
-    for (label, enabled) in [("core transformation only", false), ("with Section 10 extension", true)] {
+    for (label, enabled) in [
+        ("core transformation only", false),
+        ("with Section 10 extension", true),
+    ] {
         let opts = ReorderOptions {
             common_successor: enabled,
             ..ReorderOptions::default()
@@ -57,8 +60,7 @@ fn main() {
         println!(
             "{label:28}: {:>9} insts ({:+.2}%), {} common-successor sequence(s)",
             new.stats.insts,
-            (new.stats.insts as f64 - base.stats.insts as f64) / base.stats.insts as f64
-                * 100.0,
+            (new.stats.insts as f64 - base.stats.insts as f64) / base.stats.insts as f64 * 100.0,
             common
         );
     }

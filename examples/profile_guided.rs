@@ -30,12 +30,15 @@ int main() {
 "#;
 
 fn measure(module: &branch_reorder::ir::Module, input: &[u8]) -> u64 {
-    run(module, input, &VmOptions::default()).expect("runs").stats.insts
+    run(module, input, &VmOptions::default())
+        .expect("runs")
+        .stats
+        .insts
 }
 
 fn main() {
-    let mut module = compile(SOURCE, &Options::with_heuristics(HeuristicSet::SET_I))
-        .expect("compiles");
+    let mut module =
+        compile(SOURCE, &Options::with_heuristics(HeuristicSet::SET_I)).expect("compiles");
     branch_reorder::opt::optimize(&mut module);
 
     // The real workload: prose (lowercase letters dominate).

@@ -44,21 +44,29 @@ fn main() {
 
     println!("output (unchanged by the transformation):");
     println!("{}", String::from_utf8_lossy(&result.original.output));
-    println!("dynamic instructions: {:>10} -> {:>10}  ({:+.2}%)",
+    println!(
+        "dynamic instructions: {:>10} -> {:>10}  ({:+.2}%)",
         result.original.stats.insts,
         result.reordered.stats.insts,
-        result.insts_pct());
-    println!("conditional branches: {:>10} -> {:>10}  ({:+.2}%)",
+        result.insts_pct()
+    );
+    println!(
+        "conditional branches: {:>10} -> {:>10}  ({:+.2}%)",
         result.original.stats.cond_branches,
         result.reordered.stats.cond_branches,
-        result.branches_pct());
-    println!("static instructions:  {:>10} -> {:>10}  ({:+.2}%)",
+        result.branches_pct()
+    );
+    println!(
+        "static instructions:  {:>10} -> {:>10}  ({:+.2}%)",
         result.original_static,
         result.reordered_static,
-        result.static_pct());
+        result.static_pct()
+    );
     for s in &result.report.sequences {
-        println!("sequence at {:?}/{:?}: {} conditions, {:?}",
-            s.func, s.head, s.conditions, s.outcome);
+        println!(
+            "sequence at {:?}/{:?}: {} conditions, {:?}",
+            s.func, s.head, s.conditions, s.outcome
+        );
     }
     assert_eq!(result.original.output, result.reordered.output);
     assert!(result.insts_pct() < 0.0, "reordering should help here");

@@ -17,6 +17,9 @@
 //! * [`reorder`] — **the paper's contribution**: detection of reorderable
 //!   range-condition sequences, profiling, cost-based ordering selection,
 //!   and the CFG restructuring transformation.
+//! * [`analysis`] — dataflow framework (intervals, condition-code
+//!   reaching definitions, purity), lint passes, and the translation
+//!   validator that proves each reordering semantics-preserving.
 //! * [`workloads`] — the 17 benchmark kernels named after the paper's
 //!   test programs, plus input generators.
 //! * [`harness`] — experiment drivers that regenerate every table and
@@ -56,6 +59,7 @@
 //! assert_eq!(result.original.output, result.reordered.output);
 //! ```
 
+pub use br_analysis as analysis;
 pub use br_harness as harness;
 pub use br_ir as ir;
 pub use br_minic as minic;

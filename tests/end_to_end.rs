@@ -23,11 +23,8 @@ int main() {
 "#;
 
 fn prose(n: usize, seed: u64) -> Vec<u8> {
-    branch_reorder::workloads::InputSpec::new(
-        branch_reorder::workloads::InputKind::Prose,
-        seed,
-    )
-    .generate(n)
+    branch_reorder::workloads::InputSpec::new(branch_reorder::workloads::InputKind::Prose, seed)
+        .generate(n)
 }
 
 #[test]
@@ -76,7 +73,13 @@ fn predictor_results_cover_requested_sweep() {
         r.original
             .predictors
             .iter()
-            .find(|p| p.config == PredictorConfig { scheme: Scheme::TwoBit, entries })
+            .find(|p| {
+                p.config
+                    == PredictorConfig {
+                        scheme: Scheme::TwoBit,
+                        entries,
+                    }
+            })
             .unwrap()
             .mispredictions
     };
@@ -110,7 +113,10 @@ fn static_growth_is_modest() {
         total_new += r.reordered_static;
     }
     let growth = (total_new as f64 - total_orig as f64) / total_orig as f64 * 100.0;
-    assert!(growth > 0.0, "reordering adds replicated code: {growth:.2}%");
+    assert!(
+        growth > 0.0,
+        "reordering adds replicated code: {growth:.2}%"
+    );
     assert!(growth < 40.0, "static growth out of hand: {growth:.2}%");
 }
 

@@ -39,8 +39,7 @@ fn optimizer_preserves_behaviour_on_random_programs() {
     for seed in 0..SEEDS {
         let src = generate_program(seed, &cfg);
         let (input, _) = inputs_for(seed);
-        let raw = compile(&src, &Options::default())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let raw = compile(&src, &Options::default()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let mut optimized = raw.clone();
         branch_reorder::opt::optimize(&mut optimized);
         branch_reorder::ir::verify_module(&optimized)
@@ -92,8 +91,21 @@ fn reordering_preserves_behaviour_on_random_programs() {
         for h in [HeuristicSet::SET_I, HeuristicSet::SET_III] {
             let mut m = compile(&src, &Options::with_heuristics(h)).unwrap();
             branch_reorder::opt::optimize(&mut m);
-            let report = reorder_module(&m, &train, &ReorderOptions::default())
+            let opts = ReorderOptions {
+                validate: true,
+                ..ReorderOptions::default()
+            };
+            let report = reorder_module(&m, &train, &opts)
                 .unwrap_or_else(|e| panic!("seed {seed}: training trapped: {e}\n{src}"));
+            // Behavioural agreement below is one input's worth of
+            // evidence; the translation validator proves every applied
+            // sequence equivalent for *all* values.
+            let validation = report.validation.as_ref().expect("validation requested");
+            assert!(
+                validation.is_clean(),
+                "seed {seed} set {}: {validation}\n{src}",
+                h.name
+            );
             branch_reorder::ir::verify_module(&report.module)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
             let a = run(&m, &test, &VmOptions::default()).unwrap();
@@ -178,12 +190,11 @@ fn ir_text_round_trips_on_random_programs() {
         let mut m = compile(&src, &Options::default()).unwrap();
         branch_reorder::opt::optimize(&mut m);
         let text = print_module(&m);
-        let parsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        let parsed = parse_module(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
         assert_eq!(print_module(&parsed), text, "seed {seed}");
+        assert_eq!(parsed, m, "seed {seed}: parse(print(m)) != m");
         // The parsed module must verify and behave identically.
-        branch_reorder::ir::verify_module(&parsed)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        branch_reorder::ir::verify_module(&parsed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let a = run(&m, &input, &VmOptions::default()).unwrap();
         let b = run(&parsed, &input, &VmOptions::default()).unwrap();
         assert_eq!(a.exit, b.exit, "seed {seed}");

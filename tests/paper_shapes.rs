@@ -18,7 +18,10 @@ fn avg_insts_pct(s: &SuiteResult) -> f64 {
 }
 
 fn pct_of<'a>(s: &'a SuiteResult, name: &str) -> &'a branch_reorder::harness::ProgramResult {
-    s.programs.iter().find(|p| p.name == name).expect("program exists")
+    s.programs
+        .iter()
+        .find(|p| p.name == name)
+        .expect("program exists")
 }
 
 #[test]
@@ -86,7 +89,10 @@ fn table5_and_7_shapes_hold() {
     let t7 = branch_reorder::harness::tables::table7_rows(&suite);
     let avg_time = t7.iter().map(|r| r.ultra_pct).sum::<f64>() / t7.len() as f64;
     let avg_insts = avg_insts_pct(&suite);
-    assert!(avg_time < 0.0, "time must improve on average: {avg_time:.2}%");
+    assert!(
+        avg_time < 0.0,
+        "time must improve on average: {avg_time:.2}%"
+    );
     assert!(
         avg_time > avg_insts,
         "library overhead must dilute: time {avg_time:.2}% vs insts {avg_insts:.2}%"
@@ -102,9 +108,11 @@ fn table8_and_figures_shapes_hold() {
         assert!(avg_static > 0.0, "replicated code grows the program");
         assert!(avg_static < 40.0, "static growth bounded: {avg_static:.2}%");
         // Not everything is reordered (cold sequences), but plenty is.
-        let avg_reordered =
-            rows.iter().map(|r| r.reordered_pct).sum::<f64>() / rows.len() as f64;
-        assert!((20.0..100.0).contains(&avg_reordered), "{avg_reordered:.2}%");
+        let avg_reordered = rows.iter().map(|r| r.reordered_pct).sum::<f64>() / rows.len() as f64;
+        assert!(
+            (20.0..100.0).contains(&avg_reordered),
+            "{avg_reordered:.2}%"
+        );
         // Reordered sequences get longer (defaults made explicit).
         let (orig, new) = branch_reorder::harness::tables::figure_histograms(s);
         let avg = |h: &[(u32, u32)]| {

@@ -1,0 +1,212 @@
+//! Translation-validation properties over the paper's 17 workloads:
+//!
+//! * the validator proves every sequence the pipeline reorders, under
+//!   all three switch-translation heuristic sets;
+//! * a seeded mutation — swapping two range targets after reordering —
+//!   is always rejected, with the diagnostic naming the `emit` stage;
+//! * the collect-everything verifier reports all structural violations
+//!   of a corrupted module at once.
+
+use std::collections::BTreeSet;
+
+use branch_reorder::ir::{BlockId, FuncId, Function, Terminator};
+use branch_reorder::minic::{compile, HeuristicSet, Options};
+use branch_reorder::reorder::apply::apply_reordering;
+use branch_reorder::reorder::pipeline::eliminable_items;
+use branch_reorder::reorder::profile::{order_items, plan_ranges, SequenceProfile};
+use branch_reorder::reorder::validate::{check_ordering, sequence_exits};
+use branch_reorder::reorder::{
+    detect_sequences, reorder_module, select_ordering, DetectedSequence, ReorderOptions, Stage,
+};
+
+fn compiled_workload(name: &str, source: &str, set: HeuristicSet) -> branch_reorder::ir::Module {
+    let mut m = compile(source, &Options::with_heuristics(set))
+        .unwrap_or_else(|e| panic!("{name}: compile error: {e}"));
+    branch_reorder::opt::optimize(&mut m);
+    m
+}
+
+#[test]
+fn validator_accepts_all_workloads_under_all_heuristic_sets() {
+    let mut proven_total = 0usize;
+    for set in HeuristicSet::ALL {
+        for w in branch_reorder::workloads::all() {
+            let m = compiled_workload(w.name, w.source, set);
+            let opts = ReorderOptions {
+                validate: true,
+                ..ReorderOptions::default()
+            };
+            let report = reorder_module(&m, &w.training_input(1024), &opts)
+                .unwrap_or_else(|e| panic!("{} set {}: training trapped: {e}", w.name, set.name));
+            let summary = report
+                .validation
+                .as_ref()
+                .expect("validation was requested");
+            assert!(
+                summary.is_clean(),
+                "{} set {}: {summary}\n{}",
+                w.name,
+                set.name,
+                summary
+                    .failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            assert_eq!(summary.proven, report.reordered_count());
+            proven_total += summary.proven;
+        }
+    }
+    // Every workload has at least one hot reorderable sequence, so the
+    // sweep must produce at least one proof per workload-set pair.
+    assert!(
+        proven_total >= 51,
+        "only {proven_total} proofs over 51 runs"
+    );
+}
+
+/// Reorder the first detected sequence of `f` by hand (the pipeline's
+/// own steps, minus profiling) and return what the validator needs.
+fn reorder_first_sequence(f: &mut Function) -> Option<(DetectedSequence, u32)> {
+    let seqs = detect_sequences(f);
+    let seq = seqs.first()?.clone();
+    let n = plan_ranges(&seq).len();
+    let counts: Vec<u64> = (1..=n as u64).rev().collect();
+    let items = order_items(&seq, &SequenceProfile { counts });
+    let eliminable = eliminable_items(&seq, &items);
+    let mut candidates: Vec<BlockId> = sequence_exits(&seq).into_iter().collect();
+    candidates.sort();
+    let ordering = select_ordering(&items, &candidates, &eliminable, seq.default_target);
+    check_ordering(&items, &ordering).ok()?;
+    let replica_start = f.blocks.len() as u32;
+    apply_reordering(f, &seq, &items, &ordering);
+    Some((seq, replica_start))
+}
+
+/// Swap the `taken` targets of two replica branches that exit to two
+/// different sequence exits — the seeded mutation the validator must
+/// catch. Returns false when the replica has fewer than two such exits.
+fn swap_two_range_targets(f: &mut Function, exits: &BTreeSet<BlockId>, replica_start: u32) -> bool {
+    let mut sites: Vec<(BlockId, BlockId)> = Vec::new();
+    for b in replica_start..f.blocks.len() as u32 {
+        if let Terminator::Branch { taken, .. } = &f.block(BlockId(b)).term {
+            if exits.contains(taken) && sites.iter().all(|&(_, t)| t != *taken) {
+                sites.push((BlockId(b), *taken));
+            }
+        }
+    }
+    if sites.len() < 2 {
+        return false;
+    }
+    let ((b1, t1), (b2, t2)) = (sites[0], sites[1]);
+    for (block, target) in [(b1, t2), (b2, t1)] {
+        if let Terminator::Branch { taken, .. } = &mut f.block_mut(block).term {
+            *taken = target;
+        }
+    }
+    true
+}
+
+#[test]
+fn validator_rejects_swapped_range_targets_on_every_workload() {
+    let mut mutated = 0usize;
+    for w in branch_reorder::workloads::all() {
+        let m = compiled_workload(w.name, w.source, HeuristicSet::SET_I);
+        for (i, original) in m.functions.iter().enumerate() {
+            let mut f = original.clone();
+            let Some((seq, replica_start)) = reorder_first_sequence(&mut f) else {
+                continue;
+            };
+            let exits = sequence_exits(&seq);
+            if !swap_two_range_targets(&mut f, &exits, replica_start) {
+                continue;
+            }
+            let failure = branch_reorder::reorder::validate_sequence(
+                FuncId(i as u32),
+                original,
+                &f,
+                &seq,
+                replica_start,
+            )
+            .expect_err(&format!(
+                "{}/{}: swapped range targets must not validate",
+                w.name, original.name
+            ));
+            assert_eq!(failure.stage, Stage::Emit, "{}: {failure}", w.name);
+            assert_eq!(failure.head, Some(seq.head), "{}", w.name);
+            mutated += 1;
+            break; // one mutated sequence per workload is enough
+        }
+    }
+    // The mutation must actually have been exercised on most workloads
+    // (a few may lack a two-exit replica in their first sequence).
+    assert!(mutated >= 12, "only {mutated} workloads were mutated");
+}
+
+#[test]
+fn verifier_reports_every_violation_of_a_corrupted_module() {
+    use branch_reorder::ir::{verify_function_all, verify_module, verify_module_all};
+    use branch_reorder::workloads::synth::{generate_program, SynthConfig};
+
+    let src = generate_program(7, &SynthConfig::default());
+    let mut m = compile(&src, &Options::default()).unwrap();
+    branch_reorder::opt::optimize(&mut m);
+    assert!(
+        verify_module_all(&m).is_empty(),
+        "synth module starts clean"
+    );
+
+    // Corrupt it three independent ways, in different places.
+    m.main = Some(FuncId(999));
+    let num_funcs = m.functions.len();
+    {
+        let f = &mut m.functions[0];
+        let bad = branch_reorder::ir::Reg(f.num_regs + 7);
+        let entry = f.entry;
+        f.block_mut(entry)
+            .insts
+            .push(branch_reorder::ir::Inst::Copy {
+                dst: bad,
+                src: branch_reorder::ir::Operand::Imm(0),
+            });
+    }
+    if num_funcs > 1 {
+        let f = &mut m.functions[num_funcs - 1];
+        let entry = f.entry;
+        f.block_mut(entry).term = Terminator::Jump(BlockId(u32::MAX));
+    }
+
+    let all = verify_module_all(&m);
+    let expected = if num_funcs > 1 { 3 } else { 2 };
+    assert_eq!(all.len(), expected, "{all:?}");
+    // The first-error API agrees with the head of the full list.
+    assert_eq!(verify_module(&m).unwrap_err(), all[0]);
+    // Per-function collection sees only that function's problems.
+    assert_eq!(verify_function_all(&m.functions[0], Some(&m)).len(), 1);
+}
+
+#[test]
+fn parse_print_round_trip_is_structural_identity() {
+    use branch_reorder::ir::{parse_module, print_module};
+    use branch_reorder::workloads::synth::{generate_program, SynthConfig};
+
+    let cfg = SynthConfig::default();
+    for seed in 0..20u64 {
+        let src = generate_program(seed, &cfg);
+        let mut m = compile(&src, &Options::default()).unwrap();
+        branch_reorder::opt::optimize(&mut m);
+        let parsed = parse_module(&print_module(&m))
+            .unwrap_or_else(|e| panic!("seed {seed}: parse error at {e}"));
+        assert_eq!(parsed, m, "seed {seed}: parse(print(m)) != m");
+    }
+    // The 17 real kernels round-trip too, including after reordering.
+    for w in branch_reorder::workloads::all().into_iter().take(4) {
+        let m = compiled_workload(w.name, w.source, HeuristicSet::SET_III);
+        let report = reorder_module(&m, &w.training_input(1024), &ReorderOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let parsed = parse_module(&print_module(&report.module))
+            .unwrap_or_else(|e| panic!("{}: parse error at {e}", w.name));
+        assert_eq!(parsed, report.module, "{}", w.name);
+    }
+}
