@@ -1,0 +1,275 @@
+//! Distribution-drift detection over decayed range-exit counters.
+//!
+//! Each deployed ordering was selected under some range-exit
+//! distribution — its *selection basis*. The detector compares the live
+//! (exponentially decayed) distribution against that basis with a
+//! distance metric and flags a drift when the distance crosses an
+//! *enter* threshold. Hysteresis keeps it from thrashing: after a drift
+//! is acted on, the detector disarms until the live distribution has
+//! become *stationary* — its epoch-over-epoch change drops under a
+//! lower *settle* threshold (plus a fixed cooldown in epochs). Re-arming
+//! on stationarity rather than on distance-to-basis matters: right
+//! after a phase shift the first drift fires on a half-converged
+//! mixture, and the live distribution then keeps moving *away* from any
+//! basis the action rebased onto — it stabilizes near the new phase's
+//! distribution, at which point the detector wakes up and compares the
+//! now-converged reality against the selection basis.
+
+/// Distance metric between two range-exit distributions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DriftMetric {
+    /// Total variation flavour: `Σ |p_i - q_i|`, in `[0, 2]`. Scale-free
+    /// and robust for small counter masses; the default.
+    #[default]
+    L1,
+    /// Pearson-style `Σ (p_i - q_i)² / (q_i + ε)` against the basis `q`.
+    /// More sensitive to mass appearing in ranges the basis considered
+    /// cold.
+    ChiSquare,
+}
+
+impl DriftMetric {
+    /// Distance from the live distribution `p` to the basis `q`. Both
+    /// must be normalized (sum to 1) and of equal length.
+    pub fn distance(self, p: &[f64], q: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), q.len());
+        match self {
+            DriftMetric::L1 => p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum(),
+            DriftMetric::ChiSquare => {
+                const EPS: f64 = 1e-6;
+                p.iter()
+                    .zip(q)
+                    .map(|(a, b)| (a - b) * (a - b) / (b + EPS))
+                    .sum()
+            }
+        }
+    }
+}
+
+/// Thresholds and gates for one detector (shared by every sequence).
+#[derive(Clone, Copy, Debug)]
+pub struct DriftThresholds {
+    /// Metric used for the distance.
+    pub metric: DriftMetric,
+    /// Distance at which an armed detector flags a drift.
+    pub drift: f64,
+    /// Epoch-over-epoch distance below which the live distribution
+    /// counts as stationary, re-arming a disarmed detector (must be
+    /// below `drift` for the hysteresis band to exist).
+    pub settle: f64,
+    /// Minimum decayed counter mass before any decision is made — a
+    /// near-idle sequence's distribution is noise, not signal.
+    pub min_samples: f64,
+    /// Epochs to stay quiet after a rebase, regardless of distance.
+    pub cooldown_epochs: u32,
+}
+
+impl Default for DriftThresholds {
+    fn default() -> DriftThresholds {
+        DriftThresholds {
+            metric: DriftMetric::L1,
+            drift: 0.35,
+            settle: 0.175,
+            min_samples: 32.0,
+            cooldown_epochs: 1,
+        }
+    }
+}
+
+/// What the detector concluded for one epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftDecision {
+    /// Not enough decayed mass (or cooling down) — no decision.
+    NotReady,
+    /// The live distribution matches the selection basis well enough.
+    Stable,
+    /// The sequence has no selection basis yet (it never executed during
+    /// training) but now carries live traffic: adopt it.
+    Adopt,
+    /// The live distribution has drifted off the selection basis.
+    Drifted,
+}
+
+/// Per-sequence drift state: the selection basis, the hysteresis arm
+/// flag, and the cooldown counter.
+#[derive(Clone, Debug, Default)]
+pub struct DriftDetector {
+    /// Normalized distribution the deployed ordering was selected under;
+    /// `None` until the sequence is first adopted.
+    basis: Option<Vec<f64>>,
+    /// Previous epoch's live distribution (for the stationarity check).
+    prev: Option<Vec<f64>>,
+    /// Disarmed after acting on a drift, until the live distribution
+    /// becomes stationary.
+    disarmed: bool,
+    cooldown: u32,
+}
+
+impl DriftDetector {
+    /// A detector whose deployed ordering was selected under `basis`
+    /// (`None` when the sequence was never trained).
+    pub fn new(basis: Option<Vec<f64>>) -> DriftDetector {
+        DriftDetector {
+            basis,
+            prev: None,
+            disarmed: false,
+            cooldown: 0,
+        }
+    }
+
+    /// The current selection basis.
+    pub fn basis(&self) -> Option<&[f64]> {
+        self.basis.as_deref()
+    }
+
+    /// One epoch observation: `live` is the normalized decayed
+    /// distribution, `mass` the total decayed counter mass behind it.
+    pub fn observe(&mut self, live: &[f64], mass: f64, t: &DriftThresholds) -> DriftDecision {
+        let decision = self.decide(live, mass, t);
+        self.prev = Some(live.to_vec());
+        decision
+    }
+
+    fn decide(&mut self, live: &[f64], mass: f64, t: &DriftThresholds) -> DriftDecision {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return DriftDecision::NotReady;
+        }
+        if mass < t.min_samples {
+            return DriftDecision::NotReady;
+        }
+        let Some(basis) = &self.basis else {
+            return DriftDecision::Adopt;
+        };
+        if self.disarmed {
+            let stationary = self
+                .prev
+                .as_deref()
+                .is_some_and(|p| t.metric.distance(live, p) < t.settle);
+            if stationary {
+                self.disarmed = false;
+            } else {
+                return DriftDecision::Stable;
+            }
+        }
+        if t.metric.distance(live, basis) > t.drift {
+            DriftDecision::Drifted
+        } else {
+            DriftDecision::Stable
+        }
+    }
+
+    /// Record that the caller acted on a drift (or adoption): `live`
+    /// becomes the new selection basis, and hysteresis plus the cooldown
+    /// keep the detector quiet until the distribution goes stationary.
+    pub fn rebase(&mut self, live: Vec<f64>, t: &DriftThresholds) {
+        self.basis = Some(live);
+        self.disarmed = true;
+        self.cooldown = t.cooldown_epochs;
+    }
+}
+
+/// Normalize counts into a distribution; all-zero input stays all zero.
+pub fn normalize(counts: &[f64]) -> Vec<f64> {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        vec![0.0; counts.len()]
+    } else {
+        counts.iter().map(|&c| c / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DriftThresholds {
+        DriftThresholds::default()
+    }
+
+    #[test]
+    fn l1_distance_bounds_and_identity() {
+        let p = [0.7, 0.2, 0.1];
+        assert_eq!(DriftMetric::L1.distance(&p, &p), 0.0);
+        let q = [0.0, 0.0, 1.0];
+        let r = [1.0, 0.0, 0.0];
+        assert!(
+            (DriftMetric::L1.distance(&q, &r) - 2.0).abs() < 1e-12,
+            "disjoint = max"
+        );
+    }
+
+    #[test]
+    fn chi_square_punishes_mass_in_cold_ranges() {
+        // Same L1 distance, but one moves mass into a range the basis
+        // considered (almost) empty.
+        let basis = [0.5, 0.5, 0.0];
+        let shift_hot = [0.3, 0.7, 0.0];
+        let shift_cold = [0.3, 0.5, 0.2];
+        let m = DriftMetric::ChiSquare;
+        assert!(m.distance(&shift_cold, &basis) > 10.0 * m.distance(&shift_hot, &basis));
+    }
+
+    #[test]
+    fn no_decision_below_min_samples() {
+        let mut d = DriftDetector::new(Some(vec![1.0, 0.0]));
+        assert_eq!(d.observe(&[0.0, 1.0], 1.0, &t()), DriftDecision::NotReady);
+        assert_eq!(d.observe(&[0.0, 1.0], 1000.0, &t()), DriftDecision::Drifted);
+    }
+
+    #[test]
+    fn untrained_sequence_is_adopted_once_warm() {
+        let mut d = DriftDetector::new(None);
+        assert_eq!(d.observe(&[0.5, 0.5], 4.0, &t()), DriftDecision::NotReady);
+        assert_eq!(d.observe(&[0.5, 0.5], 100.0, &t()), DriftDecision::Adopt);
+    }
+
+    #[test]
+    fn disarmed_detector_waits_for_stationarity_then_refires() {
+        let th = DriftThresholds {
+            cooldown_epochs: 0,
+            ..t()
+        };
+        // A phase shift as the decayed counters see it: the live
+        // distribution converges geometrically toward the new phase.
+        let mut d = DriftDetector::new(Some(vec![1.0, 0.0]));
+        assert_eq!(d.observe(&[0.5, 0.5], 100.0, &th), DriftDecision::Drifted);
+        // Acted on the half-converged mixture (e.g. replanned, found no
+        // gain yet) and rebased onto it.
+        d.rebase(vec![0.5, 0.5], &th);
+        // Still converging: each step moves more than `settle`, so the
+        // detector stays quiet rather than firing every epoch.
+        assert_eq!(d.observe(&[0.25, 0.75], 100.0, &th), DriftDecision::Stable);
+        assert_eq!(d.observe(&[0.05, 0.95], 100.0, &th), DriftDecision::Stable);
+        // Converged: the step is small, the detector re-arms — and the
+        // settled distribution is far from the mixture basis, so the
+        // drift fires again, now with a trustworthy profile.
+        assert_eq!(d.observe(&[0.02, 0.98], 100.0, &th), DriftDecision::Drifted);
+        d.rebase(vec![0.02, 0.98], &th);
+        // Settled on the new basis: re-arms and stays stable.
+        assert_eq!(d.observe(&[0.02, 0.98], 100.0, &th), DriftDecision::Stable);
+        assert_eq!(d.observe(&[0.03, 0.97], 100.0, &th), DriftDecision::Stable);
+    }
+
+    #[test]
+    fn cooldown_swallows_epochs_after_rebase() {
+        let th = DriftThresholds {
+            cooldown_epochs: 2,
+            ..t()
+        };
+        let mut d = DriftDetector::new(Some(vec![1.0, 0.0]));
+        d.rebase(vec![1.0, 0.0], &th);
+        assert_eq!(d.observe(&[0.0, 1.0], 100.0, &th), DriftDecision::NotReady);
+        assert_eq!(d.observe(&[0.0, 1.0], 100.0, &th), DriftDecision::NotReady);
+        // Cooldown over and the distribution is already stationary: the
+        // detector re-arms and fires on the stale basis at once.
+        assert_eq!(d.observe(&[0.0, 1.0], 100.0, &th), DriftDecision::Drifted);
+    }
+
+    #[test]
+    fn normalize_handles_zero_mass() {
+        assert_eq!(normalize(&[0.0, 0.0]), vec![0.0, 0.0]);
+        let n = normalize(&[3.0, 1.0]);
+        assert!((n[0] - 0.75).abs() < 1e-12 && (n[1] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,467 @@
+//! The adaptive runtime: always-on profiling, drift-triggered
+//! re-planning, and validated hot-swapping of sequence replicas.
+//!
+//! An [`AdaptiveRuntime`] owns an *instrumented, never cleaned-up*
+//! module. The probes stay in the deployed program — the VM counts them
+//! as architecturally free, so continuous profiling costs nothing — and
+//! the clean-up pass is never run, so block ids stay stable and a
+//! sequence can be re-spliced any number of times by rewriting its head
+//! in place.
+//!
+//! At every VM epoch (a safe point: a sequence head at call depth 1)
+//! the runtime folds the fresh counter deltas into per-sequence decayed
+//! counters, asks the [`DriftDetector`] whether the live distribution
+//! still matches the one the deployed ordering was selected under, and
+//! on drift re-plans with [`plan_for_profile`]. A new ordering is
+//! deployed only if it beats the *deployed* ordering's cost under the
+//! live profile by a margin, and only if the freshly emitted replica
+//! passes the translation validator against the pristine (pre-any-swap)
+//! function — a validation failure aborts the swap and reverts the
+//! function, never the run.
+
+use br_ir::{FuncId, Module, SeqId, Terminator};
+use br_reorder::apply::apply_reordering;
+use br_reorder::emit::emit_reordered;
+use br_reorder::profile::plan_ranges;
+use br_reorder::validate::check_ordering;
+use br_reorder::{
+    detect_all, instrument_module, plan_for_profile, profiles_from_run, validate_sequence,
+    DetectedSequence, Ordering, SequencePlan, SequenceProfile, Stage, StageFailure,
+};
+use br_vm::{EpochHook, RunOutcome, Trap, VmOptions};
+
+use crate::drift::{normalize, DriftDecision, DriftDetector, DriftThresholds};
+
+/// Configuration of the adaptive runtime.
+#[derive(Clone, Debug)]
+pub struct AdaptOptions {
+    /// VM configuration; `vm.epoch_blocks` is the adaptation epoch
+    /// length (how often, in executed blocks, the runtime gets control).
+    pub vm: VmOptions,
+    /// Drift-detector thresholds, shared by every sequence.
+    pub thresholds: DriftThresholds,
+    /// Fractional cost margin a re-plan must clear to replace the
+    /// deployed ordering (`new < deployed * (1 - min_gain)`); keeps
+    /// marginal wins from churning replicas.
+    pub min_gain: f64,
+    /// Use the exhaustive ordering search when re-planning.
+    pub exhaustive: bool,
+}
+
+impl Default for AdaptOptions {
+    fn default() -> AdaptOptions {
+        AdaptOptions {
+            vm: VmOptions {
+                epoch_blocks: 1_000,
+                ..VmOptions::default()
+            },
+            thresholds: DriftThresholds::default(),
+            min_gain: 0.05,
+            exhaustive: false,
+        }
+    }
+}
+
+/// Live state of one reorderable sequence.
+struct SeqState {
+    func: FuncId,
+    seq: DetectedSequence,
+    sid: SeqId,
+    /// Exponentially decayed range-exit counters (halved each epoch).
+    decayed: Vec<f64>,
+    /// Cumulative VM counters at the previous epoch of the current run
+    /// (the VM's counters are per-run, so deltas are taken against this).
+    last_cum: Vec<u64>,
+    detector: DriftDetector,
+    /// Currently deployed ordering; `None` means the original source
+    /// order is still in place.
+    deployed: Option<Ordering>,
+    /// Whether a replica has ever been spliced in (the head then has no
+    /// compare any more and re-swaps only retarget its jump).
+    swapped: bool,
+    swaps: u64,
+    aborted: u64,
+    drift_epochs: u64,
+}
+
+/// A continuously reoptimizing execution environment for one module.
+pub struct AdaptiveRuntime {
+    module: Module,
+    /// The instrumented module before any swap: every replica is
+    /// validated against this, so repeated swaps cannot compound error.
+    pristine: Module,
+    opts: AdaptOptions,
+    seqs: Vec<SeqState>,
+    epochs: u64,
+}
+
+impl AdaptiveRuntime {
+    /// Build a runtime for an optimized module. The module is
+    /// instrumented (probes are kept for the lifetime of the runtime);
+    /// when `training` is given, a profiling run on it selects and
+    /// deploys initial orderings, exactly like the offline pipeline —
+    /// except that clean-up is skipped so later swaps stay possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the training run's [`Trap`], if any.
+    pub fn new(
+        optimized: &Module,
+        training: Option<&[u8]>,
+        opts: &AdaptOptions,
+    ) -> Result<AdaptiveRuntime, Trap> {
+        let detections = detect_all(optimized);
+        let mut module = optimized.clone();
+        let ids = instrument_module(&mut module, &detections);
+        let pristine = module.clone();
+        let mut seqs: Vec<SeqState> = detections
+            .into_iter()
+            .zip(&ids)
+            .map(|((func, seq), &sid)| {
+                let n = plan_ranges(&seq).len();
+                SeqState {
+                    func,
+                    seq,
+                    sid,
+                    decayed: vec![0.0; n],
+                    last_cum: vec![0; n],
+                    detector: DriftDetector::new(None),
+                    deployed: None,
+                    swapped: false,
+                    swaps: 0,
+                    aborted: 0,
+                    drift_epochs: 0,
+                }
+            })
+            .collect();
+        if let Some(input) = training {
+            let outcome = br_vm::run(&module, input, &opts.vm)?;
+            let profiles = profiles_from_run(&ids, &outcome.profiles);
+            for (s, profile) in seqs.iter_mut().zip(&profiles) {
+                if profile.total() == 0 {
+                    continue;
+                }
+                // The training distribution is the selection basis even
+                // when the original order is kept: that decision, too,
+                // was made under it.
+                let counts_f: Vec<f64> = profile.counts.iter().map(|&c| c as f64).collect();
+                s.detector = DriftDetector::new(Some(normalize(&counts_f)));
+                let Some(plan) = plan_for_profile(&s.seq, profile, opts.exhaustive) else {
+                    continue;
+                };
+                if plan.improves() && try_swap(&mut module, &pristine, s, &plan).is_ok() {
+                    s.deployed = Some(plan.ordering);
+                }
+            }
+        }
+        Ok(AdaptiveRuntime {
+            module,
+            pristine,
+            opts: opts.clone(),
+            seqs,
+            epochs: 0,
+        })
+    }
+
+    /// Execute one input segment with adaptation enabled: the VM pauses
+    /// at each epoch boundary and the runtime may hot-swap replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns the VM's [`Trap`], if any.
+    pub fn run_segment(&mut self, input: &[u8]) -> Result<RunOutcome, Trap> {
+        // VM profile counters are per-run: restart the delta baseline.
+        for s in &mut self.seqs {
+            s.last_cum.fill(0);
+        }
+        let outcome = {
+            let mut ctl = EpochController {
+                seqs: &mut self.seqs,
+                pristine: &self.pristine,
+                opts: &self.opts,
+                epochs: &mut self.epochs,
+            };
+            br_vm::run_hooked(&mut self.module, input, &self.opts.vm, &mut ctl)?
+        };
+        // Fold the tail of the run (since the last epoch) into the
+        // decayed counters, undecayed — the next epoch will halve it.
+        for s in &mut self.seqs {
+            for (i, d) in s.decayed.iter_mut().enumerate() {
+                *d += (outcome.profiles[s.sid.index()][i] - s.last_cum[i]) as f64;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Execute one input segment with adaptation *disabled*: the module
+    /// runs as currently deployed (probes and all), and nothing is
+    /// swapped. This is the train-once baseline's execution mode, kept
+    /// on the identical apply machinery so comparisons against
+    /// [`Self::run_segment`] isolate ordering quality.
+    ///
+    /// # Errors
+    ///
+    /// Returns the VM's [`Trap`], if any.
+    pub fn run_frozen(&self, input: &[u8]) -> Result<RunOutcome, Trap> {
+        let opts = VmOptions {
+            epoch_blocks: 0,
+            ..self.opts.vm.clone()
+        };
+        br_vm::run(&self.module, input, &opts)
+    }
+
+    /// The currently deployed module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Reorderable sequences under management.
+    pub fn sequence_count(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Sequences currently running a non-original ordering.
+    pub fn deployed_count(&self) -> usize {
+        self.seqs.iter().filter(|s| s.deployed.is_some()).count()
+    }
+
+    /// Successful hot swaps (including the initial training deployment).
+    pub fn swaps(&self) -> u64 {
+        self.seqs.iter().map(|s| s.swaps).sum()
+    }
+
+    /// Swaps aborted by a failed validation (the run continued on the
+    /// previously deployed code).
+    pub fn aborted_swaps(&self) -> u64 {
+        self.seqs.iter().map(|s| s.aborted).sum()
+    }
+
+    /// Epochs in which some sequence's live distribution had drifted.
+    pub fn drift_epochs(&self) -> u64 {
+        self.seqs.iter().map(|s| s.drift_epochs).sum()
+    }
+
+    /// Total adaptation epochs observed.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+/// The borrow-split epoch hook: holds everything [`AdaptiveRuntime`]
+/// owns *except* the module, which the VM lends back mutably.
+struct EpochController<'a> {
+    seqs: &'a mut [SeqState],
+    pristine: &'a Module,
+    opts: &'a AdaptOptions,
+    epochs: &'a mut u64,
+}
+
+impl EpochHook for EpochController<'_> {
+    fn on_epoch(&mut self, module: &mut Module, profiles: &mut [Vec<u64>]) -> bool {
+        *self.epochs += 1;
+        let mut mutated = false;
+        for s in self.seqs.iter_mut() {
+            let cum = &profiles[s.sid.index()];
+            for (i, d) in s.decayed.iter_mut().enumerate() {
+                let delta = cum[i] - s.last_cum[i];
+                *d = *d / 2.0 + delta as f64;
+                s.last_cum[i] = cum[i];
+            }
+            let mass: f64 = s.decayed.iter().sum();
+            let live = normalize(&s.decayed);
+            match s.detector.observe(&live, mass, &self.opts.thresholds) {
+                DriftDecision::NotReady | DriftDecision::Stable => continue,
+                DriftDecision::Drifted => s.drift_epochs += 1,
+                DriftDecision::Adopt => {}
+            }
+            let counts: Vec<u64> = s.decayed.iter().map(|&c| c.round() as u64).collect();
+            let Some(plan) =
+                plan_for_profile(&s.seq, &SequenceProfile { counts }, self.opts.exhaustive)
+            else {
+                continue;
+            };
+            let deployed_cost = plan.cost_of_deployed(s.deployed.as_ref());
+            if plan.ordering.cost < deployed_cost * (1.0 - self.opts.min_gain)
+                && try_swap(module, self.pristine, s, &plan).is_ok()
+            {
+                s.deployed = Some(plan.ordering);
+                mutated = true;
+            }
+            // Whether we swapped, aborted, or judged the deployed
+            // ordering still competitive, the live distribution becomes
+            // the new selection basis — without this, an unprofitable
+            // drift would re-flag every epoch.
+            s.detector.rebase(live, &self.opts.thresholds);
+        }
+        mutated
+    }
+}
+
+/// Emit, splice, and validate one replica; on any failure the function
+/// is left exactly as it was.
+fn try_swap(
+    module: &mut Module,
+    pristine: &Module,
+    s: &mut SeqState,
+    plan: &SequencePlan,
+) -> Result<(), StageFailure> {
+    if let Err(details) = check_ordering(&plan.items, &plan.ordering) {
+        s.aborted += 1;
+        return Err(StageFailure {
+            stage: Stage::Order,
+            func: s.func,
+            head: Some(s.seq.head),
+            details,
+        });
+    }
+    let f = module.function_mut(s.func);
+    let pre = f.clone();
+    let replica_start = f.blocks.len() as u32;
+    if s.swapped {
+        // The head lost its compare at the first swap; later swaps only
+        // append a fresh replica and retarget the head's jump (the old
+        // replica becomes unreachable and is simply carried along).
+        let emitted = emit_reordered(f, &s.seq, &plan.items, &plan.ordering);
+        f.block_mut(s.seq.head).term = Terminator::Jump(emitted.entry);
+    } else {
+        apply_reordering(f, &s.seq, &plan.items, &plan.ordering);
+    }
+    // Prove the new replica equivalent to the *pristine* chain. With
+    // `replica_start` at the pre-swap block count, earlier replicas are
+    // outside the walk domain, so repeated swaps cannot compound error.
+    match validate_sequence(s.func, pristine.function(s.func), f, &s.seq, replica_start) {
+        Ok(_) => {
+            s.swapped = true;
+            s.swaps += 1;
+            Ok(())
+        }
+        Err(failure) => {
+            *module.function_mut(s.func) = pre;
+            s.aborted += 1;
+            Err(failure)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_minic::{compile, Options};
+
+    const CLASSIFIER: &str = "
+        int main() {
+            int c; int k; k = 0;
+            c = getchar();
+            while (c != -1) {
+                if (c == ' ') k += 1;
+                else if (c == 10) k += 2;
+                else if (c == 9) k += 3;
+                else k += 7;
+                c = getchar();
+            }
+            putint(k);
+            return 0;
+        }";
+
+    fn classifier() -> Module {
+        let mut m = compile(CLASSIFIER, &Options::default()).expect("compiles");
+        br_opt::optimize(&mut m);
+        m
+    }
+
+    fn some_plan(s: &SeqState) -> SequencePlan {
+        let n = plan_ranges(&s.seq).len();
+        let counts: Vec<u64> = (1..=n as u64).rev().collect();
+        plan_for_profile(&s.seq, &SequenceProfile { counts }, false).expect("nonzero profile")
+    }
+
+    #[test]
+    fn broken_ordering_aborts_before_splicing() {
+        let m = classifier();
+        let mut rt = AdaptiveRuntime::new(&m, None, &AdaptOptions::default()).unwrap();
+        assert_eq!(rt.sequence_count(), 1);
+        let before = rt.module.clone();
+        let AdaptiveRuntime {
+            module,
+            pristine,
+            seqs,
+            ..
+        } = &mut rt;
+        let s = &mut seqs[0];
+        let mut plan = some_plan(s);
+        plan.ordering.explicit = vec![0, 0];
+        let failure = try_swap(module, pristine, s, &plan).unwrap_err();
+        assert_eq!(failure.stage, Stage::Order);
+        assert_eq!(module.function(s.func), before.function(s.func));
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.swaps, 0);
+    }
+
+    #[test]
+    fn failed_validation_reverts_the_swap_and_keeps_running() {
+        let m = classifier();
+        let mut rt = AdaptiveRuntime::new(&m, None, &AdaptOptions::default()).unwrap();
+        let before = rt.module.clone();
+        let AdaptiveRuntime {
+            module,
+            pristine,
+            seqs,
+            ..
+        } = &mut rt;
+        let s = &mut seqs[0];
+        let mut plan = some_plan(s);
+        // Cross two exits: the replica then routes values to the wrong
+        // targets — structurally fine, semantically wrong.
+        let (i, j) = {
+            let ts: Vec<_> = plan.items.iter().map(|it| it.target).collect();
+            let j = (1..ts.len())
+                .find(|&j| ts[j] != ts[0])
+                .expect("two targets");
+            (0, j)
+        };
+        let t = plan.items[i].target;
+        plan.items[i].target = plan.items[j].target;
+        plan.items[j].target = t;
+        let failure = try_swap(module, pristine, s, &plan).unwrap_err();
+        assert_eq!(failure.stage, Stage::Emit, "{failure}");
+        assert_eq!(
+            module.function(s.func),
+            before.function(s.func),
+            "failed swap must leave the function untouched"
+        );
+        assert_eq!(s.aborted, 1);
+        // The untouched module still runs.
+        let out = br_vm::run(&rt.module, b"a b\nc", &VmOptions::default()).unwrap();
+        assert_eq!(out.exit, 0);
+    }
+
+    #[test]
+    fn good_swap_validates_and_can_be_reswapped() {
+        let m = classifier();
+        let mut rt = AdaptiveRuntime::new(&m, None, &AdaptOptions::default()).unwrap();
+        let AdaptiveRuntime {
+            module,
+            pristine,
+            seqs,
+            ..
+        } = &mut rt;
+        let s = &mut seqs[0];
+        let plan = some_plan(s);
+        try_swap(module, pristine, s, &plan).expect("first swap validates");
+        assert!(s.swapped);
+        // Re-swap with a different profile: the head now has no compare,
+        // so this exercises the retarget-only path.
+        let n = plan_ranges(&s.seq).len();
+        let counts: Vec<u64> = (1..=n as u64).collect();
+        let plan2 = plan_for_profile(&s.seq, &SequenceProfile { counts }, false).expect("nonzero");
+        try_swap(module, pristine, s, &plan2).expect("re-swap validates");
+        assert_eq!(s.swaps, 2);
+        assert_eq!(s.aborted, 0);
+        // The twice-swapped module still behaves like the original.
+        let input = b"words and\ttabs\nmore words  here\n";
+        let base = br_vm::run(&m, input, &VmOptions::default()).unwrap();
+        let got = br_vm::run(&rt.module, input, &VmOptions::default()).unwrap();
+        assert_eq!(base.output, got.output);
+        assert_eq!(base.exit, got.exit);
+    }
+}

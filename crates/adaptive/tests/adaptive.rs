@@ -1,0 +1,129 @@
+//! End-to-end tests of the adaptive runtime over phase-shifting input
+//! streams, including the headline claims: adaptation strictly beats a
+//! train-once deployment on shifting inputs, stays within 5% of a
+//! per-phase offline oracle, and never ships an unvalidated replica.
+
+use br_adaptive::{adapt_stream, AdaptOptions, AdaptiveRuntime};
+use br_ir::Module;
+use br_minic::{compile, Options};
+use br_vm::VmOptions;
+use br_workloads::phases::scenarios;
+
+fn build(src: &str) -> Module {
+    let mut m = compile(src, &Options::default()).expect("compiles");
+    br_opt::optimize(&mut m);
+    m
+}
+
+const PHASE_BYTES: usize = 24 * 1024;
+
+#[test]
+fn stationary_stream_converges_without_thrashing() {
+    let s = &scenarios()[0];
+    let m = build(s.source);
+    let mut rt = AdaptiveRuntime::new(
+        &m,
+        Some(&s.training_input(PHASE_BYTES)),
+        &AdaptOptions::default(),
+    )
+    .expect("training runs");
+    let initial = rt.swaps();
+    // Same distribution as training, fresh seeds: nothing should drift.
+    for seed in [1001, 1002, 1003] {
+        let input = br_workloads::InputSpec::new(s.training.kind, seed).generate(PHASE_BYTES);
+        rt.run_segment(&input).expect("segment runs");
+    }
+    assert_eq!(
+        rt.swaps(),
+        initial,
+        "stationary input must not trigger re-swaps"
+    );
+    assert_eq!(rt.aborted_swaps(), 0);
+    assert!(rt.epochs() > 10, "epochs must actually fire");
+}
+
+#[test]
+fn behaviour_is_preserved_across_shifts_and_swaps() {
+    for s in scenarios() {
+        let m = build(s.source);
+        let mut rt = AdaptiveRuntime::new(
+            &m,
+            Some(&s.training_input(PHASE_BYTES)),
+            &AdaptOptions::default(),
+        )
+        .expect("training runs");
+        for (name, input) in s.phase_inputs(PHASE_BYTES) {
+            let base = br_vm::run(&m, &input, &VmOptions::default()).expect("baseline runs");
+            let got = rt.run_segment(&input).expect("segment runs");
+            assert_eq!(got.output, base.output, "{}:{name} output changed", s.name);
+            assert_eq!(got.exit, base.exit, "{}:{name} exit changed", s.name);
+        }
+        assert!(
+            rt.swaps() > 1,
+            "{}: phase shifts should cause hot swaps (got {})",
+            s.name,
+            rt.swaps()
+        );
+        assert!(rt.drift_epochs() > 0, "{}: drift never flagged", s.name);
+        assert_eq!(
+            rt.aborted_swaps(),
+            0,
+            "{}: a replica failed validation",
+            s.name
+        );
+    }
+}
+
+#[test]
+fn adaptation_beats_train_once_and_nears_the_oracle() {
+    for s in scenarios() {
+        let m = build(s.source);
+        let phases = s.phase_inputs(PHASE_BYTES);
+        let report = adapt_stream(
+            &m,
+            s.name,
+            &s.training_input(PHASE_BYTES),
+            &phases,
+            &AdaptOptions::default(),
+        )
+        .expect("stream runs");
+        assert!(
+            report.total_adaptive() < report.total_static(),
+            "{}: adaptive {} !< static {}\n{report}",
+            s.name,
+            report.total_adaptive(),
+            report.total_static()
+        );
+        assert!(
+            report.vs_oracle() <= 1.05,
+            "{}: {:.4}x of the per-phase oracle\n{report}",
+            s.name,
+            report.vs_oracle()
+        );
+        assert_eq!(
+            report.aborted_swaps, 0,
+            "{}: every deployed replica must pass validation",
+            s.name
+        );
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), phases.len() + 2, "csv rows");
+    }
+}
+
+#[test]
+fn untrained_runtime_adopts_orderings_on_its_own() {
+    let s = &scenarios()[0];
+    let m = build(s.source);
+    // No training at all: cold start. The first warm epoch adopts the
+    // live distribution; later skew shifts still get caught.
+    let mut rt = AdaptiveRuntime::new(&m, None, &AdaptOptions::default()).expect("builds");
+    assert_eq!(rt.deployed_count(), 0);
+    for (_, input) in s.phase_inputs(PHASE_BYTES) {
+        rt.run_segment(&input).expect("segment runs");
+    }
+    assert!(
+        rt.deployed_count() > 0,
+        "cold start never deployed anything"
+    );
+    assert_eq!(rt.aborted_swaps(), 0);
+}

@@ -1,0 +1,49 @@
+//! Benchmarks of the adaptive reoptimization runtime: what the always-on
+//! epoch machinery costs on a stationary stream, and what a full
+//! phase-shifting stream costs end to end (profile folding, drift
+//! detection, replanning, validated hot swaps).
+
+use br_adaptive::{adapt_stream, AdaptOptions, AdaptiveRuntime};
+use br_minic::{compile, HeuristicSet, Options};
+
+fn main() {
+    let scenario = br_workloads::scenario("charclass").expect("charclass exists");
+    let options = Options::with_heuristics(HeuristicSet::SET_I);
+    let mut module = compile(scenario.source, &options).expect("compiles");
+    br_opt::optimize(&mut module);
+    let opts = AdaptOptions::default();
+    let training = scenario.training_input(8192);
+    let phases = scenario.phase_inputs(8192);
+
+    bench_runtime_overhead(&module, &training, &phases, &opts);
+
+    // The full three-way race (adaptive vs frozen vs per-phase oracle)
+    // over every phase — the `brc adapt` hot path.
+    br_bench::bench("adaptive/adapt_stream_charclass", 5, || {
+        adapt_stream(&module, scenario.name, &training, &phases, &opts).unwrap()
+    });
+}
+
+/// Epoch machinery cost: the same stationary input run through the
+/// adaptive segment path (counter folding + drift checks every epoch)
+/// versus the frozen path (plain interpretation, no epochs).
+fn bench_runtime_overhead(
+    module: &br_ir::Module,
+    training: &[u8],
+    phases: &[(&str, Vec<u8>)],
+    opts: &AdaptOptions,
+) {
+    let (_, stationary) = &phases[0];
+    let insts = {
+        let rt = AdaptiveRuntime::new(module, Some(training), opts).expect("trains");
+        rt.run_frozen(stationary).expect("runs").stats.insts
+    };
+    br_bench::bench_throughput("adaptive/segment_stationary", 10, insts, || {
+        let mut rt = AdaptiveRuntime::new(module, Some(training), opts).expect("trains");
+        rt.run_segment(stationary).unwrap()
+    });
+    br_bench::bench_throughput("adaptive/frozen_stationary", 10, insts, || {
+        let rt = AdaptiveRuntime::new(module, Some(training), opts).expect("trains");
+        rt.run_frozen(stationary).unwrap()
+    });
+}

@@ -18,7 +18,7 @@ pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Duration {
     per_iter
 }
 
-/// Like [`bench`], also reporting throughput for `elements` work items
+/// Like [`bench()`], also reporting throughput for `elements` work items
 /// per iteration (e.g. interpreted instructions).
 pub fn bench_throughput<T>(
     name: &str,

@@ -39,8 +39,9 @@ pub mod validate;
 pub use detect::{detect_sequences, DetectedCondition, DetectedSequence};
 pub use order::{select_ordering, OrderItem, Ordering};
 pub use pipeline::{
-    reorder_module, reorder_module_with_inputs, ReorderOptions, ReorderReport, SequenceOutcome,
+    plan_for_profile, reorder_module, reorder_module_with_inputs, ReorderOptions, ReorderReport,
+    SequenceOutcome, SequencePlan,
 };
-pub use profile::{instrument_module, SequenceProfile};
+pub use profile::{detect_all, instrument_module, profiles_from_run, SequenceProfile};
 pub use range::{Form, Range};
 pub use validate::{validate_sequence, Stage, StageFailure, ValidationSummary};

@@ -10,8 +10,10 @@ use crate::common::{
     apply_common_reordering, detect_common, expected_cost, select_common_order, CommonSeq,
 };
 use crate::detect::DetectedSequence;
-use crate::order::{evaluate_cost, exhaustive_ordering, select_ordering, Ordering};
-use crate::profile::{detect_all, instrument_module, order_items, profiles_from_run};
+use crate::order::{evaluate_cost, exhaustive_ordering, select_ordering, OrderItem, Ordering};
+use crate::profile::{
+    detect_all, instrument_module, order_items, profiles_from_run, SequenceProfile,
+};
 use crate::validate::{check_ordering, validate_sequence, Stage, StageFailure, ValidationSummary};
 
 /// Options for the reordering pipeline.
@@ -226,20 +228,12 @@ pub fn reorder_module_with_inputs(
             sequences.push(record);
             continue;
         }
-        let items = order_items(seq, profile);
-        let eliminable = eliminable_items(seq, &items);
-        let candidates = candidate_defaults(&items, &eliminable, seq.default_target);
-        let fallback = seq.default_target;
-        let ordering: Ordering = if options.exhaustive {
-            exhaustive_ordering(&items, &candidates, &eliminable, fallback)
-        } else {
-            select_ordering(&items, &candidates, &eliminable, fallback)
-        };
-        // Original estimated cost: conditions in original order, all
-        // default ranges implicit.
-        let explicit: Vec<usize> = (0..seq.conds.len()).collect();
-        let eliminated: Vec<usize> = (seq.conds.len()..items.len()).collect();
-        let original_cost = evaluate_cost(&items, &explicit, &eliminated);
+        let SequencePlan {
+            items,
+            ordering,
+            original_cost,
+        } = plan_for_profile(seq, profile, options.exhaustive)
+            .expect("profile total checked nonzero");
         if do_validate {
             if let Err(problems) = check_ordering(&items, &ordering) {
                 summary.failures.push(StageFailure {
@@ -382,6 +376,74 @@ fn instrument_common(module: &mut Module, detections: &[(FuncId, CommonSeq)]) ->
         ids.push(seq_id);
     }
     ids
+}
+
+/// A per-sequence ordering plan computed from one profile: the order
+/// items in canonical [`crate::profile::plan_ranges`] indexing, the
+/// selected (greedy or exhaustive) ordering, and the estimated cost of
+/// the *original* source order under the same profile.
+#[derive(Clone, Debug)]
+pub struct SequencePlan {
+    /// The sequence's ranges with their profiled probabilities.
+    pub items: Vec<OrderItem>,
+    /// The selected minimum-cost ordering.
+    pub ordering: Ordering,
+    /// Estimated per-execution cost of the original ordering (conditions
+    /// in source order, all default ranges implicit).
+    pub original_cost: f64,
+}
+
+impl SequencePlan {
+    /// Whether the selected ordering beats the original's estimated cost
+    /// (the pipeline's apply threshold).
+    pub fn improves(&self) -> bool {
+        self.ordering.cost + 1e-9 < self.original_cost
+    }
+
+    /// Estimated per-execution cost of an *already deployed* ordering,
+    /// re-evaluated under this plan's (newer) profile. `None` means the
+    /// original source order is deployed. Item indices are canonical, so
+    /// an ordering selected under an older profile of the same sequence
+    /// evaluates directly against the new items.
+    pub fn cost_of_deployed(&self, deployed: Option<&Ordering>) -> f64 {
+        match deployed {
+            Some(d) => evaluate_cost(&self.items, &d.explicit, &d.eliminated),
+            None => self.original_cost,
+        }
+    }
+}
+
+/// Re-entrant per-sequence planning: compute the best ordering for one
+/// sequence under an arbitrary profile, without touching any module.
+/// This is the selection half of the pipeline's per-sequence loop,
+/// exposed so a runtime can re-plan a single drifted sequence against
+/// its *live* profile (see the `br-adaptive` crate). Returns `None` when
+/// the profile has no executions to plan from.
+pub fn plan_for_profile(
+    seq: &DetectedSequence,
+    profile: &SequenceProfile,
+    exhaustive: bool,
+) -> Option<SequencePlan> {
+    if profile.total() == 0 {
+        return None;
+    }
+    let items = order_items(seq, profile);
+    let eliminable = eliminable_items(seq, &items);
+    let candidates = candidate_defaults(&items, &eliminable, seq.default_target);
+    let fallback = seq.default_target;
+    let ordering: Ordering = if exhaustive {
+        exhaustive_ordering(&items, &candidates, &eliminable, fallback)
+    } else {
+        select_ordering(&items, &candidates, &eliminable, fallback)
+    };
+    let explicit: Vec<usize> = (0..seq.conds.len()).collect();
+    let eliminated: Vec<usize> = (seq.conds.len()..items.len()).collect();
+    let original_cost = evaluate_cost(&items, &explicit, &eliminated);
+    Some(SequencePlan {
+        items,
+        ordering,
+        original_cost,
+    })
 }
 
 /// Whether each item may be left untested. Values of untested ranges

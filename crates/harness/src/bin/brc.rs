@@ -12,6 +12,8 @@
 //! brc lint prog.c                                 # static analysis report
 //! brc validate prog.c --train data.txt            # prove the reordering
 //! brc validate --suite                            # all 17 workloads x 3 sets
+//! brc adapt                                       # adaptive-vs-static report
+//! brc adapt charclass --size 65536 --csv          # one scenario, CSV output
 //! ```
 //!
 //! Subcommands:
@@ -24,6 +26,11 @@
 //!   Sets I, II and III, proving every applied sequence equivalent, then
 //!   demonstrate that an intentionally corrupted replica is rejected
 //!   with a stage-naming diagnostic.
+//! * `adapt [SCENARIO]` run the continuous-reoptimization runtime over
+//!   the phase-shifting scenarios, racing it against a train-once
+//!   deployment and a per-phase offline oracle (`--size N` bytes per
+//!   phase, `--epoch N` blocks per adaptation epoch, `--exhaustive`
+//!   ordering search, `--csv` machine-readable output).
 //!
 //! Flags:
 //! * `--input FILE`  program stdin (default: empty)
@@ -65,7 +72,8 @@ fn usage() -> ! {
          [--reorder] [--common] [--no-opt] [--stats] [--dump-ir] [--from-ir]\n\
        \x20      brc lint FILE.c [--set I|II|III] [--from-ir] [--no-opt]\n\
        \x20      brc validate FILE.c [--input FILE] [--train FILE] [--set I|II|III]\n\
-       \x20      brc validate --suite [--size N]"
+       \x20      brc validate --suite [--size N]\n\
+       \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--csv]"
     );
     exit(2)
 }
@@ -347,6 +355,83 @@ fn cmd_validate(argv: impl Iterator<Item = String>) -> ! {
     exit(if ok { 0 } else { 1 })
 }
 
+/// `brc adapt [SCENARIO]` — race the adaptive runtime against a frozen
+/// train-once deployment and a per-phase oracle over phase-shifting
+/// input streams.
+fn cmd_adapt(argv: impl Iterator<Item = String>) -> ! {
+    use br_adaptive::{adapt_stream, AdaptOptions};
+
+    let mut name: Option<String> = None;
+    let mut size = 24 * 1024usize;
+    let mut epoch = 0u64;
+    let mut exhaustive = false;
+    let mut csv = false;
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--size" => {
+                size = argv
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--epoch" => {
+                epoch = argv
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--exhaustive" => exhaustive = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let scenarios = match name {
+        Some(n) => match br_workloads::phases::scenario(&n) {
+            Some(s) => vec![s],
+            None => {
+                let known: Vec<&str> = br_workloads::phases::scenarios()
+                    .iter()
+                    .map(|s| s.name)
+                    .collect();
+                eprintln!("brc: unknown scenario {n}; known: {}", known.join(", "));
+                exit(1);
+            }
+        },
+        None => br_workloads::phases::scenarios(),
+    };
+    let mut opts = AdaptOptions {
+        exhaustive,
+        ..AdaptOptions::default()
+    };
+    if epoch > 0 {
+        opts.vm.epoch_blocks = epoch;
+    }
+    let mut ok = true;
+    for s in &scenarios {
+        let module = build_module(s.source, HeuristicSet::SET_I, false, false);
+        let phases = s.phase_inputs(size);
+        match adapt_stream(&module, s.name, &s.training_input(size), &phases, &opts) {
+            Ok(report) => {
+                if csv {
+                    print!("{}", report.to_csv());
+                } else {
+                    println!("== {} — {}", s.name, s.description);
+                    println!("{report}\n");
+                }
+                ok &= report.aborted_swaps == 0;
+            }
+            Err(t) => {
+                eprintln!("brc: {}: run trapped: {t}", s.name);
+                ok = false;
+            }
+        }
+    }
+    exit(if ok { 0 } else { 1 })
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
@@ -357,6 +442,10 @@ fn main() {
         Some("validate") => {
             argv.next();
             cmd_validate(argv);
+        }
+        Some("adapt") => {
+            argv.next();
+            cmd_adapt(argv);
         }
         _ => {}
     }

@@ -10,6 +10,15 @@ use br_vm::{PredictorConfig, Scheme, TimeModel};
 use crate::SuiteResult;
 
 fn fmt_pct(v: f64) -> String {
+    // A zero baseline (`pct_change(new > 0, 0)`) yields infinity; print
+    // it explicitly rather than as a bogus finite percentage.
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "+inf".into()
+        } else {
+            "-inf".into()
+        };
+    }
     format!("{v:+.2}%")
 }
 

@@ -42,7 +42,7 @@ mod stats;
 pub mod timing;
 mod trap;
 
-pub use machine::{run, RunOutcome, VmOptions};
+pub use machine::{run, run_hooked, EpochHook, RunOutcome, VmOptions};
 pub use predictor::{PredictorConfig, PredictorResult, Scheme};
 pub use stats::{pct_change, ExecStats};
 pub use timing::TimeModel;

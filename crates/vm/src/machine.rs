@@ -27,6 +27,11 @@ pub struct VmOptions {
     /// Capture the first N executed basic blocks as trace lines
     /// (`f0:b3`) in [`RunOutcome::trace`]. 0 disables tracing.
     pub trace_blocks: usize,
+    /// Epoch length in executed blocks for [`run_hooked`]: once at least
+    /// this many blocks have run since the last epoch, execution pauses
+    /// at the next safe point (a profiled sequence head at call depth 1)
+    /// and the hook runs. 0 disables epochs; plain [`run`] ignores this.
+    pub epoch_blocks: u64,
 }
 
 impl Default for VmOptions {
@@ -38,8 +43,23 @@ impl Default for VmOptions {
             predictors: Vec::new(),
             indirect_jump_insts: 3,
             trace_blocks: 0,
+            epoch_blocks: 0,
         }
     }
+}
+
+/// A callback driven by [`run_hooked`] at epoch boundaries.
+///
+/// The hook gets exclusive access to the module — the program is paused
+/// at a sequence head, so replacing a sequence's ordering (rewriting the
+/// head's terminator to a fresh replica) is safe: no frame on the stack
+/// holds a position inside any sequence body. `profiles` are the live
+/// cumulative counters of the current run.
+pub trait EpochHook {
+    /// Called at each epoch boundary. Return `true` if the module was
+    /// mutated; the interpreter then recomputes its layout caches
+    /// (branch addresses, delay-slot fillability) before resuming.
+    fn on_epoch(&mut self, module: &mut Module, profiles: &mut [Vec<u64>]) -> bool;
 }
 
 /// Everything observed from one execution.
@@ -61,7 +81,6 @@ pub struct RunOutcome {
 }
 
 struct State<'m> {
-    module: &'m Module,
     opts: &'m VmOptions,
     memory: Vec<i64>,
     frame_top: i64,
@@ -80,33 +99,48 @@ struct State<'m> {
     /// approximation ignores filling from successors, which the paper
     /// notes often yields annulled (useless) slots anyway.
     unfilled_slot: Vec<Vec<bool>>,
+    /// `(func, head)` of every profiled sequence: the safe points where
+    /// an epoch may yield. Recomputed with the layout after a swap.
+    plan_heads: Vec<(usize, br_ir::BlockId)>,
+    /// Step count at which the next epoch is due (`u64::MAX` = never).
+    next_epoch: u64,
     steps: u64,
     depth: usize,
     trace: Vec<String>,
 }
 
-/// Execute the module's `main` function on `input`.
-///
-/// Block storage order is treated as final code layout for fall-through
-/// accounting; run the layout pass (`br_opt::reposition`) first if the
-/// module has not been laid out.
-///
-/// # Errors
-///
-/// Returns a [`Trap`] for abnormal termination: division by zero, memory
-/// or jump-table violations, undefined condition codes, explicit `abort`,
-/// or exceeded step/stack budgets.
-pub fn run(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome, Trap> {
-    let main = module.main.ok_or(Trap::NoMain)?;
-    let globals_end = module.globals_end();
-    let mut memory = vec![0i64; globals_end as usize + opts.stack_words];
-    for g in &module.globals {
-        let at = g.addr as usize;
-        memory[at..at + g.init.len()].copy_from_slice(&g.init);
-    }
-    // Assign each block terminator a static address: cumulative instruction
-    // offsets in storage (= layout) order, so predictor aliasing resembles
-    // real code addresses.
+/// How one [`exec_function`] activation ended.
+enum Flow {
+    /// The function returned this value.
+    Done(i64),
+    /// Execution paused for an epoch at block `at` (not yet executed);
+    /// `regs`/`cc` are the live frame state needed to resume.
+    Epoch {
+        at: br_ir::BlockId,
+        regs: Vec<i64>,
+        cc: Option<(i64, i64)>,
+    },
+}
+
+/// Saved frame state handed back to [`exec_function`] to resume `main`
+/// after an epoch pause.
+struct Resume {
+    at: br_ir::BlockId,
+    regs: Vec<i64>,
+    cc: Option<(i64, i64)>,
+}
+
+/// Per-block static layout caches: terminator addresses for predictor
+/// indexing and delay-slot fillability, both derived from storage order.
+struct Layout {
+    branch_addrs: Vec<Vec<u64>>,
+    unfilled_slot: Vec<Vec<bool>>,
+}
+
+/// Compute the layout caches. Block storage order is treated as final
+/// code layout, so this must be recomputed whenever blocks are added or
+/// rewritten mid-run (an epoch hook swapping a sequence).
+fn compute_layout(module: &Module) -> Layout {
     let mut branch_addrs = Vec::with_capacity(module.functions.len());
     let mut unfilled_slot = Vec::with_capacity(module.functions.len());
     let mut addr = 0u64;
@@ -135,8 +169,101 @@ pub fn run(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome
         branch_addrs.push(per_block);
         unfilled_slot.push(per_block_slot);
     }
-    let mut state = State {
-        module,
+    Layout {
+        branch_addrs,
+        unfilled_slot,
+    }
+}
+
+/// The `(func, head)` pairs of every profile plan: the epoch-safe yield
+/// points.
+fn plan_heads(module: &Module) -> Vec<(usize, br_ir::BlockId)> {
+    module
+        .profile_plans
+        .iter()
+        .map(|p| (p.func.index(), p.head))
+        .collect()
+}
+
+/// Execute the module's `main` function on `input`.
+///
+/// Block storage order is treated as final code layout for fall-through
+/// accounting; run the layout pass (`br_opt::reposition`) first if the
+/// module has not been laid out.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] for abnormal termination: division by zero, memory
+/// or jump-table violations, undefined condition codes, explicit `abort`,
+/// or exceeded step/stack budgets.
+pub fn run(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome, Trap> {
+    let main = module.main.ok_or(Trap::NoMain)?;
+    let mut state = new_state(module, input, opts);
+    state.next_epoch = u64::MAX; // plain runs never yield
+    match exec_function(&mut state, module, main.index(), &[], None)? {
+        Flow::Done(exit) => Ok(finish(exit, state)),
+        Flow::Epoch { .. } => unreachable!("epochs are disabled in plain runs"),
+    }
+}
+
+/// Execute the module's `main` like [`run`], pausing every
+/// [`VmOptions::epoch_blocks`] executed blocks to let `hook` observe the
+/// live profile counters and mutate the module (e.g. hot-swap a sequence
+/// ordering).
+///
+/// Pauses happen only at *safe points*: a profiled sequence head reached
+/// at call depth 1, checked before the head executes. A program that
+/// never revisits a head at depth 1 simply never pauses. When the hook
+/// reports a mutation, the interpreter recomputes its layout caches, so
+/// fall-through and predictor-address accounting stay faithful to the
+/// swapped code.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] exactly as [`run`] does.
+pub fn run_hooked(
+    module: &mut Module,
+    input: &[u8],
+    opts: &VmOptions,
+    hook: &mut dyn EpochHook,
+) -> Result<RunOutcome, Trap> {
+    let main = module.main.ok_or(Trap::NoMain)?;
+    let mut state = new_state(module, input, opts);
+    state.next_epoch = if opts.epoch_blocks > 0 {
+        opts.epoch_blocks
+    } else {
+        u64::MAX
+    };
+    let mut resume: Option<Resume> = None;
+    loop {
+        match exec_function(&mut state, module, main.index(), &[], resume.take())? {
+            Flow::Done(exit) => return Ok(finish(exit, state)),
+            Flow::Epoch { at, regs, cc } => {
+                if hook.on_epoch(module, &mut state.profiles) {
+                    let layout = compute_layout(module);
+                    state.branch_addrs = layout.branch_addrs;
+                    state.unfilled_slot = layout.unfilled_slot;
+                    state.plan_heads = plan_heads(module);
+                }
+                state.next_epoch = state.steps.saturating_add(opts.epoch_blocks.max(1));
+                resume = Some(Resume { at, regs, cc });
+            }
+        }
+    }
+}
+
+fn new_state<'m>(module: &Module, input: &'m [u8], opts: &'m VmOptions) -> State<'m> {
+    let globals_end = module.globals_end();
+    let mut memory = vec![0i64; globals_end as usize + opts.stack_words];
+    for g in &module.globals {
+        let at = g.addr as usize;
+        memory[at..at + g.init.len()].copy_from_slice(&g.init);
+    }
+    // Assign each block terminator a static address: cumulative instruction
+    // offsets in storage (= layout) order, so predictor aliasing resembles
+    // real code addresses.
+    let layout = compute_layout(module);
+    State {
         opts,
         memory,
         frame_top: globals_end,
@@ -150,21 +277,25 @@ pub fn run(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome
             .map(|p| vec![0; p.counter_count()])
             .collect(),
         predictors: opts.predictors.iter().map(|&c| Predictor::new(c)).collect(),
-        branch_addrs,
-        unfilled_slot,
+        branch_addrs: layout.branch_addrs,
+        unfilled_slot: layout.unfilled_slot,
+        plan_heads: plan_heads(module),
+        next_epoch: u64::MAX,
         steps: 0,
         depth: 0,
         trace: Vec::new(),
-    };
-    let exit = exec_function(&mut state, main.index(), &[])?;
-    Ok(RunOutcome {
+    }
+}
+
+fn finish(exit: i64, state: State<'_>) -> RunOutcome {
+    RunOutcome {
         exit,
         output: state.output,
         stats: state.stats,
         profiles: state.profiles,
         predictor_results: state.predictors.iter().map(Predictor::result).collect(),
         trace: state.trace,
-    })
+    }
 }
 
 fn operand(regs: &[i64], op: Operand) -> i64 {
@@ -174,30 +305,61 @@ fn operand(regs: &[i64], op: Operand) -> i64 {
     }
 }
 
-fn exec_function(state: &mut State<'_>, func: usize, args: &[i64]) -> Result<i64, Trap> {
+fn exec_function(
+    state: &mut State<'_>,
+    module: &Module,
+    func: usize,
+    args: &[i64],
+    resume: Option<Resume>,
+) -> Result<Flow, Trap> {
     if state.depth >= state.opts.max_call_depth {
         return Err(Trap::StackOverflow { depth: state.depth });
     }
     state.depth += 1;
-    let f = &state.module.functions[func];
+    let f = &module.functions[func];
     let frame_base = state.frame_top;
     if frame_base as usize + f.frame_size as usize > state.memory.len() {
         return Err(Trap::StackOverflow { depth: state.depth });
     }
     state.frame_top += f.frame_size as i64;
-    // Local arrays start zeroed on every activation.
-    for w in &mut state.memory[frame_base as usize..(frame_base + f.frame_size as i64) as usize] {
-        *w = 0;
-    }
 
-    let mut regs = vec![0i64; f.num_regs as usize];
-    for (reg, val) in f.param_regs.iter().zip(args) {
-        regs[reg.0 as usize] = *val;
-    }
+    let (mut regs, mut cur, mut cc) = match resume {
+        Some(r) => {
+            // Resuming after an epoch pause: the frame's memory is
+            // untouched (no zeroing), registers are restored — resized,
+            // since a hook swap may have grown the register file.
+            let mut regs = r.regs;
+            regs.resize(f.num_regs as usize, 0);
+            (regs, r.at, r.cc)
+        }
+        None => {
+            // Local arrays start zeroed on every activation.
+            for w in
+                &mut state.memory[frame_base as usize..(frame_base + f.frame_size as i64) as usize]
+            {
+                *w = 0;
+            }
+            let mut regs = vec![0i64; f.num_regs as usize];
+            for (reg, val) in f.param_regs.iter().zip(args) {
+                regs[reg.0 as usize] = *val;
+            }
+            (regs, f.entry, None)
+        }
+    };
 
-    let mut cur = f.entry;
-    let mut cc: Option<(i64, i64)> = None;
     let result = 'run: loop {
+        // Epoch pause: only at call depth 1, only at a profiled sequence
+        // head, and checked *before* the head executes — resuming never
+        // double-counts a step, probe, or stat.
+        if state.steps >= state.next_epoch
+            && state.depth == 1
+            && state
+                .plan_heads
+                .iter()
+                .any(|&(pf, pb)| pf == func && pb == cur)
+        {
+            break 'run Ok(Flow::Epoch { at: cur, regs, cc });
+        }
         state.steps += 1;
         if state.steps > state.opts.max_steps {
             break 'run Err(Trap::StepLimitExceeded {
@@ -264,10 +426,15 @@ fn exec_function(state: &mut State<'_>, func: usize, args: &[i64]) -> Result<i64
                             Ok(v) => v,
                             Err(t) => break 'run Err(t),
                         },
-                        Callee::Func(fid) => match exec_function(state, fid.index(), &vals) {
-                            Ok(v) => v,
-                            Err(t) => break 'run Err(t),
-                        },
+                        Callee::Func(fid) => {
+                            match exec_function(state, module, fid.index(), &vals, None) {
+                                Ok(Flow::Done(v)) => v,
+                                Ok(Flow::Epoch { .. }) => {
+                                    unreachable!("epochs only pause at call depth 1")
+                                }
+                                Err(t) => break 'run Err(t),
+                            }
+                        }
                     };
                     if let Some(d) = dst {
                         regs[d.0 as usize] = ret;
@@ -276,7 +443,7 @@ fn exec_function(state: &mut State<'_>, func: usize, args: &[i64]) -> Result<i64
                 Inst::ProfileRanges { seq, var } => {
                     // Profiling probes are architecturally free.
                     let v = regs[var.0 as usize];
-                    let plan = &state.module.profile_plans[seq.index()];
+                    let plan = &module.profile_plans[seq.index()];
                     if let Some(idx) = plan.range_containing(v) {
                         state.profiles[seq.index()][idx] += 1;
                     }
@@ -349,7 +516,7 @@ fn exec_function(state: &mut State<'_>, func: usize, args: &[i64]) -> Result<i64
             Terminator::Return(v) => {
                 state.stats.insts += 1;
                 state.stats.returns += 1;
-                break 'run Ok(v.map(|op| operand(&regs, op)).unwrap_or(0));
+                break 'run Ok(Flow::Done(v.map(|op| operand(&regs, op)).unwrap_or(0)));
             }
         }
     };
@@ -743,6 +910,143 @@ mod tests {
             run(&m, b"", &VmOptions::default()).unwrap_err(),
             Trap::NoMain
         );
+    }
+}
+
+#[cfg(test)]
+mod epoch_tests {
+    use super::*;
+    use br_ir::{BinOp, BlockId, Cond, FuncBuilder, Operand};
+
+    /// `main`: loop body putchars `A` `n` times; the loop head carries a
+    /// [`Inst::ProfileRanges`] probe, making it an epoch-safe point.
+    fn probed_loop(n: i64) -> Module {
+        let mut b = FuncBuilder::new("main");
+        let i = b.new_reg();
+        let e = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.copy(e, i, 0i64);
+        b.set_term(e, Terminator::Jump(head));
+        b.push(
+            head,
+            Inst::ProfileRanges {
+                seq: br_ir::SeqId(0),
+                var: i,
+            },
+        );
+        b.cmp_branch(head, i, n, Cond::Ge, done, body);
+        b.push(
+            body,
+            Inst::Call {
+                dst: None,
+                callee: Callee::Intrinsic(Intrinsic::PutChar),
+                args: vec![Operand::Imm(b'A' as i64)],
+            },
+        );
+        b.bin(body, BinOp::Add, i, i, 1i64);
+        b.set_term(body, Terminator::Jump(head));
+        b.set_term(done, Terminator::Return(Some(Operand::Reg(i))));
+        let mut m = Module::new();
+        m.main = Some(m.add_function(b.finish()));
+        m.add_profile_plan(br_ir::ProfilePlan {
+            func: br_ir::FuncId(0),
+            head: BlockId(1),
+            kind: br_ir::PlanKind::Ranges(vec![(i64::MIN, i64::MAX)]),
+        });
+        m
+    }
+
+    struct Counting {
+        calls: u64,
+        last_count: u64,
+    }
+
+    impl EpochHook for Counting {
+        fn on_epoch(&mut self, _module: &mut Module, profiles: &mut [Vec<u64>]) -> bool {
+            self.calls += 1;
+            // Counters are cumulative and live.
+            assert!(profiles[0][0] >= self.last_count);
+            self.last_count = profiles[0][0];
+            false
+        }
+    }
+
+    #[test]
+    fn noop_hook_matches_plain_run_exactly() {
+        let m = probed_loop(200);
+        let plain = run(&m, b"", &VmOptions::default()).unwrap();
+        let mut hooked_m = m.clone();
+        let opts = VmOptions {
+            epoch_blocks: 16,
+            ..VmOptions::default()
+        };
+        let mut hook = Counting {
+            calls: 0,
+            last_count: 0,
+        };
+        let hooked = run_hooked(&mut hooked_m, b"", &opts, &mut hook).unwrap();
+        assert!(
+            hook.calls > 3,
+            "expected several epochs, got {}",
+            hook.calls
+        );
+        assert_eq!(hooked.exit, plain.exit);
+        assert_eq!(hooked.output, plain.output);
+        assert_eq!(hooked.stats, plain.stats, "pausing must be free");
+        assert_eq!(hooked.profiles, plain.profiles);
+    }
+
+    #[test]
+    fn epochs_disabled_means_no_pauses() {
+        let mut m = probed_loop(100);
+        let mut hook = Counting {
+            calls: 0,
+            last_count: 0,
+        };
+        run_hooked(&mut m, b"", &VmOptions::default(), &mut hook).unwrap();
+        assert_eq!(hook.calls, 0);
+    }
+
+    /// Swaps the putchar'd byte at the first epoch: the mutation must be
+    /// visible to the resumed program, with state carried across.
+    struct Swapper {
+        swapped: bool,
+    }
+
+    impl EpochHook for Swapper {
+        fn on_epoch(&mut self, module: &mut Module, _profiles: &mut [Vec<u64>]) -> bool {
+            if self.swapped {
+                return false;
+            }
+            self.swapped = true;
+            let body = module.function_mut(br_ir::FuncId(0)).block_mut(BlockId(2));
+            for inst in &mut body.insts {
+                if let Inst::Call { args, .. } = inst {
+                    args[0] = Operand::Imm(b'B' as i64);
+                }
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn mid_run_mutation_takes_effect_and_resumes_cleanly() {
+        let mut m = probed_loop(100);
+        let opts = VmOptions {
+            epoch_blocks: 64,
+            ..VmOptions::default()
+        };
+        let mut hook = Swapper { swapped: false };
+        let out = run_hooked(&mut m, b"", &opts, &mut hook).unwrap();
+        assert!(hook.swapped);
+        assert_eq!(out.exit, 100, "loop counter survived the pause");
+        assert_eq!(out.output.len(), 100);
+        let a = out.output.iter().filter(|&&c| c == b'A').count();
+        let b = out.output.iter().filter(|&&c| c == b'B').count();
+        assert!(a > 0 && b > 0, "swap must land mid-run: {a} As, {b} Bs");
+        assert_eq!(out.profiles[0][0], 101, "probes keep counting after a swap");
     }
 }
 

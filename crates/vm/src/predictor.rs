@@ -25,14 +25,14 @@ pub enum Scheme {
 }
 
 impl Scheme {
-    /// Short label used in reports ("(0,1)", "(0,2)", "gshare8").
-    pub fn label(self) -> &'static str {
+    /// Short label used in reports ("(0,1)", "(0,2)", "gshare8"). The
+    /// gshare label always carries its history width, so sweeps at any
+    /// width stay distinguishable in reports.
+    pub fn label(self) -> String {
         match self {
-            Scheme::OneBit => "(0,1)",
-            Scheme::TwoBit => "(0,2)",
-            Scheme::Gshare(4) => "gshare4",
-            Scheme::Gshare(8) => "gshare8",
-            Scheme::Gshare(_) => "gshare",
+            Scheme::OneBit => "(0,1)".to_string(),
+            Scheme::TwoBit => "(0,2)".to_string(),
+            Scheme::Gshare(h) => format!("gshare{h}"),
         }
     }
 }
@@ -272,5 +272,7 @@ mod gshare_tests {
     fn gshare_labels() {
         assert_eq!(Scheme::Gshare(8).label(), "gshare8");
         assert_eq!(Scheme::Gshare(4).label(), "gshare4");
+        assert_eq!(Scheme::Gshare(6).label(), "gshare6");
+        assert_eq!(Scheme::Gshare(12).label(), "gshare12");
     }
 }

@@ -58,10 +58,17 @@ impl ExecStats {
     }
 }
 
-/// `100 * (new - old) / old`, or 0 when `old` is zero.
+/// `100 * (new - old) / old`. A zero baseline is made explicit rather
+/// than silently reported as "no change": the result is `0.0` only when
+/// both are zero, and [`f64::INFINITY`] when `old == 0` but `new > 0`
+/// (growth from nothing has no finite percentage).
 pub fn pct_change(new: u64, old: u64) -> f64 {
     if old == 0 {
-        0.0
+        if new == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         (new as f64 - old as f64) / old as f64 * 100.0
     }
@@ -120,7 +127,12 @@ mod tests {
     fn pct_change_signs() {
         assert_eq!(pct_change(90, 100), -10.0);
         assert!((pct_change(110, 100) - 10.0).abs() < 1e-9);
-        assert_eq!(pct_change(5, 0), 0.0);
+        assert_eq!(pct_change(0, 0), 0.0);
+        assert_eq!(
+            pct_change(5, 0),
+            f64::INFINITY,
+            "growth from a zero baseline must not read as no change"
+        );
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub enum InputKind {
     ShortLines,
     /// yacc-like grammar text: names, `:`, `|`, `;`.
     Grammar,
+    /// Whitespace-dominated: long space runs with sparse words (a
+    /// heavily indented or column-aligned file). Drives classifier
+    /// chains to their space exit almost every character.
+    SpaceHeavy,
+    /// Digit-dominated: columns of numbers with minimal separators.
+    DigitHeavy,
+    /// Punctuation-dominated: bracket/operator soup like minified code.
+    PunctHeavy,
 }
 
 /// A deterministic input generator: a kind plus a seed.
@@ -62,6 +70,9 @@ impl InputSpec {
             InputKind::PairedLines => paired(&mut rng, &mut out, size),
             InputKind::ShortLines => short_lines(&mut rng, &mut out, size),
             InputKind::Grammar => grammar(&mut rng, &mut out, size),
+            InputKind::SpaceHeavy => space_heavy(&mut rng, &mut out, size),
+            InputKind::DigitHeavy => digit_heavy(&mut rng, &mut out, size),
+            InputKind::PunctHeavy => punct_heavy(&mut rng, &mut out, size),
         }
         out
     }
@@ -288,6 +299,47 @@ fn grammar(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
     }
 }
 
+fn space_heavy(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
+    while out.len() < size {
+        let run = rng.gen_range(8..25);
+        out.extend(std::iter::repeat_n(b' ', run));
+        word(rng, out, 0.0);
+        if rng.gen_bool(0.15) {
+            out.push(b'\n');
+        }
+    }
+    out.push(b'\n');
+}
+
+fn digit_heavy(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
+    while out.len() < size {
+        let cols = rng.gen_range(4..9);
+        for i in 0..cols {
+            if i > 0 {
+                out.push(if rng.gen_bool(0.2) { b'\t' } else { b' ' });
+            }
+            for _ in 0..rng.gen_range(5..12) {
+                out.push(b'0' + rng.gen_range(0u8..10));
+            }
+        }
+        out.push(b'\n');
+    }
+}
+
+fn punct_heavy(rng: &mut SmallRng, out: &mut Vec<u8>, size: usize) {
+    const PUNCT: &[u8] = b"{}();,[]<>=+-*/&|!.:";
+    while out.len() < size {
+        for _ in 0..rng.gen_range(20..60) {
+            if rng.gen_bool(0.15) {
+                out.push(letter(rng));
+            } else {
+                out.push(PUNCT[rng.gen_range(0..PUNCT.len())]);
+            }
+        }
+        out.push(b'\n');
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +396,19 @@ mod tests {
         assert_eq!(lines.len() % 2, 0);
         let same = lines.chunks(2).filter(|p| p[0] == p[1]).count();
         assert!(same > 0 && same < lines.len() / 2);
+    }
+
+    #[test]
+    fn skewed_kinds_are_dominated_by_their_class() {
+        let frac = |bytes: &[u8], pred: fn(&u8) -> bool| {
+            bytes.iter().filter(|b| pred(b)).count() as f64 / bytes.len() as f64
+        };
+        let spaces = InputSpec::new(InputKind::SpaceHeavy, 7).generate(10_000);
+        assert!(frac(&spaces, |&b| b == b' ') > 0.5);
+        let digits = InputSpec::new(InputKind::DigitHeavy, 7).generate(10_000);
+        assert!(frac(&digits, u8::is_ascii_digit) > 0.6);
+        let punct = InputSpec::new(InputKind::PunctHeavy, 7).generate(10_000);
+        assert!(frac(&punct, |&b| b.is_ascii_punctuation()) > 0.6);
     }
 
     #[test]

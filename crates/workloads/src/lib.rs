@@ -18,10 +18,12 @@
 //! ```
 
 mod gen;
+pub mod phases;
 pub mod rng;
 pub mod synth;
 
 pub use gen::{InputKind, InputSpec};
+pub use phases::{scenario, scenarios, Phase, Scenario};
 
 /// One benchmark program.
 #[derive(Clone, Copy, Debug)]

@@ -1,0 +1,162 @@
+//! Phase-shifting input scenarios for the adaptive runtime.
+//!
+//! Each scenario is a branch-heavy classifier program plus an input
+//! *stream* whose character distribution shifts abruptly between
+//! phases. A train-once deployment optimizes for the training
+//! distribution and then eats the mismatch for every later phase; an
+//! adaptive runtime is expected to re-reorder shortly after each shift.
+
+use crate::gen::{InputKind, InputSpec};
+
+/// One phase of a scenario's input stream.
+#[derive(Clone, Copy, Debug)]
+pub struct Phase {
+    /// Display name.
+    pub name: &'static str,
+    /// Input generator for this phase.
+    pub input: InputSpec,
+}
+
+/// A program plus a phase-shifting input stream.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: &'static str,
+    /// One-line description of the shift pattern.
+    pub description: &'static str,
+    /// mini-C source of the classifier program.
+    pub source: &'static str,
+    /// Training distribution (what the initial deployment is tuned for).
+    pub training: InputSpec,
+    /// The phases, in stream order.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// Generate the training input at roughly `size` bytes.
+    pub fn training_input(&self, size: usize) -> Vec<u8> {
+        self.training.generate(size)
+    }
+
+    /// Generate every phase's input at roughly `size` bytes each.
+    pub fn phase_inputs(&self, size: usize) -> Vec<(&'static str, Vec<u8>)> {
+        self.phases
+            .iter()
+            .map(|p| (p.name, p.input.generate(size)))
+            .collect()
+    }
+}
+
+/// A wc-like character classifier: one long if/else chain on the input
+/// character, exercised once per byte. Which arm is hot is exactly the
+/// input's dominant character class.
+const CHARCLASS: &str = "
+    int main() {
+        int c; int spaces; int lines; int tabs; int digits; int other;
+        spaces = 0; lines = 0; tabs = 0; digits = 0; other = 0;
+        c = getchar();
+        while (c != -1) {
+            if (c == ' ') spaces += 1;
+            else if (c == 10) lines += 1;
+            else if (c == 9) tabs += 1;
+            else if (c >= '0' && c <= '9') digits += 1;
+            else other += 1;
+            c = getchar();
+        }
+        putint(spaces); putint(lines); putint(tabs); putint(digits); putint(other);
+        return 0;
+    }";
+
+/// A cb-like token dispatcher: punctuation cases first (cheap when the
+/// input is code), the wide letter default last.
+const DISPATCH: &str = "
+    int main() {
+        int c; int depth; int stmts; int strs; int words; int other;
+        depth = 0; stmts = 0; strs = 0; words = 0; other = 0;
+        c = getchar();
+        while (c != -1) {
+            if (c == '{') depth += 1;
+            else if (c == '}') depth -= 1;
+            else if (c == ';') stmts += 1;
+            else if (c == 34) strs += 1;
+            else if (c >= 'a' && c <= 'z') words += 1;
+            else other += 1;
+            c = getchar();
+        }
+        putint(depth); putint(stmts); putint(strs); putint(words); putint(other);
+        return 0;
+    }";
+
+/// The phase-shifting scenarios.
+pub fn scenarios() -> Vec<Scenario> {
+    use InputKind::*;
+    vec![
+        Scenario {
+            name: "charclass",
+            description: "prose training, then digit- and space-dominated phases",
+            source: CHARCLASS,
+            training: InputSpec::new(Prose, 31),
+            phases: vec![
+                Phase {
+                    name: "prose",
+                    input: InputSpec::new(Prose, 231),
+                },
+                Phase {
+                    name: "digits",
+                    input: InputSpec::new(DigitHeavy, 232),
+                },
+                Phase {
+                    name: "spaces",
+                    input: InputSpec::new(SpaceHeavy, 233),
+                },
+            ],
+        },
+        Scenario {
+            name: "dispatch",
+            description: "code training, then prose and punctuation-soup phases",
+            source: DISPATCH,
+            training: InputSpec::new(Code, 41),
+            phases: vec![
+                Phase {
+                    name: "code",
+                    input: InputSpec::new(Code, 241),
+                },
+                Phase {
+                    name: "prose",
+                    input: InputSpec::new(Prose, 242),
+                },
+                Phase {
+                    name: "punct",
+                    input: InputSpec::new(PunctHeavy, 243),
+                },
+            ],
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+pub fn scenario(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_exist_and_lookup_works() {
+        assert!(scenarios().len() >= 2);
+        assert!(scenario("charclass").is_some());
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn phases_differ_from_training() {
+        for s in scenarios() {
+            let train = s.training_input(4096);
+            for (name, input) in s.phase_inputs(4096) {
+                assert_ne!(train, input, "{}:{name} input equals training", s.name);
+            }
+        }
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`analysis`] — dataflow framework (intervals, condition-code
 //!   reaching definitions, purity), lint passes, and the translation
 //!   validator that proves each reordering semantics-preserving.
+//! * [`adaptive`] — continuous profile-guided reoptimization: online
+//!   range-exit profiling with epoch decay, distribution-drift
+//!   detection, and validated hot swapping of re-reordered sequences.
 //! * [`workloads`] — the 17 benchmark kernels named after the paper's
 //!   test programs, plus input generators.
 //! * [`harness`] — experiment drivers that regenerate every table and
@@ -59,6 +62,7 @@
 //! assert_eq!(result.original.output, result.reordered.output);
 //! ```
 
+pub use br_adaptive as adaptive;
 pub use br_analysis as analysis;
 pub use br_harness as harness;
 pub use br_ir as ir;
