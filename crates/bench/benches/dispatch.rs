@@ -1,0 +1,45 @@
+//! Fast-path dispatch benchmark: the pre-decoded image interpreter
+//! (`br_vm::run_image`) against the classic tree-walking interpreter
+//! (`br_vm::run_reference`) on branch-heavy workloads, plus the cost of
+//! decoding itself. The sweep engine's budget rides on the reported
+//! speedup, so this bench prints an explicit ratio per workload (target:
+//! ≥ 1.5x on the geometric mean).
+
+use br_bench::bench_throughput;
+use br_minic::{compile, HeuristicSet, Options};
+use br_vm::{run_image, run_reference, Image, VmOptions};
+
+fn main() {
+    let opts = Options::with_heuristics(HeuristicSet::SET_II);
+    let vm = VmOptions::default();
+    let mut ratios = Vec::new();
+    for name in ["wc", "cb", "lex", "sort", "grep"] {
+        let w = br_workloads::by_name(name).expect("workload exists");
+        let mut module = compile(w.source, &opts).expect("compiles");
+        br_opt::optimize(&mut module);
+        let input = w.test_input(32 * 1024);
+
+        let image = Image::decode(&module);
+        let probe = run_image(&image, &input, &vm).expect("runs");
+        let insts = probe.stats.insts;
+
+        let slow = bench_throughput(&format!("dispatch/{name}/reference"), 30, insts, || {
+            run_reference(&module, &input, &vm).unwrap()
+        });
+        let fast = bench_throughput(&format!("dispatch/{name}/image"), 30, insts, || {
+            run_image(&image, &input, &vm).unwrap()
+        });
+        let ratio = slow.as_secs_f64() / fast.as_secs_f64();
+        ratios.push(ratio);
+        println!("      dispatch/{name}: speedup {ratio:.2}x");
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("dispatch geometric-mean speedup: {geomean:.2}x (target >= 1.5x)");
+
+    // Decode is a per-module (not per-run) cost; show it stays trivial
+    // next to a single measurement run.
+    let w = br_workloads::by_name("lex").expect("lex exists");
+    let mut module = compile(w.source, &opts).expect("compiles");
+    br_opt::optimize(&mut module);
+    br_bench::bench("dispatch/lex/decode", 200, || Image::decode(&module));
+}

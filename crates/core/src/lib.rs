@@ -25,6 +25,36 @@
 //! * [`validate`] — stage-attributing translation validation: every
 //!   applied sequence is proven equivalent to its original chain (via
 //!   `br-analysis`), and a failure names the pipeline stage at fault.
+//!
+//! The whole two-pass pipeline in one call — train on one input, get a
+//! restructured module plus a record per detected sequence:
+//!
+//! ```
+//! use br_minic::{compile, HeuristicSet, Options};
+//! use br_reorder::{reorder_module, ReorderOptions, SequenceOutcome};
+//!
+//! // Most characters are ordinary, yet ' ' and '\n' are tested first.
+//! let src = "int main() { int c; int n; n = 0; c = getchar();
+//!     while (c != -1) {
+//!         if (c == 32) { n = n + 1; }
+//!         else if (c == 10) { n = n + 2; }
+//!         else { n = n + 3; }
+//!         c = getchar();
+//!     }
+//!     return n; }";
+//! let mut module = compile(src, &Options::with_heuristics(HeuristicSet::SET_I))
+//!     .expect("compiles");
+//! br_opt::optimize(&mut module);
+//!
+//! let training = b"mostly ordinary letters, few separators";
+//! let report = reorder_module(&module, training, &ReorderOptions::default())
+//!     .expect("training run succeeds");
+//! // The else-if chain was found and restructured for the skew.
+//! assert!(report
+//!     .sequences
+//!     .iter()
+//!     .any(|s| matches!(s.outcome, SequenceOutcome::Reordered { .. })));
+//! ```
 
 pub mod apply;
 pub mod common;

@@ -1,0 +1,299 @@
+//! Versioned text serialization for cached pipeline artifacts.
+//!
+//! Two artifact kinds exist, one per cached stage:
+//!
+//! * **reorder** — the result of the training + reordering stage: every
+//!   [`SequenceRecord`] plus the reordered module as printed IR. The
+//!   restored report carries `validation: None`; the tables never read
+//!   the validation summary (`brc validate` exists for that), so caching
+//!   it would only bloat the artifacts.
+//! * **measure** — the result of one measurement run: exit value, the
+//!   eleven architectural counters, every predictor result, the static
+//!   instruction count of the measured module, and the output bytes.
+//!
+//! Formats are line-oriented and human-inspectable on purpose: a cache
+//! directory full of `*.art` files doubles as a record of what the sweep
+//! actually computed. Any parse failure is reported as `None` and the
+//! caller recomputes, so format evolution never corrupts results.
+
+use br_ir::{parse_module, print_module, BlockId, FuncId};
+use br_reorder::pipeline::{SequenceKind, SequenceRecord};
+use br_reorder::{ReorderReport, SequenceOutcome};
+use br_vm::{ExecStats, PredictorConfig, PredictorResult, Scheme};
+
+use crate::MeasuredCell;
+
+fn scheme_str(s: Scheme) -> String {
+    match s {
+        Scheme::OneBit => "onebit".to_string(),
+        Scheme::TwoBit => "twobit".to_string(),
+        Scheme::Gshare(bits) => format!("gshare:{bits}"),
+    }
+}
+
+fn parse_scheme(s: &str) -> Option<Scheme> {
+    match s {
+        "onebit" => Some(Scheme::OneBit),
+        "twobit" => Some(Scheme::TwoBit),
+        _ => s.strip_prefix("gshare:")?.parse().ok().map(Scheme::Gshare),
+    }
+}
+
+/// A stable one-line description of a predictor configuration — also
+/// used as part of measurement cache keys.
+pub fn predictor_str(c: &PredictorConfig) -> String {
+    format!("{} {}", scheme_str(c.scheme), c.entries)
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+/// Serialize a reorder report (sequence records + reordered module IR).
+pub fn write_reorder(report: &ReorderReport) -> String {
+    let mut out = format!("reorder {}\n", crate::cache::FORMAT_VERSION);
+    out.push_str(&format!("sequences {}\n", report.sequences.len()));
+    for s in &report.sequences {
+        let kind = match s.kind {
+            SequenceKind::RangeConditions => "range",
+            SequenceKind::CommonSuccessor => "common",
+        };
+        let outcome = match s.outcome {
+            SequenceOutcome::Reordered {
+                new_branches,
+                new_compares,
+                original_cost,
+                new_cost,
+            } => format!("reordered {new_branches} {new_compares} {original_cost:?} {new_cost:?}"),
+            SequenceOutcome::NeverExecuted => "never".to_string(),
+            SequenceOutcome::NoImprovement => "noimp".to_string(),
+        };
+        out.push_str(&format!(
+            "{kind} {} {} {} {} {} {outcome}\n",
+            s.func.0, s.head.0, s.original_branches, s.conditions, s.training_executions
+        ));
+    }
+    out.push_str("module\n");
+    out.push_str(&print_module(&report.module));
+    out
+}
+
+/// Restore a reorder report; `None` on any format mismatch.
+pub fn read_reorder(text: &str) -> Option<ReorderReport> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("reorder {}", crate::cache::FORMAT_VERSION) {
+        return None;
+    }
+    let n: usize = lines.next()?.strip_prefix("sequences ")?.parse().ok()?;
+    let mut sequences = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = lines.next()?;
+        let mut f = line.split(' ');
+        let kind = match f.next()? {
+            "range" => SequenceKind::RangeConditions,
+            "common" => SequenceKind::CommonSuccessor,
+            _ => return None,
+        };
+        let func = FuncId(f.next()?.parse().ok()?);
+        let head = BlockId(f.next()?.parse().ok()?);
+        let original_branches = f.next()?.parse().ok()?;
+        let conditions = f.next()?.parse().ok()?;
+        let training_executions = f.next()?.parse().ok()?;
+        let outcome = match f.next()? {
+            "reordered" => SequenceOutcome::Reordered {
+                new_branches: f.next()?.parse().ok()?,
+                new_compares: f.next()?.parse().ok()?,
+                original_cost: f.next()?.parse().ok()?,
+                new_cost: f.next()?.parse().ok()?,
+            },
+            "never" => SequenceOutcome::NeverExecuted,
+            "noimp" => SequenceOutcome::NoImprovement,
+            _ => return None,
+        };
+        sequences.push(SequenceRecord {
+            kind,
+            func,
+            head,
+            original_branches,
+            conditions,
+            training_executions,
+            outcome,
+        });
+    }
+    if lines.next()? != "module" {
+        return None;
+    }
+    let module_text = text.split_once("\nmodule\n")?.1;
+    let module = parse_module(module_text).ok()?;
+    Some(ReorderReport {
+        module,
+        sequences,
+        validation: None,
+    })
+}
+
+/// Serialize one measured run plus the measured module's static size.
+pub fn write_measure(cell: &MeasuredCell) -> String {
+    let st = &cell.run.stats;
+    let mut out = format!("measure {}\n", crate::cache::FORMAT_VERSION);
+    out.push_str(&format!("exit {}\n", cell.run.exit));
+    out.push_str(&format!("static {}\n", cell.static_size));
+    out.push_str(&format!(
+        "stats {} {} {} {} {} {} {} {} {} {} {}\n",
+        st.insts,
+        st.cond_branches,
+        st.taken_branches,
+        st.uncond_jumps,
+        st.indirect_jumps,
+        st.compares,
+        st.loads,
+        st.stores,
+        st.calls,
+        st.returns,
+        st.delay_stalls
+    ));
+    out.push_str(&format!("predictors {}\n", cell.run.predictors.len()));
+    for p in &cell.run.predictors {
+        out.push_str(&format!(
+            "{} {} {}\n",
+            predictor_str(&p.config),
+            p.predictions,
+            p.mispredictions
+        ));
+    }
+    out.push_str(&format!("output {}\n", hex(&cell.run.output)));
+    out
+}
+
+/// Restore one measured run; `None` on any format mismatch.
+pub fn read_measure(text: &str) -> Option<MeasuredCell> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("measure {}", crate::cache::FORMAT_VERSION) {
+        return None;
+    }
+    let exit = lines.next()?.strip_prefix("exit ")?.parse().ok()?;
+    let static_size = lines.next()?.strip_prefix("static ")?.parse().ok()?;
+    let mut nums = lines.next()?.strip_prefix("stats ")?.split(' ');
+    let mut next = || -> Option<u64> { nums.next()?.parse().ok() };
+    let stats = ExecStats {
+        insts: next()?,
+        cond_branches: next()?,
+        taken_branches: next()?,
+        uncond_jumps: next()?,
+        indirect_jumps: next()?,
+        compares: next()?,
+        loads: next()?,
+        stores: next()?,
+        calls: next()?,
+        returns: next()?,
+        delay_stalls: next()?,
+    };
+    let n: usize = lines.next()?.strip_prefix("predictors ")?.parse().ok()?;
+    let mut predictors = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut f = lines.next()?.split(' ');
+        predictors.push(PredictorResult {
+            config: PredictorConfig {
+                scheme: parse_scheme(f.next()?)?,
+                entries: f.next()?.parse().ok()?,
+            },
+            predictions: f.next()?.parse().ok()?,
+            mispredictions: f.next()?.parse().ok()?,
+        });
+    }
+    let output = unhex(lines.next()?.strip_prefix("output ")?)?;
+    Some(MeasuredCell {
+        run: br_harness::MeasuredRun {
+            exit,
+            output,
+            stats,
+            predictors,
+        },
+        static_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_roundtrips() {
+        let cell = MeasuredCell {
+            run: br_harness::MeasuredRun {
+                exit: -3,
+                output: vec![0, 255, 10, 65],
+                stats: ExecStats {
+                    insts: 1,
+                    cond_branches: 2,
+                    taken_branches: 3,
+                    uncond_jumps: 4,
+                    indirect_jumps: 5,
+                    compares: 6,
+                    loads: 7,
+                    stores: 8,
+                    calls: 9,
+                    returns: 10,
+                    delay_stalls: 11,
+                },
+                predictors: vec![
+                    PredictorResult {
+                        config: PredictorConfig {
+                            scheme: Scheme::Gshare(6),
+                            entries: 256,
+                        },
+                        predictions: 100,
+                        mispredictions: 17,
+                    },
+                    PredictorResult {
+                        config: PredictorConfig {
+                            scheme: Scheme::TwoBit,
+                            entries: 2048,
+                        },
+                        predictions: 100,
+                        mispredictions: 4,
+                    },
+                ],
+            },
+            static_size: 321,
+        };
+        let text = write_measure(&cell);
+        let back = read_measure(&text).expect("parses");
+        assert_eq!(back.run.exit, cell.run.exit);
+        assert_eq!(back.run.output, cell.run.output);
+        assert_eq!(back.run.stats, cell.run.stats);
+        assert_eq!(back.run.predictors, cell.run.predictors);
+        assert_eq!(back.static_size, cell.static_size);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected() {
+        assert!(read_measure("measure v0\nexit 0\n").is_none());
+        assert!(read_reorder("bogus").is_none());
+        assert!(read_measure("").is_none());
+    }
+
+    #[test]
+    fn costs_roundtrip_exactly() {
+        // f64 costs are serialized with Debug, which is shortest
+        // round-trip: parsing must restore the identical bits.
+        for v in [0.0f64, 1.5, 2.0 / 3.0, 1e-17, 123456.789] {
+            let s = format!("{v:?}");
+            let back: f64 = s.parse().expect("parses");
+            assert_eq!(back.to_bits(), v.to_bits(), "{s}");
+        }
+    }
+}

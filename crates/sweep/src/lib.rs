@@ -1,0 +1,577 @@
+//! # br-sweep
+//!
+//! The parallel paper-scale reproduction engine: one invocation fans the
+//! whole experiment grid — workload × switch-translation heuristic set ×
+//! input seed — across CPU cores and regenerates every results table of
+//! the paper's evaluation (Tables 4–8 plus the sequence-length figures)
+//! into versioned files under `results/`.
+//!
+//! Three properties make the engine worth having over a `for` loop
+//! around [`br_harness::run_suite`]:
+//!
+//! * **Parallel scheduling.** Grid cells are independent, so a
+//!   dependency-free atomic-cursor scheduler ([`scheduler::parallel_map`])
+//!   keeps every core busy. Results are delivered by grid index, so the
+//!   report — and every file written — is **byte-identical regardless of
+//!   thread count**.
+//! * **Content-addressed caching.** The expensive stages (the
+//!   training-and-reordering pipeline and the measurement runs) are
+//!   cached on disk keyed by a hash of the printed module IR, the stage
+//!   options, and the input bytes ([`cache::ArtifactCache`]). A re-run
+//!   after editing only documentation is almost free; a re-run after
+//!   touching the optimizer recomputes exactly the cells whose inputs
+//!   changed.
+//! * **Seed replication.** `--seeds K` re-runs the grid under K
+//!   perturbed input seeds and reports the spread of the headline
+//!   numbers (`stability.csv`), separating the transformation's effect
+//!   from input-generator luck.
+//!
+//! ```no_run
+//! use br_sweep::{run_sweep, SweepConfig};
+//!
+//! let mut config = SweepConfig::smoke();
+//! config.out_dir = std::env::temp_dir().join("sweep-results");
+//! config.cache_dir = Some(std::env::temp_dir().join("sweep-cache"));
+//! let outcome = run_sweep(&config).expect("sweep succeeds");
+//! println!(
+//!     "{} cells in {:?}; {} cache hits; wrote {} files",
+//!     outcome.cells,
+//!     outcome.elapsed,
+//!     outcome.cache_hits,
+//!     outcome.files.len(),
+//! );
+//! ```
+
+pub mod artifact;
+pub mod cache;
+pub mod report;
+pub mod scheduler;
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use br_harness::{MeasuredRun, ProgramResult, SuiteResult};
+use br_ir::print_module;
+use br_minic::{compile, HeuristicSet, Options};
+use br_reorder::{reorder_module, ReorderOptions};
+use br_vm::{run, PredictorConfig, Scheme, VmOptions};
+use br_workloads::{InputSpec, Workload};
+
+use cache::{fnv1a, ArtifactCache, FORMAT_VERSION};
+
+/// Configuration for one sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Heuristic sets to sweep (columns of Table 4/8).
+    pub sets: Vec<HeuristicSet>,
+    /// Workload names to run; empty means all 17.
+    pub workloads: Vec<String>,
+    /// Input-seed replications; seed 0 is the canonical paper grid,
+    /// further seeds perturb the input generators.
+    pub seeds: u32,
+    /// Worker threads; 0 picks the machine's available parallelism.
+    pub threads: usize,
+    /// Bytes of training input per workload.
+    pub train_size: usize,
+    /// Bytes of test input per workload.
+    pub test_size: usize,
+    /// Use the exhaustive ordering search instead of the greedy one.
+    pub exhaustive: bool,
+    /// Directory the result files are written into.
+    pub out_dir: PathBuf,
+    /// Artifact cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl SweepConfig {
+    /// The full paper grid: all sets, all workloads, paper input sizes.
+    pub fn full() -> SweepConfig {
+        SweepConfig {
+            sets: HeuristicSet::ALL.to_vec(),
+            workloads: Vec::new(),
+            seeds: 1,
+            threads: 0,
+            train_size: 12 * 1024,
+            test_size: 16 * 1024,
+            exhaustive: false,
+            out_dir: PathBuf::from("results"),
+            cache_dir: Some(PathBuf::from("target/sweep-cache")),
+        }
+    }
+
+    /// The full grid at reduced input sizes, for quick local runs.
+    pub fn quick() -> SweepConfig {
+        SweepConfig {
+            train_size: 3 * 1024,
+            test_size: 4 * 1024,
+            ..SweepConfig::full()
+        }
+    }
+
+    /// A tiny grid for CI smoke tests: three branch-heavy workloads,
+    /// two heuristic sets, quick input sizes, two threads.
+    pub fn smoke() -> SweepConfig {
+        SweepConfig {
+            sets: vec![HeuristicSet::SET_I, HeuristicSet::SET_II],
+            workloads: vec!["wc".into(), "cb".into(), "grep".into()],
+            threads: 2,
+            ..SweepConfig::quick()
+        }
+    }
+
+    /// A stable one-line description of the grid, embedded in the report
+    /// header (never includes thread count or timings, which must not
+    /// influence the output bytes).
+    pub fn descriptor(&self) -> String {
+        let workloads = if self.workloads.is_empty() {
+            "all".to_string()
+        } else {
+            self.workloads.join(",")
+        };
+        let sets: Vec<&str> = self.sets.iter().map(|s| s.name).collect();
+        format!(
+            "sets={} workloads={} seeds={} train={} test={} search={}",
+            sets.join(","),
+            workloads,
+            self.seeds,
+            self.train_size,
+            self.test_size,
+            if self.exhaustive {
+                "exhaustive"
+            } else {
+                "greedy"
+            },
+        )
+    }
+}
+
+/// A sweep failure: configuration, pipeline, or I/O.
+#[derive(Clone, Debug)]
+pub struct SweepError {
+    /// Human-readable description, prefixed with the cell it came from.
+    pub message: String,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// One measured run together with the static size of the module that
+/// produced it (cached as a single artifact so a warm sweep never needs
+/// to re-parse the module).
+#[derive(Clone, Debug)]
+pub struct MeasuredCell {
+    /// The measured run.
+    pub run: MeasuredRun,
+    /// Static instruction count of the measured module.
+    pub static_size: usize,
+}
+
+/// Stage timings and cache outcomes for one grid cell — diagnostics
+/// only, reported on stderr and never written into result files.
+#[derive(Clone, Debug)]
+pub struct CellMetrics {
+    /// Heuristic set name.
+    pub set: &'static str,
+    /// Workload name.
+    pub workload: &'static str,
+    /// Input seed replication index.
+    pub seed: u32,
+    /// Wall-clock time of the training + reordering stage.
+    pub reorder_time: Duration,
+    /// Combined wall-clock time of both measurement runs.
+    pub measure_time: Duration,
+    /// Whether the reorder stage was replayed from the cache.
+    pub reorder_cached: bool,
+    /// How many of the two measurement runs were replayed.
+    pub measures_cached: u32,
+}
+
+/// Per-seed headline numbers for `stability.csv`.
+#[derive(Clone, Debug)]
+pub struct StabilityRow {
+    /// Heuristic set name.
+    pub set: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Input seed replication index.
+    pub seed: u32,
+    /// `%` change in dynamic instructions at this seed.
+    pub insts_pct: f64,
+    /// `%` change in conditional branches at this seed.
+    pub branches_pct: f64,
+}
+
+/// Everything a finished sweep produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Seed-0 suite results, one per heuristic set, in config order.
+    pub suites: Vec<SuiteResult>,
+    /// Per-seed headline spread (all seeds, including 0).
+    pub stability: Vec<StabilityRow>,
+    /// Result files written, in a fixed order.
+    pub files: Vec<PathBuf>,
+    /// Per-cell stage metrics, in grid order.
+    pub metrics: Vec<CellMetrics>,
+    /// Artifact-cache hits across the whole run.
+    pub cache_hits: u64,
+    /// Artifact-cache misses across the whole run.
+    pub cache_misses: u64,
+    /// Grid cells executed.
+    pub cells: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The paper's full predictor sweep (Table 6): (0,1) and (0,2) at every
+/// table size.
+fn predictor_sweep() -> Vec<PredictorConfig> {
+    let mut predictors = PredictorConfig::sweep(Scheme::OneBit);
+    predictors.extend(PredictorConfig::sweep(Scheme::TwoBit));
+    predictors
+}
+
+/// Input spec for replication `seed`: seed 0 is the workload's canonical
+/// spec, others shift the generator seed by a fixed odd stride.
+fn replicated(spec: InputSpec, seed: u32) -> InputSpec {
+    InputSpec::new(spec.kind, spec.seed + 7919 * u64::from(seed))
+}
+
+struct Cell {
+    set: HeuristicSet,
+    workload: Workload,
+    seed: u32,
+}
+
+struct CellOutput {
+    program: ProgramResult,
+    metrics: CellMetrics,
+}
+
+/// Run one grid cell: compile, train + reorder (cached), measure
+/// original and reordered (cached), and package a [`ProgramResult`].
+fn run_cell(
+    config: &SweepConfig,
+    cache: &ArtifactCache,
+    cell: &Cell,
+) -> Result<CellOutput, SweepError> {
+    let label = format!("{}/{}/seed{}", cell.set.name, cell.workload.name, cell.seed);
+    let err = |message: String| SweepError {
+        message: format!("{label}: {message}"),
+    };
+
+    let mut module = compile(cell.workload.source, &Options::with_heuristics(cell.set))
+        .map_err(|e| err(format!("compile error: {e}")))?;
+    br_opt::optimize(&mut module);
+    let module_text = print_module(&module);
+
+    let train = replicated(cell.workload.training, cell.seed).generate(config.train_size);
+    let test = replicated(cell.workload.test, cell.seed).generate(config.test_size);
+
+    // Stage 1: training + reordering, cached on (module, input, search).
+    let search = if config.exhaustive {
+        "exhaustive"
+    } else {
+        "greedy"
+    };
+    let reorder_key = fnv1a(&[
+        b"reorder",
+        FORMAT_VERSION.as_bytes(),
+        module_text.as_bytes(),
+        &train,
+        search.as_bytes(),
+    ]);
+    let reorder_start = Instant::now();
+    let mut reorder_cached = true;
+    let cached = cache.get(reorder_key).and_then(|text| {
+        let parsed = artifact::read_reorder(&text);
+        if parsed.is_none() {
+            cache.demote_hit();
+        }
+        parsed
+    });
+    let report = match cached {
+        Some(report) => report,
+        None => {
+            reorder_cached = false;
+            let opts = ReorderOptions {
+                exhaustive: config.exhaustive,
+                ..ReorderOptions::default()
+            };
+            let report = reorder_module(&module, &train, &opts)
+                .map_err(|e| err(format!("training run trapped: {e}")))?;
+            cache.put(reorder_key, &artifact::write_reorder(&report));
+            report
+        }
+    };
+    let reorder_time = reorder_start.elapsed();
+    let reordered_text = print_module(&report.module);
+
+    // Stage 2: measurement, cached on (module, input, vm options). The
+    // original module's artifact is shared by every seed that generates
+    // the same test input, and by every future sweep over this module.
+    let vm = VmOptions {
+        predictors: predictor_sweep(),
+        ..VmOptions::default()
+    };
+    let vm_desc = {
+        let preds: Vec<String> = vm.predictors.iter().map(artifact::predictor_str).collect();
+        format!(
+            "ijump={} preds=[{}]",
+            vm.indirect_jump_insts,
+            preds.join(",")
+        )
+    };
+    let mut measures_cached = 0u32;
+    let measure_start = Instant::now();
+    let mut measure = |m: &br_ir::Module, text: &str| -> Result<MeasuredCell, SweepError> {
+        let key = fnv1a(&[
+            b"measure",
+            FORMAT_VERSION.as_bytes(),
+            text.as_bytes(),
+            &test,
+            vm_desc.as_bytes(),
+        ]);
+        let cached = cache.get(key).and_then(|text| {
+            let parsed = artifact::read_measure(&text);
+            if parsed.is_none() {
+                cache.demote_hit();
+            }
+            parsed
+        });
+        if let Some(cell) = cached {
+            measures_cached += 1;
+            return Ok(cell);
+        }
+        let out = run(m, &test, &vm).map_err(|e| err(format!("test run trapped: {e}")))?;
+        let cell = MeasuredCell {
+            run: MeasuredRun {
+                exit: out.exit,
+                output: out.output,
+                stats: out.stats,
+                predictors: out.predictor_results,
+            },
+            static_size: m.static_size(),
+        };
+        cache.put(key, &artifact::write_measure(&cell));
+        Ok(cell)
+    };
+    let original = measure(&module, &module_text)?;
+    let reordered = measure(&report.module, &reordered_text)?;
+    let measure_time = measure_start.elapsed();
+
+    if original.run.exit != reordered.run.exit || original.run.output != reordered.run.output {
+        return Err(err("reordering changed observable behaviour".to_string()));
+    }
+
+    Ok(CellOutput {
+        metrics: CellMetrics {
+            set: cell.set.name,
+            workload: cell.workload.name,
+            seed: cell.seed,
+            reorder_time,
+            measure_time,
+            reorder_cached,
+            measures_cached,
+        },
+        program: ProgramResult {
+            name: cell.workload.name.to_string(),
+            original_static: original.static_size,
+            reordered_static: reordered.static_size,
+            original: original.run,
+            reordered: reordered.run,
+            report,
+        },
+    })
+}
+
+/// Resolve the configured workload names against the registry.
+fn selected_workloads(config: &SweepConfig) -> Result<Vec<Workload>, SweepError> {
+    if config.workloads.is_empty() {
+        return Ok(br_workloads::all());
+    }
+    config
+        .workloads
+        .iter()
+        .map(|name| {
+            br_workloads::by_name(name).ok_or_else(|| SweepError {
+                message: format!("unknown workload `{name}`"),
+            })
+        })
+        .collect()
+}
+
+/// Run the whole sweep: build the grid, fan it across workers, assemble
+/// the per-set suites, and write every result file under
+/// [`SweepConfig::out_dir`].
+///
+/// Result files depend only on the grid configuration — never on thread
+/// count, cache state, or timing — so two runs of the same config
+/// produce byte-identical files.
+///
+/// # Errors
+///
+/// Fails on an unknown workload name, the first cell whose pipeline
+/// traps, or an I/O error writing the results.
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
+    let start = Instant::now();
+    let workloads = selected_workloads(config)?;
+    if config.sets.is_empty() || config.seeds == 0 {
+        return Err(SweepError {
+            message: "empty grid: need at least one heuristic set and one seed".to_string(),
+        });
+    }
+    let cache = match &config.cache_dir {
+        Some(dir) => ArtifactCache::at(dir).map_err(|e| SweepError {
+            message: format!("cannot create cache dir {}: {e}", dir.display()),
+        })?,
+        None => ArtifactCache::disabled(),
+    };
+
+    // Grid order is the report order: seed-major, then set, then the
+    // paper's workload order. parallel_map returns results by index, so
+    // everything downstream is deterministic.
+    let mut grid = Vec::new();
+    for seed in 0..config.seeds {
+        for &set in &config.sets {
+            for &workload in &workloads {
+                grid.push(Cell {
+                    set,
+                    workload,
+                    seed,
+                });
+            }
+        }
+    }
+    let threads = if config.threads == 0 {
+        scheduler::default_threads()
+    } else {
+        config.threads
+    };
+    let results = scheduler::parallel_map(&grid, threads, |_, cell| run_cell(config, &cache, cell));
+
+    let mut programs = Vec::with_capacity(results.len());
+    let mut metrics = Vec::with_capacity(results.len());
+    for r in results {
+        let out = r?;
+        metrics.push(out.metrics);
+        programs.push(out.program);
+    }
+
+    // Seed 0 fills the paper tables; every seed contributes a stability
+    // row. `programs` is in grid order, so chunks of `workloads.len()`
+    // are (seed, set) suites.
+    let per_suite = workloads.len();
+    let mut suites = Vec::new();
+    let mut stability = Vec::new();
+    for (chunk_idx, chunk) in programs.chunks(per_suite).enumerate() {
+        let seed = (chunk_idx / config.sets.len()) as u32;
+        let set = config.sets[chunk_idx % config.sets.len()];
+        for p in chunk {
+            stability.push(StabilityRow {
+                set: set.name,
+                workload: p.name.clone(),
+                seed,
+                insts_pct: p.insts_pct(),
+                branches_pct: p.branches_pct(),
+            });
+        }
+        if seed == 0 {
+            suites.push(SuiteResult {
+                heuristics: set,
+                programs: chunk.to_vec(),
+            });
+        }
+    }
+
+    let files = report::write_all(config, &suites, &stability).map_err(|e| SweepError {
+        message: format!("writing results: {e}"),
+    })?;
+
+    Ok(SweepOutcome {
+        suites,
+        stability,
+        files,
+        metrics,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        cells: grid.len(),
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config(tag: &str, cache: bool) -> SweepConfig {
+        let base = std::env::temp_dir().join(format!("br-sweep-{tag}-{}", std::process::id()));
+        SweepConfig {
+            sets: vec![HeuristicSet::SET_I],
+            workloads: vec!["wc".into()],
+            seeds: 2,
+            threads: 2,
+            train_size: 512,
+            test_size: 768,
+            exhaustive: false,
+            out_dir: base.join("out"),
+            cache_dir: cache.then(|| base.join("cache")),
+        }
+    }
+
+    fn cleanup(config: &SweepConfig) {
+        let _ = std::fs::remove_dir_all(config.out_dir.parent().unwrap());
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let mut config = test_config("unknown", false);
+        config.workloads = vec!["no-such-program".into()];
+        let err = run_sweep(&config).unwrap_err();
+        assert!(err.message.contains("no-such-program"), "{err}");
+        cleanup(&config);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_cache_replays() {
+        let config = test_config("det", true);
+        let first = run_sweep(&config).expect("first run");
+        assert_eq!(first.cells, 2);
+        assert_eq!(first.cache_hits, 0, "cold cache cannot hit");
+        let snapshot: Vec<(PathBuf, Vec<u8>)> = first
+            .files
+            .iter()
+            .map(|f| (f.clone(), std::fs::read(f).expect("result file")))
+            .collect();
+
+        // Second run: same bytes, now served from the cache.
+        let second = run_sweep(&config).expect("second run");
+        assert!(second.cache_hits > 0, "warm cache must hit");
+        for (path, bytes) in &snapshot {
+            assert_eq!(
+                &std::fs::read(path).expect("result file"),
+                bytes,
+                "{path:?}"
+            );
+        }
+
+        // Single-threaded, cache off: still the same bytes.
+        let mut uncached = config.clone();
+        uncached.threads = 1;
+        uncached.cache_dir = None;
+        run_sweep(&uncached).expect("uncached run");
+        for (path, bytes) in &snapshot {
+            assert_eq!(
+                &std::fs::read(path).expect("result file"),
+                bytes,
+                "{path:?}"
+            );
+        }
+        cleanup(&config);
+    }
+}

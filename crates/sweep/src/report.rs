@@ -1,0 +1,105 @@
+//! Deterministic result-file writer.
+//!
+//! Everything written here is a pure function of the sweep grid and the
+//! measured results: no timestamps, no timings, no thread counts, no
+//! cache statistics. That is the engine's determinism contract — `brc
+//! sweep --threads 1` and `--threads 16` must produce byte-identical
+//! files, and CI diffs two runs to enforce it.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use br_harness::{csv, tables, SuiteResult};
+
+use crate::{StabilityRow, SweepConfig};
+
+/// The suite Tables 5–7 are computed from: the paper used heuristic Set
+/// II for its prediction and execution-time studies, so prefer it; fall
+/// back to the first configured set on reduced grids.
+fn timing_suite(suites: &[SuiteResult]) -> &SuiteResult {
+    suites
+        .iter()
+        .find(|s| s.heuristics.name == "II")
+        .unwrap_or(&suites[0])
+}
+
+/// The full human-readable report: the paper's static tables for
+/// context, then every measured table and figure from this grid.
+pub fn render_report(config: &SweepConfig, suites: &[SuiteResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Branch-reordering reproduction sweep");
+    let _ = writeln!(out, "grid: {}", config.descriptor());
+    let _ = writeln!(
+        out,
+        "regenerate: cargo run --release --bin brc -- sweep (see EXPERIMENTS.md)"
+    );
+    let _ = writeln!(out);
+    for section in [tables::table1(), tables::table2(), tables::table3()] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out.push_str(&tables::table4(suites));
+    out.push('\n');
+    let t = timing_suite(suites);
+    for section in [tables::table5(t), tables::table6(t), tables::table7(t)] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out.push_str(&tables::table8(suites));
+    out.push('\n');
+    out.push_str(&tables::advisor(suites));
+    out.push('\n');
+    for s in suites {
+        out.push_str(&tables::figures(s));
+        out.push('\n');
+    }
+    out
+}
+
+/// `stability.csv`: the headline percentages per input seed, for eyeing
+/// how much of the result is input-generator luck.
+pub fn render_stability(rows: &[StabilityRow]) -> String {
+    let mut out = String::from("set,program,seed,insts_pct,branches_pct\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{:.4}",
+            r.set, r.workload, r.seed, r.insts_pct, r.branches_pct
+        );
+    }
+    out
+}
+
+/// Write every result file under [`SweepConfig::out_dir`] and return the
+/// paths, in a fixed order.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered.
+pub fn write_all(
+    config: &SweepConfig,
+    suites: &[SuiteResult],
+    stability: &[StabilityRow],
+) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(&config.out_dir)?;
+    let t = timing_suite(suites);
+    let files: Vec<(&str, String)> = vec![
+        ("report.txt", render_report(config, suites)),
+        ("table4.csv", csv::table4(suites)),
+        ("table5.csv", csv::table5(t)),
+        ("table6.csv", csv::table6(t)),
+        ("table7.csv", csv::table7(t)),
+        ("table8.csv", csv::table8(suites)),
+        ("figures.csv", csv::figures(suites)),
+        ("stability.csv", render_stability(stability)),
+    ];
+    let mut written = Vec::with_capacity(files.len());
+    for (name, text) in files {
+        let path = config.out_dir.join(name);
+        fs::write(&path, text)?;
+        written.push(path);
+    }
+    Ok(written)
+}

@@ -1,0 +1,94 @@
+//! A work-stealing-free, dependency-free parallel map.
+//!
+//! The sweep grid is an array of independent cells, so scheduling needs
+//! nothing fancier than an atomic cursor over the work list: each worker
+//! repeatedly claims the next unclaimed index and runs it. Cells finish
+//! in a nondeterministic order, but every result is delivered **by
+//! index**, so the output vector — and everything derived from it — is
+//! identical no matter how many workers ran or how the OS scheduled
+//! them. That property is what lets `brc sweep --threads N` promise
+//! byte-identical result files for every `N`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Apply `f` to every item on `threads` workers, returning results in
+/// item order regardless of completion order.
+///
+/// `threads == 1` runs inline on the caller's thread (no spawn), which
+/// keeps single-threaded runs easy to profile and debug.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the panic is propagated).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                // A send can only fail if the receiver is gone, which
+                // only happens when the scope is unwinding already.
+                let _ = tx.send((i, f(i, item)));
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced a result"))
+        .collect()
+}
+
+/// The worker count to use when the user did not pick one: the machine's
+/// available parallelism, or 1 when that cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let out = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(&[1, 2], 16, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

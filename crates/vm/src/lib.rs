@@ -6,6 +6,10 @@
 //! * [`run`] executes a module's `main` and returns a [`RunOutcome`] with
 //!   exact dynamic event counts ([`ExecStats`]): instructions, conditional
 //!   branches, unconditional jumps, indirect jumps, compares, and more.
+//!   It dispatches through a pre-decoded fast path; decode once with
+//!   [`Image::decode`] and call [`run_image`] to amortize decoding across
+//!   many runs of the same module. [`run_reference`] is the classic
+//!   tree-walking interpreter kept as the equivalence oracle.
 //! * **Fall-through modelling.** Block storage order *is* code layout. A
 //!   `Jump` to the next block costs nothing; a conditional branch whose
 //!   not-taken successor is not adjacent pays an extra unconditional jump,
@@ -36,13 +40,15 @@
 //! assert_eq!(out.exit, 0);
 //! ```
 
+mod dispatch;
 mod machine;
 pub mod predictor;
 mod stats;
 pub mod timing;
 mod trap;
 
-pub use machine::{run, run_hooked, EpochHook, RunOutcome, VmOptions};
+pub use dispatch::{run_image, Image};
+pub use machine::{run, run_hooked, run_reference, EpochHook, RunOutcome, VmOptions};
 pub use predictor::{PredictorConfig, PredictorResult, Scheme};
 pub use stats::{pct_change, ExecStats};
 pub use timing::TimeModel;

@@ -191,12 +191,36 @@ fn plan_heads(module: &Module) -> Vec<(usize, br_ir::BlockId)> {
 /// accounting; run the layout pass (`br_opt::reposition`) first if the
 /// module has not been laid out.
 ///
+/// Dispatches through the pre-decoded fast path (see [`crate::Image`]):
+/// the module is decoded once into a dense instruction stream and then
+/// interpreted. The classic tree-walking interpreter is still available
+/// as [`run_reference`] and remains the engine behind [`run_hooked`];
+/// both paths produce identical outcomes (pinned by the root-level
+/// `vm_equivalence` test). Callers that execute one module many times
+/// should decode once with [`crate::Image::decode`] and call
+/// [`crate::run_image`] directly to amortize the decode.
+///
 /// # Errors
 ///
 /// Returns a [`Trap`] for abnormal termination: division by zero, memory
 /// or jump-table violations, undefined condition codes, explicit `abort`,
 /// or exceeded step/stack budgets.
 pub fn run(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome, Trap> {
+    crate::dispatch::run_image(&crate::dispatch::Image::decode(module), input, opts)
+}
+
+/// Execute the module's `main` with the classic tree-walking interpreter.
+///
+/// This is the original dispatch loop that re-reads the [`Module`]
+/// structure on every step. It is kept as the independent oracle for the
+/// fast path's equivalence test and as the baseline of the dispatch
+/// benchmark; [`run_hooked`] also builds on it because epoch pauses need
+/// the resumable frame machinery. Use [`run`] everywhere else.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] exactly as [`run`] does.
+pub fn run_reference(module: &Module, input: &[u8], opts: &VmOptions) -> Result<RunOutcome, Trap> {
     let main = module.main.ok_or(Trap::NoMain)?;
     let mut state = new_state(module, input, opts);
     state.next_epoch = u64::MAX; // plain runs never yield
@@ -526,25 +550,41 @@ fn exec_function(
 }
 
 fn exec_intrinsic(state: &mut State<'_>, i: Intrinsic, args: &[i64]) -> Result<i64, Trap> {
+    intrinsic_step(
+        i,
+        args,
+        state.input,
+        &mut state.input_pos,
+        &mut state.output,
+    )
+}
+
+/// One intrinsic call against raw I/O state; shared by the classic
+/// interpreter and the pre-decoded fast path so the two cannot drift.
+pub(crate) fn intrinsic_step(
+    i: Intrinsic,
+    args: &[i64],
+    input: &[u8],
+    input_pos: &mut usize,
+    output: &mut Vec<u8>,
+) -> Result<i64, Trap> {
     match i {
         Intrinsic::GetChar => {
-            if state.input_pos < state.input.len() {
-                let c = state.input[state.input_pos];
-                state.input_pos += 1;
+            if *input_pos < input.len() {
+                let c = input[*input_pos];
+                *input_pos += 1;
                 Ok(c as i64)
             } else {
                 Ok(-1)
             }
         }
         Intrinsic::PutChar => {
-            state.output.push(args[0] as u8);
+            output.push(args[0] as u8);
             Ok(args[0])
         }
         Intrinsic::PutInt => {
-            state
-                .output
-                .extend_from_slice(args[0].to_string().as_bytes());
-            state.output.push(b'\n');
+            output.extend_from_slice(args[0].to_string().as_bytes());
+            output.push(b'\n');
             Ok(args[0])
         }
         Intrinsic::Abort => Err(Trap::Abort { code: args[0] }),

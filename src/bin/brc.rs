@@ -31,6 +31,13 @@
 //!   deployment and a per-phase offline oracle (`--size N` bytes per
 //!   phase, `--epoch N` blocks per adaptation epoch, `--exhaustive`
 //!   ordering search, `--csv` machine-readable output).
+//! * `sweep` run the parallel reproduction engine: the full workload ×
+//!   heuristic-set × seed grid fanned across cores with a
+//!   content-addressed artifact cache, writing Tables 4–8 and the
+//!   sequence-length figures into `results/` deterministically
+//!   (`--threads N` workers, `--seeds K` input replications, `--quick`
+//!   reduced input sizes, `--smoke` the tiny CI grid, `--exhaustive`
+//!   ordering search, `--out DIR`, `--cache DIR`, `--no-cache`).
 //!
 //! Flags:
 //! * `--input FILE`  program stdin (default: empty)
@@ -73,7 +80,9 @@ fn usage() -> ! {
        \x20      brc lint FILE.c [--set I|II|III] [--from-ir] [--no-opt]\n\
        \x20      brc validate FILE.c [--input FILE] [--train FILE] [--set I|II|III]\n\
        \x20      brc validate --suite [--size N]\n\
-       \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--csv]"
+       \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--csv]\n\
+       \x20      brc sweep [--threads N] [--seeds K] [--quick] [--smoke] [--exhaustive] \
+         [--out DIR] [--cache DIR] [--no-cache]"
     );
     exit(2)
 }
@@ -432,6 +441,96 @@ fn cmd_adapt(argv: impl Iterator<Item = String>) -> ! {
     exit(if ok { 0 } else { 1 })
 }
 
+/// `brc sweep` — regenerate the paper's result tables with the parallel
+/// reproduction engine; all grid and cache knobs exposed as flags.
+fn cmd_sweep(argv: impl Iterator<Item = String>) -> ! {
+    use br_sweep::{run_sweep, SweepConfig};
+
+    let mut config = SweepConfig::full();
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--threads" => {
+                config.threads = argv
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seeds" => {
+                config.seeds = argv
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--quick" => {
+                config.train_size = 3 * 1024;
+                config.test_size = 4 * 1024;
+            }
+            "--smoke" => {
+                let threads = config.threads;
+                let seeds = config.seeds;
+                config = SweepConfig {
+                    threads,
+                    seeds,
+                    out_dir: config.out_dir,
+                    cache_dir: config.cache_dir,
+                    ..SweepConfig::smoke()
+                };
+                if threads == 0 {
+                    config.threads = 2;
+                }
+            }
+            "--exhaustive" => config.exhaustive = true,
+            "--out" => {
+                config.out_dir = argv.next().unwrap_or_else(|| usage()).into();
+            }
+            "--cache" => {
+                config.cache_dir = Some(argv.next().unwrap_or_else(|| usage()).into());
+            }
+            "--no-cache" => config.cache_dir = None,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    match run_sweep(&config) {
+        Ok(outcome) => {
+            for m in &outcome.metrics {
+                eprintln!(
+                    "brc: sweep cell {}/{}/seed{}: reorder {:.0?}{} measure {:.0?}{}",
+                    m.set,
+                    m.workload,
+                    m.seed,
+                    m.reorder_time,
+                    if m.reorder_cached { " (cached)" } else { "" },
+                    m.measure_time,
+                    match m.measures_cached {
+                        0 => "",
+                        1 => " (1 of 2 cached)",
+                        _ => " (cached)",
+                    },
+                );
+            }
+            for f in &outcome.files {
+                eprintln!("brc: sweep wrote {}", f.display());
+            }
+            println!(
+                "sweep: {} cells in {:.1?}; cache {} hits / {} misses; {} files in {}",
+                outcome.cells,
+                outcome.elapsed,
+                outcome.cache_hits,
+                outcome.cache_misses,
+                outcome.files.len(),
+                config.out_dir.display(),
+            );
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("brc: sweep failed: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
@@ -446,6 +545,10 @@ fn main() {
         Some("adapt") => {
             argv.next();
             cmd_adapt(argv);
+        }
+        Some("sweep") => {
+            argv.next();
+            cmd_sweep(argv);
         }
         _ => {}
     }

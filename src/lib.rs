@@ -27,6 +27,9 @@
 //!   test programs, plus input generators.
 //! * [`harness`] — experiment drivers that regenerate every table and
 //!   figure of the paper's evaluation section.
+//! * [`sweep`] — the parallel reproduction engine: the whole workload ×
+//!   heuristic-set × seed grid fanned across cores, with a
+//!   content-addressed artifact cache and deterministic result files.
 //!
 //! ## Quickstart
 //!
@@ -69,5 +72,6 @@ pub use br_ir as ir;
 pub use br_minic as minic;
 pub use br_opt as opt;
 pub use br_reorder as reorder;
+pub use br_sweep as sweep;
 pub use br_vm as vm;
 pub use br_workloads as workloads;

@@ -1,0 +1,85 @@
+//! The pre-decoded VM fast path is *provably boring*: on every workload,
+//! under every switch-translation heuristic set, before and after
+//! reordering, it must produce the same [`br_vm::RunOutcome`] as the
+//! classic tree-walking interpreter — exit value, output bytes, every
+//! architectural counter, every profile counter, every predictor result,
+//! and the block trace. This is the guard that lets `br_vm::run` (and
+//! therefore the whole sweep engine) dispatch through `br_vm::Image`.
+
+use branch_reorder::minic::{compile, HeuristicSet, Options};
+use branch_reorder::reorder::{reorder_module, ReorderOptions};
+use branch_reorder::vm::{
+    run, run_image, run_reference, Image, PredictorConfig, RunOutcome, Scheme, VmOptions,
+};
+
+/// Assert complete outcome equality, field by field, so a mismatch names
+/// the drifting field instead of dumping two full outcomes.
+fn assert_same(fast: &RunOutcome, slow: &RunOutcome, what: &str) {
+    assert_eq!(fast.exit, slow.exit, "{what}: exit");
+    assert_eq!(fast.output, slow.output, "{what}: output");
+    assert_eq!(fast.stats, slow.stats, "{what}: stats");
+    assert_eq!(fast.profiles, slow.profiles, "{what}: profiles");
+    assert_eq!(
+        fast.predictor_results, slow.predictor_results,
+        "{what}: predictor results"
+    );
+    assert_eq!(fast.trace, slow.trace, "{what}: trace");
+}
+
+#[test]
+fn fast_path_matches_reference_on_all_workloads_and_sets() {
+    let mut predictors = vec![PredictorConfig::ultra_sparc()];
+    predictors.extend([
+        PredictorConfig {
+            scheme: Scheme::OneBit,
+            entries: 32,
+        },
+        PredictorConfig {
+            scheme: Scheme::Gshare(6),
+            entries: 256,
+        },
+    ]);
+    let vm = VmOptions {
+        predictors,
+        trace_blocks: 64,
+        ..VmOptions::default()
+    };
+    for w in branch_reorder::workloads::all() {
+        let train = w.training_input(2048);
+        let test = w.test_input(2048);
+        for h in HeuristicSet::ALL {
+            let what = format!("{}/{}", w.name, h.name);
+            let mut module =
+                compile(w.source, &Options::with_heuristics(h)).expect("workload compiles");
+            branch_reorder::opt::optimize(&mut module);
+            let report = reorder_module(&module, &train, &ReorderOptions::default())
+                .unwrap_or_else(|e| panic!("{what}: training trapped: {e}"));
+            for (m, stage) in [(&module, "original"), (&report.module, "reordered")] {
+                let what = format!("{what}/{stage}");
+                let slow = run_reference(m, &test, &vm)
+                    .unwrap_or_else(|e| panic!("{what}: reference trapped: {e}"));
+                let fast =
+                    run(m, &test, &vm).unwrap_or_else(|e| panic!("{what}: fast trapped: {e}"));
+                assert_same(&fast, &slow, &what);
+                // One decode, reused across runs, behaves like run().
+                let image = Image::decode(m);
+                let again = run_image(&image, &test, &vm).expect("image run");
+                assert_same(&again, &slow, &format!("{what}/image"));
+            }
+        }
+    }
+}
+
+/// Traps must agree too: the fast path reports the same trap as the
+/// reference interpreter, not just the same successes.
+#[test]
+fn fast_path_matches_reference_on_traps() {
+    let src = "int main() { int x; x = getchar(); return 10 / x; }";
+    let module = compile(src, &Options::with_heuristics(HeuristicSet::SET_I)).expect("compiles");
+    let vm = VmOptions::default();
+    // A NUL input byte makes getchar() return 0, so `10 / x` traps.
+    let zero = [0u8];
+    let slow = run_reference(&module, &zero, &vm).expect_err("10 / 0 must trap");
+    let fast = run(&module, &zero, &vm).expect_err("10 / 0 must trap");
+    assert_eq!(fast, slow);
+}
