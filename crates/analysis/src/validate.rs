@@ -835,98 +835,113 @@ fn match_class(
     new: &Arm,
     errors: &mut Vec<ValidationError>,
 ) {
-    match new.end {
-        ArmEnd::Target(t) => {
-            if t != target {
-                errors.push(ValidationError::TargetMismatch {
-                    values: common.clone(),
-                    expected: target,
-                    found: new.end,
-                });
-            } else if new.effects != orig.effects {
+    if let ArmEnd::Target(t) = new.end {
+        if t == target {
+            if new.effects != orig.effects {
                 errors.push(ValidationError::EffectMismatch {
                     values: common.clone(),
                     target,
                     detail: first_difference(&orig.effects, &new.effects),
                 });
             }
-        }
-        ArmEnd::Frontier(cur) => {
-            // The replica left the sequence without reaching an exit:
-            // legal only when it merged into duplicated tail code whose
-            // behaviour extends the original continuation from `target`.
-            if new.effects.len() < orig.effects.len()
-                || new.effects[..orig.effects.len()] != orig.effects
-            {
-                errors.push(ValidationError::EffectMismatch {
-                    values: common.clone(),
-                    target,
-                    detail: first_difference(&orig.effects, &new.effects),
-                });
-                return;
-            }
-            let rest = &new.effects[orig.effects.len()..];
-            if cur.inst == 0 && cur.block == target {
-                // Stopped exactly at the original exit.
-                if !rest.is_empty() {
-                    errors.push(ValidationError::EffectMismatch {
-                        values: common.clone(),
-                        target,
-                        detail: format!("{} extra instructions before {target}", rest.len()),
-                    });
-                }
-                return;
-            }
-            // Continue the original walk from the exit and demand it
-            // mirror the replica's overrun exactly.
-            let mut cont = WalkSpec::new(chk.var, target, BTreeSet::new());
-            cont.initial = common.clone();
-            if cur.inst == 0 {
-                cont.stops.insert(cur.block);
-            }
-            let cont_arms = match explore(chk.original, &cont) {
-                Ok(arms) => arms,
-                Err(detail) => {
-                    errors.push(ValidationError::TailMismatch {
-                        values: common.clone(),
-                        detail: format!("original continuation walk failed: {detail}"),
-                    });
-                    return;
-                }
-            };
-            if cont_arms.len() != 1 {
-                errors.push(ValidationError::TailMismatch {
-                    values: common.clone(),
-                    detail: format!(
-                        "original continuation splits into {} paths",
-                        cont_arms.len()
-                    ),
-                });
-                return;
-            }
-            let cont_arm = &cont_arms[0];
-            if cont_arm.effects != rest {
-                errors.push(ValidationError::TailMismatch {
-                    values: common.clone(),
-                    detail: format!(
-                        "tail effects differ: {}",
-                        first_difference(&cont_arm.effects, rest)
-                    ),
-                });
-                return;
-            }
-            let cont_end = match cont_arm.end {
-                ArmEnd::Target(t) => Cursor::start(t),
-                ArmEnd::Frontier(c) => c,
-            };
-            if !tail_equivalent(chk.reordered, cur, chk.original, cont_end, chk.head, 4096) {
-                errors.push(ValidationError::TailMismatch {
-                    values: common.clone(),
-                    detail: format!("code at {cur} does not bisimulate code at {cont_end}"),
-                });
-            }
+            return;
         }
     }
+    // The replica did not land on the declared exit. This is legal only
+    // when it merged into duplicated tail code whose behaviour extends
+    // the original continuation from `target` — including the case where
+    // that duplicated tail runs all the way into *another* exit of the
+    // sequence (the walk then stops there, so the arm ends in a Target
+    // that differs from the declared one).
+    let cur = match new.end {
+        ArmEnd::Target(t) => Cursor::start(t),
+        ArmEnd::Frontier(c) => c,
+    };
+    if new.effects.len() < orig.effects.len() || new.effects[..orig.effects.len()] != orig.effects {
+        errors.push(ValidationError::EffectMismatch {
+            values: common.clone(),
+            target,
+            detail: first_difference(&orig.effects, &new.effects),
+        });
+        return;
+    }
+    let rest = &new.effects[orig.effects.len()..];
+    if cur.inst == 0 && cur.block == target {
+        // Stopped exactly at the original exit.
+        if !rest.is_empty() {
+            errors.push(ValidationError::EffectMismatch {
+                values: common.clone(),
+                target,
+                detail: format!("{} extra instructions before {target}", rest.len()),
+            });
+        }
+        return;
+    }
+    if let Err(tail_error) = continuation_matches(chk, common, target, rest, cur) {
+        // A walk that stopped at the wrong exit and failed the tail
+        // check is the common genuine-miscompile shape: report it as a
+        // target mismatch. A frontier failure keeps the tail detail.
+        if matches!(new.end, ArmEnd::Target(_)) {
+            errors.push(ValidationError::TargetMismatch {
+                values: common.clone(),
+                expected: target,
+                found: new.end,
+            });
+        } else {
+            errors.push(tail_error);
+        }
+    }
+}
+
+/// Continue the original walk from `target` and demand it mirror the
+/// replica's overrun (`rest` effects, then the code at `cur`) exactly.
+fn continuation_matches(
+    chk: &EquivalenceCheck,
+    common: &IntervalSet,
+    target: BlockId,
+    rest: &[Inst],
+    cur: Cursor,
+) -> Result<(), ValidationError> {
+    let mut cont = WalkSpec::new(chk.var, target, BTreeSet::new());
+    cont.initial = common.clone();
+    if cur.inst == 0 {
+        cont.stops.insert(cur.block);
+    }
+    let cont_arms =
+        explore(chk.original, &cont).map_err(|detail| ValidationError::TailMismatch {
+            values: common.clone(),
+            detail: format!("original continuation walk failed: {detail}"),
+        })?;
+    if cont_arms.len() != 1 {
+        return Err(ValidationError::TailMismatch {
+            values: common.clone(),
+            detail: format!(
+                "original continuation splits into {} paths",
+                cont_arms.len()
+            ),
+        });
+    }
+    let cont_arm = &cont_arms[0];
+    if cont_arm.effects != rest {
+        return Err(ValidationError::TailMismatch {
+            values: common.clone(),
+            detail: format!(
+                "tail effects differ: {}",
+                first_difference(&cont_arm.effects, rest)
+            ),
+        });
+    }
+    let cont_end = match cont_arm.end {
+        ArmEnd::Target(t) => Cursor::start(t),
+        ArmEnd::Frontier(c) => c,
+    };
+    if !tail_equivalent(chk.reordered, cur, chk.original, cont_end, chk.head, 4096) {
+        return Err(ValidationError::TailMismatch {
+            values: common.clone(),
+            detail: format!("code at {cur} does not bisimulate code at {cont_end}"),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1038,7 +1053,13 @@ mod tests {
 
     #[test]
     fn rejects_swapped_targets() {
-        let (f, var, head, [t1, t2, dflt]) = chain();
+        let (mut f, var, head, [t1, t2, dflt]) = chain();
+        // The exits must be observably different, otherwise routing
+        // values to the wrong one is (correctly) proven harmless by the
+        // tail-continuation check.
+        for (i, t) in [t1, t2, dflt].into_iter().enumerate() {
+            f.block_mut(t).term = Terminator::Return(Some(Operand::Imm(i as i64)));
+        }
         // Corrupt: route the `eq 0` values to dflt and the rest to t1.
         let (mut g, replica_start) = reorder(&f, var, head, t1, t2, dflt);
         let r1 = BlockId(replica_start + 1);
@@ -1060,6 +1081,73 @@ mod tests {
             errors.iter().all(|e| !e.blames_original()),
             "the corruption is in the replica: {errors:?}"
         );
+    }
+
+    #[test]
+    fn accepts_duplicated_tail_running_into_another_exit() {
+        // Shape found by fuzzing: the replica eliminates its `[157..] -> x`
+        // item by making it the fall-through and duplicating x's
+        // *conditional* continuation; for values [159..] the copy runs
+        // straight into the shared default `d`, which is itself a declared
+        // exit, so the replica walk stops there while the original arm
+        // stops at `x`. The continuation check must prove the detour
+        // harmless instead of reporting a target mismatch.
+        let mut f = Function::new("t");
+        let var = f.new_reg();
+        let head = f.add_block(Block::new(Terminator::Return(None)));
+        let h2 = f.add_block(Block::new(Terminator::Return(None)));
+        let x = f.add_block(Block::new(Terminator::Return(None)));
+        let x2 = f.add_block(Block::new(Terminator::Return(None)));
+        let q = f.add_block(Block::new(Terminator::Return(None)));
+        let a = f.add_block(Block::new(Terminator::Return(None)));
+        let d = f.add_block(Block::new(Terminator::Return(None)));
+        let p = f.add_block(Block::new(Terminator::Return(None)));
+        let out = f.add_block(Block::new(Terminator::Return(None)));
+        f.block_mut(f.entry).term = Terminator::Jump(head);
+        f.block_mut(head).insts.push(cmp(var, 155));
+        f.block_mut(head).term = Terminator::branch(Cond::Lt, a, h2);
+        f.block_mut(h2).insts.push(cmp(var, 157));
+        f.block_mut(h2).term = Terminator::branch(Cond::Lt, d, x);
+        f.block_mut(x).insts.push(cmp(var, 157));
+        f.block_mut(x).term = Terminator::branch(Cond::Eq, p, x2);
+        f.block_mut(x2).insts.push(cmp(var, 158));
+        f.block_mut(x2).term = Terminator::branch(Cond::Ne, d, q);
+        f.block_mut(q).insts.push(putchar());
+        f.block_mut(q).term = Terminator::Jump(out);
+
+        let mut g = f.clone();
+        let replica_start = g.blocks.len() as u32;
+        let [r1, r2, r3, r4] = [1, 2, 3, 4].map(|i: u32| BlockId(replica_start + i));
+        let r0 = g.add_block(Block::new(Terminator::branch(Cond::Lt, a, r1)));
+        g.block_mut(r0).insts.push(cmp(var, 155));
+        let r1 = g.add_block(Block::new(Terminator::branch(Cond::Le, d, r2)));
+        g.block_mut(r1).insts.push(cmp(var, 156));
+        // Duplicated tail of `x` (its whole conditional chain).
+        let r2 = g.add_block(Block::new(Terminator::branch(Cond::Eq, p, r3)));
+        g.block_mut(r2).insts.push(cmp(var, 157));
+        let r3 = g.add_block(Block::new(Terminator::branch(Cond::Ne, d, r4)));
+        g.block_mut(r3).insts.push(cmp(var, 158));
+        let r4 = g.add_block(Block::new(Terminator::Jump(out)));
+        g.block_mut(r4).insts.push(putchar());
+        g.block_mut(head).insts.clear();
+        g.block_mut(head).term = Terminator::Jump(r0);
+
+        let proof = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([a, x, d]),
+            replica_start,
+            expected: vec![
+                (Interval::new(i64::MIN, 154), a),
+                (Interval::new(157, i64::MAX), x),
+                (Interval::new(155, 156), d),
+            ],
+        })
+        .unwrap();
+        assert_eq!(proof.exits, 3);
+        assert!(proof.value_classes >= 5);
     }
 
     #[test]

@@ -1,0 +1,823 @@
+//! Seeded generation of IR modules biased toward reorderable
+//! range-condition sequences.
+//!
+//! The generator works in two stages. [`Spec::generate`] draws an
+//! abstract program — a list of *dispatch sites*, each either a chain of
+//! range conditions (the paper's Forms 1–4) or a dense `switch` — from a
+//! [`SmallRng`] stream. [`Spec::lower`] then turns the spec into a
+//! [`Module`] under a chosen [`HeuristicSet`], so the same abstract
+//! program yields three genuinely different lowerings (linear chain,
+//! binary search, bounds-checked jump table) exactly as the paper's
+//! Table 2 prescribes. Keeping the spec around (rather than only the
+//! module) is what makes delta-debugging natural: the reducer mutates
+//! the spec and re-lowers.
+//!
+//! Every generated program has the shape
+//!
+//! ```text
+//! acc = 0;
+//! while ((c = getchar()) != -1) { site_0(c); site_1(c); ... }
+//! putint(scratch[0..4]); return acc;
+//! ```
+//!
+//! so any finite input terminates, every site executes once per input
+//! byte (profile coverage is guaranteed), and no generated instruction
+//! can trap: arithmetic wraps, all memory accesses hit the fixed
+//! `scratch` global, and indirect jumps are guarded by explicit bounds
+//! checks. A trap anywhere is therefore itself a finding.
+
+use br_ir::{
+    BinOp, Callee, Cond, FuncBuilder, FuncId, Intrinsic, Module, Operand, Reg, Terminator,
+};
+use br_minic::switchgen::Strategy;
+use br_minic::HeuristicSet;
+use br_workloads::rng::SmallRng;
+
+/// Knobs for the generator, tuned so Figure 4 / Figure 10 edge cases
+/// (bounded pairs, negated equalities, intervening side effects, fat
+/// default tails) appear often enough to matter.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Dispatch sites per program (uniform in `1..=max_sites`).
+    pub max_sites: usize,
+    /// Conditions per range-sequence site (uniform in `2..=max_conds`).
+    pub max_conds: usize,
+    /// Probability a range site gets an unbounded relational arm
+    /// (Form 3: `v < k` / `v >= k`).
+    pub form3_prob: f64,
+    /// Probability an interval is multi-valued (Form 4 bounded pair)
+    /// instead of a singleton.
+    pub form4_prob: f64,
+    /// Probability a singleton lowers as `Ne` with the match on the
+    /// fall-through edge (Form 2).
+    pub negate_prob: f64,
+    /// Probability a non-head condition carries intervening side
+    /// effects (stores / output before its compare).
+    pub side_effect_prob: f64,
+    /// Probability a site is a dense `switch` rather than a range chain.
+    pub switch_prob: f64,
+    /// Dense switch width (uniform in `4..=max_switch_cases`).
+    pub max_switch_cases: usize,
+    /// Probability the module is run through `br_opt::optimize` before
+    /// the oracle sees it.
+    pub optimize_prob: f64,
+    /// Probability the program gets a callable helper function.
+    pub helper_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_sites: 3,
+            max_conds: 6,
+            form3_prob: 0.35,
+            form4_prob: 0.45,
+            negate_prob: 0.30,
+            side_effect_prob: 0.35,
+            switch_prob: 0.35,
+            max_switch_cases: 20,
+            optimize_prob: 0.25,
+            helper_prob: 0.30,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Smaller programs for CI smoke runs and debug-build tests.
+    pub fn smoke() -> GenConfig {
+        GenConfig {
+            max_sites: 2,
+            max_conds: 4,
+            max_switch_cases: 10,
+            ..GenConfig::default()
+        }
+    }
+}
+
+/// What a matched arm (or the default path) does. Every field is
+/// trap-free and observable: `acc` feeds the exit value, stores feed the
+/// `putint` dump at exit, `emit` is order-sensitive output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tail {
+    /// `acc += add`.
+    pub add: i64,
+    /// Further pure ALU ops on `acc`.
+    pub extra: Vec<(BinOp, i64)>,
+    /// Route `acc` through the helper function (when the spec has one).
+    pub call_helper: bool,
+    /// `scratch[slot] = acc` (slot in `0..4`).
+    pub store_slot: Option<i64>,
+    /// `putchar(byte)`.
+    pub emit: Option<i64>,
+}
+
+impl Tail {
+    fn gen(rng: &mut SmallRng, cfg: &GenConfig, helper: bool) -> Tail {
+        let n_extra = rng.gen_range(0usize..=2);
+        let extra = (0..n_extra)
+            .map(|_| {
+                let op = match rng.gen_range(0u32..4) {
+                    0 => BinOp::Sub,
+                    1 => BinOp::Xor,
+                    _ => BinOp::Add,
+                };
+                (op, rng.gen_range(1i64..=31))
+            })
+            .collect();
+        Tail {
+            add: rng.gen_range(-40i64..=40),
+            extra,
+            call_helper: helper && rng.gen_bool(0.25),
+            store_slot: rng.gen_bool(0.4).then(|| rng.gen_range(0i64..=3)),
+            emit: rng
+                .gen_bool(cfg.side_effect_prob)
+                .then(|| rng.gen_range(33i64..=126)),
+        }
+    }
+
+    /// A do-almost-nothing tail (used when a site must still terminate).
+    pub fn nop() -> Tail {
+        Tail {
+            add: 1,
+            extra: Vec::new(),
+            call_helper: false,
+            store_slot: None,
+            emit: None,
+        }
+    }
+}
+
+/// One range condition of a range-sequence site, in test order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArmRange {
+    /// Form 1 (`Eq`, match taken) or Form 2 (`negated`: `Ne`, match on
+    /// the fall-through edge).
+    Singleton { value: i64, negated: bool },
+    /// Form 3: `v < bound`.
+    Below { bound: i64 },
+    /// Form 3: `v >= bound`.
+    AtLeast { bound: i64 },
+    /// Form 4 bounded pair: `lo <= v <= hi`, lowered as two compares
+    /// sharing the out-of-range successor.
+    Between { lo: i64, hi: i64 },
+}
+
+impl ArmRange {
+    /// Constants this arm compares against.
+    pub fn anchors(&self) -> Vec<i64> {
+        match *self {
+            ArmRange::Singleton { value, .. } => vec![value],
+            ArmRange::Below { bound } | ArmRange::AtLeast { bound } => vec![bound],
+            ArmRange::Between { lo, hi } => vec![lo, hi],
+        }
+    }
+}
+
+/// An intervening side effect executed when control *reaches* a
+/// condition's test (Theorem 2 duplicates exactly these on reordering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SideEffect {
+    /// `scratch[slot] = acc`.
+    Store { slot: i64 },
+    /// `putchar(byte)` — a call, so it also clobbers condition codes.
+    Emit { ch: i64 },
+}
+
+/// One condition of a range-sequence site plus its action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Arm {
+    pub range: ArmRange,
+    /// Emitted before this arm's compare, in its test block.
+    pub side_effects: Vec<SideEffect>,
+    pub tail: Tail,
+}
+
+/// The control structure of one dispatch site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    /// A chain of range conditions tested in order; first match wins.
+    Ranges { arms: Vec<Arm>, default_tail: Tail },
+    /// A dense switch over `base, base+stride, ...`; lowered per the
+    /// heuristic set's Table 2 strategy.
+    Switch {
+        base: i64,
+        stride: i64,
+        cases: Vec<Tail>,
+        default_tail: Tail,
+    },
+}
+
+/// One dispatch site: `v = c + offset`, then the site's control
+/// structure over `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Site {
+    pub offset: i64,
+    pub kind: SiteKind,
+}
+
+impl Site {
+    /// All comparison constants of this site.
+    pub fn anchors(&self) -> Vec<i64> {
+        match &self.kind {
+            SiteKind::Ranges { arms, .. } => arms.iter().flat_map(|a| a.range.anchors()).collect(),
+            SiteKind::Switch {
+                base,
+                stride,
+                cases,
+                ..
+            } => (0..cases.len() as i64).map(|j| base + stride * j).collect(),
+        }
+    }
+
+    /// Number of conditions the site contributes.
+    pub fn cond_count(&self) -> usize {
+        match &self.kind {
+            SiteKind::Ranges { arms, .. } => arms.len(),
+            SiteKind::Switch { cases, .. } => cases.len(),
+        }
+    }
+}
+
+/// An abstract generated program; `lower` turns it into IR under a
+/// heuristic set, and the reducer mutates it structurally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spec {
+    pub seed: u64,
+    /// Program includes a callable helper function.
+    pub helper: bool,
+    /// Run `br_opt::optimize` on the lowered module.
+    pub optimize: bool,
+    pub sites: Vec<Site>,
+}
+
+/// Input domain of `c` (getchar yields a byte or -1, and -1 exits the
+/// loop before any site runs).
+const DOMAIN: i64 = 255;
+
+impl Spec {
+    /// Draw a spec from the seed. Same seed, same spec, on every
+    /// platform — the differential runs and the replay files depend on
+    /// that.
+    pub fn generate(seed: u64, cfg: &GenConfig) -> Spec {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let helper = rng.gen_bool(cfg.helper_prob);
+        let optimize = rng.gen_bool(cfg.optimize_prob);
+        let n_sites = rng.gen_range(1usize..=cfg.max_sites.max(1));
+        let sites = (0..n_sites)
+            .map(|_| Site::gen(&mut rng, cfg, helper))
+            .collect();
+        Spec {
+            seed,
+            helper,
+            optimize,
+            sites,
+        }
+    }
+
+    /// Total conditions across all sites (the reducer's size metric).
+    pub fn cond_count(&self) -> usize {
+        self.sites.iter().map(Site::cond_count).sum()
+    }
+
+    /// All comparison constants across all sites, deduplicated.
+    pub fn anchors(&self) -> Vec<i64> {
+        let mut out: Vec<i64> = self.sites.iter().flat_map(Site::anchors).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Input bytes that land on or next to a comparison anchor of some
+    /// site (mapped back through that site's offset).
+    fn interesting_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for site in &self.sites {
+            for a in site.anchors() {
+                for d in [-1i64, 0, 1] {
+                    let c = a - site.offset + d;
+                    if (0..=DOMAIN).contains(&c) {
+                        out.push(c as u8);
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(b'A');
+        }
+        out
+    }
+
+    /// A deterministic input stream for this spec: `stream` selects
+    /// independent streams (training vs. each test input). Bytes are
+    /// biased toward the spec's comparison anchors so arms and their
+    /// boundaries are actually exercised.
+    pub fn input(&self, stream: u64, len: usize) -> Vec<u8> {
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed.wrapping_mul(0x1_0001).wrapping_add(stream));
+        let interesting = self.interesting_bytes();
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.75) {
+                    interesting[rng.gen_range(0usize..interesting.len())]
+                } else {
+                    rng.gen_range(0u8..=255)
+                }
+            })
+            .collect()
+    }
+
+    /// Lower the spec to a module under one heuristic set. Lowering is
+    /// deterministic; the only set-dependent part is the switch
+    /// strategy, so cross-set behavioral divergence isolates a
+    /// lowering-strategy bug.
+    pub fn lower(&self, set: HeuristicSet) -> Module {
+        let mut m = Module::new();
+        let scratch = m.add_global("scratch", Vec::new(), 4);
+        let helper = self.helper.then(|| m.add_function(build_helper()));
+
+        let mut b = FuncBuilder::new("main");
+        let c = b.new_reg();
+        let acc = b.new_reg();
+        let entry = b.entry();
+        let head = b.new_block();
+        let exit = b.new_block();
+        b.copy(entry, acc, 0i64);
+        b.set_term(entry, Terminator::Jump(head));
+
+        let site_heads: Vec<_> = self.sites.iter().map(|_| b.new_block()).collect();
+        let first = site_heads.first().copied().unwrap_or(head);
+        b.call(head, Some(c), Callee::Intrinsic(Intrinsic::GetChar), vec![]);
+        b.cmp(head, c, -1i64);
+        b.set_term(head, Terminator::branch(Cond::Eq, exit, first));
+
+        let ctx = LowerCtx {
+            c,
+            acc,
+            scratch,
+            helper,
+            set,
+        };
+        for (i, site) in self.sites.iter().enumerate() {
+            let cont = site_heads.get(i + 1).copied().unwrap_or(head);
+            lower_site(&mut b, &ctx, site, site_heads[i], cont);
+        }
+
+        for slot in 0..4i64 {
+            let t = b.new_reg();
+            b.load(exit, t, Operand::Imm(scratch), Operand::Imm(slot));
+            b.call(
+                exit,
+                None,
+                Callee::Intrinsic(Intrinsic::PutInt),
+                vec![Operand::Reg(t)],
+            );
+        }
+        b.set_term(exit, Terminator::Return(Some(Operand::Reg(acc))));
+
+        m.main = Some(m.add_function(b.finish()));
+        m
+    }
+}
+
+impl Site {
+    fn gen(rng: &mut SmallRng, cfg: &GenConfig, helper: bool) -> Site {
+        let offset = rng.gen_range(-8i64..=8);
+        let kind = if rng.gen_bool(cfg.switch_prob) {
+            let stride = match rng.gen_range(0u32..6) {
+                0 => 2,
+                1 => 4,
+                _ => 1,
+            };
+            let n = rng.gen_range(4usize..=cfg.max_switch_cases.max(4));
+            // Keep every case value reachable from a byte input.
+            let span = stride * (n as i64 - 1) + 1;
+            let base = offset + rng.gen_range(1i64..=(DOMAIN - span).max(1));
+            SiteKind::Switch {
+                base,
+                stride,
+                cases: (0..n).map(|_| Tail::gen(rng, cfg, helper)).collect(),
+                default_tail: Tail::gen(rng, cfg, helper),
+            }
+        } else {
+            SiteKind::Ranges {
+                arms: gen_arms(rng, cfg, helper, offset),
+                default_tail: Tail::gen(rng, cfg, helper),
+            }
+        };
+        Site { offset, kind }
+    }
+}
+
+/// Draw the disjoint intervals of a range site, convert them to arms
+/// (Forms 1–4), and shuffle the test order.
+fn gen_arms(rng: &mut SmallRng, cfg: &GenConfig, helper: bool, offset: i64) -> Vec<Arm> {
+    let n = rng.gen_range(2usize..=cfg.max_conds.max(2));
+    let mut intervals: Vec<(i64, i64)> = Vec::new();
+    let mut cur = offset + rng.gen_range(1i64..=30);
+    for _ in 0..n {
+        let lo = cur + rng.gen_range(0i64..=12);
+        let width = if rng.gen_bool(cfg.form4_prob) {
+            rng.gen_range(2i64..=9)
+        } else {
+            1
+        };
+        let hi = lo + width - 1;
+        if hi > offset + DOMAIN - 5 {
+            break;
+        }
+        intervals.push((lo, hi));
+        cur = hi + 1 + rng.gen_range(1i64..=10);
+    }
+    if intervals.is_empty() {
+        intervals.push((offset + 40, offset + 40));
+    }
+    let mut ranges: Vec<ArmRange> = intervals
+        .iter()
+        .map(|&(lo, hi)| {
+            if lo == hi {
+                ArmRange::Singleton {
+                    value: lo,
+                    negated: rng.gen_bool(cfg.negate_prob),
+                }
+            } else {
+                ArmRange::Between { lo, hi }
+            }
+        })
+        .collect();
+    // At most one unbounded relational arm, claiming one end of the
+    // domain so disjointness is preserved.
+    if rng.gen_bool(cfg.form3_prob) {
+        if rng.gen_bool(0.5) {
+            let hi = intervals[0].1;
+            ranges[0] = ArmRange::Below { bound: hi + 1 };
+        } else {
+            let last = ranges.len() - 1;
+            let lo = intervals[last].0;
+            ranges[last] = ArmRange::AtLeast { bound: lo };
+        }
+    }
+    shuffle(rng, &mut ranges);
+    ranges
+        .into_iter()
+        .enumerate()
+        .map(|(i, range)| {
+            let mut side_effects = Vec::new();
+            if i > 0 && rng.gen_bool(cfg.side_effect_prob) {
+                for _ in 0..rng.gen_range(1usize..=2) {
+                    side_effects.push(if rng.gen_bool(0.7) {
+                        SideEffect::Store {
+                            slot: rng.gen_range(0i64..=3),
+                        }
+                    } else {
+                        SideEffect::Emit {
+                            ch: rng.gen_range(33i64..=126),
+                        }
+                    });
+                }
+            }
+            Arm {
+                range,
+                side_effects,
+                tail: Tail::gen(rng, cfg, helper),
+            }
+        })
+        .collect()
+}
+
+fn shuffle<T>(rng: &mut SmallRng, v: &mut [T]) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0usize..=i);
+        v.swap(i, j);
+    }
+}
+
+/// `mix(a, b) = (a * 3 + b) ^ 5` — a pure helper whose call clobbers
+/// condition codes at every use site.
+fn build_helper() -> br_ir::Function {
+    let mut b = FuncBuilder::new("mix");
+    let a = b.new_reg();
+    let y = b.new_reg();
+    b.set_param_regs(vec![a, y]);
+    let e = b.entry();
+    b.bin(e, BinOp::Mul, a, a, 3i64);
+    b.bin(e, BinOp::Add, a, a, y);
+    b.bin(e, BinOp::Xor, a, a, 5i64);
+    b.set_term(e, Terminator::Return(Some(Operand::Reg(a))));
+    b.finish()
+}
+
+struct LowerCtx {
+    c: Reg,
+    acc: Reg,
+    scratch: i64,
+    helper: Option<FuncId>,
+    set: HeuristicSet,
+}
+
+fn lower_side_effect(b: &mut FuncBuilder, ctx: &LowerCtx, block: br_ir::BlockId, s: &SideEffect) {
+    match *s {
+        SideEffect::Store { slot } => b.store(
+            block,
+            Operand::Imm(ctx.scratch),
+            Operand::Imm(slot.rem_euclid(4)),
+            Operand::Reg(ctx.acc),
+        ),
+        SideEffect::Emit { ch } => b.call(
+            block,
+            None,
+            Callee::Intrinsic(Intrinsic::PutChar),
+            vec![Operand::Imm(ch)],
+        ),
+    }
+}
+
+fn lower_tail(
+    b: &mut FuncBuilder,
+    ctx: &LowerCtx,
+    block: br_ir::BlockId,
+    tail: &Tail,
+    cont: br_ir::BlockId,
+) {
+    b.bin(block, BinOp::Add, ctx.acc, ctx.acc, tail.add);
+    for &(op, k) in &tail.extra {
+        b.bin(block, op, ctx.acc, ctx.acc, k);
+    }
+    if tail.call_helper {
+        if let Some(h) = ctx.helper {
+            b.call(
+                block,
+                Some(ctx.acc),
+                Callee::Func(h),
+                vec![Operand::Reg(ctx.acc), Operand::Imm(tail.add)],
+            );
+        }
+    }
+    if let Some(slot) = tail.store_slot {
+        b.store(
+            block,
+            Operand::Imm(ctx.scratch),
+            Operand::Imm(slot.rem_euclid(4)),
+            Operand::Reg(ctx.acc),
+        );
+    }
+    if let Some(ch) = tail.emit {
+        b.call(
+            block,
+            None,
+            Callee::Intrinsic(Intrinsic::PutChar),
+            vec![Operand::Imm(ch)],
+        );
+    }
+    b.set_term(block, Terminator::Jump(cont));
+}
+
+fn lower_site(
+    b: &mut FuncBuilder,
+    ctx: &LowerCtx,
+    site: &Site,
+    head: br_ir::BlockId,
+    cont: br_ir::BlockId,
+) {
+    let v = b.new_reg();
+    b.bin(head, BinOp::Add, v, ctx.c, site.offset);
+    match &site.kind {
+        SiteKind::Ranges { arms, default_tail } => {
+            lower_ranges(b, ctx, v, arms, default_tail, head, cont);
+        }
+        SiteKind::Switch {
+            base,
+            stride,
+            cases,
+            default_tail,
+        } => {
+            lower_switch(b, ctx, v, *base, *stride, cases, default_tail, head, cont);
+        }
+    }
+}
+
+fn lower_ranges(
+    b: &mut FuncBuilder,
+    ctx: &LowerCtx,
+    v: Reg,
+    arms: &[Arm],
+    default_tail: &Tail,
+    head: br_ir::BlockId,
+    cont: br_ir::BlockId,
+) {
+    if arms.is_empty() {
+        lower_tail(b, ctx, head, default_tail, cont);
+        return;
+    }
+    let default_blk = b.new_block();
+    let mut cur = head;
+    for (i, arm) in arms.iter().enumerate() {
+        let next = if i + 1 == arms.len() {
+            default_blk
+        } else {
+            b.new_block()
+        };
+        let tail_blk = b.new_block();
+        lower_tail(b, ctx, tail_blk, &arm.tail, cont);
+        for s in &arm.side_effects {
+            lower_side_effect(b, ctx, cur, s);
+        }
+        match arm.range {
+            ArmRange::Singleton {
+                value,
+                negated: false,
+            } => b.cmp_branch(cur, v, value, Cond::Eq, tail_blk, next),
+            ArmRange::Singleton {
+                value,
+                negated: true,
+            } => b.cmp_branch(cur, v, value, Cond::Ne, next, tail_blk),
+            ArmRange::Below { bound } => b.cmp_branch(cur, v, bound, Cond::Lt, tail_blk, next),
+            ArmRange::AtLeast { bound } => b.cmp_branch(cur, v, bound, Cond::Ge, tail_blk, next),
+            ArmRange::Between { lo, hi } => {
+                // Form 4: two compares sharing the out-of-range successor.
+                let second = b.new_block();
+                b.cmp_branch(cur, v, lo, Cond::Ge, second, next);
+                b.cmp_branch(second, v, hi, Cond::Le, tail_blk, next);
+            }
+        }
+        cur = next;
+    }
+    lower_tail(b, ctx, default_blk, default_tail, cont);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_switch(
+    b: &mut FuncBuilder,
+    ctx: &LowerCtx,
+    v: Reg,
+    base: i64,
+    stride: i64,
+    cases: &[Tail],
+    default_tail: &Tail,
+    head: br_ir::BlockId,
+    cont: br_ir::BlockId,
+) {
+    if cases.is_empty() {
+        lower_tail(b, ctx, head, default_tail, cont);
+        return;
+    }
+    let default_blk = b.new_block();
+    lower_tail(b, ctx, default_blk, default_tail, cont);
+    let tails: Vec<_> = cases
+        .iter()
+        .map(|t| {
+            let blk = b.new_block();
+            lower_tail(b, ctx, blk, t, cont);
+            blk
+        })
+        .collect();
+    let n = cases.len() as i64;
+    let span = stride * (n - 1) + 1;
+    match ctx.set.choose(n as u64, span as u128) {
+        Strategy::LinearSearch => {
+            let mut cur = head;
+            for (j, &tail_blk) in tails.iter().enumerate() {
+                let next = if j + 1 == tails.len() {
+                    default_blk
+                } else {
+                    b.new_block()
+                };
+                b.cmp_branch(cur, v, base + stride * j as i64, Cond::Eq, tail_blk, next);
+                cur = next;
+            }
+        }
+        Strategy::BinarySearch => {
+            let values: Vec<i64> = (0..n).map(|j| base + stride * j).collect();
+            build_tree(b, v, head, &values, &tails, default_blk);
+        }
+        Strategy::IndirectJump => {
+            let in_lo = b.new_block();
+            let dispatch = b.new_block();
+            b.cmp_branch(head, v, base, Cond::Lt, default_blk, in_lo);
+            b.cmp_branch(in_lo, v, base + span - 1, Cond::Gt, default_blk, dispatch);
+            let idx = b.new_reg();
+            b.bin(dispatch, BinOp::Sub, idx, v, base);
+            let targets: Vec<_> = (0..span)
+                .map(|j| {
+                    if j % stride == 0 {
+                        tails[(j / stride) as usize]
+                    } else {
+                        default_blk
+                    }
+                })
+                .collect();
+            b.set_term(
+                dispatch,
+                Terminator::IndirectJump {
+                    index: idx,
+                    targets,
+                },
+            );
+        }
+    }
+}
+
+/// Balanced compare tree with small linear leaves (the front end's
+/// binary-search strategy, mirrored at IR level).
+fn build_tree(
+    b: &mut FuncBuilder,
+    v: Reg,
+    blk: br_ir::BlockId,
+    values: &[i64],
+    tails: &[br_ir::BlockId],
+    default_blk: br_ir::BlockId,
+) {
+    if values.len() <= 3 {
+        let mut cur = blk;
+        for (j, (&val, &tail)) in values.iter().zip(tails).enumerate() {
+            let next = if j + 1 == values.len() {
+                default_blk
+            } else {
+                b.new_block()
+            };
+            b.cmp_branch(cur, v, val, Cond::Eq, tail, next);
+            cur = next;
+        }
+        return;
+    }
+    let mid = values.len() / 2;
+    let left = b.new_block();
+    let right = b.new_block();
+    b.cmp_branch(blk, v, values[mid], Cond::Lt, left, right);
+    build_tree(b, v, left, &values[..mid], &tails[..mid], default_blk);
+    build_tree(b, v, right, &values[mid..], &tails[mid..], default_blk);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::print_module;
+
+    #[test]
+    fn generated_modules_verify_clean_under_all_sets() {
+        let cfg = GenConfig::default();
+        for seed in 0..60 {
+            let spec = Spec::generate(seed, &cfg);
+            for set in HeuristicSet::ALL {
+                let m = spec.lower(set);
+                let errs = br_ir::verify_module_all(&m);
+                assert!(errs.is_empty(), "seed {seed} set {}: {errs:?}", set.name);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_and_lowering_are_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in [0u64, 7, 991] {
+            let a = Spec::generate(seed, &cfg);
+            let b = Spec::generate(seed, &cfg);
+            assert_eq!(a, b);
+            assert_eq!(
+                print_module(&a.lower(HeuristicSet::SET_II)),
+                print_module(&b.lower(HeuristicSet::SET_II))
+            );
+            assert_eq!(a.input(3, 64), b.input(3, 64));
+        }
+    }
+
+    #[test]
+    fn sets_produce_different_switch_lowerings() {
+        // Find a seed with a wide dense switch and check the three
+        // lowerings actually differ (that is the cross-set oracle's
+        // entire value).
+        let cfg = GenConfig {
+            switch_prob: 1.0,
+            max_switch_cases: 20,
+            optimize_prob: 0.0,
+            ..GenConfig::default()
+        };
+        let mut seen_diff = false;
+        for seed in 0..20 {
+            let spec = Spec::generate(seed, &cfg);
+            let p1 = print_module(&spec.lower(HeuristicSet::SET_I));
+            let p3 = print_module(&spec.lower(HeuristicSet::SET_III));
+            if p1 != p3 {
+                seen_diff = true;
+                break;
+            }
+        }
+        assert!(seen_diff, "no seed produced set-dependent lowering");
+    }
+
+    #[test]
+    fn generated_programs_contain_reorderable_sequences() {
+        let cfg = GenConfig {
+            switch_prob: 0.0,
+            optimize_prob: 0.0,
+            ..GenConfig::default()
+        };
+        let mut detected = 0usize;
+        for seed in 0..30 {
+            let spec = Spec::generate(seed, &cfg);
+            let m = spec.lower(HeuristicSet::SET_I);
+            let main = m.main.expect("main");
+            detected += br_reorder::detect_sequences(m.function(main)).len();
+        }
+        assert!(detected >= 20, "only {detected} sequences over 30 seeds");
+    }
+}

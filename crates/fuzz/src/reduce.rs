@@ -1,0 +1,358 @@
+//! Delta-debugging reduction of failing specs.
+//!
+//! The reducer shrinks at the *spec* level (drop sites, drop arms and
+//! switch cases, strip side effects and tails, collapse bounded ranges
+//! to singletons) and at the *input* level (chunked byte removal over
+//! the diverging test input and the training input), accepting a
+//! candidate only when [`check_spec_io`] still yields a finding with
+//! the original fingerprint. The fingerprint — finding kind, heuristic
+//! set, first divergent field — is the reducer's invariant: the
+//! minimized repro fails the same way, not merely *somehow*.
+//!
+//! Passes iterate to a fixed point under a candidate budget, so the
+//! reducer terminates even on pathological shapes.
+
+use crate::gen::{ArmRange, SiteKind, Spec, Tail};
+use crate::oracle::{check_spec_io, OracleOptions};
+
+/// Result of reducing one finding.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The minimized spec (still failing with the same fingerprint).
+    pub spec: Spec,
+    pub train: Vec<u8>,
+    pub input: Vec<u8>,
+    /// The preserved fingerprint.
+    pub fingerprint: String,
+    /// Candidates evaluated (a cost/progress indicator).
+    pub tried: usize,
+}
+
+/// Upper bound on candidate evaluations per finding.
+const BUDGET: usize = 2500;
+
+struct Ctx<'a> {
+    opts: &'a OracleOptions,
+    fingerprint: &'a str,
+    tried: usize,
+}
+
+impl Ctx<'_> {
+    fn still_fails(&mut self, spec: &Spec, train: &[u8], input: &[u8]) -> bool {
+        self.tried += 1;
+        let tests = vec![input.to_vec()];
+        check_spec_io(spec, train, &tests, self.opts)
+            .iter()
+            .any(|f| f.fingerprint == self.fingerprint)
+    }
+
+    fn over_budget(&self) -> bool {
+        self.tried >= BUDGET
+    }
+}
+
+/// Shrink `finding`'s spec and inputs while preserving its fingerprint.
+pub fn reduce_finding(finding: &crate::oracle::Finding, opts: &OracleOptions) -> Reduced {
+    let mut spec = finding.spec.clone();
+    let mut train = finding.train.clone();
+    let mut input = finding.input.clone();
+    let mut ctx = Ctx {
+        opts,
+        fingerprint: &finding.fingerprint,
+        tried: 0,
+    };
+    // The finding may have been produced with several test inputs; make
+    // sure the single recorded input alone still reproduces before
+    // shrinking against it. If it does not (it always should), return
+    // the original unshrunk.
+    if !ctx.still_fails(&spec, &train, &input) {
+        return Reduced {
+            spec,
+            train,
+            input,
+            fingerprint: finding.fingerprint.clone(),
+            tried: ctx.tried,
+        };
+    }
+    for _round in 0..8 {
+        let mut changed = false;
+        changed |= shrink_structure(&mut ctx, &mut spec, &train, &input);
+        changed |= shrink_bytes(&mut ctx, &spec, &mut train, &mut input);
+        if !changed || ctx.over_budget() {
+            break;
+        }
+    }
+    Reduced {
+        spec,
+        train,
+        input,
+        fingerprint: finding.fingerprint.clone(),
+        tried: ctx.tried,
+    }
+}
+
+/// Try one spec mutation; keep it if the fingerprint survives.
+fn attempt(
+    ctx: &mut Ctx,
+    spec: &mut Spec,
+    train: &[u8],
+    input: &[u8],
+    mutate: impl FnOnce(&mut Spec),
+) -> bool {
+    if ctx.over_budget() {
+        return false;
+    }
+    let mut cand = spec.clone();
+    mutate(&mut cand);
+    if cand == *spec {
+        return false;
+    }
+    if ctx.still_fails(&cand, train, input) {
+        *spec = cand;
+        true
+    } else {
+        false
+    }
+}
+
+fn shrink_structure(ctx: &mut Ctx, spec: &mut Spec, train: &[u8], input: &[u8]) -> bool {
+    let mut changed = false;
+
+    // Drop whole sites, last first (later sites rarely matter to an
+    // earlier site's divergence).
+    let mut i = spec.sites.len();
+    while i > 0 {
+        i -= 1;
+        if spec.sites.len() > 1 {
+            changed |= attempt(ctx, spec, train, input, |s| {
+                s.sites.remove(i);
+            });
+        }
+    }
+
+    // Global simplifications.
+    changed |= attempt(ctx, spec, train, input, |s| s.helper = false);
+    changed |= attempt(ctx, spec, train, input, |s| s.optimize = false);
+
+    for si in 0..spec.sites.len() {
+        changed |= attempt(ctx, spec, train, input, |s| s.sites[si].offset = 0);
+        // Convert a switch to an equivalent singleton chain: strategy-
+        // independent, and usually much smaller once cases drop out.
+        changed |= attempt(ctx, spec, train, input, |s| {
+            if let SiteKind::Switch {
+                base,
+                stride,
+                cases,
+                default_tail,
+            } = &s.sites[si].kind
+            {
+                let arms = cases
+                    .iter()
+                    .enumerate()
+                    .map(|(j, tail)| crate::gen::Arm {
+                        range: ArmRange::Singleton {
+                            value: base + stride * j as i64,
+                            negated: false,
+                        },
+                        side_effects: Vec::new(),
+                        tail: tail.clone(),
+                    })
+                    .collect();
+                s.sites[si].kind = SiteKind::Ranges {
+                    arms,
+                    default_tail: default_tail.clone(),
+                };
+            }
+        });
+        changed |= shrink_site(ctx, spec, si, train, input);
+    }
+    changed
+}
+
+fn shrink_site(ctx: &mut Ctx, spec: &mut Spec, si: usize, train: &[u8], input: &[u8]) -> bool {
+    let mut changed = false;
+    let count = spec.sites[si].cond_count();
+    // Drop conditions/cases one at a time, last first.
+    let mut j = count;
+    while j > 0 {
+        j -= 1;
+        changed |= attempt(ctx, spec, train, input, |s| match &mut s.sites[si].kind {
+            SiteKind::Ranges { arms, .. } => {
+                if j < arms.len() {
+                    arms.remove(j);
+                }
+            }
+            SiteKind::Switch { cases, .. } => {
+                if j < cases.len() && cases.len() > 1 {
+                    cases.remove(j);
+                }
+            }
+        });
+    }
+    // Per-condition simplifications on whatever survived.
+    let count = spec.sites[si].cond_count();
+    for j in 0..count {
+        changed |= attempt(ctx, spec, train, input, |s| {
+            if let SiteKind::Ranges { arms, .. } = &mut s.sites[si].kind {
+                if let Some(arm) = arms.get_mut(j) {
+                    arm.side_effects.clear();
+                    arm.range = match arm.range {
+                        ArmRange::Between { lo, .. } => ArmRange::Singleton {
+                            value: lo,
+                            negated: false,
+                        },
+                        ArmRange::Below { bound } => ArmRange::Singleton {
+                            value: bound - 1,
+                            negated: false,
+                        },
+                        ArmRange::AtLeast { bound } => ArmRange::Singleton {
+                            value: bound,
+                            negated: false,
+                        },
+                        ArmRange::Singleton { value, .. } => ArmRange::Singleton {
+                            value,
+                            negated: false,
+                        },
+                    };
+                }
+            }
+        });
+        changed |= attempt(ctx, spec, train, input, |s| {
+            if let Some(t) = site_tail_mut(&mut s.sites[si].kind, j) {
+                simplify_tail(t);
+            }
+        });
+    }
+    changed |= attempt(ctx, spec, train, input, |s| match &mut s.sites[si].kind {
+        SiteKind::Ranges { default_tail, .. } | SiteKind::Switch { default_tail, .. } => {
+            simplify_tail(default_tail);
+        }
+    });
+    changed
+}
+
+fn site_tail_mut(kind: &mut SiteKind, j: usize) -> Option<&mut Tail> {
+    match kind {
+        SiteKind::Ranges { arms, .. } => arms.get_mut(j).map(|a| &mut a.tail),
+        SiteKind::Switch { cases, .. } => cases.get_mut(j),
+    }
+}
+
+fn simplify_tail(t: &mut Tail) {
+    t.extra.clear();
+    t.call_helper = false;
+    t.store_slot = None;
+    t.emit = None;
+    if t.add.abs() > 1 {
+        t.add = t.add.signum();
+    }
+}
+
+/// Chunked byte removal (ddmin-lite) over the test input, then the
+/// training input, then cheap wholesale replacements.
+fn shrink_bytes(ctx: &mut Ctx, spec: &Spec, train: &mut Vec<u8>, input: &mut Vec<u8>) -> bool {
+    let mut changed = false;
+    changed |= shrink_one(ctx, spec, train, input, Which::Input);
+    changed |= shrink_one(ctx, spec, train, input, Which::Train);
+    // An empty training input means "no training profile": often enough
+    // for verifier/lowering findings and a big simplification.
+    if !train.is_empty() && ctx.still_fails(spec, &[], input) {
+        train.clear();
+        changed = true;
+    }
+    changed
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Train,
+    Input,
+}
+
+fn shrink_one(
+    ctx: &mut Ctx,
+    spec: &Spec,
+    train: &mut Vec<u8>,
+    input: &mut Vec<u8>,
+    which: Which,
+) -> bool {
+    let mut changed = false;
+    let mut chunk = match which {
+        Which::Train => train.len(),
+        Which::Input => input.len(),
+    }
+    .max(1)
+        / 2;
+    while chunk >= 1 {
+        let len = match which {
+            Which::Train => train.len(),
+            Which::Input => input.len(),
+        };
+        let mut start = 0;
+        while start < len && !ctx.over_budget() {
+            let cur_len = match which {
+                Which::Train => train.len(),
+                Which::Input => input.len(),
+            };
+            if start >= cur_len {
+                break;
+            }
+            let end = (start + chunk).min(cur_len);
+            let (cand_train, cand_input) = match which {
+                Which::Train => {
+                    let mut t = train.clone();
+                    t.drain(start..end);
+                    (t, input.clone())
+                }
+                Which::Input => {
+                    let mut i = input.clone();
+                    i.drain(start..end);
+                    (train.clone(), i)
+                }
+            };
+            if ctx.still_fails(spec, &cand_train, &cand_input) {
+                *train = cand_train;
+                *input = cand_input;
+                changed = true;
+                // Same start now names the next chunk; do not advance.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+    use crate::oracle::{check_seed, FaultInjection, OracleOptions};
+
+    #[test]
+    fn reduces_injected_fault_to_a_small_spec() {
+        let gcfg = GenConfig::smoke();
+        let opts = OracleOptions {
+            fault: Some(FaultInjection { anchor_index: 0 }),
+            ..OracleOptions::smoke()
+        };
+        let finding = (0..12)
+            .flat_map(|seed| check_seed(seed, &gcfg, &opts))
+            .find(|f| f.critical)
+            .expect("an injected miscompile is found");
+        let before = finding.spec.cond_count();
+        let red = reduce_finding(&finding, &opts);
+        assert!(red.spec.sites.len() <= finding.spec.sites.len());
+        assert!(red.spec.cond_count() <= before);
+        assert!(red.input.len() <= finding.input.len());
+        // The reduced spec must still reproduce the same fingerprint.
+        let tests = vec![red.input.clone()];
+        assert!(check_spec_io(&red.spec, &red.train, &tests, &opts)
+            .iter()
+            .any(|f| f.fingerprint == red.fingerprint));
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end oracle self-test (the fuzzer fuzzing itself).
+//!
+//! A test-only fault-injection hook miscompiles one range's target in
+//! the reordered module *after* the pipeline (and its translation
+//! validator) signed off — the `validator-accepts-but-diverges` class
+//! the oracle exists to catch. The campaign must catch it, the reducer
+//! must shrink it to a tiny repro, and the written `.bir` corpus file
+//! must replay.
+
+use std::path::PathBuf;
+
+use br_fuzz::{replay_file, run_fuzz, FaultInjection, FuzzConfig};
+
+fn temp_corpus(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("br-fuzz-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn injected_miscompile_is_caught_reduced_and_replayable() {
+    let dir = temp_corpus("selftest");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = FuzzConfig::smoke();
+    cfg.seeds = 24;
+    cfg.jobs = 2;
+    cfg.reduce = true;
+    cfg.corpus_dir = Some(dir.clone());
+    cfg.oracle.fault = Some(FaultInjection { anchor_index: 0 });
+
+    let out = run_fuzz(&cfg);
+    assert_eq!(out.seeds_run, 24);
+    assert!(
+        out.has_critical(),
+        "no validator-accepted miscompile caught: {:?}",
+        out.findings
+            .iter()
+            .map(|f| &f.finding.fingerprint)
+            .collect::<Vec<_>>()
+    );
+
+    let critical = out
+        .findings
+        .iter()
+        .find(|f| f.finding.critical)
+        .expect("critical finding");
+    let reduced = critical.reduced.as_ref().expect("reduction ran");
+
+    // The reducer must shrink the program to at most 3 sequences (it
+    // almost always lands on a single site with a couple of arms).
+    assert!(
+        reduced.spec.sites.len() <= 3,
+        "reduced to {} sites",
+        reduced.spec.sites.len()
+    );
+    assert!(
+        reduced.spec.cond_count() <= critical.finding.spec.cond_count(),
+        "reduction grew the spec"
+    );
+    assert!(reduced.input.len() <= critical.finding.input.len());
+
+    // The corpus repro must exist and reproduce the divergence on
+    // replay.
+    let path = critical.repro_path.as_ref().expect("repro written");
+    assert!(path.exists(), "{} missing", path.display());
+    let report = replay_file(path).expect("replay parses");
+    assert!(
+        report.reproduced,
+        "repro did not reproduce: {:?}",
+        report.checks
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clean_campaign_replay_of_missing_divergence() {
+    // Without fault injection a smoke campaign over fresh seeds must be
+    // silent — this is the same assertion CI's fuzz-smoke job makes.
+    let mut cfg = FuzzConfig::smoke();
+    cfg.seeds = 16;
+    cfg.start_seed = 1000;
+    cfg.jobs = 2;
+    let out = run_fuzz(&cfg);
+    assert_eq!(out.seeds_run, 16);
+    assert!(
+        out.findings.is_empty(),
+        "unexpected findings: {:?}",
+        out.findings
+            .iter()
+            .map(|f| (&f.finding.fingerprint, &f.finding.detail))
+            .collect::<Vec<_>>()
+    );
+}

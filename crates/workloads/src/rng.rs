@@ -76,8 +76,14 @@ macro_rules! impl_sample_range {
             fn sample(self, rng: &mut SmallRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range");
-                let span = (hi as i128 - lo as i128 + 1) as u64;
-                (lo as i128 + rng.below(span) as i128) as $t
+                let span = hi as i128 - lo as i128 + 1;
+                // A full-width domain (e.g. `0..=u64::MAX`) has span
+                // 2^64, which a `u64` cannot hold; every bit pattern is
+                // in range, so take the raw output directly.
+                if span > u64::MAX as i128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
             }
         }
     )*};
@@ -124,6 +130,90 @@ mod tests {
             seen[rng.gen_range(0usize..8)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn one_element_ranges_return_the_element() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..32 {
+            assert_eq!(rng.gen_range(5i64..6), 5);
+            assert_eq!(rng.gen_range(7u64..=7), 7);
+            assert_eq!(rng.gen_range(u64::MAX..=u64::MAX), u64::MAX);
+            assert_eq!(rng.gen_range(i64::MIN..=i64::MIN), i64::MIN);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_half_open_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(3u32..3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_inclusive_range_panics() {
+        // The reversed literal is the point: it must be rejected loudly
+        // rather than sampled from.
+        #[allow(clippy::reversed_empty_ranges)]
+        SmallRng::seed_from_u64(0).gen_range(4i64..=3);
+    }
+
+    #[test]
+    fn inclusive_bounds_at_u64_max() {
+        // `hi - lo + 1` overflows a u64 for full-width domains; the
+        // sampler must still cover both halves of the space.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (mut low_half, mut high_half) = (0u32, 0u32);
+        for _ in 0..256 {
+            let v = rng.gen_range(0u64..=u64::MAX);
+            if v < 1 << 63 {
+                low_half += 1;
+            } else {
+                high_half += 1;
+            }
+        }
+        assert!(low_half > 32 && high_half > 32, "{low_half}/{high_half}");
+        // A two-element range touching the top stays in bounds and
+        // produces both values.
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            let v = rng.gen_range(u64::MAX - 1..=u64::MAX);
+            assert!(v >= u64::MAX - 1);
+            seen[(v - (u64::MAX - 1)) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+        // Same overflow case for the signed full domain.
+        let (mut neg, mut pos) = (0u32, 0u32);
+        for _ in 0..256 {
+            if rng.gen_range(i64::MIN..=i64::MAX) < 0 {
+                neg += 1;
+            } else {
+                pos += 1;
+            }
+        }
+        assert!(neg > 32 && pos > 32, "{neg}/{pos}");
+    }
+
+    #[test]
+    fn adjacent_seeds_diverge_immediately_and_stay_apart() {
+        // The splitmix64 scramble must decorrelate neighbouring seeds:
+        // the streams may never share a prefix, and over a short window
+        // they should have no positional collisions at all.
+        for seed in 0..100u64 {
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed + 1);
+            let mut collisions = 0;
+            for i in 0..16 {
+                let (x, y) = (a.next_u64(), b.next_u64());
+                assert!(
+                    !(i == 0 && x == y),
+                    "seeds {seed}/{} share a prefix",
+                    seed + 1
+                );
+                collisions += u32::from(x == y);
+            }
+            assert_eq!(collisions, 0, "seeds {seed}/{} collide", seed + 1);
+        }
     }
 
     #[test]

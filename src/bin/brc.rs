@@ -14,6 +14,8 @@
 //! brc validate --suite                            # all 17 workloads x 3 sets
 //! brc adapt                                       # adaptive-vs-static report
 //! brc adapt charclass --size 65536 --csv          # one scenario, CSV output
+//! brc fuzz --seeds 10000                          # differential fuzzing
+//! brc fuzz --replay fuzz/corpus/repro.bir         # re-check a saved repro
 //! ```
 //!
 //! Subcommands:
@@ -38,6 +40,13 @@
 //!   (`--threads N` workers, `--seeds K` input replications, `--quick`
 //!   reduced input sizes, `--smoke` the tiny CI grid, `--exhaustive`
 //!   ordering search, `--out DIR`, `--cache DIR`, `--no-cache`).
+//! * `fuzz` run the generative differential tester: random verified
+//!   modules through the reference interpreter, the pre-decoded fast
+//!   path, and the reordering pipeline under all three heuristic sets,
+//!   flagging any behavioral divergence, auto-reducing it, and writing
+//!   a replayable repro into the corpus (`--seeds N`, `--start-seed N`,
+//!   `--jobs N`, `--time SECS`, `--smoke` small programs for CI,
+//!   `--corpus DIR`, `--no-reduce`, `--replay FILE` re-check a repro).
 //!
 //! Flags:
 //! * `--input FILE`  program stdin (default: empty)
@@ -82,9 +91,29 @@ fn usage() -> ! {
        \x20      brc validate --suite [--size N]\n\
        \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--csv]\n\
        \x20      brc sweep [--threads N] [--seeds K] [--quick] [--smoke] [--exhaustive] \
-         [--out DIR] [--cache DIR] [--no-cache]"
+         [--out DIR] [--cache DIR] [--no-cache]\n\
+       \x20      brc fuzz [--seeds N] [--start-seed N] [--jobs N] [--time SECS] [--smoke] \
+         [--corpus DIR] [--no-reduce] [--replay FILE]"
     );
     exit(2)
+}
+
+/// Report a bad command line (naming what was wrong) and show usage.
+fn bad_args(msg: std::fmt::Arguments) -> ! {
+    eprintln!("brc: {msg}");
+    usage()
+}
+
+/// The value following `flag`, or exit 2 naming the flag.
+fn flag_value(flag: &str, v: Option<String>) -> String {
+    v.unwrap_or_else(|| bad_args(format_args!("{flag} requires a value")))
+}
+
+/// Parse the value following `flag`, or exit 2 naming flag and value.
+fn parse_flag<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    let v = flag_value(flag, v);
+    v.parse()
+        .unwrap_or_else(|_| bad_args(format_args!("invalid value for {flag}: {v}")))
 }
 
 fn read(path: &str) -> Vec<u8> {
@@ -94,12 +123,15 @@ fn read(path: &str) -> Vec<u8> {
     })
 }
 
-fn parse_set(s: Option<&str>) -> HeuristicSet {
-    match s {
-        Some("I") => HeuristicSet::SET_I,
-        Some("II") => HeuristicSet::SET_II,
-        Some("III") => HeuristicSet::SET_III,
-        _ => usage(),
+fn parse_set(v: Option<String>) -> HeuristicSet {
+    let v = flag_value("--set", v);
+    match v.as_str() {
+        "I" => HeuristicSet::SET_I,
+        "II" => HeuristicSet::SET_II,
+        "III" => HeuristicSet::SET_III,
+        _ => bad_args(format_args!(
+            "invalid value for --set: {v} (expected I, II, or III)"
+        )),
     }
 }
 
@@ -139,9 +171,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Args {
     let mut trace = 0usize;
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "--input" => input = read(&argv.next().unwrap_or_else(|| usage())),
-            "--train" => train = Some(read(&argv.next().unwrap_or_else(|| usage()))),
-            "--set" => set = parse_set(argv.next().as_deref()),
+            "--input" => input = read(&flag_value("--input", argv.next())),
+            "--train" => train = Some(read(&flag_value("--train", argv.next()))),
+            "--set" => set = parse_set(argv.next()),
             "--reorder" => reorder = true,
             "--common" => {
                 reorder = true;
@@ -151,20 +183,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Args {
             "--stats" => stats = true,
             "--dump-ir" => dump_ir = true,
             "--from-ir" => from_ir = true,
-            "--trace" => {
-                trace = argv
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--trace" => trace = parse_flag("--trace", argv.next()),
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && source_path.is_none() => {
                 source_path = Some(other.to_string());
             }
-            _ => usage(),
+            other => bad_args(format_args!("unexpected argument: {other}")),
         }
     }
-    let Some(path) = source_path else { usage() };
+    let Some(path) = source_path else {
+        bad_args(format_args!("no input file given"))
+    };
     Args {
         source: String::from_utf8_lossy(&read(&path)).into_owned(),
         input,
@@ -219,9 +248,13 @@ fn validate_one(module: &Module, train: &[u8], label: &str, verbose: bool) -> bo
             return false;
         }
     };
-    let summary = report
-        .validation
-        .expect("validation summary present when requested");
+    let Some(summary) = report.validation else {
+        // The pipeline contract is that `validate: true` always yields
+        // a summary; if that ever breaks, report it instead of
+        // panicking so suite runs keep their exit-code discipline.
+        println!("{label}: internal error: pipeline returned no validation summary");
+        return false;
+    };
     for s in &report.sequences {
         if matches!(s.outcome, SequenceOutcome::NeverExecuted) && verbose {
             println!(
@@ -327,7 +360,11 @@ fn cmd_validate_suite(size: usize) -> ! {
                     continue;
                 }
             };
-            let summary = report.validation.expect("validation requested");
+            let Some(summary) = report.validation else {
+                println!("{label}: internal error: pipeline returned no validation summary");
+                ok = false;
+                continue;
+            };
             println!("{label}: {summary}");
             for fail in &summary.failures {
                 println!("{label}: {fail}");
@@ -349,10 +386,7 @@ fn cmd_validate(argv: impl Iterator<Item = String>) -> ! {
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             if a == "--size" {
-                size = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .unwrap_or_else(|| usage());
+                size = parse_flag("--size", it.next().cloned());
             }
         }
         cmd_validate_suite(size);
@@ -378,23 +412,13 @@ fn cmd_adapt(argv: impl Iterator<Item = String>) -> ! {
     let mut argv = argv.peekable();
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "--size" => {
-                size = argv
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--epoch" => {
-                epoch = argv
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--size" => size = parse_flag("--size", argv.next()),
+            "--epoch" => epoch = parse_flag("--epoch", argv.next()),
             "--exhaustive" => exhaustive = true,
             "--csv" => csv = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
-            _ => usage(),
+            other => bad_args(format_args!("unexpected argument: {other}")),
         }
     }
     let scenarios = match name {
@@ -450,18 +474,8 @@ fn cmd_sweep(argv: impl Iterator<Item = String>) -> ! {
     let mut argv = argv.peekable();
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "--threads" => {
-                config.threads = argv
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
-            "--seeds" => {
-                config.seeds = argv
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .unwrap_or_else(|| usage())
-            }
+            "--threads" => config.threads = parse_flag("--threads", argv.next()),
+            "--seeds" => config.seeds = parse_flag("--seeds", argv.next()),
             "--quick" => {
                 config.train_size = 3 * 1024;
                 config.test_size = 4 * 1024;
@@ -481,15 +495,11 @@ fn cmd_sweep(argv: impl Iterator<Item = String>) -> ! {
                 }
             }
             "--exhaustive" => config.exhaustive = true,
-            "--out" => {
-                config.out_dir = argv.next().unwrap_or_else(|| usage()).into();
-            }
-            "--cache" => {
-                config.cache_dir = Some(argv.next().unwrap_or_else(|| usage()).into());
-            }
+            "--out" => config.out_dir = flag_value("--out", argv.next()).into(),
+            "--cache" => config.cache_dir = Some(flag_value("--cache", argv.next()).into()),
             "--no-cache" => config.cache_dir = None,
             "--help" | "-h" => usage(),
-            _ => usage(),
+            other => bad_args(format_args!("unexpected argument: {other}")),
         }
     }
     match run_sweep(&config) {
@@ -531,6 +541,125 @@ fn cmd_sweep(argv: impl Iterator<Item = String>) -> ! {
     }
 }
 
+/// `brc fuzz` — generative differential testing of the whole stack:
+/// random verified modules through both VM engines and the reordering
+/// pipeline under Sets I/II/III, with auto-reduction and a replayable
+/// corpus for anything that diverges.
+fn cmd_fuzz(argv: impl Iterator<Item = String>) -> ! {
+    use br_fuzz::{replay_file, run_fuzz, FuzzConfig};
+
+    let mut smoke = false;
+    let mut seeds = None;
+    let mut start_seed = None;
+    let mut jobs = None;
+    let mut time_limit = None;
+    let mut corpus = None;
+    let mut reduce = true;
+    let mut replay: Option<String> = None;
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--seeds" => seeds = Some(parse_flag("--seeds", argv.next())),
+            "--start-seed" => start_seed = Some(parse_flag("--start-seed", argv.next())),
+            "--jobs" => jobs = Some(parse_flag("--jobs", argv.next())),
+            "--time" => {
+                let secs: u64 = parse_flag("--time", argv.next());
+                time_limit = Some(std::time::Duration::from_secs(secs));
+            }
+            "--smoke" => smoke = true,
+            "--corpus" => corpus = Some(flag_value("--corpus", argv.next())),
+            "--no-reduce" => reduce = false,
+            "--replay" => replay = Some(flag_value("--replay", argv.next())),
+            "--help" | "-h" => usage(),
+            other => bad_args(format_args!("unexpected argument: {other}")),
+        }
+    }
+
+    if let Some(path) = replay {
+        match replay_file(std::path::Path::new(&path)) {
+            Ok(report) => {
+                for c in &report.checks {
+                    println!("replay: {c}");
+                }
+                if report.reproduced {
+                    println!("replay: divergence reproduced");
+                    exit(0)
+                } else {
+                    println!("replay: divergence did NOT reproduce");
+                    exit(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("brc: cannot replay {path}: {e}");
+                exit(1)
+            }
+        }
+    }
+
+    let mut cfg = if smoke {
+        FuzzConfig::smoke()
+    } else {
+        FuzzConfig::default()
+    };
+    if let Some(n) = seeds {
+        cfg.seeds = n;
+    }
+    if let Some(n) = start_seed {
+        cfg.start_seed = n;
+    }
+    if let Some(n) = jobs {
+        cfg.jobs = n;
+    }
+    cfg.time_limit = time_limit;
+    if let Some(dir) = corpus {
+        cfg.corpus_dir = Some(dir.into());
+    }
+    cfg.reduce = reduce;
+
+    let out = run_fuzz(&cfg);
+    for f in &out.findings {
+        let crit = if f.finding.critical {
+            " [CRITICAL]"
+        } else {
+            ""
+        };
+        println!(
+            "finding{crit}: {} (seed {}, set {})",
+            f.finding.fingerprint, f.finding.seed, f.finding.set
+        );
+        println!("  {}", f.finding.detail);
+        if let Some(r) = &f.reduced {
+            println!(
+                "  reduced: {} site(s), {} condition(s), {}-byte input",
+                r.spec.sites.len(),
+                r.spec.cond_count(),
+                r.input.len()
+            );
+        }
+        if let Some(p) = &f.repro_path {
+            println!("  repro: {}", p.display());
+            println!("  replay: brc fuzz --replay {}", p.display());
+        }
+    }
+    let skipped = if out.seeds_skipped > 0 {
+        format!(" ({} skipped at time limit)", out.seeds_skipped)
+    } else {
+        String::new()
+    };
+    println!(
+        "fuzz: {} seeds in {:.1?}{skipped}; {} distinct divergence(s){}",
+        out.seeds_run,
+        out.elapsed,
+        out.findings.len(),
+        if out.has_critical() {
+            " — CRITICAL: validator accepted a miscompile"
+        } else {
+            ""
+        }
+    );
+    exit(if out.findings.is_empty() { 0 } else { 1 })
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
@@ -549,6 +678,10 @@ fn main() {
         Some("sweep") => {
             argv.next();
             cmd_sweep(argv);
+        }
+        Some("fuzz") => {
+            argv.next();
+            cmd_fuzz(argv);
         }
         _ => {}
     }

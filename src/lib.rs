@@ -30,6 +30,10 @@
 //! * [`sweep`] — the parallel reproduction engine: the whole workload ×
 //!   heuristic-set × seed grid fanned across cores, with a
 //!   content-addressed artifact cache and deterministic result files.
+//! * [`fuzz`] — generative differential testing: seeded random modules
+//!   run through both VM engines and the reordering pipeline under all
+//!   three heuristic sets, with divergence fingerprinting, a
+//!   delta-debugging reducer, and a replayable repro corpus.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +71,7 @@
 
 pub use br_adaptive as adaptive;
 pub use br_analysis as analysis;
+pub use br_fuzz as fuzz;
 pub use br_harness as harness;
 pub use br_ir as ir;
 pub use br_minic as minic;
