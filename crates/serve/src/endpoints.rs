@@ -1,0 +1,578 @@
+//! The daemon's compute endpoints: `reorder`, `measure`, `profile`.
+//!
+//! Each handler is a pure function from a request frame to a response
+//! frame — no connection state, no global state beyond the response
+//! cache — which is what lets the worker pool run them on any thread
+//! and `catch_unwind` treat a panic as just another error response.
+//!
+//! Payloads reuse the repo's existing text formats: modules travel as
+//! printed IR (`br_ir::print_module` / `parse_module`), results as CSV
+//! rows and the validator's `Display` lines. See [`crate::proto`] for
+//! the framing.
+//!
+//! **Response cache.** Responses are content-addressed in a
+//! [`br_sweep::cache::ArtifactCache`] — the same store, key scheme
+//! (length-delimited FNV-1a) and format-version discipline the sweep
+//! engine uses — keyed by (endpoint, module text, options, input
+//! bytes). The pipeline is deterministic, so two requests that agree on
+//! those bytes have byte-identical responses; a warm daemon answers
+//! repeat traffic without touching the VM at all.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use br_ir::{parse_module, print_module, Module};
+use br_reorder::pipeline::SequenceKind;
+use br_reorder::profile::plan_ranges;
+use br_reorder::{
+    detect_all, instrument_module, profiles_from_run, reorder_module, ReorderOptions,
+    SequenceOutcome,
+};
+use br_sweep::cache::{fnv1a, ArtifactCache, FORMAT_VERSION};
+use br_vm::{pct_change, run, VmOptions};
+
+use crate::metrics::Metrics;
+use crate::proto::{section, Frame, OwnedSection, Section};
+
+/// The shared endpoint state: response cache, metrics, debug gating.
+pub struct Endpoints {
+    cache: ArtifactCache,
+    metrics: Arc<Metrics>,
+    /// Expose the `sleep`/`panic` fault-injection endpoints (tests and
+    /// operational drills only; off in normal service).
+    pub debug_endpoints: bool,
+}
+
+/// Everything the VM contributes to a measure response, fixed here so
+/// cache keys change when measurement semantics do.
+fn measure_vm() -> (VmOptions, &'static str) {
+    (VmOptions::default(), "vm=default ijump=3 preds=[]")
+}
+
+impl Endpoints {
+    /// Endpoint state backed by a response cache at `cache_dir`
+    /// (`None` disables caching).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the cache directory cannot be
+    /// created.
+    pub fn new(
+        cache_dir: Option<&std::path::Path>,
+        metrics: Arc<Metrics>,
+    ) -> std::io::Result<Endpoints> {
+        let cache = match cache_dir {
+            Some(dir) => ArtifactCache::at(dir)?,
+            None => ArtifactCache::disabled(),
+        };
+        Ok(Endpoints {
+            cache,
+            metrics,
+            debug_endpoints: false,
+        })
+    }
+
+    /// Dispatch one compute request. Unknown kinds and malformed
+    /// payloads come back as `error` frames; this function never
+    /// panics on bad input (a panic here is a bug, and the pool still
+    /// contains it).
+    pub fn handle(&self, request: &Frame) -> Frame {
+        let result = match request.kind.as_str() {
+            "reorder" => self.cached(request, "reorder", reorder_endpoint),
+            "measure" => self.cached(request, "measure", measure_endpoint),
+            "profile" => self.cached(request, "profile", profile_endpoint),
+            "sleep" if self.debug_endpoints => sleep_endpoint(request),
+            "panic" if self.debug_endpoints => {
+                panic!("fault injection: {}", request.payload_text())
+            }
+            other => Err(format!("unknown request kind {other:?}")),
+        };
+        match result {
+            Ok(frame) => frame,
+            Err(message) => Frame::text("error", &message),
+        }
+    }
+
+    /// Run `endpoint` through the response cache: key over the whole
+    /// request payload, store the whole response payload.
+    fn cached(
+        &self,
+        request: &Frame,
+        tag: &str,
+        endpoint: fn(&[OwnedSection]) -> Result<Vec<u8>, String>,
+    ) -> Result<Frame, String> {
+        let key = fnv1a(&[
+            b"serve",
+            FORMAT_VERSION.as_bytes(),
+            tag.as_bytes(),
+            &request.payload,
+        ]);
+        if let Some(text) = self.cache.get(key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Frame {
+                kind: "ok".to_string(),
+                payload: text.into_bytes(),
+            });
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let sections = request.sections()?;
+        let payload = endpoint(&sections)?;
+        // Responses are pure text (IR, CSV, validator lines), so the
+        // string store the sweep cache offers fits as-is.
+        if let Ok(text) = std::str::from_utf8(&payload) {
+            self.cache.put(key, text);
+        }
+        Ok(Frame {
+            kind: "ok".to_string(),
+            payload,
+        })
+    }
+}
+
+/// Parse and structurally verify a module section.
+fn module_section(sections: &[OwnedSection], name: &str) -> Result<Module, String> {
+    let text = section(sections, name)?.text()?;
+    let module =
+        parse_module(text).map_err(|e| format!("section {name}: IR parse error at {e}"))?;
+    br_ir::verify_module(&module)
+        .map_err(|e| format!("section {name}: module fails verification: {e}"))?;
+    Ok(module)
+}
+
+/// Reorder options from the optional `options` section: lines of
+/// `exhaustive|common|static 0|1`. Validation is not a knob — the
+/// service contract is that every response carries a verdict.
+fn parse_options(sections: &[OwnedSection]) -> Result<ReorderOptions, String> {
+    let mut opts = ReorderOptions {
+        validate: true,
+        ..ReorderOptions::default()
+    };
+    let Ok(options) = section(sections, "options") else {
+        return Ok(opts);
+    };
+    for line in options.text()?.lines() {
+        let (key, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("bad options line {line:?}"))?;
+        let on = match value {
+            "0" => false,
+            "1" => true,
+            _ => return Err(format!("bad options value {line:?} (expected 0 or 1)")),
+        };
+        match key {
+            "exhaustive" => opts.exhaustive = on,
+            "common" => opts.common_successor = on,
+            "static" => opts.static_heuristic = on,
+            _ => return Err(format!("unknown option {key:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `reorder`: printed-IR module + training bytes in; reordered module,
+/// per-sequence records, and the translation validator's verdict out.
+fn reorder_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
+    let module = module_section(sections, "module")?;
+    let train = &section(sections, "train")?.bytes;
+    let opts = parse_options(sections)?;
+    let report =
+        reorder_module(&module, train, &opts).map_err(|t| format!("training run trapped: {t}"))?;
+
+    let mut sequences = String::new();
+    for s in &report.sequences {
+        let kind = match s.kind {
+            SequenceKind::RangeConditions => "range",
+            SequenceKind::CommonSuccessor => "common",
+        };
+        let outcome = match s.outcome {
+            SequenceOutcome::Reordered {
+                new_branches,
+                new_compares,
+                original_cost,
+                new_cost,
+            } => format!("reordered {new_branches} {new_compares} {original_cost:?} {new_cost:?}"),
+            SequenceOutcome::NeverExecuted => "never".to_string(),
+            SequenceOutcome::NoImprovement => "noimp".to_string(),
+        };
+        sequences.push_str(&format!(
+            "{kind} {} {} {} {} {} {outcome}\n",
+            s.func.0, s.head.0, s.original_branches, s.conditions, s.training_executions
+        ));
+    }
+
+    let summary = report
+        .validation
+        .as_ref()
+        .ok_or("internal error: pipeline returned no validation summary")?;
+    let mut validation = format!(
+        "proven {} value_classes {} failures {}\n",
+        summary.proven,
+        summary.value_classes,
+        summary.failures.len()
+    );
+    for f in &summary.failures {
+        validation.push_str(&format!("{f}\n"));
+    }
+
+    Ok(Frame::structured(
+        "ok",
+        &[
+            Section {
+                name: "module",
+                bytes: print_module(&report.module).as_bytes(),
+            },
+            Section {
+                name: "sequences",
+                bytes: sequences.as_bytes(),
+            },
+            Section {
+                name: "validation",
+                bytes: validation.as_bytes(),
+            },
+        ],
+    )
+    .payload)
+}
+
+/// `measure`: two printed-IR modules plus one input; both run on the
+/// VM fast path and the Table-4 event counters come back as CSV deltas.
+/// Divergent observable behaviour (exit or output) is an error — the
+/// daemon refuses to measure a miscompile as if it were a speedup.
+fn measure_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
+    let original = module_section(sections, "original")?;
+    let reordered = module_section(sections, "reordered")?;
+    let input = &section(sections, "input")?.bytes;
+    let (vm, _) = measure_vm();
+    let a = run(&original, input, &vm).map_err(|t| format!("original run trapped: {t}"))?;
+    let b = run(&reordered, input, &vm).map_err(|t| format!("reordered run trapped: {t}"))?;
+    if a.exit != b.exit || a.output != b.output {
+        return Err(format!(
+            "observable behaviour differs: exit {} vs {}, {} vs {} output bytes",
+            a.exit,
+            b.exit,
+            a.output.len(),
+            b.output.len()
+        ));
+    }
+    let mut csv = String::from("counter,original,reordered,pct_change\n");
+    let rows: [(&str, u64, u64); 11] = [
+        ("insts", a.stats.insts, b.stats.insts),
+        (
+            "cond_branches",
+            a.stats.cond_branches,
+            b.stats.cond_branches,
+        ),
+        (
+            "taken_branches",
+            a.stats.taken_branches,
+            b.stats.taken_branches,
+        ),
+        ("uncond_jumps", a.stats.uncond_jumps, b.stats.uncond_jumps),
+        (
+            "indirect_jumps",
+            a.stats.indirect_jumps,
+            b.stats.indirect_jumps,
+        ),
+        ("compares", a.stats.compares, b.stats.compares),
+        ("loads", a.stats.loads, b.stats.loads),
+        ("stores", a.stats.stores, b.stats.stores),
+        ("calls", a.stats.calls, b.stats.calls),
+        ("returns", a.stats.returns, b.stats.returns),
+        ("delay_stalls", a.stats.delay_stalls, b.stats.delay_stalls),
+    ];
+    for (name, orig, reord) in rows {
+        csv.push_str(&format!(
+            "{name},{orig},{reord},{:.4}\n",
+            pct_change(orig, reord)
+        ));
+    }
+    Ok(Frame::structured(
+        "ok",
+        &[Section {
+            name: "csv",
+            bytes: csv.as_bytes(),
+        }],
+    )
+    .payload)
+}
+
+/// `profile`: instrument every detected sequence, run on the supplied
+/// input, and return the per-range exit counts as CSV.
+fn profile_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
+    let module = module_section(sections, "module")?;
+    let input = &section(sections, "input")?.bytes;
+    let mut instrumented = module.clone();
+    let detections = detect_all(&instrumented);
+    let ids = instrument_module(&mut instrumented, &detections);
+    let out = run(&instrumented, input, &VmOptions::default())
+        .map_err(|t| format!("profiling run trapped: {t}"))?;
+    let profiles = profiles_from_run(&ids, &out.profiles);
+    let mut csv = String::from("seq,func,head,range_lo,range_hi,count\n");
+    for (i, (fid, seq)) in detections.iter().enumerate() {
+        for (j, (range, _, _)) in plan_ranges(seq).iter().enumerate() {
+            csv.push_str(&format!(
+                "{i},{},{},{},{},{}\n",
+                fid.0, seq.head.0, range.lo, range.hi, profiles[i].counts[j]
+            ));
+        }
+    }
+    Ok(Frame::structured(
+        "ok",
+        &[Section {
+            name: "csv",
+            bytes: csv.as_bytes(),
+        }],
+    )
+    .payload)
+}
+
+/// Debug-only: hold a worker for N milliseconds — the knob tests and
+/// drills use to wedge the pool and watch admission control shed load.
+fn sleep_endpoint(request: &Frame) -> Result<Frame, String> {
+    let ms: u64 = request
+        .payload_text()
+        .trim()
+        .parse()
+        .map_err(|_| "sleep payload must be milliseconds".to_string())?;
+    std::thread::sleep(std::time::Duration::from_millis(ms.min(10_000)));
+    Ok(Frame::text("ok", "slept"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_minic::{compile, HeuristicSet, Options};
+
+    fn endpoints(cache: bool) -> (Endpoints, Arc<Metrics>, Option<std::path::PathBuf>) {
+        let metrics = Arc::new(Metrics::default());
+        let dir = cache.then(|| {
+            std::env::temp_dir().join(format!(
+                "br-serve-ep-test-{}-{:p}",
+                std::process::id(),
+                &metrics
+            ))
+        });
+        let e = Endpoints::new(dir.as_deref(), Arc::clone(&metrics)).expect("cache dir");
+        (e, metrics, dir)
+    }
+
+    fn wc_module() -> Module {
+        let w = br_workloads::by_name("wc").expect("wc exists");
+        let mut m =
+            compile(w.source, &Options::with_heuristics(HeuristicSet::SET_I)).expect("wc compiles");
+        br_opt::optimize(&mut m);
+        m
+    }
+
+    fn reorder_request(module: &Module, train: &[u8]) -> Frame {
+        Frame::structured(
+            "reorder",
+            &[
+                Section {
+                    name: "module",
+                    bytes: print_module(module).as_bytes(),
+                },
+                Section {
+                    name: "train",
+                    bytes: train,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn reorder_matches_in_process_pipeline() {
+        let (e, metrics, dir) = endpoints(true);
+        let module = wc_module();
+        let train = br_workloads::by_name("wc").unwrap().training_input(512);
+        let request = reorder_request(&module, &train);
+
+        let response = e.handle(&request);
+        assert_eq!(response.kind, "ok", "{}", response.payload_text());
+        let sections = response.sections().unwrap();
+        let served = section(&sections, "module").unwrap().text().unwrap();
+
+        let opts = ReorderOptions {
+            validate: true,
+            ..ReorderOptions::default()
+        };
+        let local = reorder_module(&module, &train, &opts).expect("pipeline runs");
+        assert_eq!(
+            served,
+            print_module(&local.module),
+            "service must be bit-for-bit"
+        );
+        let verdict = section(&sections, "validation").unwrap().text().unwrap();
+        assert!(verdict.contains("failures 0"), "{verdict}");
+
+        // Identical request → cache hit with the identical payload.
+        let again = e.handle(&request);
+        assert_eq!(again.payload, response.payload);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn measure_reports_deltas_and_rejects_divergence() {
+        let (e, _metrics, _) = endpoints(false);
+        let module = wc_module();
+        let w = br_workloads::by_name("wc").unwrap();
+        let report = reorder_module(&module, &w.training_input(512), &ReorderOptions::default())
+            .expect("pipeline runs");
+        let input = w.test_input(768);
+        let request = Frame::structured(
+            "measure",
+            &[
+                Section {
+                    name: "original",
+                    bytes: print_module(&module).as_bytes(),
+                },
+                Section {
+                    name: "reordered",
+                    bytes: print_module(&report.module).as_bytes(),
+                },
+                Section {
+                    name: "input",
+                    bytes: &input,
+                },
+            ],
+        );
+        let response = e.handle(&request);
+        assert_eq!(response.kind, "ok", "{}", response.payload_text());
+        let sections = response.sections().unwrap();
+        let csv = section(&sections, "csv").unwrap().text().unwrap();
+        assert!(csv.starts_with("counter,original,reordered,pct_change\n"));
+        assert_eq!(csv.lines().count(), 12, "{csv}");
+        assert!(csv.contains("\ncond_branches,"), "{csv}");
+
+        // Two genuinely different programs: measurement must refuse.
+        let other = {
+            let w2 = br_workloads::by_name("cb").expect("cb exists");
+            let mut m = compile(w2.source, &Options::with_heuristics(HeuristicSet::SET_I))
+                .expect("cb compiles");
+            br_opt::optimize(&mut m);
+            m
+        };
+        let bad = Frame::structured(
+            "measure",
+            &[
+                Section {
+                    name: "original",
+                    bytes: print_module(&module).as_bytes(),
+                },
+                Section {
+                    name: "reordered",
+                    bytes: print_module(&other).as_bytes(),
+                },
+                Section {
+                    name: "input",
+                    bytes: &input,
+                },
+            ],
+        );
+        let refused = e.handle(&bad);
+        assert_eq!(refused.kind, "error");
+        assert!(refused.payload_text().contains("behaviour differs"));
+    }
+
+    #[test]
+    fn profile_returns_range_counts() {
+        let (e, _metrics, _) = endpoints(false);
+        let module = wc_module();
+        let w = br_workloads::by_name("wc").unwrap();
+        let input = w.training_input(512);
+        let request = Frame::structured(
+            "profile",
+            &[
+                Section {
+                    name: "module",
+                    bytes: print_module(&module).as_bytes(),
+                },
+                Section {
+                    name: "input",
+                    bytes: &input,
+                },
+            ],
+        );
+        let response = e.handle(&request);
+        assert_eq!(response.kind, "ok", "{}", response.payload_text());
+        let sections = response.sections().unwrap();
+        let csv = section(&sections, "csv").unwrap().text().unwrap();
+        assert!(csv.starts_with("seq,func,head,range_lo,range_hi,count\n"));
+        // wc's classifier loop runs once per input byte, so some range
+        // must have accumulated real counts.
+        let total: u64 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert!(total > 0, "profiling counted nothing:\n{csv}");
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let (e, _metrics, _) = endpoints(false);
+        for request in [
+            Frame::text("reorder", "not sections"),
+            Frame::structured(
+                "reorder",
+                &[Section {
+                    name: "module",
+                    bytes: b"garbage ir",
+                }],
+            ),
+            Frame::text("unknown-kind", ""),
+            Frame::text("sleep", "5"), // debug endpoints off by default
+        ] {
+            let response = e.handle(&request);
+            assert_eq!(response.kind, "error", "{}", request.kind);
+        }
+    }
+
+    #[test]
+    fn options_section_is_honoured() {
+        let (e, _metrics, _) = endpoints(false);
+        let module = wc_module();
+        let train = br_workloads::by_name("wc").unwrap().training_input(512);
+        let request = Frame::structured(
+            "reorder",
+            &[
+                Section {
+                    name: "module",
+                    bytes: print_module(&module).as_bytes(),
+                },
+                Section {
+                    name: "train",
+                    bytes: &train,
+                },
+                Section {
+                    name: "options",
+                    bytes: b"exhaustive 1\nstatic 0",
+                },
+            ],
+        );
+        let response = e.handle(&request);
+        assert_eq!(response.kind, "ok", "{}", response.payload_text());
+        let bad = Frame::structured(
+            "reorder",
+            &[
+                Section {
+                    name: "module",
+                    bytes: print_module(&module).as_bytes(),
+                },
+                Section {
+                    name: "train",
+                    bytes: &train,
+                },
+                Section {
+                    name: "options",
+                    bytes: b"warp-speed 1",
+                },
+            ],
+        );
+        assert_eq!(e.handle(&bad).kind, "error");
+    }
+}

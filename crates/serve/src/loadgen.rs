@@ -1,0 +1,401 @@
+//! Closed-loop load generator (`brc loadgen`).
+//!
+//! Replays the 17 paper workloads against a running daemon from N
+//! concurrent connections. *Closed loop* means each connection keeps
+//! exactly one request in flight — send, wait, repeat — so offered load
+//! adapts to service capacity and the reported latency is honest
+//! (open-loop generators overstate throughput and understate latency
+//! the moment a queue forms).
+//!
+//! The corpus is built in-process: every workload is compiled and
+//! optimized, giving one `reorder` request (module + training input)
+//! and one `measure` request (original vs locally-reordered module +
+//! test input) per workload. A pass is one trip through the corpus.
+//!
+//! `--smoke` is the CI contract: two passes, the second expected to be
+//! served from the daemon's response cache, with hard assertions — zero
+//! error frames, zero shed frames, and a nonzero cache-hit delta on the
+//! warm pass.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use br_ir::print_module;
+use br_minic::{compile, HeuristicSet, Options};
+use br_reorder::{reorder_module, ReorderOptions};
+
+use crate::metrics::{Histogram, Metrics};
+use crate::proto::{Client, Frame, Section};
+
+/// Load-generator configuration (`brc loadgen` flags map here 1:1).
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Corpus passes per connection.
+    pub passes: usize,
+    /// Training-input bytes per reorder request.
+    pub train_size: usize,
+    /// Test-input bytes per measure request.
+    pub input_size: usize,
+    /// Send only `reorder` requests (skip `measure`), for a pure
+    /// pipeline-throughput number.
+    pub reorder_only: bool,
+    /// Send a `shutdown` frame after the run (graceful drain).
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            connections: 4,
+            passes: 4,
+            train_size: 2048,
+            input_size: 2048,
+            reorder_only: false,
+            shutdown_after: false,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The CI smoke shape: 8 connections x 2 passes over the full
+    /// mixed corpus at small input sizes — ≥ 64 requests in flight
+    /// across the run, cold pass then warm pass.
+    pub fn smoke(addr: &str) -> LoadgenConfig {
+        LoadgenConfig {
+            addr: addr.to_string(),
+            connections: 8,
+            passes: 1, // per measured pass; smoke runs two passes itself
+            train_size: 512,
+            input_size: 512,
+            reorder_only: false,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Aggregated results of one generator run.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `error` responses.
+    pub errors: u64,
+    /// `overloaded` responses.
+    pub shed: u64,
+    /// Wall-clock time of the measured passes.
+    pub elapsed: Duration,
+    /// Client-observed request latency.
+    pub latency: Histogram,
+    /// Up to three example error payloads, for diagnosis.
+    pub error_samples: Vec<String>,
+    /// Server cache hits gained during this run (from the daemon's
+    /// metrics endpoint), when it was reachable.
+    pub cache_hit_delta: Option<u64>,
+}
+
+impl LoadgenReport {
+    /// Achieved requests/second.
+    pub fn throughput(&self) -> f64 {
+        self.sent as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Shed responses as a fraction of requests sent.
+    pub fn shed_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.sent as f64
+        }
+    }
+
+    /// Human-readable summary: throughput, shed rate, latency histogram.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen: {} requests in {:.2?} — {:.1} req/s; {} ok, {} error(s), {} shed ({:.2}% shed rate)",
+            self.sent,
+            self.elapsed,
+            self.throughput(),
+            self.ok,
+            self.errors,
+            self.shed,
+            self.shed_rate() * 100.0,
+        );
+        for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+            if let Some(d) = self.latency.quantile(q) {
+                let _ = writeln!(out, "latency {label}: <= {d:.0?}");
+            }
+        }
+        let counts = self.latency.snapshot();
+        for (i, c) in counts.iter().enumerate() {
+            if *c > 0 {
+                let _ = writeln!(out, "  <= {:>9} us: {c}", Histogram::bucket_bound_us(i));
+            }
+        }
+        if let Some(delta) = self.cache_hit_delta {
+            let _ = writeln!(out, "server cache hits gained: {delta}");
+        }
+        for e in &self.error_samples {
+            let _ = writeln!(out, "error sample: {e}");
+        }
+        out
+    }
+}
+
+/// One prepared request frame, ready to replay.
+pub struct CorpusItem {
+    /// Workload name plus request kind, for diagnostics.
+    pub label: String,
+    /// The request frame.
+    pub frame: Frame,
+}
+
+/// Build the replay corpus from the 17 bundled workloads: a `reorder`
+/// request per workload, plus (unless `reorder_only`) a `measure`
+/// request comparing the original against a locally reordered module.
+///
+/// # Errors
+///
+/// A workload that fails to compile or train is a hard error — the
+/// corpus ships with the repo, so that is a build break, not a load
+/// condition.
+pub fn build_corpus(config: &LoadgenConfig) -> Result<Vec<CorpusItem>, String> {
+    let mut corpus = Vec::new();
+    for w in br_workloads::all() {
+        let mut module = compile(w.source, &Options::with_heuristics(HeuristicSet::SET_I))
+            .map_err(|e| format!("{}: compile error: {e}", w.name))?;
+        br_opt::optimize(&mut module);
+        let module_text = print_module(&module);
+        let train = w.training_input(config.train_size);
+        corpus.push(CorpusItem {
+            label: format!("{}/reorder", w.name),
+            frame: Frame::structured(
+                "reorder",
+                &[
+                    Section {
+                        name: "module",
+                        bytes: module_text.as_bytes(),
+                    },
+                    Section {
+                        name: "train",
+                        bytes: &train,
+                    },
+                ],
+            ),
+        });
+        if config.reorder_only {
+            continue;
+        }
+        let report = reorder_module(&module, &train, &ReorderOptions::default())
+            .map_err(|t| format!("{}: training run trapped: {t}", w.name))?;
+        let input = w.test_input(config.input_size);
+        corpus.push(CorpusItem {
+            label: format!("{}/measure", w.name),
+            frame: Frame::structured(
+                "measure",
+                &[
+                    Section {
+                        name: "original",
+                        bytes: module_text.as_bytes(),
+                    },
+                    Section {
+                        name: "reordered",
+                        bytes: print_module(&report.module).as_bytes(),
+                    },
+                    Section {
+                        name: "input",
+                        bytes: &input,
+                    },
+                ],
+            ),
+        });
+    }
+    Ok(corpus)
+}
+
+/// Read one server-side counter via the metrics endpoint.
+fn server_counter(addr: &str, name: &str) -> Option<u64> {
+    let mut client = Client::connect(addr).ok()?;
+    let response = client.call(&Frame::text("metrics", "")).ok()?;
+    Metrics::parse_counter(&response.payload_text(), name)
+}
+
+struct PassTotals {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+    latency: Histogram,
+    error_samples: std::sync::Mutex<Vec<String>>,
+}
+
+/// Run `passes` trips through the corpus on every connection
+/// concurrently, accumulating into `totals`.
+fn run_passes(
+    config: &LoadgenConfig,
+    corpus: &[CorpusItem],
+    passes: usize,
+    totals: &PassTotals,
+) -> io::Result<()> {
+    std::thread::scope(|scope| {
+        let mut threads = Vec::new();
+        for conn in 0..config.connections.max(1) {
+            threads.push(scope.spawn(move || -> io::Result<()> {
+                let mut client = Client::connect(&config.addr)?;
+                for pass in 0..passes {
+                    for i in 0..corpus.len() {
+                        // Offset each connection's walk so the daemon
+                        // sees mixed kinds at any instant, not 8 copies
+                        // of the same request marching in phase.
+                        let item = &corpus[(i + conn * 3 + pass) % corpus.len()];
+                        let start = Instant::now();
+                        let response = client.call(&item.frame)?;
+                        totals.latency.record(start.elapsed());
+                        totals.sent.fetch_add(1, Ordering::Relaxed);
+                        match response.kind.as_str() {
+                            "ok" => {
+                                totals.ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            "overloaded" => {
+                                totals.shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                totals.errors.fetch_add(1, Ordering::Relaxed);
+                                let mut samples =
+                                    totals.error_samples.lock().expect("samples poisoned");
+                                if samples.len() < 3 {
+                                    samples.push(format!(
+                                        "{}: {}",
+                                        item.label,
+                                        response.payload_text()
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for t in threads {
+            t.join().expect("loadgen connection thread panicked")?;
+        }
+        Ok(())
+    })
+}
+
+/// Run the load generator: build the corpus, fire the passes, gather
+/// the report, and optionally drain the daemon.
+///
+/// # Errors
+///
+/// Corpus build failures and connection-level I/O errors are fatal;
+/// per-request `error`/`overloaded` responses are counted, not thrown.
+pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let corpus = build_corpus(config).map_err(|e| io::Error::other(format!("corpus: {e}")))?;
+    let totals = PassTotals {
+        sent: AtomicU64::new(0),
+        ok: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        latency: Histogram::default(),
+        error_samples: std::sync::Mutex::new(Vec::new()),
+    };
+    let hits_before = server_counter(&config.addr, "cache_hits");
+    let start = Instant::now();
+    run_passes(config, &corpus, config.passes.max(1), &totals)?;
+    let elapsed = start.elapsed();
+    let hits_after = server_counter(&config.addr, "cache_hits");
+    if config.shutdown_after {
+        let mut client = Client::connect(&config.addr)?;
+        let bye = client.call(&Frame::text("shutdown", ""))?;
+        if bye.kind != "ok" {
+            return Err(io::Error::other(format!(
+                "shutdown refused: {}",
+                bye.payload_text()
+            )));
+        }
+    }
+    Ok(LoadgenReport {
+        sent: totals.sent.into_inner(),
+        ok: totals.ok.into_inner(),
+        errors: totals.errors.into_inner(),
+        shed: totals.shed.into_inner(),
+        elapsed,
+        latency: totals.latency,
+        error_samples: totals.error_samples.into_inner().expect("samples poisoned"),
+        cache_hit_delta: match (hits_before, hits_after) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        },
+    })
+}
+
+/// The `--smoke` contract: a cold pass then a warm pass, with hard
+/// assertions. Returns the warm-pass report and a list of violated
+/// assertions (empty = pass).
+///
+/// # Errors
+///
+/// Same fatal conditions as [`run_loadgen`].
+pub fn run_smoke(config: &LoadgenConfig) -> io::Result<(LoadgenReport, Vec<String>)> {
+    let cold = run_loadgen(config)?;
+    let warm = run_loadgen(config)?;
+    let mut violations = Vec::new();
+    for (label, report) in [("cold", &cold), ("warm", &warm)] {
+        if report.errors > 0 {
+            violations.push(format!(
+                "{label} pass returned {} error frame(s): {:?}",
+                report.errors, report.error_samples
+            ));
+        }
+        if report.shed > 0 {
+            violations.push(format!(
+                "{label} pass was shed {} time(s) — queue too small for smoke load",
+                report.shed
+            ));
+        }
+    }
+    match warm.cache_hit_delta {
+        Some(0) => violations.push("warm pass gained zero cache hits".to_string()),
+        Some(_) => {}
+        None => violations.push("daemon metrics endpoint unreachable".to_string()),
+    }
+    Ok((warm, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_workload_both_kinds() {
+        let config = LoadgenConfig {
+            train_size: 256,
+            input_size: 256,
+            ..LoadgenConfig::default()
+        };
+        let corpus = build_corpus(&config).expect("corpus builds");
+        assert_eq!(corpus.len(), br_workloads::all().len() * 2);
+        assert!(corpus.iter().any(|c| c.frame.kind == "reorder"));
+        assert!(corpus.iter().any(|c| c.frame.kind == "measure"));
+
+        let reorder_only = LoadgenConfig {
+            reorder_only: true,
+            ..config
+        };
+        let corpus = build_corpus(&reorder_only).expect("corpus builds");
+        assert_eq!(corpus.len(), br_workloads::all().len());
+        assert!(corpus.iter().all(|c| c.frame.kind == "reorder"));
+    }
+}

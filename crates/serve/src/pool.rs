@@ -1,0 +1,293 @@
+//! Bounded worker pool with admission control.
+//!
+//! Connection threads parse frames; *compute* happens here. The pool
+//! owns the daemon's overload policy:
+//!
+//! * **Admission queue.** A bounded FIFO between connection threads and
+//!   workers. [`Pool::submit`] refuses — never blocks — when the queue
+//!   is at its limit, so one burst cannot build unbounded memory or
+//!   latency debt; the caller turns a refusal into an `overloaded`
+//!   frame, which a well-behaved client treats as backpressure.
+//! * **Deadlines.** Each job carries an optional deadline. A job whose
+//!   deadline passed while it sat in the queue is answered with an
+//!   `error` frame without being started — work that nobody is waiting
+//!   for anymore is the first thing an overloaded service must drop. A
+//!   job that *started* in time runs to completion (threads cannot be
+//!   cancelled safely); late completions are still delivered and are
+//!   visible in the `deadline_expired` counter.
+//! * **Panic isolation.** The handler runs under [`catch_unwind`]: a
+//!   request that panics the pipeline produces an `error` frame naming
+//!   the panic, and the worker thread survives to take the next job.
+//! * **Graceful drain.** [`Pool::drain`] lets queued jobs finish,
+//!   refuses new ones, and joins every worker.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::metrics::Metrics;
+use crate::proto::Frame;
+
+/// One admitted request waiting for a worker.
+pub struct Job {
+    /// The request frame.
+    pub request: Frame,
+    /// When the job was admitted (latency measurement starts here).
+    pub accepted: Instant,
+    /// Absolute deadline; `None` means no limit.
+    pub deadline: Option<Instant>,
+    /// Where the response frame goes (the connection thread blocks on
+    /// the other end).
+    pub reply: mpsc::Sender<Frame>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    limit: usize,
+    draining: AtomicBool,
+}
+
+/// The worker pool. Dropping it without [`Pool::drain`] detaches the
+/// workers (they exit once told to drain; the daemon always drains).
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Extract a human-readable message from a panic payload.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Pool {
+    /// Start `threads` workers feeding from a queue bounded at
+    /// `queue_limit` jobs, each request handled by `handler`.
+    pub fn start(
+        threads: usize,
+        queue_limit: usize,
+        metrics: Arc<Metrics>,
+        handler: Arc<dyn Fn(&Frame) -> Frame + Send + Sync>,
+    ) -> Pool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            limit: queue_limit.max(1),
+            draining: AtomicBool::new(false),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let metrics = Arc::clone(&metrics);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || worker(&shared, &metrics, handler.as_ref()))
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Admit a job, or hand it back when the queue is full or the pool
+    /// is draining — the caller sheds it with an `overloaded` frame.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        if queue.len() >= self.shared.limit {
+            return Err(job);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently queued (diagnostic; racy by nature).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").len()
+    }
+
+    /// Finish every queued job, refuse new ones, and join the workers.
+    /// Idempotent; `&self` so the daemon can drain a shared pool.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let workers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("pool workers poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker(shared: &Shared, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Frame + Sync)) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        let response = run_job(&job, metrics, handler);
+        match response.kind.as_str() {
+            "ok" => metrics.ok.fetch_add(1, Ordering::Relaxed),
+            _ => metrics.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        metrics.latency.record(job.accepted.elapsed());
+        // A send failure means the connection is gone; the work is
+        // simply discarded, which is the right amount of caring.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn run_job(job: &Job, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Frame + Sync)) -> Frame {
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            metrics.expired.fetch_add(1, Ordering::Relaxed);
+            return Frame::text(
+                "error",
+                &format!(
+                    "deadline expired after {:?} in queue",
+                    job.accepted.elapsed()
+                ),
+            );
+        }
+    }
+    let response = match catch_unwind(AssertUnwindSafe(|| handler(&job.request))) {
+        Ok(frame) => frame,
+        Err(payload) => Frame::text(
+            "error",
+            &format!(
+                "internal panic handling {} request: {}",
+                job.request.kind,
+                panic_message(payload)
+            ),
+        ),
+    };
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            metrics.expired.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn echo_pool(threads: usize, limit: usize) -> (Pool, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::default());
+        let pool = Pool::start(
+            threads,
+            limit,
+            Arc::clone(&metrics),
+            Arc::new(|req: &Frame| match req.kind.as_str() {
+                "boom" => panic!("intentional test panic"),
+                "slow" => {
+                    std::thread::sleep(Duration::from_millis(100));
+                    Frame::text("ok", "slow done")
+                }
+                _ => Frame::text("ok", &req.payload_text()),
+            }),
+        );
+        (pool, metrics)
+    }
+
+    fn job(kind: &str, deadline: Option<Instant>) -> (Job, mpsc::Receiver<Frame>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                request: Frame::text(kind, "payload"),
+                accepted: Instant::now(),
+                deadline,
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn completes_jobs_and_survives_panics() {
+        let (pool, metrics) = echo_pool(2, 16);
+        let (boom, boom_rx) = job("boom", None);
+        pool.submit(boom).ok().unwrap();
+        let response = boom_rx.recv().unwrap();
+        assert_eq!(response.kind, "error");
+        assert!(response.payload_text().contains("intentional test panic"));
+
+        // The pool keeps serving after the panic.
+        let (ok, ok_rx) = job("echo", None);
+        pool.submit(ok).ok().unwrap();
+        assert_eq!(ok_rx.recv().unwrap().kind, "ok");
+        pool.drain();
+        assert_eq!(metrics.ok.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn full_queue_refuses_admission() {
+        let (pool, _metrics) = echo_pool(1, 1);
+        let (slow, slow_rx) = job("slow", None);
+        pool.submit(slow).ok().unwrap();
+        // Wait until the worker has the slow job off the queue.
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let (queued, queued_rx) = job("echo", None);
+        pool.submit(queued).ok().unwrap();
+        // Queue is at its limit of 1: the third job is refused.
+        let (shed, _shed_rx) = job("echo", None);
+        assert!(pool.submit(shed).is_err());
+        assert_eq!(slow_rx.recv().unwrap().kind, "ok");
+        assert_eq!(queued_rx.recv().unwrap().kind, "ok");
+        pool.drain();
+    }
+
+    #[test]
+    fn queued_past_deadline_is_an_error() {
+        let (pool, metrics) = echo_pool(1, 4);
+        let (slow, slow_rx) = job("slow", None);
+        pool.submit(slow).ok().unwrap();
+        // This job's deadline passes while the slow job holds the only
+        // worker, so it must be answered without being started.
+        let (late, late_rx) = job("echo", Some(Instant::now() + Duration::from_millis(10)));
+        pool.submit(late).ok().unwrap();
+        assert_eq!(slow_rx.recv().unwrap().kind, "ok");
+        let response = late_rx.recv().unwrap();
+        assert_eq!(response.kind, "error");
+        assert!(response.payload_text().contains("deadline expired"));
+        pool.drain();
+        assert_eq!(metrics.expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drain_refuses_new_work() {
+        let (pool, _metrics) = echo_pool(2, 4);
+        let (a, a_rx) = job("echo", None);
+        pool.submit(a).ok().unwrap();
+        assert_eq!(a_rx.recv().unwrap().kind, "ok");
+        pool.drain();
+        // After drain the pool is gone; nothing left to assert beyond
+        // the join having returned without hanging.
+    }
+}

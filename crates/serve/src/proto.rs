@@ -1,0 +1,353 @@
+//! Wire protocol: length-prefixed frames of length-prefixed sections.
+//!
+//! The daemon speaks the repo's existing *text* formats — printed IR,
+//! CSV stat rows, the validator's `Display` lines — so the protocol
+//! adds nothing but delimiting. A **frame** is one request or response:
+//!
+//! ```text
+//! brs1 <kind> <payload-len>\n
+//! <payload-len bytes of payload>
+//! ```
+//!
+//! `brs1` is the protocol version tag; bumping it invalidates every
+//! client at connect time instead of at parse time. The payload of a
+//! structured frame is a sequence of **sections**, each length-prefixed
+//! the same way:
+//!
+//! ```text
+//! <name> <len>\n
+//! <len bytes>\n
+//! ```
+//!
+//! Length prefixes mean arbitrary bytes (training inputs, program
+//! output) and multi-line text (printed IR) travel unescaped, and a
+//! reader never scans for a terminator that the payload might contain.
+//!
+//! Request kinds: `reorder`, `measure`, `profile`, `health`, `metrics`,
+//! `shutdown`, and (only when the daemon enables debug endpoints)
+//! `sleep` and `panic`. Response kinds: `ok`, `error`, `overloaded`.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version tag; the first token of every frame header.
+pub const PROTOCOL: &str = "brs1";
+
+/// Upper bound on an accepted payload, a defense against a garbage
+/// header committing the daemon to a multi-gigabyte read.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// One request or response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind (request verb or response status).
+    pub kind: String,
+    /// Raw payload bytes; structured kinds hold [`Section`]s.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with a section-structured payload.
+    pub fn structured(kind: &str, sections: &[Section<'_>]) -> Frame {
+        let mut payload = Vec::new();
+        for s in sections {
+            s.write_to(&mut payload);
+        }
+        Frame {
+            kind: kind.to_string(),
+            payload,
+        }
+    }
+
+    /// A frame whose payload is one human-readable text blob (used by
+    /// `error`, `overloaded`, and the health/metrics responses).
+    pub fn text(kind: &str, text: &str) -> Frame {
+        Frame {
+            kind: kind.to_string(),
+            payload: text.as_bytes().to_vec(),
+        }
+    }
+
+    /// The payload as UTF-8 text (lossy; payloads we emit are UTF-8).
+    pub fn payload_text(&self) -> String {
+        String::from_utf8_lossy(&self.payload).into_owned()
+    }
+
+    /// Parse the payload as sections.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed section header.
+    pub fn sections(&self) -> Result<Vec<OwnedSection>, String> {
+        read_sections(&self.payload)
+    }
+
+    /// Serialize onto a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        writeln!(w, "{PROTOCOL} {} {}", self.kind, self.payload.len())?;
+        w.write_all(&self.payload)?;
+        w.flush()
+    }
+
+    /// Read one frame, or `Ok(None)` on a clean EOF before any header
+    /// byte (the peer hung up between requests).
+    ///
+    /// # Errors
+    ///
+    /// An I/O error, a malformed header, or an oversized payload, all
+    /// as `io::Error` so connection loops have a single error path.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Option<Frame>> {
+        let Some(header) = read_line(r)? else {
+            return Ok(None);
+        };
+        let mut parts = header.split(' ');
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad header: {header:?}"),
+            )
+        };
+        if parts.next() != Some(PROTOCOL) {
+            return Err(bad());
+        }
+        let kind = parts.next().ok_or_else(bad)?.to_string();
+        let len: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        if len > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Ok(Some(Frame { kind, payload }))
+    }
+}
+
+/// A named byte run inside a structured payload (borrowed, for writing).
+#[derive(Clone, Copy, Debug)]
+pub struct Section<'a> {
+    /// Section name (no spaces or newlines).
+    pub name: &'a str,
+    /// Section bytes, written verbatim.
+    pub bytes: &'a [u8],
+}
+
+impl Section<'_> {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(format!(" {}\n", self.bytes.len()).as_bytes());
+        out.extend_from_slice(self.bytes);
+        out.push(b'\n');
+    }
+}
+
+/// A parsed section (owned, from reading).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedSection {
+    /// Section name.
+    pub name: String,
+    /// Section bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl OwnedSection {
+    /// The bytes as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Names the section when it is not valid UTF-8.
+    pub fn text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.bytes).map_err(|_| format!("section {} is not UTF-8", self.name))
+    }
+}
+
+/// Find `name` among parsed sections.
+pub fn section<'a>(sections: &'a [OwnedSection], name: &str) -> Result<&'a OwnedSection, String> {
+    sections
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("missing section {name}"))
+}
+
+fn read_sections(mut bytes: &[u8]) -> Result<Vec<OwnedSection>, String> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let nl = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("section header is not newline-terminated")?;
+        let header =
+            std::str::from_utf8(&bytes[..nl]).map_err(|_| "section header is not UTF-8")?;
+        let (name, len) = header
+            .split_once(' ')
+            .ok_or_else(|| format!("bad section header: {header:?}"))?;
+        let len: usize = len
+            .parse()
+            .map_err(|_| format!("bad section length: {header:?}"))?;
+        let body = bytes
+            .get(nl + 1..nl + 1 + len)
+            .ok_or_else(|| format!("section {name} truncated"))?;
+        if bytes.get(nl + 1 + len) != Some(&b'\n') {
+            return Err(format!("section {name} missing trailing newline"));
+        }
+        out.push(OwnedSection {
+            name: name.to_string(),
+            bytes: body.to_vec(),
+        });
+        bytes = &bytes[nl + 2 + len..];
+    }
+    Ok(out)
+}
+
+/// A blocking request/response client over one TCP connection.
+///
+/// The protocol is strictly request–response per connection, so the
+/// client is a thin wrapper: write a frame, read a frame.
+pub struct Client {
+    stream: std::net::TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send `request` and wait for the response frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or an unexpected EOF in place of a response.
+    pub fn call(&mut self, request: &Frame) -> io::Result<Frame> {
+        request.write_to(&mut self.stream)?;
+        Frame::read_from(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+}
+
+/// Read one `\n`-terminated line byte-by-byte (frames are small enough
+/// that header reads never dominate; payloads use `read_exact`).
+/// `Ok(None)` on EOF before the first byte.
+fn read_line(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) if line.is_empty() => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                if line.len() > 256 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "frame header exceeds 256 bytes",
+                    ));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame header is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let frame = Frame::structured(
+            "reorder",
+            &[
+                Section {
+                    name: "module",
+                    bytes: b"func main() {\n}\n",
+                },
+                Section {
+                    name: "train",
+                    bytes: &[0, 255, b'\n', 7],
+                },
+            ],
+        );
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        let back = Frame::read_from(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back, frame);
+        let sections = back.sections().unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(section(&sections, "train").unwrap().bytes, [0, 255, 10, 7]);
+        assert_eq!(
+            section(&sections, "module").unwrap().text().unwrap(),
+            "func main() {\n}\n"
+        );
+        assert!(section(&sections, "absent").is_err());
+    }
+
+    #[test]
+    fn empty_payload_and_eof() {
+        let frame = Frame::text("health", "");
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        let back = Frame::read_from(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(back.kind, "health");
+        assert!(back.payload.is_empty());
+        // Clean EOF between frames is a None, not an error.
+        assert!(Frame::read_from(&mut (&[] as &[u8])).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_headers_are_errors() {
+        for wire in [
+            "nope reorder 4\nabcd",
+            "brs1 reorder\n",
+            "brs1 reorder four\n",
+            "brs1 reorder 4 junk\nabcd",
+        ] {
+            assert!(Frame::read_from(&mut wire.as_bytes()).is_err(), "{wire:?}");
+        }
+        // Truncated payload: EOF mid-read.
+        assert!(Frame::read_from(&mut "brs1 ok 10\nabc".as_bytes()).is_err());
+        // Oversized payload is rejected before allocation.
+        let huge = format!("brs1 ok {}\n", MAX_PAYLOAD + 1);
+        assert!(Frame::read_from(&mut huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn torn_sections_are_errors() {
+        let mut payload = Vec::new();
+        Section {
+            name: "module",
+            bytes: b"text",
+        }
+        .write_to(&mut payload);
+        payload.truncate(payload.len() - 2);
+        let frame = Frame {
+            kind: "ok".into(),
+            payload,
+        };
+        assert!(frame.sections().is_err());
+    }
+}

@@ -211,6 +211,7 @@ pub struct StabilityRow {
 #[derive(Debug)]
 pub struct SweepOutcome {
     /// Seed-0 suite results, one per heuristic set, in config order.
+    /// A suite whose every cell panicked is dropped (see [`SweepOutcome::failed`]).
     pub suites: Vec<SuiteResult>,
     /// Per-seed headline spread (all seeds, including 0).
     pub stability: Vec<StabilityRow>,
@@ -224,6 +225,12 @@ pub struct SweepOutcome {
     pub cache_misses: u64,
     /// Grid cells executed.
     pub cells: usize,
+    /// Cells whose worker panicked, labelled `{set}/{workload}/seed{N}:
+    /// worker panicked: {message}`, in grid order. A panic is isolated
+    /// to its cell: the rest of the grid completes, the failed cells are
+    /// listed in `report.txt`, and the tables aggregate only the
+    /// surviving cells.
+    pub failed: Vec<String>,
     /// Total wall-clock time.
     pub elapsed: Duration,
 }
@@ -414,10 +421,15 @@ fn selected_workloads(config: &SweepConfig) -> Result<Vec<Workload>, SweepError>
 /// count, cache state, or timing — so two runs of the same config
 /// produce byte-identical files.
 ///
+/// A cell whose worker *panics* does not abort the sweep: the panic is
+/// caught, the cell is recorded in [`SweepOutcome::failed`] and listed
+/// in `report.txt`, and the rest of the grid keeps running.
+///
 /// # Errors
 ///
 /// Fails on an unknown workload name, the first cell whose pipeline
-/// traps, or an I/O error writing the results.
+/// traps, an I/O error writing the results, or a grid where every
+/// seed-0 cell panicked.
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
     let start = Instant::now();
     let workloads = selected_workloads(config)?;
@@ -453,26 +465,45 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
     } else {
         config.threads
     };
-    let results = scheduler::parallel_map(&grid, threads, |_, cell| run_cell(config, &cache, cell));
+    // Panic isolation: a cell whose worker panics becomes a failed-cell
+    // record instead of tearing the whole grid down. Pipeline *errors*
+    // (trapping runs, behaviour divergence) still abort the sweep — they
+    // indicate a broken configuration, not one poisoned input.
+    let results =
+        scheduler::parallel_map_isolated(&grid, threads, |_, cell| run_cell(config, &cache, cell));
 
-    let mut programs = Vec::with_capacity(results.len());
+    let mut programs: Vec<Option<ProgramResult>> = Vec::with_capacity(results.len());
     let mut metrics = Vec::with_capacity(results.len());
-    for r in results {
-        let out = r?;
-        metrics.push(out.metrics);
-        programs.push(out.program);
+    let mut failed = Vec::new();
+    for (r, cell) in results.into_iter().zip(&grid) {
+        match r {
+            Ok(Ok(out)) => {
+                metrics.push(out.metrics);
+                programs.push(Some(out.program));
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(panic_msg) => {
+                failed.push(format!(
+                    "{}/{}/seed{}: worker panicked: {panic_msg}",
+                    cell.set.name, cell.workload.name, cell.seed
+                ));
+                programs.push(None);
+            }
+        }
     }
 
     // Seed 0 fills the paper tables; every seed contributes a stability
     // row. `programs` is in grid order, so chunks of `workloads.len()`
-    // are (seed, set) suites.
+    // are (seed, set) suites; failed cells leave gaps that are simply
+    // absent from their suite.
     let per_suite = workloads.len();
     let mut suites = Vec::new();
     let mut stability = Vec::new();
     for (chunk_idx, chunk) in programs.chunks(per_suite).enumerate() {
         let seed = (chunk_idx / config.sets.len()) as u32;
         let set = config.sets[chunk_idx % config.sets.len()];
-        for p in chunk {
+        let survivors: Vec<ProgramResult> = chunk.iter().flatten().cloned().collect();
+        for p in &survivors {
             stability.push(StabilityRow {
                 set: set.name,
                 workload: p.name.clone(),
@@ -481,17 +512,26 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
                 branches_pct: p.branches_pct(),
             });
         }
-        if seed == 0 {
+        if seed == 0 && !survivors.is_empty() {
             suites.push(SuiteResult {
                 heuristics: set,
-                programs: chunk.to_vec(),
+                programs: survivors,
             });
         }
     }
+    if suites.is_empty() {
+        return Err(SweepError {
+            message: format!(
+                "every seed-0 cell failed; first failure: {}",
+                failed.first().map_or("<none>", |s| s.as_str())
+            ),
+        });
+    }
 
-    let files = report::write_all(config, &suites, &stability).map_err(|e| SweepError {
-        message: format!("writing results: {e}"),
-    })?;
+    let files =
+        report::write_all(config, &suites, &stability, &failed).map_err(|e| SweepError {
+            message: format!("writing results: {e}"),
+        })?;
 
     Ok(SweepOutcome {
         suites,
@@ -501,6 +541,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
         cells: grid.len(),
+        failed,
         elapsed: start.elapsed(),
     })
 }

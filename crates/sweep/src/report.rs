@@ -25,9 +25,26 @@ fn timing_suite(suites: &[SuiteResult]) -> &SuiteResult {
         .unwrap_or(&suites[0])
 }
 
+/// The `FAILED cells` report section: empty when nothing failed, so a
+/// clean run's report stays byte-identical to what it was before panic
+/// isolation existed.
+pub fn render_failed(failed: &[String]) -> String {
+    if failed.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "FAILED cells ({}):", failed.len());
+    for f in failed {
+        let _ = writeln!(out, "  {f}");
+    }
+    let _ = writeln!(out, "Tables below aggregate the surviving cells only.");
+    let _ = writeln!(out);
+    out
+}
+
 /// The full human-readable report: the paper's static tables for
 /// context, then every measured table and figure from this grid.
-pub fn render_report(config: &SweepConfig, suites: &[SuiteResult]) -> String {
+pub fn render_report(config: &SweepConfig, suites: &[SuiteResult], failed: &[String]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Branch-reordering reproduction sweep");
     let _ = writeln!(out, "grid: {}", config.descriptor());
@@ -36,6 +53,7 @@ pub fn render_report(config: &SweepConfig, suites: &[SuiteResult]) -> String {
         "regenerate: cargo run --release --bin brc -- sweep (see EXPERIMENTS.md)"
     );
     let _ = writeln!(out);
+    out.push_str(&render_failed(failed));
     for section in [tables::table1(), tables::table2(), tables::table3()] {
         out.push_str(&section);
         out.push('\n');
@@ -82,11 +100,12 @@ pub fn write_all(
     config: &SweepConfig,
     suites: &[SuiteResult],
     stability: &[StabilityRow],
+    failed: &[String],
 ) -> io::Result<Vec<PathBuf>> {
     fs::create_dir_all(&config.out_dir)?;
     let t = timing_suite(suites);
     let files: Vec<(&str, String)> = vec![
-        ("report.txt", render_report(config, suites)),
+        ("report.txt", render_report(config, suites, failed)),
         ("table4.csv", csv::table4(suites)),
         ("table5.csv", csv::table5(t)),
         ("table6.csv", csv::table6(t)),
@@ -102,4 +121,27 @@ pub fn write_all(
         written.push(path);
     }
     Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_have_no_failed_section() {
+        assert_eq!(render_failed(&[]), "");
+    }
+
+    #[test]
+    fn failed_section_lists_every_cell() {
+        let failed = vec![
+            "I/wc/seed0: worker panicked: boom".to_string(),
+            "II/grep/seed1: worker panicked: bang".to_string(),
+        ];
+        let section = render_failed(&failed);
+        assert!(section.starts_with("FAILED cells (2):\n"), "{section}");
+        for f in &failed {
+            assert!(section.contains(f.as_str()), "{section}");
+        }
+    }
 }

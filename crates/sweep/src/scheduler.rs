@@ -9,42 +9,51 @@
 //! them. That property is what lets `brc sweep --threads N` promise
 //! byte-identical result files for every `N`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-/// Apply `f` to every item on `threads` workers, returning results in
-/// item order regardless of completion order.
-///
-/// `threads == 1` runs inline on the caller's thread (no spawn), which
-/// keeps single-threaded runs easy to profile and debug.
-///
-/// # Panics
-///
-/// Panics if a worker panics (the panic is propagated).
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`parallel_map`] with per-item panic isolation: an item whose `f`
+/// panics yields `Err(panic message)` in its slot, and the worker that
+/// caught it moves on to the next item — one poisoned cell cannot take
+/// the rest of the grid down with it.
+pub fn parallel_map_isolated<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let run =
+        |i: usize, item: &T| catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(panic_message);
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| run(i, t)).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
+    let mut slots: Vec<Option<Result<R, String>>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
-            let f = &f;
+            let run = &run;
             scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 // A send can only fail if the receiver is gone, which
                 // only happens when the scope is unwinding already.
-                let _ = tx.send((i, f(i, item)));
+                let _ = tx.send((i, run(i, item)));
             });
         }
         drop(tx);
@@ -55,6 +64,29 @@ where
     slots
         .into_iter()
         .map(|s| s.expect("every index produced a result"))
+        .collect()
+}
+
+/// Apply `f` to every item on `threads` workers, returning results in
+/// item order regardless of completion order.
+///
+/// `threads == 1` runs inline on the caller's thread (no spawn), which
+/// keeps single-threaded runs easy to profile and debug.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the first panicking item's message is
+/// re-raised on the caller's thread). Use [`parallel_map_isolated`]
+/// when one item's panic must not abort the rest.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_isolated(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("worker panicked: {msg}")))
         .collect()
 }
 
@@ -90,5 +122,37 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(&[1, 2], 16, |_, &x| x + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn isolated_map_turns_panics_into_errors_and_keeps_going() {
+        let items: Vec<usize> = (0..24).collect();
+        for threads in [1, 4] {
+            let out = parallel_map_isolated(&items, threads, |_, &x| {
+                assert!(x % 5 != 3, "cell {x} poisoned");
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (x, r) in items.iter().zip(&out) {
+                if x % 5 == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains(&format!("cell {x} poisoned")), "{msg}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(x * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_map_still_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&[1, 2, 3], 2, |_, &x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains("boom"), "{msg}");
     }
 }

@@ -47,6 +47,20 @@
 //!   a replayable repro into the corpus (`--seeds N`, `--start-seed N`,
 //!   `--jobs N`, `--time SECS`, `--smoke` small programs for CI,
 //!   `--corpus DIR`, `--no-reduce`, `--replay FILE` re-check a repro).
+//! * `serve` run the reordering-as-a-service daemon: `reorder`,
+//!   `measure`, and `profile` endpoints over length-prefixed TCP
+//!   frames, with a bounded admission queue, per-request deadlines,
+//!   panic isolation, a content-addressed response cache, and
+//!   plaintext `health`/`metrics` (`--addr HOST:PORT`, `--threads N`,
+//!   `--queue N`, `--deadline-ms N`, `--cache DIR`, `--no-cache`,
+//!   `--debug-endpoints`). Drains gracefully on SIGTERM or a
+//!   `shutdown` frame.
+//! * `loadgen` drive a running daemon with a closed-loop multi-
+//!   connection replay of the 17 workloads and print achieved
+//!   throughput, shed rate, and the latency histogram (`--addr`,
+//!   `--conns N`, `--passes N`, `--train N`, `--input N`,
+//!   `--reorder-only`, `--smoke` the CI two-pass contract,
+//!   `--shutdown` drain the daemon afterwards).
 //!
 //! Flags:
 //! * `--input FILE`  program stdin (default: empty)
@@ -93,9 +107,26 @@ fn usage() -> ! {
        \x20      brc sweep [--threads N] [--seeds K] [--quick] [--smoke] [--exhaustive] \
          [--out DIR] [--cache DIR] [--no-cache]\n\
        \x20      brc fuzz [--seeds N] [--start-seed N] [--jobs N] [--time SECS] [--smoke] \
-         [--corpus DIR] [--no-reduce] [--replay FILE]"
+         [--corpus DIR] [--no-reduce] [--replay FILE]\n\
+       \x20      brc serve [--addr HOST:PORT] [--threads N] [--queue N] [--deadline-ms N] \
+         [--cache DIR] [--no-cache] [--debug-endpoints]\n\
+       \x20      brc loadgen [--addr HOST:PORT] [--conns N] [--passes N] [--train N] \
+         [--input N] [--reorder-only] [--smoke] [--shutdown]\n\
+       \x20      brc --version"
     );
     exit(2)
+}
+
+/// Every subcommand `brc` understands, for `--version` output.
+const SUBCOMMANDS: [&str; 7] = [
+    "lint", "validate", "adapt", "sweep", "fuzz", "serve", "loadgen",
+];
+
+/// `brc --version` / `-V` — crate version plus the enabled subcommands.
+fn cmd_version() -> ! {
+    println!("brc {}", env!("CARGO_PKG_VERSION"));
+    println!("subcommands: {}", SUBCOMMANDS.join(" "));
+    exit(0)
 }
 
 /// Report a bad command line (naming what was wrong) and show usage.
@@ -523,16 +554,20 @@ fn cmd_sweep(argv: impl Iterator<Item = String>) -> ! {
             for f in &outcome.files {
                 eprintln!("brc: sweep wrote {}", f.display());
             }
+            for f in &outcome.failed {
+                eprintln!("brc: sweep cell FAILED: {f}");
+            }
             println!(
-                "sweep: {} cells in {:.1?}; cache {} hits / {} misses; {} files in {}",
+                "sweep: {} cells ({} failed) in {:.1?}; cache {} hits / {} misses; {} files in {}",
                 outcome.cells,
+                outcome.failed.len(),
                 outcome.elapsed,
                 outcome.cache_hits,
                 outcome.cache_misses,
                 outcome.files.len(),
                 config.out_dir.display(),
             );
-            exit(0)
+            exit(i32::from(!outcome.failed.is_empty()))
         }
         Err(e) => {
             eprintln!("brc: sweep failed: {e}");
@@ -660,6 +695,114 @@ fn cmd_fuzz(argv: impl Iterator<Item = String>) -> ! {
     exit(if out.findings.is_empty() { 0 } else { 1 })
 }
 
+/// `brc serve` — run the reordering daemon until SIGTERM or a
+/// `shutdown` frame, then print the final counters.
+fn cmd_serve(argv: impl Iterator<Item = String>) -> ! {
+    use br_serve::{ServeConfig, Server};
+
+    let mut config = ServeConfig::default();
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--addr" => config.addr = flag_value("--addr", argv.next()),
+            "--threads" => config.threads = parse_flag("--threads", argv.next()),
+            "--queue" => config.queue = parse_flag("--queue", argv.next()),
+            "--deadline-ms" => config.deadline_ms = parse_flag("--deadline-ms", argv.next()),
+            "--cache" => config.cache_dir = Some(flag_value("--cache", argv.next()).into()),
+            "--no-cache" => config.cache_dir = None,
+            "--debug-endpoints" => config.debug_endpoints = true,
+            "--help" | "-h" => usage(),
+            other => bad_args(format_args!("unexpected argument: {other}")),
+        }
+    }
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("brc: serve failed to start: {e}");
+            exit(1)
+        }
+    };
+    eprintln!("brc: serving on {}", server.addr());
+    let metrics = server.metrics();
+    match server.wait() {
+        Ok(()) => {
+            eprintln!("brc: drained cleanly; final counters:");
+            eprint!("{}", metrics.render());
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("brc: serve failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// `brc loadgen` — closed-loop load against a running daemon.
+fn cmd_loadgen(argv: impl Iterator<Item = String>) -> ! {
+    use br_serve::{run_loadgen, run_smoke, LoadgenConfig};
+
+    let mut config = LoadgenConfig::default();
+    let mut smoke = false;
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--addr" => config.addr = flag_value("--addr", argv.next()),
+            "--conns" => config.connections = parse_flag("--conns", argv.next()),
+            "--passes" => config.passes = parse_flag("--passes", argv.next()),
+            "--train" => config.train_size = parse_flag("--train", argv.next()),
+            "--input" => config.input_size = parse_flag("--input", argv.next()),
+            "--reorder-only" => config.reorder_only = true,
+            "--smoke" => smoke = true,
+            "--shutdown" => config.shutdown_after = true,
+            "--help" | "-h" => usage(),
+            other => bad_args(format_args!("unexpected argument: {other}")),
+        }
+    }
+    if smoke {
+        let shutdown_after = config.shutdown_after;
+        let mut smoke_config = LoadgenConfig::smoke(&config.addr);
+        smoke_config.shutdown_after = false; // only after the warm pass
+        match run_smoke(&smoke_config) {
+            Ok((warm, violations)) => {
+                print!("{}", warm.render());
+                for v in &violations {
+                    eprintln!("brc: loadgen smoke FAILED: {v}");
+                }
+                if shutdown_after {
+                    let drained = br_serve::Client::connect(&smoke_config.addr)
+                        .and_then(|mut c| c.call(&br_serve::Frame::text("shutdown", "")));
+                    match drained {
+                        Ok(bye) if bye.kind == "ok" => {}
+                        Ok(bye) => {
+                            eprintln!("brc: loadgen shutdown refused: {}", bye.payload_text());
+                            exit(1)
+                        }
+                        Err(e) => {
+                            eprintln!("brc: loadgen shutdown failed: {e}");
+                            exit(1)
+                        }
+                    }
+                }
+                exit(if violations.is_empty() { 0 } else { 1 })
+            }
+            Err(e) => {
+                eprintln!("brc: loadgen failed: {e}");
+                exit(1)
+            }
+        }
+    }
+    match run_loadgen(&config) {
+        Ok(report) => {
+            print!("{}", report.render());
+            exit(if report.errors == 0 { 0 } else { 1 })
+        }
+        Err(e) => {
+            eprintln!("brc: loadgen failed: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
@@ -683,6 +826,15 @@ fn main() {
             argv.next();
             cmd_fuzz(argv);
         }
+        Some("serve") => {
+            argv.next();
+            cmd_serve(argv);
+        }
+        Some("loadgen") => {
+            argv.next();
+            cmd_loadgen(argv);
+        }
+        Some("--version" | "-V") => cmd_version(),
         _ => {}
     }
     let args = parse_args(argv);
