@@ -14,10 +14,17 @@
 //! still matches the one the deployed ordering was selected under, and
 //! on drift re-plans with [`plan_for_profile`]. A new ordering is
 //! deployed only if it beats the *deployed* ordering's cost under the
-//! live profile by a margin, and only if the freshly emitted replica
-//! passes the translation validator against the pristine (pre-any-swap)
-//! function — a validation failure aborts the swap and reverts the
-//! function, never the run.
+//! live profile by a margin, and only if it is *certified*: the first
+//! deployment of an ordering runs the symbolic equivalence prover
+//! against the pristine (pre-any-swap) function and caches the proof
+//! certificate it emits; re-deploying a previously proven ordering
+//! (the common case under oscillating drift) admits by *re-checking*
+//! the cached certificate with the independent checker —
+//! O(certificate) instead of a fresh proof. A refutation or a failed
+//! certificate check aborts the swap and leaves the function exactly
+//! as deployed, never the run.
+
+use std::collections::HashMap;
 
 use br_ir::{FuncId, Module, SeqId, Terminator};
 use br_reorder::apply::apply_reordering;
@@ -25,8 +32,9 @@ use br_reorder::emit::emit_reordered;
 use br_reorder::profile::plan_ranges;
 use br_reorder::validate::check_ordering;
 use br_reorder::{
-    detect_all, instrument_module, plan_for_profile, profiles_from_run, validate_sequence,
-    DetectedSequence, Ordering, SequencePlan, SequenceProfile, Stage, StageFailure,
+    certify_sequence, detect_all, instrument_module, plan_for_profile, profiles_from_run,
+    DetectedSequence, Ordering, SequenceCertificate, SequencePlan, SequenceProfile, Stage,
+    StageFailure,
 };
 use br_vm::{EpochHook, RunOutcome, Trap, VmOptions};
 
@@ -79,6 +87,14 @@ struct SeqState {
     /// Whether a replica has ever been spliced in (the head then has no
     /// compare any more and re-swaps only retarget its jump).
     swapped: bool,
+    /// Proof certificates for every ordering ever deployed on this
+    /// sequence, keyed by the ordering's content fingerprint. Emission
+    /// is deterministic in (sequence, items, ordering), so an ordering
+    /// proven once stays proven; re-deployments admit on a certificate
+    /// re-check instead of a fresh symbolic proof.
+    certs: HashMap<u64, SequenceCertificate>,
+    /// Swaps admitted by a certificate re-check (no re-proof).
+    cert_admissions: u64,
     swaps: u64,
     aborted: u64,
     drift_epochs: u64,
@@ -128,6 +144,8 @@ impl AdaptiveRuntime {
                     detector: DriftDetector::new(None),
                     deployed: None,
                     swapped: false,
+                    certs: HashMap::new(),
+                    cert_admissions: 0,
                     swaps: 0,
                     aborted: 0,
                     drift_epochs: 0,
@@ -236,6 +254,12 @@ impl AdaptiveRuntime {
         self.seqs.iter().map(|s| s.aborted).sum()
     }
 
+    /// Swaps admitted by re-checking a cached proof certificate instead
+    /// of re-proving the ordering from scratch.
+    pub fn cert_admissions(&self) -> u64 {
+        self.seqs.iter().map(|s| s.cert_admissions).sum()
+    }
+
     /// Epochs in which some sequence's live distribution had drifted.
     pub fn drift_epochs(&self) -> u64 {
         self.seqs.iter().map(|s| s.drift_epochs).sum()
@@ -297,8 +321,55 @@ impl EpochHook for EpochController<'_> {
     }
 }
 
-/// Emit, splice, and validate one replica; on any failure the function
+/// Content fingerprint of an ordering as it will be emitted: the items
+/// (ranges and targets) plus the selected emission order. Emission is a
+/// deterministic function of exactly these, so two swaps that agree here
+/// produce behaviourally identical replicas and can share a proof
+/// certificate.
+fn ordering_key(items: &[br_reorder::OrderItem], ordering: &Ordering) -> u64 {
+    let mut d = String::new();
+    for it in items {
+        d.push_str(&format!(
+            "{},{}->{};",
+            it.range.lo, it.range.hi, it.target.0
+        ));
+    }
+    d.push('|');
+    for &i in &ordering.explicit {
+        d.push_str(&format!("{i},"));
+    }
+    d.push('|');
+    for &i in &ordering.eliminated {
+        d.push_str(&format!("{i},"));
+    }
+    d.push_str(&format!("|{}", ordering.default_target.0));
+    br_analysis::cert::fingerprint(&d)
+}
+
+/// Splice one replica for `plan` into `f` (the live function).
+fn splice(f: &mut br_ir::Function, s: &SeqState, plan: &SequencePlan) {
+    if s.swapped {
+        // The head lost its compare at the first swap; later swaps only
+        // append a fresh replica and retarget the head's jump (the old
+        // replica becomes unreachable and is simply carried along).
+        let emitted = emit_reordered(f, &s.seq, &plan.items, &plan.ordering);
+        f.block_mut(s.seq.head).term = Terminator::Jump(emitted.entry);
+    } else {
+        apply_reordering(f, &s.seq, &plan.items, &plan.ordering);
+    }
+}
+
+/// Emit, splice, and certify one replica; on any failure the function
 /// is left exactly as it was.
+///
+/// Admission is proof-carrying: the first deployment of an ordering is
+/// proven equivalent to the *pristine* chain by the symbolic prover
+/// ([`certify_sequence`]), and the certificate it emits is cached under
+/// the ordering's fingerprint. Re-deploying the same ordering later —
+/// drift oscillating between two profiles is the common case — admits
+/// by running the independent certificate checker
+/// ([`br_analysis::cert::check`]) on the cached certificate instead of
+/// re-proving: O(certificate), no symbolic walk, no range enumeration.
 fn try_swap(
     module: &mut Module,
     pristine: &Module,
@@ -314,31 +385,54 @@ fn try_swap(
             details,
         });
     }
+    let key = ordering_key(&plan.items, &plan.ordering);
+    if let Some(cert) = s.certs.get(&key) {
+        // Certificate re-check admission. A corrupted or forged
+        // certificate fails here, *before* the function is touched.
+        let ok = br_analysis::check(&cert.text).is_ok_and(|checked| checked.sig == cert.sig);
+        if !ok {
+            s.aborted += 1;
+            return Err(StageFailure {
+                stage: Stage::Emit,
+                func: s.func,
+                head: Some(s.seq.head),
+                details: vec![
+                    "[BR0301] cached proof certificate failed its independent re-check".to_string(),
+                ],
+            });
+        }
+        splice(module.function_mut(s.func), s, plan);
+        s.cert_admissions += 1;
+        s.swapped = true;
+        s.swaps += 1;
+        return Ok(());
+    }
     let f = module.function_mut(s.func);
     let pre = f.clone();
     let replica_start = f.blocks.len() as u32;
-    if s.swapped {
-        // The head lost its compare at the first swap; later swaps only
-        // append a fresh replica and retarget the head's jump (the old
-        // replica becomes unreachable and is simply carried along).
-        let emitted = emit_reordered(f, &s.seq, &plan.items, &plan.ordering);
-        f.block_mut(s.seq.head).term = Terminator::Jump(emitted.entry);
-    } else {
-        apply_reordering(f, &s.seq, &plan.items, &plan.ordering);
-    }
+    splice(f, s, plan);
     // Prove the new replica equivalent to the *pristine* chain. With
     // `replica_start` at the pre-swap block count, earlier replicas are
     // outside the walk domain, so repeated swaps cannot compound error.
-    match validate_sequence(s.func, pristine.function(s.func), f, &s.seq, replica_start) {
-        Ok(_) => {
+    match certify_sequence(s.func, pristine.function(s.func), f, &s.seq, replica_start) {
+        Ok(proof) => {
+            s.certs.insert(
+                key,
+                SequenceCertificate {
+                    func: s.func,
+                    head: s.seq.head,
+                    text: proof.certificate,
+                    sig: proof.sig,
+                },
+            );
             s.swapped = true;
             s.swaps += 1;
             Ok(())
         }
-        Err(failure) => {
+        Err(refuted) => {
             *module.function_mut(s.func) = pre;
             s.aborted += 1;
-            Err(failure)
+            Err(refuted.failure)
         }
     }
 }
@@ -449,19 +543,63 @@ mod tests {
         let plan = some_plan(s);
         try_swap(module, pristine, s, &plan).expect("first swap validates");
         assert!(s.swapped);
+        assert_eq!(s.certs.len(), 1, "first swap caches its certificate");
+        assert_eq!(s.cert_admissions, 0, "first swap must prove, not re-check");
         // Re-swap with a different profile: the head now has no compare,
-        // so this exercises the retarget-only path.
+        // so this exercises the retarget-only path — and a new ordering,
+        // so a second proof.
         let n = plan_ranges(&s.seq).len();
         let counts: Vec<u64> = (1..=n as u64).collect();
         let plan2 = plan_for_profile(&s.seq, &SequenceProfile { counts }, false).expect("nonzero");
         try_swap(module, pristine, s, &plan2).expect("re-swap validates");
         assert_eq!(s.swaps, 2);
         assert_eq!(s.aborted, 0);
-        // The twice-swapped module still behaves like the original.
+        assert_eq!(s.certs.len(), 2);
+        // Oscillate back to the first ordering: it was already proven,
+        // so admission is a certificate re-check, not a fresh proof.
+        try_swap(module, pristine, s, &plan).expect("re-deployment re-checks");
+        assert_eq!(s.swaps, 3);
+        assert_eq!(s.cert_admissions, 1, "third swap admits on the cached cert");
+        assert_eq!(s.certs.len(), 2, "no new certificate for a proven ordering");
+        // The thrice-swapped module still behaves like the original.
         let input = b"words and\ttabs\nmore words  here\n";
         let base = br_vm::run(&m, input, &VmOptions::default()).unwrap();
         let got = br_vm::run(&rt.module, input, &VmOptions::default()).unwrap();
         assert_eq!(base.output, got.output);
         assert_eq!(base.exit, got.exit);
+    }
+
+    #[test]
+    fn tampered_certificate_blocks_readmission() {
+        let m = classifier();
+        let mut rt = AdaptiveRuntime::new(&m, None, &AdaptOptions::default()).unwrap();
+        let AdaptiveRuntime {
+            module,
+            pristine,
+            seqs,
+            ..
+        } = &mut rt;
+        let s = &mut seqs[0];
+        let plan = some_plan(s);
+        try_swap(module, pristine, s, &plan).expect("first swap proves");
+        // Corrupt the cached certificate (any semantic edit; here the
+        // version line, which also breaks the signature).
+        for cert in s.certs.values_mut() {
+            cert.text = cert.text.replacen("brcert v1", "brcert v9", 1);
+        }
+        let before = module.function(s.func).clone();
+        let failure = try_swap(module, pristine, s, &plan).unwrap_err();
+        assert!(
+            failure.details.iter().any(|d| d.contains("BR0301")),
+            "{failure}"
+        );
+        assert_eq!(
+            module.function(s.func),
+            &before,
+            "rejected admission must not touch the function"
+        );
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.swaps, 1);
+        assert_eq!(s.cert_admissions, 0);
     }
 }

@@ -1,0 +1,134 @@
+//! First-class control-flow graphs over `br-ir` functions.
+//!
+//! The IR crate ships traversal helpers ([`br_ir::predecessors`],
+//! [`br_ir::reverse_postorder`]) that recompute orders on every call;
+//! analyses that ask many reachability or order
+//! questions about one function want them computed once. [`Cfg`] builds
+//! successor and predecessor lists, the reverse postorder, and each
+//! block's position in it, and answers queries from those tables.
+
+use std::collections::BTreeSet;
+
+use br_ir::{BlockId, Function};
+
+/// A materialized control-flow graph for one function: edge lists plus
+/// the reverse postorder, computed once at construction.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// The entry block.
+    pub entry: BlockId,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    /// Position of each block in the reverse postorder
+    /// (`usize::MAX` for unreachable blocks).
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Build the CFG of `f`.
+    pub fn build(f: &Function) -> Cfg {
+        let succs: Vec<Vec<BlockId>> = f
+            .block_ids()
+            .map(|b| f.block(b).term.successors())
+            .collect();
+        let preds = br_ir::predecessors(f);
+        let rpo = br_ir::reverse_postorder(f);
+        let mut rpo_index = vec![usize::MAX; f.blocks.len()];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            entry: f.entry,
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Successor edges of `b` (one entry per edge).
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor edges of `b` (one entry per edge, so a two-way
+    /// branch with both arms on `b` contributes two).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Number of incoming edges of `b`.
+    pub fn in_degree(&self, b: BlockId) -> usize {
+        self.preds[b.index()].len()
+    }
+
+    /// Blocks in reverse postorder (entry first; unreachable blocks
+    /// omitted).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder; `None` when `b` is
+    /// unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        match self.rpo_index.get(b.index()) {
+            Some(&i) if i != usize::MAX => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Every reachable block, as a sorted set.
+    pub fn reachable(&self) -> BTreeSet<BlockId> {
+        self.rpo.iter().copied().collect()
+    }
+
+    /// Number of blocks in the underlying function (reachable or not).
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Block, Cond, Terminator};
+
+    /// entry → (b1 | b2); b1 → b3; b2 → b3; b3 → ret; b4 unreachable.
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut f = Function::new("d");
+        let b3 = f.add_block(Block::new(Terminator::Return(None)));
+        let b1 = f.add_block(Block::new(Terminator::Jump(b3)));
+        let b2 = f.add_block(Block::new(Terminator::Jump(b3)));
+        let b4 = f.add_block(Block::new(Terminator::Return(None)));
+        f.block_mut(f.entry).term = Terminator::branch(Cond::Eq, b1, b2);
+        (f, [b1, b2, b3, b4])
+    }
+
+    #[test]
+    fn edges_and_degrees() {
+        let (f, [b1, b2, b3, b4]) = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs(cfg.entry), &[b1, b2]);
+        assert_eq!(cfg.in_degree(b3), 2);
+        assert_eq!(cfg.in_degree(b4), 0);
+        assert_eq!(cfg.preds(b1), &[f.entry]);
+    }
+
+    #[test]
+    fn rpo_orders_join_after_arms() {
+        let (f, [b1, b2, b3, b4]) = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.reverse_postorder()[0], cfg.entry);
+        assert!(cfg.rpo_index(b3) > cfg.rpo_index(b1));
+        assert!(cfg.rpo_index(b3) > cfg.rpo_index(b2));
+        assert_eq!(cfg.rpo_index(b4), None);
+        assert!(!cfg.is_reachable(b4));
+        assert_eq!(cfg.reachable().len(), 4);
+    }
+}

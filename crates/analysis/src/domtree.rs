@@ -1,0 +1,198 @@
+//! Dominator tree and two-way-conditional structuring.
+//!
+//! Wraps the IR crate's Cooper–Harvey–Kennedy dominator computation
+//! ([`br_ir::dom::Dominators`]) with explicit child lists, and layers
+//! the classic structuring pass for two-way conditionals on top: for
+//! every block ending in a genuine two-way branch, find its *follow*
+//! block — the join point where both arms reconverge — as the latest
+//! (by reverse postorder) block immediately dominated by the header
+//! with at least two incoming edges. Headers with no such join (their
+//! arms leave the region, e.g. both return) stay unresolved and are
+//! folded into the follow of the nearest enclosing conditional, as in
+//! Cifuentes' structuring algorithm.
+//!
+//! The prover uses this to recognize the replica of a reordered
+//! sequence as one nest of two-way conditionals hanging off the
+//! sequence head, and to check that the head dominates every replica
+//! block (single-entry soundness).
+
+use br_ir::dom::Dominators;
+use br_ir::{BlockId, Function, Terminator};
+
+use crate::cfg::Cfg;
+
+/// A dominator tree with child lists, built once per function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    doms: Dominators,
+    children: Vec<Vec<BlockId>>,
+}
+
+impl DomTree {
+    /// Compute the dominator tree of `f`.
+    pub fn build(f: &Function) -> DomTree {
+        let doms = Dominators::compute(f);
+        let mut children = vec![Vec::new(); f.blocks.len()];
+        for b in f.block_ids() {
+            if let Some(d) = doms.idom(b) {
+                children[d.index()].push(b);
+            }
+        }
+        DomTree { doms, children }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.doms.idom(b)
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.doms.dominates(a, b)
+    }
+
+    /// Blocks whose immediate dominator is `b`.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+}
+
+/// One structured two-way conditional.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TwoWayConditional {
+    /// The block ending in the two-way branch.
+    pub header: BlockId,
+    /// The join block where both arms reconverge, when one exists
+    /// inside the function (arms that both leave — return, exit the
+    /// region — have no follow).
+    pub follow: Option<BlockId>,
+}
+
+/// Structure the two-way conditionals of `f`: pair every genuine
+/// two-way branch header with its follow block. Results are ordered by
+/// header id.
+pub fn two_way_conditionals(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<TwoWayConditional> {
+    let mut out = Vec::new();
+    let mut unresolved: Vec<BlockId> = Vec::new();
+    // Descending reverse postorder = ascending postorder: inner
+    // conditionals are structured before the ones enclosing them.
+    for &m in cfg.reverse_postorder().iter().rev() {
+        let two_way = matches!(
+            f.block(m).term,
+            Terminator::Branch {
+                taken, not_taken, ..
+            } if taken != not_taken
+        );
+        if !two_way {
+            continue;
+        }
+        // The follow is the latest immediately-dominated join point.
+        let follow = dom
+            .children(m)
+            .iter()
+            .copied()
+            .filter(|&n| cfg.in_degree(n) >= 2 && cfg.is_reachable(n))
+            .max_by_key(|&n| cfg.rpo_index(n));
+        match follow {
+            Some(join) => {
+                out.push(TwoWayConditional {
+                    header: m,
+                    follow: Some(join),
+                });
+                // Conditionals whose arms escaped their own region join
+                // at this enclosing follow.
+                for h in unresolved.drain(..) {
+                    out.push(TwoWayConditional {
+                        header: h,
+                        follow: Some(join),
+                    });
+                }
+            }
+            None => unresolved.push(m),
+        }
+    }
+    out.extend(unresolved.drain(..).map(|h| TwoWayConditional {
+        header: h,
+        follow: None,
+    }));
+    out.sort_by_key(|t| t.header);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Block, Cond, Terminator};
+
+    fn branch_block(f: &mut Function, b: BlockId, taken: BlockId, not_taken: BlockId) {
+        f.block_mut(b).term = Terminator::branch(Cond::Eq, taken, not_taken);
+    }
+
+    /// entry → (l | r); l → j; r → j; j → ret.
+    #[test]
+    fn diamond_has_its_join_as_follow() {
+        let mut f = Function::new("d");
+        let j = f.add_block(Block::new(Terminator::Return(None)));
+        let l = f.add_block(Block::new(Terminator::Jump(j)));
+        let r = f.add_block(Block::new(Terminator::Jump(j)));
+        let entry = f.entry;
+        branch_block(&mut f, entry, l, r);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&f);
+        assert_eq!(dom.idom(j), Some(f.entry));
+        assert_eq!(dom.children(f.entry).len(), 3);
+        let conds = two_way_conditionals(&f, &cfg, &dom);
+        assert_eq!(
+            conds,
+            vec![TwoWayConditional {
+                header: f.entry,
+                follow: Some(j),
+            }]
+        );
+    }
+
+    /// A chain `e → (t1 | c2); c2 → (t2 | c3); c3 → (t3 | d)` where every
+    /// target returns: no joins anywhere, all follows are None.
+    #[test]
+    fn branch_chain_with_returning_arms_has_no_follows() {
+        let mut f = Function::new("chain");
+        let mk = |f: &mut Function| f.add_block(Block::new(Terminator::Return(None)));
+        let t1 = mk(&mut f);
+        let t2 = mk(&mut f);
+        let t3 = mk(&mut f);
+        let d = mk(&mut f);
+        let c3 = mk(&mut f);
+        let c2 = mk(&mut f);
+        let entry = f.entry;
+        branch_block(&mut f, entry, t1, c2);
+        branch_block(&mut f, c2, t2, c3);
+        branch_block(&mut f, c3, t3, d);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&f);
+        let conds = two_way_conditionals(&f, &cfg, &dom);
+        assert_eq!(conds.len(), 3);
+        assert!(conds.iter().all(|c| c.follow.is_none()));
+    }
+
+    /// Nested conditionals: the inner one's arms fall into the outer
+    /// join, so the inner header inherits the outer follow.
+    #[test]
+    fn inner_conditional_inherits_enclosing_follow() {
+        let mut f = Function::new("nest");
+        let j = f.add_block(Block::new(Terminator::Return(None)));
+        let a = f.add_block(Block::new(Terminator::Jump(j)));
+        let b = f.add_block(Block::new(Terminator::Jump(j)));
+        let inner = f.add_block(Block::new(Terminator::Return(None))); // placeholder
+        let outer_arm = f.add_block(Block::new(Terminator::Jump(j)));
+        branch_block(&mut f, inner, a, b);
+        let entry = f.entry;
+        branch_block(&mut f, entry, inner, outer_arm);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&f);
+        let conds = two_way_conditionals(&f, &cfg, &dom);
+        let by_header = |h: BlockId| conds.iter().find(|c| c.header == h).expect("structured");
+        assert_eq!(by_header(f.entry).follow, Some(j));
+        assert_eq!(by_header(inner).follow, Some(j));
+    }
+}

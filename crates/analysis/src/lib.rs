@@ -20,6 +20,19 @@
 //!   before and after reordering and proves the partitions equivalent
 //!   (disjoint, exhaustive, same targets, same side effects, same
 //!   continuations).
+//! - [`mod@cfg`] / [`domtree`] — first-class control-flow graphs,
+//!   dominator trees, and two-way-conditional structuring, the
+//!   soundness substrate of the prover.
+//! - [`symex`] — the certifying prover (`br-prove`): proves
+//!   original/reordered partition equivalence by constraint
+//!   subsumption, renders accepted proofs as certificates, and solves
+//!   refutations for concrete counterexample witnesses guided by an
+//!   interval+congruence feasibility abstraction.
+//! - [`cert`] — the proof-certificate format plus a deliberately tiny
+//!   *independent* checker (no code shared with the prover) for
+//!   double-entry acceptance of every committed reordering.
+//! - [`witness`] — counterexample witnesses and their rendering as
+//!   replayable `br-fuzz` corpus entries.
 //! - [`lint`] — IR lints: shadowed and statically-dead range
 //!   conditions, redundant comparisons the optimizer missed.
 //! - [`diag`] — rustc-style diagnostics shared by the lints and the
@@ -27,21 +40,31 @@
 
 #![warn(missing_docs)]
 
+pub mod cert;
+pub mod cfg;
 pub mod dataflow;
 pub mod diag;
+pub mod domtree;
 pub mod interval;
 pub mod lint;
 pub mod purity;
 pub mod reaching;
+pub mod symex;
 pub mod validate;
+pub mod witness;
 
+pub use cert::{check, CertError, CheckedCert};
+pub use cfg::Cfg;
 pub use dataflow::{solve, Direction, Domain, Solution};
 pub use diag::{has_errors, render, Diagnostic, Severity};
+pub use domtree::{two_way_conditionals, DomTree, TwoWayConditional};
 pub use interval::{intervals, terminal_compare, Interval, IntervalAnalysis, IntervalSet};
 pub use lint::{lint_function, lint_module};
 pub use purity::{block_effects, cc_needed_on_entry, check_motion, EffectSummary, MotionViolation};
 pub use reaching::{cc_reaching, CcAnalysis, CcReach, CcSite};
+pub use symex::{feasible_values, prove_sequence, AbsVal, Refutation, SequenceProof};
 pub use validate::{
-    check_equivalence, explore, tail_equivalent, Arm, ArmEnd, Cursor, EquivalenceCheck,
-    EquivalenceProof, Side, ValidationError, WalkSpec,
+    check_equivalence, explore, tail_equivalent, Arm, ArmEnd, ClassRecord, Cursor,
+    EquivalenceCheck, EquivalenceProof, Side, ValidationError, WalkSpec,
 };
+pub use witness::{corpus_entry, Witness};

@@ -663,13 +663,30 @@ pub struct EquivalenceCheck<'a> {
     pub expected: Vec<(Interval, BlockId)>,
 }
 
-/// Statistics of a successful equivalence proof.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// One value class of a proven partition: a set of values of the tested
+/// variable and the sequence exit they reach (in both versions).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassRecord {
+    /// The values of the class.
+    pub values: IntervalSet,
+    /// The exit both versions route the class to.
+    pub target: BlockId,
+}
+
+/// Statistics of a successful equivalence proof, plus the proven
+/// partition itself (consumed by the certificate renderer in
+/// [`crate::symex`]).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct EquivalenceProof {
     /// Distinct value classes compared across the two versions.
     pub value_classes: usize,
     /// Distinct exits of the original partition.
     pub exits: usize,
+    /// The proven partition: disjoint, exhaustive value → exit classes.
+    pub classes: Vec<ClassRecord>,
+    /// Length of the head prologue both walks skipped (instructions
+    /// before the tested variable's last definition in the head).
+    pub prologue: usize,
 }
 
 fn partition_checks(arms: &[Arm], side: Side, errors: &mut Vec<ValidationError>) {
@@ -820,6 +837,14 @@ pub fn check_equivalence(chk: &EquivalenceCheck) -> Result<EquivalenceProof, Vec
         Ok(EquivalenceProof {
             value_classes: classes,
             exits: exits.len(),
+            classes: resolved
+                .iter()
+                .map(|&(arm, target)| ClassRecord {
+                    values: arm.values.clone(),
+                    target,
+                })
+                .collect(),
+            prologue,
         })
     } else {
         Err(errors)

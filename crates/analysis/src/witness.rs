@@ -1,0 +1,152 @@
+//! Concrete counterexample witnesses for refuted reorderings.
+//!
+//! When [`crate::symex::prove_sequence`] refutes an alleged
+//! equivalence, it solves the diverging value class for a concrete
+//! value of the tested variable ([`crate::symex::solve_witness`]).
+//! [`Witness`] carries that value together with the feasibility
+//! abstraction it was drawn from, maps it back to program *input*
+//! where possible (the paper's sequences overwhelmingly test the
+//! result of `getchar`, so a byte value is literally one input byte),
+//! and renders the whole counterexample as a replayable `br-fuzz`
+//! corpus entry (`# br-fuzz repro v1`) so a refutation immediately
+//! becomes a regression test.
+
+use crate::symex::AbsVal;
+
+/// A concrete counterexample: a value of the tested variable on which
+/// the original and reordered sequences demonstrably diverge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Witness {
+    /// The diverging value of the tested variable.
+    pub value: i64,
+    /// The feasibility abstraction the value was solved against.
+    pub feasible: AbsVal,
+}
+
+impl Witness {
+    /// Pair a solved value with its feasibility context.
+    pub fn new(value: i64, feasible: AbsVal) -> Witness {
+        Witness { value, feasible }
+    }
+
+    /// Whether the witness value is admitted by the feasibility
+    /// abstraction (i.e. the program can dynamically produce it).
+    pub fn is_feasible(&self) -> bool {
+        self.feasible.admits(self.value)
+    }
+
+    /// Map the witness value back to program input bytes, for variables
+    /// fed by `getchar`: `-1` is end-of-input (empty), `0..=255` is one
+    /// literal byte. Values outside the character range have no direct
+    /// input encoding and return `None`.
+    pub fn input_bytes(&self) -> Option<Vec<u8>> {
+        match self.value {
+            -1 => Some(Vec::new()),
+            v @ 0..=255 => Some(vec![v as u8]),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "value {} (feasible range {}",
+            self.value, self.feasible.range
+        )?;
+        if self.feasible.modulus > 1 {
+            write!(
+                f,
+                ", ≡ {} mod {}",
+                self.feasible.residue, self.feasible.modulus
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+// Matches the `br-fuzz` corpus hex convention: empty renders as `-`.
+fn hex(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "-".to_string();
+    }
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Render a refutation witness as a `br-fuzz` corpus entry: the
+/// *reordered* (illegal) module with the witness bytes as input and the
+/// original module's behaviour as the expectation, so `brc fuzz
+/// --replay` reproduces the divergence. `expect` is the pre-computed
+/// expectation line body (e.g. `exit=1 output=`), supplied by the
+/// caller because this crate deliberately does not execute modules.
+pub fn corpus_entry(
+    witness: &Witness,
+    reordered_module_text: &str,
+    detail: &str,
+    expect: Option<&str>,
+) -> String {
+    let input = witness.input_bytes().unwrap_or_default();
+    let mut s = String::new();
+    s.push_str("# br-fuzz repro v1\n");
+    s.push_str("# seed 0\n");
+    s.push_str("# set prover-witness\n");
+    s.push_str("# kind prover-divergence\n");
+    s.push_str(&format!(
+        "# fingerprint {:016x}\n",
+        crate::cert::fingerprint(reordered_module_text)
+    ));
+    s.push_str(&format!("# detail {}\n", detail.replace('\n', " ")));
+    s.push_str(&format!("# witness-value {}\n", witness.value));
+    s.push_str("# train -\n");
+    s.push_str(&format!("# input {}\n", hex(&input)));
+    if let Some(e) = expect {
+        s.push_str(&format!("# expect {e}\n"));
+    }
+    s.push_str("# replay brc fuzz --replay <this file>\n");
+    s.push_str(reordered_module_text);
+    if !reordered_module_text.ends_with('\n') {
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+
+    fn feasible() -> AbsVal {
+        AbsVal {
+            range: Interval::new(-1, 255),
+            modulus: 1,
+            residue: 0,
+        }
+    }
+
+    #[test]
+    fn input_mapping_covers_the_character_range() {
+        assert_eq!(Witness::new(-1, feasible()).input_bytes(), Some(vec![]));
+        assert_eq!(Witness::new(0, feasible()).input_bytes(), Some(vec![0]));
+        assert_eq!(Witness::new(97, feasible()).input_bytes(), Some(vec![97]));
+        assert_eq!(Witness::new(255, feasible()).input_bytes(), Some(vec![255]));
+        assert_eq!(Witness::new(256, feasible()).input_bytes(), None);
+        assert_eq!(Witness::new(-2, feasible()).input_bytes(), None);
+    }
+
+    #[test]
+    fn corpus_entry_is_a_versioned_repro() {
+        let w = Witness::new(97, feasible());
+        let entry = corpus_entry(
+            &w,
+            "func f() regs=0 frame=0 {\n}\n",
+            "targets swapped",
+            None,
+        );
+        assert!(entry.starts_with("# br-fuzz repro v1\n"));
+        assert!(entry.contains("# input 61\n"));
+        assert!(entry.contains("# witness-value 97\n"));
+        assert!(entry.contains("# detail targets swapped\n"));
+        assert!(entry.ends_with("func f() regs=0 frame=0 {\n}\n"));
+    }
+}

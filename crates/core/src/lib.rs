@@ -74,4 +74,7 @@ pub use pipeline::{
 };
 pub use profile::{detect_all, instrument_module, profiles_from_run, SequenceProfile};
 pub use range::{Form, Range};
-pub use validate::{validate_sequence, Stage, StageFailure, ValidationSummary};
+pub use validate::{
+    certify_sequence, validate_sequence, CertifyFailure, SequenceCertificate, Stage, StageFailure,
+    ValidationSummary,
+};

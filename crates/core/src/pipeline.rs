@@ -14,7 +14,10 @@ use crate::order::{evaluate_cost, exhaustive_ordering, select_ordering, OrderIte
 use crate::profile::{
     detect_all, instrument_module, order_items, profiles_from_run, SequenceProfile,
 };
-use crate::validate::{check_ordering, validate_sequence, Stage, StageFailure, ValidationSummary};
+use crate::validate::{
+    certify_sequence, check_ordering, validate_sequence, SequenceCertificate, Stage, StageFailure,
+    ValidationSummary,
+};
 
 /// Options for the reordering pipeline.
 #[derive(Clone, Debug, Default)]
@@ -38,6 +41,12 @@ pub struct ReorderOptions {
     /// of this flag, debug builds always validate (as an assertion), so
     /// tests catch semantic breaks with a stage-naming diagnostic.
     pub validate: bool,
+    /// Upgrade validation to *certification*: every committed range
+    /// reordering is proven with the certifying prover
+    /// (`br_analysis::prove_sequence`) and its proof certificate
+    /// recorded in the report, ready for independent re-checking with
+    /// `br_analysis::cert::check`. Implies [`ReorderOptions::validate`].
+    pub certify: bool,
 }
 
 /// What happened to one detected sequence.
@@ -203,7 +212,7 @@ pub fn reorder_module_with_inputs(
     let profiles = profiles_from_run(&ids, &merged);
 
     // Pass 2: per-sequence selection and application.
-    let do_validate = options.validate || cfg!(debug_assertions);
+    let do_validate = options.validate || options.certify || cfg!(debug_assertions);
     let mut summary = ValidationSummary::default();
     let mut module = optimized.clone();
     let mut sequences = Vec::with_capacity(detections.len());
@@ -252,12 +261,28 @@ pub fn reorder_module_with_inputs(
             let replica_start = f.blocks.len() as u32;
             let emitted = crate::apply::apply_reordering(f, seq, &items, &ordering);
             if let Some(pre) = &pre {
-                match validate_sequence(*fid, pre, f, seq, replica_start) {
-                    Ok(proof) => {
-                        summary.proven += 1;
-                        summary.value_classes += proof.value_classes;
+                if options.certify {
+                    match certify_sequence(*fid, pre, f, seq, replica_start) {
+                        Ok(proof) => {
+                            summary.proven += 1;
+                            summary.value_classes += proof.value_classes;
+                            summary.certificates.push(SequenceCertificate {
+                                func: *fid,
+                                head: seq.head,
+                                text: proof.certificate,
+                                sig: proof.sig,
+                            });
+                        }
+                        Err(refuted) => summary.failures.push(refuted.failure),
                     }
-                    Err(failure) => summary.failures.push(failure),
+                } else {
+                    match validate_sequence(*fid, pre, f, seq, replica_start) {
+                        Ok(proof) => {
+                            summary.proven += 1;
+                            summary.value_classes += proof.value_classes;
+                        }
+                        Err(failure) => summary.failures.push(failure),
+                    }
                 }
             }
             record.outcome = SequenceOutcome::Reordered {

@@ -141,10 +141,13 @@ fn module_section(sections: &[OwnedSection], name: &str) -> Result<Module, Strin
 
 /// Reorder options from the optional `options` section: lines of
 /// `exhaustive|common|static 0|1`. Validation is not a knob — the
-/// service contract is that every response carries a verdict.
+/// service contract is that every response carries a verdict, and the
+/// pipeline runs in `certify` mode so every committed reordering also
+/// carries a proof certificate whose hash the response exposes.
 fn parse_options(sections: &[OwnedSection]) -> Result<ReorderOptions, String> {
     let mut opts = ReorderOptions {
         validate: true,
+        certify: true,
         ..ReorderOptions::default()
     };
     let Ok(options) = section(sections, "options") else {
@@ -170,7 +173,10 @@ fn parse_options(sections: &[OwnedSection]) -> Result<ReorderOptions, String> {
 }
 
 /// `reorder`: printed-IR module + training bytes in; reordered module,
-/// per-sequence records, and the translation validator's verdict out.
+/// per-sequence records, the translation validator's verdict, and one
+/// `func head sig` line per proof certificate out — the client can
+/// demand the full certificate be re-derived locally and compare
+/// content addresses.
 fn reorder_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
     let module = module_section(sections, "module")?;
     let train = &section(sections, "train")?.bytes;
@@ -214,6 +220,11 @@ fn reorder_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
         validation.push_str(&format!("{f}\n"));
     }
 
+    let mut certs = String::new();
+    for c in &summary.certificates {
+        certs.push_str(&format!("{} {} {:016x}\n", c.func.0, c.head.0, c.sig));
+    }
+
     Ok(Frame::structured(
         "ok",
         &[
@@ -228,6 +239,10 @@ fn reorder_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
             Section {
                 name: "validation",
                 bytes: validation.as_bytes(),
+            },
+            Section {
+                name: "certs",
+                bytes: certs.as_bytes(),
             },
         ],
     )
@@ -394,6 +409,7 @@ mod tests {
 
         let opts = ReorderOptions {
             validate: true,
+            certify: true,
             ..ReorderOptions::default()
         };
         let local = reorder_module(&module, &train, &opts).expect("pipeline runs");
@@ -404,6 +420,19 @@ mod tests {
         );
         let verdict = section(&sections, "validation").unwrap().text().unwrap();
         assert!(verdict.contains("failures 0"), "{verdict}");
+
+        // Certificate hashes: one line per committed reordering, equal
+        // to the content addresses an in-process certify run derives.
+        let local_summary = local.validation.as_ref().unwrap();
+        assert!(
+            !local_summary.certificates.is_empty(),
+            "wc must commit at least one certified reordering"
+        );
+        let certs = section(&sections, "certs").unwrap().text().unwrap();
+        assert_eq!(certs.lines().count(), local_summary.certificates.len());
+        for (line, c) in certs.lines().zip(&local_summary.certificates) {
+            assert_eq!(line, format!("{} {} {:016x}", c.func.0, c.head.0, c.sig));
+        }
 
         // Identical request → cache hit with the identical payload.
         let again = e.handle(&request);

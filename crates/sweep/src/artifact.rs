@@ -3,10 +3,14 @@
 //! Two artifact kinds exist, one per cached stage:
 //!
 //! * **reorder** — the result of the training + reordering stage: every
-//!   [`SequenceRecord`] plus the reordered module as printed IR. The
-//!   restored report carries `validation: None`; the tables never read
-//!   the validation summary (`brc validate` exists for that), so caching
-//!   it would only bloat the artifacts.
+//!   [`SequenceRecord`], the proof certificates the certifying pipeline
+//!   emitted for the committed reorderings, plus the reordered module as
+//!   printed IR. The restored report carries the certificates (and the
+//!   proven/value-class counts) but not the failure list — artifacts are
+//!   only written for cleanly certified runs, so there is nothing to
+//!   record. Carrying the certificates is what lets a warm sweep
+//!   *re-check* every cached reordering with the independent
+//!   `br_analysis::cert::check` before trusting the artifact.
 //! * **measure** — the result of one measurement run: exit value, the
 //!   eleven architectural counters, every predictor result, the static
 //!   instruction count of the measured module, and the output bytes.
@@ -18,7 +22,7 @@
 
 use br_ir::{parse_module, print_module, BlockId, FuncId};
 use br_reorder::pipeline::{SequenceKind, SequenceRecord};
-use br_reorder::{ReorderReport, SequenceOutcome};
+use br_reorder::{ReorderReport, SequenceCertificate, SequenceOutcome, ValidationSummary};
 use br_vm::{ExecStats, PredictorConfig, PredictorResult, Scheme};
 
 use crate::MeasuredCell;
@@ -86,6 +90,28 @@ pub fn write_reorder(report: &ReorderReport) -> String {
             s.func.0, s.head.0, s.original_branches, s.conditions, s.training_executions
         ));
     }
+    let empty = Vec::new();
+    let (proven, value_classes, certs) = match &report.validation {
+        Some(v) => (v.proven, v.value_classes, &v.certificates),
+        None => (0, 0, &empty),
+    };
+    out.push_str(&format!(
+        "certs {} proven {proven} classes {value_classes}\n",
+        certs.len()
+    ));
+    for c in certs {
+        out.push_str(&format!(
+            "cert {} {} {:016x} {}\n",
+            c.func.0,
+            c.head.0,
+            c.sig,
+            c.text.lines().count()
+        ));
+        out.push_str(&c.text);
+        if !c.text.ends_with('\n') {
+            out.push('\n');
+        }
+    }
     out.push_str("module\n");
     out.push_str(&print_module(&report.module));
     out
@@ -133,6 +159,39 @@ pub fn read_reorder(text: &str) -> Option<ReorderReport> {
             outcome,
         });
     }
+    let mut cf = lines.next()?.strip_prefix("certs ")?.split(' ');
+    let n_certs: usize = cf.next()?.parse().ok()?;
+    let proven: usize = cf
+        .next()
+        .filter(|&k| k == "proven")
+        .and(cf.next())?
+        .parse()
+        .ok()?;
+    let value_classes: usize = cf
+        .next()
+        .filter(|&k| k == "classes")
+        .and(cf.next())?
+        .parse()
+        .ok()?;
+    let mut certificates = Vec::with_capacity(n_certs);
+    for _ in 0..n_certs {
+        let mut f = lines.next()?.strip_prefix("cert ")?.split(' ');
+        let func = FuncId(f.next()?.parse().ok()?);
+        let head = BlockId(f.next()?.parse().ok()?);
+        let sig = u64::from_str_radix(f.next()?, 16).ok()?;
+        let cert_lines: usize = f.next()?.parse().ok()?;
+        let mut cert_text = String::new();
+        for _ in 0..cert_lines {
+            cert_text.push_str(lines.next()?);
+            cert_text.push('\n');
+        }
+        certificates.push(SequenceCertificate {
+            func,
+            head,
+            text: cert_text,
+            sig,
+        });
+    }
     if lines.next()? != "module" {
         return None;
     }
@@ -141,7 +200,12 @@ pub fn read_reorder(text: &str) -> Option<ReorderReport> {
     Some(ReorderReport {
         module,
         sequences,
-        validation: None,
+        validation: Some(ValidationSummary {
+            proven,
+            value_classes,
+            failures: Vec::new(),
+            certificates,
+        }),
     })
 }
 
@@ -284,6 +348,46 @@ mod tests {
         assert!(read_measure("measure v0\nexit 0\n").is_none());
         assert!(read_reorder("bogus").is_none());
         assert!(read_measure("").is_none());
+        // A v1-era artifact (no certs block) must read as a miss.
+        assert!(read_reorder("reorder v1\nsequences 0\nmodule\n").is_none());
+    }
+
+    #[test]
+    fn reorder_artifact_roundtrips_certificates() {
+        let w = br_workloads::by_name("wc").expect("wc exists");
+        let mut m = br_minic::compile(
+            w.source,
+            &br_minic::Options::with_heuristics(br_minic::HeuristicSet::SET_I),
+        )
+        .expect("wc compiles");
+        br_opt::optimize(&mut m);
+        let opts = br_reorder::ReorderOptions {
+            certify: true,
+            ..Default::default()
+        };
+        let report =
+            br_reorder::reorder_module(&m, &w.training_input(512), &opts).expect("pipeline runs");
+        let summary = report.validation.as_ref().expect("certify mode validates");
+        assert!(
+            !summary.certificates.is_empty(),
+            "wc must commit a certified reordering"
+        );
+
+        let text = write_reorder(&report);
+        let back = read_reorder(&text).expect("parses");
+        let restored = back.validation.as_ref().expect("certs restored");
+        assert_eq!(restored.certificates, summary.certificates);
+        assert_eq!(restored.proven, summary.proven);
+        assert_eq!(restored.value_classes, summary.value_classes);
+        for c in &restored.certificates {
+            let checked = br_analysis::check(&c.text).expect("restored certificate checks");
+            assert_eq!(checked.sig, c.sig);
+        }
+        assert_eq!(
+            print_module(&back.module),
+            print_module(&report.module),
+            "module must survive the round trip"
+        );
     }
 
     #[test]

@@ -19,7 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Incremented whenever an artifact format or a stage's semantics
 /// change, so old cache directories are silently invalidated.
-pub const FORMAT_VERSION: &str = "v1";
+/// (`v2`: reorder artifacts carry proof certificates.)
+pub const FORMAT_VERSION: &str = "v2";
 
 /// 64-bit FNV-1a over a sequence of length-delimited parts.
 ///

@@ -20,7 +20,11 @@
 //!   options, and the input bytes ([`cache::ArtifactCache`]). A re-run
 //!   after editing only documentation is almost free; a re-run after
 //!   touching the optimizer recomputes exactly the cells whose inputs
-//!   changed.
+//!   changed. Reorder artifacts carry the proof certificates the
+//!   certifying pipeline emitted, and a cache hit is trusted only after
+//!   every certificate passes the independent checker
+//!   (`br_analysis::cert::check`) — a tampered artifact silently demotes
+//!   to a recomputation.
 //! * **Seed replication.** `--seeds K` re-runs the grid under K
 //!   perturbed input seeds and reports the spread of the headline
 //!   numbers (`stability.csv`), separating the transformation's effect
@@ -255,6 +259,19 @@ struct Cell {
     seed: u32,
 }
 
+/// Whether every certificate in a restored reorder artifact passes the
+/// independent checker with its recorded content address. A cached
+/// artifact is trusted only under this predicate.
+fn certificates_hold(report: &br_reorder::ReorderReport) -> bool {
+    let Some(summary) = &report.validation else {
+        return false;
+    };
+    summary
+        .certificates
+        .iter()
+        .all(|c| br_analysis::check(&c.text).is_ok_and(|checked| checked.sig == c.sig))
+}
+
 struct CellOutput {
     program: ProgramResult,
     metrics: CellMetrics,
@@ -281,6 +298,11 @@ fn run_cell(
     let test = replicated(cell.workload.test, cell.seed).generate(config.test_size);
 
     // Stage 1: training + reordering, cached on (module, input, search).
+    // The pipeline runs in `certify` mode, so the artifact carries one
+    // proof certificate per committed reordering; a cache hit replays
+    // the artifact only after every certificate passes the independent
+    // checker — a corrupted or forged artifact is demoted to a miss and
+    // the stage recomputes.
     let search = if config.exhaustive {
         "exhaustive"
     } else {
@@ -296,7 +318,7 @@ fn run_cell(
     let reorder_start = Instant::now();
     let mut reorder_cached = true;
     let cached = cache.get(reorder_key).and_then(|text| {
-        let parsed = artifact::read_reorder(&text);
+        let parsed = artifact::read_reorder(&text).filter(certificates_hold);
         if parsed.is_none() {
             cache.demote_hit();
         }
@@ -308,10 +330,21 @@ fn run_cell(
             reorder_cached = false;
             let opts = ReorderOptions {
                 exhaustive: config.exhaustive,
+                certify: true,
                 ..ReorderOptions::default()
             };
             let report = reorder_module(&module, &train, &opts)
                 .map_err(|e| err(format!("training run trapped: {e}")))?;
+            match &report.validation {
+                Some(v) if v.is_clean() => {}
+                Some(v) => {
+                    return Err(err(format!(
+                        "reordering failed certification: {}",
+                        v.failures[0]
+                    )))
+                }
+                None => return Err(err("pipeline returned no validation summary".to_string())),
+            }
             cache.put(reorder_key, &artifact::write_reorder(&report));
             report
         }
@@ -606,6 +639,55 @@ mod tests {
         uncached.threads = 1;
         uncached.cache_dir = None;
         run_sweep(&uncached).expect("uncached run");
+        for (path, bytes) in &snapshot {
+            assert_eq!(
+                &std::fs::read(path).expect("result file"),
+                bytes,
+                "{path:?}"
+            );
+        }
+        cleanup(&config);
+    }
+
+    #[test]
+    fn tampered_cached_certificates_are_recomputed() {
+        let config = test_config("cert-tamper", true);
+        let first = run_sweep(&config).expect("first run");
+        let snapshot: Vec<(PathBuf, Vec<u8>)> = first
+            .files
+            .iter()
+            .map(|f| (f.clone(), std::fs::read(f).expect("result file")))
+            .collect();
+
+        // Corrupt every cached reorder artifact inside a certificate
+        // body (same line count, so the artifact still parses — only the
+        // independent checker can catch it).
+        let cache_dir = config.cache_dir.clone().expect("cache configured");
+        let mut tampered = 0u64;
+        for entry in std::fs::read_dir(&cache_dir).expect("cache dir") {
+            let path = entry.expect("dir entry").path();
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            if !text.starts_with("reorder v") || !text.contains("\ncert ") {
+                continue;
+            }
+            let forged = text.replacen("brcert v1", "brcert v9", 1);
+            assert_ne!(forged, text, "reorder artifact must embed a certificate");
+            std::fs::write(&path, forged).expect("tamper write");
+            tampered += 1;
+        }
+        assert!(tampered > 0, "no reorder artifacts found to tamper");
+
+        // The warm run must notice (demoted hits → recomputation) and
+        // still produce byte-identical results.
+        let second = run_sweep(&config).expect("second run");
+        assert!(
+            second.cache_misses >= tampered,
+            "tampered artifacts must be recomputed, not replayed \
+             ({} misses, {tampered} tampered)",
+            second.cache_misses
+        );
         for (path, bytes) in &snapshot {
             assert_eq!(
                 &std::fs::read(path).expect("result file"),

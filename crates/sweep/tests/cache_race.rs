@@ -80,7 +80,7 @@ fn two_handles_racing_on_one_directory_never_tear() {
             scope.spawn(move || {
                 let cache = ArtifactCache::at(dir).expect("cache dir");
                 barrier.wait();
-                let mut sweep = |reads: &AtomicU64| {
+                let sweep = |reads: &AtomicU64| {
                     for key in 0..KEYS {
                         if let Some(got) = cache.get(key) {
                             assert_intact(key, &got);

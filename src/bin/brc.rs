@@ -10,8 +10,14 @@
 //! brc prog.c --set III --dump-ir > prog.ir        # show optimized IR
 //! brc prog.ir --from-ir --input data.txt          # run dumped IR directly
 //! brc lint prog.c                                 # static analysis report
+//! brc lint prog.c --deny BR0101 --deny BR0102     # fail on specific codes
 //! brc validate prog.c --train data.txt            # prove the reordering
 //! brc validate --suite                            # all 17 workloads x 3 sets
+//! brc prove prog.c --train data.txt               # certify + emit proof certs
+//! brc prove --suite                               # certify the whole grid
+//! brc prove --witness-demo out/                   # refute a seeded corruption
+//! brc check cert.brcert                           # independently re-check
+//! brc check --tamper-demo                         # show tamper rejection
 //! brc adapt                                       # adaptive-vs-static report
 //! brc adapt charclass --size 65536 --csv          # one scenario, CSV output
 //! brc fuzz --seeds 10000                          # differential fuzzing
@@ -22,8 +28,27 @@
 //! * `lint FILE`     run the `br-analysis` lint passes (shadowed ranges,
 //!   statically decided branches, redundant compares) plus the full IR
 //!   verifier, and print every finding as a rustc-style diagnostic.
+//!   `--deny CODE` (repeatable, or `--deny all`) turns the named
+//!   diagnostic codes into hard failures (exit 1); the code table lives
+//!   in DESIGN.md §13.
 //! * `validate FILE` run the reordering pipeline with the translation
-//!   validator on and report the equivalence proof per sequence.
+//!   validator on and report the equivalence proof per sequence; every
+//!   failing sequence is reported in one run with its stage code
+//!   (BR0201–BR0204). Exit 1 on proof failure, exit 2 on parse or
+//!   compile failure.
+//! * `prove FILE`    run the pipeline in *certify* mode: every committed
+//!   reordering is proven by the certifying symbolic prover and its
+//!   proof certificate re-checked on the spot by the independent
+//!   checker (double entry). `--emit-certs DIR` writes the certificates
+//!   out. `--suite` certifies all 17 workloads × Sets I/II/III.
+//!   `--witness-demo DIR` seeds an illegal target swap, shows the
+//!   refutation's concrete witness diverging under the reference
+//!   interpreter, and writes it as a replayable fuzz corpus entry.
+//! * `check FILE`    independently re-check a saved certificate with
+//!   `br_analysis::cert::check` (no prover code involved). Exit 0
+//!   accepted, 1 rejected (`BR0301`), 2 unparseable. `--tamper-demo`
+//!   shows every single-line tampering of a fresh certificate being
+//!   rejected.
 //! * `validate --suite` sweep all 17 paper workloads under heuristic
 //!   Sets I, II and III, proving every applied sequence equivalent, then
 //!   demonstrate that an intentionally corrupted replica is rejected
@@ -100,9 +125,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: brc FILE.c [--input FILE] [--train FILE] [--set I|II|III] \
          [--reorder] [--common] [--no-opt] [--stats] [--dump-ir] [--from-ir]\n\
-       \x20      brc lint FILE.c [--set I|II|III] [--from-ir] [--no-opt]\n\
+       \x20      brc lint FILE.c [--set I|II|III] [--from-ir] [--no-opt] [--deny CODE|all]...\n\
        \x20      brc validate FILE.c [--input FILE] [--train FILE] [--set I|II|III]\n\
        \x20      brc validate --suite [--size N]\n\
+       \x20      brc prove FILE.c [--input FILE] [--train FILE] [--set I|II|III] \
+         [--emit-certs DIR]\n\
+       \x20      brc prove --suite [--size N]\n\
+       \x20      brc prove --witness-demo DIR\n\
+       \x20      brc check CERT_FILE\n\
+       \x20      brc check --tamper-demo\n\
        \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--csv]\n\
        \x20      brc sweep [--threads N] [--seeds K] [--quick] [--smoke] [--exhaustive] \
          [--out DIR] [--cache DIR] [--no-cache]\n\
@@ -118,8 +149,8 @@ fn usage() -> ! {
 }
 
 /// Every subcommand `brc` understands, for `--version` output.
-const SUBCOMMANDS: [&str; 7] = [
-    "lint", "validate", "adapt", "sweep", "fuzz", "serve", "loadgen",
+const SUBCOMMANDS: [&str; 9] = [
+    "lint", "validate", "prove", "check", "adapt", "sweep", "fuzz", "serve", "loadgen",
 ];
 
 /// `brc --version` / `-V` — crate version plus the enabled subcommands.
@@ -166,29 +197,45 @@ fn parse_set(v: Option<String>) -> HeuristicSet {
     }
 }
 
-/// Compile a mini-C source (or parse dumped IR) into a verified module.
-fn build_module(source: &str, set: HeuristicSet, from_ir: bool, no_opt: bool) -> Module {
+/// Compile a mini-C source (or parse dumped IR) into a verified module,
+/// or describe why it cannot be built.
+fn try_build_module(
+    source: &str,
+    set: HeuristicSet,
+    from_ir: bool,
+    no_opt: bool,
+) -> Result<Module, String> {
     let mut module = if from_ir {
-        match br_ir::parse_module(source) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("brc: IR parse error at {e}");
-                exit(1);
-            }
-        }
+        br_ir::parse_module(source).map_err(|e| format!("IR parse error at {e}"))?
     } else {
-        match compile(source, &Options::with_heuristics(set)) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("brc: compile error at {e}");
-                exit(1);
-            }
-        }
+        compile(source, &Options::with_heuristics(set))
+            .map_err(|e| format!("compile error at {e}"))?
     };
     if !no_opt && !from_ir {
         br_opt::optimize(&mut module);
     }
-    module
+    Ok(module)
+}
+
+/// [`try_build_module`], exiting with `code` on failure. `validate` and
+/// `prove` use exit 2 here so a parse/compile failure is
+/// distinguishable from a proof failure (exit 1).
+fn build_module_or_exit(
+    source: &str,
+    set: HeuristicSet,
+    from_ir: bool,
+    no_opt: bool,
+    code: i32,
+) -> Module {
+    try_build_module(source, set, from_ir, no_opt).unwrap_or_else(|e| {
+        eprintln!("brc: {e}");
+        exit(code)
+    })
+}
+
+/// Compile a mini-C source (or parse dumped IR) into a verified module.
+fn build_module(source: &str, set: HeuristicSet, from_ir: bool, no_opt: bool) -> Module {
+    build_module_or_exit(source, set, from_ir, no_opt, 1)
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Args {
@@ -241,9 +288,21 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Args {
 }
 
 /// `brc lint FILE` — full structural verification plus the analysis
-/// lint passes, every finding reported at once.
+/// lint passes, every finding reported at once. `--deny CODE`
+/// (repeatable) or `--deny all` escalates the named diagnostic codes to
+/// hard failures.
 fn cmd_lint(argv: impl Iterator<Item = String>) -> ! {
-    let args = parse_args(argv);
+    let mut deny: Vec<String> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        if a == "--deny" {
+            deny.push(flag_value("--deny", argv.next()));
+        } else {
+            rest.push(a);
+        }
+    }
+    let args = parse_args(rest.into_iter());
     let module = build_module(&args.source, args.set, args.from_ir, args.no_opt);
     let mut diags: Vec<Diagnostic> = Vec::new();
     // Structural violations first (errors), then the lint findings
@@ -262,7 +321,18 @@ fn cmd_lint(argv: impl Iterator<Item = String>) -> ! {
         diags.extend(br_analysis::lint_module(&module));
     }
     print!("{}", render(&diags));
-    exit(if has_errors(&diags) { 1 } else { 0 })
+    let denied: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| deny.iter().any(|c| c == "all" || c == d.code))
+        .collect();
+    for d in &denied {
+        eprintln!("brc: denied diagnostic [{}] in `{}`", d.code, d.function);
+    }
+    exit(if has_errors(&diags) || !denied.is_empty() {
+        1
+    } else {
+        0
+    })
 }
 
 /// Run the pipeline on one module with validation forced on; print the
@@ -423,10 +493,467 @@ fn cmd_validate(argv: impl Iterator<Item = String>) -> ! {
         cmd_validate_suite(size);
     }
     let args = parse_args(argv.into_iter());
-    let module = build_module(&args.source, args.set, args.from_ir, args.no_opt);
+    // Exit 2 on parse/compile failure so CI can tell "the program never
+    // built" from "the proof failed" (exit 1).
+    let module = build_module_or_exit(&args.source, args.set, args.from_ir, args.no_opt, 2);
     let train = args.train.as_deref().unwrap_or(&args.input);
     let ok = validate_one(&module, train, "validate", true);
     exit(if ok { 0 } else { 1 })
+}
+
+// Matches the `br-fuzz` corpus hex convention: empty renders as `-`.
+fn hex_bytes(b: &[u8]) -> String {
+    if b.is_empty() {
+        return "-".to_string();
+    }
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+/// One-line behavior fingerprint of a reference run, matching the
+/// `expect` line grammar of `br-fuzz` corpus entries.
+fn behavior(r: &Result<br_vm::RunOutcome, br_vm::Trap>) -> String {
+    match r {
+        Ok(o) => format!("exit={} output={}", o.exit, hex_bytes(&o.output)),
+        Err(t) => format!("trap={t}"),
+    }
+}
+
+/// Run the pipeline on one module in certify mode; print the summary,
+/// re-check every emitted certificate with the independent checker, and
+/// optionally write the certificates to `emit_dir`. Returns whether
+/// everything held plus the number of certificates double-checked.
+fn certify_one(
+    module: &Module,
+    train: &[u8],
+    label: &str,
+    emit_dir: Option<&std::path::Path>,
+) -> (bool, usize) {
+    let opts = ReorderOptions {
+        certify: true,
+        ..ReorderOptions::default()
+    };
+    let report = match reorder_module(module, train, &opts) {
+        Ok(r) => r,
+        Err(t) => {
+            println!("{label}: training run trapped: {t}");
+            return (false, 0);
+        }
+    };
+    let Some(summary) = report.validation else {
+        println!("{label}: internal error: pipeline returned no validation summary");
+        return (false, 0);
+    };
+    let mut ok = summary.is_clean();
+    let mut checked = 0usize;
+    for c in &summary.certificates {
+        match br_analysis::cert::check(&c.text) {
+            Ok(cc) if cc.sig == c.sig => checked += 1,
+            Ok(cc) => {
+                println!(
+                    "{label}: [BR0301] certificate for f{}/b{} re-checked with \
+                     unexpected sig {:016x} (prover said {:016x})",
+                    c.func.0, c.head.0, cc.sig, c.sig
+                );
+                ok = false;
+            }
+            Err(e) => {
+                println!(
+                    "{label}: [BR0301] certificate for f{}/b{} REJECTED by the \
+                     independent checker: {e}",
+                    c.func.0, c.head.0
+                );
+                ok = false;
+            }
+        }
+        if let Some(dir) = emit_dir {
+            let path = dir.join(format!(
+                "cert-f{}-b{}-{:016x}.brcert",
+                c.func.0, c.head.0, c.sig
+            ));
+            if let Err(e) = std::fs::write(&path, &c.text) {
+                println!("{label}: cannot write {}: {e}", path.display());
+                ok = false;
+            } else {
+                println!("{label}: wrote {}", path.display());
+            }
+        }
+    }
+    println!(
+        "{label}: {summary}; {checked}/{} independently re-checked \
+         (enumeration fallbacks: 0 — the prover is subsumption-only)",
+        summary.certificates.len()
+    );
+    ok &= checked == summary.certificates.len();
+    (ok, checked)
+}
+
+/// `brc prove --suite` — certify every applied sequence over the 17
+/// paper workloads under all three heuristic sets, re-checking each
+/// certificate with the independent checker on the spot.
+fn cmd_prove_suite(size: usize) -> ! {
+    let mut ok = true;
+    let mut certified = 0usize;
+    for (set_name, set) in [
+        ("I", HeuristicSet::SET_I),
+        ("II", HeuristicSet::SET_II),
+        ("III", HeuristicSet::SET_III),
+    ] {
+        for w in br_workloads::all() {
+            let module = build_module(w.source, set, false, false);
+            let label = format!("set {set_name} {}", w.name);
+            let (clean, checked) = certify_one(&module, &w.training_input(size), &label, None);
+            ok &= clean;
+            certified += checked;
+        }
+    }
+    println!(
+        "prove suite: {certified} sequence(s) certified and independently re-checked \
+         across 17 workloads x 3 heuristic sets; 0 enumeration fallbacks"
+    );
+    exit(if ok { 0 } else { 1 })
+}
+
+/// The shared `prove` demo scaffold: compile a `getchar`-driven else-if
+/// chain, plan a reordering from a synthetic skewed profile, and apply
+/// it. Returns the pristine module, the pre-reordering function, the
+/// reordered module, and the sequence coordinates.
+#[allow(clippy::type_complexity)]
+fn demo_reordered() -> Option<(
+    Module,
+    br_ir::Function,
+    Module,
+    br_reorder::DetectedSequence,
+    br_ir::FuncId,
+    u32,
+)> {
+    use br_ir::BlockId;
+    use br_reorder::profile::{order_items, plan_ranges, SequenceProfile};
+
+    let src = "int main() { int c; int n; n = 0; c = getchar();
+        while (c != -1) {
+            if (c == 32) { n = n + 1; }
+            else if (c == 10) { n = n + 2; }
+            else if (c < 5) { n = n + 3; }
+            else { n = n + 4; }
+            c = getchar();
+        }
+        return n; }";
+    let module = build_module(src, HeuristicSet::SET_I, false, false);
+    let (fid, seq) = br_reorder::detect_all(&module).into_iter().next()?;
+    let n = plan_ranges(&seq).len();
+    let counts: Vec<u64> = (1..=n as u64).rev().collect();
+    let items = order_items(&seq, &SequenceProfile { counts });
+    let eliminable = br_reorder::pipeline::eliminable_items(&seq, &items);
+    let mut candidates: Vec<BlockId> = br_reorder::validate::sequence_exits(&seq)
+        .into_iter()
+        .collect();
+    candidates.sort();
+    let ordering =
+        br_reorder::select_ordering(&items, &candidates, &eliminable, seq.default_target);
+    let mut reordered = module.clone();
+    let f = reordered.function_mut(fid);
+    let original_f = f.clone();
+    let replica_start = f.blocks.len() as u32;
+    br_reorder::apply::apply_reordering(f, &seq, &items, &ordering);
+    Some((module, original_f, reordered, seq, fid, replica_start))
+}
+
+/// `brc prove --witness-demo DIR` — seed an illegal target swap into a
+/// reordered replica, let the prover refute it and solve a witness,
+/// demonstrate the divergence under the reference interpreter, and
+/// write the counterexample as a replayable fuzz corpus entry.
+fn cmd_witness_demo(dir: &str) -> ! {
+    use br_ir::{BlockId, Terminator};
+
+    let Some((module, original_f, mut corrupted, seq, fid, replica_start)) = demo_reordered()
+    else {
+        println!("witness demo: ERROR — no reorderable sequence detected in the demo program");
+        exit(1)
+    };
+    let f = corrupted.function_mut(fid);
+    let mut swapped = false;
+    for bi in replica_start..f.blocks.len() as u32 {
+        if let Terminator::Branch {
+            taken, not_taken, ..
+        } = &mut f.block_mut(BlockId(bi)).term
+        {
+            if taken != not_taken {
+                std::mem::swap(taken, not_taken);
+                swapped = true;
+                break;
+            }
+        }
+    }
+    if !swapped {
+        println!("witness demo: ERROR — replica contains no conditional branch");
+        exit(1)
+    }
+    let refuted = match br_reorder::certify_sequence(fid, &original_f, f, &seq, replica_start) {
+        Ok(_) => {
+            println!("witness demo: ERROR — seeded target swap was certified");
+            exit(1)
+        }
+        Err(r) => r,
+    };
+    println!("witness demo: refuted as intended:\n  {}", refuted.failure);
+    let Some(w) = refuted.witness else {
+        println!("witness demo: ERROR — refutation produced no witness");
+        exit(1)
+    };
+    let Some(input) = w.input_bytes() else {
+        println!("witness demo: ERROR — witness {w} has no input encoding");
+        exit(1)
+    };
+    let vm = VmOptions::default();
+    let expect = behavior(&br_vm::run_reference(&module, &input, &vm));
+    let got = behavior(&br_vm::run_reference(&corrupted, &input, &vm));
+    let diverges = expect != got;
+    println!(
+        "witness demo: witness {w}; input bytes [{}]",
+        hex_bytes(&input)
+    );
+    println!("witness demo: original  {expect}");
+    println!(
+        "witness demo: corrupted {got}{}",
+        if diverges {
+            " — DIVERGES under run_reference"
+        } else {
+            " — no divergence observed (demo FAILED)"
+        }
+    );
+    let entry = br_analysis::corpus_entry(
+        &w,
+        &br_ir::print_module(&corrupted),
+        "seeded target swap refuted by br-prove",
+        Some(&expect),
+    );
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        println!("witness demo: cannot create {dir}: {e}");
+        exit(1)
+    }
+    let path = std::path::Path::new(dir).join("witness-target-swap.bir");
+    if let Err(e) = std::fs::write(&path, entry) {
+        println!("witness demo: cannot write {}: {e}", path.display());
+        exit(1)
+    }
+    println!("witness demo: corpus entry written to {}", path.display());
+    println!(
+        "witness demo: replay with `brc fuzz --replay {}`",
+        path.display()
+    );
+    exit(if diverges { 0 } else { 1 })
+}
+
+/// A fresh certificate from the demo reordering (uncorrupted), for the
+/// tamper demo.
+fn demo_certificate() -> Option<String> {
+    let (_, original_f, reordered, seq, fid, replica_start) = demo_reordered()?;
+    let f = &reordered.functions[fid.0 as usize];
+    br_reorder::certify_sequence(fid, &original_f, f, &seq, replica_start)
+        .ok()
+        .map(|p| p.certificate)
+}
+
+/// Mutate one line of a certificate: bump its first digit, or flip the
+/// case of its first letter.
+fn mutate_line(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut done = false;
+    for ch in line.chars() {
+        if !done && ch.is_ascii_digit() {
+            out.push(char::from(b'0' + (ch as u8 - b'0' + 1) % 10));
+            done = true;
+        } else if !done && ch.is_ascii_alphabetic() {
+            out.push(if ch.is_ascii_lowercase() {
+                ch.to_ascii_uppercase()
+            } else {
+                ch.to_ascii_lowercase()
+            });
+            done = true;
+        } else {
+            out.push(ch);
+        }
+    }
+    if !done {
+        out.push('x');
+    }
+    out
+}
+
+/// Re-sign a certificate body (lines without the `sig` line) with the
+/// checker's exposed fingerprint, modeling an attacker who fixes up the
+/// signature after a semantic edit.
+fn resign(body_lines: &[String]) -> String {
+    let mut body = String::new();
+    for l in body_lines {
+        body.push_str(l);
+        body.push('\n');
+    }
+    let sig = br_analysis::cert::fingerprint(&body);
+    format!("{body}sig {sig:016x}\n")
+}
+
+/// `brc check --tamper-demo` — generate a valid certificate, then show
+/// that every single-line tampering (signed-over edits, plus re-signed
+/// semantic edits and truncation) is rejected by the checker.
+fn cmd_tamper_demo() -> ! {
+    let Some(cert) = demo_certificate() else {
+        println!("tamper demo: ERROR — could not build a demo certificate");
+        exit(1)
+    };
+    if let Err(e) = br_analysis::cert::check(&cert) {
+        println!("tamper demo: ERROR — pristine certificate rejected: {e}");
+        exit(1)
+    }
+    let lines: Vec<String> = cert.lines().map(str::to_string).collect();
+    let mut total = 0usize;
+    let mut rejected = 0usize;
+    let mut tally = |name: String, text: String| {
+        total += 1;
+        if br_analysis::cert::check(&text).is_err() {
+            rejected += 1;
+        } else {
+            println!("tamper demo: ACCEPTED (bug!): {name}");
+        }
+    };
+    // Unsigned single-line edits: the signature must catch all of them.
+    for i in 0..lines.len() {
+        let mut t = lines.clone();
+        t[i] = mutate_line(&t[i]);
+        if t[i] == lines[i] {
+            continue;
+        }
+        tally(format!("line {i} edit"), t.join("\n") + "\n");
+    }
+    // Re-signed semantic edits: the checker's own reasoning must catch
+    // these — the attacker fixed the signature up.
+    let body: Vec<String> = lines[..lines.len() - 1].to_vec();
+    let class_idx: Vec<usize> = body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with("class "))
+        .map(|(i, _)| i)
+        .collect();
+    // Swap the exits of two classes with different targets.
+    let exit_of = |l: &str| l.rsplit(' ').next().unwrap_or("").to_string();
+    if let Some((&a, &b)) = class_idx
+        .iter()
+        .flat_map(|a| class_idx.iter().map(move |b| (a, b)))
+        .find(|(a, b)| a < b && exit_of(&body[**a]) != exit_of(&body[**b]))
+    {
+        let mut t = body.clone();
+        let (ea, eb) = (exit_of(&t[a]), exit_of(&t[b]));
+        t[a] = format!("{} {eb}", t[a].rsplit_once(' ').unwrap().0);
+        t[b] = format!("{} {ea}", t[b].rsplit_once(' ').unwrap().0);
+        tally("re-signed class target swap".into(), resign(&t));
+    }
+    // Shift one class's range bound (breaks the tiling or a rep walk).
+    if let Some(&i) = class_idx.first() {
+        if let Some(t_line) = shift_first_bound(&body[i]) {
+            let mut t = body.clone();
+            t[i] = t_line;
+            tally("re-signed range-bound shift".into(), resign(&t));
+        }
+    }
+    // Truncation: drop the last body line and re-sign.
+    tally(
+        "re-signed truncation".into(),
+        resign(&body[..body.len() - 1]),
+    );
+    println!("tamper demo: {rejected}/{total} tamperings rejected");
+    exit(if rejected == total && total > 0 { 0 } else { 1 })
+}
+
+/// Bump the `hi` bound of the first finite interval in a `class` line.
+fn shift_first_bound(line: &str) -> Option<String> {
+    let mut parts: Vec<String> = line.split(' ').map(str::to_string).collect();
+    for p in parts.iter_mut() {
+        if let Some((lo, hi)) = p.split_once(',') {
+            if let (Ok(lo), Ok(hi)) = (lo.parse::<i64>(), hi.parse::<i64>()) {
+                if hi != i64::MAX {
+                    *p = format!("{lo},{}", hi + 1);
+                    return Some(parts.join(" "));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `brc prove ...` argument dispatch.
+fn cmd_prove(argv: impl Iterator<Item = String>) -> ! {
+    let argv: Vec<String> = argv.collect();
+    if argv.iter().any(|a| a == "--suite") {
+        let mut size = 4096usize;
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if a == "--size" {
+                size = parse_flag("--size", it.next().cloned());
+            }
+        }
+        cmd_prove_suite(size);
+    }
+    if let Some(i) = argv.iter().position(|a| a == "--witness-demo") {
+        let Some(dir) = argv.get(i + 1) else {
+            bad_args(format_args!("--witness-demo requires a directory"))
+        };
+        cmd_witness_demo(dir);
+    }
+    let mut emit: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--emit-certs" {
+            emit = Some(flag_value("--emit-certs", it.next()));
+        } else {
+            rest.push(a);
+        }
+    }
+    let args = parse_args(rest.into_iter());
+    let module = build_module_or_exit(&args.source, args.set, args.from_ir, args.no_opt, 2);
+    if let Some(dir) = &emit {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("brc: cannot create {dir}: {e}");
+            exit(1)
+        }
+    }
+    let train = args.train.as_deref().unwrap_or(&args.input);
+    let (ok, _) = certify_one(
+        &module,
+        train,
+        "prove",
+        emit.as_deref().map(std::path::Path::new),
+    );
+    exit(if ok { 0 } else { 1 })
+}
+
+/// `brc check ...` — independent certificate re-checking.
+fn cmd_check(argv: impl Iterator<Item = String>) -> ! {
+    let argv: Vec<String> = argv.collect();
+    if argv.iter().any(|a| a == "--tamper-demo") {
+        cmd_tamper_demo();
+    }
+    let Some(path) = argv.iter().find(|a| !a.starts_with('-')) else {
+        bad_args(format_args!("check needs a certificate file"))
+    };
+    let text = String::from_utf8_lossy(&read(path)).into_owned();
+    match br_analysis::cert::check(&text) {
+        Ok(c) => {
+            println!(
+                "check: certificate accepted: func {} var r{} {} class(es) sig {:016x}",
+                c.func_name, c.var.0, c.classes, c.sig
+            );
+            exit(0)
+        }
+        Err(e @ br_analysis::CertError::Parse(_)) => {
+            eprintln!("brc: [BR0301] certificate unparseable: {e}");
+            exit(2)
+        }
+        Err(e) => {
+            eprintln!("brc: [BR0301] certificate rejected: {e}");
+            exit(1)
+        }
+    }
 }
 
 /// `brc adapt [SCENARIO]` — race the adaptive runtime against a frozen
@@ -813,6 +1340,14 @@ fn main() {
         Some("validate") => {
             argv.next();
             cmd_validate(argv);
+        }
+        Some("prove") => {
+            argv.next();
+            cmd_prove(argv);
+        }
+        Some("check") => {
+            argv.next();
+            cmd_check(argv);
         }
         Some("adapt") => {
             argv.next();
