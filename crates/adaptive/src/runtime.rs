@@ -28,9 +28,11 @@ use std::collections::HashMap;
 
 use br_ir::{FuncId, Module, SeqId, Terminator};
 use br_reorder::apply::apply_reordering;
+use br_reorder::dispatch::{apply_dispatch, check_dispatch, emit_dispatch, plan_dispatch};
 use br_reorder::emit::emit_reordered;
 use br_reorder::profile::plan_ranges;
 use br_reorder::validate::check_ordering;
+use br_reorder::DispatchPlan;
 use br_reorder::{
     certify_sequence, detect_all, instrument_module, plan_for_profile, profiles_from_run,
     DetectedSequence, Ordering, SequenceCertificate, SequencePlan, SequenceProfile, Stage,
@@ -54,6 +56,13 @@ pub struct AdaptOptions {
     pub min_gain: f64,
     /// Use the exhaustive ordering search when re-planning.
     pub exhaustive: bool,
+    /// Heuristic Set IV at swap time: when the DP comparison tree or the
+    /// jump table strictly beats the selected chain ordering under the
+    /// live profile, deploy that structure instead. Drift gating and the
+    /// `min_gain` comparison still run on chain costs (a conservative
+    /// overestimate of what actually gets deployed), so turning this on
+    /// can only lower the cost of an admitted swap, never admit more.
+    pub opt_tree: bool,
 }
 
 impl Default for AdaptOptions {
@@ -66,6 +75,7 @@ impl Default for AdaptOptions {
             thresholds: DriftThresholds::default(),
             min_gain: 0.05,
             exhaustive: false,
+            opt_tree: false,
         }
     }
 }
@@ -167,7 +177,9 @@ impl AdaptiveRuntime {
                 let Some(plan) = plan_for_profile(&s.seq, profile, opts.exhaustive) else {
                     continue;
                 };
-                if plan.improves() && try_swap(&mut module, &pristine, s, &plan).is_ok() {
+                if plan.improves()
+                    && try_swap(&mut module, &pristine, s, &plan, opts.opt_tree).is_ok()
+                {
                     s.deployed = Some(plan.ordering);
                 }
             }
@@ -306,7 +318,7 @@ impl EpochHook for EpochController<'_> {
             };
             let deployed_cost = plan.cost_of_deployed(s.deployed.as_ref());
             if plan.ordering.cost < deployed_cost * (1.0 - self.opts.min_gain)
-                && try_swap(module, self.pristine, s, &plan).is_ok()
+                && try_swap(module, self.pristine, s, &plan, self.opts.opt_tree).is_ok()
             {
                 s.deployed = Some(plan.ordering);
                 mutated = true;
@@ -326,7 +338,11 @@ impl EpochHook for EpochController<'_> {
 /// deterministic function of exactly these, so two swaps that agree here
 /// produce behaviourally identical replicas and can share a proof
 /// certificate.
-fn ordering_key(items: &[br_reorder::OrderItem], ordering: &Ordering) -> u64 {
+fn ordering_key(
+    items: &[br_reorder::OrderItem],
+    ordering: &Ordering,
+    dispatch: Option<&DispatchPlan>,
+) -> u64 {
     let mut d = String::new();
     for it in items {
         d.push_str(&format!(
@@ -343,19 +359,41 @@ fn ordering_key(items: &[br_reorder::OrderItem], ordering: &Ordering) -> u64 {
         d.push_str(&format!("{i},"));
     }
     d.push_str(&format!("|{}", ordering.default_target.0));
+    // The dispatch plan itself is a deterministic function of the items
+    // (already hashed above) and the process-wide cost model, so the
+    // deployed structure kind is enough to separate the replicas.
+    if let Some(p) = dispatch {
+        d.push_str(&format!("|{}", p.structure()));
+    }
     br_analysis::cert::fingerprint(&d)
 }
 
-/// Splice one replica for `plan` into `f` (the live function).
-fn splice(f: &mut br_ir::Function, s: &SeqState, plan: &SequencePlan) {
+/// Splice one replica for `plan` into `f` (the live function) — the
+/// chain ordering, or the Set IV dispatch structure when one is given.
+fn splice(
+    f: &mut br_ir::Function,
+    s: &SeqState,
+    plan: &SequencePlan,
+    dispatch: Option<&DispatchPlan>,
+) {
     if s.swapped {
         // The head lost its compare at the first swap; later swaps only
         // append a fresh replica and retarget the head's jump (the old
         // replica becomes unreachable and is simply carried along).
-        let emitted = emit_reordered(f, &s.seq, &plan.items, &plan.ordering);
+        let emitted = match dispatch {
+            Some(p) => emit_dispatch(f, &s.seq, &plan.items, p),
+            None => emit_reordered(f, &s.seq, &plan.items, &plan.ordering),
+        };
         f.block_mut(s.seq.head).term = Terminator::Jump(emitted.entry);
     } else {
-        apply_reordering(f, &s.seq, &plan.items, &plan.ordering);
+        match dispatch {
+            Some(p) => {
+                apply_dispatch(f, &s.seq, &plan.items, p);
+            }
+            None => {
+                apply_reordering(f, &s.seq, &plan.items, &plan.ordering);
+            }
+        }
     }
 }
 
@@ -375,6 +413,7 @@ fn try_swap(
     pristine: &Module,
     s: &mut SeqState,
     plan: &SequencePlan,
+    opt_tree: bool,
 ) -> Result<(), StageFailure> {
     if let Err(details) = check_ordering(&plan.items, &plan.ordering) {
         s.aborted += 1;
@@ -385,7 +424,27 @@ fn try_swap(
             details,
         });
     }
-    let key = ordering_key(&plan.items, &plan.ordering);
+    // Set IV: a comparison tree or jump table replaces the chain only
+    // when it is strictly cheaper under the live profile, and it passes
+    // the same structural check the offline pipeline runs before the
+    // prover ever sees it.
+    let dispatch = if opt_tree {
+        plan_dispatch(&plan.items).filter(|d| d.cost() + 1e-9 < plan.ordering.cost)
+    } else {
+        None
+    };
+    if let Some(d) = &dispatch {
+        if let Err(details) = check_dispatch(&plan.items, d) {
+            s.aborted += 1;
+            return Err(StageFailure {
+                stage: Stage::Order,
+                func: s.func,
+                head: Some(s.seq.head),
+                details,
+            });
+        }
+    }
+    let key = ordering_key(&plan.items, &plan.ordering, dispatch.as_ref());
     if let Some(cert) = s.certs.get(&key) {
         // Certificate re-check admission. A corrupted or forged
         // certificate fails here, *before* the function is touched.
@@ -401,7 +460,7 @@ fn try_swap(
                 ],
             });
         }
-        splice(module.function_mut(s.func), s, plan);
+        splice(module.function_mut(s.func), s, plan, dispatch.as_ref());
         s.cert_admissions += 1;
         s.swapped = true;
         s.swaps += 1;
@@ -410,7 +469,7 @@ fn try_swap(
     let f = module.function_mut(s.func);
     let pre = f.clone();
     let replica_start = f.blocks.len() as u32;
-    splice(f, s, plan);
+    splice(f, s, plan, dispatch.as_ref());
     // Prove the new replica equivalent to the *pristine* chain. With
     // `replica_start` at the pre-swap block count, earlier replicas are
     // outside the walk domain, so repeated swaps cannot compound error.
@@ -484,7 +543,7 @@ mod tests {
         let s = &mut seqs[0];
         let mut plan = some_plan(s);
         plan.ordering.explicit = vec![0, 0];
-        let failure = try_swap(module, pristine, s, &plan).unwrap_err();
+        let failure = try_swap(module, pristine, s, &plan, false).unwrap_err();
         assert_eq!(failure.stage, Stage::Order);
         assert_eq!(module.function(s.func), before.function(s.func));
         assert_eq!(s.aborted, 1);
@@ -516,7 +575,7 @@ mod tests {
         let t = plan.items[i].target;
         plan.items[i].target = plan.items[j].target;
         plan.items[j].target = t;
-        let failure = try_swap(module, pristine, s, &plan).unwrap_err();
+        let failure = try_swap(module, pristine, s, &plan, false).unwrap_err();
         assert_eq!(failure.stage, Stage::Emit, "{failure}");
         assert_eq!(
             module.function(s.func),
@@ -541,7 +600,7 @@ mod tests {
         } = &mut rt;
         let s = &mut seqs[0];
         let plan = some_plan(s);
-        try_swap(module, pristine, s, &plan).expect("first swap validates");
+        try_swap(module, pristine, s, &plan, false).expect("first swap validates");
         assert!(s.swapped);
         assert_eq!(s.certs.len(), 1, "first swap caches its certificate");
         assert_eq!(s.cert_admissions, 0, "first swap must prove, not re-check");
@@ -551,18 +610,87 @@ mod tests {
         let n = plan_ranges(&s.seq).len();
         let counts: Vec<u64> = (1..=n as u64).collect();
         let plan2 = plan_for_profile(&s.seq, &SequenceProfile { counts }, false).expect("nonzero");
-        try_swap(module, pristine, s, &plan2).expect("re-swap validates");
+        try_swap(module, pristine, s, &plan2, false).expect("re-swap validates");
         assert_eq!(s.swaps, 2);
         assert_eq!(s.aborted, 0);
         assert_eq!(s.certs.len(), 2);
         // Oscillate back to the first ordering: it was already proven,
         // so admission is a certificate re-check, not a fresh proof.
-        try_swap(module, pristine, s, &plan).expect("re-deployment re-checks");
+        try_swap(module, pristine, s, &plan, false).expect("re-deployment re-checks");
         assert_eq!(s.swaps, 3);
         assert_eq!(s.cert_admissions, 1, "third swap admits on the cached cert");
         assert_eq!(s.certs.len(), 2, "no new certificate for a proven ordering");
         // The thrice-swapped module still behaves like the original.
         let input = b"words and\ttabs\nmore words  here\n";
+        let base = br_vm::run(&m, input, &VmOptions::default()).unwrap();
+        let got = br_vm::run(&rt.module, input, &VmOptions::default()).unwrap();
+        assert_eq!(base.output, got.output);
+        assert_eq!(base.exit, got.exit);
+    }
+
+    /// Ten contiguous singleton cases: dense and, under a flat profile,
+    /// exactly the shape where Set IV deploys a jump table.
+    const DENSE: &str = "
+        int main() {
+            int c; int k; k = 0;
+            c = getchar();
+            while (c != -1) {
+                if (c == 'a') k += 1;
+                else if (c == 'b') k += 2;
+                else if (c == 'c') k += 3;
+                else if (c == 'd') k += 4;
+                else if (c == 'e') k += 5;
+                else if (c == 'f') k += 6;
+                else if (c == 'g') k += 7;
+                else if (c == 'h') k += 8;
+                else if (c == 'i') k += 9;
+                else if (c == 'j') k += 10;
+                else k += 11;
+                c = getchar();
+            }
+            putint(k);
+            return 0;
+        }";
+
+    #[test]
+    fn opt_tree_swap_deploys_a_proof_carrying_dispatch() {
+        let mut m = compile(DENSE, &Options::default()).expect("compiles");
+        br_opt::optimize(&mut m);
+        let mut rt = AdaptiveRuntime::new(&m, None, &AdaptOptions::default()).unwrap();
+        assert_eq!(rt.sequence_count(), 1);
+        let AdaptiveRuntime {
+            module,
+            pristine,
+            seqs,
+            ..
+        } = &mut rt;
+        let s = &mut seqs[0];
+        let n = plan_ranges(&s.seq).len();
+        let plan = plan_for_profile(
+            &s.seq,
+            &SequenceProfile {
+                counts: vec![10; n],
+            },
+            false,
+        )
+        .expect("nonzero profile");
+        try_swap(module, pristine, s, &plan, true).expect("dispatch swap proves");
+        assert!(
+            module
+                .function(s.func)
+                .blocks
+                .iter()
+                .any(|b| matches!(b.term, Terminator::IndirectJump { .. })),
+            "a flat dense profile must deploy a jump table"
+        );
+        assert_eq!(s.certs.len(), 1, "the dispatch proof is cached");
+        // Re-deploying the same plan admits by re-checking the cached
+        // certificate — a brcert v2 through the independent checker.
+        try_swap(module, pristine, s, &plan, true).expect("re-deployment re-checks");
+        assert_eq!(s.cert_admissions, 1);
+        // The swapped module still behaves like the original, including
+        // on bytes outside the table window.
+        let input = b"abcjihgfed XYZ\n0129~";
         let base = br_vm::run(&m, input, &VmOptions::default()).unwrap();
         let got = br_vm::run(&rt.module, input, &VmOptions::default()).unwrap();
         assert_eq!(base.output, got.output);
@@ -581,14 +709,14 @@ mod tests {
         } = &mut rt;
         let s = &mut seqs[0];
         let plan = some_plan(s);
-        try_swap(module, pristine, s, &plan).expect("first swap proves");
+        try_swap(module, pristine, s, &plan, false).expect("first swap proves");
         // Corrupt the cached certificate (any semantic edit; here the
         // version line, which also breaks the signature).
         for cert in s.certs.values_mut() {
             cert.text = cert.text.replacen("brcert v1", "brcert v9", 1);
         }
         let before = module.function(s.func).clone();
-        let failure = try_swap(module, pristine, s, &plan).unwrap_err();
+        let failure = try_swap(module, pristine, s, &plan, false).unwrap_err();
         assert!(
             failure.details.iter().any(|d| d.contains("BR0301")),
             "{failure}"

@@ -33,10 +33,19 @@
 
 use std::collections::BTreeSet;
 
-use br_ir::{parse_module, BlockId, Cond, Function, Inst, Operand, Reg, Terminator};
+use br_ir::{parse_module, BinOp, BlockId, Cond, Function, Inst, Operand, Reg, Terminator};
 
 /// Certificate format version tag (first line of every certificate).
 pub const VERSION: &str = "brcert v1";
+
+/// Version tag for certificates whose replica contains an indirect
+/// dispatch (a Set IV jump table). Identical to [`VERSION`] except for
+/// one extra header line, `temps N`, after `prologue`: the first
+/// register number the emitter created for dispatch index computation.
+/// The checker evaluates `sub tN, var, base` into such a register
+/// concretely and follows the indirect jump through its table — chain
+/// and pure-tree certificates never need this and stay `brcert v1`.
+pub const VERSION_V2: &str = "brcert v2";
 
 /// Why a certificate was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -87,6 +96,10 @@ pub struct CheckedCert {
     pub replica_start: u32,
     /// Instructions of the head prologue both versions share.
     pub prologue: usize,
+    /// First register number treated as a dispatch temporary when
+    /// walking the replica (`u32::MAX` for v1 certificates: no
+    /// indirect dispatch).
+    pub dispatch_temps: u32,
     /// Declared sequence exits.
     pub exits: BTreeSet<BlockId>,
     /// Number of value classes checked.
@@ -166,8 +179,11 @@ pub fn check(text: &str) -> Result<CheckedCert, CertError> {
 
     // 2. Header fields, in fixed order.
     let mut lines = text[..body_end].lines();
-    if lines.next() != Some(VERSION) {
-        return Err(perr(format!("version line is not `{VERSION}`")));
+    let version = lines.next();
+    if version != Some(VERSION) && version != Some(VERSION_V2) {
+        return Err(perr(format!(
+            "version line is neither `{VERSION}` nor `{VERSION_V2}`"
+        )));
     }
     let func_name = take(&mut lines, "func")?.to_string();
     let var = Reg(num(
@@ -179,6 +195,11 @@ pub fn check(text: &str) -> Result<CheckedCert, CertError> {
     let head = BlockId(num(take(&mut lines, "head")?, "head block")?);
     let replica_start: u32 = num(take(&mut lines, "replica")?, "replica start")?;
     let prologue: usize = num(take(&mut lines, "prologue")?, "prologue length")?;
+    let dispatch_temps: u32 = if version == Some(VERSION_V2) {
+        num(take(&mut lines, "temps")?, "dispatch temp threshold")?
+    } else {
+        u32::MAX
+    };
     let mut exit_fields = take(&mut lines, "exits")?.split(' ');
     let n_exits: usize = num(
         exit_fields.next().ok_or_else(|| perr("empty exits line"))?,
@@ -314,6 +335,7 @@ pub fn check(text: &str) -> Result<CheckedCert, CertError> {
                     var,
                     head,
                     prologue,
+                    dispatch_temps,
                     replica_start,
                     &exits,
                     v,
@@ -329,6 +351,7 @@ pub fn check(text: &str) -> Result<CheckedCert, CertError> {
         head,
         replica_start,
         prologue,
+        dispatch_temps,
         exits,
         classes: classes.len(),
         original_text,
@@ -383,7 +406,11 @@ struct WalkResult {
 /// variable bound to `value`, collecting the side-effect trace, until a
 /// stop condition fires: in replica mode (`boundary = Some(b)`)
 /// entering any block below `b`; in original mode (`stop`) reaching the
-/// given end. Tracks the first declared exit entered.
+/// given end. Tracks the first declared exit entered. Registers
+/// numbered `>= temps` are dispatch temporaries: a `sub` of the tested
+/// variable into one is evaluated concretely (and kept out of the
+/// trace, like the compares) so a following indirect jump can be
+/// followed through its table.
 #[allow(clippy::too_many_arguments)]
 fn concrete_walk(
     f: &Function,
@@ -391,6 +418,7 @@ fn concrete_walk(
     start_inst: usize,
     var: Reg,
     value: i64,
+    temps: u32,
     boundary: Option<u32>,
     stop: Option<&WalkEnd>,
     exits: &BTreeSet<BlockId>,
@@ -400,6 +428,9 @@ fn concrete_walk(
     // against a constant); `None` otherwise.
     let mut cc: Option<(i64, i64)> = None;
     let mut var_valid = true;
+    // Dispatch-index binding: `Some((t, i))` when register `t` holds
+    // the concrete index value `i`.
+    let mut sub: Option<(Reg, i64)> = None;
     let mut trace = Vec::new();
     let mut first_exit = None;
     let mut block = start;
@@ -452,12 +483,23 @@ fn concrete_walk(
                         }
                     };
                 }
+                Inst::Bin {
+                    op: BinOp::Sub,
+                    dst,
+                    lhs: Operand::Reg(r),
+                    rhs: Operand::Imm(base),
+                } if dst.0 >= temps && *r == var && var_valid => {
+                    sub = Some((*dst, value.wrapping_sub(*base)));
+                }
                 other => {
                     if matches!(other, Inst::Call { .. }) {
                         cc = None;
                     }
                     if other.def() == Some(var) {
                         var_valid = false;
+                    }
+                    if sub.is_some_and(|(t, _)| other.def() == Some(t)) {
+                        sub = None;
                     }
                     trace.push(format!("{other:?}"));
                 }
@@ -493,8 +535,20 @@ fn concrete_walk(
                     first_exit,
                 });
             }
-            Terminator::IndirectJump { .. } => {
-                return Err("walk reached an indirect jump".to_string());
+            Terminator::IndirectJump { index, targets } => {
+                let Some(slot) = sub.and_then(|(t, i)| (t == *index).then_some(i)) else {
+                    return Err("walk reached an indirect jump with no evaluable index".into());
+                };
+                let slot = usize::try_from(slot)
+                    .ok()
+                    .filter(|&s| s < targets.len())
+                    .ok_or_else(|| {
+                        format!(
+                            "indirect jump index {slot} outside table of {} slots",
+                            targets.len()
+                        )
+                    })?;
+                block = targets[slot];
             }
         }
     }
@@ -521,6 +575,7 @@ fn check_value(
     var: Reg,
     head: BlockId,
     prologue: usize,
+    dispatch_temps: u32,
     replica_start: u32,
     exits: &BTreeSet<BlockId>,
     value: i64,
@@ -533,17 +588,20 @@ fn check_value(
         prologue,
         var,
         value,
+        dispatch_temps,
         Some(replica_start),
         None,
         exits,
     )
     .map_err(|d| werr(format!("reordered: {d}")))?;
+    // The original never contains emitter-created dispatch temporaries.
     let old = concrete_walk(
         original,
         head,
         prologue,
         var,
         value,
+        u32::MAX,
         None,
         Some(&new.end),
         exits,

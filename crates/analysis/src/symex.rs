@@ -350,18 +350,34 @@ fn diverging_values(e: &ValidationError) -> Option<IntervalSet> {
     }
 }
 
-/// Render the proof as a [`crate::cert`] artifact.
+/// Render the proof as a [`crate::cert`] artifact. Certificates for
+/// replicas containing an indirect dispatch (a Set IV jump table) are
+/// rendered as `brcert v2` with the extra `temps` header the checker's
+/// concrete walker needs; everything else stays `brcert v1`.
 fn render_certificate(chk: &EquivalenceCheck, proof: &crate::validate::EquivalenceProof) -> String {
     let orig_text = print_function(chk.original);
     let reord_text = print_function(chk.reordered);
+    let dispatches = (chk.replica_start..chk.reordered.blocks.len() as u32).any(|b| {
+        matches!(
+            chk.reordered.block(br_ir::BlockId(b)).term,
+            br_ir::Terminator::IndirectJump { .. }
+        )
+    });
     let mut s = String::new();
-    s.push_str(crate::cert::VERSION);
+    s.push_str(if dispatches {
+        crate::cert::VERSION_V2
+    } else {
+        crate::cert::VERSION
+    });
     s.push('\n');
     s.push_str(&format!("func {}\n", chk.original.name));
     s.push_str(&format!("var r{}\n", chk.var.0));
     s.push_str(&format!("head {}\n", chk.head.0));
     s.push_str(&format!("replica {}\n", chk.replica_start));
     s.push_str(&format!("prologue {}\n", proof.prologue));
+    if dispatches {
+        s.push_str(&format!("temps {}\n", chk.original.num_regs));
+    }
     s.push_str(&format!("exits {}", chk.exits.len()));
     for e in &chk.exits {
         s.push_str(&format!(" {}", e.0));
@@ -483,6 +499,76 @@ mod tests {
         assert_eq!(checked.sig, proof.sig);
         assert_eq!(checked.func_name, "t");
         assert_eq!(checked.classes, proof.value_classes);
+    }
+
+    /// A Set IV jump-table replica for [`chain`]: bounds checks, a
+    /// `sub` into a fresh dispatch temp, and an `ijmp` over `[t1, t2]`.
+    fn table_dispatch(
+        f: &Function,
+        var: Reg,
+        head: BlockId,
+        t1: BlockId,
+        t2: BlockId,
+        dflt: BlockId,
+    ) -> (Function, u32) {
+        let mut g = f.clone();
+        let temp = g.new_reg();
+        let replica_start = g.blocks.len() as u32;
+        let [d1, d2] = [1, 2].map(|i: u32| BlockId(replica_start + i));
+        let d0 = g.add_block(Block::new(Terminator::branch(Cond::Lt, dflt, d1)));
+        g.block_mut(d0).insts.push(cmp(var, 0));
+        let d1 = g.add_block(Block::new(Terminator::branch(Cond::Gt, dflt, d2)));
+        g.block_mut(d1).insts.push(cmp(var, 1));
+        let d2 = g.add_block(Block::new(Terminator::IndirectJump {
+            index: temp,
+            targets: vec![t1, t2],
+        }));
+        g.block_mut(d2).insts.push(Inst::Bin {
+            op: BinOp::Sub,
+            dst: temp,
+            lhs: Operand::Reg(var),
+            rhs: Operand::Imm(0),
+        });
+        g.block_mut(head).insts.clear();
+        g.block_mut(head).term = Terminator::Jump(d0);
+        (g, replica_start)
+    }
+
+    #[test]
+    fn proves_and_certifies_a_jump_table_dispatch() {
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        let (g, rs) = table_dispatch(&f, var, head, t1, t2, dflt);
+        let proof = prove_sequence(&request(&f, &g, var, head, [t1, t2, dflt], rs)).unwrap();
+        assert_eq!(proof.fallbacks, 0);
+        assert!(
+            proof.certificate.starts_with(crate::cert::VERSION_V2),
+            "a dispatch replica must render a v2 certificate"
+        );
+        assert!(proof.certificate.contains("\ntemps "));
+        // Double entry: the independent checker follows the table.
+        let checked = crate::cert::check(&proof.certificate).expect("checker accepts v2");
+        assert_eq!(checked.sig, proof.sig);
+        assert_eq!(checked.dispatch_temps, f.num_regs);
+
+        // Semantic tampering: swap the two table slots inside the
+        // embedded reordered function and re-sign. The signature is
+        // now valid, but a representative walk exits to the wrong
+        // block and the checker must refuse.
+        let body = proof
+            .certificate
+            .rsplit_once("sig ")
+            .map(|(b, _)| b)
+            .unwrap();
+        let tampered_body = body.replace("ijmp r1, [b3, b4]", "ijmp r1, [b4, b3]");
+        assert_ne!(tampered_body, body, "tamper target must exist: {body}");
+        let tampered = format!(
+            "{tampered_body}sig {:016x}\n",
+            crate::cert::fingerprint(&tampered_body)
+        );
+        assert!(matches!(
+            crate::cert::check(&tampered),
+            Err(crate::cert::CertError::Walk(_))
+        ));
     }
 
     #[test]

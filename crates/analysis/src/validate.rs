@@ -21,7 +21,7 @@
 
 use std::collections::BTreeSet;
 
-use br_ir::{BlockId, Function, Inst, Operand, Reg, Terminator};
+use br_ir::{BinOp, BlockId, Function, Inst, Operand, Reg, Terminator};
 
 use crate::interval::{Interval, IntervalSet};
 
@@ -101,6 +101,14 @@ pub struct WalkSpec {
     pub cuts: BTreeSet<BlockId>,
     /// Instruction budget for the whole walk.
     pub fuel: usize,
+    /// First register number treated as a *dispatch temporary*: a
+    /// `sub tN, var, base` writing a register `>= dispatch_temps` is
+    /// control (the jump-table index computation of a Set IV dispatch),
+    /// not an effect, and lets the walker split a following
+    /// [`Terminator::IndirectJump`] on it exactly. `u32::MAX` (the
+    /// default) disables the feature: every register is an ordinary
+    /// effect target and indirect jumps end arms as frontiers.
+    pub dispatch_temps: u32,
 }
 
 impl WalkSpec {
@@ -115,6 +123,7 @@ impl WalkSpec {
             domain: None,
             cuts: BTreeSet::new(),
             fuel: 16 * 1024,
+            dispatch_temps: u32::MAX,
         }
     }
 }
@@ -140,6 +149,10 @@ struct WalkItem {
     var_valid: bool,
     cc: Cc,
     at_entry: bool,
+    /// Live dispatch-index binding: `Some((t, base))` after
+    /// `sub t, var, base` wrote a dispatch temporary, meaning
+    /// `t == var - base` on this path.
+    sub: Option<(Reg, i64)>,
 }
 
 /// Hard cap on arms, against adversarial or broken input.
@@ -161,6 +174,7 @@ pub fn explore(f: &Function, spec: &WalkSpec) -> Result<Vec<Arm>, String> {
         var_valid: true,
         cc: Cc::Unset,
         at_entry: true,
+        sub: None,
     }];
 
     while let Some(mut item) = work.pop() {
@@ -229,12 +243,29 @@ pub fn explore(f: &Function, spec: &WalkSpec) -> Result<Vec<Arm>, String> {
                             }
                         }
                     }
+                    Inst::Bin {
+                        op: BinOp::Sub,
+                        dst,
+                        lhs: Operand::Reg(r),
+                        rhs: Operand::Imm(base),
+                    } if dst.0 >= spec.dispatch_temps && *r == spec.var && item.var_valid => {
+                        // The jump-table index computation of a Set IV
+                        // dispatch. Like the compares consumed by branch
+                        // splits, it is control, not effect: it exists
+                        // only to feed the indirect jump, and the
+                        // register it writes does not exist in the
+                        // original function.
+                        item.sub = Some((*dst, *base));
+                    }
                     other => {
                         if matches!(other, Inst::Call { .. }) {
                             item.cc = Cc::Opaque;
                         }
                         if other.def() == Some(spec.var) {
                             item.var_valid = false;
+                        }
+                        if item.sub.is_some_and(|(t, _)| other.def() == Some(t)) {
+                            item.sub = None;
                         }
                         item.effects.push(other.clone());
                     }
@@ -285,6 +316,7 @@ pub fn explore(f: &Function, spec: &WalkSpec) -> Result<Vec<Arm>, String> {
                             var_valid: item.var_valid,
                             cc: item.cc,
                             at_entry: false,
+                            sub: item.sub,
                         });
                     }
                     if fall_values.is_empty() {
@@ -293,6 +325,57 @@ pub fn explore(f: &Function, spec: &WalkSpec) -> Result<Vec<Arm>, String> {
                     item.cursor = Cursor::start(*not_taken);
                     item.values = fall_values;
                     continue;
+                }
+                Terminator::IndirectJump { index, targets }
+                    if item.sub.is_some_and(|(t, _)| t == *index) =>
+                {
+                    // A Set IV jump table dispatching on `var - base`:
+                    // value `base + s` transfers to `targets[s]`. Split
+                    // the live values by contiguous runs of equal
+                    // target, exactly as a cascade of branches would.
+                    let (_, base) = item.sub.expect("guard checked the binding");
+                    let last = targets.len() as i64 - 1;
+                    let lo = base;
+                    let Some(hi) = base.checked_add(last) else {
+                        return Err(format!(
+                            "jump-table window [{base}, {base}+{last}] overflows i64"
+                        ));
+                    };
+                    let window = IntervalSet::from_intervals([Interval::new(lo, hi)]);
+                    let outside = item.values.subtract(&window);
+                    if !outside.is_empty() {
+                        // Values that would trap the VM's bounds check:
+                        // the emitter must never let them reach the
+                        // dispatch, so a walk that does is a miscompile.
+                        return Err(format!(
+                            "values {outside} reach the jump table outside its window [{lo}, {hi}]"
+                        ));
+                    }
+                    let mut s = 0usize;
+                    while s < targets.len() {
+                        let mut e = s;
+                        while e + 1 < targets.len() && targets[e + 1] == targets[s] {
+                            e += 1;
+                        }
+                        let run = IntervalSet::from_intervals([Interval::new(
+                            base + s as i64,
+                            base + e as i64,
+                        )]);
+                        let taken = item.values.intersect(&run);
+                        if !taken.is_empty() {
+                            work.push(WalkItem {
+                                cursor: Cursor::start(targets[s]),
+                                values: taken,
+                                effects: item.effects.clone(),
+                                var_valid: item.var_valid,
+                                cc: item.cc,
+                                at_entry: false,
+                                sub: item.sub,
+                            });
+                        }
+                        s = e + 1;
+                    }
+                    break;
                 }
                 Terminator::Return(_) | Terminator::IndirectJump { .. } => {
                     arms.push(Arm {
@@ -796,10 +879,13 @@ pub fn check_equivalence(chk: &EquivalenceCheck) -> Result<EquivalenceProof, Vec
         }
     }
 
-    // 3. Partition the replica.
+    // 3. Partition the replica. Registers past the original's count are
+    // necessarily emitter-created dispatch temporaries, which is what
+    // lets the walker split a Set IV jump table soundly.
     let mut new_spec = WalkSpec::new(chk.var, chk.head, chk.exits.clone());
     new_spec.entry_inst = prologue;
     new_spec.cuts.insert(chk.head);
+    new_spec.dispatch_temps = chk.original.num_regs;
     let mut domain: BTreeSet<BlockId> = (chk.replica_start..chk.reordered.blocks.len() as u32)
         .map(BlockId)
         .collect();
@@ -1269,6 +1355,138 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| matches!(e, ValidationError::TailMismatch { .. })));
+    }
+
+    /// Hand-apply a Set IV jump-table dispatch to [`chain`]: the head
+    /// jumps into bounds checks, a `sub` into a fresh temp, and an
+    /// `ijmp` over `[t1, t2]` (window `[0, 1]`).
+    fn table_dispatch(
+        f: &Function,
+        var: Reg,
+        head: BlockId,
+        t1: BlockId,
+        t2: BlockId,
+        dflt: BlockId,
+    ) -> (Function, u32) {
+        let mut g = f.clone();
+        let temp = g.new_reg();
+        let replica_start = g.blocks.len() as u32;
+        let [d1, d2] = [1, 2].map(|i: u32| BlockId(replica_start + i));
+        let d0 = g.add_block(Block::new(Terminator::branch(Cond::Lt, dflt, d1)));
+        g.block_mut(d0).insts.push(cmp(var, 0));
+        let d1 = g.add_block(Block::new(Terminator::branch(Cond::Gt, dflt, d2)));
+        g.block_mut(d1).insts.push(cmp(var, 1));
+        let d2 = g.add_block(Block::new(Terminator::IndirectJump {
+            index: temp,
+            targets: vec![t1, t2],
+        }));
+        g.block_mut(d2).insts.push(Inst::Bin {
+            op: br_ir::BinOp::Sub,
+            dst: temp,
+            lhs: Operand::Reg(var),
+            rhs: Operand::Imm(0),
+        });
+        g.block_mut(head).insts.clear();
+        g.block_mut(head).term = Terminator::Jump(d0);
+        (g, replica_start)
+    }
+
+    #[test]
+    fn accepts_jump_table_dispatch() {
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        let (g, replica_start) = table_dispatch(&f, var, head, t1, t2, dflt);
+        let proof = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap();
+        assert_eq!(proof.exits, 3);
+        assert!(proof.value_classes >= 3);
+    }
+
+    #[test]
+    fn rejects_jump_table_with_swapped_slots() {
+        let (mut f, var, head, [t1, t2, dflt]) = chain();
+        for (i, t) in [t1, t2, dflt].into_iter().enumerate() {
+            f.block_mut(t).term = Terminator::Return(Some(Operand::Imm(i as i64)));
+        }
+        let (mut g, replica_start) = table_dispatch(&f, var, head, t1, t2, dflt);
+        let d2 = BlockId(replica_start + 2);
+        if let Terminator::IndirectJump { targets, .. } = &mut g.block_mut(d2).term {
+            targets.swap(0, 1);
+        } else {
+            panic!("dispatch block must end in an indirect jump");
+        }
+        let errors = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap_err();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ValidationError::TargetMismatch { .. })));
+        assert!(
+            errors.iter().all(|e| !e.blames_original()),
+            "the corruption is in the replica: {errors:?}"
+        );
+    }
+
+    #[test]
+    fn unguarded_jump_table_values_fail_the_walk() {
+        // Strip the bounds checks: values outside the table window now
+        // reach the dispatch, which the VM would trap on. The walker
+        // must refuse rather than invent a partition.
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        let (mut g, replica_start) = table_dispatch(&f, var, head, t1, t2, dflt);
+        let d2 = BlockId(replica_start + 2);
+        g.block_mut(head).term = Terminator::Jump(d2);
+        let errors = check_equivalence(&EquivalenceCheck {
+            original: &f,
+            reordered: &g,
+            var,
+            head,
+            exits: BTreeSet::from([t1, t2, dflt]),
+            replica_start,
+            expected: plan(t1, t2, dflt),
+        })
+        .unwrap_err();
+        assert!(
+            errors.iter().any(|e| matches!(
+                e,
+                ValidationError::Walk {
+                    side: Side::Reordered,
+                    ..
+                }
+            )),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn indirect_jump_is_a_frontier_without_dispatch_temps() {
+        // The original-side walk never has dispatch temporaries
+        // configured, so even a well-formed dispatch ends as a frontier
+        // there — the binding must not leak into ordinary walks.
+        let (f, var, head, [t1, t2, dflt]) = chain();
+        let (g, replica_start) = table_dispatch(&f, var, head, t1, t2, dflt);
+        let spec = WalkSpec::new(var, head, BTreeSet::from([t1, t2, dflt]));
+        let arms = explore(&g, &spec).unwrap();
+        let d2 = BlockId(replica_start + 2);
+        assert!(
+            arms.iter()
+                .any(|a| matches!(a.end, ArmEnd::Frontier(c) if c.block == d2)),
+            "in-window values must stop at the dispatch block: {arms:?}"
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   (Section 5) and the per-range exit probabilities.
 //! * [`order`] — cost model and ordering selection (Section 6,
 //!   Theorem 3, Equations 1–4, Figure 8) plus an exhaustive oracle.
+//! * [`dispatch`] — heuristic Set IV: DP-optimal comparison trees and
+//!   bounds-checked jump tables as alternative dispatch structures,
+//!   selected per sequence by min-of-three against the chain.
 //! * [`emit`] — rebuilding the reordered sequence: Form 4 intra-condition
 //!   branch ordering and redundant-comparison elimination (Section 7,
 //!   Figure 9), side-effect duplication, default-target tail duplication.
@@ -59,6 +62,7 @@
 pub mod apply;
 pub mod common;
 pub mod detect;
+pub mod dispatch;
 pub mod emit;
 pub mod order;
 pub mod pipeline;
@@ -67,6 +71,7 @@ pub mod range;
 pub mod validate;
 
 pub use detect::{detect_sequences, DetectedCondition, DetectedSequence};
+pub use dispatch::{plan_dispatch, DispatchPlan, DispatchStructure};
 pub use order::{select_ordering, OrderItem, Ordering};
 pub use pipeline::{
     plan_for_profile, reorder_module, reorder_module_with_inputs, ReorderOptions, ReorderReport,

@@ -10,6 +10,7 @@ use crate::common::{
     apply_common_reordering, detect_common, expected_cost, select_common_order, CommonSeq,
 };
 use crate::detect::DetectedSequence;
+use crate::dispatch::{check_dispatch, plan_dispatch, DispatchStructure};
 use crate::order::{evaluate_cost, exhaustive_ordering, select_ordering, OrderItem, Ordering};
 use crate::profile::{
     detect_all, instrument_module, order_items, profiles_from_run, SequenceProfile,
@@ -47,6 +48,12 @@ pub struct ReorderOptions {
     /// recorded in the report, ready for independent re-checking with
     /// `br_analysis::cert::check`. Implies [`ReorderOptions::validate`].
     pub certify: bool,
+    /// Heuristic Set IV: besides the chain orderings, also plan a
+    /// DP-optimal comparison tree and (on dense windows) a jump table
+    /// per sequence, and deploy whichever of the three candidates has
+    /// the lowest expected cost under the sequence's profile. Ties keep
+    /// the chain, so Set IV never plans worse than Set III.
+    pub opt_tree: bool,
 }
 
 /// What happened to one detected sequence.
@@ -86,6 +93,9 @@ pub enum SequenceKind {
 pub struct SequenceRecord {
     /// Which transformation detected the sequence.
     pub kind: SequenceKind,
+    /// Which dispatch structure was deployed ([`DispatchStructure::Chain`]
+    /// unless Set IV selected a tree or a table for this sequence).
+    pub structure: DispatchStructure,
     /// Function the sequence lives in.
     pub func: FuncId,
     /// Head block (in the pre-transformation module).
@@ -226,6 +236,7 @@ pub fn reorder_module_with_inputs(
         };
         let mut record = SequenceRecord {
             kind: SequenceKind::RangeConditions,
+            structure: DispatchStructure::Chain,
             func: *fid,
             head: seq.head,
             original_branches: seq.branch_len(),
@@ -255,11 +266,41 @@ pub fn reorder_module_with_inputs(
                 continue;
             }
         }
-        if ordering.cost + 1e-9 < original_cost {
+        // Set IV: a tree or table candidate must strictly beat the chain
+        // ordering (ties keep the chain), so it can never plan worse.
+        let dispatch = if options.opt_tree {
+            plan_dispatch(&items).filter(|d| d.cost() + 1e-9 < ordering.cost)
+        } else {
+            None
+        };
+        let dispatch = match dispatch {
+            Some(d) if do_validate => {
+                if let Err(problems) = check_dispatch(&items, &d) {
+                    summary.failures.push(StageFailure {
+                        stage: Stage::Order,
+                        func: *fid,
+                        head: Some(seq.head),
+                        details: problems,
+                    });
+                    sequences.push(record);
+                    continue;
+                }
+                Some(d)
+            }
+            other => other,
+        };
+        let new_cost = dispatch.as_ref().map_or(ordering.cost, |d| d.cost());
+        if new_cost + 1e-9 < original_cost {
             let f = module.function_mut(*fid);
             let pre = do_validate.then(|| f.clone());
             let replica_start = f.blocks.len() as u32;
-            let emitted = crate::apply::apply_reordering(f, seq, &items, &ordering);
+            let emitted = match &dispatch {
+                Some(d) => {
+                    record.structure = d.structure();
+                    crate::dispatch::apply_dispatch(f, seq, &items, d)
+                }
+                None => crate::apply::apply_reordering(f, seq, &items, &ordering),
+            };
             if let Some(pre) = &pre {
                 if options.certify {
                     match certify_sequence(*fid, pre, f, seq, replica_start) {
@@ -289,7 +330,7 @@ pub fn reorder_module_with_inputs(
                 new_branches: emitted.branches,
                 new_compares: emitted.compares,
                 original_cost,
-                new_cost: ordering.cost,
+                new_cost,
             };
         } else {
             record.outcome = SequenceOutcome::NoImprovement;
@@ -302,6 +343,7 @@ pub fn reorder_module_with_inputs(
         let total: u64 = counts.iter().sum();
         let mut record = SequenceRecord {
             kind: SequenceKind::CommonSuccessor,
+            structure: DispatchStructure::Chain,
             func: *fid,
             head: seq.head,
             original_branches: seq.conds.len() as u32,
@@ -898,6 +940,140 @@ mod multi_input_tests {
         // a constant on the mode check).
         let multi = reorder_module_with_inputs(&m, &[&a, &b], &ReorderOptions::default()).unwrap();
         assert!(multi.reordered_count() >= 2);
+    }
+}
+
+#[cfg(test)]
+mod opt_tree_tests {
+    use super::*;
+    use br_minic::{compile, Options};
+    use br_vm::run;
+
+    /// A `k`-way else-if classifier over consecutive character codes —
+    /// the widest dense partition minic's chains produce, where Set IV's
+    /// table candidate pays off on flat input.
+    fn wide_classifier(k: usize) -> Module {
+        let mut src =
+            String::from("int main() { int c; int n; n = 0; c = getchar(); while (c != -1) { ");
+        for i in 0..k {
+            if i > 0 {
+                src.push_str("else ");
+            }
+            src.push_str(&format!("if (c == {}) n = n + {}; ", 97 + i, i + 1));
+        }
+        src.push_str("else n = n + 999; c = getchar(); } putint(n); return 0; }");
+        let mut m = compile(&src, &Options::default()).expect("compiles");
+        br_opt::optimize(&mut m);
+        m
+    }
+
+    fn flat_input(k: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|i| 97 + (i % k) as u8).collect()
+    }
+
+    #[test]
+    fn set_iv_never_plans_worse_than_set_iii() {
+        let m = wide_classifier(26);
+        let train = flat_input(26, 520);
+        let base = reorder_module(&m, &train, &ReorderOptions::default()).unwrap();
+        let iv = reorder_module(
+            &m,
+            &train,
+            &ReorderOptions {
+                opt_tree: true,
+                ..ReorderOptions::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in base.sequences.iter().zip(&iv.sequences) {
+            if let (
+                SequenceOutcome::Reordered { new_cost: c3, .. },
+                SequenceOutcome::Reordered { new_cost: c4, .. },
+            ) = (&a.outcome, &b.outcome)
+            {
+                assert!(c4 <= &(c3 + 1e-9), "Set IV {c4} worse than chain {c3}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_wide_sequence_deploys_a_table_and_preserves_behaviour() {
+        let m = wide_classifier(26);
+        let train = flat_input(26, 520);
+        let test: Vec<u8> = flat_input(26, 1000)
+            .into_iter()
+            .chain(*b"!@# outside the window ~~")
+            .collect();
+        let opts = ReorderOptions {
+            opt_tree: true,
+            certify: true,
+            ..ReorderOptions::default()
+        };
+        let report = reorder_module(&m, &train, &opts).unwrap();
+        br_ir::verify_module(&report.module).unwrap();
+        assert!(
+            report
+                .sequences
+                .iter()
+                .any(|s| s.structure == DispatchStructure::Table),
+            "{:?}",
+            report.sequences
+        );
+        let summary = report.validation.as_ref().expect("certify validates");
+        assert!(summary.is_clean(), "{summary}");
+        assert!(summary.proven >= 1);
+        assert!(!summary.certificates.is_empty());
+        for cert in &summary.certificates {
+            br_analysis::cert::check(&cert.text).expect("independent checker accepts");
+        }
+        let base = run(&m, &test, &VmOptions::default()).unwrap();
+        let new = run(&report.module, &test, &VmOptions::default()).unwrap();
+        assert_eq!(base.exit, new.exit);
+        assert_eq!(base.output, new.output);
+        assert!(
+            new.stats.indirect_jumps > 0,
+            "table must dispatch at runtime"
+        );
+        assert!(
+            new.stats.cond_branches < base.stats.cond_branches,
+            "26-way flat dispatch must cut branches: {} -> {}",
+            base.stats.cond_branches,
+            new.stats.cond_branches
+        );
+    }
+
+    #[test]
+    fn skewed_profile_keeps_a_cheap_structure() {
+        // One dominant case: the chain (hot test first) is optimal, so
+        // Set IV must not degrade to a table.
+        let m = wide_classifier(26);
+        let mut train = flat_input(26, 26);
+        train.extend(std::iter::repeat_n(97 + 13, 2000));
+        let opts = ReorderOptions {
+            opt_tree: true,
+            ..ReorderOptions::default()
+        };
+        let report = reorder_module(&m, &train, &opts).unwrap();
+        br_ir::verify_module(&report.module).unwrap();
+        assert!(report
+            .sequences
+            .iter()
+            .all(|s| s.structure != DispatchStructure::Table));
+        let test = train.clone();
+        let base = run(&m, &test, &VmOptions::default()).unwrap();
+        let new = run(&report.module, &test, &VmOptions::default()).unwrap();
+        assert_eq!(base.output, new.output);
+        assert!(new.stats.insts < base.stats.insts);
+    }
+
+    #[test]
+    fn opt_tree_off_never_emits_non_chain_structures() {
+        let m = wide_classifier(26);
+        let report = reorder_module(&m, &flat_input(26, 260), &ReorderOptions::default()).unwrap();
+        assert!(report
+            .sequences
+            .iter()
+            .all(|s| s.structure == DispatchStructure::Chain));
     }
 }
 

@@ -255,6 +255,9 @@ fn write_repro(dir: &Path, finding: &Finding, reduced: Option<&Reduced>) -> io::
         Some(FaultSite::LastBranch) => "# fault last\n".to_string(),
         None => String::new(),
     };
+    // Set IV findings went through the dispatch emitter; record that so
+    // replay re-runs the pipeline with the same structures enabled.
+    let opttree_line = if set.opt_tree { "# opttree 1\n" } else { "" };
     let name = format!("{}-s{}.bir", slug(&finding.fingerprint), finding.seed);
     let path = dir.join(&name);
     let contents = format!(
@@ -267,6 +270,7 @@ fn write_repro(dir: &Path, finding: &Finding, reduced: Option<&Reduced>) -> io::
          # train {}\n\
          # input {}\n\
          {fault_line}\
+         {opttree_line}\
          # expect {}\n\
          # replay brc fuzz --replay {}\n\
          {}",
@@ -304,6 +308,7 @@ pub fn replay_file(path: &Path) -> io::Result<ReplayReport> {
     let mut input = Vec::new();
     let mut expect: Option<String> = None;
     let mut fault: Option<Option<i64>> = None; // Some(None) = last-branch
+    let mut opt_tree = false;
     let mut module_text = String::new();
     for line in contents.lines() {
         if let Some(meta) = line.strip_prefix('#') {
@@ -316,6 +321,8 @@ pub fn replay_file(path: &Path) -> io::Result<ReplayReport> {
                 expect = Some(v.to_string());
             } else if let Some(v) = meta.strip_prefix("fault ") {
                 fault = Some(v.strip_prefix("anchor=").and_then(|a| a.parse().ok()));
+            } else if let Some(v) = meta.strip_prefix("opttree ") {
+                opt_tree = v.trim() == "1";
             }
         } else {
             module_text.push_str(line);
@@ -330,6 +337,7 @@ pub fn replay_file(path: &Path) -> io::Result<ReplayReport> {
         &input,
         expect.as_deref(),
         fault,
+        opt_tree,
     ))
 }
 
@@ -346,6 +354,7 @@ fn replay_module(
     input: &[u8],
     expect: Option<&str>,
     fault: Option<Option<i64>>,
+    opt_tree: bool,
 ) -> ReplayReport {
     let vm = fuzz_vm_options();
     let mut checks = Vec::new();
@@ -397,6 +406,7 @@ fn replay_module(
         let ropts = ReorderOptions {
             vm: vm.clone(),
             validate: true,
+            opt_tree,
             ..ReorderOptions::default()
         };
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -1,4 +1,4 @@
-//! The differential oracle: one spec, three lowerings, two VMs, and the
+//! The differential oracle: one spec, four lowerings, two VMs, and the
 //! reordering pipeline, all cross-checked.
 //!
 //! Per heuristic set the oracle runs, in order:
@@ -401,10 +401,13 @@ pub fn check_spec_io(
             baseline = Some(refs.clone());
         }
 
-        // Reordering differential with the validator cross-check.
+        // Reordering differential with the validator cross-check. The
+        // set's own dispatch flag rides along, so Set IV runs exercise
+        // the optimal-tree / jump-table emitter too.
         let ropts = ReorderOptions {
             vm: vm.clone(),
             validate: true,
+            opt_tree: set.opt_tree,
             ..ReorderOptions::default()
         };
         let report = match guarded(|| reorder_module(&module, train, &ropts)) {

@@ -176,6 +176,7 @@ pub fn run_program_experiment(
 
     let reorder_opts = ReorderOptions {
         exhaustive: config.exhaustive,
+        opt_tree: config.heuristics.opt_tree,
         ..ReorderOptions::default()
     };
     let report = reorder_module(&module, training_input, &reorder_opts)

@@ -557,7 +557,7 @@ pub struct AdvisorRow {
     pub program: String,
     /// Dynamic instructions per (heuristic set, reordered?) combination,
     /// keyed in the order: (I, off), (I, on), (II, off), (II, on),
-    /// (III, off), (III, on).
+    /// (III, off), (III, on), (IV, off), (IV, on).
     pub insts: Vec<(String, u64)>,
     /// Label of the cheapest combination.
     pub best: String,
@@ -629,6 +629,186 @@ pub fn advisor(suites: &[SuiteResult]) -> String {
     out
 }
 
+/// One row of the Set IV structure report: what dispatch structures
+/// heuristic Set IV deployed for one program and what they cost.
+#[derive(Clone, Debug)]
+pub struct SetIvRow {
+    pub program: String,
+    /// Deployed structure counts over the committed sequences.
+    pub tally: br_opt::tree::StructureTally,
+    /// Expected dynamic cost of the original source order over the
+    /// committed sequences, in cost-model units weighted by training
+    /// executions.
+    pub original_units: f64,
+    /// Expected dynamic cost as deployed by Set IV.
+    pub deployed_units: f64,
+    /// Expected dynamic cost as deployed by Set III on the identical
+    /// module (Sets III and IV compile the same program text, so the
+    /// sequences pair one-to-one); `None` when the grid has no Set III
+    /// suite to compare against.
+    pub set_iii_units: Option<f64>,
+}
+
+/// Per-execution cost and weight of one sequence as deployed: the
+/// committed plan's expected cost, or `None` when the original order
+/// was kept (those sequences cost the same in every set and cancel out
+/// of cross-set comparisons).
+fn committed_cost(s: &br_reorder::pipeline::SequenceRecord) -> Option<(f64, f64, f64)> {
+    match s.outcome {
+        SequenceOutcome::Reordered {
+            original_cost,
+            new_cost,
+            ..
+        } => Some((original_cost, new_cost, s.training_executions as f64)),
+        _ => None,
+    }
+}
+
+/// Build the Set IV report rows from a sweep's suites. Empty when the
+/// grid ran no Set IV suite.
+pub fn set_iv_rows(suites: &[SuiteResult]) -> Vec<SetIvRow> {
+    let Some(iv) = suites.iter().find(|s| s.heuristics.name == "IV") else {
+        return Vec::new();
+    };
+    let iii = suites.iter().find(|s| s.heuristics.name == "III");
+    iv.programs
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            let mut tally = br_opt::tree::StructureTally::default();
+            let mut original_units = 0.0;
+            let mut deployed_units = 0.0;
+            for s in &p.report.sequences {
+                let Some((orig, new, execs)) = committed_cost(s) else {
+                    continue;
+                };
+                tally.record(s.structure.as_str());
+                original_units += orig * execs;
+                deployed_units += new * execs;
+            }
+            // Set III's deployed cost over the same sequences: its own
+            // committed cost where it reordered, the (shared) original
+            // cost where only Set IV found an improvement.
+            let set_iii_units = iii.map(|suite| {
+                let records = &suite.programs[pi].report.sequences;
+                p.report
+                    .sequences
+                    .iter()
+                    .zip(records)
+                    .filter_map(|(r4, r3)| {
+                        let (orig, _, execs) = committed_cost(r4)?;
+                        Some(match committed_cost(r3) {
+                            Some((_, new3, execs3)) => new3 * execs3,
+                            None => orig * execs,
+                        })
+                    })
+                    .sum()
+            });
+            SetIvRow {
+                program: p.name.clone(),
+                tally,
+                original_units,
+                deployed_units,
+                set_iii_units,
+            }
+        })
+        .collect()
+}
+
+/// Render the Set IV report: deployed structures per program and the
+/// expected-cost comparison against the source order and against the
+/// Theorem 3 chains of Set III.
+pub fn set_iv(suites: &[SuiteResult]) -> String {
+    let rows = set_iv_rows(suites);
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(
+        "Set IV: optimal comparison trees and jump tables vs Theorem 3 chains\n\
+         (expected cost-model units over the training run, committed sequences only)\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>6} {:>7} {:>12} {:>12} {:>12} {:>9}",
+        "Program", "chains", "trees", "tables", "orig units", "IV units", "III units", "vs III"
+    );
+    for r in &rows {
+        let iii = match r.set_iii_units {
+            Some(u) => format!("{u:>12.1}"),
+            None => format!("{:>12}", "-"),
+        };
+        let delta = match r.set_iii_units {
+            Some(u) if u > 0.0 => fmt_pct((r.deployed_units - u) / u * 100.0),
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<8} {:>7} {:>6} {:>7} {:>12.1} {:>12.1} {iii} {delta:>9}",
+            r.program,
+            r.tally.chains,
+            r.tally.trees,
+            r.tally.tables,
+            r.original_units,
+            r.deployed_units
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod set_iv_tests {
+    use super::*;
+    use crate::{run_workload, ExperimentConfig, SuiteResult};
+    use br_minic::HeuristicSet;
+
+    #[test]
+    fn set_iv_never_costs_more_than_set_iii_or_the_source_order() {
+        let programs = ["wc", "cb", "lex"];
+        let suite = |h: HeuristicSet| SuiteResult {
+            heuristics: h,
+            programs: programs
+                .iter()
+                .map(|n| {
+                    run_workload(
+                        &br_workloads::by_name(n).unwrap(),
+                        &ExperimentConfig::quick(h),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        };
+        let suites = vec![suite(HeuristicSet::SET_III), suite(HeuristicSet::SET_IV)];
+        let rows = set_iv_rows(&suites);
+        assert_eq!(rows.len(), programs.len());
+        for r in &rows {
+            assert!(
+                r.deployed_units <= r.original_units + 1e-6,
+                "{}: deployed {} > original {}",
+                r.program,
+                r.deployed_units,
+                r.original_units
+            );
+            let iii = r.set_iii_units.expect("Set III suite is in the grid");
+            assert!(
+                r.deployed_units <= iii + 1e-6,
+                "{}: Set IV {} > Set III {}",
+                r.program,
+                r.deployed_units,
+                iii
+            );
+        }
+        let text = set_iv(&suites);
+        for p in programs {
+            assert!(text.contains(p), "{text}");
+        }
+    }
+
+    #[test]
+    fn grids_without_set_iv_render_nothing() {
+        assert_eq!(set_iv(&[]), "");
+    }
+}
+
 #[cfg(test)]
 mod advisor_tests {
     use super::*;
@@ -653,7 +833,7 @@ mod advisor_tests {
         let rows = advisor_rows(&suites);
         assert_eq!(rows.len(), 2);
         for r in &rows {
-            assert_eq!(r.insts.len(), 6, "3 sets x (orig, reordered)");
+            assert_eq!(r.insts.len(), 8, "4 sets x (orig, reordered)");
             let min = r.insts.iter().map(|(_, n)| *n).min().unwrap();
             let best = r.insts.iter().find(|(k, _)| *k == r.best).unwrap();
             assert_eq!(best.1, min);

@@ -9,12 +9,24 @@
 //! | I   | `n >= 4 && nl <= 3n` | `!indirect && n >= 8`        | otherwise      |
 //! | II  | `n >= 16 && nl <= 3n`| `!indirect && n >= 8`        | otherwise      |
 //! | III | never                | never                        | always         |
+//! | IV  | never (at compile)   | never                        | always         |
 //!
 //! Set I reproduces the pcc front-end heuristics used for the SPARC
 //! IPC/20; Set II reflects the SPARC Ultra I, where the authors measured
 //! indirect jumps to be about four times more expensive and raised the
 //! threshold; Set III always produces a linear search, maximizing the
 //! reordering opportunity.
+//!
+//! Set IV is this reproduction's extension beyond the paper's Table 2:
+//! it compiles exactly like Set III (always a linear search, so the
+//! profiler sees every range exit), then the *reorderer* replaces each
+//! profiled sequence with the cheapest of the Theorem 3 chain, a
+//! minimum-expected-cost comparison tree, or a jump table — scored under
+//! a VM-measured cost model (see `br_opt::tree`). The [`opt_tree`] flag
+//! carries that downstream decision; [`HeuristicSet::choose`] itself is
+//! identical to Set III.
+//!
+//! [`opt_tree`]: HeuristicSet::opt_tree
 
 /// How a particular `switch` should be translated.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,7 +42,7 @@ pub enum Strategy {
 /// One of the paper's heuristic sets (Table 2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct HeuristicSet {
-    /// Short name for reports ("I", "II", "III").
+    /// Short name for reports ("I", "II", "III", "IV").
     pub name: &'static str,
     /// Minimum case count for an indirect jump; `None` disables them.
     pub indirect_min_cases: Option<u64>,
@@ -39,6 +51,11 @@ pub struct HeuristicSet {
     pub indirect_max_span_ratio: u64,
     /// Minimum case count for a binary search; `None` disables it.
     pub binary_min_cases: Option<u64>,
+    /// Whether the downstream reorderer should consider replacing each
+    /// profiled sequence with a DP-optimal comparison tree or jump
+    /// table (heuristic Set IV). Purely a downstream signal: it does
+    /// not affect [`HeuristicSet::choose`].
+    pub opt_tree: bool,
 }
 
 impl HeuristicSet {
@@ -48,6 +65,7 @@ impl HeuristicSet {
         indirect_min_cases: Some(4),
         indirect_max_span_ratio: 3,
         binary_min_cases: Some(8),
+        opt_tree: false,
     };
 
     /// Set II: raised indirect-jump threshold (SPARC Ultra I).
@@ -56,6 +74,7 @@ impl HeuristicSet {
         indirect_min_cases: Some(16),
         indirect_max_span_ratio: 3,
         binary_min_cases: Some(8),
+        opt_tree: false,
     };
 
     /// Set III: always a linear search.
@@ -64,10 +83,22 @@ impl HeuristicSet {
         indirect_min_cases: None,
         indirect_max_span_ratio: 3,
         binary_min_cases: None,
+        opt_tree: false,
     };
 
-    /// All three sets, in paper order.
-    pub const ALL: [HeuristicSet; 3] = [Self::SET_I, Self::SET_II, Self::SET_III];
+    /// Set IV: compiles like Set III, but asks the reorderer to emit
+    /// the cheapest of chain / DP tree / jump table per sequence.
+    pub const SET_IV: HeuristicSet = HeuristicSet {
+        name: "IV",
+        indirect_min_cases: None,
+        indirect_max_span_ratio: 3,
+        binary_min_cases: None,
+        opt_tree: true,
+    };
+
+    /// All four sets: the paper's three in paper order, then this
+    /// reproduction's Set IV.
+    pub const ALL: [HeuristicSet; 4] = [Self::SET_I, Self::SET_II, Self::SET_III, Self::SET_IV];
 
     /// Decide the strategy for a switch with `n` cases spanning `span`
     /// possible values (`max - min + 1`).
@@ -119,6 +150,18 @@ mod tests {
         for (n, span) in [(4u64, 4u128), (16, 16), (100, 100), (8, 1000)] {
             assert_eq!(h.choose(n, span), Strategy::LinearSearch);
         }
+    }
+
+    #[test]
+    fn set_iv_compiles_like_set_iii_but_flags_opt_tree() {
+        let h = HeuristicSet::SET_IV;
+        for (n, span) in [(4u64, 4u128), (16, 16), (100, 100), (8, 1000)] {
+            assert_eq!(h.choose(n, span), HeuristicSet::SET_III.choose(n, span));
+            assert_eq!(h.choose(n, span), Strategy::LinearSearch);
+        }
+        assert!(h.opt_tree);
+        assert!(HeuristicSet::ALL[..3].iter().all(|s| !s.opt_tree));
+        assert_eq!(HeuristicSet::ALL.len(), 4);
     }
 
     #[test]

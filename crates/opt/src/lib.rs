@@ -21,6 +21,10 @@
 //! * [`layout`] — code repositioning: physically orders blocks to maximize
 //!   fall-through and inverts branches where that saves a jump (the
 //!   paper's "code repositioning ... to minimize unconditional jumps").
+//! * [`tree`] — minimum-expected-cost dispatch synthesis for heuristic
+//!   Set IV: a dynamic-programming comparison-tree planner and a
+//!   jump-table planner over profiled range partitions, scored under a
+//!   VM-measured cost model.
 //!
 //! [`optimize`] runs the standard pre-reordering pipeline on a module;
 //! [`cleanup`] runs the post-reordering pipeline (DCE, chaining,
@@ -37,6 +41,7 @@ pub mod licm;
 pub mod liveness;
 pub mod merge;
 pub mod regalloc;
+pub mod tree;
 
 use br_ir::{Function, Module};
 

@@ -140,7 +140,7 @@ fn module_section(sections: &[OwnedSection], name: &str) -> Result<Module, Strin
 }
 
 /// Reorder options from the optional `options` section: lines of
-/// `exhaustive|common|static 0|1`. Validation is not a knob — the
+/// `exhaustive|common|static|opttree 0|1`. Validation is not a knob — the
 /// service contract is that every response carries a verdict, and the
 /// pipeline runs in `certify` mode so every committed reordering also
 /// carries a proof certificate whose hash the response exposes.
@@ -166,6 +166,7 @@ fn parse_options(sections: &[OwnedSection]) -> Result<ReorderOptions, String> {
             "exhaustive" => opts.exhaustive = on,
             "common" => opts.common_successor = on,
             "static" => opts.static_heuristic = on,
+            "opttree" => opts.opt_tree = on,
             _ => return Err(format!("unknown option {key:?}")),
         }
     }
@@ -201,8 +202,13 @@ fn reorder_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
             SequenceOutcome::NoImprovement => "noimp".to_string(),
         };
         sequences.push_str(&format!(
-            "{kind} {} {} {} {} {} {outcome}\n",
-            s.func.0, s.head.0, s.original_branches, s.conditions, s.training_executions
+            "{kind} {} {} {} {} {} {} {outcome}\n",
+            s.structure,
+            s.func.0,
+            s.head.0,
+            s.original_branches,
+            s.conditions,
+            s.training_executions
         ));
     }
 
@@ -579,7 +585,7 @@ mod tests {
                 },
                 Section {
                     name: "options",
-                    bytes: b"exhaustive 1\nstatic 0",
+                    bytes: b"exhaustive 1\nstatic 0\nopttree 1",
                 },
             ],
         );

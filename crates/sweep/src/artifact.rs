@@ -86,8 +86,13 @@ pub fn write_reorder(report: &ReorderReport) -> String {
             SequenceOutcome::NoImprovement => "noimp".to_string(),
         };
         out.push_str(&format!(
-            "{kind} {} {} {} {} {} {outcome}\n",
-            s.func.0, s.head.0, s.original_branches, s.conditions, s.training_executions
+            "{kind} {} {} {} {} {} {} {outcome}\n",
+            s.structure,
+            s.func.0,
+            s.head.0,
+            s.original_branches,
+            s.conditions,
+            s.training_executions
         ));
     }
     let empty = Vec::new();
@@ -133,6 +138,7 @@ pub fn read_reorder(text: &str) -> Option<ReorderReport> {
             "common" => SequenceKind::CommonSuccessor,
             _ => return None,
         };
+        let structure = br_reorder::DispatchStructure::parse(f.next()?)?;
         let func = FuncId(f.next()?.parse().ok()?);
         let head = BlockId(f.next()?.parse().ok()?);
         let original_branches = f.next()?.parse().ok()?;
@@ -151,6 +157,7 @@ pub fn read_reorder(text: &str) -> Option<ReorderReport> {
         };
         sequences.push(SequenceRecord {
             kind,
+            structure,
             func,
             head,
             original_branches,

@@ -19,8 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Incremented whenever an artifact format or a stage's semantics
 /// change, so old cache directories are silently invalidated.
-/// (`v2`: reorder artifacts carry proof certificates.)
-pub const FORMAT_VERSION: &str = "v2";
+/// (`v2`: reorder artifacts carry proof certificates. `v3`: sequence
+/// records carry the deployed dispatch structure — Set IV.)
+pub const FORMAT_VERSION: &str = "v3";
 
 /// 64-bit FNV-1a over a sequence of length-delimited parts.
 ///
@@ -97,10 +98,18 @@ impl ArtifactCache {
     /// Store an artifact. Write failures are deliberately swallowed: a
     /// read-only or full cache directory degrades to recomputation.
     pub fn put(&self, key: u64, text: &str) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
         let Some(path) = self.path(key) else { return };
         // Write-then-rename so concurrent writers of the same key (or a
-        // reader racing a writer) never observe a torn artifact.
-        let tmp = path.with_extension(format!("tmp{:x}", fnv1a(&[text.as_bytes()])));
+        // reader racing a writer) never observe a torn artifact. The
+        // temp name must be unique per *attempt*, not per content: two
+        // writers racing identical bytes would otherwise share a temp
+        // file and could publish a torn interleaving of two writes.
+        let tmp = path.with_extension(format!(
+            "tmp{:x}-{:x}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_err() {
             let _ = fs::remove_file(&tmp);
         }

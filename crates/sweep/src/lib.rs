@@ -114,10 +114,16 @@ impl SweepConfig {
     }
 
     /// A tiny grid for CI smoke tests: three branch-heavy workloads,
-    /// two heuristic sets, quick input sizes, two threads.
+    /// three heuristic sets (including Set IV, so the dispatch-synthesis
+    /// path and its certificates are exercised), quick input sizes, two
+    /// threads.
     pub fn smoke() -> SweepConfig {
         SweepConfig {
-            sets: vec![HeuristicSet::SET_I, HeuristicSet::SET_II],
+            sets: vec![
+                HeuristicSet::SET_I,
+                HeuristicSet::SET_II,
+                HeuristicSet::SET_IV,
+            ],
             workloads: vec!["wc".into(), "cb".into(), "grep".into()],
             threads: 2,
             ..SweepConfig::quick()
@@ -308,12 +314,21 @@ fn run_cell(
     } else {
         "greedy"
     };
+    // Sets III and IV compile to identical module text (Set IV differs
+    // only in the reorderer's structure planning), so the dispatch mode
+    // must be part of the key or their cells would collide.
+    let dispatch = if cell.set.opt_tree {
+        "opttree"
+    } else {
+        "chain"
+    };
     let reorder_key = fnv1a(&[
         b"reorder",
         FORMAT_VERSION.as_bytes(),
         module_text.as_bytes(),
         &train,
         search.as_bytes(),
+        dispatch.as_bytes(),
     ]);
     let reorder_start = Instant::now();
     let mut reorder_cached = true;
@@ -331,6 +346,7 @@ fn run_cell(
             let opts = ReorderOptions {
                 exhaustive: config.exhaustive,
                 certify: true,
+                opt_tree: cell.set.opt_tree,
                 ..ReorderOptions::default()
             };
             let report = reorder_module(&module, &train, &opts)

@@ -69,6 +69,13 @@ pub fn render_report(config: &SweepConfig, suites: &[SuiteResult], failed: &[Str
     out.push('\n');
     out.push_str(&tables::advisor(suites));
     out.push('\n');
+    // The Set IV column study: deployed dispatch structures and the
+    // expected-cost comparison against Set III's Theorem 3 chains.
+    let iv = tables::set_iv(suites);
+    if !iv.is_empty() {
+        out.push_str(&iv);
+        out.push('\n');
+    }
     for s in suites {
         out.push_str(&tables::figures(s));
         out.push('\n');

@@ -12,7 +12,7 @@
 //! brc lint prog.c                                 # static analysis report
 //! brc lint prog.c --deny BR0101 --deny BR0102     # fail on specific codes
 //! brc validate prog.c --train data.txt            # prove the reordering
-//! brc validate --suite                            # all 17 workloads x 3 sets
+//! brc validate --suite                            # all 17 workloads x 4 sets
 //! brc prove prog.c --train data.txt               # certify + emit proof certs
 //! brc prove --suite                               # certify the whole grid
 //! brc prove --witness-demo out/                   # refute a seeded corruption
@@ -40,7 +40,7 @@
 //!   reordering is proven by the certifying symbolic prover and its
 //!   proof certificate re-checked on the spot by the independent
 //!   checker (double entry). `--emit-certs DIR` writes the certificates
-//!   out. `--suite` certifies all 17 workloads × Sets I/II/III.
+//!   out. `--suite` certifies all 17 workloads × Sets I–IV.
 //!   `--witness-demo DIR` seeds an illegal target swap, shows the
 //!   refutation's concrete witness diverging under the reference
 //!   interpreter, and writes it as a replayable fuzz corpus entry.
@@ -50,14 +50,15 @@
 //!   shows every single-line tampering of a fresh certificate being
 //!   rejected.
 //! * `validate --suite` sweep all 17 paper workloads under heuristic
-//!   Sets I, II and III, proving every applied sequence equivalent, then
+//!   Sets I–IV, proving every applied sequence equivalent, then
 //!   demonstrate that an intentionally corrupted replica is rejected
 //!   with a stage-naming diagnostic.
 //! * `adapt [SCENARIO]` run the continuous-reoptimization runtime over
 //!   the phase-shifting scenarios, racing it against a train-once
 //!   deployment and a per-phase offline oracle (`--size N` bytes per
 //!   phase, `--epoch N` blocks per adaptation epoch, `--exhaustive`
-//!   ordering search, `--csv` machine-readable output).
+//!   ordering search, `--opttree` Set IV dispatch structures at swap
+//!   time, `--csv` machine-readable output).
 //! * `sweep` run the parallel reproduction engine: the full workload ×
 //!   heuristic-set × seed grid fanned across cores with a
 //!   content-addressed artifact cache, writing Tables 4–8 and the
@@ -90,7 +91,7 @@
 //! Flags:
 //! * `--input FILE`  program stdin (default: empty)
 //! * `--train FILE`  training input for `--reorder` (default: the input)
-//! * `--set I|II|III` switch heuristics (default I)
+//! * `--set I|II|III|IV` switch heuristics (default I)
 //! * `--reorder`     run the profile-guided reordering pipeline
 //! * `--common`      also reorder common-successor sequences
 //! * `--no-opt`      skip conventional optimizations
@@ -123,18 +124,18 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: brc FILE.c [--input FILE] [--train FILE] [--set I|II|III] \
+        "usage: brc FILE.c [--input FILE] [--train FILE] [--set I|II|III|IV] \
          [--reorder] [--common] [--no-opt] [--stats] [--dump-ir] [--from-ir]\n\
-       \x20      brc lint FILE.c [--set I|II|III] [--from-ir] [--no-opt] [--deny CODE|all]...\n\
-       \x20      brc validate FILE.c [--input FILE] [--train FILE] [--set I|II|III]\n\
+       \x20      brc lint FILE.c [--set I|II|III|IV] [--from-ir] [--no-opt] [--deny CODE|all]...\n\
+       \x20      brc validate FILE.c [--input FILE] [--train FILE] [--set I|II|III|IV]\n\
        \x20      brc validate --suite [--size N]\n\
-       \x20      brc prove FILE.c [--input FILE] [--train FILE] [--set I|II|III] \
+       \x20      brc prove FILE.c [--input FILE] [--train FILE] [--set I|II|III|IV] \
          [--emit-certs DIR]\n\
        \x20      brc prove --suite [--size N]\n\
        \x20      brc prove --witness-demo DIR\n\
        \x20      brc check CERT_FILE\n\
        \x20      brc check --tamper-demo\n\
-       \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--csv]\n\
+       \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--opttree] [--csv]\n\
        \x20      brc sweep [--threads N] [--seeds K] [--quick] [--smoke] [--exhaustive] \
          [--out DIR] [--cache DIR] [--no-cache]\n\
        \x20      brc fuzz [--seeds N] [--start-seed N] [--jobs N] [--time SECS] [--smoke] \
@@ -191,8 +192,9 @@ fn parse_set(v: Option<String>) -> HeuristicSet {
         "I" => HeuristicSet::SET_I,
         "II" => HeuristicSet::SET_II,
         "III" => HeuristicSet::SET_III,
+        "IV" => HeuristicSet::SET_IV,
         _ => bad_args(format_args!(
-            "invalid value for --set: {v} (expected I, II, or III)"
+            "invalid value for --set: {v} (expected I, II, III, or IV)"
         )),
     }
 }
@@ -337,9 +339,10 @@ fn cmd_lint(argv: impl Iterator<Item = String>) -> ! {
 
 /// Run the pipeline on one module with validation forced on; print the
 /// proof summary and return whether everything checked out.
-fn validate_one(module: &Module, train: &[u8], label: &str, verbose: bool) -> bool {
+fn validate_one(module: &Module, train: &[u8], label: &str, opt_tree: bool, verbose: bool) -> bool {
     let opts = ReorderOptions {
         validate: true,
+        opt_tree,
         ..ReorderOptions::default()
     };
     let report = match reorder_module(module, train, &opts) {
@@ -436,7 +439,7 @@ fn corruption_demo() -> bool {
 }
 
 /// `brc validate --suite` — prove the reordering over the paper's 17
-/// workloads under all three heuristic sets, then show a corruption
+/// workloads under all four heuristic sets, then show a corruption
 /// being caught.
 fn cmd_validate_suite(size: usize) -> ! {
     let mut ok = true;
@@ -445,12 +448,14 @@ fn cmd_validate_suite(size: usize) -> ! {
         ("I", HeuristicSet::SET_I),
         ("II", HeuristicSet::SET_II),
         ("III", HeuristicSet::SET_III),
+        ("IV", HeuristicSet::SET_IV),
     ] {
         for w in br_workloads::all() {
             let module = build_module(w.source, set, false, false);
             let label = format!("set {set_name} {}", w.name);
             let opts = ReorderOptions {
                 validate: true,
+                opt_tree: set.opt_tree,
                 ..ReorderOptions::default()
             };
             let report = match reorder_module(&module, &w.training_input(size), &opts) {
@@ -474,7 +479,7 @@ fn cmd_validate_suite(size: usize) -> ! {
             ok &= summary.is_clean();
         }
     }
-    println!("suite: {proven} sequence proofs across 17 workloads x 3 heuristic sets");
+    println!("suite: {proven} sequence proofs across 17 workloads x 4 heuristic sets");
     ok &= corruption_demo();
     exit(if ok { 0 } else { 1 })
 }
@@ -497,7 +502,7 @@ fn cmd_validate(argv: impl Iterator<Item = String>) -> ! {
     // built" from "the proof failed" (exit 1).
     let module = build_module_or_exit(&args.source, args.set, args.from_ir, args.no_opt, 2);
     let train = args.train.as_deref().unwrap_or(&args.input);
-    let ok = validate_one(&module, train, "validate", true);
+    let ok = validate_one(&module, train, "validate", args.set.opt_tree, true);
     exit(if ok { 0 } else { 1 })
 }
 
@@ -526,10 +531,12 @@ fn certify_one(
     module: &Module,
     train: &[u8],
     label: &str,
+    opt_tree: bool,
     emit_dir: Option<&std::path::Path>,
 ) -> (bool, usize) {
     let opts = ReorderOptions {
         certify: true,
+        opt_tree,
         ..ReorderOptions::default()
     };
     let report = match reorder_module(module, train, &opts) {
@@ -588,7 +595,7 @@ fn certify_one(
 }
 
 /// `brc prove --suite` — certify every applied sequence over the 17
-/// paper workloads under all three heuristic sets, re-checking each
+/// paper workloads under all four heuristic sets, re-checking each
 /// certificate with the independent checker on the spot.
 fn cmd_prove_suite(size: usize) -> ! {
     let mut ok = true;
@@ -597,18 +604,20 @@ fn cmd_prove_suite(size: usize) -> ! {
         ("I", HeuristicSet::SET_I),
         ("II", HeuristicSet::SET_II),
         ("III", HeuristicSet::SET_III),
+        ("IV", HeuristicSet::SET_IV),
     ] {
         for w in br_workloads::all() {
             let module = build_module(w.source, set, false, false);
             let label = format!("set {set_name} {}", w.name);
-            let (clean, checked) = certify_one(&module, &w.training_input(size), &label, None);
+            let (clean, checked) =
+                certify_one(&module, &w.training_input(size), &label, set.opt_tree, None);
             ok &= clean;
             certified += checked;
         }
     }
     println!(
         "prove suite: {certified} sequence(s) certified and independently re-checked \
-         across 17 workloads x 3 heuristic sets; 0 enumeration fallbacks"
+         across 17 workloads x 4 heuristic sets; 0 enumeration fallbacks"
     );
     exit(if ok { 0 } else { 1 })
 }
@@ -922,6 +931,7 @@ fn cmd_prove(argv: impl Iterator<Item = String>) -> ! {
         &module,
         train,
         "prove",
+        args.set.opt_tree,
         emit.as_deref().map(std::path::Path::new),
     );
     exit(if ok { 0 } else { 1 })
@@ -966,6 +976,7 @@ fn cmd_adapt(argv: impl Iterator<Item = String>) -> ! {
     let mut size = 24 * 1024usize;
     let mut epoch = 0u64;
     let mut exhaustive = false;
+    let mut opt_tree = false;
     let mut csv = false;
     let mut argv = argv.peekable();
     while let Some(a) = argv.next() {
@@ -973,6 +984,7 @@ fn cmd_adapt(argv: impl Iterator<Item = String>) -> ! {
             "--size" => size = parse_flag("--size", argv.next()),
             "--epoch" => epoch = parse_flag("--epoch", argv.next()),
             "--exhaustive" => exhaustive = true,
+            "--opttree" => opt_tree = true,
             "--csv" => csv = true,
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') && name.is_none() => name = Some(other.to_string()),
@@ -995,6 +1007,7 @@ fn cmd_adapt(argv: impl Iterator<Item = String>) -> ! {
     };
     let mut opts = AdaptOptions {
         exhaustive,
+        opt_tree,
         ..AdaptOptions::default()
     };
     if epoch > 0 {
@@ -1378,6 +1391,7 @@ fn main() {
         let train = args.train.as_deref().unwrap_or(&args.input);
         let opts = ReorderOptions {
             common_successor: args.common,
+            opt_tree: args.set.opt_tree,
             ..ReorderOptions::default()
         };
         match reorder_module(&module, train, &opts) {

@@ -45,7 +45,7 @@ fn figure1_improves_under_every_heuristic_set() {
 
 #[test]
 fn behaviour_identical_across_the_full_matrix() {
-    // 17 programs x 3 sets already covered in br-workloads; spot-check
+    // 17 programs x 4 sets already covered in br-workloads; spot-check
     // through the facade with the quick config and predictor sweep on.
     for name in ["wc", "cb", "lex"] {
         let w = branch_reorder::workloads::by_name(name).unwrap();

@@ -35,6 +35,9 @@ fn validator_accepts_all_workloads_under_all_heuristic_sets() {
             let m = compiled_workload(w.name, w.source, set);
             let opts = ReorderOptions {
                 validate: true,
+                // Set IV sequences may commit as trees or jump tables;
+                // the validator must prove those replicas too.
+                opt_tree: set.opt_tree,
                 ..ReorderOptions::default()
             };
             let report = reorder_module(&m, &w.training_input(1024), &opts)

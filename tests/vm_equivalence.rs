@@ -52,7 +52,13 @@ fn fast_path_matches_reference_on_all_workloads_and_sets() {
             let mut module =
                 compile(w.source, &Options::with_heuristics(h)).expect("workload compiles");
             branch_reorder::opt::optimize(&mut module);
-            let report = reorder_module(&module, &train, &ReorderOptions::default())
+            let opts = ReorderOptions {
+                // Set IV modules carry DP trees and jump tables; the
+                // fast path must agree on those shapes too.
+                opt_tree: h.opt_tree,
+                ..ReorderOptions::default()
+            };
+            let report = reorder_module(&module, &train, &opts)
                 .unwrap_or_else(|e| panic!("{what}: training trapped: {e}"));
             for (m, stage) in [(&module, "original"), (&report.module, "reordered")] {
                 let what = format!("{what}/{stage}");
