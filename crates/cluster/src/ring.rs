@@ -1,0 +1,187 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Routing keys are 64-bit content hashes (a module's [`br_serve::proto2::module_hash`]
+//! or a response-cache key), so requests about the same module always
+//! land on the same shard — which is what makes shard-local module
+//! interning and response caching effective in a cluster.
+//!
+//! Each shard owns [`VNODES`] points on the ring, placed by hashing
+//! `(shard id, vnode index)` — *not* the shard count — so adding a
+//! shard only claims keys from its new points' predecessors and
+//! removing one only releases its own points. That is the classic
+//! consistent-hashing bound: one membership change remaps O(1/N) of the
+//! key space, pinned by a property test in the cluster test suite.
+//!
+//! Ejection (a shard failing health probes) deliberately does **not**
+//! rebuild the ring: the router walks a key's candidate order and skips
+//! dead shards, so only keys whose primary died move — to exactly the
+//! successor that holds their replicated cache entries — and they move
+//! back on readmission.
+
+use br_sweep::cache::fnv1a;
+
+/// Virtual nodes per shard. 64 keeps the per-shard load imbalance in
+/// the few-percent range while the full ring (shards x 64 points)
+/// stays small enough to walk without indexing tricks.
+pub const VNODES: usize = 64;
+
+/// The ring: every shard's virtual-node points, sorted.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// `(point, shard)` sorted by point.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// Build the ring for shards `0..shards`.
+    pub fn new(shards: usize) -> Ring {
+        let mut points = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for vnode in 0..VNODES {
+                let point = fnv1a(&[
+                    b"ring",
+                    &(shard as u64).to_le_bytes(),
+                    &(vnode as u64).to_le_bytes(),
+                ]);
+                points.push((point, shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The distinct shards in ring order starting at `key`'s point:
+    /// index 0 is the primary owner, index 1 the successor (where the
+    /// primary's cache entries are replicated), and the rest the
+    /// failover order. Always lists every shard.
+    pub fn candidates(&self, key: u64) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let start = self.points.partition_point(|&(p, _)| p < key) % self.points.len();
+        let mut out = Vec::with_capacity(self.shards);
+        let mut seen = vec![false; self.shards];
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                out.push(shard);
+                if out.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The primary owner of `key`.
+    pub fn primary(&self, key: u64) -> usize {
+        self.candidates(key)[0]
+    }
+
+    /// The replica target for `key` (`None` on a single-shard ring).
+    pub fn successor(&self, key: u64) -> Option<usize> {
+        self.candidates(key).get(1).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny seeded LCG so the key sample is deterministic.
+    pub(crate) fn lcg_keys(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn candidates_are_distinct_exhaustive_and_stable() {
+        let ring = Ring::new(5);
+        for key in lcg_keys(7, 200) {
+            let c = ring.candidates(key);
+            assert_eq!(c.len(), 5);
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "candidates must be distinct");
+            assert_eq!(c, ring.candidates(key), "routing must be deterministic");
+            assert_eq!(ring.primary(key), c[0]);
+            assert_eq!(ring.successor(key), Some(c[1]));
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let ring = Ring::new(4);
+        let mut owned = [0u32; 4];
+        for key in lcg_keys(11, 8000) {
+            owned[ring.primary(key)] += 1;
+        }
+        for (shard, n) in owned.iter().enumerate() {
+            // Perfect balance is 2000 per shard; virtual nodes keep the
+            // skew well under 2x.
+            assert!(
+                (1000..3000).contains(n),
+                "shard {shard} owns {n} of 8000 keys — ring is badly skewed: {owned:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_one_shard_remaps_at_most_two_nths_of_keys() {
+        for n in [3usize, 5, 8] {
+            let before = Ring::new(n);
+            let after = Ring::new(n + 1);
+            let keys = lcg_keys(42, 10_000);
+            let moved = keys
+                .iter()
+                .filter(|&&k| before.primary(k) != after.primary(k))
+                .count();
+            let bound = 2 * keys.len() / (n + 1);
+            assert!(
+                moved <= bound,
+                "{n} -> {} shards moved {moved} of {} keys (bound {bound})",
+                n + 1,
+                keys.len()
+            );
+            // And every moved key moved *to the new shard*, not between
+            // existing ones.
+            for &k in &keys {
+                if before.primary(k) != after.primary(k) {
+                    assert_eq!(after.primary(k), n, "keys may only move to the new shard");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ejecting_a_shard_moves_only_its_keys_to_their_successor() {
+        let ring = Ring::new(4);
+        let dead = 2usize;
+        for key in lcg_keys(99, 4000) {
+            let candidates = ring.candidates(key);
+            let with_dead: Vec<usize> = candidates.iter().copied().filter(|&s| s != dead).collect();
+            if candidates[0] == dead {
+                // Keys owned by the dead shard fall to their successor —
+                // the shard already holding their replicated entries.
+                assert_eq!(with_dead[0], candidates[1]);
+            } else {
+                assert_eq!(with_dead[0], candidates[0], "other keys must not move");
+            }
+        }
+    }
+}

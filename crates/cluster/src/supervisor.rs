@@ -1,0 +1,196 @@
+//! Cluster supervision: spawn N shard daemons as child processes, run
+//! the router in this process, and shepherd the whole tree through a
+//! graceful drain.
+//!
+//! The shards are plain `brc serve` processes — re-invocations of the
+//! current executable — each on its own port with its own cache
+//! directory (`<cache>/shard-<i>`), so a shard crash is isolated by
+//! the OS and a restart warms up from its own disk cache (plus the
+//! entries the router replicated to it). The supervisor:
+//!
+//! 1. spawns the shards and waits for each to answer a health probe;
+//! 2. starts the [`Router`] over them and blocks in its accept loop;
+//! 3. on SIGTERM/SIGINT or a `shutdown` frame, the router drains,
+//!    propagates the shutdown to every shard, and the supervisor
+//!    reaps the children (escalating to kill only if a child ignores
+//!    the drain).
+
+use std::io;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use br_serve::proto2::{self, Client2, Frame2};
+
+use crate::router::{Router, RouterConfig};
+
+/// Cluster topology and per-shard daemon knobs.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Router listen address.
+    pub router_addr: String,
+    /// Number of shard daemons to spawn.
+    pub shards: usize,
+    /// First shard port; shard `i` listens on `base_port + i`.
+    pub base_port: u16,
+    /// Root cache directory (each shard gets `shard-<i>` under it);
+    /// `None` disables shard caches.
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads per shard (0 = one per core).
+    pub threads_per_shard: usize,
+    /// Admission-queue depth per shard.
+    pub queue: usize,
+    /// Per-request deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// Replicate cacheable responses to ring successors.
+    pub replicate: bool,
+    /// Hot-key memo threshold (0 = off).
+    pub hot_threshold: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            router_addr: "127.0.0.1:7410".to_string(),
+            shards: 2,
+            base_port: 7421,
+            cache_dir: Some(PathBuf::from("target/cluster-cache")),
+            threads_per_shard: 0,
+            queue: 128,
+            deadline_ms: 10_000,
+            replicate: true,
+            hot_threshold: 8,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The shard addresses this topology produces.
+    pub fn shard_addrs(&self) -> Vec<String> {
+        (0..self.shards)
+            .map(|i| format!("127.0.0.1:{}", self.base_port + i as u16))
+            .collect()
+    }
+}
+
+/// How long a spawned shard gets to answer its first health probe.
+const READINESS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a draining shard gets to exit before it is killed.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Wait until the daemon at `addr` answers a health probe.
+fn wait_ready(addr: &str, deadline: Instant) -> io::Result<()> {
+    loop {
+        let healthy = Client2::connect_with(
+            addr,
+            Duration::from_millis(250),
+            Some(Duration::from_millis(1_000)),
+        )
+        .and_then(|mut c| c.call(&Frame2::request(proto2::kind::HEALTH, &[])))
+        .map(|r| r.kind == proto2::kind::OK)
+        .unwrap_or(false);
+        if healthy {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(io::Error::other(format!(
+                "shard at {addr} did not become healthy within {READINESS_TIMEOUT:?}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Spawn one shard daemon as a child process.
+fn spawn_shard(
+    config: &ClusterConfig,
+    index: usize,
+    addr: &str,
+) -> io::Result<std::process::Child> {
+    let exe = std::env::current_exe()?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("serve")
+        .arg("--addr")
+        .arg(addr)
+        .arg("--threads")
+        .arg(config.threads_per_shard.to_string())
+        .arg("--queue")
+        .arg(config.queue.to_string())
+        .arg("--deadline-ms")
+        .arg(config.deadline_ms.to_string());
+    match &config.cache_dir {
+        Some(root) => {
+            let dir = root.join(format!("shard-{index}"));
+            std::fs::create_dir_all(&dir)?;
+            cmd.arg("--cache").arg(dir);
+        }
+        None => {
+            cmd.arg("--no-cache");
+        }
+    }
+    cmd.stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit());
+    cmd.spawn()
+}
+
+/// Run the cluster: spawn shards, wait for readiness, serve through
+/// the router until drain, then reap the children. Returns when the
+/// whole tree has exited.
+///
+/// # Errors
+///
+/// Spawn failures, readiness timeouts, and fatal router errors. On
+/// error the already-spawned children are killed before returning.
+pub fn run_cluster(config: &ClusterConfig) -> io::Result<()> {
+    let addrs = config.shard_addrs();
+    let mut children: Vec<std::process::Child> = Vec::new();
+    let result = (|| {
+        for (i, addr) in addrs.iter().enumerate() {
+            let child = spawn_shard(config, i, addr)?;
+            eprintln!("cluster: shard {i} pid {} addr {addr}", child.id());
+            children.push(child);
+        }
+        let deadline = Instant::now() + READINESS_TIMEOUT;
+        for addr in &addrs {
+            wait_ready(addr, deadline)?;
+        }
+        let router = Router::start(RouterConfig {
+            addr: config.router_addr.clone(),
+            shards: addrs.clone(),
+            replicate: config.replicate,
+            hot_threshold: config.hot_threshold,
+            ..RouterConfig::default()
+        })?;
+        eprintln!(
+            "cluster: router listening on {} ({} shard(s))",
+            router.addr(),
+            addrs.len()
+        );
+        br_serve::install_signal_handler();
+        router.wait()
+    })();
+    // Reap (or, on error / stubborn children, kill) the shard tree.
+    let drain_deadline = Instant::now() + DRAIN_TIMEOUT;
+    for (i, child) in children.iter_mut().enumerate() {
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    eprintln!("cluster: shard {i} exited: {status}");
+                    break;
+                }
+                Ok(None) if result.is_ok() && Instant::now() < drain_deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Ok(None) => {
+                    eprintln!("cluster: shard {i} ignored the drain; killing it");
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    result
+}

@@ -31,13 +31,57 @@ use br_reorder::{
 use br_sweep::cache::{fnv1a, ArtifactCache, FORMAT_VERSION};
 use br_vm::{pct_change, run, VmOptions};
 
+use crate::intern::ModuleIntern;
 use crate::metrics::Metrics;
 use crate::proto::{section, Frame, OwnedSection, Section};
+use crate::proto2::code;
+
+/// A handled request: the `brs1` response frame plus the structured
+/// metadata `brs2` carries in its header.
+///
+/// `frame` is the whole story for a `brs1` client. A `brs2` endpoint
+/// additionally sends `code` (stable error taxonomy) and `cache_key`
+/// (the response-cache key, which a cluster router uses to replicate
+/// the entry to a successor shard) in the binary header — the payload
+/// bytes stay identical across protocols.
+pub struct Response {
+    /// The response frame (`ok` or `error`), protocol-v1 shaped.
+    pub frame: Frame,
+    /// Stable response code ([`crate::proto2::code`]).
+    pub code: u16,
+    /// Response-cache key; 0 when the response is not cacheable.
+    pub cache_key: u64,
+}
+
+impl Response {
+    /// A successful response.
+    pub fn ok(payload: Vec<u8>, cache_key: u64) -> Response {
+        Response {
+            frame: Frame {
+                kind: "ok".to_string(),
+                payload,
+            },
+            code: code::OK,
+            cache_key,
+        }
+    }
+
+    /// An error response with a stable code.
+    pub fn error(code: u16, message: &str) -> Response {
+        Response {
+            frame: Frame::text("error", message),
+            code,
+            cache_key: 0,
+        }
+    }
+}
 
 /// The shared endpoint state: response cache, metrics, debug gating.
 pub struct Endpoints {
     cache: ArtifactCache,
     metrics: Arc<Metrics>,
+    /// Content-addressed module intern table (`brs2` delta upload).
+    pub intern: ModuleIntern,
     /// Expose the `sleep`/`panic` fault-injection endpoints (tests and
     /// operational drills only; off in normal service).
     pub debug_endpoints: bool,
@@ -68,6 +112,7 @@ impl Endpoints {
         Ok(Endpoints {
             cache,
             metrics,
+            intern: ModuleIntern::default(),
             debug_endpoints: false,
         })
     }
@@ -76,31 +121,142 @@ impl Endpoints {
     /// payloads come back as `error` frames; this function never
     /// panics on bad input (a panic here is a bug, and the pool still
     /// contains it).
-    pub fn handle(&self, request: &Frame) -> Frame {
+    ///
+    /// Content-hash pseudo-sections (`module#`, `original#`,
+    /// `reordered#` — how `brs2` delta upload reaches the handler) are
+    /// resolved against the intern table *before* anything else, so the
+    /// response cache is keyed over resolved payloads and `brs1` and
+    /// `brs2` clients share cache entries byte-for-byte.
+    pub fn handle(&self, request: &Frame) -> Response {
+        let request = match self.resolve_hashes(request) {
+            Ok(resolved) => resolved,
+            Err(response) => return response,
+        };
         let result = match request.kind.as_str() {
-            "reorder" => self.cached(request, "reorder", reorder_endpoint),
-            "measure" => self.cached(request, "measure", measure_endpoint),
-            "profile" => self.cached(request, "profile", profile_endpoint),
-            "sleep" if self.debug_endpoints => sleep_endpoint(request),
+            "reorder" => self.cached(&request, "reorder", reorder_endpoint),
+            "measure" => self.cached(&request, "measure", measure_endpoint),
+            "profile" => self.cached(&request, "profile", profile_endpoint),
+            "cacheput" => return self.cacheput(&request),
+            "sleep" if self.debug_endpoints => {
+                return match sleep_endpoint(&request) {
+                    Ok(frame) => Response {
+                        frame,
+                        code: code::OK,
+                        cache_key: 0,
+                    },
+                    Err(message) => Response::error(code::BAD_REQUEST, &message),
+                }
+            }
             "panic" if self.debug_endpoints => {
                 panic!("fault injection: {}", request.payload_text())
             }
             other => Err(format!("unknown request kind {other:?}")),
         };
         match result {
-            Ok(frame) => frame,
-            Err(message) => Frame::text("error", &message),
+            Ok(response) => response,
+            Err(message) => Response::error(code::BAD_REQUEST, &message),
+        }
+    }
+
+    /// Resolve `name#` hash pseudo-sections to interned bodies and
+    /// intern every full module body on sight. Requests without hash
+    /// sections pass through with their payload untouched.
+    fn resolve_hashes(&self, request: &Frame) -> Result<Frame, Response> {
+        // `name# <len>\n` can only appear if some section name ends in
+        // '#'; a cheap scan keeps the common full-body path parse-free.
+        let structured = matches!(request.kind.as_str(), "reorder" | "measure" | "profile");
+        if !structured {
+            return Ok(request.clone());
+        }
+        let Ok(sections) = request.sections() else {
+            // Leave malformed payloads for the endpoint's own error.
+            return Ok(request.clone());
+        };
+        let mut missing: Vec<u64> = Vec::new();
+        let mut resolved: Vec<(String, Vec<u8>)> = Vec::with_capacity(sections.len());
+        let mut any_hash = false;
+        for s in &sections {
+            if let Some(body_name) = s.name.strip_suffix('#') {
+                any_hash = true;
+                if !matches!(body_name, "module" | "original" | "reordered") {
+                    return Err(Response::error(
+                        code::BAD_REQUEST,
+                        &format!("unknown hash section {:?}", s.name),
+                    ));
+                }
+                let bytes: [u8; 8] = match s.bytes.as_slice().try_into() {
+                    Ok(bytes) => bytes,
+                    Err(_) => {
+                        return Err(Response::error(
+                            code::BAD_REQUEST,
+                            &format!("hash section {:?} must be exactly 8 bytes", s.name),
+                        ))
+                    }
+                };
+                let hash = u64::from_le_bytes(bytes);
+                match self.intern.resolve(hash, &self.cache) {
+                    Some(text) => {
+                        resolved.push((body_name.to_string(), text.as_bytes().to_vec()));
+                    }
+                    None => missing.push(hash),
+                }
+            } else {
+                if matches!(s.name.as_str(), "module" | "original" | "reordered") {
+                    if let Ok(text) = s.text() {
+                        self.intern.insert(text, &self.cache);
+                    }
+                }
+                resolved.push((s.name.clone(), s.bytes.clone()));
+            }
+        }
+        if !missing.is_empty() {
+            self.metrics.need_module.fetch_add(1, Ordering::Relaxed);
+            let list: Vec<String> = missing.iter().map(|h| format!("{h:016x}")).collect();
+            return Err(Response::error(
+                code::NEED_MODULE,
+                &format!("need-module {}", list.join(" ")),
+            ));
+        }
+        if !any_hash {
+            return Ok(request.clone());
+        }
+        let borrowed: Vec<Section<'_>> = resolved
+            .iter()
+            .map(|(name, bytes)| Section { name, bytes })
+            .collect();
+        Ok(Frame::structured(&request.kind, &borrowed))
+    }
+
+    /// `cacheput`: install a replicated response-cache entry (cluster
+    /// routers push hot entries to the successor shard through this).
+    fn cacheput(&self, request: &Frame) -> Response {
+        let parse = || -> Result<(u64, String), String> {
+            let sections = request.sections()?;
+            let key = u64::from_str_radix(section(&sections, "key")?.text()?.trim(), 16)
+                .map_err(|_| "key section must be 16 hex digits".to_string())?;
+            let body = section(&sections, "body")?.text()?.to_string();
+            Ok((key, body))
+        };
+        match parse() {
+            Ok((key, body)) => {
+                self.cache.put(key, &body);
+                self.metrics.replicated.fetch_add(1, Ordering::Relaxed);
+                Response::ok(b"replicated\n".to_vec(), key)
+            }
+            Err(message) => Response::error(code::BAD_REQUEST, &message),
         }
     }
 
     /// Run `endpoint` through the response cache: key over the whole
-    /// request payload, store the whole response payload.
+    /// (hash-resolved) request payload, store the whole response
+    /// payload. The key travels back on the response so a router can
+    /// replicate the entry without re-deriving it.
     fn cached(
         &self,
         request: &Frame,
         tag: &str,
         endpoint: fn(&[OwnedSection]) -> Result<Vec<u8>, String>,
-    ) -> Result<Frame, String> {
+    ) -> Result<Response, String> {
         let key = fnv1a(&[
             b"serve",
             FORMAT_VERSION.as_bytes(),
@@ -109,10 +265,7 @@ impl Endpoints {
         ]);
         if let Some(text) = self.cache.get(key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Frame {
-                kind: "ok".to_string(),
-                payload: text.into_bytes(),
-            });
+            return Ok(Response::ok(text.into_bytes(), key));
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
         let sections = request.sections()?;
@@ -122,10 +275,7 @@ impl Endpoints {
         if let Ok(text) = std::str::from_utf8(&payload) {
             self.cache.put(key, text);
         }
-        Ok(Frame {
-            kind: "ok".to_string(),
-            payload,
-        })
+        Ok(Response::ok(payload, key))
     }
 }
 
@@ -408,7 +558,7 @@ mod tests {
         let train = br_workloads::by_name("wc").unwrap().training_input(512);
         let request = reorder_request(&module, &train);
 
-        let response = e.handle(&request);
+        let response = e.handle(&request).frame;
         assert_eq!(response.kind, "ok", "{}", response.payload_text());
         let sections = response.sections().unwrap();
         let served = section(&sections, "module").unwrap().text().unwrap();
@@ -441,7 +591,7 @@ mod tests {
         }
 
         // Identical request → cache hit with the identical payload.
-        let again = e.handle(&request);
+        let again = e.handle(&request).frame;
         assert_eq!(again.payload, response.payload);
         assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
@@ -475,7 +625,7 @@ mod tests {
                 },
             ],
         );
-        let response = e.handle(&request);
+        let response = e.handle(&request).frame;
         assert_eq!(response.kind, "ok", "{}", response.payload_text());
         let sections = response.sections().unwrap();
         let csv = section(&sections, "csv").unwrap().text().unwrap();
@@ -509,8 +659,9 @@ mod tests {
             ],
         );
         let refused = e.handle(&bad);
-        assert_eq!(refused.kind, "error");
-        assert!(refused.payload_text().contains("behaviour differs"));
+        assert_eq!(refused.frame.kind, "error");
+        assert_eq!(refused.code, crate::proto2::code::BAD_REQUEST);
+        assert!(refused.frame.payload_text().contains("behaviour differs"));
     }
 
     #[test]
@@ -532,7 +683,7 @@ mod tests {
                 },
             ],
         );
-        let response = e.handle(&request);
+        let response = e.handle(&request).frame;
         assert_eq!(response.kind, "ok", "{}", response.payload_text());
         let sections = response.sections().unwrap();
         let csv = section(&sections, "csv").unwrap().text().unwrap();
@@ -563,7 +714,7 @@ mod tests {
             Frame::text("sleep", "5"), // debug endpoints off by default
         ] {
             let response = e.handle(&request);
-            assert_eq!(response.kind, "error", "{}", request.kind);
+            assert_eq!(response.frame.kind, "error", "{}", request.kind);
         }
     }
 
@@ -589,7 +740,7 @@ mod tests {
                 },
             ],
         );
-        let response = e.handle(&request);
+        let response = e.handle(&request).frame;
         assert_eq!(response.kind, "ok", "{}", response.payload_text());
         let bad = Frame::structured(
             "reorder",
@@ -608,6 +759,6 @@ mod tests {
                 },
             ],
         );
-        assert_eq!(e.handle(&bad).kind, "error");
+        assert_eq!(e.handle(&bad).frame.kind, "error");
     }
 }

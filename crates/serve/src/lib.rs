@@ -48,12 +48,15 @@
 //! ```
 
 pub mod endpoints;
+pub mod intern;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
+pub mod proto2;
 pub mod server;
 
 pub use loadgen::{run_loadgen, run_smoke, LoadgenConfig, LoadgenReport};
 pub use proto::{Client, Frame, Section};
-pub use server::{ServeConfig, Server};
+pub use proto2::{Client2, Frame2, ModuleRef};
+pub use server::{install_signal_handler, terminated, ProtocolMode, ServeConfig, Server};

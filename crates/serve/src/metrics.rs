@@ -33,6 +33,12 @@ impl Histogram {
         std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
     }
 
+    /// Add `n` observations directly to bucket `i` — merging another
+    /// histogram's snapshot (multi-process load generation).
+    pub fn add_bucket(&self, i: usize, n: u64) {
+        self.counts[i.min(BUCKETS - 1)].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The upper bound, in microseconds, of bucket `i`.
     pub fn bucket_bound_us(i: usize) -> u64 {
         2u64 << i
@@ -80,6 +86,19 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Response-cache misses.
     pub cache_misses: AtomicU64,
+    /// Requests that arrived as `brs2` binary frames.
+    pub v2_requests: AtomicU64,
+    /// Individual requests carried inside `brs2` batch frames.
+    pub batch_items: AtomicU64,
+    /// `need-module` responses (a content hash the shard had not
+    /// interned; the client re-uploads the body).
+    pub need_module: AtomicU64,
+    /// Oversized frames answered with an error and drained.
+    pub oversized: AtomicU64,
+    /// Frames in a protocol version this endpoint does not accept.
+    pub mismatch: AtomicU64,
+    /// Cache entries installed by `cacheput` (cluster replication).
+    pub replicated: AtomicU64,
     /// End-to-end latency of completed requests (admission to response
     /// ready, shed requests excluded).
     pub latency: Histogram,
@@ -121,6 +140,12 @@ impl Metrics {
             ("deadline_expired", &self.expired),
             ("cache_hits", &self.cache_hits),
             ("cache_misses", &self.cache_misses),
+            ("v2_requests", &self.v2_requests),
+            ("batch_items", &self.batch_items),
+            ("need_module", &self.need_module),
+            ("oversized", &self.oversized),
+            ("mismatch", &self.mismatch),
+            ("replicated", &self.replicated),
         ] {
             let _ = writeln!(
                 out,

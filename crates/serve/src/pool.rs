@@ -28,8 +28,10 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use crate::endpoints::Response;
 use crate::metrics::Metrics;
 use crate::proto::Frame;
+use crate::proto2::code;
 
 /// One admitted request waiting for a worker.
 pub struct Job {
@@ -39,9 +41,9 @@ pub struct Job {
     pub accepted: Instant,
     /// Absolute deadline; `None` means no limit.
     pub deadline: Option<Instant>,
-    /// Where the response frame goes (the connection thread blocks on
-    /// the other end).
-    pub reply: mpsc::Sender<Frame>,
+    /// Where the response goes (the connection thread blocks on the
+    /// other end).
+    pub reply: mpsc::Sender<Response>,
 }
 
 struct Shared {
@@ -76,7 +78,7 @@ impl Pool {
         threads: usize,
         queue_limit: usize,
         metrics: Arc<Metrics>,
-        handler: Arc<dyn Fn(&Frame) -> Frame + Send + Sync>,
+        handler: Arc<dyn Fn(&Frame) -> Response + Send + Sync>,
     ) -> Pool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -132,7 +134,7 @@ impl Pool {
     }
 }
 
-fn worker(shared: &Shared, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Frame + Sync)) {
+fn worker(shared: &Shared, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Response + Sync)) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
@@ -147,7 +149,7 @@ fn worker(shared: &Shared, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Frame
             }
         };
         let response = run_job(&job, metrics, handler);
-        match response.kind.as_str() {
+        match response.frame.kind.as_str() {
             "ok" => metrics.ok.fetch_add(1, Ordering::Relaxed),
             _ => metrics.errors.fetch_add(1, Ordering::Relaxed),
         };
@@ -158,12 +160,16 @@ fn worker(shared: &Shared, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Frame
     }
 }
 
-fn run_job(job: &Job, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Frame + Sync)) -> Frame {
+fn run_job(
+    job: &Job,
+    metrics: &Metrics,
+    handler: &(dyn Fn(&Frame) -> Response + Sync),
+) -> Response {
     if let Some(deadline) = job.deadline {
         if Instant::now() > deadline {
             metrics.expired.fetch_add(1, Ordering::Relaxed);
-            return Frame::text(
-                "error",
+            return Response::error(
+                code::DEADLINE,
                 &format!(
                     "deadline expired after {:?} in queue",
                     job.accepted.elapsed()
@@ -172,9 +178,9 @@ fn run_job(job: &Job, metrics: &Metrics, handler: &(dyn Fn(&Frame) -> Frame + Sy
         }
     }
     let response = match catch_unwind(AssertUnwindSafe(|| handler(&job.request))) {
-        Ok(frame) => frame,
-        Err(payload) => Frame::text(
-            "error",
+        Ok(response) => response,
+        Err(payload) => Response::error(
+            code::INTERNAL,
             &format!(
                 "internal panic handling {} request: {}",
                 job.request.kind,
@@ -205,15 +211,15 @@ mod tests {
                 "boom" => panic!("intentional test panic"),
                 "slow" => {
                     std::thread::sleep(Duration::from_millis(100));
-                    Frame::text("ok", "slow done")
+                    Response::ok(b"slow done".to_vec(), 0)
                 }
-                _ => Frame::text("ok", &req.payload_text()),
+                _ => Response::ok(req.payload.clone(), 0),
             }),
         );
         (pool, metrics)
     }
 
-    fn job(kind: &str, deadline: Option<Instant>) -> (Job, mpsc::Receiver<Frame>) {
+    fn job(kind: &str, deadline: Option<Instant>) -> (Job, mpsc::Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
         (
             Job {
@@ -232,13 +238,17 @@ mod tests {
         let (boom, boom_rx) = job("boom", None);
         pool.submit(boom).ok().unwrap();
         let response = boom_rx.recv().unwrap();
-        assert_eq!(response.kind, "error");
-        assert!(response.payload_text().contains("intentional test panic"));
+        assert_eq!(response.frame.kind, "error");
+        assert_eq!(response.code, code::INTERNAL);
+        assert!(response
+            .frame
+            .payload_text()
+            .contains("intentional test panic"));
 
         // The pool keeps serving after the panic.
         let (ok, ok_rx) = job("echo", None);
         pool.submit(ok).ok().unwrap();
-        assert_eq!(ok_rx.recv().unwrap().kind, "ok");
+        assert_eq!(ok_rx.recv().unwrap().frame.kind, "ok");
         pool.drain();
         assert_eq!(metrics.ok.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.errors.load(Ordering::Relaxed), 1);
@@ -258,8 +268,8 @@ mod tests {
         // Queue is at its limit of 1: the third job is refused.
         let (shed, _shed_rx) = job("echo", None);
         assert!(pool.submit(shed).is_err());
-        assert_eq!(slow_rx.recv().unwrap().kind, "ok");
-        assert_eq!(queued_rx.recv().unwrap().kind, "ok");
+        assert_eq!(slow_rx.recv().unwrap().frame.kind, "ok");
+        assert_eq!(queued_rx.recv().unwrap().frame.kind, "ok");
         pool.drain();
     }
 
@@ -272,10 +282,11 @@ mod tests {
         // worker, so it must be answered without being started.
         let (late, late_rx) = job("echo", Some(Instant::now() + Duration::from_millis(10)));
         pool.submit(late).ok().unwrap();
-        assert_eq!(slow_rx.recv().unwrap().kind, "ok");
+        assert_eq!(slow_rx.recv().unwrap().frame.kind, "ok");
         let response = late_rx.recv().unwrap();
-        assert_eq!(response.kind, "error");
-        assert!(response.payload_text().contains("deadline expired"));
+        assert_eq!(response.frame.kind, "error");
+        assert_eq!(response.code, code::DEADLINE);
+        assert!(response.frame.payload_text().contains("deadline expired"));
         pool.drain();
         assert_eq!(metrics.expired.load(Ordering::Relaxed), 1);
     }
@@ -285,7 +296,7 @@ mod tests {
         let (pool, _metrics) = echo_pool(2, 4);
         let (a, a_rx) = job("echo", None);
         pool.submit(a).ok().unwrap();
-        assert_eq!(a_rx.recv().unwrap().kind, "ok");
+        assert_eq!(a_rx.recv().unwrap().frame.kind, "ok");
         pool.drain();
         // After drain the pool is gone; nothing left to assert beyond
         // the join having returned without hanging.

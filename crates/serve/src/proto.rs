@@ -206,6 +206,154 @@ fn read_sections(mut bytes: &[u8]) -> Result<Vec<OwnedSection>, String> {
     Ok(out)
 }
 
+/// One frame read by a version-agnostic endpoint: either protocol, or
+/// a well-formed header whose payload was too large to accept.
+///
+/// The oversized variants exist so a server can *answer* an oversized
+/// frame instead of tearing the connection down: the header was valid,
+/// the declared payload has been read and discarded, and the stream is
+/// positioned exactly at the next frame.
+pub enum AnyFrame {
+    /// A `brs1` text frame.
+    V1(Frame),
+    /// A `brs2` binary frame.
+    V2(crate::proto2::Frame2),
+    /// A valid `brs1` header declaring more than [`MAX_PAYLOAD`] bytes;
+    /// the payload was drained and the connection is still in sync.
+    OversizedV1 {
+        /// The declared frame kind.
+        kind: String,
+        /// The declared payload length.
+        len: u64,
+    },
+    /// A valid `brs2` header declaring more than [`MAX_PAYLOAD`] bytes;
+    /// the payload was drained and the connection is still in sync.
+    OversizedV2 {
+        /// The declared opcode.
+        kind: u8,
+        /// The declared payload length.
+        len: u64,
+    },
+}
+
+/// Ceiling on how much oversized payload a server will read-and-discard
+/// to keep a connection usable. A frame declaring more than this is
+/// hostile or corrupt; the reader errors and the caller hangs up.
+pub const DRAIN_LIMIT: u64 = 4 * MAX_PAYLOAD as u64;
+
+/// Read one frame of *either* protocol version, or `Ok(None)` on a
+/// clean EOF before any header byte. The 4-byte frame prefix
+/// disambiguates: `brs1` headers begin `brs1 ` (text), `brs2` frames
+/// begin with the binary magic `brs2`.
+///
+/// Oversized payloads under valid headers are drained (up to
+/// [`DRAIN_LIMIT`]) and reported as [`AnyFrame::OversizedV1`] /
+/// [`AnyFrame::OversizedV2`] so the caller can answer with an error
+/// frame and keep the connection; everything else that is malformed is
+/// an `InvalidData` error, after which the stream position is
+/// unknowable and the caller must hang up.
+///
+/// # Errors
+///
+/// I/O failure, a malformed header, or an undrainable oversized frame.
+pub fn read_any(r: &mut impl Read) -> io::Result<Option<AnyFrame>> {
+    use crate::proto2;
+    let mut magic = [0u8; 4];
+    let mut got = 0;
+    while got < magic.len() {
+        match r.read(&mut magic[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if &magic == proto2::MAGIC2 {
+        let (kind, flags, code, aux, len) = proto2::read_header_after_magic(r)?;
+        if len > MAX_PAYLOAD as u64 {
+            drain_exact(r, len)?;
+            return Ok(Some(AnyFrame::OversizedV2 { kind, len }));
+        }
+        let mut payload = vec![0u8; len as usize];
+        r.read_exact(&mut payload)?;
+        return Ok(Some(AnyFrame::V2(proto2::Frame2 {
+            kind,
+            flags,
+            code,
+            aux,
+            payload,
+        })));
+    }
+    if &magic != b"brs1" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unrecognized frame prefix {magic:?} (not brs1 or brs2)"),
+        ));
+    }
+    // brs1: the rest of the text header line is `<space><kind> <len>\n`.
+    let rest = read_line(r)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF inside frame header"))?;
+    let bad = || {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad header: {:?}", format!("brs1{rest}")),
+        )
+    };
+    let rest = rest.strip_prefix(' ').ok_or_else(bad)?;
+    let (kind, len) = rest.split_once(' ').ok_or_else(bad)?;
+    if kind.is_empty() || kind.contains(' ') {
+        return Err(bad());
+    }
+    let len: u64 = len.parse().map_err(|_| bad())?;
+    if len > MAX_PAYLOAD as u64 {
+        drain_exact(r, len)?;
+        return Ok(Some(AnyFrame::OversizedV1 {
+            kind: kind.to_string(),
+            len,
+        }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(AnyFrame::V1(Frame {
+        kind: kind.to_string(),
+        payload,
+    })))
+}
+
+/// Read and discard exactly `n` payload bytes (bounded by
+/// [`DRAIN_LIMIT`]) so the stream stays frame-aligned.
+fn drain_exact(r: &mut impl Read, n: u64) -> io::Result<()> {
+    if n > DRAIN_LIMIT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("oversized payload of {n} bytes exceeds the {DRAIN_LIMIT}-byte drain limit"),
+        ));
+    }
+    let mut remaining = n;
+    let mut buf = [0u8; 16 * 1024];
+    while remaining > 0 {
+        let take = buf.len().min(remaining as usize);
+        match r.read(&mut buf[..take]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF while draining oversized payload",
+                ))
+            }
+            Ok(got) => remaining -= got as u64,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// A blocking request/response client over one TCP connection.
 ///
 /// The protocol is strictly request–response per connection, so the
@@ -333,6 +481,78 @@ mod tests {
         // Oversized payload is rejected before allocation.
         let huge = format!("brs1 ok {}\n", MAX_PAYLOAD + 1);
         assert!(Frame::read_from(&mut huge.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_any_speaks_both_protocols_on_one_stream() {
+        use crate::proto2::{self, Frame2};
+        let mut wire = Vec::new();
+        Frame::text("health", "").write_to(&mut wire).unwrap();
+        Frame2::request(proto2::kind::HEALTH, &[])
+            .write_to(&mut wire)
+            .unwrap();
+        let mut r = wire.as_slice();
+        match read_any(&mut r).unwrap().unwrap() {
+            AnyFrame::V1(f) => assert_eq!(f.kind, "health"),
+            _ => panic!("expected a v1 frame"),
+        }
+        match read_any(&mut r).unwrap().unwrap() {
+            AnyFrame::V2(f) => assert_eq!(f.kind, proto2::kind::HEALTH),
+            _ => panic!("expected a v2 frame"),
+        }
+        assert!(read_any(&mut r).unwrap().is_none());
+        // Unknown prefixes are InvalidData, not silence.
+        assert!(read_any(&mut "brsX nope 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_any_drains_oversized_frames_and_stays_in_sync() {
+        use crate::proto2::{self, Frame2};
+        // A v1 frame declaring MAX_PAYLOAD+3 bytes, actually carrying
+        // them, followed by a well-formed frame: the reader must report
+        // the oversize and then read the next frame cleanly.
+        let len = MAX_PAYLOAD + 3;
+        let mut wire = format!("brs1 reorder {len}\n").into_bytes();
+        wire.resize(wire.len() + len, b'x');
+        Frame::text("health", "").write_to(&mut wire).unwrap();
+        let mut r = wire.as_slice();
+        match read_any(&mut r).unwrap().unwrap() {
+            AnyFrame::OversizedV1 { kind, len: l } => {
+                assert_eq!(kind, "reorder");
+                assert_eq!(l, len as u64);
+            }
+            _ => panic!("expected oversized v1"),
+        }
+        assert!(matches!(
+            read_any(&mut r).unwrap(),
+            Some(AnyFrame::V1(f)) if f.kind == "health"
+        ));
+
+        // Same for v2.
+        let mut wire = Vec::new();
+        let big = Frame2::request(proto2::kind::REORDER, &[]);
+        big.write_to(&mut wire).unwrap();
+        wire[16..20].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+        wire.resize(wire.len() + MAX_PAYLOAD + 1, b'y');
+        Frame2::request(proto2::kind::HEALTH, &[])
+            .write_to(&mut wire)
+            .unwrap();
+        let mut r = wire.as_slice();
+        match read_any(&mut r).unwrap().unwrap() {
+            AnyFrame::OversizedV2 { kind, len } => {
+                assert_eq!(kind, proto2::kind::REORDER);
+                assert_eq!(len, MAX_PAYLOAD as u64 + 1);
+            }
+            _ => panic!("expected oversized v2"),
+        }
+        assert!(matches!(
+            read_any(&mut r).unwrap(),
+            Some(AnyFrame::V2(f)) if f.kind == proto2::kind::HEALTH
+        ));
+
+        // Beyond the drain limit the reader refuses outright.
+        let silly = format!("brs1 reorder {}\n", DRAIN_LIMIT + 1);
+        assert!(read_any(&mut silly.as_bytes()).is_err());
     }
 
     #[test]

@@ -22,10 +22,25 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use crate::endpoints::Endpoints;
+use crate::endpoints::{Endpoints, Response};
 use crate::metrics::Metrics;
 use crate::pool::{Job, Pool};
-use crate::proto::Frame;
+use crate::proto::{self, AnyFrame, Frame, MAX_PAYLOAD};
+use crate::proto2::{self, BatchReply, Frame2};
+
+/// Which protocol versions a listener accepts. A frame in a disallowed
+/// version is answered *in the sender's protocol* with an error naming
+/// both versions, and the connection stays usable — a mismatched client
+/// gets a diagnosis, not a hangup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// Accept both `brs1` and `brs2` (the default for shards).
+    Both,
+    /// Accept only the `brs1` text protocol.
+    V1Only,
+    /// Accept only the `brs2` binary protocol (cluster routers).
+    V2Only,
+}
 
 /// Daemon configuration (`brc serve` flags map here 1:1).
 #[derive(Clone, Debug)]
@@ -43,6 +58,8 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Expose the `sleep`/`panic` fault-injection endpoints.
     pub debug_endpoints: bool,
+    /// Protocol versions this listener accepts.
+    pub protocols: ProtocolMode,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +71,7 @@ impl Default for ServeConfig {
             deadline_ms: 10_000,
             cache_dir: Some(PathBuf::from("target/serve-cache")),
             debug_endpoints: false,
+            protocols: ProtocolMode::Both,
         }
     }
 }
@@ -62,8 +80,18 @@ impl Default for ServeConfig {
 /// every server in the process (in practice there is one).
 static TERMINATED: AtomicBool = AtomicBool::new(false);
 
+/// Has the process received SIGTERM/SIGINT? Exposed so embedders (the
+/// cluster supervisor, long-running CLIs) can share the daemon's
+/// signal handling instead of installing their own.
+pub fn terminated() -> bool {
+    TERMINATED.load(Ordering::SeqCst)
+}
+
+/// Install the pure-std SIGTERM/SIGINT handler (idempotent). Normally
+/// called by [`Server::start`]; exposed for processes that want signal
+/// observability before (or without) starting a server.
 #[cfg(unix)]
-fn install_signal_handler() {
+pub fn install_signal_handler() {
     // Pure-std SIGTERM/SIGINT: declare libc's `signal` ourselves (the
     // symbol is always linked) and do nothing in the handler beyond an
     // atomic store, the canonical async-signal-safe operation.
@@ -82,8 +110,9 @@ fn install_signal_handler() {
     }
 }
 
+/// Install the pure-std SIGTERM/SIGINT handler (no-op off unix).
 #[cfg(not(unix))]
-fn install_signal_handler() {}
+pub fn install_signal_handler() {}
 
 /// A running daemon. Obtained from [`Server::start`]; lives until
 /// [`Server::wait`] observes a shutdown trigger and finishes draining.
@@ -118,7 +147,7 @@ impl Server {
         } else {
             config.threads
         };
-        let handler: Arc<dyn Fn(&Frame) -> Frame + Send + Sync> =
+        let handler: Arc<dyn Fn(&Frame) -> Response + Send + Sync> =
             Arc::new(move |request| endpoints.handle(request));
         let pool = Pool::start(threads, config.queue, Arc::clone(&metrics), handler);
         Ok(Server {
@@ -169,8 +198,16 @@ impl Server {
                     let metrics = Arc::clone(&self.metrics);
                     let shutdown = Arc::clone(&self.shutdown);
                     let deadline_ms = self.config.deadline_ms;
+                    let protocols = self.config.protocols;
                     connections.push(std::thread::spawn(move || {
-                        serve_connection(stream, &pool, &metrics, &shutdown, deadline_ms);
+                        serve_connection(
+                            stream,
+                            &pool,
+                            &metrics,
+                            &shutdown,
+                            deadline_ms,
+                            protocols,
+                        );
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -194,15 +231,34 @@ impl Server {
     }
 }
 
-/// A [`Read`] wrapper that separates *idle at a frame boundary* from
+/// A [`std::io::Read`] wrapper that separates *idle at a frame boundary* from
 /// *stalled mid-frame*. At a boundary (no byte of the next frame seen
 /// yet) a read timeout surfaces as `WouldBlock` so the caller can poll
 /// the shutdown flag. Once a frame has started, timeouts are retried —
 /// a slow sender must not desynchronize the stream — up to a bound, so
 /// a wedged client cannot hold a drain hostage forever.
-struct FrameReader<R: io::Read> {
+///
+/// Public so the cluster router's connection loop (same read
+/// discipline, different dispatch) can reuse it.
+pub struct FrameReader<R: io::Read> {
     inner: R,
     mid_frame: bool,
+}
+
+impl<R: io::Read> FrameReader<R> {
+    /// Wrap a stream whose read timeout doubles as the drain poll tick.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            mid_frame: false,
+        }
+    }
+
+    /// Mark the frame boundary: the next timeout is *idle*, not a
+    /// mid-frame stall. Call before each frame read.
+    pub fn reset(&mut self) {
+        self.mid_frame = false;
+    }
 }
 
 /// Mid-frame stall bound: 50 retries x the 200 ms socket timeout = 10 s.
@@ -244,31 +300,29 @@ impl<R: io::Read> io::Read for FrameReader<R> {
     }
 }
 
-/// One connection: read frames, dispatch, write responses, until EOF,
-/// error, or drain.
+/// One connection: read frames (either protocol), dispatch, write
+/// responses, until EOF, error, or drain.
 fn serve_connection(
     stream: TcpStream,
     pool: &Pool,
     metrics: &Metrics,
     shutdown: &AtomicBool,
     deadline_ms: u64,
+    protocols: ProtocolMode,
 ) {
     // The read timeout doubles as the drain poll interval: an idle
     // connection notices shutdown within 200 ms.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let _ = stream.set_nodelay(true);
-    let mut reader = FrameReader {
-        inner: match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        },
-        mid_frame: false,
-    };
+    let mut reader = FrameReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
     let mut writer = io::BufWriter::new(stream);
     loop {
-        reader.mid_frame = false;
-        let request = match Frame::read_from(&mut reader) {
-            Ok(Some(frame)) => frame,
+        reader.reset();
+        let any = match proto::read_any(&mut reader) {
+            Ok(Some(any)) => any,
             Ok(None) => return,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -287,48 +341,300 @@ fn serve_connection(
             }
             Err(_) => return,
         };
-        metrics.count_request(&request.kind);
-        let response = match request.kind.as_str() {
-            "health" => {
-                let state = if shutdown.load(Ordering::SeqCst) {
-                    "draining"
+        let keep_going = match any {
+            AnyFrame::OversizedV1 { kind, len } => {
+                // Satellite fix: the payload was drained, so the stream
+                // is still frame-aligned — answer and keep serving.
+                metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Frame::text(
+                    "error",
+                    &format!(
+                        "oversized frame: {kind} declared {len} bytes, limit is {MAX_PAYLOAD}\n"
+                    ),
+                )
+                .write_to(&mut writer)
+                .is_ok()
+            }
+            AnyFrame::OversizedV2 { kind, len } => {
+                metrics.oversized.fetch_add(1, Ordering::Relaxed);
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Frame2::error(
+                    proto2::code::OVERSIZED,
+                    &format!("oversized frame: opcode {kind} declared {len} bytes, limit is {MAX_PAYLOAD}"),
+                )
+                .write_to(&mut writer)
+                .is_ok()
+            }
+            AnyFrame::V1(request) => {
+                if protocols == ProtocolMode::V2Only {
+                    metrics.mismatch.fetch_add(1, Ordering::Relaxed);
+                    Frame::text(
+                        "error",
+                        &format!(
+                            "protocol mismatch: this endpoint speaks brs2 (binary), \
+                             the request was brs1 {:?}; reconnect with brs2 framing\n",
+                            request.kind
+                        ),
+                    )
+                    .write_to(&mut writer)
+                    .is_ok()
                 } else {
-                    "ok"
-                };
-                Frame::text("ok", &format!("{state}\n"))
+                    serve_v1(request, pool, metrics, shutdown, deadline_ms, &mut writer)
+                }
             }
-            "metrics" => Frame::text("ok", &metrics.render()),
-            "shutdown" => {
-                shutdown.store(true, Ordering::SeqCst);
-                let _ = Frame::text("ok", "draining\n").write_to(&mut writer);
-                return;
-            }
-            _ => {
-                let (reply, result) = mpsc::channel();
-                let deadline =
-                    (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
-                let job = Job {
-                    request,
-                    accepted: Instant::now(),
-                    deadline,
-                    reply,
-                };
-                match pool.submit(job) {
-                    Ok(()) => match result.recv() {
-                        Ok(frame) => frame,
-                        // Worker vanished mid-drain; the connection has
-                        // nothing useful left to say.
-                        Err(_) => return,
-                    },
-                    Err(_job) => {
-                        metrics.shed.fetch_add(1, Ordering::Relaxed);
-                        Frame::text("overloaded", "admission queue full; retry with backoff\n")
-                    }
+            AnyFrame::V2(request) => {
+                if protocols == ProtocolMode::V1Only {
+                    metrics.mismatch.fetch_add(1, Ordering::Relaxed);
+                    Frame2::error(
+                        proto2::code::PROTOCOL,
+                        &format!(
+                            "protocol mismatch: this endpoint speaks brs1 (text), \
+                             the request was brs2 opcode {}; reconnect with brs1 framing",
+                            request.kind
+                        ),
+                    )
+                    .write_to(&mut writer)
+                    .is_ok()
+                } else {
+                    metrics.v2_requests.fetch_add(1, Ordering::Relaxed);
+                    serve_v2(request, pool, metrics, shutdown, deadline_ms, &mut writer)
                 }
             }
         };
-        if response.write_to(&mut writer).is_err() {
+        if !keep_going {
             return;
         }
     }
+}
+
+/// Dispatch one `brs1` frame. Returns `false` when the connection is
+/// done (write failure, drain, or shutdown).
+fn serve_v1(
+    request: Frame,
+    pool: &Pool,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    deadline_ms: u64,
+    writer: &mut impl io::Write,
+) -> bool {
+    metrics.count_request(&request.kind);
+    let response = match request.kind.as_str() {
+        "health" => {
+            let state = if shutdown.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            Frame::text("ok", &format!("{state}\n"))
+        }
+        "metrics" => Frame::text("ok", &metrics.render()),
+        "shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = Frame::text("ok", "draining\n").write_to(writer);
+            return false;
+        }
+        _ => {
+            let (reply, result) = mpsc::channel();
+            let deadline =
+                (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+            let job = Job {
+                request,
+                accepted: Instant::now(),
+                deadline,
+                reply,
+            };
+            match pool.submit(job) {
+                Ok(()) => match result.recv() {
+                    Ok(response) => response.frame,
+                    // Worker vanished mid-drain; the connection has
+                    // nothing useful left to say.
+                    Err(_) => return false,
+                },
+                Err(_job) => {
+                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    Frame::text("overloaded", "admission queue full; retry with backoff\n")
+                }
+            }
+        }
+    };
+    response.write_to(writer).is_ok()
+}
+
+/// Dispatch one `brs2` frame (possibly a batch). Returns `false` when
+/// the connection is done.
+fn serve_v2(
+    request: Frame2,
+    pool: &Pool,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+    deadline_ms: u64,
+    writer: &mut impl io::Write,
+) -> bool {
+    let response = match request.kind {
+        proto2::kind::HEALTH => {
+            metrics.count_request("health");
+            let state = if shutdown.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            Frame2::ok(0, format!("{state}\n").into_bytes())
+        }
+        proto2::kind::METRICS => {
+            metrics.count_request("metrics");
+            Frame2::ok(0, metrics.render().into_bytes())
+        }
+        proto2::kind::SHUTDOWN => {
+            metrics.count_request("shutdown");
+            shutdown.store(true, Ordering::SeqCst);
+            let _ = Frame2::ok(0, b"draining\n".to_vec()).write_to(writer);
+            return false;
+        }
+        proto2::kind::BATCH => {
+            let items = match proto2::batch_items(&request.payload) {
+                Ok(items) => items,
+                Err(e) => {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    return Frame2::error(proto2::code::BAD_REQUEST, &format!("bad batch: {e}"))
+                        .write_to(writer)
+                        .is_ok();
+                }
+            };
+            metrics
+                .batch_items
+                .fetch_add(items.len() as u64, Ordering::Relaxed);
+            let mut payload = Vec::new();
+            for (kind, item_payload) in items {
+                let reply = dispatch_v2_item(kind, item_payload, pool, metrics, deadline_ms);
+                proto2::push_batch_reply(&mut payload, &reply);
+            }
+            Frame2 {
+                kind: proto2::kind::OK,
+                flags: proto2::flags::BATCH,
+                code: proto2::code::OK,
+                aux: 0,
+                payload,
+            }
+        }
+        kind => {
+            let reply = dispatch_v2_item(kind, &request.payload, pool, metrics, deadline_ms);
+            Frame2 {
+                kind: reply.kind,
+                flags: 0,
+                code: reply.code,
+                aux: reply.aux,
+                payload: reply.payload,
+            }
+        }
+    };
+    response.write_to(writer).is_ok()
+}
+
+/// Run one `brs2` compute item through the pool, returning the reply in
+/// batch-item shape (also used, unbatched, for single frames).
+fn dispatch_v2_item(
+    kind: u8,
+    payload: &[u8],
+    pool: &Pool,
+    metrics: &Metrics,
+    deadline_ms: u64,
+) -> BatchReply {
+    let error = |code: u16, message: String| BatchReply {
+        kind: proto2::kind::ERROR,
+        code,
+        aux: 0,
+        payload: message.into_bytes(),
+    };
+    let Some(kind_name) = proto2::kind_name(kind) else {
+        metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return error(
+            proto2::code::BAD_REQUEST,
+            format!("unknown brs2 opcode {kind}"),
+        );
+    };
+    if matches!(
+        kind,
+        proto2::kind::HEALTH | proto2::kind::METRICS | proto2::kind::SHUTDOWN
+    ) {
+        metrics.errors.fetch_add(1, Ordering::Relaxed);
+        return error(
+            proto2::code::BAD_REQUEST,
+            format!("{kind_name} is not batchable; send it as its own frame"),
+        );
+    }
+    metrics.count_request(kind_name);
+    // The debug endpoints take raw text payloads, not sections.
+    let request = if matches!(kind, proto2::kind::SLEEP | proto2::kind::PANIC) {
+        Ok(Frame {
+            kind: kind_name.to_string(),
+            payload: payload.to_vec(),
+        })
+    } else {
+        v2_payload_to_v1(kind_name, payload)
+    };
+    let request = match request {
+        Ok(frame) => frame,
+        Err(e) => {
+            metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return error(proto2::code::BAD_REQUEST, e);
+        }
+    };
+    let (reply, result) = mpsc::channel();
+    let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+    let job = Job {
+        request,
+        accepted: Instant::now(),
+        deadline,
+        reply,
+    };
+    match pool.submit(job) {
+        Ok(()) => match result.recv() {
+            Ok(response) => BatchReply {
+                kind: if response.frame.kind == "ok" {
+                    proto2::kind::OK
+                } else {
+                    proto2::kind::ERROR
+                },
+                code: response.code,
+                aux: response.cache_key,
+                payload: response.frame.payload,
+            },
+            Err(_) => error(
+                proto2::code::DRAINING,
+                "worker pool drained mid-request".to_string(),
+            ),
+        },
+        Err(_job) => {
+            metrics.shed.fetch_add(1, Ordering::Relaxed);
+            error(
+                proto2::code::SHED,
+                "admission queue full; retry with backoff".to_string(),
+            )
+        }
+    }
+}
+
+/// Translate a `brs2` binary-section payload into the equivalent `brs1`
+/// frame the endpoints understand. Body sections keep their `brs1`
+/// names; hash sections become `name#` pseudo-sections the endpoint
+/// resolves against the intern table.
+fn v2_payload_to_v1(kind_name: &str, payload: &[u8]) -> Result<Frame, String> {
+    let sections = proto2::sections(payload)?;
+    let mut named: Vec<(String, &[u8])> = Vec::with_capacity(sections.len());
+    for (id, bytes) in sections {
+        if let Some(name) = proto2::sec_name(id) {
+            named.push((name.to_string(), bytes));
+        } else if let Some(body) = proto2::hash_target(id) {
+            let body_name = proto2::sec_name(body).expect("hash targets are body sections");
+            named.push((format!("{body_name}#"), bytes));
+        } else {
+            return Err(format!("unknown brs2 section id {id}"));
+        }
+    }
+    let borrowed: Vec<proto::Section<'_>> = named
+        .iter()
+        .map(|(name, bytes)| proto::Section { name, bytes })
+        .collect();
+    Ok(Frame::structured(kind_name, &borrowed))
 }

@@ -1,0 +1,530 @@
+//! `brs2` protocol end-to-end tests: a real daemon on a real socket,
+//! exercised over the binary protocol.
+//!
+//! The contracts pinned here:
+//!
+//! * a `brs2` reorder response carries the **byte-identical** section
+//!   stream a `brs1` client gets — including the `certs` proof
+//!   section — whether computed fresh or resolved from hashes;
+//! * module interning: a hash the shard has never seen draws a
+//!   `need-module` error naming the hash; after one upload the same
+//!   hash-only request succeeds, and survives a daemon **restart** via
+//!   the shared artifact cache;
+//! * batched requests answer item-for-item identically to unbatched;
+//! * protocol mismatch (either direction) draws a structured error
+//!   naming both versions, **in the sender's protocol**, and the same
+//!   connection can immediately continue in the right one;
+//! * an oversized frame is answered with an error and the connection
+//!   stays usable;
+//! * admission control under deterministic saturation: a wedged
+//!   worker plus a full queue sheds exactly the overflow with the
+//!   `shed` code, and every accepted request completes within its
+//!   deadline (`deadline_expired` stays 0).
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use br_ir::print_module;
+use br_minic::{compile, HeuristicSet, Options};
+use br_serve::metrics::Metrics;
+use br_serve::proto::{section, Client, Frame, Section, MAX_PAYLOAD};
+use br_serve::proto2::{self, request_payload, Frame2, ModuleRef};
+use br_serve::server::{ProtocolMode, ServeConfig, Server};
+use br_serve::Client2;
+
+fn start_daemon(mut config: ServeConfig) -> (std::thread::JoinHandle<()>, String) {
+    config.addr = "127.0.0.1:0".to_string();
+    let server = Server::start(config).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    let handle = std::thread::spawn(move || server.wait().expect("clean shutdown"));
+    (handle, addr)
+}
+
+fn shutdown_v1(addr: &str) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let bye = client
+        .call(&Frame::text("shutdown", ""))
+        .expect("shutdown acknowledged");
+    assert_eq!(bye.kind, "ok");
+}
+
+fn shutdown_v2(addr: &str) {
+    let mut client = Client2::connect(addr).expect("connect for shutdown");
+    let bye = client
+        .call(&Frame2::request(proto2::kind::SHUTDOWN, &[]))
+        .expect("shutdown acknowledged");
+    assert_eq!(bye.kind, proto2::kind::OK, "{}", bye.payload_text());
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("br-serve-brs2-{tag}-{}", std::process::id()))
+}
+
+fn counter(addr: &str, name: &str) -> u64 {
+    let mut client = Client::connect(addr).expect("connect for metrics");
+    let response = client.call(&Frame::text("metrics", "")).expect("metrics");
+    Metrics::parse_counter(&response.payload_text(), name)
+        .unwrap_or_else(|| panic!("counter {name} missing from:\n{}", response.payload_text()))
+}
+
+fn workload_operands(name: &str, train_size: usize) -> (Arc<String>, Vec<u8>) {
+    let w = br_workloads::by_name(name).expect("workload exists");
+    let mut module =
+        compile(w.source, &Options::with_heuristics(HeuristicSet::SET_I)).expect("compiles");
+    br_opt::optimize(&mut module);
+    (
+        Arc::new(print_module(&module)),
+        w.training_input(train_size),
+    )
+}
+
+fn v1_reorder(client: &mut Client, module_text: &str, train: &[u8]) -> Frame {
+    client
+        .call(&Frame::structured(
+            "reorder",
+            &[
+                Section {
+                    name: "module",
+                    bytes: module_text.as_bytes(),
+                },
+                Section {
+                    name: "train",
+                    bytes: train,
+                },
+            ],
+        ))
+        .expect("v1 call")
+}
+
+#[test]
+fn brs2_response_is_byte_identical_to_brs1_including_certs() {
+    // No cache: both protocols compute fresh, so equality checks the
+    // normalization path, not a shared cache entry.
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 2,
+        cache_dir: None,
+        ..ServeConfig::default()
+    });
+    let mut v1 = Client::connect(&addr).expect("v1 connect");
+    let mut v2 = Client2::connect(&addr).expect("v2 connect");
+    for name in ["wc", "grep"] {
+        let (module_text, train) = workload_operands(name, 512);
+        let v1_response = v1_reorder(&mut v1, &module_text, &train);
+        assert_eq!(v1_response.kind, "ok", "{}", v1_response.payload_text());
+
+        let modules = vec![ModuleRef::new(
+            proto2::sec::MODULE,
+            Arc::clone(&module_text),
+        )];
+        let v2_response = v2
+            .call_interned(
+                proto2::kind::REORDER,
+                &modules,
+                &[(proto2::sec::TRAIN, &train)],
+            )
+            .expect("v2 call");
+        assert_eq!(
+            v2_response.kind,
+            proto2::kind::OK,
+            "{name}: {}",
+            v2_response.payload_text()
+        );
+        assert_eq!(
+            v2_response.payload, v1_response.payload,
+            "{name}: brs2 OK payload must be the brs1 section stream, verbatim"
+        );
+
+        // The proof certificates travel in both answers.
+        let as_v1 = Frame {
+            kind: "ok".to_string(),
+            payload: v2_response.payload.clone(),
+        };
+        let sections = as_v1.sections().expect("structured response");
+        let certs = section(&sections, "certs").expect("certs section");
+        assert!(
+            !certs.bytes.is_empty(),
+            "{name}: certs section must be populated"
+        );
+
+        // Steady state: the same request by hash only, no body, and the
+        // answer is still byte-identical.
+        let hash_only = v2
+            .call_interned(
+                proto2::kind::REORDER,
+                &modules,
+                &[(proto2::sec::TRAIN, &train)],
+            )
+            .expect("hash-only call");
+        assert_eq!(hash_only.payload, v1_response.payload, "{name}");
+    }
+    shutdown_v1(&addr);
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
+fn need_module_flow_uploads_once_and_survives_restart() {
+    let cache = temp_dir("intern");
+    let _ = std::fs::remove_dir_all(&cache);
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 1,
+        cache_dir: Some(cache.clone()),
+        ..ServeConfig::default()
+    });
+    let (module_text, train) = workload_operands("wc", 256);
+    let modules = vec![ModuleRef::new(
+        proto2::sec::MODULE,
+        Arc::clone(&module_text),
+    )];
+
+    // A hash the daemon has never seen draws need-module, naming it.
+    let mut v2 = Client2::connect(&addr).expect("connect");
+    let optimistic = Frame2 {
+        kind: proto2::kind::REORDER,
+        flags: 0,
+        code: 0,
+        aux: 0,
+        payload: request_payload(&modules, &[(proto2::sec::TRAIN, &train)], |_| true),
+    };
+    let refused = v2.call(&optimistic).expect("answered");
+    assert_eq!(refused.kind, proto2::kind::ERROR);
+    assert_eq!(
+        refused.code,
+        proto2::code::NEED_MODULE,
+        "{}",
+        refused.payload_text()
+    );
+    assert!(
+        refused
+            .payload_text()
+            .contains(&format!("{:016x}", modules[0].hash)),
+        "need-module must name the missing hash: {}",
+        refused.payload_text()
+    );
+    assert_eq!(counter(&addr, "need_module"), 1);
+
+    // One full upload, then hash-only succeeds — same bytes.
+    let uploaded = v2
+        .call_interned(
+            proto2::kind::REORDER,
+            &modules,
+            &[(proto2::sec::TRAIN, &train)],
+        )
+        .expect("upload call");
+    assert_eq!(
+        uploaded.kind,
+        proto2::kind::OK,
+        "{}",
+        uploaded.payload_text()
+    );
+    let by_hash = v2.call(&optimistic).expect("hash-only call");
+    assert_eq!(by_hash.kind, proto2::kind::OK, "{}", by_hash.payload_text());
+    assert_eq!(by_hash.payload, uploaded.payload);
+    assert_eq!(counter(&addr, "need_module"), 1, "no second upload needed");
+    shutdown_v1(&addr);
+    daemon.join().expect("daemon thread");
+
+    // Restart on the same cache directory: the interned body comes back
+    // from disk, so the very first hash-only request succeeds.
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 1,
+        cache_dir: Some(cache.clone()),
+        ..ServeConfig::default()
+    });
+    let mut v2 = Client2::connect(&addr).expect("reconnect");
+    let after_restart = v2.call(&optimistic).expect("hash-only after restart");
+    assert_eq!(
+        after_restart.kind,
+        proto2::kind::OK,
+        "interned module must survive restart via the artifact cache: {}",
+        after_restart.payload_text()
+    );
+    assert_eq!(after_restart.payload, uploaded.payload);
+    assert_eq!(counter(&addr, "need_module"), 0);
+    shutdown_v1(&addr);
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn batched_requests_answer_identically_to_unbatched() {
+    let cache = temp_dir("batch");
+    let _ = std::fs::remove_dir_all(&cache);
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 2,
+        cache_dir: Some(cache.clone()),
+        ..ServeConfig::default()
+    });
+    let (wc_text, wc_train) = workload_operands("wc", 256);
+    let (cb_text, cb_train) = workload_operands("cb", 256);
+    let wc_modules = vec![ModuleRef::new(proto2::sec::MODULE, wc_text)];
+    let cb_modules = vec![ModuleRef::new(proto2::sec::MODULE, cb_text)];
+    let wc_plain: Vec<(u8, &[u8])> = vec![(proto2::sec::TRAIN, &wc_train)];
+    let cb_plain: Vec<(u8, &[u8])> = vec![(proto2::sec::TRAIN, &cb_train)];
+
+    let mut batcher = Client2::connect(&addr).expect("connect");
+    let items: Vec<proto2::BatchItem<'_>> = vec![
+        (proto2::kind::REORDER, &wc_modules, &wc_plain),
+        (proto2::kind::REORDER, &cb_modules, &cb_plain),
+        (proto2::kind::REORDER, &wc_modules, &wc_plain),
+    ];
+    let replies = batcher.call_batch(&items).expect("batch call");
+    assert_eq!(replies.len(), 3);
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(
+            reply.kind,
+            proto2::kind::OK,
+            "item {i}: {:?}",
+            reply.payload
+        );
+        assert_ne!(reply.aux, 0, "item {i}: cacheable response carries its key");
+    }
+    assert_eq!(
+        replies[0].payload, replies[2].payload,
+        "same request, same bytes"
+    );
+    assert_eq!(
+        replies[0].aux, replies[2].aux,
+        "same request, same cache key"
+    );
+    assert_eq!(counter(&addr, "batch_items"), 3);
+
+    // A fresh unbatched client gets the same bytes per item.
+    let mut single = Client2::connect(&addr).expect("connect");
+    for (i, (k, modules, plain)) in items.iter().enumerate() {
+        let lone = single.call_interned(*k, modules, plain).expect("call");
+        assert_eq!(lone.kind, proto2::kind::OK);
+        assert_eq!(
+            lone.payload, replies[i].payload,
+            "item {i}: batched and unbatched answers must be byte-identical"
+        );
+    }
+    shutdown_v1(&addr);
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn v1_frame_to_v2_only_endpoint_draws_structured_mismatch_and_connection_survives() {
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 1,
+        cache_dir: None,
+        protocols: ProtocolMode::V2Only,
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    Frame::text("health", "")
+        .write_to(&mut stream)
+        .expect("send v1");
+    let refused = Frame::read_from(&mut stream)
+        .expect("answered in v1")
+        .expect("not EOF");
+    assert_eq!(refused.kind, "error");
+    let text = refused.payload_text();
+    assert!(
+        text.contains("brs2") && text.contains("brs1"),
+        "mismatch error must name both protocol versions: {text}"
+    );
+    assert_eq!(counter_v2(&addr, "mismatch"), 1);
+
+    // Same connection, correct protocol: served.
+    Frame2::request(proto2::kind::HEALTH, &[])
+        .write_to(&mut stream)
+        .expect("send v2");
+    let ok = Frame2::read_from(&mut stream).expect("v2 answer");
+    assert_eq!(ok.kind, proto2::kind::OK);
+    drop(stream);
+    shutdown_v2(&addr);
+    daemon.join().expect("daemon thread");
+}
+
+/// Metrics over `brs2`, for daemons that refuse `brs1`.
+fn counter_v2(addr: &str, name: &str) -> u64 {
+    let mut client = Client2::connect(addr).expect("connect for metrics");
+    let response = client
+        .call(&Frame2::request(proto2::kind::METRICS, &[]))
+        .expect("metrics");
+    assert_eq!(response.kind, proto2::kind::OK);
+    Metrics::parse_counter(&response.payload_text(), name)
+        .unwrap_or_else(|| panic!("counter {name} missing from:\n{}", response.payload_text()))
+}
+
+#[test]
+fn v2_frame_to_v1_only_endpoint_draws_structured_mismatch_and_connection_survives() {
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 1,
+        cache_dir: None,
+        protocols: ProtocolMode::V1Only,
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    Frame2::request(proto2::kind::HEALTH, &[])
+        .write_to(&mut stream)
+        .expect("send v2");
+    let refused = Frame2::read_from(&mut stream).expect("answered in v2");
+    assert_eq!(refused.kind, proto2::kind::ERROR);
+    assert_eq!(refused.code, proto2::code::PROTOCOL);
+    let text = refused.payload_text();
+    assert!(
+        text.contains("brs1") && text.contains("brs2"),
+        "mismatch error must name both protocol versions: {text}"
+    );
+
+    // Same connection, downgraded to brs1: served.
+    Frame::text("health", "")
+        .write_to(&mut stream)
+        .expect("send v1");
+    let ok = Frame::read_from(&mut stream)
+        .expect("v1 answer")
+        .expect("not EOF");
+    assert_eq!(ok.kind, "ok");
+    drop(stream);
+    shutdown_v1(&addr);
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
+fn oversized_frames_are_answered_and_connection_stays_usable() {
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 1,
+        cache_dir: None,
+        ..ServeConfig::default()
+    });
+    let oversize = MAX_PAYLOAD as u64 + 1;
+    let chunk = vec![0u8; 1 << 20];
+    let write_bulk = |stream: &mut TcpStream| {
+        let mut left = oversize;
+        while left > 0 {
+            let n = (left as usize).min(chunk.len());
+            stream.write_all(&chunk[..n]).expect("bulk write");
+            left -= n as u64;
+        }
+    };
+
+    // brs2: hand-built header declaring one byte past the limit.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let mut header = Vec::new();
+    header.extend_from_slice(b"brs2");
+    header.push(proto2::kind::REORDER);
+    header.push(0); // flags
+    header.extend_from_slice(&0u16.to_le_bytes()); // code
+    header.extend_from_slice(&0u64.to_le_bytes()); // aux
+    header.extend_from_slice(&(oversize as u32).to_le_bytes());
+    stream.write_all(&header).expect("header");
+    write_bulk(&mut stream);
+    let refused = Frame2::read_from(&mut stream).expect("answered");
+    assert_eq!(refused.kind, proto2::kind::ERROR);
+    assert_eq!(
+        refused.code,
+        proto2::code::OVERSIZED,
+        "{}",
+        refused.payload_text()
+    );
+    // The connection survived the drain and keeps serving.
+    Frame2::request(proto2::kind::HEALTH, &[])
+        .write_to(&mut stream)
+        .expect("send health");
+    let ok = Frame2::read_from(&mut stream).expect("health answer");
+    assert_eq!(ok.kind, proto2::kind::OK);
+    drop(stream);
+
+    // brs1: same contract in the text protocol.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    writeln!(stream, "brs1 reorder {oversize}").expect("header");
+    write_bulk(&mut stream);
+    let refused = Frame::read_from(&mut stream)
+        .expect("answered")
+        .expect("not EOF");
+    assert_eq!(refused.kind, "error");
+    assert!(
+        refused.payload_text().contains("oversized"),
+        "{}",
+        refused.payload_text()
+    );
+    Frame::text("health", "")
+        .write_to(&mut stream)
+        .expect("send health");
+    let ok = Frame::read_from(&mut stream)
+        .expect("health answer")
+        .expect("not EOF");
+    assert_eq!(ok.kind, "ok");
+    drop(stream);
+
+    assert_eq!(counter(&addr, "oversized"), 2);
+    shutdown_v1(&addr);
+    daemon.join().expect("daemon thread");
+}
+
+#[test]
+fn saturated_admission_queue_sheds_exactly_the_overflow_and_accepted_work_meets_deadline() {
+    let deadline_ms = 5_000;
+    let (daemon, addr) = start_daemon(ServeConfig {
+        threads: 1,
+        queue: 1,
+        deadline_ms,
+        cache_dir: None,
+        debug_endpoints: true,
+        ..ServeConfig::default()
+    });
+
+    // Wedge the single worker with a slow request, then fill the
+    // depth-1 queue — both over brs2.
+    let occupy = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client2::connect(&addr).expect("connect");
+            let mut sleep = Frame2::request(proto2::kind::SLEEP, &[]);
+            sleep.payload = b"800".to_vec();
+            c.call(&sleep).expect("slow request")
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+    let queued = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client2::connect(&addr).expect("connect");
+            let mut sleep = Frame2::request(proto2::kind::SLEEP, &[]);
+            sleep.payload = b"10".to_vec();
+            c.call(&sleep).expect("queued request")
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Worker busy, queue full: exactly these five must be shed, each
+    // answered immediately with the shed code.
+    const OVERFLOW: usize = 5;
+    for i in 0..OVERFLOW {
+        let mut c = Client2::connect(&addr).expect("connect");
+        let mut sleep = Frame2::request(proto2::kind::SLEEP, &[]);
+        sleep.payload = b"10".to_vec();
+        let shed = c.call(&sleep).expect("shed answered");
+        assert_eq!(shed.kind, proto2::kind::ERROR, "overflow request {i}");
+        assert_eq!(
+            shed.code,
+            proto2::code::SHED,
+            "overflow request {i}: {}",
+            shed.payload_text()
+        );
+    }
+    // And the same saturation over brs1 draws the overloaded frame.
+    let mut v1 = Client::connect(&addr).expect("connect");
+    let shed_v1 = v1.call(&Frame::text("sleep", "10")).expect("shed answered");
+    assert_eq!(shed_v1.kind, "overloaded", "{}", shed_v1.payload_text());
+
+    // Every accepted request completes fine and within deadline.
+    let occupied = occupy.join().expect("occupier");
+    assert_eq!(
+        occupied.kind,
+        proto2::kind::OK,
+        "{}",
+        occupied.payload_text()
+    );
+    let queued = queued.join().expect("queued");
+    assert_eq!(queued.kind, proto2::kind::OK, "{}", queued.payload_text());
+
+    assert_eq!(counter(&addr, "shed"), OVERFLOW as u64 + 1);
+    assert_eq!(counter(&addr, "deadline_expired"), 0);
+    shutdown_v1(&addr);
+    daemon.join().expect("daemon thread");
+}

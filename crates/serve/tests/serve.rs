@@ -230,6 +230,7 @@ fn warm_daemon_sustains_1000_reorder_requests_per_second() {
         input_size: 512,
         reorder_only: true,
         shutdown_after: false,
+        ..LoadgenConfig::default()
     };
     let cold_report = run_loadgen(&warm).expect("warm-up pass");
     assert_eq!(cold_report.errors, 0, "{:?}", cold_report.error_samples);

@@ -79,14 +79,28 @@
 //!   panic isolation, a content-addressed response cache, and
 //!   plaintext `health`/`metrics` (`--addr HOST:PORT`, `--threads N`,
 //!   `--queue N`, `--deadline-ms N`, `--cache DIR`, `--no-cache`,
-//!   `--debug-endpoints`). Drains gracefully on SIGTERM or a
+//!   `--debug-endpoints`, `--protocols both|brs1|brs2`). Speaks both
+//!   the `brs1` text protocol and the `brs2` binary protocol (module
+//!   interning, batching). Drains gracefully on SIGTERM or a
 //!   `shutdown` frame.
-//! * `loadgen` drive a running daemon with a closed-loop multi-
-//!   connection replay of the 17 workloads and print achieved
-//!   throughput, shed rate, and the latency histogram (`--addr`,
-//!   `--conns N`, `--passes N`, `--train N`, `--input N`,
-//!   `--reorder-only`, `--smoke` the CI two-pass contract,
-//!   `--shutdown` drain the daemon afterwards).
+//! * `cluster` run the sharded service: N `brc serve` child processes
+//!   behind the consistent-hash `brs2` router, with cache replication
+//!   to ring successors, shard health probes (eject/readmit), a
+//!   router-side hot-key memo, and a propagated graceful drain
+//!   (`--addr`, `--shards N`, `--base-port P`, `--cache DIR`,
+//!   `--no-cache`, `--threads N`, `--queue N`, `--deadline-ms N`,
+//!   `--no-replicate`, `--hot-threshold N`).
+//! * `loadgen` drive a running daemon or cluster with the 17-workload
+//!   corpus. Closed loop by default (`--conns N`, `--passes N`); open
+//!   loop with `--open --rate R` (or `--rates R1,R2,...` for the
+//!   latency-vs-offered-load sweep), scheduling requests on a shared
+//!   clock and charging latency from the *scheduled* time. `--brs2`
+//!   switches to the binary protocol, `--batch K` packs K requests
+//!   per frame, `--procs N` fans the open loop across N worker
+//!   processes, `--curves FILE` writes the sweep as CSV,
+//!   `--assert-throughput N` exits 1 below N req/s. Also `--train N`,
+//!   `--input N`, `--duration-ms N`, `--reorder-only`, `--smoke` the
+//!   CI two-pass contract, `--shutdown` drain the daemon afterwards.
 //!
 //! Flags:
 //! * `--input FILE`  program stdin (default: empty)
@@ -141,17 +155,23 @@ fn usage() -> ! {
        \x20      brc fuzz [--seeds N] [--start-seed N] [--jobs N] [--time SECS] [--smoke] \
          [--corpus DIR] [--no-reduce] [--replay FILE]\n\
        \x20      brc serve [--addr HOST:PORT] [--threads N] [--queue N] [--deadline-ms N] \
-         [--cache DIR] [--no-cache] [--debug-endpoints]\n\
+         [--cache DIR] [--no-cache] [--debug-endpoints] [--protocols both|brs1|brs2]\n\
+       \x20      brc cluster [--addr HOST:PORT] [--shards N] [--base-port P] [--cache DIR] \
+         [--no-cache] [--threads N] [--queue N] [--deadline-ms N] [--no-replicate] \
+         [--hot-threshold N]\n\
        \x20      brc loadgen [--addr HOST:PORT] [--conns N] [--passes N] [--train N] \
-         [--input N] [--reorder-only] [--smoke] [--shutdown]\n\
+         [--input N] [--reorder-only] [--brs2] [--batch K] [--smoke] [--shutdown] \
+         [--assert-throughput N]\n\
+       \x20      brc loadgen --open (--rate R | --rates R1,R2,...) [--duration-ms N] \
+         [--procs N] [--curves FILE] [common flags above]\n\
        \x20      brc --version"
     );
     exit(2)
 }
 
 /// Every subcommand `brc` understands, for `--version` output.
-const SUBCOMMANDS: [&str; 9] = [
-    "lint", "validate", "prove", "check", "adapt", "sweep", "fuzz", "serve", "loadgen",
+const SUBCOMMANDS: [&str; 10] = [
+    "lint", "validate", "prove", "check", "adapt", "sweep", "fuzz", "serve", "cluster", "loadgen",
 ];
 
 /// `brc --version` / `-V` — crate version plus the enabled subcommands.
@@ -1251,6 +1271,16 @@ fn cmd_serve(argv: impl Iterator<Item = String>) -> ! {
             "--cache" => config.cache_dir = Some(flag_value("--cache", argv.next()).into()),
             "--no-cache" => config.cache_dir = None,
             "--debug-endpoints" => config.debug_endpoints = true,
+            "--protocols" => {
+                config.protocols = match flag_value("--protocols", argv.next()).as_str() {
+                    "both" => br_serve::ProtocolMode::Both,
+                    "brs1" => br_serve::ProtocolMode::V1Only,
+                    "brs2" => br_serve::ProtocolMode::V2Only,
+                    other => bad_args(format_args!(
+                        "--protocols must be both, brs1, or brs2 (got {other})"
+                    )),
+                }
+            }
             "--help" | "-h" => usage(),
             other => bad_args(format_args!("unexpected argument: {other}")),
         }
@@ -1277,12 +1307,61 @@ fn cmd_serve(argv: impl Iterator<Item = String>) -> ! {
     }
 }
 
-/// `brc loadgen` — closed-loop load against a running daemon.
+/// `brc cluster` — run the sharded service: shard daemons as child
+/// processes, the consistent-hash router in this process.
+fn cmd_cluster(argv: impl Iterator<Item = String>) -> ! {
+    use br_cluster::{run_cluster, ClusterConfig};
+
+    let mut config = ClusterConfig::default();
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--addr" => config.router_addr = flag_value("--addr", argv.next()),
+            "--shards" => config.shards = parse_flag("--shards", argv.next()),
+            "--base-port" => config.base_port = parse_flag("--base-port", argv.next()),
+            "--cache" => config.cache_dir = Some(flag_value("--cache", argv.next()).into()),
+            "--no-cache" => config.cache_dir = None,
+            "--threads" => config.threads_per_shard = parse_flag("--threads", argv.next()),
+            "--queue" => config.queue = parse_flag("--queue", argv.next()),
+            "--deadline-ms" => config.deadline_ms = parse_flag("--deadline-ms", argv.next()),
+            "--no-replicate" => config.replicate = false,
+            "--hot-threshold" => config.hot_threshold = parse_flag("--hot-threshold", argv.next()),
+            "--help" | "-h" => usage(),
+            other => bad_args(format_args!("unexpected argument: {other}")),
+        }
+    }
+    if config.shards == 0 {
+        bad_args(format_args!("--shards must be at least 1"));
+    }
+    match run_cluster(&config) {
+        Ok(()) => {
+            eprintln!("brc: cluster drained cleanly");
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("brc: cluster failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// `brc loadgen` — closed- or open-loop load against a running daemon
+/// or cluster.
 fn cmd_loadgen(argv: impl Iterator<Item = String>) -> ! {
-    use br_serve::{run_loadgen, run_smoke, LoadgenConfig};
+    use br_serve::loadgen::{
+        run_curves, run_loadgen, run_open_loop, run_open_multiproc, run_smoke, write_curves,
+        LoadgenConfig, OpenLoopConfig,
+    };
 
     let mut config = LoadgenConfig::default();
     let mut smoke = false;
+    let mut open = false;
+    let mut worker = false;
+    let mut rates: Vec<f64> = Vec::new();
+    let mut duration_ms: u64 = 5_000;
+    let mut procs: usize = 1;
+    let mut curves: Option<String> = None;
+    let mut assert_throughput: Option<f64> = None;
     let mut argv = argv.peekable();
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -1292,10 +1371,112 @@ fn cmd_loadgen(argv: impl Iterator<Item = String>) -> ! {
             "--train" => config.train_size = parse_flag("--train", argv.next()),
             "--input" => config.input_size = parse_flag("--input", argv.next()),
             "--reorder-only" => config.reorder_only = true,
+            "--brs2" => config.brs2 = true,
+            "--batch" => config.batch = parse_flag("--batch", argv.next()),
+            "--open" => open = true,
+            "--rate" => rates.push(parse_flag("--rate", argv.next())),
+            "--rates" => {
+                for r in flag_value("--rates", argv.next()).split(',') {
+                    rates.push(r.trim().parse().unwrap_or_else(|_| {
+                        bad_args(format_args!("invalid rate in --rates: {r}"))
+                    }));
+                }
+            }
+            "--duration-ms" => duration_ms = parse_flag("--duration-ms", argv.next()),
+            "--procs" => procs = parse_flag("--procs", argv.next()),
+            "--curves" => curves = Some(flag_value("--curves", argv.next())),
+            "--assert-throughput" => {
+                assert_throughput = Some(parse_flag("--assert-throughput", argv.next()))
+            }
+            "--worker" => worker = true,
             "--smoke" => smoke = true,
             "--shutdown" => config.shutdown_after = true,
             "--help" | "-h" => usage(),
             other => bad_args(format_args!("unexpected argument: {other}")),
+        }
+    }
+    if open {
+        if rates.is_empty() {
+            bad_args(format_args!("--open requires --rate or --rates"));
+        }
+        let base = OpenLoopConfig {
+            base: config.clone(),
+            rate: rates[0],
+            duration: std::time::Duration::from_millis(duration_ms.max(1)),
+        };
+        if worker {
+            // Child of a --procs fan-out: run this process's share and
+            // print the parseable summary for the parent to merge.
+            match run_open_loop(&base) {
+                Ok(report) => {
+                    println!("{}", report.worker_summary());
+                    exit(0)
+                }
+                Err(e) => {
+                    eprintln!("brc: loadgen worker failed: {e}");
+                    exit(1)
+                }
+            }
+        }
+        let mut worker_args: Vec<String> = [
+            "loadgen",
+            "--worker",
+            "--open",
+            "--addr",
+            &config.addr,
+            "--conns",
+            &config.connections.to_string(),
+            "--train",
+            &config.train_size.to_string(),
+            "--input",
+            &config.input_size.to_string(),
+            "--duration-ms",
+            &duration_ms.to_string(),
+        ]
+        .map(str::to_string)
+        .to_vec();
+        if config.reorder_only {
+            worker_args.push("--reorder-only".to_string());
+        }
+        if config.brs2 {
+            worker_args.push("--brs2".to_string());
+        }
+        let result = if rates.len() > 1 || curves.is_some() {
+            run_curves(&base, &rates, procs, &worker_args)
+        } else if procs > 1 {
+            run_open_multiproc(&base, procs, &worker_args).map(|r| vec![r])
+        } else {
+            run_open_loop(&base).map(|r| vec![r])
+        };
+        match result {
+            Ok(rows) => {
+                for r in &rows {
+                    println!("{}", r.render_line());
+                }
+                if let Some(path) = curves {
+                    if let Err(e) = write_curves(std::path::Path::new(&path), &rows) {
+                        eprintln!("brc: loadgen cannot write {path}: {e}");
+                        exit(1)
+                    }
+                    println!("loadgen: wrote {} curve row(s) to {path}", rows.len());
+                }
+                let errors: u64 = rows.iter().map(|r| r.errors).sum();
+                if let Some(min) = assert_throughput {
+                    let best = rows.iter().map(|r| r.achieved()).fold(0.0, f64::max);
+                    if best < min {
+                        eprintln!(
+                            "brc: loadgen throughput assertion FAILED: best {best:.1} req/s < {min}"
+                        );
+                        exit(1)
+                    }
+                    println!("loadgen: achieved {best:.1} req/s (asserted >= {min})");
+                }
+                exit(if errors == 0 { 0 } else { 1 })
+            }
+            Err(e) => {
+                eprintln!("brc: loadgen failed: {e}");
+                exit(1)
+            }
         }
     }
     if smoke {
@@ -1334,6 +1515,19 @@ fn cmd_loadgen(argv: impl Iterator<Item = String>) -> ! {
     match run_loadgen(&config) {
         Ok(report) => {
             print!("{}", report.render());
+            if let Some(min) = assert_throughput {
+                if report.throughput() < min {
+                    eprintln!(
+                        "brc: loadgen throughput assertion FAILED: {:.1} req/s < {min}",
+                        report.throughput()
+                    );
+                    exit(1)
+                }
+                println!(
+                    "loadgen: achieved {:.1} req/s (asserted >= {min})",
+                    report.throughput()
+                );
+            }
             exit(if report.errors == 0 { 0 } else { 1 })
         }
         Err(e) => {
@@ -1377,6 +1571,10 @@ fn main() {
         Some("serve") => {
             argv.next();
             cmd_serve(argv);
+        }
+        Some("cluster") => {
+            argv.next();
+            cmd_cluster(argv);
         }
         Some("loadgen") => {
             argv.next();
