@@ -460,7 +460,10 @@ fn try_swap(
                 ],
             });
         }
-        splice(module.function_mut(s.func), s, plan, dispatch.as_ref());
+        let f = module.function_mut(s.func);
+        let replica_start = f.blocks.len();
+        splice(f, s, plan, dispatch.as_ref());
+        br_layout::reposition_tail(f, replica_start);
         s.cert_admissions += 1;
         s.swapped = true;
         s.swaps += 1;
@@ -470,6 +473,11 @@ fn try_swap(
     let pre = f.clone();
     let replica_start = f.blocks.len() as u32;
     splice(f, s, plan, dispatch.as_ref());
+    // Chain the freshly appended replica along its fall-through edges
+    // *before* certification, so the proof covers the laid-out code.
+    // Only blocks at or above `replica_start` move; the head and every
+    // earlier block keep their ids, which live plans rely on.
+    br_layout::reposition_tail(f, replica_start as usize);
     // Prove the new replica equivalent to the *pristine* chain. With
     // `replica_start` at the pre-swap block count, earlier replicas are
     // outside the walk domain, so repeated swaps cannot compound error.
@@ -526,6 +534,36 @@ mod tests {
         let n = plan_ranges(&s.seq).len();
         let counts: Vec<u64> = (1..=n as u64).rev().collect();
         plan_for_profile(&s.seq, &SequenceProfile { counts }, false).expect("nonzero profile")
+    }
+
+    #[test]
+    fn swapped_replica_tail_is_laid_out() {
+        // After a certified swap, the appended replica must already be
+        // in chained fall-through order: re-running the tail layout is a
+        // no-op, and the prefix block ids are untouched.
+        let m = classifier();
+        let mut rt = AdaptiveRuntime::new(&m, None, &AdaptOptions::default()).unwrap();
+        let AdaptiveRuntime {
+            module,
+            pristine,
+            seqs,
+            ..
+        } = &mut rt;
+        let s = &mut seqs[0];
+        let replica_start = module.function(s.func).blocks.len();
+        let plan = some_plan(s);
+        try_swap(module, pristine, s, &plan, false).expect("swap validates");
+        let f = module.function(s.func);
+        assert!(f.blocks.len() > replica_start, "replica appended");
+        let mut again = f.clone();
+        br_layout::reposition_tail(&mut again, replica_start);
+        assert_eq!(&again, f, "tail layout must be idempotent after a swap");
+        // And the laid-out module still behaves like the original.
+        let input = b"some words\there\nand more  \n";
+        let base = br_vm::run(&m, input, &VmOptions::default()).unwrap();
+        let got = br_vm::run(&rt.module, input, &VmOptions::default()).unwrap();
+        assert_eq!(base.output, got.output);
+        assert_eq!(base.exit, got.exit);
     }
 
     #[test]

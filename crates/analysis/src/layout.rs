@@ -1,0 +1,231 @@
+//! Layout-permutation validation (`BR04xx`): proves that a block-layout
+//! pass only *moved* code.
+//!
+//! A layout pass (greedy repositioning or the ext-TSP pass in
+//! `br-layout`) is semantics-preserving exactly when the result is a
+//! permutation of the input blocks with every successor reference
+//! renumbered consistently — plus, optionally, per-branch polarity
+//! fixups (condition negated and arms swapped), which leave the
+//! transfer function of the branch untouched. [`check_layout`] verifies
+//! that structure syntactically against the claimed order, so the check
+//! is exact: no abstraction, no false positives, and a forged order is
+//! always caught.
+
+use br_ir::{BlockId, Function, Terminator};
+
+use crate::diag::Diagnostic;
+
+/// Check that `after` is exactly `before` laid out in `order` (old block
+/// ids in new storage order), with successor references renumbered, the
+/// entry mapped, and at most a polarity fixup per branch. Returns one
+/// error diagnostic per violation; an empty vector is a proof that the
+/// layout pass preserved semantics.
+pub fn check_layout(before: &Function, after: &Function, order: &[BlockId]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = before.blocks.len();
+    let mut seen = vec![false; n];
+    let mut valid_perm = order.len() == after.blocks.len();
+    for &b in order {
+        if b.index() >= n || seen[b.index()] {
+            valid_perm = false;
+            break;
+        }
+        seen[b.index()] = true;
+    }
+    if !valid_perm || order.len() != n {
+        diags.push(
+            Diagnostic::error(
+                "BR0401",
+                &before.name,
+                "claimed layout order is not a permutation of the function's blocks",
+            )
+            .note(format!(
+                "function has {n} blocks, order lists {} (after has {})",
+                order.len(),
+                after.blocks.len()
+            )),
+        );
+        return diags;
+    }
+    let mut new_id = vec![BlockId(0); n];
+    for (new_idx, &old) in order.iter().enumerate() {
+        new_id[old.index()] = BlockId(new_idx as u32);
+    }
+    if after.entry != new_id[before.entry.index()] {
+        diags.push(
+            Diagnostic::error("BR0404", &before.name, "entry block mapped incorrectly").note(
+                format!(
+                    "entry {} should map to {}, found {}",
+                    before.entry,
+                    new_id[before.entry.index()],
+                    after.entry
+                ),
+            ),
+        );
+    }
+    for (new_idx, &old) in order.iter().enumerate() {
+        let src = &before.blocks[old.index()];
+        let dst = &after.blocks[new_idx];
+        if src.insts != dst.insts {
+            diags.push(
+                Diagnostic::error(
+                    "BR0402",
+                    &before.name,
+                    "block body changed under a layout-only pass",
+                )
+                .at(BlockId(new_idx as u32))
+                .note(format!("moved from {old}")),
+            );
+        }
+        let mut expected = src.term.clone();
+        expected.map_successors(|s| new_id[s.index()]);
+        if dst.term == expected {
+            continue;
+        }
+        // The only other legal form: a polarity fixup of the mapped
+        // branch (negated condition, arms swapped).
+        let fixup_ok = match (&expected, &dst.term) {
+            (
+                Terminator::Branch {
+                    cond,
+                    taken,
+                    not_taken,
+                },
+                Terminator::Branch {
+                    cond: acond,
+                    taken: ataken,
+                    not_taken: anot,
+                },
+            ) => *acond == cond.negate() && ataken == not_taken && anot == taken,
+            _ => false,
+        };
+        if !fixup_ok {
+            diags.push(
+                Diagnostic::error(
+                    "BR0403",
+                    &before.name,
+                    "terminator is neither the renumbered original nor its polarity fixup",
+                )
+                .at(BlockId(new_idx as u32))
+                .note(format!("expected {expected:?}"))
+                .note(format!("found {:?}", dst.term)),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Cond, FuncBuilder, Operand};
+
+    fn diamond() -> Function {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let l = b.new_block();
+        let r = b.new_block();
+        b.cmp_branch(e, x, 0i64, Cond::Eq, l, r);
+        b.set_term(l, Terminator::Return(Some(Operand::Imm(0))));
+        b.set_term(r, Terminator::Return(Some(Operand::Imm(1))));
+        b.finish()
+    }
+
+    fn permute(f: &Function, order: &[BlockId]) -> Function {
+        let mut new_id = vec![BlockId(0); f.blocks.len()];
+        for (i, &old) in order.iter().enumerate() {
+            new_id[old.index()] = BlockId(i as u32);
+        }
+        let mut out = f.clone();
+        out.blocks = order
+            .iter()
+            .map(|&old| {
+                let mut b = f.blocks[old.index()].clone();
+                b.term.map_successors(|s| new_id[s.index()]);
+                b
+            })
+            .collect();
+        out.entry = new_id[f.entry.index()];
+        out
+    }
+
+    #[test]
+    fn honest_permutation_passes() {
+        let f = diamond();
+        let order = [2, 0, 1].map(BlockId);
+        let after = permute(&f, &order);
+        assert!(check_layout(&f, &after, &order).is_empty());
+    }
+
+    #[test]
+    fn polarity_fixup_is_accepted() {
+        let f = diamond();
+        let order = [0, 2, 1].map(BlockId);
+        let mut after = permute(&f, &order);
+        // Make the now-adjacent arm the fall-through, as invert_branches
+        // would.
+        if let Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } = after.blocks[0].term
+        {
+            after.blocks[0].term = Terminator::Branch {
+                cond: cond.negate(),
+                taken: not_taken,
+                not_taken: taken,
+            };
+        }
+        assert!(check_layout(&f, &after, &order).is_empty());
+    }
+
+    #[test]
+    fn forged_order_is_rejected() {
+        let f = diamond();
+        let order = [0, 2, 1].map(BlockId);
+        let after = permute(&f, &order);
+        let claimed = [0, 1, 2].map(BlockId);
+        let diags = check_layout(&f, &after, &claimed);
+        assert!(diags.iter().any(|d| d.code == "BR0403"), "{diags:?}");
+    }
+
+    #[test]
+    fn non_permutation_order_is_rejected() {
+        let f = diamond();
+        let after = f.clone();
+        let diags = check_layout(&f, &after, &[BlockId(0), BlockId(0), BlockId(1)]);
+        assert!(diags.iter().any(|d| d.code == "BR0401"), "{diags:?}");
+    }
+
+    #[test]
+    fn edited_block_body_is_rejected() {
+        let f = diamond();
+        let order = [0, 1, 2].map(BlockId);
+        let mut after = permute(&f, &order);
+        after.blocks[0].insts.clear(); // the entry holds the cmp
+        let diags = check_layout(&f, &after, &order);
+        assert!(diags.iter().any(|d| d.code == "BR0402"), "{diags:?}");
+    }
+
+    #[test]
+    fn retargeted_branch_is_rejected() {
+        let f = diamond();
+        let order = [0, 1, 2].map(BlockId);
+        let mut after = permute(&f, &order);
+        after.blocks[1].term = Terminator::Jump(BlockId(2));
+        let diags = check_layout(&f, &after, &order);
+        assert!(diags.iter().any(|d| d.code == "BR0403"), "{diags:?}");
+    }
+
+    #[test]
+    fn wrong_entry_is_rejected() {
+        let f = diamond();
+        let order = [0, 1, 2].map(BlockId);
+        let mut after = permute(&f, &order);
+        after.entry = BlockId(1);
+        let diags = check_layout(&f, &after, &order);
+        assert!(diags.iter().any(|d| d.code == "BR0404"), "{diags:?}");
+    }
+}

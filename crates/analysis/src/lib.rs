@@ -33,6 +33,10 @@
 //!   double-entry acceptance of every committed reordering.
 //! - [`witness`] — counterexample witnesses and their rendering as
 //!   replayable `br-fuzz` corpus entries.
+//! - [`layout`] — the layout-permutation check (`BR04xx`): proves a
+//!   block-layout pass only moved code — a permutation with renumbered
+//!   successors, a mapped entry, and at most a polarity fixup per
+//!   branch.
 //! - [`lint`] — IR lints: shadowed and statically-dead range
 //!   conditions, redundant comparisons the optimizer missed.
 //! - [`diag`] — rustc-style diagnostics shared by the lints and the
@@ -46,6 +50,7 @@ pub mod dataflow;
 pub mod diag;
 pub mod domtree;
 pub mod interval;
+pub mod layout;
 pub mod lint;
 pub mod purity;
 pub mod reaching;
@@ -59,6 +64,7 @@ pub use dataflow::{solve, Direction, Domain, Solution};
 pub use diag::{has_errors, render, Diagnostic, Severity};
 pub use domtree::{two_way_conditionals, DomTree, TwoWayConditional};
 pub use interval::{intervals, terminal_compare, Interval, IntervalAnalysis, IntervalSet};
+pub use layout::check_layout;
 pub use lint::{lint_function, lint_module};
 pub use purity::{block_effects, cc_needed_on_entry, check_motion, EffectSummary, MotionViolation};
 pub use reaching::{cc_reaching, CcAnalysis, CcReach, CcSite};

@@ -1,0 +1,85 @@
+//! Cost of the ext-TSP layout pass itself: edge-weight derivation,
+//! chain formation + refinement per function, and the end-to-end
+//! pipeline delta between `--layout greedy` and `--layout exttsp`.
+//!
+//! The pass runs once per compilation, so the budget question is how
+//! it scales with CFG size — the synthesized chains mirror the
+//! detection-scaling ablation in `components.rs`.
+
+use br_bench::bench;
+use br_layout::{layout_function, EdgeWeights, LayoutParams};
+use br_minic::{compile, HeuristicSet, Options};
+use br_reorder::{reorder_module, LayoutMode, ReorderOptions};
+use br_vm::{run, VmOptions};
+
+fn main() {
+    let w = br_workloads::by_name("lex").expect("lex exists");
+    let options = Options::with_heuristics(HeuristicSet::SET_III);
+    let mut module = compile(w.source, &options).expect("compiles");
+    br_opt::optimize(&mut module);
+    let train = w.training_input(3072);
+
+    // Profile once; the bench then measures pure layout work.
+    let outcome = run(&module, &train, &VmOptions::default()).expect("runs");
+    let params = LayoutParams::default();
+
+    bench("layout/edge_weights_lex", 200, || {
+        module
+            .functions
+            .iter()
+            .zip(&outcome.block_counts)
+            .map(|(f, counts)| EdgeWeights::from_block_counts(f, counts))
+            .collect::<Vec<_>>()
+    });
+    bench("layout/layout_function_lex", 100, || {
+        let mut m = module.clone();
+        let mut applied = 0usize;
+        for (f, counts) in m.functions.iter_mut().zip(&outcome.block_counts) {
+            let weights = EdgeWeights::from_block_counts(f, counts);
+            if layout_function(f, &weights, &params).applied.is_some() {
+                applied += 1;
+            }
+        }
+        applied
+    });
+
+    // Layout cost vs CFG size: one function of n two-way tests, every
+    // block hot, so chain formation sees a dense weight graph.
+    for n in [8usize, 32, 128, 512] {
+        let mut chain = String::from("int main() { int c; c = getchar();\n");
+        for i in 0..n {
+            chain.push_str(&format!("if (c == {i}) putint({i}); else "));
+        }
+        chain.push_str("putint(-1);\nreturn 0; }\n");
+        let mut m = compile(&chain, &options).expect("chain compiles");
+        br_opt::optimize(&mut m);
+        let probe = run(&m, &train, &VmOptions::default()).expect("runs");
+        // Refinement cost grows superlinearly with block count; keep
+        // the big shapes to a few iterations so the suite stays quick.
+        let iters = if n >= 128 { 3 } else { 20 };
+        bench(&format!("layout/layout_chain_{n}"), iters, || {
+            let mut m2 = m.clone();
+            for (f, counts) in m2.functions.iter_mut().zip(&probe.block_counts) {
+                let weights = EdgeWeights::from_block_counts(f, counts);
+                layout_function(f, &weights, &params);
+            }
+            m2
+        });
+    }
+
+    // End-to-end: what the extra layout stage adds to a full reorder
+    // pipeline run (greedy is the default cleanup layout; exttsp
+    // re-profiles the cleaned module and optimizes per function).
+    for (label, layout) in [
+        ("layout/pipeline_greedy", LayoutMode::Greedy),
+        ("layout/pipeline_exttsp", LayoutMode::ExtTsp),
+    ] {
+        let opts = ReorderOptions {
+            layout,
+            ..ReorderOptions::default()
+        };
+        bench(label, 10, || {
+            reorder_module(&module, &train, &opts).unwrap()
+        });
+    }
+}

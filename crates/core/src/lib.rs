@@ -70,6 +70,7 @@ pub mod profile;
 pub mod range;
 pub mod validate;
 
+pub use br_layout::LayoutMode;
 pub use detect::{detect_sequences, DetectedCondition, DetectedSequence};
 pub use dispatch::{plan_dispatch, DispatchPlan, DispatchStructure};
 pub use order::{select_ordering, OrderItem, Ordering};

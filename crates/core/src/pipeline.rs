@@ -4,6 +4,7 @@
 //! clean-up optimizations.
 
 use br_ir::{BlockId, FuncId, Module};
+use br_layout::{EdgeWeights, LayoutMode, LayoutParams};
 use br_vm::{Trap, VmOptions};
 
 use crate::common::{
@@ -54,6 +55,15 @@ pub struct ReorderOptions {
     /// the lowest expected cost under the sequence's profile. Ties keep
     /// the chain, so Set IV never plans worse than Set III.
     pub opt_tree: bool,
+    /// Which block-layout pass to run after clean-up:
+    /// [`LayoutMode::Greedy`] (the default) keeps the profile-blind
+    /// fall-through chainer; [`LayoutMode::ExtTsp`] re-profiles the
+    /// cleaned module on the training inputs and maximizes the ext-TSP
+    /// objective on top of the greedy order (never scoring below it);
+    /// [`LayoutMode::Off`] skips repositioning entirely (ablation
+    /// baseline). Every ext-TSP permutation is checked by
+    /// `br_analysis::check_layout` when validation is on.
+    pub layout: LayoutMode,
 }
 
 /// What happened to one detected sequence.
@@ -371,7 +381,20 @@ pub fn reorder_module_with_inputs(
         }
         sequences.push(record);
     }
-    br_opt::cleanup(&mut module);
+    match options.layout {
+        LayoutMode::Off => br_opt::cleanup_keep_order(&mut module),
+        LayoutMode::Greedy => br_opt::cleanup(&mut module),
+        LayoutMode::ExtTsp => {
+            br_opt::cleanup(&mut module);
+            exttsp_layout(
+                &mut module,
+                training_inputs,
+                options,
+                do_validate,
+                &mut summary,
+            )?;
+        }
+    }
     if do_validate {
         // The clean-up pass must leave a well-formed module behind.
         for (i, f) in module.functions.iter().enumerate() {
@@ -394,6 +417,55 @@ pub fn reorder_module_with_inputs(
         sequences,
         validation: do_validate.then_some(summary),
     })
+}
+
+/// The ext-TSP layout pass ([`LayoutMode::ExtTsp`]): profile the cleaned
+/// module's block-level edge frequencies by re-running the training
+/// inputs (the instrumented module's block ids do not survive
+/// reordering and clean-up, so a fresh run on the final CFG is the only
+/// honest source of edge weights), then lay out each function to
+/// maximize the ext-TSP objective seeded from the greedy order. When
+/// validation is on, every applied permutation is proven layout-only by
+/// `br_analysis::check_layout`.
+fn exttsp_layout(
+    module: &mut Module,
+    training_inputs: &[&[u8]],
+    options: &ReorderOptions,
+    do_validate: bool,
+    summary: &mut ValidationSummary,
+) -> Result<(), Trap> {
+    let mut counts: Vec<Vec<[u64; 2]>> = module
+        .functions
+        .iter()
+        .map(|f| vec![[0u64; 2]; f.blocks.len()])
+        .collect();
+    for input in training_inputs {
+        let outcome = br_vm::run(module, input, &options.vm)?;
+        for (acc, got) in counts.iter_mut().zip(&outcome.block_counts) {
+            for (a, g) in acc.iter_mut().zip(got) {
+                a[0] += g[0];
+                a[1] += g[1];
+            }
+        }
+    }
+    let params = LayoutParams::default();
+    for (i, f) in module.functions.iter_mut().enumerate() {
+        let weights = EdgeWeights::from_block_counts(f, &counts[i]);
+        let pre = do_validate.then(|| f.clone());
+        let outcome = br_layout::layout_function(f, &weights, &params);
+        if let (Some(pre), Some(order)) = (&pre, &outcome.applied) {
+            let diags = br_analysis::check_layout(pre, f, order);
+            if !diags.is_empty() {
+                summary.failures.push(StageFailure {
+                    stage: Stage::Layout,
+                    func: FuncId(i as u32),
+                    head: None,
+                    details: diags.iter().map(|d| d.to_string()).collect(),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Detect common-successor sequences in every function, excluding blocks
@@ -1074,6 +1146,103 @@ mod opt_tree_tests {
             .sequences
             .iter()
             .all(|s| s.structure == DispatchStructure::Chain));
+    }
+}
+
+#[cfg(test)]
+mod layout_mode_tests {
+    use super::*;
+    use br_minic::{compile, Options};
+    use br_vm::run;
+
+    const CLASSIFIER: &str = "
+        int main() {
+            int c; int spaces; int lines; int tabs; int other;
+            spaces = 0; lines = 0; tabs = 0; other = 0;
+            c = getchar();
+            while (c != -1) {
+                if (c == ' ') spaces += 1;
+                else if (c == '\\n') lines += 1;
+                else if (c == '\\t') tabs += 1;
+                else other += 1;
+                c = getchar();
+            }
+            putint(spaces); putint(lines); putint(tabs); putint(other);
+            return spaces + 2 * lines + 3 * tabs + 5 * other;
+        }";
+
+    fn build() -> Module {
+        let mut m = compile(CLASSIFIER, &Options::default()).expect("compiles");
+        br_opt::optimize(&mut m);
+        m
+    }
+
+    fn letters(n: usize) -> Vec<u8> {
+        (0..n)
+            .map(|i| b"abcdefghijklmnopqrstuvwxyz"[i % 26])
+            .chain(*b" \n")
+            .collect()
+    }
+
+    fn with_layout(layout: LayoutMode) -> ReorderOptions {
+        ReorderOptions {
+            layout,
+            certify: true,
+            ..ReorderOptions::default()
+        }
+    }
+
+    #[test]
+    fn exttsp_preserves_behaviour_and_never_loses_to_greedy() {
+        let m = build();
+        let train = letters(200);
+        let test = letters(333);
+        let greedy = reorder_module(&m, &train, &with_layout(LayoutMode::Greedy)).unwrap();
+        let exttsp = reorder_module(&m, &train, &with_layout(LayoutMode::ExtTsp)).unwrap();
+        br_ir::verify_module(&exttsp.module).unwrap();
+        let summary = exttsp.validation.as_ref().expect("certify validates");
+        assert!(summary.is_clean(), "{summary}");
+        let g = run(&greedy.module, &test, &VmOptions::default()).unwrap();
+        let x = run(&exttsp.module, &test, &VmOptions::default()).unwrap();
+        assert_eq!(g.exit, x.exit);
+        assert_eq!(g.output, x.output);
+        assert!(
+            x.stats.taken_branches <= g.stats.taken_branches,
+            "ext-TSP took more branches than greedy: {} vs {}",
+            x.stats.taken_branches,
+            g.stats.taken_branches
+        );
+    }
+
+    #[test]
+    fn layout_off_preserves_behaviour() {
+        // No dynamic-count inequality is asserted between Off and
+        // Greedy: the reorderer emits replicas already in hot-path
+        // order, so the profile-blind chainer can win statically yet
+        // lose dynamically — quantifying that is exactly what the sweep
+        // interaction table is for.
+        let m = build();
+        let train = letters(200);
+        let test = letters(333);
+        let greedy = reorder_module(&m, &train, &with_layout(LayoutMode::Greedy)).unwrap();
+        let off = reorder_module(&m, &train, &with_layout(LayoutMode::Off)).unwrap();
+        br_ir::verify_module(&off.module).unwrap();
+        let g = run(&greedy.module, &test, &VmOptions::default()).unwrap();
+        let o = run(&off.module, &test, &VmOptions::default()).unwrap();
+        assert_eq!(g.exit, o.exit);
+        assert_eq!(g.output, o.output);
+    }
+
+    #[test]
+    fn exttsp_layout_is_deterministic() {
+        let m = build();
+        let train = letters(150);
+        let a = reorder_module(&m, &train, &with_layout(LayoutMode::ExtTsp)).unwrap();
+        let b = reorder_module(&m, &train, &with_layout(LayoutMode::ExtTsp)).unwrap();
+        assert_eq!(
+            br_ir::print_module(&a.module),
+            br_ir::print_module(&b.module)
+        );
     }
 }
 

@@ -41,6 +41,8 @@ pub enum Stage {
     Emit,
     /// The post-reordering clean-up optimizations.
     Cleanup,
+    /// The profile-guided block-layout pass (`--layout exttsp`).
+    Layout,
 }
 
 impl Stage {
@@ -53,6 +55,7 @@ impl Stage {
             Stage::Order => "BR0202",
             Stage::Emit => "BR0203",
             Stage::Cleanup => "BR0204",
+            Stage::Layout => "BR0205",
         }
     }
 }
@@ -64,6 +67,7 @@ impl std::fmt::Display for Stage {
             Stage::Order => write!(f, "order"),
             Stage::Emit => write!(f, "emit"),
             Stage::Cleanup => write!(f, "cleanup"),
+            Stage::Layout => write!(f, "layout"),
         }
     }
 }

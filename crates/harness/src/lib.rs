@@ -23,7 +23,7 @@ pub mod csv;
 pub mod tables;
 
 use br_minic::{compile, HeuristicSet, Options};
-use br_reorder::{reorder_module, ReorderOptions, ReorderReport};
+use br_reorder::{reorder_module, LayoutMode, ReorderOptions, ReorderReport};
 use br_vm::{run, PredictorConfig, PredictorResult, Scheme, VmOptions};
 use br_workloads::Workload;
 
@@ -42,6 +42,8 @@ pub struct ExperimentConfig {
     pub predictors: Vec<PredictorConfig>,
     /// Use the exhaustive ordering search instead of the greedy one.
     pub exhaustive: bool,
+    /// Block-layout pass applied after reordering and clean-up.
+    pub layout: LayoutMode,
 }
 
 impl ExperimentConfig {
@@ -55,6 +57,7 @@ impl ExperimentConfig {
             test_size: 16 * 1024,
             predictors,
             exhaustive: false,
+            layout: LayoutMode::default(),
         }
     }
 
@@ -177,6 +180,7 @@ pub fn run_program_experiment(
     let reorder_opts = ReorderOptions {
         exhaustive: config.exhaustive,
         opt_tree: config.heuristics.opt_tree,
+        layout: config.layout,
         ..ReorderOptions::default()
     };
     let report = reorder_module(&module, training_input, &reorder_opts)

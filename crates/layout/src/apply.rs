@@ -1,0 +1,195 @@
+//! Applying a block order to a function: physical permutation, reference
+//! renumbering, branch-polarity fixup, and the id-stable tail variant
+//! the adaptive runtime uses on freshly spliced replicas.
+
+use br_ir::{BlockId, Function, Terminator};
+
+/// Physically permute `f`'s blocks into `order` (old ids in new storage
+/// order) and renumber every successor reference and the entry. `order`
+/// must be a permutation of the function's block ids.
+pub fn apply_order(f: &mut Function, order: &[BlockId]) {
+    let mut new_id = vec![BlockId(0); f.blocks.len()];
+    for (new_idx, &old) in order.iter().enumerate() {
+        new_id[old.index()] = BlockId(new_idx as u32);
+    }
+    let old_blocks = std::mem::take(&mut f.blocks);
+    let mut slots: Vec<Option<br_ir::Block>> = old_blocks.into_iter().map(Some).collect();
+    for &old in order {
+        let mut b = slots[old.index()].take().expect("each block placed once");
+        b.term.map_successors(|s| new_id[s.index()]);
+        f.blocks.push(b);
+    }
+    f.entry = new_id[f.entry.index()];
+}
+
+/// Where a branch's taken arm is adjacent but its not-taken arm is not,
+/// negate the condition and swap the arms so the adjacent block becomes
+/// the free fall-through. Identical to the fixup the greedy chainer
+/// runs; idempotent.
+pub fn invert_branches(f: &mut Function) {
+    for i in 0..f.blocks.len() {
+        if let Terminator::Branch {
+            cond,
+            taken,
+            not_taken,
+        } = f.blocks[i].term
+        {
+            let next = BlockId(i as u32 + 1);
+            if not_taken != next && taken == next {
+                f.blocks[i].term = Terminator::Branch {
+                    cond: cond.negate(),
+                    taken: not_taken,
+                    not_taken: taken,
+                };
+            }
+        }
+    }
+}
+
+/// Re-lay-out only the blocks at indices `>= start`, leaving every block
+/// below `start` at its id and position.
+///
+/// This is the layout pass the adaptive runtime can afford: a hot swap
+/// appends a replica of the re-reordered sequence at the end of the
+/// function, and blocks below `start` are referenced by live profile
+/// plans and sequence heads whose ids must not move — but the appended
+/// tail is unreferenced except through the head's terminator, so it can
+/// be chained freely. Blocks are chained structurally along preferred
+/// fall-through edges (a branch prefers its not-taken arm), seeded from
+/// `start` so the replica's entry keeps its position; chains never
+/// follow edges out of the tail. Branch polarity is *not* touched: the
+/// spliced structure is certified after this runs, and the certificate
+/// covers exactly the emitted conditions.
+pub fn reposition_tail(f: &mut Function, start: usize) {
+    let n = f.blocks.len();
+    if start >= n {
+        return;
+    }
+    let mut placed = vec![false; n - start];
+    let mut tail: Vec<BlockId> = Vec::with_capacity(n - start);
+    for seed in start..n {
+        let mut cur = seed;
+        while !placed[cur - start] {
+            placed[cur - start] = true;
+            tail.push(BlockId(cur as u32));
+            let next = match &f.blocks[cur].term {
+                Terminator::Jump(t) => Some(t.index()),
+                Terminator::Branch {
+                    taken, not_taken, ..
+                } => {
+                    let nt = not_taken.index();
+                    if nt >= start && !placed[nt - start] {
+                        Some(nt)
+                    } else {
+                        Some(taken.index())
+                    }
+                }
+                Terminator::IndirectJump { targets, .. } => targets.first().map(|t| t.index()),
+                Terminator::Return(_) => None,
+            };
+            match next {
+                Some(t) if t >= start && !placed[t - start] => cur = t,
+                _ => break,
+            }
+        }
+    }
+    debug_assert_eq!(tail.len(), n - start);
+    let order: Vec<BlockId> = (0..start as u32).map(BlockId).chain(tail).collect();
+    apply_order(f, &order);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use br_ir::{Cond, FuncBuilder, Operand};
+
+    #[test]
+    fn apply_order_renumbers_and_moves_entry() {
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        let x = b.new_block();
+        let y = b.new_block();
+        b.set_term(e, Terminator::Jump(y));
+        b.set_term(y, Terminator::Jump(x));
+        b.set_term(x, Terminator::Return(None));
+        let mut f = b.finish();
+        apply_order(&mut f, &[BlockId(0), BlockId(2), BlockId(1)]);
+        assert_eq!(f.entry, BlockId(0));
+        assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(1)));
+        assert_eq!(f.blocks[1].term, Terminator::Jump(BlockId(2)));
+        br_ir::verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn tail_reposition_leaves_prefix_ids_alone() {
+        // Prefix: entry jumps into the tail. The tail's chain head sits
+        // at `start` but its successors were appended out of order
+        // (h -> tb -> ta with ta stored before tb); repositioning must
+        // straighten the chain without renumbering the prefix.
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        let e = b.entry();
+        let pre = b.new_block(); // id 1, prefix
+        let h = b.new_block(); // id 2, tail chain head
+        let ta = b.new_block(); // id 3, tail: chain end, stored first
+        let tb = b.new_block(); // id 4, tail: chain middle, stored last
+        b.copy(e, x, 1i64);
+        b.set_term(e, Terminator::Jump(pre));
+        b.set_term(pre, Terminator::Jump(h));
+        b.set_term(h, Terminator::Jump(tb));
+        b.set_term(tb, Terminator::Jump(ta));
+        b.set_term(ta, Terminator::Return(Some(Operand::Reg(x))));
+        let mut f = b.finish();
+        reposition_tail(&mut f, 2);
+        // Prefix untouched, ids stable, head still at `start`.
+        assert_eq!(f.entry, BlockId(0));
+        assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(1)));
+        assert_eq!(f.blocks[1].term, Terminator::Jump(BlockId(2)));
+        // The tail chain now falls through: h -> tb -> ta.
+        assert_eq!(f.blocks[2].term, Terminator::Jump(BlockId(3)));
+        assert_eq!(f.blocks[3].term, Terminator::Jump(BlockId(4)));
+        assert!(matches!(f.blocks[4].term, Terminator::Return(_)));
+        br_ir::verify_function(&f, None).unwrap();
+    }
+
+    #[test]
+    fn tail_reposition_never_follows_edges_into_the_prefix() {
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        b.set_term(e, Terminator::Jump(t1));
+        b.set_term(t1, Terminator::Jump(e)); // backward edge to prefix
+        b.set_term(t2, Terminator::Return(None));
+        let mut f = b.finish();
+        let before = f.clone();
+        reposition_tail(&mut f, 1);
+        // Nothing to improve: t1 chains to the prefix (not followed),
+        // t2 stays after it. Order unchanged.
+        assert_eq!(format!("{before:?}"), format!("{f:?}"));
+    }
+
+    #[test]
+    fn tail_reposition_with_branches_prefers_not_taken() {
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let h = b.new_block(); // tail head, id 1
+        let cold = b.new_block(); // id 2, taken arm
+        let hot = b.new_block(); // id 3, not-taken arm
+        b.set_term(e, Terminator::Jump(h));
+        b.cmp_branch(h, x, 0i64, Cond::Eq, cold, hot);
+        b.set_term(cold, Terminator::Return(Some(Operand::Imm(0))));
+        b.set_term(hot, Terminator::Return(Some(Operand::Imm(1))));
+        let mut f = b.finish();
+        reposition_tail(&mut f, 1);
+        match f.blocks[1].term {
+            Terminator::Branch { not_taken, .. } => {
+                assert_eq!(not_taken, BlockId(2), "not-taken arm must fall through")
+            }
+            ref t => panic!("unexpected {t:?}"),
+        }
+        br_ir::verify_function(&f, None).unwrap();
+    }
+}

@@ -1,0 +1,225 @@
+//! Profile-weighted chain formation with merge lookahead
+//! (Newell & Pupyrev §4).
+//!
+//! Every block starts as a singleton chain. Chains merge tail-to-head
+//! along the heaviest profile edges; before committing a merge, the top
+//! few candidates are compared with one step of lookahead — the value of
+//! a merge is its edge weight *plus* the heaviest follow-on edge the
+//! merged chain's new tail would enable — so a slightly lighter edge
+//! that unlocks a heavy continuation wins over a greedy dead end.
+
+use br_ir::{BlockId, Function};
+
+use crate::{EdgeWeights, LayoutParams};
+
+/// Form chains and concatenate them into a full block order, entry
+/// first. Deterministic: edges are ranked `(weight desc, src asc, dst
+/// asc)` and every tie-breaker is total.
+pub(crate) fn form_chains(
+    f: &Function,
+    weights: &EdgeWeights,
+    params: &LayoutParams,
+) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let entry = f.entry.index();
+    let mut chain_of: Vec<usize> = (0..n).collect();
+    let mut chains: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+
+    let mut edges: Vec<(u64, usize, usize)> = weights
+        .all_edges()
+        .filter(|&(s, d, w)| w > 0 && s != d)
+        .map(|(s, d, w)| (w, s.index(), d.index()))
+        .collect();
+    edges.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    loop {
+        // Mergeable edges in rank order: src must be its chain's tail,
+        // dst a different chain's head, and the entry block can never
+        // become an interior block (it must stay first overall).
+        let mut cands: Vec<(u64, usize, usize)> = Vec::new();
+        for &(w, s, d) in &edges {
+            let (cs, cd) = (chain_of[s], chain_of[d]);
+            if cs == cd || d == entry {
+                continue;
+            }
+            if *chains[cs].last().expect("nonempty chain") != s || chains[cd][0] != d {
+                continue;
+            }
+            cands.push((w, s, d));
+            if cands.len() >= params.lookahead.max(1) {
+                break;
+            }
+        }
+        let Some(&first) = cands.first() else {
+            break;
+        };
+        // One-step lookahead over the candidate window.
+        let mut best = first;
+        let mut best_val = 0u128;
+        for &(w, s, d) in &cands {
+            let cd = chain_of[d];
+            let tail = *chains[cd].last().expect("nonempty chain");
+            let follow = weights
+                .edges_from(BlockId(tail as u32))
+                .iter()
+                .filter(|&&(fd, fw)| {
+                    let cf = chain_of[fd.index()];
+                    fw > 0
+                        && cf != chain_of[s]
+                        && cf != cd
+                        && chains[cf][0] == fd.index()
+                        && fd.index() != entry
+                })
+                .map(|&(_, fw)| fw)
+                .max()
+                .unwrap_or(0);
+            let val = w as u128 + follow as u128;
+            if val > best_val {
+                best_val = val;
+                best = (w, s, d);
+            }
+        }
+        let (_, s, d) = best;
+        let (cs, cd) = (chain_of[s], chain_of[d]);
+        let moved = std::mem::take(&mut chains[cd]);
+        for &b in &moved {
+            chain_of[b] = cs;
+        }
+        chains[cs].extend(moved);
+    }
+
+    concat_chains(f, weights, &chains, chain_of[entry])
+}
+
+/// Concatenate chains: the entry chain first, then repeatedly the chain
+/// whose head receives the heaviest edge from any already-placed block
+/// (ties: smaller head id); chains no placed block reaches follow in
+/// head-id order — unreachable and never-profiled blocks keep a stable
+/// position. Structural successors count as weight-0 edges so cold
+/// chains still prefer a spot after a block that targets them.
+fn concat_chains(
+    f: &Function,
+    weights: &EdgeWeights,
+    chains: &[Vec<usize>],
+    entry_chain: usize,
+) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut order: Vec<BlockId> = Vec::with_capacity(n);
+    let mut placed_chain = vec![false; chains.len()];
+    let mut remaining: Vec<usize> = (0..chains.len())
+        .filter(|&c| c != entry_chain && !chains[c].is_empty())
+        .collect();
+    placed_chain[entry_chain] = true;
+    order.extend(chains[entry_chain].iter().map(|&b| BlockId(b as u32)));
+
+    while !remaining.is_empty() {
+        // (weight, reached) of each remaining chain's head from the
+        // placed region.
+        let mut pick: Option<(u64, bool, usize, usize)> = None; // (w, reached, head, idx)
+        for (idx, &c) in remaining.iter().enumerate() {
+            let head = chains[c][0];
+            let mut w = 0u64;
+            let mut reached = false;
+            for &p in &order {
+                for &(dst, ew) in weights.edges_from(p) {
+                    if dst.index() == head {
+                        reached = true;
+                        w = w.max(ew);
+                    }
+                }
+                if f.blocks[p.index()]
+                    .term
+                    .successors()
+                    .iter()
+                    .any(|t| t.index() == head)
+                {
+                    reached = true;
+                }
+            }
+            let better = match pick {
+                None => true,
+                Some((bw, br, bh, _)) => {
+                    (w, reached, std::cmp::Reverse(head)) > (bw, br, std::cmp::Reverse(bh))
+                }
+            };
+            if better {
+                pick = Some((w, reached, head, idx));
+            }
+        }
+        let (_, _, _, idx) = pick.expect("remaining is nonempty");
+        let c = remaining.remove(idx);
+        order.extend(chains[c].iter().map(|&b| BlockId(b as u32)));
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayoutParams;
+    use br_ir::{Cond, FuncBuilder, Operand, Terminator};
+
+    #[test]
+    fn heaviest_path_forms_one_chain() {
+        // e -> a (90) / b (10); a -> c (90). Chain must be e,a,c then b.
+        let mut bld = FuncBuilder::new("f");
+        let x = bld.new_reg();
+        bld.set_param_regs(vec![x]);
+        let e = bld.entry();
+        let a = bld.new_block();
+        let b = bld.new_block();
+        let c = bld.new_block();
+        bld.cmp_branch(e, x, 0i64, Cond::Eq, b, a);
+        bld.set_term(a, Terminator::Jump(c));
+        bld.set_term(b, Terminator::Return(Some(Operand::Imm(0))));
+        bld.set_term(c, Terminator::Return(Some(Operand::Reg(x))));
+        let f = bld.finish();
+        let counts = [[100, 10], [90, 0], [10, 0], [90, 0]];
+        let w = EdgeWeights::from_block_counts(&f, &counts);
+        let order = form_chains(&f, &w, &LayoutParams::default());
+        assert_eq!(order, vec![BlockId(0), BlockId(1), BlockId(3), BlockId(2)]);
+    }
+
+    #[test]
+    fn lookahead_prefers_the_edge_with_a_continuation() {
+        // e can fall into a (w 50) or b (w 50). a continues into c with
+        // weight 49; b is a dead end. Lookahead must pick a first even
+        // though the immediate weights tie.
+        let mut bld = FuncBuilder::new("f");
+        let x = bld.new_reg();
+        bld.set_param_regs(vec![x]);
+        let e = bld.entry();
+        let b = bld.new_block();
+        let a = bld.new_block();
+        let c = bld.new_block();
+        bld.cmp_branch(e, x, 0i64, Cond::Eq, b, a);
+        bld.set_term(a, Terminator::Jump(c));
+        bld.set_term(b, Terminator::Return(Some(Operand::Imm(0))));
+        bld.set_term(c, Terminator::Return(Some(Operand::Reg(x))));
+        let f = bld.finish();
+        // b is block 1 (the taken arm, lower id); a is block 2.
+        let counts = [[100, 50], [50, 0], [49, 0], [49, 0]];
+        let w = EdgeWeights::from_block_counts(&f, &counts);
+        let order = form_chains(&f, &w, &LayoutParams::default());
+        let pos_a = order.iter().position(|&x| x == BlockId(2)).unwrap();
+        let pos_b = order.iter().position(|&x| x == BlockId(1)).unwrap();
+        assert!(
+            pos_a < pos_b,
+            "lookahead must chain through a (order {order:?})"
+        );
+    }
+
+    #[test]
+    fn entry_chain_is_always_first() {
+        let mut bld = FuncBuilder::new("f");
+        let e = bld.entry();
+        let far = bld.new_block();
+        bld.set_term(e, Terminator::Jump(far));
+        bld.set_term(far, Terminator::Return(None));
+        let f = bld.finish();
+        let w = EdgeWeights::from_block_counts(&f, &[[3, 0], [3, 0]]);
+        let order = form_chains(&f, &w, &LayoutParams::default());
+        assert_eq!(order[0], f.entry);
+    }
+}

@@ -161,6 +161,119 @@ mod tests {
     }
 
     #[test]
+    fn single_block_function_is_untouched() {
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        b.set_term(e, Terminator::Return(Some(Operand::Imm(3))));
+        let mut f = b.finish();
+        let before = format!("{f:?}");
+        reposition(&mut f);
+        assert_eq!(format!("{f:?}"), before);
+        assert_eq!(f.entry, BlockId(0));
+    }
+
+    #[test]
+    fn unreachable_blocks_keep_deterministic_placement() {
+        // Two blocks no edge reaches: reposition runs before DCE on
+        // freshly built functions, so it must place them (after the
+        // reachable chain, in id order) rather than drop or reorder
+        // them unpredictably.
+        let mut b = FuncBuilder::new("f");
+        let e = b.entry();
+        let dead_a = b.new_block();
+        let dead_b = b.new_block();
+        let tail = b.new_block();
+        b.set_term(e, Terminator::Jump(tail));
+        b.set_term(dead_a, Terminator::Jump(dead_b));
+        b.set_term(dead_b, Terminator::Return(None));
+        b.set_term(tail, Terminator::Return(Some(Operand::Imm(1))));
+        let mut f = b.finish();
+        reposition(&mut f);
+        assert_eq!(f.blocks.len(), 4, "no block may be dropped");
+        // Reachable chain first: entry falls through to its target.
+        assert_eq!(f.entry, BlockId(0));
+        assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(1)));
+        // The dead chain is placed behind it, still intact: dead_a
+        // falls through to dead_b.
+        assert_eq!(f.blocks[2].term, Terminator::Jump(BlockId(3)));
+        assert_eq!(f.blocks[3].term, Terminator::Return(None));
+        // Determinism: a second function built the same way lands the
+        // same layout.
+        let mut g = {
+            let mut b = FuncBuilder::new("f");
+            let e = b.entry();
+            let dead_a = b.new_block();
+            let dead_b = b.new_block();
+            let tail = b.new_block();
+            b.set_term(e, Terminator::Jump(tail));
+            b.set_term(dead_a, Terminator::Jump(dead_b));
+            b.set_term(dead_b, Terminator::Return(None));
+            b.set_term(tail, Terminator::Return(Some(Operand::Imm(1))));
+            b.finish()
+        };
+        reposition(&mut g);
+        assert_eq!(format!("{g:?}"), format!("{f:?}"));
+    }
+
+    #[test]
+    fn indirect_jump_with_first_target_placed_ends_the_chain() {
+        // entry jumps to a dispatch block whose indirect-jump table
+        // leads with the entry itself. The chain extension must notice
+        // the first target is already placed and stop, not loop or
+        // displace the remaining targets' chains.
+        let mut b = FuncBuilder::new("f");
+        let i = b.new_reg();
+        b.set_param_regs(vec![i]);
+        let e = b.entry();
+        let dispatch = b.new_block();
+        let case1 = b.new_block();
+        b.set_term(e, Terminator::Jump(dispatch));
+        b.set_term(
+            dispatch,
+            Terminator::IndirectJump {
+                index: i,
+                targets: vec![e, case1],
+            },
+        );
+        b.set_term(case1, Terminator::Return(Some(Operand::Imm(1))));
+        let mut f = b.finish();
+        reposition(&mut f);
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.entry, BlockId(0));
+        // Layout is entry, dispatch, case1: the chain broke at the
+        // placed first target and case1 was picked up by a later seed.
+        assert_eq!(f.blocks[0].term, Terminator::Jump(BlockId(1)));
+        match &f.blocks[1].term {
+            Terminator::IndirectJump { targets, .. } => {
+                assert_eq!(targets, &[BlockId(0), BlockId(2)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reposition_is_idempotent_including_branch_inversion() {
+        // A shape where the first pass must both reorder and invert a
+        // branch; a second pass then has nothing left to do. This pins
+        // that inversion never flip-flops arms across passes.
+        let mut b = FuncBuilder::new("f");
+        let x = b.new_reg();
+        b.set_param_regs(vec![x]);
+        let e = b.entry();
+        let t = b.new_block();
+        let nt = b.new_block();
+        b.cmp(e, x, 0i64);
+        b.set_term(e, Terminator::branch(Cond::Lt, t, nt));
+        b.set_term(t, Terminator::Jump(nt));
+        b.set_term(nt, Terminator::Return(None));
+        let mut f = b.finish();
+        reposition(&mut f);
+        let once = format!("{f:?}");
+        reposition(&mut f);
+        assert_eq!(format!("{f:?}"), once);
+    }
+
+    #[test]
     fn semantics_preserved_under_layout() {
         use br_vm::{run, VmOptions};
         // abs-like function: layout must not change results.

@@ -83,12 +83,28 @@ pub fn cleanup(module: &mut Module) {
     }
 }
 
+/// [`cleanup`] without the final repositioning: the scalar/CFG clean-up
+/// passes run, but blocks stay in whatever order the transformation left
+/// them. This is the `--layout off` ablation baseline — it isolates how
+/// much of the end-to-end win comes from layout rather than reordering.
+pub fn cleanup_keep_order(module: &mut Module) {
+    for f in &mut module.functions {
+        cleanup_function_keep_order(f);
+    }
+}
+
 /// Per-function post-reordering clean-up.
 ///
 /// Deliberately excludes [`copyprop`]/[`fold`] rewrites of compares so the
 /// reordered compare/branch structure (including deliberately shared
 /// compares from redundant-comparison elimination) is preserved.
 pub fn cleanup_function(f: &mut Function) {
+    cleanup_function_keep_order(f);
+    layout::reposition(f);
+}
+
+/// Per-function clean-up without repositioning (see [`cleanup_keep_order`]).
+pub fn cleanup_function_keep_order(f: &mut Function) {
     for _ in 0..4 {
         let mut changed = false;
         changed |= dce::eliminate_dead_code(f);
@@ -99,5 +115,4 @@ pub fn cleanup_function(f: &mut Function) {
             break;
         }
     }
-    layout::reposition(f);
 }

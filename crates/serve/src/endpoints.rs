@@ -29,7 +29,7 @@ use br_reorder::{
     SequenceOutcome,
 };
 use br_sweep::cache::{fnv1a, ArtifactCache, FORMAT_VERSION};
-use br_vm::{pct_change, run, VmOptions};
+use br_vm::{function_counters, pct_change, run, VmOptions};
 
 use crate::intern::ModuleIntern;
 use crate::metrics::Metrics;
@@ -407,8 +407,11 @@ fn reorder_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
 
 /// `measure`: two printed-IR modules plus one input; both run on the
 /// VM fast path and the Table-4 event counters come back as CSV deltas.
-/// Divergent observable behaviour (exit or output) is an error — the
-/// daemon refuses to measure a miscompile as if it were a speedup.
+/// After the 11 module-wide counters, one `fn:<name>:taken_branches`
+/// and one `fn:<name>:delay_stalls` row per function attribute the
+/// layout-sensitive events to the function that paid them. Divergent
+/// observable behaviour (exit or output) is an error — the daemon
+/// refuses to measure a miscompile as if it were a speedup.
 fn measure_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
     let original = module_section(sections, "original")?;
     let reordered = module_section(sections, "reordered")?;
@@ -455,6 +458,32 @@ fn measure_endpoint(sections: &[OwnedSection]) -> Result<Vec<u8>, String> {
         csv.push_str(&format!(
             "{name},{orig},{reord},{:.4}\n",
             pct_change(orig, reord)
+        ));
+    }
+    // Per-function layout counters after the global rows, so existing
+    // clients that read the first 12 lines keep working. Functions are
+    // paired by name; the pipeline never adds or removes functions, but
+    // a function absent on one side simply counts zero there.
+    let fa = function_counters(&original, &a);
+    let fb = function_counters(&reordered, &b);
+    for ca in &fa {
+        let (taken_b, stalls_b) = fb
+            .iter()
+            .find(|cb| cb.name == ca.name)
+            .map_or((0, 0), |cb| (cb.taken_branches, cb.delay_stalls));
+        csv.push_str(&format!(
+            "fn:{}:taken_branches,{},{},{:.4}\n",
+            ca.name,
+            ca.taken_branches,
+            taken_b,
+            pct_change(ca.taken_branches, taken_b)
+        ));
+        csv.push_str(&format!(
+            "fn:{}:delay_stalls,{},{},{:.4}\n",
+            ca.name,
+            ca.delay_stalls,
+            stalls_b,
+            pct_change(ca.delay_stalls, stalls_b)
         ));
     }
     Ok(Frame::structured(
@@ -630,7 +659,13 @@ mod tests {
         let sections = response.sections().unwrap();
         let csv = section(&sections, "csv").unwrap().text().unwrap();
         assert!(csv.starts_with("counter,original,reordered,pct_change\n"));
-        assert_eq!(csv.lines().count(), 12, "{csv}");
+        // Header + 11 global counters, then 2 per-function rows per
+        // module function.
+        assert_eq!(
+            csv.lines().count(),
+            12 + 2 * module.functions.len(),
+            "{csv}"
+        );
         assert!(csv.contains("\ncond_branches,"), "{csv}");
 
         // Two genuinely different programs: measurement must refuse.
@@ -662,6 +697,110 @@ mod tests {
         assert_eq!(refused.frame.kind, "error");
         assert_eq!(refused.code, crate::proto2::code::BAD_REQUEST);
         assert!(refused.frame.payload_text().contains("behaviour differs"));
+    }
+
+    #[test]
+    fn measure_per_function_rows_pin_schema_and_sum_to_globals() {
+        let (e, _metrics, _) = endpoints(false);
+        let module = wc_module();
+        let w = br_workloads::by_name("wc").unwrap();
+        let report = reorder_module(&module, &w.training_input(512), &ReorderOptions::default())
+            .expect("pipeline runs");
+        let input = w.test_input(768);
+        let request = Frame::structured(
+            "measure",
+            &[
+                Section {
+                    name: "original",
+                    bytes: print_module(&module).as_bytes(),
+                },
+                Section {
+                    name: "reordered",
+                    bytes: print_module(&report.module).as_bytes(),
+                },
+                Section {
+                    name: "input",
+                    bytes: &input,
+                },
+            ],
+        );
+        let response = e.handle(&request).frame;
+        assert_eq!(response.kind, "ok", "{}", response.payload_text());
+        let sections = response.sections().unwrap();
+        let csv = section(&sections, "csv").unwrap().text().unwrap();
+
+        // Schema: the global block is pinned — line 1 header, lines 2–12
+        // the 11 counters in fixed order — and every later line is a
+        // per-function row `fn:<name>:<counter>,orig,reord,pct`.
+        let lines: Vec<&str> = csv.lines().collect();
+        let global: Vec<&str> = lines[1..12]
+            .iter()
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        assert_eq!(
+            global,
+            [
+                "insts",
+                "cond_branches",
+                "taken_branches",
+                "uncond_jumps",
+                "indirect_jumps",
+                "compares",
+                "loads",
+                "stores",
+                "calls",
+                "returns",
+                "delay_stalls"
+            ]
+        );
+        let fn_rows: Vec<&str> = lines[12..].to_vec();
+        assert!(!fn_rows.is_empty(), "{csv}");
+        assert!(
+            fn_rows.iter().all(|l| l.starts_with("fn:")),
+            "per-function rows must come last: {csv}"
+        );
+        for f in &module.functions {
+            assert!(
+                fn_rows
+                    .iter()
+                    .any(|l| l.starts_with(&format!("fn:{}:taken_branches,", f.name))),
+                "{csv}"
+            );
+            assert!(
+                fn_rows
+                    .iter()
+                    .any(|l| l.starts_with(&format!("fn:{}:delay_stalls,", f.name))),
+                "{csv}"
+            );
+        }
+
+        // The attribution is exact: per-function rows sum to the global
+        // counter, per column.
+        let field =
+            |line: &str, col: usize| -> u64 { line.split(',').nth(col).unwrap().parse().unwrap() };
+        let global_row = |name: &str| {
+            lines
+                .iter()
+                .find(|l| l.split(',').next() == Some(name))
+                .copied()
+                .unwrap()
+        };
+        for (counter, col) in [("taken_branches", 1), ("taken_branches", 2)] {
+            let total: u64 = fn_rows
+                .iter()
+                .filter(|l| l.contains(&format!(":{counter},")))
+                .map(|l| field(l, col))
+                .sum();
+            assert_eq!(total, field(global_row(counter), col), "{csv}");
+        }
+        for (counter, col) in [("delay_stalls", 1), ("delay_stalls", 2)] {
+            let total: u64 = fn_rows
+                .iter()
+                .filter(|l| l.contains(&format!(":{counter},")))
+                .map(|l| field(l, col))
+                .sum();
+            assert_eq!(total, field(global_row(counter), col), "{csv}");
+        }
     }
 
     #[test]

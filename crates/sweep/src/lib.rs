@@ -58,8 +58,8 @@ use std::time::{Duration, Instant};
 use br_harness::{MeasuredRun, ProgramResult, SuiteResult};
 use br_ir::print_module;
 use br_minic::{compile, HeuristicSet, Options};
-use br_reorder::{reorder_module, ReorderOptions};
-use br_vm::{run, PredictorConfig, Scheme, VmOptions};
+use br_reorder::{reorder_module, LayoutMode, ReorderOptions};
+use br_vm::{pct_change, run, PredictorConfig, Scheme, TimeModel, VmOptions};
 use br_workloads::{InputSpec, Workload};
 
 use cache::{fnv1a, ArtifactCache, FORMAT_VERSION};
@@ -69,6 +69,12 @@ use cache::{fnv1a, ArtifactCache, FORMAT_VERSION};
 pub struct SweepConfig {
     /// Heuristic sets to sweep (columns of Table 4/8).
     pub sets: Vec<HeuristicSet>,
+    /// Block-layout passes to sweep. The first entry fills the paper
+    /// tables and `stability.csv`; every entry contributes to the
+    /// layout-interaction study (`layout.csv` and the report's
+    /// interaction table), which quantifies whether branch reordering
+    /// and profile-guided layout compose or cannibalize.
+    pub layouts: Vec<LayoutMode>,
     /// Workload names to run; empty means all 17.
     pub workloads: Vec<String>,
     /// Input-seed replications; seed 0 is the canonical paper grid,
@@ -93,6 +99,7 @@ impl SweepConfig {
     pub fn full() -> SweepConfig {
         SweepConfig {
             sets: HeuristicSet::ALL.to_vec(),
+            layouts: vec![LayoutMode::Greedy, LayoutMode::ExtTsp],
             workloads: Vec::new(),
             seeds: 1,
             threads: 0,
@@ -140,9 +147,11 @@ impl SweepConfig {
             self.workloads.join(",")
         };
         let sets: Vec<&str> = self.sets.iter().map(|s| s.name).collect();
+        let layouts: Vec<&str> = self.layouts.iter().map(|l| l.name()).collect();
         format!(
-            "sets={} workloads={} seeds={} train={} test={} search={}",
+            "sets={} layouts={} workloads={} seeds={} train={} test={} search={}",
             sets.join(","),
+            layouts.join(","),
             workloads,
             self.seeds,
             self.train_size,
@@ -188,6 +197,8 @@ pub struct MeasuredCell {
 pub struct CellMetrics {
     /// Heuristic set name.
     pub set: &'static str,
+    /// Layout mode name.
+    pub layout: &'static str,
     /// Workload name.
     pub workload: &'static str,
     /// Input seed replication index.
@@ -217,14 +228,62 @@ pub struct StabilityRow {
     pub branches_pct: f64,
 }
 
+/// One cell of the reordering × layout interaction study (`layout.csv`),
+/// seed 0 only: how the reordered module compares to the original under
+/// each layout mode, so adjacent rows isolate what layout adds on top of
+/// reordering.
+#[derive(Clone, Debug)]
+pub struct LayoutRow {
+    /// Layout mode name.
+    pub layout: &'static str,
+    /// Heuristic set name.
+    pub set: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// `%` change in dynamic taken branches (the layout headline).
+    pub taken_pct: f64,
+    /// `%` change in dynamic instructions.
+    pub insts_pct: f64,
+    /// `%` change in modelled Ultra-SPARC cycles (Table 7's model).
+    pub cycles_pct: f64,
+}
+
+/// Compute a [`LayoutRow`] from one measured program under one
+/// (set, layout) cell.
+fn layout_row(layout: LayoutMode, set: HeuristicSet, p: &ProgramResult) -> LayoutRow {
+    let model = TimeModel::ultra_sparc();
+    let cfg = PredictorConfig::ultra_sparc();
+    let base_core = model.core_cycles(&p.original.stats, p.original.mispredictions(cfg));
+    let base = model.total_cycles(&p.original.stats, p.original.mispredictions(cfg), base_core);
+    let new = model.total_cycles(
+        &p.reordered.stats,
+        p.reordered.mispredictions(cfg),
+        base_core,
+    );
+    LayoutRow {
+        layout: layout.name(),
+        set: set.name,
+        workload: p.name.clone(),
+        taken_pct: pct_change(
+            p.reordered.stats.taken_branches,
+            p.original.stats.taken_branches,
+        ),
+        insts_pct: p.insts_pct(),
+        cycles_pct: pct_change(new, base),
+    }
+}
+
 /// Everything a finished sweep produced.
 #[derive(Debug)]
 pub struct SweepOutcome {
     /// Seed-0 suite results, one per heuristic set, in config order.
     /// A suite whose every cell panicked is dropped (see [`SweepOutcome::failed`]).
     pub suites: Vec<SuiteResult>,
-    /// Per-seed headline spread (all seeds, including 0).
+    /// Per-seed headline spread (all seeds, including 0), first
+    /// configured layout only.
     pub stability: Vec<StabilityRow>,
+    /// The seed-0 reordering × layout interaction rows, in grid order.
+    pub layout_rows: Vec<LayoutRow>,
     /// Result files written, in a fixed order.
     pub files: Vec<PathBuf>,
     /// Per-cell stage metrics, in grid order.
@@ -235,8 +294,9 @@ pub struct SweepOutcome {
     pub cache_misses: u64,
     /// Grid cells executed.
     pub cells: usize,
-    /// Cells whose worker panicked, labelled `{set}/{workload}/seed{N}:
-    /// worker panicked: {message}`, in grid order. A panic is isolated
+    /// Cells whose worker panicked, labelled
+    /// `{set}/{layout}/{workload}/seed{N}: worker panicked: {message}`,
+    /// in grid order. A panic is isolated
     /// to its cell: the rest of the grid completes, the failed cells are
     /// listed in `report.txt`, and the tables aggregate only the
     /// surviving cells.
@@ -261,6 +321,7 @@ fn replicated(spec: InputSpec, seed: u32) -> InputSpec {
 
 struct Cell {
     set: HeuristicSet,
+    layout: LayoutMode,
     workload: Workload,
     seed: u32,
 }
@@ -290,7 +351,13 @@ fn run_cell(
     cache: &ArtifactCache,
     cell: &Cell,
 ) -> Result<CellOutput, SweepError> {
-    let label = format!("{}/{}/seed{}", cell.set.name, cell.workload.name, cell.seed);
+    let label = format!(
+        "{}/{}/{}/seed{}",
+        cell.set.name,
+        cell.layout.name(),
+        cell.workload.name,
+        cell.seed
+    );
     let err = |message: String| SweepError {
         message: format!("{label}: {message}"),
     };
@@ -329,6 +396,7 @@ fn run_cell(
         &train,
         search.as_bytes(),
         dispatch.as_bytes(),
+        cell.layout.name().as_bytes(),
     ]);
     let reorder_start = Instant::now();
     let mut reorder_cached = true;
@@ -347,6 +415,7 @@ fn run_cell(
                 exhaustive: config.exhaustive,
                 certify: true,
                 opt_tree: cell.set.opt_tree,
+                layout: cell.layout,
                 ..ReorderOptions::default()
             };
             let report = reorder_module(&module, &train, &opts)
@@ -428,6 +497,7 @@ fn run_cell(
     Ok(CellOutput {
         metrics: CellMetrics {
             set: cell.set.name,
+            layout: cell.layout.name(),
             workload: cell.workload.name,
             seed: cell.seed,
             reorder_time,
@@ -482,9 +552,10 @@ fn selected_workloads(config: &SweepConfig) -> Result<Vec<Workload>, SweepError>
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
     let start = Instant::now();
     let workloads = selected_workloads(config)?;
-    if config.sets.is_empty() || config.seeds == 0 {
+    if config.sets.is_empty() || config.layouts.is_empty() || config.seeds == 0 {
         return Err(SweepError {
-            message: "empty grid: need at least one heuristic set and one seed".to_string(),
+            message: "empty grid: need at least one heuristic set, one layout mode, and one seed"
+                .to_string(),
         });
     }
     let cache = match &config.cache_dir {
@@ -494,18 +565,21 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
         None => ArtifactCache::disabled(),
     };
 
-    // Grid order is the report order: seed-major, then set, then the
-    // paper's workload order. parallel_map returns results by index, so
-    // everything downstream is deterministic.
+    // Grid order is the report order: seed-major, then layout, then set,
+    // then the paper's workload order. parallel_map returns results by
+    // index, so everything downstream is deterministic.
     let mut grid = Vec::new();
     for seed in 0..config.seeds {
-        for &set in &config.sets {
-            for &workload in &workloads {
-                grid.push(Cell {
-                    set,
-                    workload,
-                    seed,
-                });
+        for &layout in &config.layouts {
+            for &set in &config.sets {
+                for &workload in &workloads {
+                    grid.push(Cell {
+                        set,
+                        layout,
+                        workload,
+                        seed,
+                    });
+                }
             }
         }
     }
@@ -533,39 +607,55 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
             Ok(Err(e)) => return Err(e),
             Err(panic_msg) => {
                 failed.push(format!(
-                    "{}/{}/seed{}: worker panicked: {panic_msg}",
-                    cell.set.name, cell.workload.name, cell.seed
+                    "{}/{}/{}/seed{}: worker panicked: {panic_msg}",
+                    cell.set.name,
+                    cell.layout.name(),
+                    cell.workload.name,
+                    cell.seed
                 ));
                 programs.push(None);
             }
         }
     }
 
-    // Seed 0 fills the paper tables; every seed contributes a stability
+    // Seed 0 under the first configured layout fills the paper tables,
+    // and every (seed, first-layout) cell contributes a stability row —
+    // so those outputs keep their pre-layout-dimension meaning. Every
+    // seed-0 (layout, set) cell additionally contributes an interaction
     // row. `programs` is in grid order, so chunks of `workloads.len()`
-    // are (seed, set) suites; failed cells leave gaps that are simply
-    // absent from their suite.
+    // are (seed, layout, set) suites; failed cells leave gaps that are
+    // simply absent from their suite.
     let per_suite = workloads.len();
+    let suites_per_seed = config.layouts.len() * config.sets.len();
     let mut suites = Vec::new();
     let mut stability = Vec::new();
+    let mut layout_rows = Vec::new();
     for (chunk_idx, chunk) in programs.chunks(per_suite).enumerate() {
-        let seed = (chunk_idx / config.sets.len()) as u32;
+        let seed = (chunk_idx / suites_per_seed) as u32;
+        let layout = config.layouts[(chunk_idx % suites_per_seed) / config.sets.len()];
         let set = config.sets[chunk_idx % config.sets.len()];
         let survivors: Vec<ProgramResult> = chunk.iter().flatten().cloned().collect();
-        for p in &survivors {
-            stability.push(StabilityRow {
-                set: set.name,
-                workload: p.name.clone(),
-                seed,
-                insts_pct: p.insts_pct(),
-                branches_pct: p.branches_pct(),
-            });
+        if layout == config.layouts[0] {
+            for p in &survivors {
+                stability.push(StabilityRow {
+                    set: set.name,
+                    workload: p.name.clone(),
+                    seed,
+                    insts_pct: p.insts_pct(),
+                    branches_pct: p.branches_pct(),
+                });
+            }
         }
-        if seed == 0 && !survivors.is_empty() {
-            suites.push(SuiteResult {
-                heuristics: set,
-                programs: survivors,
-            });
+        if seed == 0 {
+            for p in &survivors {
+                layout_rows.push(layout_row(layout, set, p));
+            }
+            if layout == config.layouts[0] && !survivors.is_empty() {
+                suites.push(SuiteResult {
+                    heuristics: set,
+                    programs: survivors,
+                });
+            }
         }
     }
     if suites.is_empty() {
@@ -578,13 +668,16 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepOutcome, SweepError> {
     }
 
     let files =
-        report::write_all(config, &suites, &stability, &failed).map_err(|e| SweepError {
-            message: format!("writing results: {e}"),
+        report::write_all(config, &suites, &stability, &layout_rows, &failed).map_err(|e| {
+            SweepError {
+                message: format!("writing results: {e}"),
+            }
         })?;
 
     Ok(SweepOutcome {
         suites,
         stability,
+        layout_rows,
         files,
         metrics,
         cache_hits: cache.hits(),
@@ -603,6 +696,7 @@ mod tests {
         let base = std::env::temp_dir().join(format!("br-sweep-{tag}-{}", std::process::id()));
         SweepConfig {
             sets: vec![HeuristicSet::SET_I],
+            layouts: vec![LayoutMode::Greedy],
             workloads: vec!["wc".into()],
             seeds: 2,
             threads: 2,
@@ -616,6 +710,37 @@ mod tests {
 
     fn cleanup(config: &SweepConfig) {
         let _ = std::fs::remove_dir_all(config.out_dir.parent().unwrap());
+    }
+
+    #[test]
+    fn layout_dimension_expands_the_grid_and_fills_interaction_rows() {
+        let mut config = test_config("layout-dim", false);
+        config.layouts = vec![LayoutMode::Greedy, LayoutMode::ExtTsp];
+        config.seeds = 1;
+        let outcome = run_sweep(&config).expect("sweep");
+        assert_eq!(outcome.cells, 2, "1 seed x 2 layouts x 1 set x 1 workload");
+        // One interaction row per seed-0 cell, grid order: greedy first.
+        assert_eq!(outcome.layout_rows.len(), 2);
+        assert_eq!(outcome.layout_rows[0].layout, "greedy");
+        assert_eq!(outcome.layout_rows[1].layout, "exttsp");
+        // Tables and stability keep their pre-layout meaning: first
+        // configured layout only.
+        assert_eq!(outcome.suites.len(), 1);
+        assert_eq!(outcome.stability.len(), 1);
+        let report =
+            std::fs::read_to_string(config.out_dir.join("report.txt")).expect("report.txt");
+        assert!(
+            report.contains("Layout x reordering interaction"),
+            "{report}"
+        );
+        assert!(report.contains("verdict set I:"), "{report}");
+        let csv = std::fs::read_to_string(config.out_dir.join("layout.csv")).expect("layout.csv");
+        assert!(
+            csv.starts_with("layout,set,program,taken_pct,insts_pct,cycles_pct\n"),
+            "{csv}"
+        );
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+        cleanup(&config);
     }
 
     #[test]

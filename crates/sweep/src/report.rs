@@ -13,7 +13,7 @@ use std::path::PathBuf;
 
 use br_harness::{csv, tables, SuiteResult};
 
-use crate::{StabilityRow, SweepConfig};
+use crate::{LayoutRow, StabilityRow, SweepConfig};
 
 /// The suite Tables 5–7 are computed from: the paper used heuristic Set
 /// II for its prediction and execution-time studies, so prefer it; fall
@@ -44,7 +44,12 @@ pub fn render_failed(failed: &[String]) -> String {
 
 /// The full human-readable report: the paper's static tables for
 /// context, then every measured table and figure from this grid.
-pub fn render_report(config: &SweepConfig, suites: &[SuiteResult], failed: &[String]) -> String {
+pub fn render_report(
+    config: &SweepConfig,
+    suites: &[SuiteResult],
+    layout_rows: &[LayoutRow],
+    failed: &[String],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Branch-reordering reproduction sweep");
     let _ = writeln!(out, "grid: {}", config.descriptor());
@@ -76,9 +81,113 @@ pub fn render_report(config: &SweepConfig, suites: &[SuiteResult], failed: &[Str
         out.push_str(&iv);
         out.push('\n');
     }
+    // The layout dimension: does ext-TSP block layout compose with
+    // branch reordering, or give back what reordering won?
+    let interaction = render_interaction(config, layout_rows);
+    if !interaction.is_empty() {
+        out.push_str(&interaction);
+        out.push('\n');
+    }
     for s in suites {
         out.push_str(&tables::figures(s));
         out.push('\n');
+    }
+    out
+}
+
+/// `layout.csv`: one row per seed-0 (layout, set, workload) cell, the
+/// raw data behind the interaction table.
+pub fn render_layout_csv(rows: &[LayoutRow]) -> String {
+    let mut out = String::from("layout,set,program,taken_pct,insts_pct,cycles_pct\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{:.4},{:.4}",
+            r.layout, r.set, r.workload, r.taken_pct, r.insts_pct, r.cycles_pct
+        );
+    }
+    out
+}
+
+/// The layout × reordering interaction study: per (layout, set), the
+/// mean headline percentages over surviving workloads, then a verdict
+/// per set comparing each alternative layout against the first
+/// configured one. "compose" means the alternative removed additional
+/// dynamic taken branches on top of what reordering already removed;
+/// "cannibalize" means it gave some back.
+pub fn render_interaction(config: &SweepConfig, rows: &[LayoutRow]) -> String {
+    if rows.is_empty() || config.layouts.len() < 2 {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "Layout x reordering interaction (seed 0)");
+    let _ = writeln!(
+        out,
+        "mean % change vs the unreordered original, over surviving workloads"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<4} {:>3} {:>10} {:>10} {:>10}",
+        "layout", "set", "n", "taken%", "insts%", "cycles%"
+    );
+    // (layout, set) means, in the configured grid order.
+    let mut means: Vec<(&str, &str, f64)> = Vec::new();
+    for layout in &config.layouts {
+        for set in &config.sets {
+            let cell: Vec<&LayoutRow> = rows
+                .iter()
+                .filter(|r| r.layout == layout.name() && r.set == set.name)
+                .collect();
+            if cell.is_empty() {
+                continue;
+            }
+            let n = cell.len() as f64;
+            let taken = cell.iter().map(|r| r.taken_pct).sum::<f64>() / n;
+            let insts = cell.iter().map(|r| r.insts_pct).sum::<f64>() / n;
+            let cycles = cell.iter().map(|r| r.cycles_pct).sum::<f64>() / n;
+            let _ = writeln!(
+                out,
+                "{:<8} {:<4} {:>3} {:>10.4} {:>10.4} {:>10.4}",
+                layout.name(),
+                set.name,
+                cell.len(),
+                taken,
+                insts,
+                cycles
+            );
+            means.push((layout.name(), set.name, taken));
+        }
+    }
+    let base_layout = config.layouts[0].name();
+    for layout in &config.layouts[1..] {
+        for set in &config.sets {
+            let base = means
+                .iter()
+                .find(|(l, s, _)| *l == base_layout && *s == set.name);
+            let alt = means
+                .iter()
+                .find(|(l, s, _)| *l == layout.name() && *s == set.name);
+            let (Some((_, _, base)), Some((_, _, alt))) = (base, alt) else {
+                continue;
+            };
+            let delta = alt - base;
+            let verdict = if delta < 0.0 {
+                "compose"
+            } else if delta > 0.0 {
+                "cannibalize"
+            } else {
+                "neutral"
+            };
+            let _ = writeln!(
+                out,
+                "verdict set {}: {} vs {} taken% delta {:+.4} -> {}",
+                set.name,
+                layout.name(),
+                base_layout,
+                delta,
+                verdict
+            );
+        }
     }
     out
 }
@@ -107,12 +216,16 @@ pub fn write_all(
     config: &SweepConfig,
     suites: &[SuiteResult],
     stability: &[StabilityRow],
+    layout_rows: &[LayoutRow],
     failed: &[String],
 ) -> io::Result<Vec<PathBuf>> {
     fs::create_dir_all(&config.out_dir)?;
     let t = timing_suite(suites);
     let files: Vec<(&str, String)> = vec![
-        ("report.txt", render_report(config, suites, failed)),
+        (
+            "report.txt",
+            render_report(config, suites, layout_rows, failed),
+        ),
         ("table4.csv", csv::table4(suites)),
         ("table5.csv", csv::table5(t)),
         ("table6.csv", csv::table6(t)),
@@ -120,6 +233,7 @@ pub fn write_all(
         ("table8.csv", csv::table8(suites)),
         ("figures.csv", csv::figures(suites)),
         ("stability.csv", render_stability(stability)),
+        ("layout.csv", render_layout_csv(layout_rows)),
     ];
     let mut written = Vec::with_capacity(files.len());
     for (name, text) in files {

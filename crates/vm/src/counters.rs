@@ -1,0 +1,151 @@
+//! Per-function layout-visible counters, derived from the per-block
+//! `[executions, taken]` frequencies a run records
+//! ([`RunOutcome::block_counts`]).
+//!
+//! Block layout decides three dynamic costs the [`ExecStats`] totals only
+//! report module-wide: taken branches (a transfer instead of a
+//! fall-through), materialized unconditional jumps (a `Jump` or
+//! not-taken branch whose successor is not adjacent), and unfilled
+//! delay-slot stalls. This module reconstructs those per function, so a
+//! layout change's win or regression can be attributed to the function
+//! it touched — `brc` measurement output and the layout interaction
+//! study both report these rows.
+
+use br_ir::{Module, Terminator};
+
+use crate::machine::{compute_layout, RunOutcome};
+use crate::stats::ExecStats;
+
+/// Layout-visible dynamic totals for one function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionCounters {
+    /// Function name, as in the module.
+    pub name: String,
+    /// Conditional branches that were taken (paid a control transfer).
+    pub taken_branches: u64,
+    /// Control transfers that fell through to the adjacent block for free
+    /// (adjacent jumps and not-taken branches with an adjacent successor).
+    pub fall_throughs: u64,
+    /// Materialized unconditional jumps (non-adjacent jump targets and
+    /// non-adjacent not-taken successors).
+    pub uncond_jumps: u64,
+    /// Executions of blocks whose delay slot could not be filled.
+    pub delay_stalls: u64,
+}
+
+/// Derive per-function layout counters from a run's block frequencies.
+///
+/// `module` must be the module the run executed (same functions, same
+/// block storage order); the derivation is exact — summing the rows
+/// reproduces the corresponding [`ExecStats`] totals, which
+/// [`function_counters`]'s unit test and the root `vm_equivalence` test
+/// both pin.
+pub fn function_counters(module: &Module, outcome: &RunOutcome) -> Vec<FunctionCounters> {
+    let layout = compute_layout(module);
+    module
+        .functions
+        .iter()
+        .zip(&outcome.block_counts)
+        .zip(&layout.unfilled_slot)
+        .map(|((f, counts), unfilled)| {
+            let mut c = FunctionCounters {
+                name: f.name.clone(),
+                taken_branches: 0,
+                fall_throughs: 0,
+                uncond_jumps: 0,
+                delay_stalls: 0,
+            };
+            for (bi, (b, &[freq, taken])) in f.blocks.iter().zip(counts).enumerate() {
+                if freq == 0 {
+                    continue;
+                }
+                if unfilled[bi] {
+                    c.delay_stalls += freq;
+                }
+                match &b.term {
+                    Terminator::Branch { not_taken, .. } => {
+                        c.taken_branches += taken;
+                        let fell = freq - taken;
+                        if not_taken.index() == bi + 1 {
+                            c.fall_throughs += fell;
+                        } else {
+                            c.uncond_jumps += fell;
+                        }
+                    }
+                    Terminator::Jump(t) => {
+                        if t.index() == bi + 1 {
+                            c.fall_throughs += freq;
+                        } else {
+                            c.uncond_jumps += freq;
+                        }
+                    }
+                    Terminator::IndirectJump { .. } | Terminator::Return(_) => {}
+                }
+            }
+            c
+        })
+        .collect()
+}
+
+/// Sanity cross-check: the per-function rows must sum to the run's
+/// module-wide stats for the counters layout decides. Used by tests and
+/// debug assertions; any divergence means `module` is not the module the
+/// outcome was measured on.
+pub fn counters_match_stats(rows: &[FunctionCounters], stats: &ExecStats) -> bool {
+    let taken: u64 = rows.iter().map(|r| r.taken_branches).sum();
+    let jumps: u64 = rows.iter().map(|r| r.uncond_jumps).sum();
+    let stalls: u64 = rows.iter().map(|r| r.delay_stalls).sum();
+    taken == stats.taken_branches && jumps == stats.uncond_jumps && stalls == stats.delay_stalls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{run, run_reference, VmOptions};
+    use br_ir::{Cond, FuncBuilder, Operand, Terminator};
+
+    /// Loop whose branch is mostly not-taken, with one non-adjacent jump.
+    fn looped() -> Module {
+        let mut b = FuncBuilder::new("main");
+        let i = b.new_reg();
+        let e = b.entry();
+        let head = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.copy(e, i, 0i64);
+        b.set_term(e, Terminator::Jump(head));
+        b.cmp_branch(head, i, 5i64, Cond::Ge, done, body);
+        b.bin(body, br_ir::BinOp::Add, i, i, 1i64);
+        b.set_term(body, Terminator::Jump(head)); // backwards: paid jump
+        b.set_term(done, Terminator::Return(Some(Operand::Reg(i))));
+        let mut m = Module::new();
+        m.main = Some(m.add_function(b.finish()));
+        m
+    }
+
+    #[test]
+    fn rows_sum_to_module_stats() {
+        let m = looped();
+        for out in [
+            run(&m, b"", &VmOptions::default()).unwrap(),
+            run_reference(&m, b"", &VmOptions::default()).unwrap(),
+        ] {
+            let rows = function_counters(&m, &out);
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].name, "main");
+            // head's branch: 5 not-taken falls (body adjacent), 1 taken.
+            assert_eq!(rows[0].taken_branches, 1);
+            assert_eq!(rows[0].fall_throughs, 1 + 5, "entry jump + 5 falls");
+            assert_eq!(rows[0].uncond_jumps, 5, "body's backward jumps");
+            assert!(counters_match_stats(&rows, &out.stats));
+        }
+    }
+
+    #[test]
+    fn block_counts_record_frequencies() {
+        let m = looped();
+        let out = run(&m, b"", &VmOptions::default()).unwrap();
+        // entry once, head 6 (5 continues + exit), body 5, done once.
+        assert_eq!(out.block_counts, vec![vec![[1, 0], [6, 1], [5, 0], [1, 0]]]);
+    }
+}

@@ -621,6 +621,19 @@ pub fn run_image(image: &Image, input: &[u8], opts: &VmOptions) -> Result<RunOut
         trace: Vec::new(),
     };
     let exit = exec(&mut st, image, main, &[])?;
+    // The hot loop's flat frequency array, regrouped per function/block:
+    // the same `[executions, taken]` pairs the reference interpreter
+    // accumulates directly.
+    let block_counts = image
+        .functions
+        .iter()
+        .map(|f| {
+            let base = f.counts_base as usize;
+            (0..f.blocks.len())
+                .map(|bi| [st.counts[base + 2 * bi], st.counts[base + 2 * bi + 1]])
+                .collect()
+        })
+        .collect();
     Ok(RunOutcome {
         exit,
         output: st.output,
@@ -628,6 +641,7 @@ pub fn run_image(image: &Image, input: &[u8], opts: &VmOptions) -> Result<RunOut
         profiles: st.profiles,
         predictor_results: st.predictors.iter().map(Predictor::result).collect(),
         trace: st.trace,
+        block_counts,
     })
 }
 

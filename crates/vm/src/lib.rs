@@ -40,6 +40,7 @@
 //! assert_eq!(out.exit, 0);
 //! ```
 
+mod counters;
 mod dispatch;
 mod machine;
 pub mod predictor;
@@ -47,6 +48,7 @@ mod stats;
 pub mod timing;
 mod trap;
 
+pub use counters::{counters_match_stats, function_counters, FunctionCounters};
 pub use dispatch::{run_image, Image};
 pub use machine::{run, run_hooked, run_reference, EpochHook, RunOutcome, VmOptions};
 pub use predictor::{PredictorConfig, PredictorResult, Scheme};

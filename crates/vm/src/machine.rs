@@ -78,6 +78,12 @@ pub struct RunOutcome {
     pub predictor_results: Vec<PredictorResult>,
     /// First `trace_blocks` executed blocks, as `fN:bM` lines.
     pub trace: Vec<String>,
+    /// Per-block `[executions, taken]` frequencies, `[func][block]`.
+    /// `taken` is nonzero only for blocks ending in a conditional branch.
+    /// These are the edge profiles the layout pass (`br-layout`) scores
+    /// against; [`crate::function_counters`] derives per-function
+    /// taken-branch / fall-through / delay-stall totals from them.
+    pub block_counts: Vec<Vec<[u64; 2]>>,
 }
 
 struct State<'m> {
@@ -89,6 +95,9 @@ struct State<'m> {
     output: Vec<u8>,
     stats: ExecStats,
     profiles: Vec<Vec<u64>>,
+    /// Per-block `[executions, taken]` frequencies, `[func][block]`;
+    /// grown in place when an epoch hook appends blocks mid-run.
+    block_counts: Vec<Vec<[u64; 2]>>,
     predictors: Vec<Predictor>,
     /// Static address of each block's terminator: `[func][block]`.
     branch_addrs: Vec<Vec<u64>>,
@@ -132,15 +141,15 @@ struct Resume {
 
 /// Per-block static layout caches: terminator addresses for predictor
 /// indexing and delay-slot fillability, both derived from storage order.
-struct Layout {
-    branch_addrs: Vec<Vec<u64>>,
-    unfilled_slot: Vec<Vec<bool>>,
+pub(crate) struct Layout {
+    pub(crate) branch_addrs: Vec<Vec<u64>>,
+    pub(crate) unfilled_slot: Vec<Vec<bool>>,
 }
 
 /// Compute the layout caches. Block storage order is treated as final
 /// code layout, so this must be recomputed whenever blocks are added or
 /// rewritten mid-run (an epoch hook swapping a sequence).
-fn compute_layout(module: &Module) -> Layout {
+pub(crate) fn compute_layout(module: &Module) -> Layout {
     let mut branch_addrs = Vec::with_capacity(module.functions.len());
     let mut unfilled_slot = Vec::with_capacity(module.functions.len());
     let mut addr = 0u64;
@@ -268,6 +277,14 @@ pub fn run_hooked(
                     state.branch_addrs = layout.branch_addrs;
                     state.unfilled_slot = layout.unfilled_slot;
                     state.plan_heads = plan_heads(module);
+                    // A swap may have appended replica blocks (or whole
+                    // functions); their counters start at zero.
+                    state
+                        .block_counts
+                        .resize_with(module.functions.len(), Vec::new);
+                    for (counts, f) in state.block_counts.iter_mut().zip(&module.functions) {
+                        counts.resize(f.blocks.len(), [0u64; 2]);
+                    }
                 }
                 state.next_epoch = state.steps.saturating_add(opts.epoch_blocks.max(1));
                 resume = Some(Resume { at, regs, cc });
@@ -300,6 +317,11 @@ fn new_state<'m>(module: &Module, input: &'m [u8], opts: &'m VmOptions) -> State
             .iter()
             .map(|p| vec![0; p.counter_count()])
             .collect(),
+        block_counts: module
+            .functions
+            .iter()
+            .map(|f| vec![[0u64; 2]; f.blocks.len()])
+            .collect(),
         predictors: opts.predictors.iter().map(|&c| Predictor::new(c)).collect(),
         branch_addrs: layout.branch_addrs,
         unfilled_slot: layout.unfilled_slot,
@@ -319,6 +341,7 @@ fn finish(exit: i64, state: State<'_>) -> RunOutcome {
         profiles: state.profiles,
         predictor_results: state.predictors.iter().map(Predictor::result).collect(),
         trace: state.trace,
+        block_counts: state.block_counts,
     }
 }
 
@@ -393,6 +416,7 @@ fn exec_function(
         if state.trace.len() < state.opts.trace_blocks {
             state.trace.push(format!("f{func}:{cur}"));
         }
+        state.block_counts[func][cur.index()][0] += 1;
         let block = &f.blocks[cur.index()];
         for inst in &block.insts {
             match inst {
@@ -506,6 +530,7 @@ fn exec_function(
                 }
                 if is_taken {
                     state.stats.taken_branches += 1;
+                    state.block_counts[func][cur.index()][1] += 1;
                     cur = *taken;
                 } else {
                     // A not-taken branch falls through; if the layout

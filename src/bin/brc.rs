@@ -106,6 +106,8 @@
 //! * `--input FILE`  program stdin (default: empty)
 //! * `--train FILE`  training input for `--reorder` (default: the input)
 //! * `--set I|II|III|IV` switch heuristics (default I)
+//! * `--layout off|greedy|exttsp` block-layout pass after reordering
+//!   (default greedy; `exttsp` is the profile-guided ext-TSP pass)
 //! * `--reorder`     run the profile-guided reordering pipeline
 //! * `--common`      also reorder common-successor sequences
 //! * `--no-opt`      skip conventional optimizations
@@ -119,7 +121,7 @@ use std::process::exit;
 use br_analysis::{has_errors, render, Diagnostic};
 use br_ir::Module;
 use br_minic::{compile, HeuristicSet, Options};
-use br_reorder::{reorder_module, ReorderOptions, SequenceOutcome};
+use br_reorder::{reorder_module, LayoutMode, ReorderOptions, SequenceOutcome};
 use br_vm::{run, VmOptions};
 
 struct Args {
@@ -127,6 +129,7 @@ struct Args {
     input: Vec<u8>,
     train: Option<Vec<u8>>,
     set: HeuristicSet,
+    layout: LayoutMode,
     reorder: bool,
     common: bool,
     no_opt: bool,
@@ -151,7 +154,7 @@ fn usage() -> ! {
        \x20      brc check --tamper-demo\n\
        \x20      brc adapt [SCENARIO] [--size N] [--epoch N] [--exhaustive] [--opttree] [--csv]\n\
        \x20      brc sweep [--threads N] [--seeds K] [--quick] [--smoke] [--exhaustive] \
-         [--out DIR] [--cache DIR] [--no-cache]\n\
+         [--layout MODE[,MODE...]] [--out DIR] [--cache DIR] [--no-cache]\n\
        \x20      brc fuzz [--seeds N] [--start-seed N] [--jobs N] [--time SECS] [--smoke] \
          [--corpus DIR] [--no-reduce] [--replay FILE]\n\
        \x20      brc serve [--addr HOST:PORT] [--threads N] [--queue N] [--deadline-ms N] \
@@ -203,6 +206,15 @@ fn read(path: &str) -> Vec<u8> {
     std::fs::read(path).unwrap_or_else(|e| {
         eprintln!("brc: cannot read {path}: {e}");
         exit(1)
+    })
+}
+
+fn parse_layout(v: Option<String>) -> LayoutMode {
+    let v = flag_value("--layout", v);
+    LayoutMode::parse(&v).unwrap_or_else(|| {
+        bad_args(format_args!(
+            "invalid value for --layout: {v} (expected off, greedy, or exttsp)"
+        ))
     })
 }
 
@@ -266,6 +278,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Args {
     let mut input = Vec::new();
     let mut train = None;
     let mut set = HeuristicSet::SET_I;
+    let mut layout = LayoutMode::default();
     let (mut reorder, mut common, mut no_opt, mut stats, mut dump_ir, mut from_ir) =
         (false, false, false, false, false, false);
     let mut trace = 0usize;
@@ -274,6 +287,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Args {
             "--input" => input = read(&flag_value("--input", argv.next())),
             "--train" => train = Some(read(&flag_value("--train", argv.next()))),
             "--set" => set = parse_set(argv.next()),
+            "--layout" => layout = parse_layout(argv.next()),
             "--reorder" => reorder = true,
             "--common" => {
                 reorder = true;
@@ -299,6 +313,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Args {
         input,
         train,
         set,
+        layout,
         reorder,
         common,
         no_opt,
@@ -1086,6 +1101,19 @@ fn cmd_sweep(argv: impl Iterator<Item = String>) -> ! {
                 }
             }
             "--exhaustive" => config.exhaustive = true,
+            "--layout" => {
+                let v = flag_value("--layout", argv.next());
+                config.layouts = v
+                    .split(',')
+                    .map(|s| {
+                        br_reorder::LayoutMode::parse(s).unwrap_or_else(|| {
+                            bad_args(format_args!(
+                                "invalid value for --layout: {s} (expected off, greedy, or exttsp)"
+                            ))
+                        })
+                    })
+                    .collect();
+            }
             "--out" => config.out_dir = flag_value("--out", argv.next()).into(),
             "--cache" => config.cache_dir = Some(flag_value("--cache", argv.next()).into()),
             "--no-cache" => config.cache_dir = None,
@@ -1097,8 +1125,9 @@ fn cmd_sweep(argv: impl Iterator<Item = String>) -> ! {
         Ok(outcome) => {
             for m in &outcome.metrics {
                 eprintln!(
-                    "brc: sweep cell {}/{}/seed{}: reorder {:.0?}{} measure {:.0?}{}",
+                    "brc: sweep cell {}/{}/{}/seed{}: reorder {:.0?}{} measure {:.0?}{}",
                     m.set,
+                    m.layout,
                     m.workload,
                     m.seed,
                     m.reorder_time,
@@ -1590,6 +1619,7 @@ fn main() {
         let opts = ReorderOptions {
             common_successor: args.common,
             opt_tree: args.set.opt_tree,
+            layout: args.layout,
             ..ReorderOptions::default()
         };
         match reorder_module(&module, train, &opts) {

@@ -74,6 +74,7 @@ pub use br_analysis as analysis;
 pub use br_fuzz as fuzz;
 pub use br_harness as harness;
 pub use br_ir as ir;
+pub use br_layout as layout;
 pub use br_minic as minic;
 pub use br_opt as opt;
 pub use br_reorder as reorder;

@@ -24,6 +24,7 @@ fn assert_same(fast: &RunOutcome, slow: &RunOutcome, what: &str) {
         "{what}: predictor results"
     );
     assert_eq!(fast.trace, slow.trace, "{what}: trace");
+    assert_eq!(fast.block_counts, slow.block_counts, "{what}: block counts");
 }
 
 #[test]
@@ -67,6 +68,13 @@ fn fast_path_matches_reference_on_all_workloads_and_sets() {
                 let fast =
                     run(m, &test, &vm).unwrap_or_else(|e| panic!("{what}: fast trapped: {e}"));
                 assert_same(&fast, &slow, &what);
+                // The derived per-function layout counters must sum back
+                // to the module-wide stats on every workload and set.
+                let rows = branch_reorder::vm::function_counters(m, &fast);
+                assert!(
+                    branch_reorder::vm::counters_match_stats(&rows, &fast.stats),
+                    "{what}: function counters disagree with stats"
+                );
                 // One decode, reused across runs, behaves like run().
                 let image = Image::decode(m);
                 let again = run_image(&image, &test, &vm).expect("image run");
